@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Figure 8 (paper §7.2): cycle slowdown (8a) and LUT increase (8b) of
+ * Dahlia-generated Calyx designs over the HLS baseline for all 19
+ * PolyBench linear-algebra kernels, plus the 11 unrolled variants the
+ * type system permits. Calyx designs are compiled with all
+ * optimizations on (resource sharing, register sharing, Sensitive),
+ * matching the paper's setup. Values > 1 mean Calyx is slower/larger.
+ */
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "frontends/dahlia/parser.h"
+#include "hls/scheduler.h"
+#include "workloads/harness.h"
+#include "workloads/polybench.h"
+
+using namespace calyx;
+
+namespace {
+
+double
+geomean(const std::vector<double> &v)
+{
+    double s = 0;
+    for (double x : v)
+        s += std::log(x);
+    return v.empty() ? 0.0 : std::exp(s / static_cast<double>(v.size()));
+}
+
+struct Measured
+{
+    double slowdown = 0;
+    double lutFactor = 0;
+};
+
+Measured
+measure(const std::string &kernel_name, const std::string &source)
+{
+    dahlia::Program prog = dahlia::parse(source);
+    workloads::MemState inputs =
+        workloads::makeInputs(kernel_name, prog);
+
+    passes::CompileOptions options;
+    options.resourceSharing = true;
+    options.registerSharing = true;
+    options.sensitive = true;
+    auto hw = workloads::runOnHardware(prog, options, inputs);
+    hls::HlsReport h = hls::scheduleProgram(prog);
+
+    Measured m;
+    m.slowdown = static_cast<double>(hw.cycles) /
+                 static_cast<double>(h.cycles);
+    m.lutFactor = hw.area.luts / h.luts;
+    return m;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Figure 8: Dahlia-generated Calyx vs Vivado-HLS "
+                "stand-in, PolyBench ===\n\n");
+    std::printf("%-12s %5s | %15s %14s | %15s %14s\n", "kernel", "label",
+                "cycle-slowdown", "lut-increase", "unrolled-slowdn",
+                "unrolled-luts");
+
+    std::vector<double> slow, luts, uslow, uluts;
+    for (const auto &k : workloads::kernels()) {
+        Measured base = measure(k.name, k.source);
+        slow.push_back(base.slowdown);
+        luts.push_back(base.lutFactor);
+        if (!k.unrolledSource.empty()) {
+            Measured unrolled = measure(k.name, k.unrolledSource);
+            uslow.push_back(unrolled.slowdown);
+            uluts.push_back(unrolled.lutFactor);
+            std::printf("%-12s %5s | %15.2f %14.2f | %15.2f %14.2f\n",
+                        k.name.c_str(), k.label.c_str(), base.slowdown,
+                        base.lutFactor, unrolled.slowdown,
+                        unrolled.lutFactor);
+        } else {
+            std::printf("%-12s %5s | %15.2f %14.2f | %15s %14s\n",
+                        k.name.c_str(), k.label.c_str(), base.slowdown,
+                        base.lutFactor, "-", "-");
+        }
+    }
+
+    std::printf("\nGeomeans (paper-reported values in brackets):\n");
+    std::printf("  cycle slowdown:          %.2fx [3.1x]\n",
+                geomean(slow));
+    std::printf("  LUT increase:            %.2fx [1.2x]\n",
+                geomean(luts));
+    std::printf("  unrolled cycle slowdown: %.2fx [2.3x] over %zu "
+                "kernels [11]\n",
+                geomean(uslow), uslow.size());
+    std::printf("  unrolled LUT increase:   %.2fx [2.2x]\n",
+                geomean(uluts));
+    return 0;
+}

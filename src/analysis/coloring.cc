@@ -1,0 +1,40 @@
+#include "analysis/coloring.h"
+
+#include <algorithm>
+
+namespace calyx::analysis {
+
+std::map<std::string, std::string>
+greedyColor(const std::vector<std::string> &nodes,
+            const std::set<std::pair<std::string, std::string>> &conflicts)
+{
+    auto conflict = [&conflicts](const std::string &a,
+                                 const std::string &b) {
+        return conflicts.count(a < b ? std::pair{a, b}
+                                     : std::pair{b, a}) > 0;
+    };
+
+    std::map<std::string, int> color;
+    std::vector<std::string> representative;
+
+    for (const auto &node : nodes) {
+        std::set<int> used;
+        for (const auto &[other, c] : color) {
+            if (conflict(node, other))
+                used.insert(c);
+        }
+        int c = 0;
+        while (used.count(c))
+            ++c;
+        color[node] = c;
+        if (c == static_cast<int>(representative.size()))
+            representative.push_back(node);
+    }
+
+    std::map<std::string, std::string> mapping;
+    for (const auto &[node, c] : color)
+        mapping[node] = representative[c];
+    return mapping;
+}
+
+} // namespace calyx::analysis

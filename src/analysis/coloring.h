@@ -1,0 +1,25 @@
+#ifndef CALYX_ANALYSIS_COLORING_H
+#define CALYX_ANALYSIS_COLORING_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace calyx::analysis {
+
+/**
+ * Greedy graph coloring used by both sharing passes (paper §5.1, §5.2).
+ * Nodes are cell names; edges are conflicts. Nodes are processed in the
+ * given order and each receives the lowest color not used by an already
+ * colored neighbor. The returned map sends every node to the
+ * representative (first) node of its color, so applying it as a renaming
+ * merges each color class onto one cell.
+ */
+std::map<std::string, std::string>
+greedyColor(const std::vector<std::string> &nodes,
+            const std::set<std::pair<std::string, std::string>> &conflicts);
+
+} // namespace calyx::analysis
+
+#endif // CALYX_ANALYSIS_COLORING_H

@@ -1,0 +1,141 @@
+#include "analysis/liveness.h"
+
+#include <deque>
+
+#include "analysis/schedule.h"
+
+namespace calyx::analysis {
+
+Liveness::Liveness(const Pcfg &g,
+                   const std::map<std::string, RegAccess> &access,
+                   const std::set<std::string> &always_live)
+    : access(&access), alwaysLive(always_live)
+{
+    // Registers written by the same group can never be merged: the merged
+    // register would have two drivers in one group.
+    for (const auto &[name, acc] : access) {
+        (void)name;
+        for (const auto &a : acc.anyWrites) {
+            for (const auto &b : acc.anyWrites) {
+                if (a < b)
+                    interferenceEdges.insert({a, b});
+            }
+        }
+    }
+    analyze(g, alwaysLive);
+}
+
+const RegAccess &
+Liveness::nodeAccess(const PcfgNode &node)
+{
+    if (node.kind == PcfgNode::Kind::Nop)
+        return emptyAccess;
+    if (node.kind == PcfgNode::Kind::Group) {
+        auto it = access->find(node.group);
+        return it == access->end() ? emptyAccess : it->second;
+    }
+    // ParNode: union over children, cached. All children execute, so the
+    // union of must-writes is itself a must-write set (paper §5.2).
+    auto it = parAccessCache.find(&node);
+    if (it != parAccessCache.end())
+        return it->second;
+    RegAccess merged;
+    std::function<void(const Pcfg &)> merge_graph = [&](const Pcfg &g) {
+        for (const auto &n : g.nodes) {
+            if (n.kind == PcfgNode::Kind::Group) {
+                auto ait = access->find(n.group);
+                if (ait == access->end())
+                    continue;
+                merged.reads.insert(ait->second.reads.begin(),
+                                    ait->second.reads.end());
+                merged.mustWrites.insert(ait->second.mustWrites.begin(),
+                                         ait->second.mustWrites.end());
+                merged.anyWrites.insert(ait->second.anyWrites.begin(),
+                                        ait->second.anyWrites.end());
+            } else if (n.kind == PcfgNode::Kind::ParNode) {
+                for (const auto &c : n.children)
+                    merge_graph(*c);
+            }
+        }
+    };
+    for (const auto &c : node.children)
+        merge_graph(*c);
+    return parAccessCache.emplace(&node, std::move(merged)).first->second;
+}
+
+void
+Liveness::interfere(const std::set<std::string> &defs,
+                    const std::set<std::string> &live_out)
+{
+    for (const auto &d : defs) {
+        for (const auto &l : live_out) {
+            if (d != l)
+                interferenceEdges.insert(d < l ? std::pair{d, l}
+                                               : std::pair{l, d});
+        }
+    }
+}
+
+std::set<std::string>
+Liveness::analyze(const Pcfg &g, const std::set<std::string> &boundary)
+{
+    size_t n = g.nodes.size();
+    std::vector<std::set<std::string>> live_in(n), live_out(n);
+
+    // Backward worklist to fixpoint.
+    std::deque<int> worklist;
+    std::vector<bool> queued(n, false);
+    for (size_t i = 0; i < n; ++i) {
+        worklist.push_back(static_cast<int>(i));
+        queued[i] = true;
+    }
+    while (!worklist.empty()) {
+        int idx = worklist.front();
+        worklist.pop_front();
+        queued[idx] = false;
+        const PcfgNode &node = g.nodes[idx];
+
+        std::set<std::string> out = idx == g.exit ? boundary
+                                                  : std::set<std::string>{};
+        for (int s : node.succs)
+            out.insert(live_in[s].begin(), live_in[s].end());
+        out.insert(alwaysLive.begin(), alwaysLive.end());
+
+        const RegAccess &acc = nodeAccess(node);
+        std::set<std::string> in = out;
+        for (const auto &w : acc.mustWrites)
+            in.erase(w);
+        in.insert(acc.reads.begin(), acc.reads.end());
+
+        if (out != live_out[idx] || in != live_in[idx]) {
+            live_out[idx] = std::move(out);
+            live_in[idx] = std::move(in);
+            for (int p : node.preds) {
+                if (!queued[p]) {
+                    worklist.push_back(p);
+                    queued[p] = true;
+                }
+            }
+        }
+    }
+
+    // Record interference and recurse into p-nodes with the converged
+    // boundary (paper: live sets at the end of each child equal the live
+    // registers coming out of the p-node).
+    for (size_t i = 0; i < n; ++i) {
+        const PcfgNode &node = g.nodes[i];
+        const RegAccess &acc = nodeAccess(node);
+        interfere(acc.mustWrites, live_out[i]);
+        interfere(acc.anyWrites, live_out[i]);
+        if (node.kind == PcfgNode::Kind::ParNode) {
+            for (const auto &c : node.children)
+                analyze(*c, live_out[i]);
+        }
+    }
+    // Registers live on entry hold values we do not understand; treat
+    // them as mutually interfering.
+    interfere(live_in[g.entry], live_in[g.entry]);
+    return live_in[g.entry];
+}
+
+} // namespace calyx::analysis

@@ -1,0 +1,61 @@
+#ifndef CALYX_ANALYSIS_LIVENESS_H
+#define CALYX_ANALYSIS_LIVENESS_H
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "analysis/pcfg.h"
+#include "analysis/read_write_sets.h"
+
+namespace calyx::analysis {
+
+/**
+ * Live-range analysis over a parallel CFG (paper §5.2). Computes, for
+ * every register, where it is live, and derives the interference graph
+ * used for register sharing.
+ */
+class Liveness
+{
+  public:
+    /**
+     * @param g          the pCFG of the component's control program
+     * @param access     per-group register read/write sets
+     * @param always_live registers live at every program point
+     */
+    Liveness(const Pcfg &g, const std::map<std::string, RegAccess> &access,
+             const std::set<std::string> &always_live);
+
+    /**
+     * Pairs of registers whose live ranges overlap (or that are written
+     * by the same group), i.e. the edges of the interference graph.
+     */
+    const std::set<std::pair<std::string, std::string>> &
+    interference() const
+    {
+        return interferenceEdges;
+    }
+
+  private:
+    /**
+     * Run the backward dataflow on `g` with `boundary` as the live-out
+     * set at the exit node; records interference edges as it goes.
+     * Returns the live-in set at the entry node.
+     */
+    std::set<std::string> analyze(const Pcfg &g,
+                                  const std::set<std::string> &boundary);
+
+    const RegAccess &nodeAccess(const PcfgNode &node);
+    void interfere(const std::set<std::string> &defs,
+                   const std::set<std::string> &live_out);
+
+    const std::map<std::string, RegAccess> *access;
+    std::set<std::string> alwaysLive;
+    std::map<const PcfgNode *, RegAccess> parAccessCache;
+    std::set<std::pair<std::string, std::string>> interferenceEdges;
+    RegAccess emptyAccess;
+};
+
+} // namespace calyx::analysis
+
+#endif // CALYX_ANALYSIS_LIVENESS_H

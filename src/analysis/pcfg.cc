@@ -1,0 +1,123 @@
+#include "analysis/pcfg.h"
+
+#include "support/error.h"
+
+namespace calyx::analysis {
+
+int
+Pcfg::addNode(PcfgNode node)
+{
+    nodes.push_back(std::move(node));
+    return static_cast<int>(nodes.size()) - 1;
+}
+
+void
+Pcfg::addEdge(int from, int to)
+{
+    nodes[from].succs.push_back(to);
+    nodes[to].preds.push_back(from);
+}
+
+namespace {
+
+/**
+ * Lower `ctrl` into `g`, returning the (first, last) node pair of the
+ * emitted subgraph. Both may be the same node.
+ */
+std::pair<int, int>
+build(Pcfg &g, const Control &ctrl)
+{
+    switch (ctrl.kind()) {
+      case Control::Kind::Empty: {
+        int n = g.addNode(PcfgNode{});
+        return {n, n};
+      }
+      case Control::Kind::Enable: {
+        PcfgNode node;
+        node.kind = PcfgNode::Kind::Group;
+        node.group = cast<Enable>(ctrl).group();
+        int n = g.addNode(std::move(node));
+        return {n, n};
+      }
+      case Control::Kind::Seq: {
+        const auto &stmts = cast<Seq>(ctrl).stmts();
+        if (stmts.empty()) {
+            int n = g.addNode(PcfgNode{});
+            return {n, n};
+        }
+        int first = -1, last = -1;
+        for (const auto &c : stmts) {
+            auto [f, l] = build(g, *c);
+            if (first < 0)
+                first = f;
+            else
+                g.addEdge(last, f);
+            last = l;
+        }
+        return {first, last};
+      }
+      case Control::Kind::Par: {
+        PcfgNode node;
+        node.kind = PcfgNode::Kind::ParNode;
+        for (const auto &c : cast<Par>(ctrl).stmts())
+            node.children.push_back(buildPcfg(*c));
+        int n = g.addNode(std::move(node));
+        return {n, n};
+      }
+      case Control::Kind::If: {
+        const auto &i = cast<If>(ctrl);
+        int cond;
+        if (i.condGroup().empty()) {
+            cond = g.addNode(PcfgNode{});
+        } else {
+            PcfgNode node;
+            node.kind = PcfgNode::Kind::Group;
+            node.group = i.condGroup();
+            cond = g.addNode(std::move(node));
+        }
+        auto [tf, tl] = build(g, i.trueBranch());
+        auto [ff, fl] = build(g, i.falseBranch());
+        int join = g.addNode(PcfgNode{});
+        g.addEdge(cond, tf);
+        g.addEdge(cond, ff);
+        g.addEdge(tl, join);
+        g.addEdge(fl, join);
+        return {cond, join};
+      }
+      case Control::Kind::While: {
+        const auto &w = cast<While>(ctrl);
+        int cond;
+        if (w.condGroup().empty()) {
+            cond = g.addNode(PcfgNode{});
+        } else {
+            PcfgNode node;
+            node.kind = PcfgNode::Kind::Group;
+            node.group = w.condGroup();
+            cond = g.addNode(std::move(node));
+        }
+        auto [bf, bl] = build(g, w.body());
+        int exit = g.addNode(PcfgNode{});
+        g.addEdge(cond, bf);
+        g.addEdge(bl, cond); // back edge
+        g.addEdge(cond, exit);
+        return {cond, exit};
+      }
+    }
+    panic("bad control kind");
+}
+
+} // namespace
+
+std::unique_ptr<Pcfg>
+buildPcfg(const Control &ctrl)
+{
+    auto g = std::make_unique<Pcfg>();
+    g->entry = g->addNode(PcfgNode{});
+    auto [f, l] = build(*g, ctrl);
+    g->exit = g->addNode(PcfgNode{});
+    g->addEdge(g->entry, f);
+    g->addEdge(l, g->exit);
+    return g;
+}
+
+} // namespace calyx::analysis

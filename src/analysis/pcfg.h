@@ -1,0 +1,51 @@
+#ifndef CALYX_ANALYSIS_PCFG_H
+#define CALYX_ANALYSIS_PCFG_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/control.h"
+
+namespace calyx::analysis {
+
+struct Pcfg;
+
+/**
+ * A node in a parallel control flow graph (paper §5.2, after Srinivasan
+ * and Wolfe). Group nodes correspond to group enables (including if/while
+ * condition groups); p-nodes represent entire `par` blocks and
+ * recursively contain one pCFG per child.
+ */
+struct PcfgNode
+{
+    enum class Kind { Nop, Group, ParNode };
+
+    Kind kind = Kind::Nop;
+    std::string group;                        ///< Kind::Group only.
+    std::vector<std::unique_ptr<Pcfg>> children; ///< Kind::ParNode only.
+
+    std::vector<int> succs;
+    std::vector<int> preds;
+};
+
+/**
+ * A parallel control flow graph: nodes with distinguished entry/exit
+ * nop nodes. While loops introduce back edges.
+ */
+struct Pcfg
+{
+    std::vector<PcfgNode> nodes;
+    int entry = -1;
+    int exit = -1;
+
+    int addNode(PcfgNode node);
+    void addEdge(int from, int to);
+};
+
+/** Build the pCFG of a control program. */
+std::unique_ptr<Pcfg> buildPcfg(const Control &ctrl);
+
+} // namespace calyx::analysis
+
+#endif // CALYX_ANALYSIS_PCFG_H

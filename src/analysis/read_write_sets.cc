@@ -1,0 +1,109 @@
+#include "analysis/read_write_sets.h"
+
+namespace calyx::analysis {
+
+std::set<std::string>
+registerCells(const Component &comp)
+{
+    std::set<std::string> regs;
+    for (const auto &cell : comp.cells()) {
+        if (cell->type() == "std_reg")
+            regs.insert(cell->name());
+    }
+    return regs;
+}
+
+std::map<std::string, RegAccess>
+registerAccess(const Component &comp)
+{
+    std::set<std::string> regs = registerCells(comp);
+    std::map<std::string, RegAccess> out;
+
+    for (const auto &group : comp.groups()) {
+        RegAccess acc;
+        // Which registers have an unconditional write_en = 1 and an
+        // unconditional data write? Those are must-writes.
+        std::set<std::string> unconditional_en, unconditional_in;
+        std::set<std::string> any_write;
+        // A register whose done pulse *is* the group's done signal is
+        // always committed before the group can finish, even when its
+        // write enable is guarded (the multi-cycle operator idiom
+        // `r.write_en = f.done ? 1; g[done] = r.done`).
+        std::set<std::string> done_backed;
+
+        for (const auto &a : group->assignments()) {
+            a.reads([&](const PortRef &p) {
+                // Only data reads matter: observing a register's done
+                // pulse does not read its value.
+                if (p.isCell() && regs.count(p.parent) &&
+                    p.port == "out") {
+                    acc.reads.insert(p.parent);
+                }
+            });
+            if (a.dst == group->doneHole() && a.guard->isTrue() &&
+                a.src.isCell() && a.src.port == "done" &&
+                regs.count(a.src.parent)) {
+                done_backed.insert(a.src.parent);
+            }
+            if (a.dst.isCell() && regs.count(a.dst.parent)) {
+                any_write.insert(a.dst.parent);
+                if (a.guard->isTrue()) {
+                    if (a.dst.port == "write_en" && a.src.isConst() &&
+                        a.src.value == 1) {
+                        unconditional_en.insert(a.dst.parent);
+                    }
+                    if (a.dst.port == "in")
+                        unconditional_in.insert(a.dst.parent);
+                }
+            }
+        }
+        acc.anyWrites = any_write;
+        for (const auto &r : any_write) {
+            if ((unconditional_en.count(r) && unconditional_in.count(r)) ||
+                done_backed.count(r)) {
+                acc.mustWrites.insert(r);
+            } else {
+                // Conditional write: value may survive, keep it live.
+                acc.reads.insert(r);
+            }
+        }
+        out[group->name()] = std::move(acc);
+    }
+    return out;
+}
+
+std::set<std::string>
+alwaysLiveRegisters(const Component &comp)
+{
+    std::set<std::string> regs = registerCells(comp);
+    std::set<std::string> out;
+
+    for (const auto &a : comp.continuousAssignments()) {
+        a.reads([&](const PortRef &p) {
+            if (p.isCell() && regs.count(p.parent))
+                out.insert(p.parent);
+        });
+        if (a.dst.isCell() && regs.count(a.dst.parent))
+            out.insert(a.dst.parent);
+    }
+
+    comp.control().walk([&](const Control &node) {
+        const PortRef *port = nullptr;
+        if (node.kind() == Control::Kind::If)
+            port = &cast<If>(node).condPort();
+        else if (node.kind() == Control::Kind::While)
+            port = &cast<While>(node).condPort();
+        if (port && port->isCell() && regs.count(port->parent))
+            out.insert(port->parent);
+    });
+
+    for (const auto &cell : comp.cells()) {
+        if (cell->type() == "std_reg" &&
+            cell->attrs().has(Attributes::externalAttr)) {
+            out.insert(cell->name());
+        }
+    }
+    return out;
+}
+
+} // namespace calyx::analysis

@@ -1,0 +1,46 @@
+#ifndef CALYX_ANALYSIS_READ_WRITE_SETS_H
+#define CALYX_ANALYSIS_READ_WRITE_SETS_H
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "ir/component.h"
+
+namespace calyx::analysis {
+
+/**
+ * Conservative register access summary for one group (paper §5.2):
+ * `reads` is the set of registers the group may read, `mustWrites` the
+ * set it always writes. Guarded (conditional) register writes are
+ * treated as both a read and a may-write, which keeps the register live
+ * across the group.
+ */
+struct RegAccess
+{
+    std::set<std::string> reads;
+    std::set<std::string> mustWrites;
+    /** Every register with any (conditional or not) write in the group. */
+    std::set<std::string> anyWrites;
+};
+
+/**
+ * Compute register read/write sets for every group of a component.
+ * Only `std_reg` cells participate; memories and other stateful cells
+ * are never shared by the register-sharing pass.
+ */
+std::map<std::string, RegAccess> registerAccess(const Component &comp);
+
+/** Names of all std_reg cells in the component. */
+std::set<std::string> registerCells(const Component &comp);
+
+/**
+ * Registers that must be treated as live everywhere: referenced by
+ * continuous assignments, by control condition ports, or carrying the
+ * "external" attribute.
+ */
+std::set<std::string> alwaysLiveRegisters(const Component &comp);
+
+} // namespace calyx::analysis
+
+#endif // CALYX_ANALYSIS_READ_WRITE_SETS_H

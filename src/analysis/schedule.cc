@@ -1,0 +1,89 @@
+#include "analysis/schedule.h"
+
+namespace calyx::analysis {
+
+GroupPair
+makePair(const std::string &a, const std::string &b)
+{
+    return a < b ? GroupPair{a, b} : GroupPair{b, a};
+}
+
+std::set<std::string>
+groupsInControl(const Control &ctrl)
+{
+    std::set<std::string> out;
+    ctrl.walk([&out](const Control &node) {
+        switch (node.kind()) {
+          case Control::Kind::Enable:
+            out.insert(cast<Enable>(node).group());
+            break;
+          case Control::Kind::If:
+            if (!cast<If>(node).condGroup().empty())
+                out.insert(cast<If>(node).condGroup());
+            break;
+          case Control::Kind::While:
+            if (!cast<While>(node).condGroup().empty())
+                out.insert(cast<While>(node).condGroup());
+            break;
+          default:
+            break;
+        }
+    });
+    return out;
+}
+
+namespace {
+
+void
+collectConflicts(const Control &ctrl, std::set<GroupPair> &conflicts)
+{
+    switch (ctrl.kind()) {
+      case Control::Kind::Empty:
+      case Control::Kind::Enable:
+        return;
+      case Control::Kind::Seq:
+        for (const auto &c : cast<Seq>(ctrl).stmts())
+            collectConflicts(*c, conflicts);
+        return;
+      case Control::Kind::If: {
+        const auto &i = cast<If>(ctrl);
+        collectConflicts(i.trueBranch(), conflicts);
+        collectConflicts(i.falseBranch(), conflicts);
+        return;
+      }
+      case Control::Kind::While:
+        collectConflicts(cast<While>(ctrl).body(), conflicts);
+        return;
+      case Control::Kind::Par: {
+        const auto &children = cast<Par>(ctrl).stmts();
+        std::vector<std::set<std::string>> sets;
+        for (const auto &c : children) {
+            collectConflicts(*c, conflicts);
+            sets.push_back(groupsInControl(*c));
+        }
+        for (size_t i = 0; i < sets.size(); ++i) {
+            for (size_t j = i + 1; j < sets.size(); ++j) {
+                for (const auto &a : sets[i]) {
+                    for (const auto &b : sets[j]) {
+                        if (a != b)
+                            conflicts.insert(makePair(a, b));
+                    }
+                }
+            }
+        }
+        return;
+      }
+    }
+}
+
+} // namespace
+
+std::set<GroupPair>
+parallelConflicts(const Control &ctrl)
+{
+    std::set<GroupPair> conflicts;
+    collectConflicts(ctrl, conflicts);
+    return conflicts;
+}
+
+} // namespace calyx::analysis

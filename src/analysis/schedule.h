@@ -1,0 +1,34 @@
+#ifndef CALYX_ANALYSIS_SCHEDULE_H
+#define CALYX_ANALYSIS_SCHEDULE_H
+
+#include <set>
+#include <string>
+#include <utility>
+
+#include "ir/component.h"
+
+namespace calyx::analysis {
+
+/** Unordered pair of group names (canonicalized). */
+using GroupPair = std::pair<std::string, std::string>;
+
+/** Canonicalize an unordered pair. */
+GroupPair makePair(const std::string &a, const std::string &b);
+
+/**
+ * Groups enabled anywhere in a control subtree, including `with` condition
+ * groups of if/while statements.
+ */
+std::set<std::string> groupsInControl(const Control &ctrl);
+
+/**
+ * May-run-in-parallel analysis (paper §5.1): the set of group pairs that
+ * can be active simultaneously, derived from `par` blocks. Groups in
+ * different children of a `par` conflict; groups within one child only
+ * conflict through nested `par` blocks.
+ */
+std::set<GroupPair> parallelConflicts(const Control &ctrl);
+
+} // namespace calyx::analysis
+
+#endif // CALYX_ANALYSIS_SCHEDULE_H

@@ -1,0 +1,38 @@
+#ifndef CALYX_BACKEND_VERILOG_H
+#define CALYX_BACKEND_VERILOG_H
+
+#include <ostream>
+#include <string>
+
+#include "ir/context.h"
+
+namespace calyx::backend {
+
+/**
+ * The Lower pass' code generator (paper §4.2): translates control-free
+ * Calyx (flat guarded assignments) into synthesizable SystemVerilog.
+ * Each component maps to a module; each cell to a primitive instance or
+ * submodule instantiation; each driven port to a mux tree over its
+ * guarded assignments. A clock is threaded through the design.
+ */
+class VerilogBackend
+{
+  public:
+    /** Emit the whole program plus the primitive library. */
+    static void emit(const Context &ctx, std::ostream &os);
+    static std::string emitString(const Context &ctx);
+
+    /** Emit a single component as a module. */
+    static void emitComponent(const Component &comp, const Context &ctx,
+                              std::ostream &os);
+
+    /** Emit the std_* primitive library. */
+    static void emitPrimitives(const Context &ctx, std::ostream &os);
+
+    /** Number of lines in `text` (for §7.4 statistics). */
+    static int countLines(const std::string &text);
+};
+
+} // namespace calyx::backend
+
+#endif // CALYX_BACKEND_VERILOG_H

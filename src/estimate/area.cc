@@ -1,0 +1,172 @@
+#include "estimate/area.h"
+
+#include <cmath>
+#include <set>
+
+#include "support/error.h"
+
+namespace calyx::estimate {
+
+Area &
+Area::operator+=(const Area &other)
+{
+    luts += other.luts;
+    ffs += other.ffs;
+    dsps += other.dsps;
+    registers += other.registers;
+    return *this;
+}
+
+Area
+Area::operator+(const Area &other) const
+{
+    Area out = *this;
+    out += other;
+    return out;
+}
+
+namespace {
+
+/**
+ * Guard costing with common-subexpression sharing: synthesis maps one
+ * circuit per distinct boolean function, no matter how many guards use
+ * it (the FSM state comparator feeds every assignment in its state).
+ * Each structurally distinct subtree is therefore costed exactly once
+ * per component.
+ */
+class GuardCostSet
+{
+  public:
+    double
+    cost(const GuardPtr &g, const Component &comp)
+    {
+        switch (g->kind()) {
+          case Guard::Kind::True:
+          case Guard::Kind::Port:
+            return 0.0;
+          default:
+            break;
+        }
+        if (!seen.insert(g->str()).second)
+            return 0.0;
+        switch (g->kind()) {
+          case Guard::Kind::Not:
+            return 0.25 + cost(g->left(), comp);
+          case Guard::Kind::And:
+          case Guard::Kind::Or:
+            return 0.5 + cost(g->left(), comp) + cost(g->right(), comp);
+          case Guard::Kind::Cmp: {
+            Width w = comp.portWidth(g->lhs());
+            bool vs_const = g->lhs().isConst() || g->rhs().isConst();
+            return vs_const ? w / 3.0 : w / 2.0;
+          }
+          default:
+            panic("bad guard kind");
+        }
+    }
+
+  private:
+    std::set<std::string> seen;
+};
+
+} // namespace
+
+Area
+AreaEstimator::cellArea(const Cell &cell)
+{
+    if (!cell.isPrimitive()) {
+        const Component *def = ctx->findComponent(cell.type());
+        if (!def)
+            fatal("area: unknown component ", cell.type());
+        return estimate(*def);
+    }
+
+    const std::string &t = cell.type();
+    auto w = [&cell](size_t i) {
+        return static_cast<double>(cell.params()[i]);
+    };
+    Area a;
+    if (t == "std_add" || t == "std_sub") {
+        a.luts = w(0);
+    } else if (t == "std_lt" || t == "std_gt" || t == "std_le" ||
+               t == "std_ge") {
+        a.luts = w(0);
+    } else if (t == "std_eq" || t == "std_neq") {
+        a.luts = w(0) / 2.0;
+    } else if (t == "std_and" || t == "std_or" || t == "std_xor" ||
+               t == "std_not") {
+        a.luts = w(0) / 2.0;
+    } else if (t == "std_lsh" || t == "std_rsh") {
+        a.luts = w(0);
+    } else if (t == "std_const" || t == "std_wire" || t == "std_slice" ||
+               t == "std_pad") {
+        a.luts = 0.0;
+    } else if (t == "std_reg") {
+        a.luts = 1.0;
+        a.ffs = w(0) + 1.0;
+        a.registers = 1;
+    } else if (t == "std_mem_d1" || t == "std_mem_d2") {
+        // BRAM (not counted: the paper elides BRAM), address decode only.
+        a.luts = 4.0;
+        a.ffs = 1.0;
+    } else if (t == "std_mult_pipe") {
+        a.luts = 8.0;
+        a.ffs = 2.0 * w(0);
+        a.dsps = std::ceil(w(0) / 18.0) * std::ceil(w(0) / 18.0);
+    } else if (t == "std_div_pipe") {
+        a.luts = 5.0 * w(0);
+        a.ffs = 2.0 * w(0);
+    } else if (t == "std_sqrt") {
+        a.luts = 3.0 * w(0);
+        a.ffs = 2.0 * w(0);
+    } else {
+        // Unknown extern: assume a moderate fixed cost.
+        a.luts = 2.0 * w(0);
+        a.ffs = w(0);
+    }
+    return a;
+}
+
+Area
+AreaEstimator::estimate(const Component &comp)
+{
+    auto it = cache.find(comp.name());
+    if (it != cache.end())
+        return it->second;
+
+    Area total;
+    for (const auto &cell : comp.cells())
+        total += cellArea(*cell);
+
+    // Steering and guard logic from the (lowered or not) assignments.
+    // One shared guard-cost set per component: identical guard
+    // subexpressions synthesize to one circuit.
+    GuardCostSet guard_costs;
+    auto scan = [&](const std::vector<Assignment> &assigns) {
+        std::map<PortRef, int> drivers;
+        for (const auto &a : assigns) {
+            drivers[a.dst]++;
+            total.luts += guard_costs.cost(a.guard, comp);
+        }
+        for (const auto &[dst, k] : drivers) {
+            if (k > 1) {
+                Width w = comp.portWidth(dst);
+                total.luts += (k - 1) * (w / 2.0);
+            }
+        }
+    };
+    scan(comp.continuousAssignments());
+    for (const auto &g : comp.groups())
+        scan(g->assignments());
+
+    cache[comp.name()] = total;
+    return total;
+}
+
+Area
+AreaEstimator::estimateProgram()
+{
+    return estimate(ctx->main());
+}
+
+} // namespace calyx::estimate

@@ -1,0 +1,215 @@
+#include "frontends/dahlia/ast.h"
+
+namespace calyx::dahlia {
+
+uint64_t
+Type::totalSize() const
+{
+    uint64_t size = 1;
+    for (uint64_t d : dims)
+        size *= d;
+    return size;
+}
+
+bool
+isComparison(BinOp op)
+{
+    switch (op) {
+      case BinOp::Lt:
+      case BinOp::Gt:
+      case BinOp::Le:
+      case BinOp::Ge:
+      case BinOp::Eq:
+      case BinOp::Ne:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isSequentialOp(BinOp op)
+{
+    return op == BinOp::Mul || op == BinOp::Div || op == BinOp::Mod;
+}
+
+ExprPtr
+Expr::clone() const
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->value = value;
+    e->name = name;
+    e->op = op;
+    for (const auto &idx : indices)
+        e->indices.push_back(idx->clone());
+    if (lhs)
+        e->lhs = lhs->clone();
+    if (rhs)
+        e->rhs = rhs->clone();
+    return e;
+}
+
+ExprPtr
+Expr::num(uint64_t v)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::Num;
+    e->value = v;
+    return e;
+}
+
+ExprPtr
+Expr::var(std::string name)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::Var;
+    e->name = std::move(name);
+    return e;
+}
+
+ExprPtr
+Expr::access(std::string name, std::vector<ExprPtr> idx)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::Access;
+    e->name = std::move(name);
+    e->indices = std::move(idx);
+    return e;
+}
+
+ExprPtr
+Expr::bin(BinOp op, ExprPtr l, ExprPtr r)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::Bin;
+    e->op = op;
+    e->lhs = std::move(l);
+    e->rhs = std::move(r);
+    return e;
+}
+
+ExprPtr
+Expr::sqrt(ExprPtr inner)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::Sqrt;
+    e->lhs = std::move(inner);
+    return e;
+}
+
+StmtPtr
+Stmt::clone() const
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = kind;
+    s->name = name;
+    s->type = type;
+    if (init)
+        s->init = init->clone();
+    if (lval)
+        s->lval = lval->clone();
+    if (rhs)
+        s->rhs = rhs->clone();
+    if (cond)
+        s->cond = cond->clone();
+    if (body)
+        s->body = body->clone();
+    if (elseBody)
+        s->elseBody = elseBody->clone();
+    s->lo = lo;
+    s->hi = hi;
+    s->unroll = unroll;
+    if (combine)
+        s->combine = combine->clone();
+    for (const auto &st : stmts)
+        s->stmts.push_back(st->clone());
+    return s;
+}
+
+StmtPtr
+Stmt::let(std::string name, Type type, ExprPtr init)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = Kind::Let;
+    s->name = std::move(name);
+    s->type = type;
+    s->init = std::move(init);
+    return s;
+}
+
+StmtPtr
+Stmt::assign(ExprPtr lval, ExprPtr rhs)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = Kind::Assign;
+    s->lval = std::move(lval);
+    s->rhs = std::move(rhs);
+    return s;
+}
+
+StmtPtr
+Stmt::ifStmt(ExprPtr cond, StmtPtr t, StmtPtr f)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = Kind::If;
+    s->cond = std::move(cond);
+    s->body = std::move(t);
+    s->elseBody = std::move(f);
+    return s;
+}
+
+StmtPtr
+Stmt::whileStmt(ExprPtr cond, StmtPtr body)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = Kind::While;
+    s->cond = std::move(cond);
+    s->body = std::move(body);
+    return s;
+}
+
+StmtPtr
+Stmt::forStmt(std::string it, Type t, uint64_t lo, uint64_t hi,
+              uint64_t unroll, StmtPtr body)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = Kind::For;
+    s->name = std::move(it);
+    s->type = t;
+    s->lo = lo;
+    s->hi = hi;
+    s->unroll = unroll;
+    s->body = std::move(body);
+    return s;
+}
+
+StmtPtr
+Stmt::seq(std::vector<StmtPtr> stmts)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = Kind::SeqComp;
+    s->stmts = std::move(stmts);
+    return s;
+}
+
+StmtPtr
+Stmt::par(std::vector<StmtPtr> stmts)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = Kind::ParComp;
+    s->stmts = std::move(stmts);
+    return s;
+}
+
+Program
+Program::clone() const
+{
+    Program p;
+    p.decls = decls;
+    if (body)
+        p.body = body->clone();
+    return p;
+}
+
+} // namespace calyx::dahlia

@@ -1,0 +1,159 @@
+#ifndef CALYX_FRONTENDS_DAHLIA_AST_H
+#define CALYX_FRONTENDS_DAHLIA_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/bits.h"
+
+namespace calyx::dahlia {
+
+/**
+ * Types in mini-Dahlia (paper §6.2): unsigned bit vectors `ubit<W>`,
+ * optionally with array dimensions that may be banked, e.g.
+ * `ubit<32>[8 bank 2][4]`.
+ */
+struct Type
+{
+    Width width = 32;
+    std::vector<uint64_t> dims;
+    std::vector<uint64_t> banks; ///< Parallel to dims (1 = unbanked).
+
+    bool isMemory() const { return !dims.empty(); }
+    uint64_t totalSize() const;
+};
+
+// --- Expressions -----------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Lsh,
+    Rsh,
+    And,
+    Or,
+    Xor,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Eq,
+    Ne,
+};
+
+/** Whether the result of `op` is a single bit. */
+bool isComparison(BinOp op);
+
+/** Whether `op` maps to a multi-cycle functional unit. */
+bool isSequentialOp(BinOp op);
+
+struct Expr
+{
+    enum class Kind { Num, Var, Access, Bin, Sqrt };
+
+    Kind kind = Kind::Num;
+    uint64_t value = 0;              // Num
+    std::string name;                // Var / Access
+    std::vector<ExprPtr> indices;    // Access
+    BinOp op = BinOp::Add;           // Bin
+    ExprPtr lhs, rhs;                // Bin (Sqrt uses lhs)
+
+    ExprPtr clone() const;
+
+    static ExprPtr num(uint64_t v);
+    static ExprPtr var(std::string name);
+    static ExprPtr access(std::string name, std::vector<ExprPtr> idx);
+    static ExprPtr bin(BinOp op, ExprPtr l, ExprPtr r);
+    static ExprPtr sqrt(ExprPtr e);
+};
+
+// --- Statements --------------------------------------------------------------
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt
+{
+    enum class Kind {
+        Let,     ///< `let x: ubit<W> = e;` declares a register
+        Assign,  ///< `lval := e`
+        If,
+        While,
+        For,     ///< `for (let i: ubit<W> = lo..hi) unroll U { body }`
+        SeqComp, ///< ordered composition `a --- b`
+        ParComp, ///< unordered composition `a ; b`
+    };
+
+    Kind kind = Kind::SeqComp;
+
+    // Let / For iterator
+    std::string name;
+    Type type;
+    ExprPtr init; // optional for Let
+
+    // Assign
+    ExprPtr lval; // Var or Access
+    ExprPtr rhs;
+
+    // If / While / For
+    ExprPtr cond;
+    StmtPtr body;      // If: true branch; While/For: body
+    StmtPtr elseBody;  // If only (may be null)
+
+    // For
+    uint64_t lo = 0, hi = 0;
+    uint64_t unroll = 1;
+    /**
+     * Optional `combine` block: additive reductions of lane-local lets
+     * into enclosing state, run after each unrolled iteration group
+     * (Dahlia's reduction construct). References to a lane-local
+     * variable v expand to the sum v_0 + ... + v_{U-1}.
+     */
+    StmtPtr combine;
+
+    // SeqComp / ParComp
+    std::vector<StmtPtr> stmts;
+
+    StmtPtr clone() const;
+
+    static StmtPtr let(std::string name, Type type, ExprPtr init);
+    static StmtPtr assign(ExprPtr lval, ExprPtr rhs);
+    static StmtPtr ifStmt(ExprPtr cond, StmtPtr t, StmtPtr f);
+    static StmtPtr whileStmt(ExprPtr cond, StmtPtr body);
+    static StmtPtr forStmt(std::string it, Type t, uint64_t lo, uint64_t hi,
+                           uint64_t unroll, StmtPtr body);
+    static StmtPtr seq(std::vector<StmtPtr> stmts);
+    static StmtPtr par(std::vector<StmtPtr> stmts);
+};
+
+/** A memory-interface declaration: `decl a: ubit<32>[8];`. */
+struct Decl
+{
+    std::string name;
+    Type type;
+};
+
+/** A whole mini-Dahlia program. */
+struct Program
+{
+    std::vector<Decl> decls;
+    StmtPtr body;
+
+    Program() = default;
+    Program(Program &&) = default;
+    Program &operator=(Program &&) = default;
+
+    Program clone() const;
+};
+
+} // namespace calyx::dahlia
+
+#endif // CALYX_FRONTENDS_DAHLIA_AST_H

@@ -1,0 +1,346 @@
+#include "frontends/dahlia/checker.h"
+
+#include <set>
+#include <vector>
+
+#include "support/error.h"
+
+namespace calyx::dahlia {
+
+std::optional<Affine>
+affineOf(const Expr &e)
+{
+    switch (e.kind) {
+      case Expr::Kind::Num:
+        return Affine{{}, static_cast<int64_t>(e.value)};
+      case Expr::Kind::Var: {
+        Affine a;
+        a.coeffs[e.name] = 1;
+        return a;
+      }
+      case Expr::Kind::Bin: {
+        auto l = affineOf(*e.lhs);
+        auto r = affineOf(*e.rhs);
+        if (!l || !r)
+            return std::nullopt;
+        switch (e.op) {
+          case BinOp::Add:
+          case BinOp::Sub: {
+            Affine out = *l;
+            int64_t sign = e.op == BinOp::Add ? 1 : -1;
+            out.constant += sign * r->constant;
+            for (const auto &[v, c] : r->coeffs) {
+                out.coeffs[v] += sign * c;
+                if (out.coeffs[v] == 0)
+                    out.coeffs.erase(v);
+            }
+            return out;
+          }
+          case BinOp::Mul: {
+            // One side must be constant.
+            const Affine *cst = l->coeffs.empty() ? &*l : nullptr;
+            const Affine *var = cst ? &*r : nullptr;
+            if (!cst && r->coeffs.empty()) {
+                cst = &*r;
+                var = &*l;
+            }
+            if (!cst)
+                return std::nullopt;
+            Affine out;
+            out.constant = var->constant * cst->constant;
+            for (const auto &[v, c] : var->coeffs)
+                out.coeffs[v] = c * cst->constant;
+            return out;
+          }
+          default:
+            return std::nullopt;
+        }
+      }
+      default:
+        return std::nullopt;
+    }
+}
+
+namespace {
+
+bool
+isPowerOfTwo(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** One in-scope unrolled loop. */
+struct UnrollCtx
+{
+    std::string iter;
+    uint64_t factor;
+    /** Scalars declared before this loop (not writable inside it). */
+    std::set<std::string> outer_scalars;
+};
+
+class Checker
+{
+  public:
+    explicit Checker(const Program &p) : prog(p) {}
+
+    void
+    run()
+    {
+        for (const auto &d : prog.decls) {
+            if (memories.count(d.name))
+                fatal("dahlia: duplicate decl ", d.name);
+            if (d.type.dims.size() > 2)
+                fatal("dahlia: at most 2 dimensions supported (", d.name,
+                      ")");
+            int banked = 0;
+            for (size_t i = 0; i < d.type.dims.size(); ++i) {
+                uint64_t dim = d.type.dims[i];
+                uint64_t bank = d.type.banks[i];
+                if (bank > 1) {
+                    ++banked;
+                    if (!isPowerOfTwo(bank))
+                        fatal("dahlia: bank count must be a power of two "
+                              "(memory ",
+                              d.name, ")");
+                    if (dim % bank != 0)
+                        fatal("dahlia: bank count must divide the "
+                              "dimension (memory ",
+                              d.name, ")");
+                }
+            }
+            if (banked > 1)
+                fatal("dahlia: at most one banked dimension (memory ",
+                      d.name, ")");
+            memories[d.name] = d.type;
+        }
+        scopes.emplace_back();
+        stmt(*prog.body);
+    }
+
+  private:
+    const Program &prog;
+    std::map<std::string, Type> memories;
+    std::vector<std::set<std::string>> scopes; // scalar names per scope
+    std::vector<UnrollCtx> unrolls;
+
+    bool
+    scalarDefined(const std::string &name) const
+    {
+        for (const auto &s : scopes) {
+            if (s.count(name))
+                return true;
+        }
+        return false;
+    }
+
+    std::set<std::string>
+    allScalars() const
+    {
+        std::set<std::string> out;
+        for (const auto &s : scopes)
+            out.insert(s.begin(), s.end());
+        return out;
+    }
+
+    void
+    declareScalar(const std::string &name)
+    {
+        if (scopes.back().count(name))
+            fatal("dahlia: duplicate declaration of ", name,
+                  " in the same scope");
+        if (memories.count(name))
+            fatal("dahlia: ", name, " already declared as a memory");
+        scopes.back().insert(name);
+    }
+
+    void
+    access(const Expr &e, bool is_write)
+    {
+        auto mit = memories.find(e.name);
+        if (mit == memories.end())
+            fatal("dahlia: unknown memory ", e.name);
+        const Type &t = mit->second;
+        if (e.indices.size() != t.dims.size())
+            fatal("dahlia: memory ", e.name, " needs ", t.dims.size(),
+                  " indices, got ", e.indices.size());
+
+        for (const auto &u : unrolls) {
+            bool uses_iter = false;
+            for (size_t d = 0; d < e.indices.size(); ++d) {
+                auto aff = affineOf(*e.indices[d]);
+                bool contains = false;
+                if (aff) {
+                    auto cit = aff->coeffs.find(u.iter);
+                    contains =
+                        cit != aff->coeffs.end() && cit->second != 0;
+                } else {
+                    // Non-affine: conservatively assume it may contain
+                    // the iterator if the iterator appears syntactically.
+                    contains = mentions(*e.indices[d], u.iter);
+                    if (contains)
+                        fatal("dahlia: non-affine index on memory ",
+                              e.name, " inside loop unrolled by ",
+                              u.factor);
+                }
+                if (!contains)
+                    continue;
+                uses_iter = true;
+                if (aff->coeffs[u.iter] != 1)
+                    fatal("dahlia: unrolled iterator ", u.iter,
+                          " must have coefficient 1 indexing memory ",
+                          e.name);
+                if (t.banks[d] != u.factor)
+                    fatal("dahlia: memory ", e.name,
+                          " must be banked by the unroll factor ",
+                          u.factor, " on the accessed dimension");
+            }
+            if (!uses_iter && is_write)
+                fatal("dahlia: write to ", e.name,
+                      " aliases across lanes of loop unrolled by ",
+                      u.factor);
+        }
+
+        for (const auto &idx : e.indices)
+            expr(*idx);
+    }
+
+    static bool
+    mentions(const Expr &e, const std::string &name)
+    {
+        switch (e.kind) {
+          case Expr::Kind::Num:
+            return false;
+          case Expr::Kind::Var:
+            return e.name == name;
+          case Expr::Kind::Access: {
+            for (const auto &i : e.indices) {
+                if (mentions(*i, name))
+                    return true;
+            }
+            return false;
+          }
+          case Expr::Kind::Bin:
+            return mentions(*e.lhs, name) || mentions(*e.rhs, name);
+          case Expr::Kind::Sqrt:
+            return mentions(*e.lhs, name);
+        }
+        return false;
+    }
+
+    void
+    expr(const Expr &e)
+    {
+        switch (e.kind) {
+          case Expr::Kind::Num:
+            return;
+          case Expr::Kind::Var:
+            if (!scalarDefined(e.name))
+                fatal("dahlia: unknown variable ", e.name);
+            return;
+          case Expr::Kind::Access:
+            access(e, false);
+            return;
+          case Expr::Kind::Bin:
+            expr(*e.lhs);
+            expr(*e.rhs);
+            return;
+          case Expr::Kind::Sqrt:
+            expr(*e.lhs);
+            return;
+        }
+    }
+
+    void
+    stmt(const Stmt &s)
+    {
+        switch (s.kind) {
+          case Stmt::Kind::Let:
+            if (s.init)
+                expr(*s.init);
+            declareScalar(s.name);
+            return;
+          case Stmt::Kind::Assign: {
+            expr(*s.rhs);
+            if (s.lval->kind == Expr::Kind::Var) {
+                if (!scalarDefined(s.lval->name))
+                    fatal("dahlia: assignment to unknown variable ",
+                          s.lval->name);
+                for (const auto &u : unrolls) {
+                    if (u.outer_scalars.count(s.lval->name))
+                        fatal("dahlia: write to ", s.lval->name,
+                              " declared outside a loop unrolled by ",
+                              u.factor,
+                              " creates a cross-lane dependence");
+                    if (s.lval->name == u.iter)
+                        fatal("dahlia: loop iterator ", u.iter,
+                              " is immutable");
+                }
+            } else {
+                access(*s.lval, true);
+            }
+            return;
+          }
+          case Stmt::Kind::If:
+            expr(*s.cond);
+            pushScope();
+            stmt(*s.body);
+            popScope();
+            if (s.elseBody) {
+                pushScope();
+                stmt(*s.elseBody);
+                popScope();
+            }
+            return;
+          case Stmt::Kind::While:
+            expr(*s.cond);
+            pushScope();
+            stmt(*s.body);
+            popScope();
+            return;
+          case Stmt::Kind::For: {
+            if (s.unroll == 0)
+                fatal("dahlia: unroll factor must be positive");
+            uint64_t trip = s.hi - s.lo;
+            if (s.unroll > 1) {
+                if (!isPowerOfTwo(s.unroll))
+                    fatal("dahlia: unroll factor must be a power of two");
+                if (trip % s.unroll != 0)
+                    fatal("dahlia: unroll factor ", s.unroll,
+                          " must divide trip count ", trip);
+                unrolls.push_back(
+                    UnrollCtx{s.name, s.unroll, allScalars()});
+            }
+            pushScope();
+            declareScalar(s.name);
+            stmt(*s.body);
+            if (s.unroll > 1)
+                unrolls.pop_back();
+            // The combine block reduces lane-local values into outer
+            // state; it runs outside the unrolled context but still
+            // sees the body's scope.
+            if (s.combine)
+                stmt(*s.combine);
+            popScope();
+            return;
+          }
+          case Stmt::Kind::SeqComp:
+          case Stmt::Kind::ParComp:
+            for (const auto &c : s.stmts)
+                stmt(*c);
+            return;
+        }
+    }
+
+    void pushScope() { scopes.emplace_back(); }
+    void popScope() { scopes.pop_back(); }
+};
+
+} // namespace
+
+void
+check(const Program &program)
+{
+    Checker(program).run();
+}
+
+} // namespace calyx::dahlia

@@ -1,0 +1,48 @@
+#ifndef CALYX_FRONTENDS_DAHLIA_CHECKER_H
+#define CALYX_FRONTENDS_DAHLIA_CHECKER_H
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "frontends/dahlia/ast.h"
+
+namespace calyx::dahlia {
+
+/**
+ * Affine view of an index expression: constant + sum of coeff * var.
+ * The bank checker and bank-splitting lowering both rely on it.
+ */
+struct Affine
+{
+    std::map<std::string, int64_t> coeffs;
+    int64_t constant = 0;
+};
+
+/** Affine decomposition, or nullopt for non-affine expressions. */
+std::optional<Affine> affineOf(const Expr &e);
+
+/**
+ * The mini-Dahlia checker: scoping, arity, and the substructural
+ * memory/unroll rules that stand in for Dahlia's affine type system
+ * (paper §6.2). A program that fails these rules is "not expressible"
+ * in Dahlia — the paper's Figure 8 shows missing unrolled bars for
+ * exactly such benchmarks. Rules for a loop unrolled by U:
+ *
+ *  - banked dimensions must have power-of-two bank counts dividing the
+ *    dimension;
+ *  - an index containing the unrolled iterator must be affine with
+ *    coefficient 1 on it, into a dimension banked by exactly U;
+ *  - writes whose indices do not depend on the unrolled iterator would
+ *    alias across lanes and are rejected;
+ *  - scalars declared outside the loop cannot be written inside it
+ *    (loop-carried dependence across lanes);
+ *  - U must divide the trip count.
+ *
+ * Throws Error on violations.
+ */
+void check(const Program &program);
+
+} // namespace calyx::dahlia
+
+#endif // CALYX_FRONTENDS_DAHLIA_CHECKER_H

@@ -1,0 +1,756 @@
+#include "frontends/dahlia/codegen.h"
+
+#include <set>
+
+#include "frontends/dahlia/checker.h"
+#include "frontends/dahlia/lowering.h"
+#include "ir/builder.h"
+#include "support/error.h"
+
+namespace calyx::dahlia {
+
+namespace {
+
+/** Width of an operation over operand widths; 0 means "flexible". */
+Width
+joinWidth(Width a, Width b)
+{
+    return a > b ? a : b;
+}
+
+/** Fold a binary operation the way the hardware computes it. */
+uint64_t
+foldOp(BinOp op, uint64_t a, uint64_t b, Width w)
+{
+    uint64_t v = 0;
+    switch (op) {
+      case BinOp::Add:
+        v = a + b;
+        break;
+      case BinOp::Sub:
+        v = a - b;
+        break;
+      case BinOp::Mul:
+        v = a * b;
+        break;
+      case BinOp::Div:
+        v = b == 0 ? ~uint64_t(0) : a / b;
+        break;
+      case BinOp::Mod:
+        v = b == 0 ? a : a % b;
+        break;
+      case BinOp::Lsh:
+        v = b >= 64 ? 0 : a << b;
+        break;
+      case BinOp::Rsh:
+        v = b >= 64 ? 0 : a >> b;
+        break;
+      case BinOp::And:
+        v = a & b;
+        break;
+      case BinOp::Or:
+        v = a | b;
+        break;
+      case BinOp::Xor:
+        v = a ^ b;
+        break;
+      case BinOp::Lt:
+        return a < b;
+      case BinOp::Gt:
+        return a > b;
+      case BinOp::Le:
+        return a <= b;
+      case BinOp::Ge:
+        return a >= b;
+      case BinOp::Eq:
+        return a == b;
+      case BinOp::Ne:
+        return a != b;
+    }
+    return truncate(v, w == 0 ? 64 : w);
+}
+
+const char *
+combPrim(BinOp op)
+{
+    switch (op) {
+      case BinOp::Add:
+        return "std_add";
+      case BinOp::Sub:
+        return "std_sub";
+      case BinOp::Lsh:
+        return "std_lsh";
+      case BinOp::Rsh:
+        return "std_rsh";
+      case BinOp::And:
+        return "std_and";
+      case BinOp::Or:
+        return "std_or";
+      case BinOp::Xor:
+        return "std_xor";
+      case BinOp::Lt:
+        return "std_lt";
+      case BinOp::Gt:
+        return "std_gt";
+      case BinOp::Le:
+        return "std_le";
+      case BinOp::Ge:
+        return "std_ge";
+      case BinOp::Eq:
+        return "std_eq";
+      case BinOp::Ne:
+        return "std_neq";
+      default:
+        panic("combPrim on sequential op");
+    }
+}
+
+/** Read/write summary of a lowered statement (for `;` parallelism). */
+struct RwSets
+{
+    std::set<std::string> regReads, regWrites;
+    std::set<std::string> memUses; // any access counts (shared ports)
+    std::set<std::string> memWrites;
+};
+
+void
+exprRw(const Expr &e, RwSets &rw)
+{
+    switch (e.kind) {
+      case Expr::Kind::Num:
+        return;
+      case Expr::Kind::Var:
+        rw.regReads.insert(e.name);
+        return;
+      case Expr::Kind::Access:
+        rw.memUses.insert(e.name);
+        for (const auto &i : e.indices)
+            exprRw(*i, rw);
+        return;
+      case Expr::Kind::Bin:
+        exprRw(*e.lhs, rw);
+        exprRw(*e.rhs, rw);
+        return;
+      case Expr::Kind::Sqrt:
+        exprRw(*e.lhs, rw);
+        return;
+    }
+}
+
+void
+stmtRw(const Stmt &s, RwSets &rw)
+{
+    switch (s.kind) {
+      case Stmt::Kind::Let:
+        if (s.init)
+            exprRw(*s.init, rw);
+        rw.regWrites.insert(s.name);
+        return;
+      case Stmt::Kind::Assign:
+        exprRw(*s.rhs, rw);
+        if (s.lval->kind == Expr::Kind::Var) {
+            rw.regWrites.insert(s.lval->name);
+        } else {
+            rw.memUses.insert(s.lval->name);
+            rw.memWrites.insert(s.lval->name);
+            for (const auto &i : s.lval->indices)
+                exprRw(*i, rw);
+        }
+        return;
+      case Stmt::Kind::If:
+        exprRw(*s.cond, rw);
+        stmtRw(*s.body, rw);
+        if (s.elseBody)
+            stmtRw(*s.elseBody, rw);
+        return;
+      case Stmt::Kind::While:
+        exprRw(*s.cond, rw);
+        stmtRw(*s.body, rw);
+        return;
+      case Stmt::Kind::For:
+        panic("codegen on un-lowered For");
+      case Stmt::Kind::SeqComp:
+      case Stmt::Kind::ParComp:
+        for (const auto &c : s.stmts)
+            stmtRw(*c, rw);
+        return;
+    }
+}
+
+bool
+independent(const RwSets &a, const RwSets &b)
+{
+    auto intersects = [](const std::set<std::string> &x,
+                         const std::set<std::string> &y) {
+        for (const auto &v : x) {
+            if (y.count(v))
+                return true;
+        }
+        return false;
+    };
+    // Register dependences always serialize. Memory sharing is decided
+    // separately (read-only sharing uses the second BRAM port).
+    if (intersects(a.regWrites, b.regWrites))
+        return false;
+    if (intersects(a.regWrites, b.regReads))
+        return false;
+    if (intersects(a.regReads, b.regWrites))
+        return false;
+    return true;
+}
+
+class Codegen
+{
+  public:
+    explicit Codegen(const Program &p) : prog(p) {}
+
+    Context
+    run()
+    {
+        Component &main = ctx.addComponent("main");
+        comp = &main;
+
+        for (const auto &d : prog.decls) {
+            std::vector<uint64_t> params;
+            if (d.type.dims.size() == 1) {
+                params = {d.type.width, d.type.dims[0],
+                          bitsNeeded(d.type.dims[0] - 1)};
+                comp->addCell(d.name, "std_mem_d1", params, ctx)
+                    .attrs()
+                    .set(Attributes::externalAttr, 1);
+            } else if (d.type.dims.size() == 2) {
+                params = {d.type.width, d.type.dims[0], d.type.dims[1],
+                          bitsNeeded(d.type.dims[0] - 1),
+                          bitsNeeded(d.type.dims[1] - 1)};
+                comp->addCell(d.name, "std_mem_d2", params, ctx)
+                    .attrs()
+                    .set(Attributes::externalAttr, 1);
+            } else {
+                fatal("dahlia codegen: bad memory rank for ", d.name);
+            }
+            mems[d.name] = d.type;
+        }
+
+        ControlPtr body = stmt(*prog.body);
+        comp->setControl(std::move(body));
+        return std::move(ctx);
+    }
+
+  private:
+    const Program &prog;
+    Context ctx;
+    Component *comp = nullptr;
+    std::map<std::string, Type> mems;
+    std::map<std::string, Width> scalars;
+    /** Preferred read port per memory for the parallel arm being
+     *  compiled (set by ParComp when two arms share a read-only
+     *  memory through the two BRAM ports). */
+    std::map<std::string, int> lanePort;
+
+    /** A compiled expression value: a port (or constant) plus width. */
+    struct Val
+    {
+        bool isConst = false;
+        uint64_t cval = 0;
+        PortRef port;
+        Width width = 0; ///< 0 = flexible constant
+    };
+
+    /** Context while filling one group with combinational logic. */
+    struct GroupCtx
+    {
+        Group *g = nullptr;
+        /// Memory read ports this group already drives ("name#port").
+        std::set<std::string> memsRead;
+        /// Memories whose write port (port 0) is reserved here.
+        std::set<std::string> blocked;
+        /// Sequential pre-steps emitted so far (control to run before).
+        std::vector<ControlPtr> *pre = nullptr;
+    };
+
+    static ControlPtr
+    wrapSeq(std::vector<ControlPtr> steps)
+    {
+        if (steps.empty())
+            return std::make_unique<Empty>();
+        if (steps.size() == 1)
+            return std::move(steps[0]);
+        return std::make_unique<Seq>(std::move(steps));
+    }
+
+    /** Adapt a value to an exact width inside group `g`. Constants and
+     *  wider ports truncate, mirroring hardware slicing. */
+    PortRef
+    fit(const Val &v, Width target, Group &g)
+    {
+        if (v.isConst)
+            return constant(truncate(v.cval, target), target);
+        if (v.width == target)
+            return v.port;
+        const char *prim = v.width < target ? "std_pad" : "std_slice";
+        std::string name =
+            comp->uniqueName(v.width < target ? "pad" : "slc");
+        comp->addCell(name, prim, {v.width, target}, ctx);
+        g.add(cellPort(name, "in"), v.port);
+        return cellPort(name, "out");
+    }
+
+    /** Resolved operation width for two operand values. */
+    static Width
+    opWidth(const Val &l, const Val &r)
+    {
+        Width w = joinWidth(l.width, r.width);
+        if (l.isConst)
+            w = joinWidth(w, bitsNeeded(l.cval));
+        if (r.isConst)
+            w = joinWidth(w, bitsNeeded(r.cval));
+        if (w == 0)
+            w = 32;
+        return w;
+    }
+
+    Val
+    evalExpr(const Expr &e, GroupCtx &gc)
+    {
+        switch (e.kind) {
+          case Expr::Kind::Num: {
+            Val v;
+            v.isConst = true;
+            v.cval = e.value;
+            v.width = 0;
+            return v;
+          }
+          case Expr::Kind::Var: {
+            auto it = scalars.find(e.name);
+            if (it == scalars.end())
+                fatal("dahlia codegen: unknown variable ", e.name);
+            Val v;
+            v.port = cellPort(e.name, "out");
+            v.width = it->second;
+            return v;
+          }
+          case Expr::Kind::Access:
+            return readMemory(e, gc);
+          case Expr::Kind::Bin:
+            return evalBin(e, gc);
+          case Expr::Kind::Sqrt: {
+            // Materialize: sqrt has data-dependent latency (no static).
+            std::string cell = comp->uniqueName("sqrt");
+            comp->addCell(cell, "std_sqrt", {32}, ctx);
+            std::string tmp = comp->uniqueName("t_sqrt");
+            comp->addCell(tmp, "std_reg", {32}, ctx);
+            Group &g = comp->addGroup(comp->uniqueName("do_sqrt"));
+            GroupCtx inner{&g, {}, gc.blocked, gc.pre};
+            Val arg = evalExpr(*e.lhs, inner);
+            g.add(cellPort(cell, "in"), fit(arg, 32, g));
+            g.add(cellPort(cell, "go"), constant(1, 1),
+                  Guard::negate(
+                      Guard::fromPort(cellPort(cell, "done"))));
+            g.add(cellPort(tmp, "in"), cellPort(cell, "out"),
+                  Guard::fromPort(cellPort(cell, "done")));
+            g.add(cellPort(tmp, "write_en"), constant(1, 1),
+                  Guard::fromPort(cellPort(cell, "done")));
+            g.add(g.doneHole(), cellPort(tmp, "done"));
+            gc.pre->push_back(std::make_unique<Enable>(g.name()));
+            Val v;
+            v.port = cellPort(tmp, "out");
+            v.width = 32;
+            return v;
+          }
+        }
+        panic("bad expr kind");
+    }
+
+    /** Evaluate a constant subtree without side effects. */
+    std::optional<Val>
+    tryFold(const Expr &e) const
+    {
+        if (e.kind == Expr::Kind::Num) {
+            Val v;
+            v.isConst = true;
+            v.cval = e.value;
+            v.width = 0;
+            return v;
+        }
+        if (e.kind != Expr::Kind::Bin)
+            return std::nullopt;
+        auto l = tryFold(*e.lhs);
+        auto r = tryFold(*e.rhs);
+        if (!l || !r)
+            return std::nullopt;
+        Val v;
+        v.isConst = true;
+        v.width = joinWidth(l->width, r->width);
+        v.cval = foldOp(e.op, l->cval, r->cval, v.width);
+        return v;
+    }
+
+    Val
+    evalBin(const Expr &e, GroupCtx &gc)
+    {
+        if (auto folded = tryFold(e))
+            return *folded;
+
+        if (isSequentialOp(e.op)) {
+            // Dedicated group computing into a temporary register, with
+            // a "static" annotation (§6.2: multiplies take four cycles).
+            // Operands are evaluated inside the op group so they stay
+            // stable for the whole multi-cycle operation.
+            Group &g = comp->addGroup(comp->uniqueName(
+                e.op == BinOp::Mul ? "do_mul" : "do_div"));
+            GroupCtx inner{&g, {}, gc.blocked, gc.pre};
+            Val li = evalExpr(*e.lhs, inner);
+            Val ri = evalExpr(*e.rhs, inner);
+            Width w = opWidth(li, ri);
+            const char *prim = e.op == BinOp::Mul ? "std_mult_pipe"
+                                                  : "std_div_pipe";
+            const char *out_port =
+                e.op == BinOp::Mul
+                    ? "out"
+                    : (e.op == BinOp::Div ? "out_quotient"
+                                          : "out_remainder");
+            std::string cell = comp->uniqueName(
+                e.op == BinOp::Mul ? "mul" : "div");
+            comp->addCell(cell, prim, {w}, ctx);
+            std::string tmp = comp->uniqueName("t_op");
+            comp->addCell(tmp, "std_reg", {w}, ctx);
+            g.add(cellPort(cell, "left"), fit(li, w, g));
+            g.add(cellPort(cell, "right"), fit(ri, w, g));
+            g.add(cellPort(cell, "go"), constant(1, 1),
+                  Guard::negate(
+                      Guard::fromPort(cellPort(cell, "done"))));
+            g.add(cellPort(tmp, "in"), cellPort(cell, out_port),
+                  Guard::fromPort(cellPort(cell, "done")));
+            g.add(cellPort(tmp, "write_en"), constant(1, 1),
+                  Guard::fromPort(cellPort(cell, "done")));
+            g.add(g.doneHole(), cellPort(tmp, "done"));
+            int64_t latency =
+                (e.op == BinOp::Mul ? multLatency : divLatency) + 1;
+            g.attrs().set(Attributes::staticAttr, latency);
+            gc.pre->push_back(std::make_unique<Enable>(g.name()));
+            Val v;
+            v.port = cellPort(tmp, "out");
+            v.width = w;
+            return v;
+        }
+
+        // Combinational operator cell.
+        Val l = evalExpr(*e.lhs, gc);
+        Val r = evalExpr(*e.rhs, gc);
+        Width w = opWidth(l, r);
+        std::string cell =
+            comp->uniqueName(std::string(combPrim(e.op)).substr(4));
+        comp->addCell(cell, combPrim(e.op), {w}, ctx);
+        Group &g = *gc.g;
+        g.add(cellPort(cell, "left"), fit(l, w, g));
+        g.add(cellPort(cell, "right"), fit(r, w, g));
+        Val v;
+        v.port = cellPort(cell, "out");
+        v.width = isComparison(e.op) ? 1 : w;
+        return v;
+    }
+
+    /** Memory rank helper: address ports and their widths. */
+    struct MemPorts
+    {
+        std::vector<std::string> addr;
+        std::vector<Width> addrWidth;
+        std::string readData;
+    };
+
+    MemPorts
+    memPorts(const std::string &name, int port) const
+    {
+        const Type &t = mems.at(name);
+        MemPorts p;
+        std::string suffix = port == 1 ? "_1" : "";
+        if (t.dims.size() == 1) {
+            p.addr = {"addr0" + suffix};
+            p.addrWidth = {bitsNeeded(t.dims[0] - 1)};
+        } else {
+            p.addr = {"addr0" + suffix, "addr1" + suffix};
+            p.addrWidth = {bitsNeeded(t.dims[0] - 1),
+                           bitsNeeded(t.dims[1] - 1)};
+        }
+        p.readData = "read_data" + suffix;
+        return p;
+    }
+
+    /**
+     * Pick a free read port for `mem` in this group: the lane-preferred
+     * port first, then the other one. Port 0 is unavailable while the
+     * memory is a store target (its address lines carry the write
+     * address). Returns -1 when both ports are taken.
+     */
+    int
+    pickReadPort(const std::string &mem, const GroupCtx &gc) const
+    {
+        int preferred = 0;
+        auto lp = lanePort.find(mem);
+        if (lp != lanePort.end())
+            preferred = lp->second;
+        for (int port : {preferred, 1 - preferred}) {
+            if (port == 0 && gc.blocked.count(mem))
+                continue;
+            if (gc.memsRead.count(mem + "#" + std::to_string(port)))
+                continue;
+            return port;
+        }
+        return -1;
+    }
+
+    Val
+    readMemory(const Expr &e, GroupCtx &gc)
+    {
+        auto it = mems.find(e.name);
+        if (it == mems.end())
+            fatal("dahlia codegen: unknown memory ", e.name);
+        int port = pickReadPort(e.name, gc);
+        if (port < 0) {
+            // Both read ports are taken: materialize the read into a
+            // temporary register as a pre-step.
+            std::string tmp = comp->uniqueName("t_rd");
+            comp->addCell(tmp, "std_reg", {it->second.width}, ctx);
+            Group &g = comp->addGroup(comp->uniqueName("rd"));
+            GroupCtx inner{&g, {}, {}, gc.pre};
+            int inner_port = pickReadPort(e.name, inner);
+            MemPorts p = memPorts(e.name, inner_port);
+            driveAddress(e, inner, inner_port);
+            g.add(cellPort(tmp, "in"), cellPort(e.name, p.readData));
+            g.add(cellPort(tmp, "write_en"), constant(1, 1));
+            g.add(g.doneHole(), cellPort(tmp, "done"));
+            g.attrs().set(Attributes::staticAttr, 1);
+            gc.pre->push_back(std::make_unique<Enable>(g.name()));
+            Val v;
+            v.port = cellPort(tmp, "out");
+            v.width = it->second.width;
+            return v;
+        }
+        driveAddress(e, gc, port);
+        gc.memsRead.insert(e.name + "#" + std::to_string(port));
+        Val v;
+        v.port = cellPort(e.name, memPorts(e.name, port).readData);
+        v.width = it->second.width;
+        return v;
+    }
+
+    void
+    driveAddress(const Expr &e, GroupCtx &gc, int port)
+    {
+        MemPorts p = memPorts(e.name, port);
+        for (size_t d = 0; d < e.indices.size(); ++d) {
+            Val idx = evalExpr(*e.indices[d], gc);
+            gc.g->add(cellPort(e.name, p.addr[d]),
+                      fit(idx, p.addrWidth[d], *gc.g));
+        }
+    }
+
+    /** Compile `reg := expr` into pre-steps plus one update group. */
+    ControlPtr
+    regWrite(const std::string &reg, Width width, const Expr *value)
+    {
+        std::vector<ControlPtr> pre;
+        Group &g = comp->addGroup(comp->uniqueName("upd"));
+        GroupCtx gc{&g, {}, {}, &pre};
+        Val v;
+        if (value) {
+            v = evalExpr(*value, gc);
+        } else {
+            v.isConst = true;
+            v.cval = 0;
+        }
+        g.add(cellPort(reg, "in"), fit(v, width, g));
+        g.add(cellPort(reg, "write_en"), constant(1, 1));
+        g.add(g.doneHole(), cellPort(reg, "done"));
+        g.attrs().set(Attributes::staticAttr, 1);
+        pre.push_back(std::make_unique<Enable>(g.name()));
+        return wrapSeq(std::move(pre));
+    }
+
+    /** Compile a condition into (pre-steps, 1-bit port, comb group). */
+    struct CondParts
+    {
+        std::vector<ControlPtr> pre;
+        PortRef port;
+        std::string group;
+    };
+
+    CondParts
+    compileCond(const Expr &cond)
+    {
+        CondParts parts;
+        Group &g = comp->addGroup(comp->uniqueName("cond"));
+        GroupCtx gc{&g, {}, {}, &parts.pre};
+        Val v = evalExpr(cond, gc);
+        if (v.isConst) {
+            // Constant condition: route through a 1-bit comparator so
+            // control still has a port to read.
+            std::string cell = comp->uniqueName("const_cond");
+            comp->addCell(cell, "std_eq", {1}, ctx);
+            g.add(cellPort(cell, "left"),
+                  constant(v.cval != 0 ? 1 : 0, 1));
+            g.add(cellPort(cell, "right"), constant(1, 1));
+            parts.port = cellPort(cell, "out");
+        } else if (v.width == 1) {
+            parts.port = v.port;
+        } else {
+            std::string cell = comp->uniqueName("nz");
+            comp->addCell(cell, "std_neq", {v.width}, ctx);
+            g.add(cellPort(cell, "left"), v.port);
+            g.add(cellPort(cell, "right"), constant(0, v.width));
+            parts.port = cellPort(cell, "out");
+        }
+        g.add(g.doneHole(), constant(1, 1));
+        parts.group = g.name();
+        return parts;
+    }
+
+    ControlPtr
+    stmt(const Stmt &s)
+    {
+        switch (s.kind) {
+          case Stmt::Kind::Let: {
+            if (scalars.count(s.name))
+                fatal("dahlia codegen: duplicate register ", s.name);
+            scalars[s.name] = s.type.width;
+            comp->addCell(s.name, "std_reg", {s.type.width}, ctx);
+            return regWrite(s.name, s.type.width, s.init.get());
+          }
+          case Stmt::Kind::Assign: {
+            if (s.lval->kind == Expr::Kind::Var) {
+                auto it = scalars.find(s.lval->name);
+                if (it == scalars.end())
+                    fatal("dahlia codegen: unknown variable ",
+                          s.lval->name);
+                return regWrite(s.lval->name, it->second, s.rhs.get());
+            }
+            // Memory store (write port is always port 0).
+            const std::string &mem = s.lval->name;
+            std::vector<ControlPtr> pre;
+            Group &g = comp->addGroup(comp->uniqueName("st"));
+            GroupCtx gc{&g, {}, {mem}, &pre};
+            Val v = evalExpr(*s.rhs, gc);
+            driveAddress(*s.lval, gc, 0);
+            g.add(cellPort(mem, "write_data"),
+                  fit(v, mems.at(mem).width, g));
+            g.add(cellPort(mem, "write_en"), constant(1, 1));
+            g.add(g.doneHole(), cellPort(mem, "done"));
+            g.attrs().set(Attributes::staticAttr, 1);
+            pre.push_back(std::make_unique<Enable>(g.name()));
+            return wrapSeq(std::move(pre));
+          }
+          case Stmt::Kind::If: {
+            CondParts cond = compileCond(*s.cond);
+            ControlPtr t = stmt(*s.body);
+            ControlPtr f = s.elseBody ? stmt(*s.elseBody)
+                                      : std::make_unique<Empty>();
+            ControlPtr node = std::make_unique<If>(
+                cond.port, cond.group, std::move(t), std::move(f));
+            std::vector<ControlPtr> steps = std::move(cond.pre);
+            steps.push_back(std::move(node));
+            return wrapSeq(std::move(steps));
+          }
+          case Stmt::Kind::While: {
+            CondParts cond = compileCond(*s.cond);
+            ControlPtr body = stmt(*s.body);
+            if (!cond.pre.empty()) {
+                // Sequential work inside the condition re-runs after
+                // every iteration.
+                std::vector<ControlPtr> repeated;
+                repeated.push_back(std::move(body));
+                for (const auto &c : cond.pre)
+                    repeated.push_back(c->clone());
+                body = wrapSeq(std::move(repeated));
+            }
+            ControlPtr node = std::make_unique<While>(
+                cond.port, cond.group, std::move(body));
+            std::vector<ControlPtr> steps = std::move(cond.pre);
+            steps.push_back(std::move(node));
+            return wrapSeq(std::move(steps));
+          }
+          case Stmt::Kind::For:
+            fatal("dahlia codegen: For must be lowered first");
+          case Stmt::Kind::SeqComp: {
+            std::vector<ControlPtr> steps;
+            for (const auto &c : s.stmts)
+                steps.push_back(stmt(*c));
+            return wrapSeq(std::move(steps));
+          }
+          case Stmt::Kind::ParComp: {
+            // Unordered composition: parallel when independent
+            // (paper §6.2 "preserving data flow"). Registers must be
+            // disjoint; memories may be shared read-only by up to two
+            // arms through the two BRAM read ports.
+            size_t n = s.stmts.size();
+            std::vector<RwSets> rw(n);
+            for (size_t i = 0; i < n; ++i)
+                stmtRw(*s.stmts[i], rw[i]);
+
+            bool parallel = true;
+            for (size_t i = 0; i < n && parallel; ++i) {
+                for (size_t j = i + 1; j < n; ++j) {
+                    if (!independent(rw[i], rw[j])) {
+                        parallel = false;
+                        break;
+                    }
+                }
+            }
+            // Shared read-only memories: count the arms touching each.
+            std::map<std::string, std::vector<size_t>> mem_users;
+            if (parallel) {
+                for (size_t i = 0; i < n; ++i)
+                    for (const auto &m : rw[i].memUses)
+                        mem_users[m].push_back(i);
+                for (const auto &[m, users] : mem_users) {
+                    if (users.size() < 2)
+                        continue;
+                    bool written = false;
+                    for (size_t i : users)
+                        written = written || rw[i].memWrites.count(m);
+                    if (written || users.size() > 2) {
+                        parallel = false;
+                        break;
+                    }
+                }
+            }
+
+            std::vector<ControlPtr> steps;
+            for (size_t i = 0; i < n; ++i) {
+                std::map<std::string, int> saved = lanePort;
+                if (parallel) {
+                    for (const auto &[m, users] : mem_users) {
+                        if (users.size() == 2 && users[1] == i)
+                            lanePort[m] = 1;
+                    }
+                }
+                steps.push_back(stmt(*s.stmts[i]));
+                lanePort = std::move(saved);
+            }
+            if (!parallel)
+                return wrapSeq(std::move(steps));
+            if (steps.size() == 1)
+                return std::move(steps[0]);
+            return std::make_unique<Par>(std::move(steps));
+        }
+        }
+        panic("bad stmt kind");
+    }
+};
+
+} // namespace
+
+Context
+codegen(const Program &lowered)
+{
+    return Codegen(lowered).run();
+}
+
+Context
+compileDahlia(const Program &program)
+{
+    check(program);
+    Program lowered = lower(program);
+    return codegen(lowered);
+}
+
+} // namespace calyx::dahlia

@@ -1,0 +1,37 @@
+#ifndef CALYX_FRONTENDS_DAHLIA_CODEGEN_H
+#define CALYX_FRONTENDS_DAHLIA_CODEGEN_H
+
+#include "frontends/dahlia/ast.h"
+#include "ir/context.h"
+
+namespace calyx::dahlia {
+
+/**
+ * The Dahlia-to-Calyx backend (paper §6.2): a bottom-up pass with a
+ * one-to-one construct mapping —
+ *
+ *  - memory/variable assignments become groups performing the update,
+ *  - ordered composition (`---`) becomes `seq`,
+ *  - unordered composition (`;`) becomes `par` when the statements'
+ *    read/write sets are independent (including memory port usage) and
+ *    `seq` otherwise, preserving data flow,
+ *  - loops and conditionals map to `while` and `if` with combinational
+ *    condition groups,
+ *  - multiplies, divides and square roots become their own groups
+ *    computing into temporary registers; multiply/divide groups carry
+ *    "static" latency annotations, sqrt does not (its latency is
+ *    data-dependent), exercising mixed latency-(in)sensitive
+ *    compilation.
+ *
+ * Expects a *lowered* program (no For statements, no banks). Builds the
+ * "main" component; `decl` memories become cells marked "external" whose
+ * contents test harnesses poke and peek.
+ */
+Context codegen(const Program &lowered);
+
+/** check + lower + codegen in one step. */
+Context compileDahlia(const Program &program);
+
+} // namespace calyx::dahlia
+
+#endif // CALYX_FRONTENDS_DAHLIA_CODEGEN_H

@@ -1,0 +1,238 @@
+#include "frontends/dahlia/interp.h"
+
+#include "sim/models.h" // isqrt
+#include "support/error.h"
+
+namespace calyx::dahlia {
+
+namespace {
+
+Width
+joinWidth(Width a, Width b)
+{
+    return a > b ? a : b;
+}
+
+uint64_t
+foldOp(BinOp op, uint64_t a, uint64_t b, Width w)
+{
+    uint64_t v = 0;
+    switch (op) {
+      case BinOp::Add:
+        v = a + b;
+        break;
+      case BinOp::Sub:
+        v = a - b;
+        break;
+      case BinOp::Mul:
+        v = a * b;
+        break;
+      case BinOp::Div:
+        v = b == 0 ? ~uint64_t(0) : a / b;
+        break;
+      case BinOp::Mod:
+        v = b == 0 ? a : a % b;
+        break;
+      case BinOp::Lsh:
+        v = b >= 64 ? 0 : a << b;
+        break;
+      case BinOp::Rsh:
+        v = b >= 64 ? 0 : a >> b;
+        break;
+      case BinOp::And:
+        v = a & b;
+        break;
+      case BinOp::Or:
+        v = a | b;
+        break;
+      case BinOp::Xor:
+        v = a ^ b;
+        break;
+      case BinOp::Lt:
+        return a < b;
+      case BinOp::Gt:
+        return a > b;
+      case BinOp::Le:
+        return a <= b;
+      case BinOp::Ge:
+        return a >= b;
+      case BinOp::Eq:
+        return a == b;
+      case BinOp::Ne:
+        return a != b;
+    }
+    return truncate(v, w == 0 ? 64 : w);
+}
+
+} // namespace
+
+AstInterp::AstInterp(const Program &program) : prog(&program)
+{
+    for (const auto &d : program.decls) {
+        Mem m;
+        m.type = d.type;
+        m.data.assign(d.type.totalSize(), 0);
+        mems[d.name] = std::move(m);
+    }
+}
+
+void
+AstInterp::pokeMemory(const std::string &name,
+                      const std::vector<uint64_t> &data)
+{
+    auto it = mems.find(name);
+    if (it == mems.end())
+        fatal("dahlia interp: unknown memory ", name);
+    if (data.size() != it->second.data.size())
+        fatal("dahlia interp: size mismatch poking ", name);
+    for (size_t i = 0; i < data.size(); ++i)
+        it->second.data[i] = truncate(data[i], it->second.type.width);
+}
+
+const std::vector<uint64_t> &
+AstInterp::memory(const std::string &name) const
+{
+    auto it = mems.find(name);
+    if (it == mems.end())
+        fatal("dahlia interp: unknown memory ", name);
+    return it->second.data;
+}
+
+uint64_t
+AstInterp::memIndex(const Mem &m, const Expr &access, bool for_write)
+{
+    // Mirror the hardware: each index is truncated to the address-port
+    // width; the flat address of an out-of-bounds read yields 0 and an
+    // out-of-bounds write is an error.
+    uint64_t flat = 0;
+    for (size_t d = 0; d < access.indices.size(); ++d) {
+        Value idx = eval(*access.indices[d]);
+        Width addr_w = bitsNeeded(m.type.dims[d] - 1);
+        uint64_t a = truncate(idx.v, addr_w);
+        flat = flat * m.type.dims[d] + a;
+    }
+    if (flat >= m.data.size()) {
+        if (for_write)
+            fatal("dahlia interp: out-of-bounds write to ", access.name);
+        return m.data.size(); // sentinel: read as 0
+    }
+    return flat;
+}
+
+AstInterp::Value
+AstInterp::eval(const Expr &e)
+{
+    switch (e.kind) {
+      case Expr::Kind::Num:
+        return Value{e.value, 0};
+      case Expr::Kind::Var: {
+        auto it = regs.find(e.name);
+        if (it == regs.end())
+            fatal("dahlia interp: unknown variable ", e.name);
+        return it->second;
+      }
+      case Expr::Kind::Access: {
+        auto it = mems.find(e.name);
+        if (it == mems.end())
+            fatal("dahlia interp: unknown memory ", e.name);
+        uint64_t flat = memIndex(it->second, e, false);
+        uint64_t v =
+            flat >= it->second.data.size() ? 0 : it->second.data[flat];
+        return Value{v, it->second.type.width};
+      }
+      case Expr::Kind::Bin: {
+        Value l = eval(*e.lhs);
+        Value r = eval(*e.rhs);
+        if (l.width == 0 && r.width == 0) {
+            // Constant folding stays flexible (mirrors tryFold).
+            return Value{foldOp(e.op, l.v, r.v, 0),
+                         static_cast<Width>(0)};
+        }
+        // Mirror codegen::opWidth: literals contribute their magnitude.
+        Width w = joinWidth(l.width, r.width);
+        if (l.width == 0)
+            w = joinWidth(w, bitsNeeded(l.v));
+        if (r.width == 0)
+            w = joinWidth(w, bitsNeeded(r.v));
+        uint64_t a = truncate(l.v, w);
+        uint64_t b = truncate(r.v, w);
+        uint64_t v = foldOp(e.op, a, b, w);
+        return Value{v, isComparison(e.op) ? Width(1) : w};
+      }
+      case Expr::Kind::Sqrt: {
+        Value a = eval(*e.lhs);
+        return Value{sim::isqrt(truncate(a.v, 32)), 32};
+      }
+    }
+    panic("bad expr kind");
+}
+
+void
+AstInterp::exec(const Stmt &s)
+{
+    switch (s.kind) {
+      case Stmt::Kind::Let: {
+        uint64_t v = 0;
+        if (s.init)
+            v = eval(*s.init).v;
+        regs[s.name] = Value{truncate(v, s.type.width), s.type.width};
+        return;
+      }
+      case Stmt::Kind::Assign: {
+        Value v = eval(*s.rhs);
+        if (s.lval->kind == Expr::Kind::Var) {
+            auto it = regs.find(s.lval->name);
+            if (it == regs.end())
+                fatal("dahlia interp: unknown variable ", s.lval->name);
+            it->second.v = truncate(v.v, it->second.width);
+        } else {
+            auto it = mems.find(s.lval->name);
+            if (it == mems.end())
+                fatal("dahlia interp: unknown memory ", s.lval->name);
+            uint64_t flat = memIndex(it->second, *s.lval, true);
+            it->second.data[flat] = truncate(v.v, it->second.type.width);
+        }
+        return;
+      }
+      case Stmt::Kind::If: {
+        if (eval(*s.cond).v != 0)
+            exec(*s.body);
+        else if (s.elseBody)
+            exec(*s.elseBody);
+        return;
+      }
+      case Stmt::Kind::While: {
+        while (eval(*s.cond).v != 0)
+            exec(*s.body);
+        return;
+      }
+      case Stmt::Kind::For: {
+        for (uint64_t i = s.lo; i < s.hi; ++i) {
+            regs[s.name] =
+                Value{truncate(i, s.type.width), s.type.width};
+            exec(*s.body);
+            // Additive combine blocks may legally run per iteration
+            // instead of per unrolled group.
+            if (s.combine)
+                exec(*s.combine);
+        }
+        regs.erase(s.name);
+        return;
+      }
+      case Stmt::Kind::SeqComp:
+      case Stmt::Kind::ParComp:
+        // Source order is a legal serialization of `;`.
+        for (const auto &c : s.stmts)
+            exec(*c);
+        return;
+    }
+}
+
+void
+AstInterp::run()
+{
+    regs.clear();
+    exec(*prog->body);
+}
+
+} // namespace calyx::dahlia

@@ -1,0 +1,64 @@
+#ifndef CALYX_FRONTENDS_DAHLIA_INTERP_H
+#define CALYX_FRONTENDS_DAHLIA_INTERP_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "frontends/dahlia/ast.h"
+
+namespace calyx::dahlia {
+
+/**
+ * Reference interpreter for mini-Dahlia programs: the software oracle
+ * the compiled hardware is tested against. Executes the *original*
+ * (un-lowered) AST sequentially; `;` composition runs in source order,
+ * which is a legal serialization of Dahlia's unordered semantics.
+ *
+ * Width handling mirrors the Calyx backend exactly: literals are
+ * flexible until joined with a typed operand, operations evaluate at
+ * the joined width, comparisons produce one bit, division by zero
+ * yields all-ones quotient and the dividend as remainder (the same
+ * deterministic convention as std_div_pipe).
+ */
+class AstInterp
+{
+  public:
+    explicit AstInterp(const Program &program);
+
+    /** Set a memory's initial contents (row-major for 2-D). */
+    void pokeMemory(const std::string &name,
+                    const std::vector<uint64_t> &data);
+
+    /** Run the program body. */
+    void run();
+
+    /** Memory contents after (or before) running. */
+    const std::vector<uint64_t> &memory(const std::string &name) const;
+
+  private:
+    struct Value
+    {
+        uint64_t v = 0;
+        Width width = 0; ///< 0 = flexible literal
+    };
+
+    struct Mem
+    {
+        Type type;
+        std::vector<uint64_t> data;
+    };
+
+    Value eval(const Expr &e);
+    uint64_t memIndex(const Mem &m, const Expr &access, bool for_write);
+    void exec(const Stmt &s);
+
+    const Program *prog;
+    std::map<std::string, Mem> mems;
+    std::map<std::string, Value> regs;
+};
+
+} // namespace calyx::dahlia
+
+#endif // CALYX_FRONTENDS_DAHLIA_INTERP_H

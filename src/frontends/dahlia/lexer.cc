@@ -1,0 +1,100 @@
+#include "frontends/dahlia/lexer.h"
+
+#include <cctype>
+
+#include "support/error.h"
+
+namespace calyx::dahlia {
+
+std::vector<Token>
+tokenize(const std::string &src)
+{
+    std::vector<Token> out;
+    size_t pos = 0;
+    int line = 1;
+
+    auto push = [&out, &line](Tok kind, std::string text,
+                              uint64_t number = 0) {
+        Token t;
+        t.kind = kind;
+        t.text = std::move(text);
+        t.number = number;
+        t.line = line;
+        out.push_back(std::move(t));
+    };
+
+    while (pos < src.size()) {
+        char c = src[pos];
+        if (c == '\n') {
+            ++line;
+            ++pos;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++pos;
+            continue;
+        }
+        if (c == '/' && pos + 1 < src.size() && src[pos + 1] == '/') {
+            while (pos < src.size() && src[pos] != '\n')
+                ++pos;
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            size_t start = pos;
+            while (pos < src.size() &&
+                   (std::isalnum(static_cast<unsigned char>(src[pos])) ||
+                    src[pos] == '_')) {
+                ++pos;
+            }
+            push(Tok::Ident, src.substr(start, pos - start));
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            uint64_t v = 0;
+            while (pos < src.size() &&
+                   std::isdigit(static_cast<unsigned char>(src[pos]))) {
+                v = v * 10 + (src[pos] - '0');
+                ++pos;
+            }
+            push(Tok::Number, std::to_string(v), v);
+            continue;
+        }
+        // Multi-character operators (longest match first).
+        static const char *three_char[] = {"---"};
+        static const char *two_char[] = {":=", "..", "<<", ">>", "==",
+                                         "!=", "<=", ">=", "&&", "||"};
+        bool matched = false;
+        for (const char *s : three_char) {
+            if (src.compare(pos, 3, s) == 0) {
+                push(Tok::Symbol, s);
+                pos += 3;
+                matched = true;
+                break;
+            }
+        }
+        if (matched)
+            continue;
+        for (const char *s : two_char) {
+            if (src.compare(pos, 2, s) == 0) {
+                push(Tok::Symbol, s);
+                pos += 2;
+                matched = true;
+                break;
+            }
+        }
+        if (matched)
+            continue;
+        static const std::string singles = "()[]{}<>=+-*/%;:,.&|^!";
+        if (singles.find(c) != std::string::npos) {
+            push(Tok::Symbol, std::string(1, c));
+            ++pos;
+            continue;
+        }
+        fatal("dahlia: unexpected character '", std::string(1, c),
+              "' at line ", line);
+    }
+    push(Tok::End, "<eof>");
+    return out;
+}
+
+} // namespace calyx::dahlia

@@ -1,0 +1,31 @@
+#ifndef CALYX_FRONTENDS_DAHLIA_LEXER_H
+#define CALYX_FRONTENDS_DAHLIA_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace calyx::dahlia {
+
+/** Token kinds of mini-Dahlia. */
+enum class Tok {
+    Ident,
+    Number,
+    Symbol, // punctuation / operators, spelling in `text`
+    End,
+};
+
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;
+    uint64_t number = 0;
+    int line = 1;
+};
+
+/** Tokenize mini-Dahlia source. Throws Error on bad characters. */
+std::vector<Token> tokenize(const std::string &source);
+
+} // namespace calyx::dahlia
+
+#endif // CALYX_FRONTENDS_DAHLIA_LEXER_H

@@ -1,0 +1,363 @@
+#include "frontends/dahlia/lowering.h"
+
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "frontends/dahlia/checker.h"
+#include "support/error.h"
+
+namespace calyx::dahlia {
+
+namespace {
+
+uint64_t
+log2u(uint64_t v)
+{
+    uint64_t l = 0;
+    while ((uint64_t(1) << l) < v)
+        ++l;
+    return l;
+}
+
+/** Stride/phase knowledge about an iterator register. */
+struct IterInfo
+{
+    uint64_t modulus = 1; ///< iterator ≡ residue (mod modulus)
+    uint64_t residue = 0;
+};
+
+class LoweringPass
+{
+  public:
+    explicit LoweringPass(const Program &p) : src(p) {}
+
+    Program
+    run()
+    {
+        Program out;
+        for (const auto &d : src.decls) {
+            memories[d.name] = d.type;
+            uint64_t bank = 1;
+            size_t banked_dim = 0;
+            for (size_t i = 0; i < d.type.banks.size(); ++i) {
+                if (d.type.banks[i] > 1) {
+                    bank = d.type.banks[i];
+                    banked_dim = i;
+                }
+            }
+            if (bank == 1) {
+                Decl nd = d;
+                for (auto &b : nd.type.banks)
+                    b = 1;
+                out.decls.push_back(nd);
+            } else {
+                for (uint64_t b = 0; b < bank; ++b) {
+                    Decl nd;
+                    nd.name = bankName(d.name, b);
+                    nd.type = d.type;
+                    nd.type.dims[banked_dim] /= bank;
+                    for (auto &bk : nd.type.banks)
+                        bk = 1;
+                    out.decls.push_back(nd);
+                }
+            }
+        }
+        scopes.emplace_back();
+        out.body = stmt(*src.body);
+        return out;
+    }
+
+  private:
+    const Program &src;
+    std::map<std::string, Type> memories;
+    std::map<std::string, IterInfo> iters; // by lowered name
+    std::vector<std::map<std::string, std::string>> scopes;
+    /** Active lane rename maps while lowering a combine block. */
+    const std::vector<std::map<std::string, std::string>> *combineLanes =
+        nullptr;
+    int counter = 0;
+
+    static std::string
+    bankName(const std::string &mem, uint64_t bank)
+    {
+        return mem + "_b" + std::to_string(bank);
+    }
+
+    std::string
+    fresh(const std::string &base)
+    {
+        return base + "_" + std::to_string(counter++);
+    }
+
+    std::string
+    resolve(const std::string &name) const
+    {
+        for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+            auto found = it->find(name);
+            if (found != it->end())
+                return found->second;
+        }
+        return name;
+    }
+
+    std::string
+    declare(const std::string &name)
+    {
+        std::string lowered = fresh(name);
+        scopes.back()[name] = lowered;
+        return lowered;
+    }
+
+    /**
+     * Evaluate `aff mod m` using iterator stride knowledge, or nullopt.
+     */
+    std::optional<uint64_t>
+    affineMod(const Affine &aff, uint64_t m) const
+    {
+        int64_t total = aff.constant;
+        for (const auto &[var, coeff] : aff.coeffs) {
+            auto it = iters.find(var);
+            uint64_t modulus = it != iters.end() ? it->second.modulus : 1;
+            uint64_t residue = it != iters.end() ? it->second.residue : 0;
+            // coeff * var mod m is known iff coeff * modulus ≡ 0 (mod m).
+            if ((static_cast<uint64_t>(std::abs(coeff)) * modulus) % m !=
+                0) {
+                return std::nullopt;
+            }
+            total += coeff * static_cast<int64_t>(residue);
+        }
+        int64_t r = total % static_cast<int64_t>(m);
+        if (r < 0)
+            r += static_cast<int64_t>(m);
+        return static_cast<uint64_t>(r);
+    }
+
+    ExprPtr
+    expr(const Expr &e)
+    {
+        switch (e.kind) {
+          case Expr::Kind::Num:
+            return Expr::num(e.value);
+          case Expr::Kind::Var:
+            if (combineLanes) {
+                auto lane0 = (*combineLanes)[0].find(e.name);
+                if (lane0 != (*combineLanes)[0].end()) {
+                    // Sum of the per-lane copies.
+                    ExprPtr sum = Expr::var(lane0->second);
+                    for (size_t u = 1; u < combineLanes->size(); ++u) {
+                        sum = Expr::bin(
+                            BinOp::Add, std::move(sum),
+                            Expr::var((*combineLanes)[u].at(e.name)));
+                    }
+                    return sum;
+                }
+            }
+            return Expr::var(resolve(e.name));
+          case Expr::Kind::Bin:
+            return Expr::bin(e.op, expr(*e.lhs), expr(*e.rhs));
+          case Expr::Kind::Sqrt:
+            return Expr::sqrt(expr(*e.lhs));
+          case Expr::Kind::Access:
+            return access(e);
+        }
+        panic("bad expr kind");
+    }
+
+    ExprPtr
+    access(const Expr &e)
+    {
+        auto mit = memories.find(e.name);
+        if (mit == memories.end())
+            fatal("dahlia lowering: unknown memory ", e.name);
+        const Type &t = mit->second;
+
+        uint64_t bank = 1;
+        size_t banked_dim = 0;
+        for (size_t i = 0; i < t.banks.size(); ++i) {
+            if (t.banks[i] > 1) {
+                bank = t.banks[i];
+                banked_dim = i;
+            }
+        }
+
+        std::vector<ExprPtr> idx;
+        for (const auto &i : e.indices)
+            idx.push_back(expr(*i));
+
+        if (bank == 1)
+            return Expr::access(e.name, std::move(idx));
+
+        auto aff = affineOf(*idx[banked_dim]);
+        if (!aff)
+            fatal("dahlia lowering: non-affine banked index on ", e.name);
+        auto r = affineMod(*aff, bank);
+        if (!r)
+            fatal("dahlia lowering: cannot statically resolve bank of ",
+                  e.name);
+        idx[banked_dim] = Expr::bin(BinOp::Rsh, std::move(idx[banked_dim]),
+                                    Expr::num(log2u(bank)));
+        return Expr::access(bankName(e.name, *r), std::move(idx));
+    }
+
+    StmtPtr
+    stmt(const Stmt &s)
+    {
+        switch (s.kind) {
+          case Stmt::Kind::Let: {
+            ExprPtr init = s.init ? expr(*s.init) : nullptr;
+            std::string lowered = declare(s.name);
+            return Stmt::let(lowered, s.type, std::move(init));
+          }
+          case Stmt::Kind::Assign: {
+            ExprPtr rhs = expr(*s.rhs);
+            ExprPtr lval = s.lval->kind == Expr::Kind::Var
+                               ? Expr::var(resolve(s.lval->name))
+                               : access(*s.lval);
+            return Stmt::assign(std::move(lval), std::move(rhs));
+          }
+          case Stmt::Kind::If: {
+            ExprPtr cond = expr(*s.cond);
+            scopes.emplace_back();
+            StmtPtr t = stmt(*s.body);
+            scopes.pop_back();
+            StmtPtr f;
+            if (s.elseBody) {
+                scopes.emplace_back();
+                f = stmt(*s.elseBody);
+                scopes.pop_back();
+            }
+            return Stmt::ifStmt(std::move(cond), std::move(t),
+                                std::move(f));
+          }
+          case Stmt::Kind::While: {
+            ExprPtr cond = expr(*s.cond);
+            scopes.emplace_back();
+            StmtPtr body = stmt(*s.body);
+            scopes.pop_back();
+            return Stmt::whileStmt(std::move(cond), std::move(body));
+          }
+          case Stmt::Kind::For:
+            return lowerFor(s);
+          case Stmt::Kind::SeqComp:
+          case Stmt::Kind::ParComp: {
+            std::vector<StmtPtr> out;
+            for (const auto &c : s.stmts)
+                out.push_back(stmt(*c));
+            return s.kind == Stmt::Kind::SeqComp
+                       ? Stmt::seq(std::move(out))
+                       : Stmt::par(std::move(out));
+          }
+        }
+        panic("bad stmt kind");
+    }
+
+    StmtPtr
+    lowerFor(const Stmt &s)
+    {
+        uint64_t unroll = std::max<uint64_t>(1, s.unroll);
+        scopes.emplace_back();
+        std::string it = declare(s.name);
+        iters[it] =
+            IterInfo{unroll, unroll > 1 ? s.lo % unroll : uint64_t(0)};
+
+        // Lanes: substitute `i -> i + u` at the source level *before*
+        // lowering so bank resolution sees each lane's true offset,
+        // then lower each lane in its own scope (lane-local lets get
+        // fresh names automatically).
+        std::vector<StmtPtr> lanes;
+        std::vector<std::map<std::string, std::string>> lane_maps;
+        for (uint64_t u = 0; u < unroll; ++u) {
+            StmtPtr lane_src = s.body->clone();
+            if (u > 0)
+                rewriteStmt(*lane_src, s.name, u);
+            scopes.emplace_back();
+            lanes.push_back(stmt(*lane_src));
+            lane_maps.push_back(scopes.back());
+            scopes.pop_back();
+        }
+
+        StmtPtr body = unroll == 1 ? std::move(lanes[0])
+                                   : Stmt::par(std::move(lanes));
+
+        // while (it < hi) { body --- combine --- it := it + U }
+        std::vector<StmtPtr> loop_body;
+        loop_body.push_back(std::move(body));
+        if (s.combine) {
+            // Lane-local values referenced in the combine block expand
+            // to the sum over all lanes (additive reductions).
+            combineLanes = &lane_maps;
+            scopes.emplace_back();
+            loop_body.push_back(stmt(*s.combine));
+            scopes.pop_back();
+            combineLanes = nullptr;
+        }
+        iters.erase(it);
+        scopes.pop_back();
+        loop_body.push_back(Stmt::assign(
+            Expr::var(it),
+            Expr::bin(BinOp::Add, Expr::var(it), Expr::num(unroll))));
+        StmtPtr loop = Stmt::whileStmt(
+            Expr::bin(BinOp::Lt, Expr::var(it), Expr::num(s.hi)),
+            Stmt::seq(std::move(loop_body)));
+
+        std::vector<StmtPtr> out;
+        out.push_back(Stmt::let(it, s.type, Expr::num(s.lo)));
+        out.push_back(std::move(loop));
+        return Stmt::seq(std::move(out));
+    }
+
+    static void
+    rewriteExpr(ExprPtr &e, const std::string &it, uint64_t u)
+    {
+        switch (e->kind) {
+          case Expr::Kind::Num:
+            return;
+          case Expr::Kind::Var:
+            if (e->name == it) {
+                e = Expr::bin(BinOp::Add, Expr::var(it), Expr::num(u));
+            }
+            return;
+          case Expr::Kind::Access:
+            for (auto &i : e->indices)
+                rewriteExpr(i, it, u);
+            return;
+          case Expr::Kind::Bin:
+            rewriteExpr(e->lhs, it, u);
+            rewriteExpr(e->rhs, it, u);
+            return;
+          case Expr::Kind::Sqrt:
+            rewriteExpr(e->lhs, it, u);
+            return;
+        }
+    }
+
+    static void
+    rewriteStmt(Stmt &s, const std::string &it, uint64_t u)
+    {
+        if (s.init)
+            rewriteExpr(s.init, it, u);
+        if (s.lval)
+            rewriteExpr(s.lval, it, u);
+        if (s.rhs)
+            rewriteExpr(s.rhs, it, u);
+        if (s.cond)
+            rewriteExpr(s.cond, it, u);
+        if (s.body)
+            rewriteStmt(*s.body, it, u);
+        if (s.elseBody)
+            rewriteStmt(*s.elseBody, it, u);
+        for (auto &c : s.stmts)
+            rewriteStmt(*c, it, u);
+    }
+};
+
+} // namespace
+
+Program
+lower(const Program &program)
+{
+    return LoweringPass(program).run();
+}
+
+} // namespace calyx::dahlia

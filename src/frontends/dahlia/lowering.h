@@ -1,0 +1,27 @@
+#ifndef CALYX_FRONTENDS_DAHLIA_LOWERING_H
+#define CALYX_FRONTENDS_DAHLIA_LOWERING_H
+
+#include "frontends/dahlia/ast.h"
+
+namespace calyx::dahlia {
+
+/**
+ * Lowered Dahlia (paper §6.2 "Lowered Dahlia"): the result contains no
+ * For statements and no banked memories. The pass performs:
+ *
+ *  - loop unrolling: `for (i = lo..hi) unroll U` becomes an index
+ *    register stepping by U whose body is a `par` of U lanes with the
+ *    iterator offset by the lane number (lane-local declarations are
+ *    renamed apart);
+ *  - bank splitting: a memory banked by B becomes B memories; accesses
+ *    resolve their bank statically through affine analysis over
+ *    iterator strides and index the bank with `expr >> log2(B)`;
+ *  - global renaming so every declaration is unique.
+ *
+ * Run check() first; this pass assumes a well-typed program.
+ */
+Program lower(const Program &program);
+
+} // namespace calyx::dahlia
+
+#endif // CALYX_FRONTENDS_DAHLIA_LOWERING_H

@@ -1,0 +1,19 @@
+#ifndef CALYX_FRONTENDS_DAHLIA_PARSER_H
+#define CALYX_FRONTENDS_DAHLIA_PARSER_H
+
+#include <string>
+
+#include "frontends/dahlia/ast.h"
+
+namespace calyx::dahlia {
+
+/**
+ * Parser for mini-Dahlia (paper §6.2). Composition operators follow
+ * Dahlia's precedence: `;` (unordered) binds tighter than `---`
+ * (ordered), so `a; b --- c` parses as `(a; b) --- c`.
+ */
+Program parse(const std::string &source);
+
+} // namespace calyx::dahlia
+
+#endif // CALYX_FRONTENDS_DAHLIA_PARSER_H

@@ -1,0 +1,298 @@
+#include "frontends/systolic/systolic.h"
+
+#include "ir/builder.h"
+#include "support/error.h"
+
+namespace calyx::systolic {
+
+namespace {
+
+std::string
+peName(int i, int j)
+{
+    return "pe_" + std::to_string(i) + "_" + std::to_string(j);
+}
+
+std::string
+aRegName(int i, int j)
+{
+    return "a_" + std::to_string(i) + "_" + std::to_string(j);
+}
+
+std::string
+bRegName(int i, int j)
+{
+    return "b_" + std::to_string(i) + "_" + std::to_string(j);
+}
+
+} // namespace
+
+std::string
+leftMemName(int row)
+{
+    return "l" + std::to_string(row);
+}
+
+std::string
+topMemName(int col)
+{
+    return "t" + std::to_string(col);
+}
+
+const Component &
+buildMacPe(Context &ctx, Width width)
+{
+    if (const Component *existing = ctx.findComponent("mac_pe"))
+        return *existing;
+
+    auto b = ComponentBuilder::create(ctx, "mac_pe");
+    Component &pe = b.component();
+    pe.addInput("top", width);
+    pe.addInput("left", width);
+    pe.addOutput("out", width);
+
+    b.cell("mul", "std_mult_pipe", {width});
+    b.reg("acc", width);
+    b.cell("add", "std_add", {width});
+
+    // Multiply the two inputs; the product persists on mul.out.
+    Group &do_mul = b.group("do_mul");
+    do_mul.add(cellPort("mul", "left"), thisPort("top"));
+    do_mul.add(cellPort("mul", "right"), thisPort("left"));
+    do_mul.add(cellPort("mul", "go"), constant(1, 1));
+    do_mul.add(do_mul.doneHole(), cellPort("mul", "done"));
+
+    // Accumulate the product.
+    Group &do_add = b.group("do_add");
+    do_add.add(cellPort("add", "left"), cellPort("acc", "out"));
+    do_add.add(cellPort("add", "right"), cellPort("mul", "out"));
+    do_add.add(cellPort("acc", "in"), cellPort("add", "out"));
+    do_add.add(cellPort("acc", "write_en"), constant(1, 1));
+    do_add.add(do_add.doneHole(), cellPort("acc", "done"));
+
+    pe.continuousAssignments().emplace_back(thisPort("out"),
+                                            cellPort("acc", "out"));
+
+    std::vector<ControlPtr> steps;
+    steps.push_back(ComponentBuilder::enable("do_mul"));
+    steps.push_back(ComponentBuilder::enable("do_add"));
+    pe.setControl(ComponentBuilder::seq(std::move(steps)));
+    return pe;
+}
+
+void
+generate(Context &ctx, const Config &cfg)
+{
+    if (cfg.rows < 1 || cfg.cols < 1 || cfg.inner < 1)
+        fatal("systolic: dimensions must be positive");
+
+    std::string pe_type = cfg.peComponent;
+    if (pe_type.empty()) {
+        buildMacPe(ctx, cfg.width);
+        pe_type = "mac_pe";
+    } else if (!ctx.findComponent(pe_type)) {
+        fatal("systolic: unknown PE component ", pe_type);
+    }
+
+    auto b = ComponentBuilder::create(ctx, "main");
+    Component &main = b.component();
+    Width w = cfg.width;
+    Width idx_w = bitsNeeded(static_cast<uint64_t>(cfg.inner));
+
+    // --- Cells -------------------------------------------------------------
+    // Input memories: l<i> holds row i of A, t<j> holds column j of B.
+    for (int i = 0; i < cfg.rows; ++i)
+        b.cell(leftMemName(i), "std_mem_d1",
+               {w, static_cast<uint64_t>(cfg.inner), idx_w});
+    for (int j = 0; j < cfg.cols; ++j)
+        b.cell(topMemName(j), "std_mem_d1",
+               {w, static_cast<uint64_t>(cfg.inner), idx_w});
+    b.cell(outMemName, "std_mem_d2",
+           {w, static_cast<uint64_t>(cfg.rows),
+            static_cast<uint64_t>(cfg.cols),
+            bitsNeeded(static_cast<uint64_t>(cfg.rows - 1)),
+            bitsNeeded(static_cast<uint64_t>(cfg.cols - 1))});
+
+    // Per-row/column feed counters.
+    for (int i = 0; i < cfg.rows; ++i) {
+        b.reg("lidx" + std::to_string(i), idx_w);
+        b.cell("ladd" + std::to_string(i), "std_add", {idx_w});
+    }
+    for (int j = 0; j < cfg.cols; ++j) {
+        b.reg("tidx" + std::to_string(j), idx_w);
+        b.cell("tadd" + std::to_string(j), "std_add", {idx_w});
+    }
+
+    // PEs and their input registers.
+    for (int i = 0; i < cfg.rows; ++i) {
+        for (int j = 0; j < cfg.cols; ++j) {
+            b.cell(peName(i, j), pe_type, {});
+            b.reg(aRegName(i, j), w);
+            b.reg(bRegName(i, j), w);
+        }
+    }
+
+    // --- Groups ------------------------------------------------------------
+    // Reset all feed counters in one group.
+    Group &init = b.group("init_idx");
+    for (int i = 0; i < cfg.rows; ++i) {
+        init.add(cellPort("lidx" + std::to_string(i), "in"),
+                 constant(0, idx_w));
+        init.add(cellPort("lidx" + std::to_string(i), "write_en"),
+                 constant(1, 1));
+    }
+    for (int j = 0; j < cfg.cols; ++j) {
+        init.add(cellPort("tidx" + std::to_string(j), "in"),
+                 constant(0, idx_w));
+        init.add(cellPort("tidx" + std::to_string(j), "write_en"),
+                 constant(1, 1));
+    }
+    init.add(init.doneHole(), cellPort("lidx0", "done"));
+
+    // Edge feeders: move mem[idx] into the first input register and
+    // advance the counter (Figure 5's l0/t0 groups).
+    for (int i = 0; i < cfg.rows; ++i) {
+        std::string mem = leftMemName(i);
+        std::string idx = "lidx" + std::to_string(i);
+        std::string add = "ladd" + std::to_string(i);
+        Group &g = b.group("feed_l" + std::to_string(i));
+        g.add(cellPort(mem, "addr0"), cellPort(idx, "out"));
+        g.add(cellPort(aRegName(i, 0), "in"), cellPort(mem, "read_data"));
+        g.add(cellPort(aRegName(i, 0), "write_en"), constant(1, 1));
+        g.add(cellPort(add, "left"), cellPort(idx, "out"));
+        g.add(cellPort(add, "right"), constant(1, idx_w));
+        g.add(cellPort(idx, "in"), cellPort(add, "out"));
+        g.add(cellPort(idx, "write_en"), constant(1, 1));
+        g.add(g.doneHole(), cellPort(aRegName(i, 0), "done"));
+    }
+    for (int j = 0; j < cfg.cols; ++j) {
+        std::string mem = topMemName(j);
+        std::string idx = "tidx" + std::to_string(j);
+        std::string add = "tadd" + std::to_string(j);
+        Group &g = b.group("feed_t" + std::to_string(j));
+        g.add(cellPort(mem, "addr0"), cellPort(idx, "out"));
+        g.add(cellPort(bRegName(0, j), "in"), cellPort(mem, "read_data"));
+        g.add(cellPort(bRegName(0, j), "write_en"), constant(1, 1));
+        g.add(cellPort(add, "left"), cellPort(idx, "out"));
+        g.add(cellPort(add, "right"), constant(1, idx_w));
+        g.add(cellPort(idx, "in"), cellPort(add, "out"));
+        g.add(cellPort(idx, "write_en"), constant(1, 1));
+        g.add(g.doneHole(), cellPort(bRegName(0, j), "done"));
+    }
+
+    // Fabric movement: values move right (A) and down (B).
+    for (int i = 0; i < cfg.rows; ++i) {
+        for (int j = 1; j < cfg.cols; ++j) {
+            Group &g = b.group("right_" + std::to_string(i) + "_" +
+                               std::to_string(j));
+            g.add(cellPort(aRegName(i, j), "in"),
+                  cellPort(aRegName(i, j - 1), "out"));
+            g.add(cellPort(aRegName(i, j), "write_en"), constant(1, 1));
+            g.add(g.doneHole(), cellPort(aRegName(i, j), "done"));
+        }
+    }
+    for (int i = 1; i < cfg.rows; ++i) {
+        for (int j = 0; j < cfg.cols; ++j) {
+            Group &g = b.group("down_" + std::to_string(i) + "_" +
+                               std::to_string(j));
+            g.add(cellPort(bRegName(i, j), "in"),
+                  cellPort(bRegName(i - 1, j), "out"));
+            g.add(cellPort(bRegName(i, j), "write_en"), constant(1, 1));
+            g.add(g.doneHole(), cellPort(bRegName(i, j), "done"));
+        }
+    }
+
+    // PE invocation groups.
+    for (int i = 0; i < cfg.rows; ++i) {
+        for (int j = 0; j < cfg.cols; ++j) {
+            std::string pe = peName(i, j);
+            Group &g = b.group("invoke_" + std::to_string(i) + "_" +
+                               std::to_string(j));
+            g.add(cellPort(pe, "top"), cellPort(bRegName(i, j), "out"));
+            g.add(cellPort(pe, "left"), cellPort(aRegName(i, j), "out"));
+            g.add(cellPort(pe, "go"), constant(1, 1));
+            g.add(g.doneHole(), cellPort(pe, "done"));
+        }
+    }
+
+    // Drain groups: copy accumulators into the output memory.
+    for (int i = 0; i < cfg.rows; ++i) {
+        for (int j = 0; j < cfg.cols; ++j) {
+            Group &g = b.group("drain_" + std::to_string(i) + "_" +
+                               std::to_string(j));
+            g.add(cellPort(outMemName, "addr0"),
+                  constant(i, bitsNeeded(
+                                  static_cast<uint64_t>(cfg.rows - 1))));
+            g.add(cellPort(outMemName, "addr1"),
+                  constant(j, bitsNeeded(
+                                  static_cast<uint64_t>(cfg.cols - 1))));
+            g.add(cellPort(outMemName, "write_data"),
+                  cellPort(peName(i, j), "out"));
+            g.add(cellPort(outMemName, "write_en"), constant(1, 1));
+            g.add(g.doneHole(), cellPort(outMemName, "done"));
+        }
+    }
+
+    // --- Schedule (Figure 6) -----------------------------------------------
+    // PE (i, j) performs its k-th MAC at wavefront step i + j + k; the
+    // movement phase before step s loads the operands consumed at s.
+    std::vector<ControlPtr> schedule;
+    schedule.push_back(ComponentBuilder::enable("init_idx"));
+    int last_step = (cfg.rows - 1) + (cfg.cols - 1) + cfg.inner - 1;
+    auto active = [&cfg](int s, int i, int j) {
+        int k = s - i - j;
+        return k >= 0 && k < cfg.inner;
+    };
+    for (int s = 0; s <= last_step; ++s) {
+        std::vector<ControlPtr> moves;
+        for (int i = 0; i < cfg.rows; ++i) {
+            if (active(s, i, 0))
+                moves.push_back(
+                    ComponentBuilder::enable("feed_l" + std::to_string(i)));
+        }
+        for (int j = 0; j < cfg.cols; ++j) {
+            if (active(s, 0, j))
+                moves.push_back(
+                    ComponentBuilder::enable("feed_t" + std::to_string(j)));
+        }
+        for (int i = 0; i < cfg.rows; ++i) {
+            for (int j = 1; j < cfg.cols; ++j) {
+                if (active(s, i, j))
+                    moves.push_back(ComponentBuilder::enable(
+                        "right_" + std::to_string(i) + "_" +
+                        std::to_string(j)));
+            }
+        }
+        for (int i = 1; i < cfg.rows; ++i) {
+            for (int j = 0; j < cfg.cols; ++j) {
+                if (active(s, i, j))
+                    moves.push_back(ComponentBuilder::enable(
+                        "down_" + std::to_string(i) + "_" +
+                        std::to_string(j)));
+            }
+        }
+        std::vector<ControlPtr> computes;
+        for (int i = 0; i < cfg.rows; ++i) {
+            for (int j = 0; j < cfg.cols; ++j) {
+                if (active(s, i, j))
+                    computes.push_back(ComponentBuilder::enable(
+                        "invoke_" + std::to_string(i) + "_" +
+                        std::to_string(j)));
+            }
+        }
+        if (!moves.empty())
+            schedule.push_back(ComponentBuilder::par(std::move(moves)));
+        if (!computes.empty())
+            schedule.push_back(ComponentBuilder::par(std::move(computes)));
+    }
+    // Drain phase.
+    for (int i = 0; i < cfg.rows; ++i) {
+        for (int j = 0; j < cfg.cols; ++j) {
+            schedule.push_back(ComponentBuilder::enable(
+                "drain_" + std::to_string(i) + "_" + std::to_string(j)));
+        }
+    }
+    main.setControl(ComponentBuilder::seq(std::move(schedule)));
+}
+
+} // namespace calyx::systolic

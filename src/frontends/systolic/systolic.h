@@ -1,0 +1,57 @@
+#ifndef CALYX_FRONTENDS_SYSTOLIC_SYSTOLIC_H
+#define CALYX_FRONTENDS_SYSTOLIC_SYSTOLIC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/context.h"
+
+namespace calyx::systolic {
+
+/**
+ * Configuration of the systolic array generator (paper §6.1): an
+ * output-stationary rows x cols array computing A (rows x inner) times
+ * B (inner x cols) with one processing element per output.
+ */
+struct Config
+{
+    int rows = 2;
+    int cols = 2;
+    int inner = 2;
+    Width width = 32;
+    /**
+     * Name of an existing PE component in the context, or empty to
+     * generate the default multiply-accumulate PE. A PE exposes
+     * `top` (the value moving down), `left` (the value moving right)
+     * and an `out` port holding the accumulated result.
+     */
+    std::string peComponent;
+};
+
+/**
+ * Generate the systolic array into `ctx` as component "main".
+ *
+ * Architecture (Figure 5): per-PE `top`/`left` input registers, feeder
+ * groups on the edges that stream the input memories (`l0..`, `t0..`)
+ * using per-row/column index counters, fabric groups that move data
+ * right and down, and invoke groups that run the PEs. The schedule
+ * (Figure 6) interleaves one `par` of data movement with one `par` of
+ * PE execution per wavefront step, then drains results into `out_mem`.
+ *
+ * The generator emits no "static" annotations: with the default PE the
+ * Calyx compiler infers every latency (paper §5.3, §6.1).
+ */
+void generate(Context &ctx, const Config &cfg);
+
+/** Build the default multiply-accumulate PE component `mac_pe`. */
+const Component &buildMacPe(Context &ctx, Width width);
+
+/** Names of the input/output memories for simulation harnesses. */
+std::string leftMemName(int row);
+std::string topMemName(int col);
+constexpr const char *outMemName = "out_mem";
+
+} // namespace calyx::systolic
+
+#endif // CALYX_FRONTENDS_SYSTOLIC_SYSTOLIC_H

@@ -1,0 +1,207 @@
+#include "hls/cdfg.h"
+
+#include <algorithm>
+
+namespace calyx::hls {
+
+using dahlia::BinOp;
+using dahlia::Expr;
+using dahlia::Stmt;
+
+namespace {
+
+// Chained-latency contributions (see scheduler.h for the model).
+constexpr int memReadLat = 1;
+constexpr int multLat = 3;
+constexpr int divLat = 16;
+constexpr int sqrtLat = 16;
+
+} // namespace
+
+OpSummary &
+OpSummary::merge(const OpSummary &other, bool sequential_chain)
+{
+    adds += other.adds;
+    cmps += other.cmps;
+    mults += other.mults;
+    divs += other.divs;
+    sqrts += other.sqrts;
+    for (const auto &[m, n] : other.memReads)
+        memReads[m] += n;
+    for (const auto &[m, n] : other.memWrites)
+        memWrites[m] += n;
+    if (sequential_chain) {
+        chain += other.chain;
+        combOnChain += other.combOnChain;
+    } else {
+        chain = std::max(chain, other.chain);
+        combOnChain = std::max(combOnChain, other.combOnChain);
+    }
+    return *this;
+}
+
+OpSummary
+summarizeExpr(const Expr &e)
+{
+    OpSummary s;
+    switch (e.kind) {
+      case Expr::Kind::Num:
+      case Expr::Kind::Var:
+        return s;
+      case Expr::Kind::Access: {
+        for (const auto &i : e.indices)
+            s.merge(summarizeExpr(*i), false);
+        s.memReads[e.name] += 1;
+        s.chain += memReadLat;
+        return s;
+      }
+      case Expr::Kind::Bin: {
+        OpSummary l = summarizeExpr(*e.lhs);
+        OpSummary r = summarizeExpr(*e.rhs);
+        s.merge(l, false);
+        s.merge(r, false);
+        s.chain = std::max(l.chain, r.chain);
+        s.combOnChain = std::max(l.combOnChain, r.combOnChain);
+        if (e.op == BinOp::Mul) {
+            s.mults += 1;
+            s.chain += multLat;
+        } else if (e.op == BinOp::Div || e.op == BinOp::Mod) {
+            s.divs += 1;
+            s.chain += divLat;
+        } else if (dahlia::isComparison(e.op)) {
+            s.cmps += 1;
+            s.combOnChain += 1;
+        } else {
+            s.adds += 1;
+            s.combOnChain += 1;
+        }
+        return s;
+      }
+      case Expr::Kind::Sqrt: {
+        s = summarizeExpr(*e.lhs);
+        s.sqrts += 1;
+        s.chain += sqrtLat;
+        return s;
+      }
+    }
+    return s;
+}
+
+namespace {
+
+void
+scalarUseExpr(const Expr &e, std::set<std::string> &reads)
+{
+    switch (e.kind) {
+      case Expr::Kind::Num:
+        return;
+      case Expr::Kind::Var:
+        reads.insert(e.name);
+        return;
+      case Expr::Kind::Access:
+        for (const auto &i : e.indices)
+            scalarUseExpr(*i, reads);
+        return;
+      case Expr::Kind::Bin:
+        scalarUseExpr(*e.lhs, reads);
+        scalarUseExpr(*e.rhs, reads);
+        return;
+      case Expr::Kind::Sqrt:
+        scalarUseExpr(*e.lhs, reads);
+        return;
+    }
+}
+
+} // namespace
+
+ScalarUse
+scalarUse(const Stmt &s)
+{
+    ScalarUse use;
+    switch (s.kind) {
+      case Stmt::Kind::Let:
+        if (s.init)
+            scalarUseExpr(*s.init, use.reads);
+        use.writes.insert(s.name);
+        return use;
+      case Stmt::Kind::Assign:
+        scalarUseExpr(*s.rhs, use.reads);
+        if (s.lval->kind == Expr::Kind::Var) {
+            use.writes.insert(s.lval->name);
+        } else {
+            for (const auto &i : s.lval->indices)
+                scalarUseExpr(*i, use.reads);
+        }
+        return use;
+      case Stmt::Kind::If: {
+        scalarUseExpr(*s.cond, use.reads);
+        ScalarUse t = scalarUse(*s.body);
+        use.reads.insert(t.reads.begin(), t.reads.end());
+        use.writes.insert(t.writes.begin(), t.writes.end());
+        if (s.elseBody) {
+            ScalarUse f = scalarUse(*s.elseBody);
+            use.reads.insert(f.reads.begin(), f.reads.end());
+            use.writes.insert(f.writes.begin(), f.writes.end());
+        }
+        return use;
+      }
+      case Stmt::Kind::While:
+      case Stmt::Kind::For: {
+        if (s.cond)
+            scalarUseExpr(*s.cond, use.reads);
+        ScalarUse b = scalarUse(*s.body);
+        use.reads.insert(b.reads.begin(), b.reads.end());
+        use.writes.insert(b.writes.begin(), b.writes.end());
+        if (s.combine) {
+            ScalarUse c = scalarUse(*s.combine);
+            use.reads.insert(c.reads.begin(), c.reads.end());
+            use.writes.insert(c.writes.begin(), c.writes.end());
+        }
+        return use;
+      }
+      case Stmt::Kind::SeqComp:
+      case Stmt::Kind::ParComp:
+        for (const auto &c : s.stmts) {
+            ScalarUse u = scalarUse(*c);
+            use.reads.insert(u.reads.begin(), u.reads.end());
+            use.writes.insert(u.writes.begin(), u.writes.end());
+        }
+        return use;
+    }
+    return use;
+}
+
+bool
+underSequentialOp(const Expr &e, const std::string &name)
+{
+    switch (e.kind) {
+      case Expr::Kind::Num:
+      case Expr::Kind::Var:
+        return false;
+      case Expr::Kind::Access:
+        for (const auto &i : e.indices) {
+            if (underSequentialOp(*i, name))
+                return true;
+        }
+        return false;
+      case Expr::Kind::Bin: {
+        if (dahlia::isSequentialOp(e.op)) {
+            std::set<std::string> reads;
+            scalarUseExpr(*e.lhs, reads);
+            scalarUseExpr(*e.rhs, reads);
+            if (reads.count(name))
+                return true;
+        }
+        return underSequentialOp(*e.lhs, name) ||
+               underSequentialOp(*e.rhs, name);
+      }
+      case Expr::Kind::Sqrt: {
+        std::set<std::string> reads;
+        scalarUseExpr(*e.lhs, reads);
+        return reads.count(name) > 0 || underSequentialOp(*e.lhs, name);
+      }
+    }
+    return false;
+}
+
+} // namespace calyx::hls

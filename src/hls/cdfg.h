@@ -1,0 +1,58 @@
+#ifndef CALYX_HLS_CDFG_H
+#define CALYX_HLS_CDFG_H
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "frontends/dahlia/ast.h"
+
+namespace calyx::hls {
+
+/**
+ * Per-expression/statement operation summary used by the HLS scheduler:
+ * functional-unit demand, chained-path latency contributions, and memory
+ * port usage.
+ */
+struct OpSummary
+{
+    int adds = 0;     ///< add/sub/logic/shift (one LUT-mapped op each)
+    int cmps = 0;
+    int mults = 0;
+    int divs = 0;
+    int sqrts = 0;
+    /** Reads per memory (port pressure). */
+    std::map<std::string, int> memReads;
+    std::map<std::string, int> memWrites;
+    /**
+     * Latency of the critical dependency chain in cycles, using the
+     * model constants in scheduler.h (memory read 1, mult 3, div 16,
+     * sqrt 16; combinational ops chain for free in groups of 8).
+     */
+    int chain = 0;
+    int combOnChain = 0; ///< comb ops along the critical chain
+
+    OpSummary &merge(const OpSummary &other, bool sequential_chain);
+};
+
+/** Summarize one expression. */
+OpSummary summarizeExpr(const dahlia::Expr &e);
+
+/** Registers read and written by a statement (recurrence detection). */
+struct ScalarUse
+{
+    std::set<std::string> reads, writes;
+};
+
+ScalarUse scalarUse(const dahlia::Stmt &s);
+
+/**
+ * Whether `name` appears inside a multiply/divide operand anywhere in
+ * the expression (a loop-carried recurrence through a multi-cycle unit
+ * constrains the initiation interval).
+ */
+bool underSequentialOp(const dahlia::Expr &e, const std::string &name);
+
+} // namespace calyx::hls
+
+#endif // CALYX_HLS_CDFG_H

@@ -1,0 +1,43 @@
+#include "ir/attributes.h"
+
+#include "support/error.h"
+
+namespace calyx {
+
+bool
+Attributes::has(const std::string &name) const
+{
+    return attrs.count(name) > 0;
+}
+
+int64_t
+Attributes::get(const std::string &name) const
+{
+    auto it = attrs.find(name);
+    if (it == attrs.end())
+        fatal("missing attribute: ", name);
+    return it->second;
+}
+
+std::optional<int64_t>
+Attributes::find(const std::string &name) const
+{
+    auto it = attrs.find(name);
+    if (it == attrs.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+Attributes::set(const std::string &name, int64_t value)
+{
+    attrs[name] = value;
+}
+
+void
+Attributes::erase(const std::string &name)
+{
+    attrs.erase(name);
+}
+
+} // namespace calyx

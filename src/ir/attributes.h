@@ -1,0 +1,52 @@
+#ifndef CALYX_IR_ATTRIBUTES_H
+#define CALYX_IR_ATTRIBUTES_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace calyx {
+
+/**
+ * Key-value attributes attached to components, cells, groups, and control
+ * statements (paper §3.5). Frontends and passes use attributes to exchange
+ * information, e.g. `"static"=4` (latency in cycles) or `"share"=1`.
+ */
+class Attributes
+{
+  public:
+    /** Whether the attribute `name` is present. */
+    bool has(const std::string &name) const;
+
+    /** Value of attribute `name`; fatal() if absent. */
+    int64_t get(const std::string &name) const;
+
+    /** Value of attribute `name`, or std::nullopt if absent. */
+    std::optional<int64_t> find(const std::string &name) const;
+
+    /** Insert or overwrite attribute `name`. */
+    void set(const std::string &name, int64_t value);
+
+    /** Remove attribute `name` if present. */
+    void erase(const std::string &name);
+
+    bool empty() const { return attrs.empty(); }
+
+    const std::map<std::string, int64_t> &all() const { return attrs; }
+
+    bool operator==(const Attributes &other) const = default;
+
+    // Well-known attribute names.
+    static constexpr const char *staticAttr = "static";
+    static constexpr const char *shareAttr = "share";
+    static constexpr const char *externalAttr = "external";
+    static constexpr const char *statefulAttr = "stateful";
+
+  private:
+    std::map<std::string, int64_t> attrs;
+};
+
+} // namespace calyx
+
+#endif // CALYX_IR_ATTRIBUTES_H

@@ -1,0 +1,88 @@
+#include "ir/builder.h"
+
+namespace calyx {
+
+ComponentBuilder
+ComponentBuilder::create(Context &ctx, const std::string &name)
+{
+    Component &comp = ctx.addComponent(name);
+    return ComponentBuilder(ctx, comp);
+}
+
+Cell &
+ComponentBuilder::cell(const std::string &name, const std::string &type,
+                       const std::vector<uint64_t> &params)
+{
+    return comp->addCell(name, type, params, *ctx);
+}
+
+Cell &
+ComponentBuilder::reg(const std::string &name, Width width)
+{
+    return cell(name, "std_reg", {width});
+}
+
+Cell &
+ComponentBuilder::add(const std::string &name, Width width)
+{
+    return cell(name, "std_add", {width});
+}
+
+Cell &
+ComponentBuilder::mem1d(const std::string &name, Width width, uint64_t size)
+{
+    return cell(name, "std_mem_d1", {width, size, bitsNeeded(size - 1)});
+}
+
+Group &
+ComponentBuilder::group(const std::string &name)
+{
+    return comp->addGroup(name);
+}
+
+Group &
+ComponentBuilder::regWriteGroup(const std::string &group_name,
+                                const std::string &reg_cell,
+                                const PortRef &value)
+{
+    Group &g = comp->addGroup(group_name);
+    g.add(cellPort(reg_cell, "in"), value);
+    g.add(cellPort(reg_cell, "write_en"), constant(1, 1));
+    g.add(g.doneHole(), cellPort(reg_cell, "done"));
+    g.attrs().set(Attributes::staticAttr, regLatency);
+    return g;
+}
+
+ControlPtr
+ComponentBuilder::enable(const std::string &group)
+{
+    return std::make_unique<Enable>(group);
+}
+
+ControlPtr
+ComponentBuilder::seq(std::vector<ControlPtr> stmts)
+{
+    return std::make_unique<Seq>(std::move(stmts));
+}
+
+ControlPtr
+ComponentBuilder::par(std::vector<ControlPtr> stmts)
+{
+    return std::make_unique<Par>(std::move(stmts));
+}
+
+ControlPtr
+ComponentBuilder::ifStmt(const PortRef &port, const std::string &cond,
+                         ControlPtr t, ControlPtr f)
+{
+    return std::make_unique<If>(port, cond, std::move(t), std::move(f));
+}
+
+ControlPtr
+ComponentBuilder::whileStmt(const PortRef &port, const std::string &cond,
+                            ControlPtr body)
+{
+    return std::make_unique<While>(port, cond, std::move(body));
+}
+
+} // namespace calyx

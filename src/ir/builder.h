@@ -1,0 +1,66 @@
+#ifndef CALYX_IR_BUILDER_H
+#define CALYX_IR_BUILDER_H
+
+#include <string>
+#include <vector>
+
+#include "ir/context.h"
+
+namespace calyx {
+
+/**
+ * Fluent helper for constructing components, the way frontends in the
+ * paper generate Calyx programs.
+ */
+class ComponentBuilder
+{
+  public:
+    ComponentBuilder(Context &ctx, Component &comp) : ctx(&ctx), comp(&comp)
+    {}
+
+    /** Create the component in `ctx` and build into it. */
+    static ComponentBuilder create(Context &ctx, const std::string &name);
+
+    Component &component() { return *comp; }
+    Context &context() { return *ctx; }
+
+    /** Instantiate a cell; returns a reference usable for ports. */
+    Cell &cell(const std::string &name, const std::string &type,
+               const std::vector<uint64_t> &params = {});
+
+    /** Instantiate a W-bit register. */
+    Cell &reg(const std::string &name, Width width);
+
+    /** Instantiate a W-bit adder. */
+    Cell &add(const std::string &name, Width width);
+
+    /** Instantiate a 1-D memory. */
+    Cell &mem1d(const std::string &name, Width width, uint64_t size);
+
+    /** Create a group. */
+    Group &group(const std::string &name);
+
+    /**
+     * Create a group writing `value` into register `reg_cell` with the
+     * canonical done wiring; returns the group. Marked "static"=1.
+     */
+    Group &regWriteGroup(const std::string &group_name,
+                         const std::string &reg_cell, const PortRef &value);
+
+    // --- Control helpers --------------------------------------------------
+    static ControlPtr enable(const std::string &group);
+    static ControlPtr seq(std::vector<ControlPtr> stmts);
+    static ControlPtr par(std::vector<ControlPtr> stmts);
+    static ControlPtr ifStmt(const PortRef &port, const std::string &cond,
+                             ControlPtr t, ControlPtr f);
+    static ControlPtr whileStmt(const PortRef &port, const std::string &cond,
+                                ControlPtr body);
+
+  private:
+    Context *ctx;
+    Component *comp;
+};
+
+} // namespace calyx
+
+#endif // CALYX_IR_BUILDER_H

@@ -1,0 +1,37 @@
+#include "ir/cell.h"
+
+#include "support/error.h"
+
+namespace calyx {
+
+bool
+Cell::hasPort(const std::string &port) const
+{
+    for (const auto &p : ports) {
+        if (p.name == port)
+            return true;
+    }
+    return false;
+}
+
+Width
+Cell::portWidth(const std::string &port) const
+{
+    for (const auto &p : ports) {
+        if (p.name == port)
+            return p.width;
+    }
+    fatal("cell ", nameVal, " (", typeVal, ") has no port ", port);
+}
+
+Direction
+Cell::portDir(const std::string &port) const
+{
+    for (const auto &p : ports) {
+        if (p.name == port)
+            return p.dir;
+    }
+    fatal("cell ", nameVal, " (", typeVal, ") has no port ", port);
+}
+
+} // namespace calyx

@@ -1,0 +1,73 @@
+#ifndef CALYX_IR_CELL_H
+#define CALYX_IR_CELL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/attributes.h"
+#include "ir/port.h"
+
+namespace calyx {
+
+/**
+ * An instance of a primitive or of another component (paper §3.2's
+ * `cells` section). Ports are resolved at construction time from the
+ * prototype and the instantiation parameters.
+ */
+class Cell
+{
+  public:
+    Cell(std::string name, std::string type, std::vector<uint64_t> params,
+         std::vector<PortDef> resolved_ports, bool is_primitive)
+        : nameVal(std::move(name)), typeVal(std::move(type)),
+          paramsVal(std::move(params)), ports(std::move(resolved_ports)),
+          primitive(is_primitive)
+    {}
+
+    const std::string &name() const { return nameVal; }
+    void rename(std::string n) { nameVal = std::move(n); }
+
+    /** Primitive or component name this cell instantiates. */
+    const std::string &type() const { return typeVal; }
+
+    const std::vector<uint64_t> &params() const { return paramsVal; }
+
+    /** True for std_* / extern primitives, false for component instances. */
+    bool isPrimitive() const { return primitive; }
+
+    const std::vector<PortDef> &portDefs() const { return ports; }
+
+    /** Whether the instance exposes a port called `port`. */
+    bool hasPort(const std::string &port) const;
+
+    /** Width of `port`; fatal() if absent. */
+    Width portWidth(const std::string &port) const;
+
+    /** Direction of `port`; fatal() if absent. */
+    Direction portDir(const std::string &port) const;
+
+    /**
+     * Two cells are interchangeable for sharing iff they instantiate the
+     * same prototype with the same parameters.
+     */
+    bool sameSignature(const Cell &other) const
+    {
+        return typeVal == other.typeVal && paramsVal == other.paramsVal;
+    }
+
+    Attributes &attrs() { return attributes; }
+    const Attributes &attrs() const { return attributes; }
+
+  private:
+    std::string nameVal;
+    std::string typeVal;
+    std::vector<uint64_t> paramsVal;
+    std::vector<PortDef> ports;
+    bool primitive;
+    Attributes attributes;
+};
+
+} // namespace calyx
+
+#endif // CALYX_IR_CELL_H

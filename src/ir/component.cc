@@ -1,0 +1,211 @@
+#include "ir/component.h"
+
+#include "ir/context.h"
+#include "support/error.h"
+
+namespace calyx {
+
+Component::Component(std::string name)
+    : nameVal(std::move(name)), controlVal(std::make_unique<Empty>())
+{
+    // Every component implicitly participates in the go/done calling
+    // convention (paper §4.1).
+    sig.push_back(PortDef{"go", 1, Direction::Input});
+    sig.push_back(PortDef{"done", 1, Direction::Output});
+}
+
+void
+Component::addInput(const std::string &name, Width width)
+{
+    if (hasPort(name))
+        fatal("component ", nameVal, ": duplicate port ", name);
+    sig.push_back(PortDef{name, width, Direction::Input});
+}
+
+void
+Component::addOutput(const std::string &name, Width width)
+{
+    if (hasPort(name))
+        fatal("component ", nameVal, ": duplicate port ", name);
+    sig.push_back(PortDef{name, width, Direction::Output});
+}
+
+bool
+Component::hasPort(const std::string &name) const
+{
+    for (const auto &p : sig) {
+        if (p.name == name)
+            return true;
+    }
+    return false;
+}
+
+const PortDef &
+Component::port(const std::string &name) const
+{
+    for (const auto &p : sig) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("component ", nameVal, " has no port ", name);
+}
+
+Cell &
+Component::addCell(const std::string &name, const std::string &type,
+                   const std::vector<uint64_t> &params, const Context &ctx)
+{
+    if (cellIndex.count(name))
+        fatal("component ", nameVal, ": duplicate cell ", name);
+    auto cell = ctx.instantiate(name, type, params);
+    Cell *raw = cell.get();
+    cellList.push_back(std::move(cell));
+    cellIndex[name] = raw;
+    return *raw;
+}
+
+Cell *
+Component::findCell(const std::string &name)
+{
+    auto it = cellIndex.find(name);
+    return it == cellIndex.end() ? nullptr : it->second;
+}
+
+const Cell *
+Component::findCell(const std::string &name) const
+{
+    auto it = cellIndex.find(name);
+    return it == cellIndex.end() ? nullptr : it->second;
+}
+
+Cell &
+Component::cell(const std::string &name)
+{
+    Cell *c = findCell(name);
+    if (!c)
+        fatal("component ", nameVal, " has no cell ", name);
+    return *c;
+}
+
+const Cell &
+Component::cell(const std::string &name) const
+{
+    const Cell *c = findCell(name);
+    if (!c)
+        fatal("component ", nameVal, " has no cell ", name);
+    return *c;
+}
+
+void
+Component::removeCell(const std::string &name)
+{
+    auto it = cellIndex.find(name);
+    if (it == cellIndex.end())
+        return;
+    cellIndex.erase(it);
+    for (auto lit = cellList.begin(); lit != cellList.end(); ++lit) {
+        if ((*lit)->name() == name) {
+            cellList.erase(lit);
+            return;
+        }
+    }
+}
+
+Group &
+Component::addGroup(const std::string &name)
+{
+    if (groupIndex.count(name))
+        fatal("component ", nameVal, ": duplicate group ", name);
+    auto group = std::make_unique<Group>(name);
+    Group *raw = group.get();
+    groupList.push_back(std::move(group));
+    groupIndex[name] = raw;
+    return *raw;
+}
+
+Group *
+Component::findGroup(const std::string &name)
+{
+    auto it = groupIndex.find(name);
+    return it == groupIndex.end() ? nullptr : it->second;
+}
+
+const Group *
+Component::findGroup(const std::string &name) const
+{
+    auto it = groupIndex.find(name);
+    return it == groupIndex.end() ? nullptr : it->second;
+}
+
+Group &
+Component::group(const std::string &name)
+{
+    Group *g = findGroup(name);
+    if (!g)
+        fatal("component ", nameVal, " has no group ", name);
+    return *g;
+}
+
+const Group &
+Component::group(const std::string &name) const
+{
+    const Group *g = findGroup(name);
+    if (!g)
+        fatal("component ", nameVal, " has no group ", name);
+    return *g;
+}
+
+void
+Component::removeGroup(const std::string &name)
+{
+    auto it = groupIndex.find(name);
+    if (it == groupIndex.end())
+        return;
+    groupIndex.erase(it);
+    for (auto lit = groupList.begin(); lit != groupList.end(); ++lit) {
+        if ((*lit)->name() == name) {
+            groupList.erase(lit);
+            return;
+        }
+    }
+}
+
+ControlPtr
+Component::takeControl()
+{
+    ControlPtr out = std::move(controlVal);
+    controlVal = std::make_unique<Empty>();
+    return out;
+}
+
+std::string
+Component::uniqueName(const std::string &prefix) const
+{
+    for (int i = 0;; ++i) {
+        std::string candidate = prefix + std::to_string(i);
+        if (!cellIndex.count(candidate) && !groupIndex.count(candidate) &&
+            !hasPort(candidate)) {
+            return candidate;
+        }
+    }
+}
+
+Width
+Component::portWidth(const PortRef &ref) const
+{
+    switch (ref.kind) {
+      case PortRef::Kind::Const:
+        return ref.width;
+      case PortRef::Kind::This:
+        return port(ref.port).width;
+      case PortRef::Kind::Hole:
+        if (!findGroup(ref.parent))
+            fatal("component ", nameVal, ": hole for unknown group ",
+                  ref.parent);
+        return 1;
+      case PortRef::Kind::Cell:
+        return cell(ref.parent).portWidth(ref.port);
+    }
+    panic("bad PortRef kind");
+}
+
+} // namespace calyx

@@ -1,0 +1,108 @@
+#ifndef CALYX_IR_COMPONENT_H
+#define CALYX_IR_COMPONENT_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/attributes.h"
+#include "ir/cell.h"
+#include "ir/control.h"
+#include "ir/group.h"
+#include "ir/port.h"
+
+namespace calyx {
+
+class Context;
+
+/**
+ * A Calyx component (paper §3.1): a signature, a set of cells, wires
+ * (continuous assignments and groups), and a control program.
+ */
+class Component
+{
+  public:
+    explicit Component(std::string name);
+
+    const std::string &name() const { return nameVal; }
+
+    // --- Signature -------------------------------------------------------
+    void addInput(const std::string &name, Width width);
+    void addOutput(const std::string &name, Width width);
+    const std::vector<PortDef> &signature() const { return sig; }
+    bool hasPort(const std::string &name) const;
+    const PortDef &port(const std::string &name) const;
+
+    // --- Cells -----------------------------------------------------------
+    /**
+     * Instantiate `type` (primitive or component) with `params` as cell
+     * `name`. Ports are resolved through `ctx`.
+     */
+    Cell &addCell(const std::string &name, const std::string &type,
+                  const std::vector<uint64_t> &params, const Context &ctx);
+    Cell *findCell(const std::string &name);
+    const Cell *findCell(const std::string &name) const;
+    Cell &cell(const std::string &name);
+    const Cell &cell(const std::string &name) const;
+    void removeCell(const std::string &name);
+    const std::vector<std::unique_ptr<Cell>> &cells() const
+    {
+        return cellList;
+    }
+
+    // --- Groups ----------------------------------------------------------
+    Group &addGroup(const std::string &name);
+    Group *findGroup(const std::string &name);
+    const Group *findGroup(const std::string &name) const;
+    Group &group(const std::string &name);
+    const Group &group(const std::string &name) const;
+    void removeGroup(const std::string &name);
+    const std::vector<std::unique_ptr<Group>> &groups() const
+    {
+        return groupList;
+    }
+
+    // --- Wires and control -----------------------------------------------
+    std::vector<Assignment> &continuousAssignments() { return continuous; }
+    const std::vector<Assignment> &continuousAssignments() const
+    {
+        return continuous;
+    }
+
+    Control &control() { return *controlVal; }
+    const Control &control() const { return *controlVal; }
+    void setControl(ControlPtr c) { controlVal = std::move(c); }
+    ControlPtr takeControl();
+
+    // --- Utilities ---------------------------------------------------------
+    /** Fresh name with the given prefix, unused by cells/groups/ports. */
+    std::string uniqueName(const std::string &prefix) const;
+
+    /** Width of any port reference appearing in this component. */
+    Width portWidth(const PortRef &ref) const;
+
+    Attributes &attrs() { return attributes; }
+    const Attributes &attrs() const { return attributes; }
+
+    /** Latency attribute, if the component advertises one. */
+    std::optional<int64_t> staticLatency() const
+    {
+        return attributes.find(Attributes::staticAttr);
+    }
+
+  private:
+    std::string nameVal;
+    std::vector<PortDef> sig;
+    std::vector<std::unique_ptr<Cell>> cellList;
+    std::map<std::string, Cell *> cellIndex;
+    std::vector<std::unique_ptr<Group>> groupList;
+    std::map<std::string, Group *> groupIndex;
+    std::vector<Assignment> continuous;
+    ControlPtr controlVal;
+    Attributes attributes;
+};
+
+} // namespace calyx
+
+#endif // CALYX_IR_COMPONENT_H

@@ -1,0 +1,135 @@
+#include "ir/context.h"
+
+#include <map>
+#include <set>
+
+#include "support/error.h"
+
+namespace calyx {
+
+Component &
+Context::addComponent(const std::string &name)
+{
+    if (findComponent(name) || prims.has(name))
+        fatal("duplicate component definition: ", name);
+    comps.push_back(std::make_unique<Component>(name));
+    return *comps.back();
+}
+
+Component *
+Context::findComponent(const std::string &name)
+{
+    for (auto &c : comps) {
+        if (c->name() == name)
+            return c.get();
+    }
+    return nullptr;
+}
+
+const Component *
+Context::findComponent(const std::string &name) const
+{
+    for (const auto &c : comps) {
+        if (c->name() == name)
+            return c.get();
+    }
+    return nullptr;
+}
+
+Component &
+Context::component(const std::string &name)
+{
+    Component *c = findComponent(name);
+    if (!c)
+        fatal("unknown component: ", name);
+    return *c;
+}
+
+const Component &
+Context::component(const std::string &name) const
+{
+    const Component *c = findComponent(name);
+    if (!c)
+        fatal("unknown component: ", name);
+    return *c;
+}
+
+std::unique_ptr<Cell>
+Context::instantiate(const std::string &name, const std::string &type,
+                     const std::vector<uint64_t> &params) const
+{
+    if (prims.has(type)) {
+        const PrimitiveDef &def = prims.get(type);
+        if (params.size() != def.params.size()) {
+            fatal("primitive ", type, " expects ", def.params.size(),
+                  " parameters, got ", params.size());
+        }
+        std::map<std::string, uint64_t> env;
+        for (size_t i = 0; i < params.size(); ++i)
+            env[def.params[i]] = params[i];
+        std::vector<PortDef> ports;
+        for (const auto &spec : def.ports) {
+            Width w = spec.fixedWidth;
+            if (!spec.widthParam.empty()) {
+                auto it = env.find(spec.widthParam);
+                if (it == env.end()) {
+                    fatal("primitive ", type, ": port ", spec.name,
+                          " references unknown parameter ", spec.widthParam);
+                }
+                w = static_cast<Width>(it->second);
+            }
+            if (w == 0 || w > 64)
+                fatal("primitive ", type, ": port ", spec.name,
+                      " has invalid width ", w);
+            ports.push_back(PortDef{spec.name, w, spec.dir});
+        }
+        auto cell = std::make_unique<Cell>(name, type, params,
+                                           std::move(ports), true);
+        cell->attrs() = def.attrs;
+        return cell;
+    }
+
+    const Component *def = findComponent(type);
+    if (!def)
+        fatal("unknown cell type: ", type);
+    if (!params.empty())
+        fatal("component instances take no parameters: ", type);
+    std::vector<PortDef> ports = def->signature();
+    auto cell =
+        std::make_unique<Cell>(name, type, params, std::move(ports), false);
+    // Propagate the component's latency so instantiating groups can infer
+    // their own latency (paper §5.3, §6.1).
+    if (auto lat = def->staticLatency())
+        cell->attrs().set(Attributes::staticAttr, *lat);
+    cell->attrs().set(Attributes::statefulAttr, 1);
+    return cell;
+}
+
+std::vector<Component *>
+Context::topologicalOrder()
+{
+    std::vector<Component *> order;
+    std::set<std::string> done;
+    std::set<std::string> visiting;
+
+    std::function<void(Component *)> visit = [&](Component *c) {
+        if (done.count(c->name()))
+            return;
+        if (visiting.count(c->name()))
+            fatal("component instantiation cycle involving ", c->name());
+        visiting.insert(c->name());
+        for (const auto &cell : c->cells()) {
+            if (!cell->isPrimitive())
+                visit(&component(cell->type()));
+        }
+        visiting.erase(c->name());
+        done.insert(c->name());
+        order.push_back(c);
+    };
+
+    for (auto &c : comps)
+        visit(c.get());
+    return order;
+}
+
+} // namespace calyx

@@ -1,0 +1,72 @@
+#ifndef CALYX_IR_CONTEXT_H
+#define CALYX_IR_CONTEXT_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/component.h"
+#include "ir/primitives.h"
+
+namespace calyx {
+
+/**
+ * A whole Calyx program: the primitive registry, a list of components,
+ * and the entrypoint component name. Owns all IR.
+ */
+class Context
+{
+  public:
+    Context() = default;
+
+    Context(const Context &) = delete;
+    Context &operator=(const Context &) = delete;
+    Context(Context &&) = default;
+    Context &operator=(Context &&) = default;
+
+    PrimitiveRegistry &primitives() { return prims; }
+    const PrimitiveRegistry &primitives() const { return prims; }
+
+    /** Create a new empty component. */
+    Component &addComponent(const std::string &name);
+
+    Component *findComponent(const std::string &name);
+    const Component *findComponent(const std::string &name) const;
+    Component &component(const std::string &name);
+    const Component &component(const std::string &name) const;
+
+    const std::vector<std::unique_ptr<Component>> &components() const
+    {
+        return comps;
+    }
+
+    /** Entrypoint component (default "main"). */
+    const std::string &entrypoint() const { return entry; }
+    void setEntrypoint(std::string name) { entry = std::move(name); }
+    Component &main() { return component(entry); }
+    const Component &main() const { return component(entry); }
+
+    /**
+     * Build a cell instantiating `type` (primitive or component defined in
+     * this context) with positional `params`, resolving all port widths.
+     */
+    std::unique_ptr<Cell> instantiate(const std::string &name,
+                                      const std::string &type,
+                                      const std::vector<uint64_t> &params)
+        const;
+
+    /**
+     * Components in dependency order: every component appears after the
+     * components it instantiates. fatal() on instantiation cycles.
+     */
+    std::vector<Component *> topologicalOrder();
+
+  private:
+    PrimitiveRegistry prims;
+    std::vector<std::unique_ptr<Component>> comps;
+    std::string entry = "main";
+};
+
+} // namespace calyx
+
+#endif // CALYX_IR_CONTEXT_H

@@ -1,0 +1,107 @@
+#include "ir/control.h"
+
+#include "support/error.h"
+
+namespace calyx {
+
+void
+Control::walk(const std::function<void(Control &)> &fn)
+{
+    fn(*this);
+    switch (kindVal) {
+      case Kind::Empty:
+      case Kind::Enable:
+        return;
+      case Kind::Seq:
+        for (auto &c : cast<Seq>(*this).stmts())
+            c->walk(fn);
+        return;
+      case Kind::Par:
+        for (auto &c : cast<Par>(*this).stmts())
+            c->walk(fn);
+        return;
+      case Kind::If: {
+        auto &i = cast<If>(*this);
+        i.trueBranch().walk(fn);
+        i.falseBranch().walk(fn);
+        return;
+      }
+      case Kind::While:
+        cast<While>(*this).body().walk(fn);
+        return;
+    }
+}
+
+void
+Control::walk(const std::function<void(const Control &)> &fn) const
+{
+    const_cast<Control *>(this)->walk(
+        [&fn](Control &c) { fn(static_cast<const Control &>(c)); });
+}
+
+ControlPtr
+Empty::clone() const
+{
+    auto c = std::make_unique<Empty>();
+    c->attrs() = attrs();
+    return c;
+}
+
+ControlPtr
+Enable::clone() const
+{
+    auto c = std::make_unique<Enable>(groupName);
+    c->attrs() = attrs();
+    return c;
+}
+
+ControlPtr
+Seq::clone() const
+{
+    auto c = std::make_unique<Seq>();
+    for (const auto &s : stmtsVal)
+        c->add(s->clone());
+    c->attrs() = attrs();
+    return c;
+}
+
+ControlPtr
+Par::clone() const
+{
+    auto c = std::make_unique<Par>();
+    for (const auto &s : stmtsVal)
+        c->add(s->clone());
+    c->attrs() = attrs();
+    return c;
+}
+
+ControlPtr
+If::clone() const
+{
+    auto c = std::make_unique<If>(condPortVal, condGroupVal, tVal->clone(),
+                                  fVal->clone());
+    c->attrs() = attrs();
+    return c;
+}
+
+ControlPtr
+While::clone() const
+{
+    auto c =
+        std::make_unique<While>(condPortVal, condGroupVal, bodyVal->clone());
+    c->attrs() = attrs();
+    return c;
+}
+
+int
+countControlStatements(const Control &c)
+{
+    int n = 0;
+    c.walk([&n](const Control &node) {
+        if (node.kind() != Control::Kind::Empty)
+            ++n;
+    });
+    return n;
+}
+
+} // namespace calyx

@@ -1,0 +1,196 @@
+#ifndef CALYX_IR_CONTROL_H
+#define CALYX_IR_CONTROL_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/attributes.h"
+#include "ir/port.h"
+
+namespace calyx {
+
+class Control;
+using ControlPtr = std::unique_ptr<Control>;
+
+/**
+ * A node in the control program (paper §3.4): the software-like execution
+ * schedule that orchestrates groups. Control statements have no direct
+ * hardware analog; the CompileControl pass lowers them to FSMs.
+ */
+class Control
+{
+  public:
+    enum class Kind { Empty, Enable, Seq, Par, If, While };
+
+    virtual ~Control() = default;
+
+    Kind kind() const { return kindVal; }
+
+    /** Deep copy. */
+    virtual ControlPtr clone() const = 0;
+
+    /** Visit this node and all descendants, pre-order. */
+    void walk(const std::function<void(Control &)> &fn);
+    void walk(const std::function<void(const Control &)> &fn) const;
+
+    Attributes &attrs() { return attributes; }
+    const Attributes &attrs() const { return attributes; }
+
+    /** Latency in cycles if the "static" attribute is present. */
+    std::optional<int64_t> staticLatency() const
+    {
+        return attributes.find(Attributes::staticAttr);
+    }
+
+  protected:
+    explicit Control(Kind kind) : kindVal(kind) {}
+
+    Attributes attributes;
+
+  private:
+    Kind kindVal;
+};
+
+/** The no-op control program. */
+class Empty final : public Control
+{
+  public:
+    Empty() : Control(Kind::Empty) {}
+    ControlPtr clone() const override;
+};
+
+/** Pass control to a single group (paper: "enable"). */
+class Enable final : public Control
+{
+  public:
+    explicit Enable(std::string group)
+        : Control(Kind::Enable), groupName(std::move(group))
+    {}
+
+    const std::string &group() const { return groupName; }
+    void setGroup(std::string g) { groupName = std::move(g); }
+
+    ControlPtr clone() const override;
+
+  private:
+    std::string groupName;
+};
+
+/** Execute children in order. */
+class Seq final : public Control
+{
+  public:
+    Seq() : Control(Kind::Seq) {}
+    explicit Seq(std::vector<ControlPtr> children)
+        : Control(Kind::Seq), stmtsVal(std::move(children))
+    {}
+
+    std::vector<ControlPtr> &stmts() { return stmtsVal; }
+    const std::vector<ControlPtr> &stmts() const { return stmtsVal; }
+    void add(ControlPtr c) { stmtsVal.push_back(std::move(c)); }
+
+    ControlPtr clone() const override;
+
+  private:
+    std::vector<ControlPtr> stmtsVal;
+};
+
+/** Execute children once each, in parallel. */
+class Par final : public Control
+{
+  public:
+    Par() : Control(Kind::Par) {}
+    explicit Par(std::vector<ControlPtr> children)
+        : Control(Kind::Par), stmtsVal(std::move(children))
+    {}
+
+    std::vector<ControlPtr> &stmts() { return stmtsVal; }
+    const std::vector<ControlPtr> &stmts() const { return stmtsVal; }
+    void add(ControlPtr c) { stmtsVal.push_back(std::move(c)); }
+
+    ControlPtr clone() const override;
+
+  private:
+    std::vector<ControlPtr> stmtsVal;
+};
+
+/**
+ * Conditional: run `condGroup` to compute a 1-bit value on `condPort`,
+ * then execute one branch. `condGroup` may be empty when the port is
+ * driven by continuous assignments.
+ */
+class If final : public Control
+{
+  public:
+    If(PortRef cond_port, std::string cond_group, ControlPtr t, ControlPtr f)
+        : Control(Kind::If), condPortVal(std::move(cond_port)),
+          condGroupVal(std::move(cond_group)), tVal(std::move(t)),
+          fVal(std::move(f))
+    {}
+
+    const PortRef &condPort() const { return condPortVal; }
+    const std::string &condGroup() const { return condGroupVal; }
+    Control &trueBranch() { return *tVal; }
+    const Control &trueBranch() const { return *tVal; }
+    Control &falseBranch() { return *fVal; }
+    const Control &falseBranch() const { return *fVal; }
+    ControlPtr &trueBranchPtr() { return tVal; }
+    ControlPtr &falseBranchPtr() { return fVal; }
+
+    ControlPtr clone() const override;
+
+  private:
+    PortRef condPortVal;
+    std::string condGroupVal;
+    ControlPtr tVal, fVal;
+};
+
+/**
+ * Loop: run `condGroup`, read `condPort`; while high, execute the body
+ * and re-evaluate.
+ */
+class While final : public Control
+{
+  public:
+    While(PortRef cond_port, std::string cond_group, ControlPtr body)
+        : Control(Kind::While), condPortVal(std::move(cond_port)),
+          condGroupVal(std::move(cond_group)), bodyVal(std::move(body))
+    {}
+
+    const PortRef &condPort() const { return condPortVal; }
+    const std::string &condGroup() const { return condGroupVal; }
+    Control &body() { return *bodyVal; }
+    const Control &body() const { return *bodyVal; }
+    ControlPtr &bodyPtr() { return bodyVal; }
+
+    ControlPtr clone() const override;
+
+  private:
+    PortRef condPortVal;
+    std::string condGroupVal;
+    ControlPtr bodyVal;
+};
+
+/** Downcast helpers (checked in debug builds). */
+template <typename T>
+T &
+cast(Control &c)
+{
+    return static_cast<T &>(c);
+}
+
+template <typename T>
+const T &
+cast(const Control &c)
+{
+    return static_cast<const T &>(c);
+}
+
+/** Count every control statement in the tree (for §7.4 statistics). */
+int countControlStatements(const Control &c);
+
+} // namespace calyx
+
+#endif // CALYX_IR_CONTROL_H

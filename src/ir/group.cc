@@ -1,0 +1,31 @@
+#include "ir/group.h"
+
+namespace calyx {
+
+void
+Assignment::reads(const std::function<void(const PortRef &)> &fn) const
+{
+    if (!src.isConst())
+        fn(src);
+    guard->ports(fn);
+}
+
+std::string
+Assignment::str() const
+{
+    if (guard->isTrue())
+        return dst.str() + " = " + src.str() + ";";
+    return dst.str() + " = " + guard->str() + " ? " + src.str() + ";";
+}
+
+bool
+Group::hasDoneWrite() const
+{
+    for (const auto &a : assigns) {
+        if (a.dst.isHole() && a.dst.parent == nameVal && a.dst.port == "done")
+            return true;
+    }
+    return false;
+}
+
+} // namespace calyx

@@ -1,0 +1,344 @@
+#include "ir/guard.h"
+
+#include "support/error.h"
+
+namespace calyx {
+
+const PortRef &
+Guard::port() const
+{
+    if (kindVal != Kind::Port)
+        panic("Guard::port on non-port guard");
+    return portVal;
+}
+
+Guard::CmpOp
+Guard::cmpOp() const
+{
+    if (kindVal != Kind::Cmp)
+        panic("Guard::cmpOp on non-cmp guard");
+    return op;
+}
+
+const PortRef &
+Guard::lhs() const
+{
+    if (kindVal != Kind::Cmp)
+        panic("Guard::lhs on non-cmp guard");
+    return lhsVal;
+}
+
+const PortRef &
+Guard::rhs() const
+{
+    if (kindVal != Kind::Cmp)
+        panic("Guard::rhs on non-cmp guard");
+    return rhsVal;
+}
+
+const GuardPtr &
+Guard::left() const
+{
+    return leftVal;
+}
+
+const GuardPtr &
+Guard::right() const
+{
+    return rightVal;
+}
+
+GuardPtr
+Guard::trueGuard()
+{
+    static GuardPtr instance = [] {
+        auto g = std::shared_ptr<Guard>(new Guard());
+        g->kindVal = Kind::True;
+        return GuardPtr(g);
+    }();
+    return instance;
+}
+
+GuardPtr
+Guard::fromPort(const PortRef &p)
+{
+    auto g = std::shared_ptr<Guard>(new Guard());
+    g->kindVal = Kind::Port;
+    g->portVal = p;
+    return g;
+}
+
+GuardPtr
+Guard::negate(GuardPtr g)
+{
+    if (g->kindVal == Kind::Not)
+        return g->leftVal;
+    auto n = std::shared_ptr<Guard>(new Guard());
+    n->kindVal = Kind::Not;
+    n->leftVal = std::move(g);
+    return n;
+}
+
+GuardPtr
+Guard::conj(GuardPtr a, GuardPtr b)
+{
+    if (a->isTrue())
+        return b;
+    if (b->isTrue())
+        return a;
+    auto n = std::shared_ptr<Guard>(new Guard());
+    n->kindVal = Kind::And;
+    n->leftVal = std::move(a);
+    n->rightVal = std::move(b);
+    return n;
+}
+
+GuardPtr
+Guard::disj(GuardPtr a, GuardPtr b)
+{
+    if (a->isTrue() || b->isTrue())
+        return trueGuard();
+    auto n = std::shared_ptr<Guard>(new Guard());
+    n->kindVal = Kind::Or;
+    n->leftVal = std::move(a);
+    n->rightVal = std::move(b);
+    return n;
+}
+
+GuardPtr
+Guard::cmp(CmpOp op, const PortRef &l, const PortRef &r)
+{
+    auto n = std::shared_ptr<Guard>(new Guard());
+    n->kindVal = Kind::Cmp;
+    n->op = op;
+    n->lhsVal = l;
+    n->rhsVal = r;
+    return n;
+}
+
+bool
+Guard::equal(const GuardPtr &a, const GuardPtr &b)
+{
+    if (a == b)
+        return true;
+    if (a->kindVal != b->kindVal)
+        return false;
+    switch (a->kindVal) {
+      case Kind::True:
+        return true;
+      case Kind::Port:
+        return a->portVal == b->portVal;
+      case Kind::Cmp:
+        return a->op == b->op && a->lhsVal == b->lhsVal &&
+               a->rhsVal == b->rhsVal;
+      case Kind::Not:
+        return equal(a->leftVal, b->leftVal);
+      case Kind::And:
+      case Kind::Or:
+        return equal(a->leftVal, b->leftVal) &&
+               equal(a->rightVal, b->rightVal);
+    }
+    panic("bad guard kind");
+}
+
+void
+Guard::ports(const std::function<void(const PortRef &)> &fn) const
+{
+    switch (kindVal) {
+      case Kind::True:
+        return;
+      case Kind::Port:
+        fn(portVal);
+        return;
+      case Kind::Cmp:
+        if (!lhsVal.isConst())
+            fn(lhsVal);
+        if (!rhsVal.isConst())
+            fn(rhsVal);
+        return;
+      case Kind::Not:
+        leftVal->ports(fn);
+        return;
+      case Kind::And:
+      case Kind::Or:
+        leftVal->ports(fn);
+        rightVal->ports(fn);
+        return;
+    }
+}
+
+GuardPtr
+Guard::rewritePorts(const GuardPtr &g,
+                    const std::function<PortRef(const PortRef &)> &fn)
+{
+    switch (g->kindVal) {
+      case Kind::True:
+        return g;
+      case Kind::Port: {
+        PortRef np = fn(g->portVal);
+        if (np == g->portVal)
+            return g;
+        return fromPort(np);
+      }
+      case Kind::Cmp: {
+        PortRef nl = g->lhsVal.isConst() ? g->lhsVal : fn(g->lhsVal);
+        PortRef nr = g->rhsVal.isConst() ? g->rhsVal : fn(g->rhsVal);
+        if (nl == g->lhsVal && nr == g->rhsVal)
+            return g;
+        return cmp(g->op, nl, nr);
+      }
+      case Kind::Not: {
+        GuardPtr nl = rewritePorts(g->leftVal, fn);
+        if (nl == g->leftVal)
+            return g;
+        return negate(nl);
+      }
+      case Kind::And:
+      case Kind::Or: {
+        GuardPtr nl = rewritePorts(g->leftVal, fn);
+        GuardPtr nr = rewritePorts(g->rightVal, fn);
+        if (nl == g->leftVal && nr == g->rightVal)
+            return g;
+        return g->kindVal == Kind::And ? conj(nl, nr) : disj(nl, nr);
+      }
+    }
+    panic("bad guard kind");
+}
+
+GuardPtr
+Guard::substPort(const GuardPtr &g, const PortRef &p, const GuardPtr &value)
+{
+    switch (g->kindVal) {
+      case Kind::True:
+        return g;
+      case Kind::Port:
+        return g->portVal == p ? value : g;
+      case Kind::Cmp:
+        if (g->lhsVal == p || g->rhsVal == p)
+            fatal("cannot inline hole ", p.str(),
+                  " used inside a comparison");
+        return g;
+      case Kind::Not: {
+        GuardPtr nl = substPort(g->leftVal, p, value);
+        if (nl == g->leftVal)
+            return g;
+        return negate(nl);
+      }
+      case Kind::And:
+      case Kind::Or: {
+        GuardPtr nl = substPort(g->leftVal, p, value);
+        GuardPtr nr = substPort(g->rightVal, p, value);
+        if (nl == g->leftVal && nr == g->rightVal)
+            return g;
+        return g->kindVal == Kind::And ? conj(nl, nr) : disj(nl, nr);
+      }
+    }
+    panic("bad guard kind");
+}
+
+int
+Guard::size() const
+{
+    switch (kindVal) {
+      case Kind::True:
+        return 0;
+      case Kind::Port:
+      case Kind::Cmp:
+        return 1;
+      case Kind::Not:
+        return 1 + leftVal->size();
+      case Kind::And:
+      case Kind::Or:
+        return 1 + leftVal->size() + rightVal->size();
+    }
+    panic("bad guard kind");
+}
+
+std::string
+Guard::cmpOpStr(CmpOp op)
+{
+    switch (op) {
+      case CmpOp::Eq:
+        return "==";
+      case CmpOp::Neq:
+        return "!=";
+      case CmpOp::Lt:
+        return "<";
+      case CmpOp::Gt:
+        return ">";
+      case CmpOp::Leq:
+        return "<=";
+      case CmpOp::Geq:
+        return ">=";
+    }
+    panic("bad cmp op");
+}
+
+namespace {
+
+// Precedence: Or = 1, And = 2, Cmp = 3, Not = 4, leaves = 5.
+int
+precedence(Guard::Kind k)
+{
+    switch (k) {
+      case Guard::Kind::Or:
+        return 1;
+      case Guard::Kind::And:
+        return 2;
+      case Guard::Kind::Cmp:
+        return 3;
+      case Guard::Kind::Not:
+        return 4;
+      default:
+        return 5;
+    }
+}
+
+void
+render(const Guard &g, int parent_prec, std::string &out)
+{
+    int prec = precedence(g.kind());
+    bool parens = prec < parent_prec;
+    if (parens)
+        out += "(";
+    switch (g.kind()) {
+      case Guard::Kind::True:
+        out += "1'd1";
+        break;
+      case Guard::Kind::Port:
+        out += g.port().str();
+        break;
+      case Guard::Kind::Cmp:
+        out += g.lhs().str() + " " + Guard::cmpOpStr(g.cmpOp()) + " " +
+               g.rhs().str();
+        break;
+      case Guard::Kind::Not:
+        out += "!";
+        render(*g.left(), 4, out);
+        break;
+      case Guard::Kind::And:
+        render(*g.left(), 2, out);
+        out += " & ";
+        render(*g.right(), 2, out);
+        break;
+      case Guard::Kind::Or:
+        render(*g.left(), 1, out);
+        out += " | ";
+        render(*g.right(), 1, out);
+        break;
+    }
+    if (parens)
+        out += ")";
+}
+
+} // namespace
+
+std::string
+Guard::str() const
+{
+    std::string out;
+    render(*this, 0, out);
+    return out;
+}
+
+} // namespace calyx

@@ -1,0 +1,96 @@
+#ifndef CALYX_IR_GUARD_H
+#define CALYX_IR_GUARD_H
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "ir/port.h"
+
+namespace calyx {
+
+class Guard;
+
+/** Guards are immutable and shared; passes combine them without copying. */
+using GuardPtr = std::shared_ptr<const Guard>;
+
+/**
+ * A guard expression controlling when an assignment is active (paper §3.2).
+ * Guards are boolean trees whose leaves are 1-bit ports or comparisons
+ * between same-width operands (ports or constants).
+ */
+class Guard
+{
+  public:
+    enum class Kind { True, Port, Not, And, Or, Cmp };
+    enum class CmpOp { Eq, Neq, Lt, Gt, Leq, Geq };
+
+    Kind kind() const { return kindVal; }
+
+    /** Leaf port (Kind::Port only). */
+    const PortRef &port() const;
+    /** Comparison pieces (Kind::Cmp only). */
+    CmpOp cmpOp() const;
+    const PortRef &lhs() const;
+    const PortRef &rhs() const;
+    /** Children (Not uses left only). */
+    const GuardPtr &left() const;
+    const GuardPtr &right() const;
+
+    /** The always-true guard (default for unguarded assignments). */
+    static GuardPtr trueGuard();
+    /** 1-bit port leaf. */
+    static GuardPtr fromPort(const PortRef &p);
+    /** Logical negation; folds constants and double negation. */
+    static GuardPtr negate(GuardPtr g);
+    /** Conjunction; folds True operands. */
+    static GuardPtr conj(GuardPtr a, GuardPtr b);
+    /** Disjunction; folds True operands to True. */
+    static GuardPtr disj(GuardPtr a, GuardPtr b);
+    /** Comparison between two operands. */
+    static GuardPtr cmp(CmpOp op, const PortRef &l, const PortRef &r);
+
+    bool isTrue() const { return kindVal == Kind::True; }
+
+    /** Structural equality. */
+    static bool equal(const GuardPtr &a, const GuardPtr &b);
+
+    /** Apply `fn` to every port reference in the tree (reads). */
+    void ports(const std::function<void(const PortRef &)> &fn) const;
+
+    /**
+     * Return a guard with every port satisfying `pred` rewritten by `fn`.
+     * Used by sharing passes (cell renaming) and hole inlining.
+     */
+    static GuardPtr
+    rewritePorts(const GuardPtr &g,
+                 const std::function<PortRef(const PortRef &)> &fn);
+
+    /**
+     * Replace occurrences of 1-bit port `p` (as a leaf) with guard `value`.
+     * Used by RemoveGroups to inline holes.
+     */
+    static GuardPtr substPort(const GuardPtr &g, const PortRef &p,
+                              const GuardPtr &value);
+
+    /** Number of nodes in this guard tree (for area estimation). */
+    int size() const;
+
+    /** Render with minimal parentheses, e.g. `fsm.out == 2'd1 & !p.out`. */
+    std::string str() const;
+
+    static std::string cmpOpStr(CmpOp op);
+
+  private:
+    Guard() = default;
+
+    Kind kindVal = Kind::True;
+    PortRef portVal;       // Port leaf
+    CmpOp op = CmpOp::Eq;  // Cmp
+    PortRef lhsVal, rhsVal;
+    GuardPtr leftVal, rightVal;
+};
+
+} // namespace calyx
+
+#endif // CALYX_IR_GUARD_H

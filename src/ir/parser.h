@@ -1,0 +1,24 @@
+#ifndef CALYX_IR_PARSER_H
+#define CALYX_IR_PARSER_H
+
+#include <string>
+
+#include "ir/context.h"
+
+namespace calyx {
+
+/**
+ * Recursive-descent parser for the textual Calyx IL emitted by Printer.
+ * Accepts extern blocks, components with cells/wires/control sections,
+ * guarded assignments, and the full control language.
+ */
+class Parser
+{
+  public:
+    /** Parse a whole program. Throws Error with line info on bad input. */
+    static Context parseProgram(const std::string &source);
+};
+
+} // namespace calyx
+
+#endif // CALYX_IR_PARSER_H

@@ -1,0 +1,76 @@
+#include "ir/port.h"
+
+#include <tuple>
+
+#include "support/error.h"
+
+namespace calyx {
+
+bool
+PortRef::operator<(const PortRef &other) const
+{
+    return std::tie(kind, parent, port, value, width) <
+           std::tie(other.kind, other.parent, other.port, other.value,
+                    other.width);
+}
+
+std::string
+PortRef::str() const
+{
+    switch (kind) {
+      case Kind::This:
+        return port;
+      case Kind::Cell:
+        return parent + "." + port;
+      case Kind::Hole:
+        return parent + "[" + port + "]";
+      case Kind::Const:
+        return std::to_string(width) + "'d" + std::to_string(value);
+    }
+    panic("bad PortRef kind");
+}
+
+PortRef
+cellPort(const std::string &cell, const std::string &port)
+{
+    PortRef p;
+    p.kind = PortRef::Kind::Cell;
+    p.parent = cell;
+    p.port = port;
+    return p;
+}
+
+PortRef
+thisPort(const std::string &port)
+{
+    PortRef p;
+    p.kind = PortRef::Kind::This;
+    p.port = port;
+    return p;
+}
+
+PortRef
+holePort(const std::string &group, const std::string &hole)
+{
+    PortRef p;
+    p.kind = PortRef::Kind::Hole;
+    p.parent = group;
+    p.port = hole;
+    return p;
+}
+
+PortRef
+constant(uint64_t value, Width width)
+{
+    if (width == 0 || width > 64)
+        fatal("constant width must be in [1, 64], got ", width);
+    if (value != truncate(value, width))
+        fatal("constant ", value, " does not fit in ", width, " bits");
+    PortRef p;
+    p.kind = PortRef::Kind::Const;
+    p.value = value;
+    p.width = width;
+    return p;
+}
+
+} // namespace calyx

@@ -1,0 +1,66 @@
+#ifndef CALYX_IR_PORT_H
+#define CALYX_IR_PORT_H
+
+#include <cstdint>
+#include <string>
+
+#include "support/bits.h"
+
+namespace calyx {
+
+/** Direction of a component or primitive port. */
+enum class Direction { Input, Output };
+
+/** Declaration of a port in a component signature or primitive prototype. */
+struct PortDef
+{
+    std::string name;
+    Width width = 0;
+    Direction dir = Direction::Input;
+};
+
+/**
+ * A reference to a port, the operand language of Calyx assignments and
+ * guards. A reference names either:
+ *  - This:  a port of the enclosing component (`go`, `done`, signature),
+ *  - Cell:  `cell.port` for an instantiated subcomponent/primitive,
+ *  - Hole:  `group[go]` / `group[done]` interface signals (paper §3.3),
+ *  - Const: a literal `width'd value`.
+ */
+struct PortRef
+{
+    enum class Kind { This, Cell, Hole, Const };
+
+    Kind kind = Kind::Const;
+    std::string parent; ///< Cell or group name (Cell/Hole only).
+    std::string port;   ///< Port or hole name (empty for Const).
+    uint64_t value = 0; ///< Literal value (Const only).
+    Width width = 0;    ///< Literal width (Const only; 0 elsewhere).
+
+    bool isConst() const { return kind == Kind::Const; }
+    bool isHole() const { return kind == Kind::Hole; }
+    bool isThis() const { return kind == Kind::This; }
+    bool isCell() const { return kind == Kind::Cell; }
+
+    bool operator==(const PortRef &other) const = default;
+    bool operator<(const PortRef &other) const;
+
+    /** Canonical textual form, e.g. `a0.out`, `incr[done]`, `32'd5`. */
+    std::string str() const;
+};
+
+/** Reference to `cell.port`. */
+PortRef cellPort(const std::string &cell, const std::string &port);
+
+/** Reference to a port of the enclosing component. */
+PortRef thisPort(const std::string &port);
+
+/** Reference to a group interface hole, e.g. holePort("incr", "done"). */
+PortRef holePort(const std::string &group, const std::string &hole);
+
+/** Constant literal of the given width. */
+PortRef constant(uint64_t value, Width width);
+
+} // namespace calyx
+
+#endif // CALYX_IR_PORT_H

@@ -1,0 +1,226 @@
+#include "ir/primitives.h"
+
+#include "support/error.h"
+
+namespace calyx {
+
+namespace {
+
+PrimPortSpec
+in(const std::string &name, const std::string &width_param)
+{
+    return PrimPortSpec{name, Direction::Input, 0, width_param};
+}
+
+PrimPortSpec
+in1(const std::string &name)
+{
+    return PrimPortSpec{name, Direction::Input, 1, ""};
+}
+
+PrimPortSpec
+out(const std::string &name, const std::string &width_param)
+{
+    return PrimPortSpec{name, Direction::Output, 0, width_param};
+}
+
+PrimPortSpec
+out1(const std::string &name)
+{
+    return PrimPortSpec{name, Direction::Output, 1, ""};
+}
+
+PrimitiveDef
+binaryComb(const std::string &name)
+{
+    PrimitiveDef d;
+    d.name = name;
+    d.params = {"WIDTH"};
+    d.ports = {in("left", "WIDTH"), in("right", "WIDTH"),
+               out("out", "WIDTH")};
+    d.attrs.set(Attributes::shareAttr, 1);
+    return d;
+}
+
+PrimitiveDef
+cmpComb(const std::string &name)
+{
+    PrimitiveDef d;
+    d.name = name;
+    d.params = {"WIDTH"};
+    d.ports = {in("left", "WIDTH"), in("right", "WIDTH"), out1("out")};
+    d.attrs.set(Attributes::shareAttr, 1);
+    return d;
+}
+
+} // namespace
+
+PrimitiveRegistry::PrimitiveRegistry()
+{
+    // Constant with a parameterized value: std_const(WIDTH, VALUE).
+    {
+        PrimitiveDef d;
+        d.name = "std_const";
+        d.params = {"WIDTH", "VALUE"};
+        d.ports = {out("out", "WIDTH")};
+        d.attrs.set(Attributes::shareAttr, 1);
+        add(d);
+    }
+    // Identity wire.
+    {
+        PrimitiveDef d;
+        d.name = "std_wire";
+        d.params = {"WIDTH"};
+        d.ports = {in("in", "WIDTH"), out("out", "WIDTH")};
+        add(d);
+    }
+    // Bit slicing / zero extension.
+    {
+        PrimitiveDef d;
+        d.name = "std_slice";
+        d.params = {"IN_WIDTH", "OUT_WIDTH"};
+        d.ports = {in("in", "IN_WIDTH"), out("out", "OUT_WIDTH")};
+        d.attrs.set(Attributes::shareAttr, 1);
+        add(d);
+    }
+    {
+        PrimitiveDef d;
+        d.name = "std_pad";
+        d.params = {"IN_WIDTH", "OUT_WIDTH"};
+        d.ports = {in("in", "IN_WIDTH"), out("out", "OUT_WIDTH")};
+        d.attrs.set(Attributes::shareAttr, 1);
+        add(d);
+    }
+    // Unary logic.
+    {
+        PrimitiveDef d;
+        d.name = "std_not";
+        d.params = {"WIDTH"};
+        d.ports = {in("in", "WIDTH"), out("out", "WIDTH")};
+        d.attrs.set(Attributes::shareAttr, 1);
+        add(d);
+    }
+    // Binary combinational operators.
+    for (const char *n : {"std_and", "std_or", "std_xor", "std_add",
+                          "std_sub", "std_lsh", "std_rsh"}) {
+        add(binaryComb(n));
+    }
+    // Comparisons (1-bit result).
+    for (const char *n : {"std_eq", "std_neq", "std_lt", "std_gt", "std_le",
+                          "std_ge"}) {
+        add(cmpComb(n));
+    }
+    // Register: 1-cycle write, registered done pulse.
+    {
+        PrimitiveDef d;
+        d.name = "std_reg";
+        d.params = {"WIDTH"};
+        d.ports = {in("in", "WIDTH"), in1("write_en"), out("out", "WIDTH"),
+                   out1("done")};
+        d.attrs.set(Attributes::statefulAttr, 1);
+        d.attrs.set(Attributes::staticAttr, regLatency);
+        d.goPort = "write_en";
+        d.donePort = "done";
+        add(d);
+    }
+    // One- and two-dimensional memories with combinational reads.
+    // Memories are dual-ported like FPGA block RAM: port 0 reads and
+    // writes, port 1 (suffix _1) is a second combinational read port so
+    // two parallel lanes can share one read-only memory.
+    {
+        PrimitiveDef d;
+        d.name = "std_mem_d1";
+        d.params = {"WIDTH", "SIZE", "IDX_SIZE"};
+        d.ports = {in("addr0", "IDX_SIZE"), in("write_data", "WIDTH"),
+                   in1("write_en"), out("read_data", "WIDTH"),
+                   out1("done"), in("addr0_1", "IDX_SIZE"),
+                   out("read_data_1", "WIDTH")};
+        d.attrs.set(Attributes::statefulAttr, 1);
+        d.attrs.set(Attributes::staticAttr, memLatency);
+        d.goPort = "write_en";
+        d.donePort = "done";
+        d.isMemory = true;
+        add(d);
+    }
+    {
+        PrimitiveDef d;
+        d.name = "std_mem_d2";
+        d.params = {"WIDTH", "D0_SIZE", "D1_SIZE", "D0_IDX_SIZE",
+                    "D1_IDX_SIZE"};
+        d.ports = {in("addr0", "D0_IDX_SIZE"), in("addr1", "D1_IDX_SIZE"),
+                   in("write_data", "WIDTH"), in1("write_en"),
+                   out("read_data", "WIDTH"), out1("done"),
+                   in("addr0_1", "D0_IDX_SIZE"),
+                   in("addr1_1", "D1_IDX_SIZE"),
+                   out("read_data_1", "WIDTH")};
+        d.attrs.set(Attributes::statefulAttr, 1);
+        d.attrs.set(Attributes::staticAttr, memLatency);
+        d.goPort = "write_en";
+        d.donePort = "done";
+        d.isMemory = true;
+        add(d);
+    }
+    // Pipelined multiplier (paper §6.2: multiplies take four cycles).
+    {
+        PrimitiveDef d;
+        d.name = "std_mult_pipe";
+        d.params = {"WIDTH"};
+        d.ports = {in("left", "WIDTH"), in("right", "WIDTH"), in1("go"),
+                   out("out", "WIDTH"), out1("done")};
+        d.attrs.set(Attributes::statefulAttr, 1);
+        d.attrs.set(Attributes::staticAttr, multLatency);
+        d.goPort = "go";
+        d.donePort = "done";
+        add(d);
+    }
+    // Pipelined divider.
+    {
+        PrimitiveDef d;
+        d.name = "std_div_pipe";
+        d.params = {"WIDTH"};
+        d.ports = {in("left", "WIDTH"), in("right", "WIDTH"), in1("go"),
+                   out("out_quotient", "WIDTH"),
+                   out("out_remainder", "WIDTH"), out1("done")};
+        d.attrs.set(Attributes::statefulAttr, 1);
+        d.attrs.set(Attributes::staticAttr, divLatency);
+        d.goPort = "go";
+        d.donePort = "done";
+        add(d);
+    }
+    // Integer square root with data-dependent latency: deliberately has
+    // no "static" attribute (paper §6.2, black-box sqrt).
+    {
+        PrimitiveDef d;
+        d.name = "std_sqrt";
+        d.params = {"WIDTH"};
+        d.ports = {in("in", "WIDTH"), in1("go"), out("out", "WIDTH"),
+                   out1("done")};
+        d.attrs.set(Attributes::statefulAttr, 1);
+        d.goPort = "go";
+        d.donePort = "done";
+        add(d);
+    }
+}
+
+bool
+PrimitiveRegistry::has(const std::string &name) const
+{
+    return defs.count(name) > 0;
+}
+
+const PrimitiveDef &
+PrimitiveRegistry::get(const std::string &name) const
+{
+    auto it = defs.find(name);
+    if (it == defs.end())
+        fatal("unknown primitive: ", name);
+    return it->second;
+}
+
+void
+PrimitiveRegistry::add(PrimitiveDef def)
+{
+    defs[def.name] = std::move(def);
+}
+
+} // namespace calyx

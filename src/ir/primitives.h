@@ -1,0 +1,84 @@
+#ifndef CALYX_IR_PRIMITIVES_H
+#define CALYX_IR_PRIMITIVES_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/attributes.h"
+#include "ir/port.h"
+
+namespace calyx {
+
+/**
+ * Port of a primitive prototype. Widths are either fixed or given by one
+ * of the primitive's parameters (e.g. `out: WIDTH`).
+ */
+struct PrimPortSpec
+{
+    std::string name;
+    Direction dir = Direction::Input;
+    Width fixedWidth = 0;    ///< Used when widthParam is empty.
+    std::string widthParam;  ///< Parameter naming the width, if any.
+};
+
+/**
+ * Prototype of a primitive component (paper §3.2's `std_*` library plus
+ * §6.2's `extern` black-box RTL components).
+ */
+struct PrimitiveDef
+{
+    std::string name;
+    std::vector<std::string> params;
+    std::vector<PrimPortSpec> ports;
+    Attributes attrs;
+
+    /**
+     * Interface ports implementing the go/done calling convention
+     * (paper §4.1). For std_reg the write enable acts as `go`.
+     * Empty when the primitive is purely combinational.
+     */
+    std::string goPort;
+    std::string donePort;
+
+    bool isMemory = false;  ///< Simulator exposes contents for poking.
+
+    /** File providing the implementation for `extern` primitives. */
+    std::string externFile;
+
+    bool combinational() const { return donePort.empty(); }
+    bool shareable() const { return attrs.has(Attributes::shareAttr); }
+    bool stateful() const { return attrs.has(Attributes::statefulAttr); }
+};
+
+/**
+ * Registry of primitive prototypes. Starts with the standard library;
+ * frontends may register extern definitions (paper §6.2).
+ */
+class PrimitiveRegistry
+{
+  public:
+    /** Registry pre-populated with the std_* library. */
+    PrimitiveRegistry();
+
+    bool has(const std::string &name) const;
+    const PrimitiveDef &get(const std::string &name) const;
+
+    /** Register an extern or frontend-specific primitive. */
+    void add(PrimitiveDef def);
+
+    const std::map<std::string, PrimitiveDef> &all() const { return defs; }
+
+  private:
+    std::map<std::string, PrimitiveDef> defs;
+};
+
+/** Fixed latencies of the sequential standard primitives (in cycles). */
+constexpr int64_t regLatency = 1;
+constexpr int64_t memLatency = 1;
+constexpr int64_t multLatency = 4;
+constexpr int64_t divLatency = 8;
+
+} // namespace calyx
+
+#endif // CALYX_IR_PRIMITIVES_H

@@ -1,0 +1,236 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+namespace calyx {
+
+namespace {
+
+std::string
+pad(int indent)
+{
+    return std::string(indent, ' ');
+}
+
+std::string
+attrStr(const Attributes &attrs)
+{
+    if (attrs.empty())
+        return "";
+    std::string out = "<";
+    bool first = true;
+    for (const auto &[k, v] : attrs.all()) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += "\"" + k + "\"=" + std::to_string(v);
+    }
+    out += ">";
+    return out;
+}
+
+void
+printSignaturePorts(const std::vector<PortDef> &sig, Direction dir,
+                    std::ostream &os)
+{
+    bool first = true;
+    for (const auto &p : sig) {
+        if (p.dir != dir)
+            continue;
+        // The go/done calling-convention ports are implicit.
+        if (p.name == "go" || p.name == "done")
+            continue;
+        if (!first)
+            os << ", ";
+        first = false;
+        os << p.name << ": " << p.width;
+    }
+}
+
+void
+printAssignment(const Assignment &a, std::ostream &os, int indent)
+{
+    os << pad(indent) << a.str() << "\n";
+}
+
+} // namespace
+
+void
+Printer::print(const Control &ctrl, std::ostream &os, int indent)
+{
+    switch (ctrl.kind()) {
+      case Control::Kind::Empty:
+        break;
+      case Control::Kind::Enable:
+        os << pad(indent) << cast<Enable>(ctrl).group() << ";\n";
+        break;
+      case Control::Kind::Seq: {
+        os << pad(indent) << "seq" << attrStr(ctrl.attrs()) << " {\n";
+        for (const auto &c : cast<Seq>(ctrl).stmts())
+            print(*c, os, indent + 2);
+        os << pad(indent) << "}\n";
+        break;
+      }
+      case Control::Kind::Par: {
+        os << pad(indent) << "par" << attrStr(ctrl.attrs()) << " {\n";
+        for (const auto &c : cast<Par>(ctrl).stmts())
+            print(*c, os, indent + 2);
+        os << pad(indent) << "}\n";
+        break;
+      }
+      case Control::Kind::If: {
+        const auto &i = cast<If>(ctrl);
+        os << pad(indent) << "if " << i.condPort().str();
+        if (!i.condGroup().empty())
+            os << " with " << i.condGroup();
+        os << " {\n";
+        print(i.trueBranch(), os, indent + 2);
+        os << pad(indent) << "}";
+        if (i.falseBranch().kind() != Control::Kind::Empty) {
+            os << " else {\n";
+            print(i.falseBranch(), os, indent + 2);
+            os << pad(indent) << "}";
+        }
+        os << "\n";
+        break;
+      }
+      case Control::Kind::While: {
+        const auto &w = cast<While>(ctrl);
+        os << pad(indent) << "while " << w.condPort().str();
+        if (!w.condGroup().empty())
+            os << " with " << w.condGroup();
+        os << " {\n";
+        print(w.body(), os, indent + 2);
+        os << pad(indent) << "}\n";
+        break;
+      }
+    }
+}
+
+void
+Printer::print(const Component &comp, std::ostream &os)
+{
+    os << "component " << comp.name() << attrStr(comp.attrs()) << "(";
+    printSignaturePorts(comp.signature(), Direction::Input, os);
+    os << ") -> (";
+    printSignaturePorts(comp.signature(), Direction::Output, os);
+    os << ") {\n";
+
+    os << "  cells {\n";
+    for (const auto &cell : comp.cells()) {
+        os << "    " << cell->name();
+        // Only instance-level attributes are printed; prototype attributes
+        // are re-derived when parsing.
+        if (cell->attrs().has(Attributes::externalAttr))
+            os << "<\"external\"=1>";
+        os << " = " << cell->type() << "(";
+        bool first = true;
+        for (uint64_t p : cell->params()) {
+            if (!first)
+                os << ", ";
+            first = false;
+            os << p;
+        }
+        os << ");\n";
+    }
+    os << "  }\n";
+
+    os << "  wires {\n";
+    for (const auto &group : comp.groups()) {
+        os << "    group " << group->name() << attrStr(group->attrs())
+           << " {\n";
+        for (const auto &a : group->assignments())
+            printAssignment(a, os, 6);
+        os << "    }\n";
+    }
+    for (const auto &a : comp.continuousAssignments())
+        printAssignment(a, os, 4);
+    os << "  }\n";
+
+    os << "  control {\n";
+    print(comp.control(), os, 4);
+    os << "  }\n";
+    os << "}\n";
+}
+
+void
+Printer::print(const Context &ctx, std::ostream &os)
+{
+    // Extern primitive declarations (paper §6.2).
+    for (const auto &[name, def] : ctx.primitives().all()) {
+        if (def.externFile.empty())
+            continue;
+        os << "extern \"" << def.externFile << "\" {\n";
+        os << "  primitive " << name << attrStr(def.attrs) << "[";
+        bool first = true;
+        for (const auto &p : def.params) {
+            if (!first)
+                os << ", ";
+            first = false;
+            os << p;
+        }
+        os << "](";
+        auto port_str = [&def](const PrimPortSpec &spec) {
+            std::string s;
+            if (spec.name == def.goPort)
+                s += "@go ";
+            if (spec.name == def.donePort)
+                s += "@done ";
+            s += spec.name + ": ";
+            s += spec.widthParam.empty() ? std::to_string(spec.fixedWidth)
+                                         : spec.widthParam;
+            return s;
+        };
+        first = true;
+        for (const auto &spec : def.ports) {
+            if (spec.dir != Direction::Input)
+                continue;
+            if (!first)
+                os << ", ";
+            first = false;
+            os << port_str(spec);
+        }
+        os << ") -> (";
+        first = true;
+        for (const auto &spec : def.ports) {
+            if (spec.dir != Direction::Output)
+                continue;
+            if (!first)
+                os << ", ";
+            first = false;
+            os << port_str(spec);
+        }
+        os << ");\n}\n\n";
+    }
+
+    for (const auto &comp : ctx.components()) {
+        print(*comp, os);
+        os << "\n";
+    }
+}
+
+std::string
+Printer::toString(const Context &ctx)
+{
+    std::ostringstream os;
+    print(ctx, os);
+    return os.str();
+}
+
+std::string
+Printer::toString(const Component &comp)
+{
+    std::ostringstream os;
+    print(comp, os);
+    return os.str();
+}
+
+std::string
+Printer::toString(const Control &ctrl)
+{
+    std::ostringstream os;
+    print(ctrl, os);
+    return os.str();
+}
+
+} // namespace calyx

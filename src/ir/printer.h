@@ -1,0 +1,33 @@
+#ifndef CALYX_IR_PRINTER_H
+#define CALYX_IR_PRINTER_H
+
+#include <ostream>
+#include <string>
+
+#include "ir/context.h"
+
+namespace calyx {
+
+/**
+ * Pretty-printer for the textual Calyx IL. The output parses back with
+ * Parser (round-trip property is tested).
+ */
+class Printer
+{
+  public:
+    /** Print a whole program (externs + components). */
+    static void print(const Context &ctx, std::ostream &os);
+    static std::string toString(const Context &ctx);
+
+    /** Print one component. */
+    static void print(const Component &comp, std::ostream &os);
+    static std::string toString(const Component &comp);
+
+    /** Print a control tree at the given indent. */
+    static void print(const Control &ctrl, std::ostream &os, int indent = 0);
+    static std::string toString(const Control &ctrl);
+};
+
+} // namespace calyx
+
+#endif // CALYX_IR_PRINTER_H

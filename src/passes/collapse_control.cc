@@ -1,0 +1,69 @@
+#include "passes/collapse_control.h"
+
+namespace calyx::passes {
+
+ControlPtr
+CollapseControl::collapse(ControlPtr ctrl)
+{
+    switch (ctrl->kind()) {
+      case Control::Kind::Empty:
+      case Control::Kind::Enable:
+        return ctrl;
+      case Control::Kind::Seq:
+      case Control::Kind::Par: {
+        bool is_seq = ctrl->kind() == Control::Kind::Seq;
+        auto take = [&](auto &node) { return std::move(node.stmts()); };
+        std::vector<ControlPtr> stmts =
+            is_seq ? take(cast<Seq>(*ctrl)) : take(cast<Par>(*ctrl));
+        std::vector<ControlPtr> out;
+        for (auto &s : stmts) {
+            ControlPtr c = collapse(std::move(s));
+            if (c->kind() == Control::Kind::Empty)
+                continue;
+            // Flatten same-kind nesting: seq{a, seq{b, c}} = seq{a, b, c};
+            // par{par{a, b}, c} = par{a, b, c}.
+            if (c->kind() == ctrl->kind()) {
+                auto &inner =
+                    is_seq ? cast<Seq>(*c).stmts() : cast<Par>(*c).stmts();
+                for (auto &ic : inner)
+                    out.push_back(std::move(ic));
+            } else {
+                out.push_back(std::move(c));
+            }
+        }
+        if (out.empty())
+            return std::make_unique<Empty>();
+        if (out.size() == 1)
+            return std::move(out[0]);
+        if (is_seq)
+            return std::make_unique<Seq>(std::move(out));
+        return std::make_unique<Par>(std::move(out));
+      }
+      case Control::Kind::If: {
+        auto &i = cast<If>(*ctrl);
+        ControlPtr t = collapse(std::move(i.trueBranchPtr()));
+        ControlPtr f = collapse(std::move(i.falseBranchPtr()));
+        if (t->kind() == Control::Kind::Empty &&
+            f->kind() == Control::Kind::Empty) {
+            return std::make_unique<Empty>();
+        }
+        return std::make_unique<If>(i.condPort(), i.condGroup(),
+                                    std::move(t), std::move(f));
+      }
+      case Control::Kind::While: {
+        auto &w = cast<While>(*ctrl);
+        ControlPtr body = collapse(std::move(w.bodyPtr()));
+        return std::make_unique<While>(w.condPort(), w.condGroup(),
+                                       std::move(body));
+      }
+    }
+    return ctrl;
+}
+
+void
+CollapseControl::runOnComponent(Component &comp, Context &)
+{
+    comp.setControl(collapse(comp.takeControl()));
+}
+
+} // namespace calyx::passes

@@ -1,0 +1,26 @@
+#ifndef CALYX_PASSES_COLLAPSE_CONTROL_H
+#define CALYX_PASSES_COLLAPSE_CONTROL_H
+
+#include "passes/pass_manager.h"
+
+namespace calyx::passes {
+
+/**
+ * Control normalization: removes Empty statements from seq/par bodies,
+ * unwraps single-statement seq/par nodes, and flattens directly nested
+ * seq-in-seq / par-in-par. Keeps downstream FSM generation from paying
+ * states for statements that do nothing.
+ */
+class CollapseControl final : public Pass
+{
+  public:
+    std::string name() const override { return "collapse-control"; }
+    void runOnComponent(Component &comp, Context &ctx) override;
+
+    /** Normalize a control tree (exposed for tests and frontends). */
+    static ControlPtr collapse(ControlPtr ctrl);
+};
+
+} // namespace calyx::passes
+
+#endif // CALYX_PASSES_COLLAPSE_CONTROL_H

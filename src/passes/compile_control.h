@@ -1,0 +1,39 @@
+#ifndef CALYX_PASSES_COMPILE_CONTROL_H
+#define CALYX_PASSES_COMPILE_CONTROL_H
+
+#include "passes/pass_manager.h"
+
+namespace calyx::passes {
+
+/**
+ * CompileControl (paper §4.2-4.3): bottom-up replacement of every control
+ * statement with a compilation group that structurally realizes it using
+ * latency-insensitive FSMs:
+ *
+ *  - seq: a state register stepping through one state per child, advanced
+ *    by the child's done signal; done when the register reaches the final
+ *    state, which also resets it (so the group works inside loops).
+ *  - par: one 1-bit register per child latching its done; children run
+ *    while their bit is 0; done when all bits are 1, which resets them.
+ *  - if: runs the condition group, latches the 1-bit condition port into
+ *    `cs` and sets `cc` ("condition computed"); the branch selected by
+ *    `cs` runs; done when the branch is done, which resets `cc`.
+ *  - while: like if, but the body's completion clears `cc` so the
+ *    condition re-evaluates; done when the latched condition is 0.
+ *
+ * Generated assignments are gated with the compilation group's own go
+ * hole (the equivalent of running GoInsertion on them), so this pass must
+ * run after GoInsertion has processed source groups.
+ *
+ * After this pass each component's control is a single group enable.
+ */
+class CompileControl final : public Pass
+{
+  public:
+    std::string name() const override { return "compile-control"; }
+    void runOnComponent(Component &comp, Context &ctx) override;
+};
+
+} // namespace calyx::passes
+
+#endif // CALYX_PASSES_COMPILE_CONTROL_H

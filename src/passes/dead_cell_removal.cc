@@ -1,0 +1,47 @@
+#include "passes/dead_cell_removal.h"
+
+#include <set>
+
+namespace calyx::passes {
+
+void
+DeadCellRemoval::runOnComponent(Component &comp, Context &ctx)
+{
+    std::set<std::string> used;
+    auto mark = [&used](const PortRef &p) {
+        if (p.isCell())
+            used.insert(p.parent);
+    };
+    auto scan = [&](const std::vector<Assignment> &assigns) {
+        for (const auto &a : assigns) {
+            mark(a.dst);
+            a.reads(mark);
+        }
+    };
+    for (const auto &g : comp.groups())
+        scan(g->assignments());
+    scan(comp.continuousAssignments());
+    comp.control().walk([&](const Control &node) {
+        if (node.kind() == Control::Kind::If)
+            mark(cast<If>(node).condPort());
+        else if (node.kind() == Control::Kind::While)
+            mark(cast<While>(node).condPort());
+    });
+
+    std::vector<std::string> dead;
+    for (const auto &cell : comp.cells()) {
+        if (used.count(cell->name()))
+            continue;
+        if (cell->attrs().has(Attributes::externalAttr))
+            continue;
+        if (cell->isPrimitive() &&
+            ctx.primitives().get(cell->type()).isMemory) {
+            continue;
+        }
+        dead.push_back(cell->name());
+    }
+    for (const auto &name : dead)
+        comp.removeCell(name);
+}
+
+} // namespace calyx::passes

@@ -1,0 +1,23 @@
+#ifndef CALYX_PASSES_DEAD_CELL_REMOVAL_H
+#define CALYX_PASSES_DEAD_CELL_REMOVAL_H
+
+#include "passes/pass_manager.h"
+
+namespace calyx::passes {
+
+/**
+ * Removes cells that no assignment or control statement references.
+ * Sharing passes leave merged-away functional units behind; this pass
+ * reclaims them. Memories and cells marked "external" are preserved
+ * because the environment observes them.
+ */
+class DeadCellRemoval final : public Pass
+{
+  public:
+    std::string name() const override { return "dead-cell-removal"; }
+    void runOnComponent(Component &comp, Context &ctx) override;
+};
+
+} // namespace calyx::passes
+
+#endif // CALYX_PASSES_DEAD_CELL_REMOVAL_H

@@ -1,0 +1,24 @@
+#include "passes/go_insertion.h"
+
+namespace calyx::passes {
+
+void
+GoInsertion::gateGroup(Group &group)
+{
+    GuardPtr go = Guard::fromPort(group.goHole());
+    for (auto &a : group.assignments()) {
+        bool own_done = a.dst.isHole() && a.dst.parent == group.name() &&
+                        a.dst.port == "done";
+        if (!own_done)
+            a.guard = Guard::conj(a.guard, go);
+    }
+}
+
+void
+GoInsertion::runOnComponent(Component &comp, Context &)
+{
+    for (const auto &g : comp.groups())
+        gateGroup(*g);
+}
+
+} // namespace calyx::passes

@@ -1,0 +1,28 @@
+#ifndef CALYX_PASSES_GO_INSERTION_H
+#define CALYX_PASSES_GO_INSERTION_H
+
+#include "passes/pass_manager.h"
+
+namespace calyx::passes {
+
+/**
+ * GoInsertion (paper §4.2): guards every assignment inside a group with
+ * the group's own go hole, so that once groups are erased the guards
+ * alone decide which assignments are active. Writes to the group's own
+ * done hole stay unguarded (Figure 2b) so parents can always observe
+ * completion; CompileControl in turn deasserts a child's go during its
+ * done cycle, which prevents state elements from committing twice.
+ */
+class GoInsertion final : public Pass
+{
+  public:
+    std::string name() const override { return "go-insertion"; }
+    void runOnComponent(Component &comp, Context &ctx) override;
+
+    /** Gate one group's assignments (used by CompileControl too). */
+    static void gateGroup(Group &group);
+};
+
+} // namespace calyx::passes
+
+#endif // CALYX_PASSES_GO_INSERTION_H

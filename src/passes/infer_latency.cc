@@ -1,0 +1,128 @@
+#include "passes/infer_latency.h"
+
+#include "passes/static_pass.h"
+
+namespace calyx::passes {
+
+namespace {
+
+/** Latency attribute of the prototype behind `cell`, if any. */
+std::optional<int64_t>
+cellLatency(const Cell &cell, const Context &ctx)
+{
+    if (cell.isPrimitive()) {
+        const PrimitiveDef &def = ctx.primitives().get(cell.type());
+        if (def.donePort.empty())
+            return std::nullopt;
+        return def.attrs.find(Attributes::staticAttr);
+    }
+    const Component *def = ctx.findComponent(cell.type());
+    if (!def)
+        return std::nullopt;
+    return def->staticLatency();
+}
+
+/** The go-equivalent port name for `cell` (write_en for registers). */
+std::string
+goPortOf(const Cell &cell, const Context &ctx)
+{
+    if (cell.isPrimitive())
+        return ctx.primitives().get(cell.type()).goPort;
+    return "go";
+}
+
+/** The done port name for `cell`. */
+std::string
+donePortOf(const Cell &cell, const Context &ctx)
+{
+    if (cell.isPrimitive())
+        return ctx.primitives().get(cell.type()).donePort;
+    return "done";
+}
+
+void
+inferGroup(Group &group, const Component &comp, const Context &ctx)
+{
+    if (group.staticLatency())
+        return; // Frontend annotation wins.
+
+    // Locate the unique unconditional done write.
+    const Assignment *done_write = nullptr;
+    for (const auto &a : group.assignments()) {
+        if (a.dst == group.doneHole()) {
+            if (done_write)
+                return; // Multiple done writes: too complex.
+            if (!a.guard->isTrue())
+                return;
+            done_write = &a;
+        }
+    }
+    if (!done_write)
+        return;
+
+    // Combinational group: done is the constant 1.
+    if (done_write->src.isConst()) {
+        if (done_write->src.value == 1)
+            group.attrs().set(Attributes::staticAttr, 1);
+        return;
+    }
+
+    // done = cell.done, with cell.go = 1 inside the group.
+    if (!done_write->src.isCell())
+        return;
+    const Cell *cell = comp.findCell(done_write->src.parent);
+    if (!cell)
+        return;
+    if (done_write->src.port != donePortOf(*cell, ctx))
+        return;
+    auto latency = cellLatency(*cell, ctx);
+    if (!latency)
+        return;
+    std::string go_port = goPortOf(*cell, ctx);
+    for (const auto &a : group.assignments()) {
+        if (!(a.dst.isCell() && a.dst.parent == cell->name() &&
+              a.dst.port == go_port && a.src.isConst() && a.src.value == 1))
+            continue;
+        // Accept `cell.go = 1` and the idiomatic `cell.go = !cell.done ? 1`.
+        bool guard_ok = a.guard->isTrue();
+        if (!guard_ok && a.guard->kind() == Guard::Kind::Not &&
+            a.guard->left()->kind() == Guard::Kind::Port) {
+            guard_ok = a.guard->left()->port() == done_write->src;
+        }
+        if (guard_ok) {
+            group.attrs().set(Attributes::staticAttr, *latency);
+            return;
+        }
+    }
+}
+
+} // namespace
+
+void
+InferLatency::runOnComponent(Component &comp, Context &ctx)
+{
+    // Refresh instance-cell latencies: callees are processed first (the
+    // pass manager visits components in dependency order), so their
+    // inferred latencies are available now.
+    for (const auto &cell : comp.cells()) {
+        if (cell->isPrimitive())
+            continue;
+        const Component *def = ctx.findComponent(cell->type());
+        if (def) {
+            if (auto l = def->staticLatency())
+                cell->attrs().set(Attributes::staticAttr, *l);
+        }
+    }
+
+    for (const auto &group : comp.groups())
+        inferGroup(*group, comp, ctx);
+
+    if (!comp.staticLatency()) {
+        if (auto total = StaticPass::latencyOf(comp.control(), comp);
+            total && *total > 0) {
+            comp.attrs().set(Attributes::staticAttr, *total);
+        }
+    }
+}
+
+} // namespace calyx::passes

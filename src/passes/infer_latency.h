@@ -1,0 +1,33 @@
+#ifndef CALYX_PASSES_INFER_LATENCY_H
+#define CALYX_PASSES_INFER_LATENCY_H
+
+#include "passes/pass_manager.h"
+
+namespace calyx::passes {
+
+/**
+ * InferLatency (paper §5.3): conservatively infer "static" attributes so
+ * the Sensitive pass can build latency-sensitive FSMs even when the
+ * frontend supplied no annotations.
+ *
+ * Group rule: if a group's done hole equals a cell's done signal, the
+ * group unconditionally drives that cell's go signal with 1, and the
+ * cell's prototype advertises a latency, the group has that latency.
+ * A group whose done is the constant 1 is combinational (latency 1).
+ *
+ * Component rule: if a component's whole control program is static, the
+ * component itself gets the total as its latency, and instance cells of
+ * that component are re-stamped, so latency flows bottom-up through the
+ * hierarchy (this is what makes the systolic arrays of §6.1 fully
+ * inferable when only the PE carries an annotation).
+ */
+class InferLatency final : public Pass
+{
+  public:
+    std::string name() const override { return "infer-latency"; }
+    void runOnComponent(Component &comp, Context &ctx) override;
+};
+
+} // namespace calyx::passes
+
+#endif // CALYX_PASSES_INFER_LATENCY_H

@@ -1,0 +1,43 @@
+#include "passes/pass_manager.h"
+
+#include "passes/wellformed.h"
+#include "support/error.h"
+
+namespace calyx::passes {
+
+void
+Pass::runOnComponent(Component &, Context &)
+{}
+
+void
+Pass::runOnContext(Context &ctx)
+{
+    for (Component *comp : ctx.topologicalOrder())
+        runOnComponent(*comp, ctx);
+}
+
+PassManager &
+PassManager::add(std::unique_ptr<Pass> pass)
+{
+    passes.push_back(std::move(pass));
+    return *this;
+}
+
+void
+PassManager::run(Context &ctx, bool verify) const
+{
+    WellFormed checker;
+    for (const auto &pass : passes) {
+        pass->runOnContext(ctx);
+        if (verify) {
+            try {
+                checker.runOnContext(ctx);
+            } catch (const Error &e) {
+                fatal("verification failed after pass '", pass->name(),
+                      "': ", e.what());
+            }
+        }
+    }
+}
+
+} // namespace calyx::passes

@@ -1,0 +1,57 @@
+#ifndef CALYX_PASSES_PASS_MANAGER_H
+#define CALYX_PASSES_PASS_MANAGER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/context.h"
+
+namespace calyx::passes {
+
+/**
+ * Base class for compiler passes (paper §4: "an open-source pass-based
+ * compiler"). Most passes are per-component; whole-program passes
+ * override runOnContext. The default context traversal visits components
+ * in dependency order so information can flow from callees to callers
+ * (e.g. inferred component latencies).
+ */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+
+    virtual std::string name() const = 0;
+
+    virtual void runOnComponent(Component &comp, Context &ctx);
+
+    virtual void runOnContext(Context &ctx);
+};
+
+/** Runs a pipeline of passes, optionally validating between passes. */
+class PassManager
+{
+  public:
+    /** Append a pass. Returns *this for chaining. */
+    PassManager &add(std::unique_ptr<Pass> pass);
+
+    template <typename P, typename... Args>
+    PassManager &
+    add(Args &&...args)
+    {
+        return add(std::make_unique<P>(std::forward<Args>(args)...));
+    }
+
+    /**
+     * Run all passes in order. With `verify`, the WellFormed checker runs
+     * after every pass and failures name the offending pass.
+     */
+    void run(Context &ctx, bool verify = false) const;
+
+  private:
+    std::vector<std::unique_ptr<Pass>> passes;
+};
+
+} // namespace calyx::passes
+
+#endif // CALYX_PASSES_PASS_MANAGER_H

@@ -1,0 +1,55 @@
+#ifndef CALYX_PASSES_PIPELINE_H
+#define CALYX_PASSES_PIPELINE_H
+
+#include "passes/pass_manager.h"
+
+namespace calyx::passes {
+
+/** Configuration of the standard compilation pipeline. */
+struct CompileOptions
+{
+    bool collapseControl = true;
+    /** §5.3 latency inference (enables Sensitive without annotations). */
+    bool inferLatency = true;
+    /** §5.1 resource sharing. */
+    bool resourceSharing = false;
+    /**
+     * Cost-model threshold for resource sharing (§9 future work):
+     * functional units narrower than this are not shared because the
+     * added multiplexers outweigh the saving. 0 = share everything.
+     */
+    Width resourceSharingMinWidth = 0;
+    /** §5.2 live-range based register sharing. */
+    bool registerSharing = false;
+    /** §4.4 latency-sensitive compilation. */
+    bool sensitive = false;
+    bool deadCellRemoval = true;
+    /** Run WellFormed after every pass. */
+    bool verify = false;
+};
+
+/** Size statistics of a design (paper §7.4). */
+struct DesignStats
+{
+    int cells = 0;
+    int groups = 0;
+    int controlStatements = 0;
+};
+
+/** Gather §7.4-style statistics for one component. */
+DesignStats gatherStats(const Component &comp);
+
+/** Sum of per-component statistics over a whole program. */
+DesignStats gatherStats(const Context &ctx);
+
+/**
+ * Run the standard pipeline (paper §4.2): optimizations, GoInsertion,
+ * CompileControl, RemoveGroups, cleanup. Afterwards every component is a
+ * flat list of guarded assignments suitable for the Verilog backend and
+ * the cycle simulator.
+ */
+void compile(Context &ctx, const CompileOptions &options = {});
+
+} // namespace calyx::passes
+
+#endif // CALYX_PASSES_PIPELINE_H

@@ -1,0 +1,93 @@
+#include "passes/register_sharing.h"
+
+#include <map>
+#include <set>
+
+#include "analysis/coloring.h"
+#include "analysis/liveness.h"
+#include "analysis/pcfg.h"
+#include "analysis/read_write_sets.h"
+
+namespace calyx::passes {
+
+void
+RegisterSharing::runOnComponent(Component &comp, Context &)
+{
+    mergedCount = 0;
+
+    std::set<std::string> regs = analysis::registerCells(comp);
+    if (regs.size() < 2)
+        return;
+    std::set<std::string> always_live = analysis::alwaysLiveRegisters(comp);
+
+    auto access = analysis::registerAccess(comp);
+    auto pcfg = analysis::buildPcfg(comp.control());
+    analysis::Liveness liveness(*pcfg, access, always_live);
+
+    // Candidates: registers not live everywhere, bucketed by width.
+    std::map<uint64_t, std::vector<std::string>> buckets;
+    for (const auto &cell : comp.cells()) {
+        if (cell->type() != "std_reg")
+            continue;
+        if (always_live.count(cell->name()))
+            continue;
+        buckets[cell->params()[0]].push_back(cell->name());
+    }
+
+    std::set<std::pair<std::string, std::string>> conflicts =
+        liveness.interference();
+
+    std::map<std::string, std::string> mapping;
+    for (const auto &[width, cells] : buckets) {
+        (void)width;
+        if (cells.size() < 2)
+            continue;
+        auto colored = analysis::greedyColor(cells, conflicts);
+        for (const auto &[from, to] : colored) {
+            if (from != to) {
+                mapping[from] = to;
+                ++mergedCount;
+            }
+        }
+    }
+    if (mapping.empty())
+        return;
+
+    auto rename = [&mapping](const PortRef &p) {
+        if (p.isCell()) {
+            auto it = mapping.find(p.parent);
+            if (it != mapping.end()) {
+                PortRef np = p;
+                np.parent = it->second;
+                return np;
+            }
+        }
+        return p;
+    };
+    for (const auto &group : comp.groups()) {
+        for (auto &a : group->assignments()) {
+            a.dst = rename(a.dst);
+            a.src = rename(a.src);
+            a.guard = Guard::rewritePorts(a.guard, rename);
+        }
+    }
+    for (auto &a : comp.continuousAssignments()) {
+        a.dst = rename(a.dst);
+        a.src = rename(a.src);
+        a.guard = Guard::rewritePorts(a.guard, rename);
+    }
+    comp.control().walk([&mapping](Control &node) {
+        PortRef *port = nullptr;
+        if (node.kind() == Control::Kind::If)
+            port = const_cast<PortRef *>(&cast<If>(node).condPort());
+        else if (node.kind() == Control::Kind::While)
+            port = const_cast<PortRef *>(&cast<While>(node).condPort());
+        if (port && port->isCell()) {
+            auto it = mapping.find(port->parent);
+            if (it != mapping.end())
+                port->parent = it->second;
+        }
+    });
+}
+
+} // namespace calyx::passes

@@ -1,0 +1,187 @@
+#include "passes/remove_groups.h"
+
+#include <map>
+#include <set>
+
+#include "support/error.h"
+
+namespace calyx::passes {
+
+namespace {
+
+/** Guard equivalent of a 1-bit assignment source. */
+GuardPtr
+asGuard(const PortRef &src)
+{
+    if (src.isConst()) {
+        if (src.value == 1)
+            return Guard::trueGuard();
+        // A constant-0 write contributes nothing to the disjunction, but
+        // guard it as false via !true is unnecessary: the caller skips it.
+        panic("asGuard on constant 0");
+    }
+    return Guard::fromPort(src);
+}
+
+} // namespace
+
+void
+RemoveGroups::runOnComponent(Component &comp, Context &)
+{
+    if (comp.groups().empty()) {
+        comp.setControl(std::make_unique<Empty>());
+        return;
+    }
+
+    // Step 1: connect the component interface to the top-level enable.
+    if (comp.control().kind() == Control::Kind::Enable) {
+        const std::string &top = cast<Enable>(comp.control()).group();
+        if (!comp.findGroup(top))
+            fatal(comp.name(), ": control enables unknown group ", top);
+        // Gate with !done like any other child enable: without it a
+        // single-group program would keep committing state during its
+        // done cycle while the environment still holds go high.
+        comp.continuousAssignments().emplace_back(
+            holePort(top, "go"), constant(1, 1),
+            Guard::conj(Guard::fromPort(thisPort("go")),
+                        Guard::negate(
+                            Guard::fromPort(holePort(top, "done")))));
+        comp.continuousAssignments().emplace_back(
+            thisPort("done"), constant(1, 1),
+            Guard::fromPort(holePort(top, "done")));
+    } else if (comp.control().kind() != Control::Kind::Empty) {
+        fatal(comp.name(), ": RemoveGroups needs a single group enable; "
+                           "run CompileControl first");
+    }
+
+    // Step 2: collect hole writes as (guard, source-as-guard) pairs.
+    // The hole's value is the disjunction over its writes (paper §4.2).
+    std::map<PortRef, GuardPtr> raw;
+    auto record = [&raw](const Assignment &a) {
+        if (!a.dst.isHole())
+            return;
+        if (a.src.isConst() && a.src.value == 0)
+            return;
+        GuardPtr term = Guard::conj(a.guard, asGuard(a.src));
+        auto it = raw.find(a.dst);
+        if (it == raw.end())
+            raw.emplace(a.dst, term);
+        else
+            it->second = Guard::disj(it->second, term);
+    };
+    for (const auto &g : comp.groups())
+        for (const auto &a : g->assignments())
+            record(a);
+    for (const auto &a : comp.continuousAssignments())
+        record(a);
+
+    // Expand hole-valued guards to closure (control trees guarantee the
+    // hole dependency graph is acyclic).
+    std::map<PortRef, GuardPtr> expanded;
+    std::set<PortRef> in_progress;
+    std::function<GuardPtr(const PortRef &)> value =
+        [&](const PortRef &hole) -> GuardPtr {
+        auto done = expanded.find(hole);
+        if (done != expanded.end())
+            return done->second;
+        if (in_progress.count(hole))
+            fatal(comp.name(), ": cyclic interface-signal dependency at ",
+                  hole.str());
+        in_progress.insert(hole);
+        GuardPtr v;
+        auto it = raw.find(hole);
+        if (it == raw.end()) {
+            // Never written: constant false. Encode as !true.
+            v = Guard::negate(Guard::trueGuard());
+        } else {
+            v = Guard::rewritePorts(it->second, [&](const PortRef &p) {
+                return p; // identity; holes handled below via subst
+            });
+            // Substitute nested holes.
+            std::function<GuardPtr(const GuardPtr &)> subst =
+                [&](const GuardPtr &g) -> GuardPtr {
+                switch (g->kind()) {
+                  case Guard::Kind::True:
+                    return g;
+                  case Guard::Kind::Port:
+                    if (g->port().isHole())
+                        return value(g->port());
+                    return g;
+                  case Guard::Kind::Cmp:
+                    if (g->lhs().isHole() || g->rhs().isHole())
+                        fatal(comp.name(),
+                              ": hole used inside a comparison");
+                    return g;
+                  case Guard::Kind::Not:
+                    return Guard::negate(subst(g->left()));
+                  case Guard::Kind::And:
+                    return Guard::conj(subst(g->left()),
+                                       subst(g->right()));
+                  case Guard::Kind::Or:
+                    return Guard::disj(subst(g->left()),
+                                       subst(g->right()));
+                }
+                panic("bad guard kind");
+            };
+            v = subst(v);
+        }
+        in_progress.erase(hole);
+        expanded.emplace(hole, v);
+        return v;
+    };
+
+    // Step 3: rewrite every assignment and hoist group bodies.
+    auto rewrite = [&](const Assignment &a,
+                       std::vector<Assignment> &out) {
+        if (a.dst.isHole())
+            return; // hole writes disappear
+        GuardPtr guard =
+            Guard::rewritePorts(a.guard, [](const PortRef &p) { return p; });
+        std::function<GuardPtr(const GuardPtr &)> subst =
+            [&](const GuardPtr &g) -> GuardPtr {
+            switch (g->kind()) {
+              case Guard::Kind::True:
+                return g;
+              case Guard::Kind::Port:
+                if (g->port().isHole())
+                    return value(g->port());
+                return g;
+              case Guard::Kind::Cmp:
+                return g;
+              case Guard::Kind::Not:
+                return Guard::negate(subst(g->left()));
+              case Guard::Kind::And:
+                return Guard::conj(subst(g->left()), subst(g->right()));
+              case Guard::Kind::Or:
+                return Guard::disj(subst(g->left()), subst(g->right()));
+            }
+            panic("bad guard kind");
+        };
+        guard = subst(guard);
+        if (a.src.isHole()) {
+            // `dst = G ? hole` becomes `dst = (G & value(hole)) ? 1` with
+            // a 0 fallback implied by the unassigned default.
+            out.emplace_back(a.dst, constant(1, 1),
+                             Guard::conj(guard, value(a.src)));
+        } else {
+            out.emplace_back(a.dst, a.src, guard);
+        }
+    };
+
+    std::vector<Assignment> wires;
+    for (const auto &a : comp.continuousAssignments())
+        rewrite(a, wires);
+    for (const auto &g : comp.groups())
+        for (const auto &a : g->assignments())
+            rewrite(a, wires);
+    comp.continuousAssignments() = std::move(wires);
+
+    std::vector<std::string> group_names;
+    for (const auto &g : comp.groups())
+        group_names.push_back(g->name());
+    for (const auto &name : group_names)
+        comp.removeGroup(name);
+    comp.setControl(std::make_unique<Empty>());
+}
+
+} // namespace calyx::passes

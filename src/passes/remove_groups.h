@@ -1,0 +1,32 @@
+#ifndef CALYX_PASSES_REMOVE_GROUPS_H
+#define CALYX_PASSES_REMOVE_GROUPS_H
+
+#include "passes/pass_manager.h"
+
+namespace calyx::passes {
+
+/**
+ * RemoveGroups (paper §4.2): eliminate all interface signals and groups.
+ *
+ *  1. Wire the component's go/done ports to the single remaining group
+ *     enable (`top[go] = this.go`, `this.done = top[done]`).
+ *  2. Compute the value of every hole as the disjunction of its guarded
+ *     writes and inline it transitively into every read (guards and
+ *     assignment sources).
+ *  3. Drop hole writes, hoist all group assignments into the top-level
+ *     wires section, and delete the groups.
+ *
+ * Precondition: control is a single enable (run CompileControl first).
+ * Postcondition: no groups, no holes, empty control — directly
+ * translatable to RTL.
+ */
+class RemoveGroups final : public Pass
+{
+  public:
+    std::string name() const override { return "remove-groups"; }
+    void runOnComponent(Component &comp, Context &ctx) override;
+};
+
+} // namespace calyx::passes
+
+#endif // CALYX_PASSES_REMOVE_GROUPS_H

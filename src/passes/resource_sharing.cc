@@ -1,0 +1,188 @@
+#include "passes/resource_sharing.h"
+
+#include <map>
+#include <set>
+
+#include "analysis/coloring.h"
+#include "analysis/schedule.h"
+
+namespace calyx::passes {
+
+namespace {
+
+/** Rename cell references in an assignment according to `mapping`. */
+void
+rewriteAssignment(Assignment &a,
+                  const std::map<std::string, std::string> &mapping)
+{
+    auto rename = [&mapping](const PortRef &p) {
+        if (p.isCell()) {
+            auto it = mapping.find(p.parent);
+            if (it != mapping.end()) {
+                PortRef np = p;
+                np.parent = it->second;
+                return np;
+            }
+        }
+        return p;
+    };
+    a.dst = rename(a.dst);
+    a.src = rename(a.src);
+    a.guard = Guard::rewritePorts(a.guard, rename);
+}
+
+void
+rewriteControlPorts(Control &ctrl,
+                    const std::map<std::string, std::string> &mapping)
+{
+    ctrl.walk([&mapping](Control &node) {
+        PortRef *port = nullptr;
+        if (node.kind() == Control::Kind::If)
+            port = const_cast<PortRef *>(&cast<If>(node).condPort());
+        else if (node.kind() == Control::Kind::While)
+            port = const_cast<PortRef *>(&cast<While>(node).condPort());
+        if (port && port->isCell()) {
+            auto it = mapping.find(port->parent);
+            if (it != mapping.end())
+                port->parent = it->second;
+        }
+    });
+}
+
+} // namespace
+
+void
+ResourceSharing::runOnComponent(Component &comp, Context &ctx)
+{
+    mergedCount = 0;
+
+    // Shareable cells, bucketed by signature.
+    std::set<std::string> shareable;
+    std::map<std::string, std::vector<std::string>> buckets;
+    for (const auto &cell : comp.cells()) {
+        bool share = cell->attrs().has(Attributes::shareAttr) &&
+                     !cell->attrs().has(Attributes::statefulAttr);
+        if (!cell->isPrimitive())
+            share = false;
+        if (ctx.primitives().has(cell->type()) &&
+            ctx.primitives().get(cell->type()).stateful()) {
+            share = false;
+        }
+        // Cost-model heuristic (§9): skip units whose width is below
+        // the profitability threshold.
+        if (share && minWidth > 0 && !cell->params().empty() &&
+            cell->params()[0] < minWidth) {
+            share = false;
+        }
+        if (!share)
+            continue;
+        shareable.insert(cell->name());
+        std::string sig = cell->type();
+        for (uint64_t p : cell->params())
+            sig += "_" + std::to_string(p);
+        buckets[sig].push_back(cell->name());
+    }
+    if (shareable.empty())
+        return;
+
+    // Which groups use which shareable cells.
+    std::map<std::string, std::set<std::string>> cells_of_group;
+    std::set<std::string> in_continuous;
+    for (const auto &group : comp.groups()) {
+        auto &used = cells_of_group[group->name()];
+        for (const auto &a : group->assignments()) {
+            auto mark = [&](const PortRef &p) {
+                if (p.isCell() && shareable.count(p.parent))
+                    used.insert(p.parent);
+            };
+            mark(a.dst);
+            a.reads(mark);
+        }
+    }
+    for (const auto &a : comp.continuousAssignments()) {
+        auto mark = [&](const PortRef &p) {
+            if (p.isCell() && shareable.count(p.parent))
+                in_continuous.insert(p.parent);
+        };
+        mark(a.dst);
+        a.reads(mark);
+    }
+    // Cells referenced by if/while condition ports behave like continuous
+    // uses of the enclosing cond group; attribute them to that group.
+    comp.control().walk([&](const Control &node) {
+        const PortRef *port = nullptr;
+        std::string cond;
+        if (node.kind() == Control::Kind::If) {
+            port = &cast<If>(node).condPort();
+            cond = cast<If>(node).condGroup();
+        } else if (node.kind() == Control::Kind::While) {
+            port = &cast<While>(node).condPort();
+            cond = cast<While>(node).condGroup();
+        }
+        if (!port || !port->isCell() || !shareable.count(port->parent))
+            return;
+        if (cond.empty())
+            in_continuous.insert(port->parent);
+        else
+            cells_of_group[cond].insert(port->parent);
+    });
+
+    // Step 1: group conflict graph from the execution schedule.
+    std::set<analysis::GroupPair> group_conflicts =
+        analysis::parallelConflicts(comp.control());
+
+    // Cell-level conflicts.
+    std::set<std::pair<std::string, std::string>> cell_conflicts;
+    auto add_conflict = [&cell_conflicts](const std::string &a,
+                                          const std::string &b) {
+        if (a != b)
+            cell_conflicts.insert(a < b ? std::pair{a, b}
+                                        : std::pair{b, a});
+    };
+    // Two cells used by one group are simultaneously busy.
+    for (const auto &[g, used] : cells_of_group) {
+        (void)g;
+        for (const auto &a : used)
+            for (const auto &b : used)
+                add_conflict(a, b);
+    }
+    // Cells of groups that may run in parallel conflict.
+    for (const auto &[g1, g2] : group_conflicts) {
+        auto it1 = cells_of_group.find(g1);
+        auto it2 = cells_of_group.find(g2);
+        if (it1 == cells_of_group.end() || it2 == cells_of_group.end())
+            continue;
+        for (const auto &a : it1->second)
+            for (const auto &b : it2->second)
+                add_conflict(a, b);
+    }
+    // Continuous uses are always live: conflict with everything.
+    for (const auto &c : in_continuous)
+        for (const auto &other : shareable)
+            add_conflict(c, other);
+
+    // Step 2: greedy coloring per signature bucket.
+    std::map<std::string, std::string> mapping;
+    for (const auto &[sig, cells] : buckets) {
+        (void)sig;
+        auto colored = analysis::greedyColor(cells, cell_conflicts);
+        for (const auto &[from, to] : colored) {
+            if (from != to) {
+                mapping[from] = to;
+                ++mergedCount;
+            }
+        }
+    }
+    if (mapping.empty())
+        return;
+
+    // Step 3: rewrite groups, continuous assignments, and control.
+    for (const auto &group : comp.groups())
+        for (auto &a : group->assignments())
+            rewriteAssignment(a, mapping);
+    for (auto &a : comp.continuousAssignments())
+        rewriteAssignment(a, mapping);
+    rewriteControlPorts(comp.control(), mapping);
+}
+
+} // namespace calyx::passes

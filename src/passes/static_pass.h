@@ -1,0 +1,48 @@
+#ifndef CALYX_PASSES_STATIC_PASS_H
+#define CALYX_PASSES_STATIC_PASS_H
+
+#include <optional>
+
+#include "passes/pass_manager.h"
+
+namespace calyx::passes {
+
+/**
+ * Sensitive (paper §4.4): opportunistic latency-sensitive compilation.
+ *
+ * Computes the latency of every control subtree from the "static"
+ * attributes of enabled groups (seq: sum, par: max, if: cond + max of
+ * branches; while and enables of unannotated groups are dynamic). Each
+ * maximal static subtree is compiled into a single group driven by one
+ * self-incrementing counter: every leaf group's go is asserted for
+ * exactly its latency window and done signals are ignored. Conditions
+ * inside static regions latch their port into a fresh 1-bit register at
+ * the end of the condition window and gate both branch schedules.
+ *
+ * The generated group carries "static"=L. Dynamic parents interact with
+ * it through the ordinary go/done interface (done fires when the counter
+ * reaches L); the counter reset is emitted as a continuous assignment so
+ * the group also re-arms when a *static* parent stops enabling it after
+ * exactly L cycles. The pass is best-effort and falls back to
+ * CompileControl wherever latency information is missing, which is what
+ * lets Calyx mix latency-sensitive and -insensitive code freely.
+ *
+ * Must run before GoInsertion (generated assignments are gated there).
+ */
+class StaticPass final : public Pass
+{
+  public:
+    std::string name() const override { return "static"; }
+    void runOnComponent(Component &comp, Context &ctx) override;
+
+    /**
+     * Latency of a control subtree if it is fully static.
+     * Exposed for InferLatency and tests.
+     */
+    static std::optional<int64_t> latencyOf(const Control &ctrl,
+                                            const Component &comp);
+};
+
+} // namespace calyx::passes
+
+#endif // CALYX_PASSES_STATIC_PASS_H

@@ -1,0 +1,184 @@
+#include "passes/wellformed.h"
+
+#include <map>
+#include <set>
+
+#include "support/error.h"
+
+namespace calyx::passes {
+
+namespace {
+
+/** Whether `ref` may appear on the left-hand side of an assignment. */
+void
+checkWritable(const Component &comp, const PortRef &ref,
+              const std::string &where)
+{
+    switch (ref.kind) {
+      case PortRef::Kind::Const:
+        fatal(comp.name(), "/", where, ": constant on assignment lhs");
+      case PortRef::Kind::Hole:
+        if (ref.port != "go" && ref.port != "done")
+            fatal(comp.name(), "/", where, ": unknown hole ", ref.str());
+        return;
+      case PortRef::Kind::This:
+        if (comp.port(ref.port).dir != Direction::Output)
+            fatal(comp.name(), "/", where, ": write to input port ",
+                  ref.str());
+        return;
+      case PortRef::Kind::Cell:
+        if (comp.cell(ref.parent).portDir(ref.port) != Direction::Input)
+            fatal(comp.name(), "/", where, ": write to cell output ",
+                  ref.str());
+        return;
+    }
+}
+
+/** Whether `ref` may be read. */
+void
+checkReadable(const Component &comp, const PortRef &ref,
+              const std::string &where)
+{
+    switch (ref.kind) {
+      case PortRef::Kind::Const:
+        return;
+      case PortRef::Kind::Hole:
+        if (ref.port != "go" && ref.port != "done")
+            fatal(comp.name(), "/", where, ": unknown hole ", ref.str());
+        if (!comp.findGroup(ref.parent))
+            fatal(comp.name(), "/", where, ": hole of unknown group ",
+                  ref.str());
+        return;
+      case PortRef::Kind::This:
+        if (comp.port(ref.port).dir != Direction::Input)
+            fatal(comp.name(), "/", where, ": read of output port ",
+                  ref.str());
+        return;
+      case PortRef::Kind::Cell:
+        if (comp.cell(ref.parent).portDir(ref.port) != Direction::Output)
+            fatal(comp.name(), "/", where, ": read of cell input ",
+                  ref.str());
+        return;
+    }
+}
+
+void
+checkGuard(const Component &comp, const GuardPtr &g,
+           const std::string &where)
+{
+    switch (g->kind()) {
+      case Guard::Kind::True:
+        return;
+      case Guard::Kind::Port:
+        checkReadable(comp, g->port(), where);
+        if (comp.portWidth(g->port()) != 1)
+            fatal(comp.name(), "/", where, ": guard port ",
+                  g->port().str(), " is not 1-bit");
+        return;
+      case Guard::Kind::Cmp: {
+        if (!g->lhs().isConst())
+            checkReadable(comp, g->lhs(), where);
+        if (!g->rhs().isConst())
+            checkReadable(comp, g->rhs(), where);
+        Width lw = comp.portWidth(g->lhs());
+        Width rw = comp.portWidth(g->rhs());
+        if (lw != rw)
+            fatal(comp.name(), "/", where, ": comparison width mismatch ",
+                  g->lhs().str(), " (", lw, ") vs ", g->rhs().str(), " (",
+                  rw, ")");
+        return;
+      }
+      case Guard::Kind::Not:
+        checkGuard(comp, g->left(), where);
+        return;
+      case Guard::Kind::And:
+      case Guard::Kind::Or:
+        checkGuard(comp, g->left(), where);
+        checkGuard(comp, g->right(), where);
+        return;
+    }
+}
+
+void
+checkAssignments(const Component &comp,
+                 const std::vector<Assignment> &assigns,
+                 const std::string &where)
+{
+    std::set<PortRef> unconditional;
+    for (const auto &a : assigns) {
+        checkWritable(comp, a.dst, where);
+        checkReadable(comp, a.src, where);
+        checkGuard(comp, a.guard, where);
+        Width dw = comp.portWidth(a.dst);
+        Width sw = comp.portWidth(a.src);
+        if (dw != sw) {
+            fatal(comp.name(), "/", where, ": width mismatch in '",
+                  a.str(), "' (", dw, " vs ", sw, ")");
+        }
+        if (a.guard->isTrue()) {
+            if (unconditional.count(a.dst)) {
+                fatal(comp.name(), "/", where,
+                      ": two unconditional drivers for ", a.dst.str());
+            }
+            unconditional.insert(a.dst);
+        }
+    }
+}
+
+void
+checkControl(const Component &comp, const Control &ctrl)
+{
+    ctrl.walk([&comp](const Control &node) {
+        auto check_group = [&comp](const std::string &g,
+                                   bool needs_done) {
+            const Group *group = comp.findGroup(g);
+            if (!group)
+                fatal(comp.name(), ": control references unknown group ",
+                      g);
+            if (needs_done && !group->hasDoneWrite())
+                fatal(comp.name(), ": group ", g,
+                      " is enabled but never writes its done hole");
+        };
+        auto check_cond_port = [&comp](const PortRef &p) {
+            if (p.isConst())
+                fatal(comp.name(), ": constant condition port");
+            if (comp.portWidth(p) != 1)
+                fatal(comp.name(), ": condition port ", p.str(),
+                      " is not 1-bit");
+        };
+        switch (node.kind()) {
+          case Control::Kind::Enable:
+            check_group(cast<Enable>(node).group(), true);
+            break;
+          case Control::Kind::If: {
+            const auto &i = cast<If>(node);
+            if (!i.condGroup().empty())
+                check_group(i.condGroup(), true);
+            check_cond_port(i.condPort());
+            break;
+          }
+          case Control::Kind::While: {
+            const auto &w = cast<While>(node);
+            if (!w.condGroup().empty())
+                check_group(w.condGroup(), true);
+            check_cond_port(w.condPort());
+            break;
+          }
+          default:
+            break;
+        }
+    });
+}
+
+} // namespace
+
+void
+WellFormed::runOnComponent(Component &comp, Context &)
+{
+    for (const auto &g : comp.groups())
+        checkAssignments(comp, g->assignments(), "group " + g->name());
+    checkAssignments(comp, comp.continuousAssignments(), "wires");
+    checkControl(comp, comp.control());
+}
+
+} // namespace calyx::passes

@@ -1,0 +1,29 @@
+#ifndef CALYX_PASSES_WELLFORMED_H
+#define CALYX_PASSES_WELLFORMED_H
+
+#include "passes/pass_manager.h"
+
+namespace calyx::passes {
+
+/**
+ * Structural validation of the IL (paper §3's static requirements):
+ *  - assignments connect existing ports with matching widths and legal
+ *    directions (cell inputs / component outputs / holes are writable),
+ *  - guard leaves are 1-bit; comparison operands have equal widths,
+ *  - no two unconditional assignments drive the same port in one scope,
+ *  - control only references defined groups, and every enabled group
+ *    writes its own done hole,
+ *  - if/while condition ports are 1-bit.
+ *
+ * Runs between every pair of passes when PassManager verification is on.
+ */
+class WellFormed final : public Pass
+{
+  public:
+    std::string name() const override { return "well-formed"; }
+    void runOnComponent(Component &comp, Context &ctx) override;
+};
+
+} // namespace calyx::passes
+
+#endif // CALYX_PASSES_WELLFORMED_H

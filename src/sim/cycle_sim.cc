@@ -1,0 +1,42 @@
+#include "sim/cycle_sim.h"
+
+#include "support/error.h"
+
+namespace calyx::sim {
+
+CycleSim::CycleSim(const SimProgram &prog) : prog(&prog), stateVal(prog) {}
+
+void
+CycleSim::activateRec(const SimProgram::Instance &inst)
+{
+    if (!inst.groups.empty()) {
+        fatal("CycleSim requires a fully-compiled program, but component ",
+              inst.comp->name(), " still has groups");
+    }
+    stateVal.activate(inst.continuous);
+    for (const auto &sub : inst.subs)
+        activateRec(*sub);
+}
+
+uint64_t
+CycleSim::run(uint64_t max_cycles)
+{
+    stateVal.reset();
+    const SimProgram::Instance &top = prog->root();
+
+    uint64_t cycles = 0;
+    while (true) {
+        if (++cycles > max_cycles)
+            fatal("cycle simulation exceeded ", max_cycles, " cycles");
+        stateVal.beginCycle();
+        stateVal.force(top.goPort, 1);
+        activateRec(top);
+        stateVal.comb();
+        bool done = stateVal.value(top.donePort) & 1;
+        stateVal.clock();
+        if (done)
+            return cycles;
+    }
+}
+
+} // namespace calyx::sim

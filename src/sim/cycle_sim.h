@@ -1,0 +1,40 @@
+#ifndef CALYX_SIM_CYCLE_SIM_H
+#define CALYX_SIM_CYCLE_SIM_H
+
+#include <cstdint>
+
+#include "sim/env.h"
+
+namespace calyx::sim {
+
+/**
+ * Structural cycle simulator for fully-lowered Calyx programs (flat
+ * guarded assignments, no groups or control). This is the repository's
+ * substitute for Verilator: after RemoveGroups a Calyx program is the
+ * RTL netlist modulo syntax, so clocking it with the primitive models
+ * yields the cycle counts the paper measures (§7 evaluation setup).
+ */
+class CycleSim
+{
+  public:
+    explicit CycleSim(const SimProgram &prog);
+
+    /**
+     * Drive `go` high and clock the design until `done` reads 1.
+     * @return cycle count, inclusive of the cycle when done is observed.
+     */
+    uint64_t run(uint64_t max_cycles = 50'000'000);
+
+    SimState &state() { return stateVal; }
+    const SimState &state() const { return stateVal; }
+
+  private:
+    void activateRec(const SimProgram::Instance &inst);
+
+    const SimProgram *prog;
+    SimState stateVal;
+};
+
+} // namespace calyx::sim
+
+#endif // CALYX_SIM_CYCLE_SIM_H

@@ -1,0 +1,393 @@
+#include "sim/env.h"
+
+#include <cstring>
+
+#include "support/error.h"
+
+namespace calyx::sim {
+
+bool
+SExpr::eval(const uint64_t *vals) const
+{
+    if (nodes.empty())
+        return true;
+    // Stack machine over the postorder array.
+    uint64_t stack[64];
+    size_t sp = 0;
+    for (const Node &n : nodes) {
+        switch (n.op) {
+          case Op::True:
+            stack[sp++] = 1;
+            break;
+          case Op::Port:
+            stack[sp++] = vals[n.a] & 1;
+            break;
+          case Op::Not:
+            stack[sp - 1] = !stack[sp - 1];
+            break;
+          case Op::And:
+            --sp;
+            stack[sp - 1] = stack[sp - 1] && stack[sp];
+            break;
+          case Op::Or:
+            --sp;
+            stack[sp - 1] = stack[sp - 1] || stack[sp];
+            break;
+          default: {
+            uint64_t a = n.aImm ? n.immA : vals[n.a];
+            uint64_t b = n.bImm ? n.immB : vals[n.b];
+            bool v = false;
+            switch (n.op) {
+              case Op::Eq:
+                v = a == b;
+                break;
+              case Op::Neq:
+                v = a != b;
+                break;
+              case Op::Lt:
+                v = a < b;
+                break;
+              case Op::Gt:
+                v = a > b;
+                break;
+              case Op::Leq:
+                v = a <= b;
+                break;
+              case Op::Geq:
+                v = a >= b;
+                break;
+              default:
+                panic("bad SExpr op " +
+                      std::to_string(static_cast<int>(n.op)));
+            }
+            stack[sp++] = v ? 1 : 0;
+            break;
+          }
+        }
+        if (sp >= 64)
+            panic("guard expression too deep");
+    }
+    return stack[0] != 0;
+}
+
+SimProgram::SimProgram(const Context &ctx, const std::string &top)
+    : ctx(&ctx)
+{
+    rootInst = std::make_unique<Instance>();
+    rootInst->path = "";
+    buildInstance(*rootInst, ctx.component(top));
+}
+
+uint32_t
+SimProgram::addPort(const std::string &path)
+{
+    auto [it, inserted] =
+        portIds.emplace(path, static_cast<uint32_t>(portNames.size()));
+    if (inserted)
+        portNames.push_back(path);
+    return it->second;
+}
+
+uint32_t
+SimProgram::portId(const std::string &path) const
+{
+    auto it = portIds.find(path);
+    if (it == portIds.end())
+        fatal("simulator: unknown port path ", path);
+    return it->second;
+}
+
+PrimModel *
+SimProgram::findModel(const std::string &cell_path) const
+{
+    auto it = modelIndex.find(cell_path);
+    if (it == modelIndex.end())
+        fatal("simulator: unknown cell path ", cell_path);
+    return it->second;
+}
+
+void
+SimProgram::buildInstance(Instance &inst, const Component &comp)
+{
+    inst.comp = &comp;
+
+    // This-instance signature ports. For the top instance these are fresh
+    // ("go", "done"); for sub-instances they alias the parent's cell ports
+    // ("pe00.go"), which addPort de-duplicates by path.
+    for (const auto &p : comp.signature()) {
+        std::string path = inst.path.empty()
+                               ? p.name
+                               : inst.path.substr(0, inst.path.size() - 1) +
+                                     "." + p.name;
+        uint32_t id = addPort(path);
+        if (p.name == "go")
+            inst.goPort = id;
+        if (p.name == "done")
+            inst.donePort = id;
+    }
+
+    // Cell ports, models, and sub-instances.
+    std::string prefix = inst.path;
+    for (const auto &cell : comp.cells()) {
+        for (const auto &p : cell->portDefs())
+            addPort(prefix + cell->name() + "." + p.name);
+        if (cell->isPrimitive()) {
+            auto resolver = [&](const std::string &port) {
+                return portId(prefix + cell->name() + "." + port);
+            };
+            auto model = makeModel(*cell, resolver);
+            modelIndex[prefix + cell->name()] = model.get();
+            modelList.push_back(std::move(model));
+        } else {
+            auto sub = std::make_unique<Instance>();
+            sub->path = prefix + cell->name() + "/";
+            // Sub-instance signature ports must resolve to the parent's
+            // cell ports: "pe00.go" etc. The path computation in the
+            // signature loop above produces exactly those names.
+            buildInstance(*sub, ctx->component(cell->type()));
+            inst.subs.push_back(std::move(sub));
+        }
+    }
+
+    // Group holes.
+    for (const auto &g : comp.groups()) {
+        uint32_t go = addPort(prefix + g->name() + "[go]");
+        uint32_t done = addPort(prefix + g->name() + "[done]");
+        inst.holes[g->name()] = {go, done};
+    }
+
+    // Assignments.
+    for (const auto &a : comp.continuousAssignments())
+        inst.continuous.push_back(compileAssign(inst, a));
+    for (const auto &g : comp.groups()) {
+        // Mirror the hardware calling convention in the interpreter: a
+        // group's body deactivates during its done cycle (CompileControl
+        // deasserts go when done is high), otherwise registers with a
+        // still-high write enable would commit twice. Combinational
+        // groups (done = constant 1) have no state and stay unchanged.
+        bool comb_done = false;
+        for (const auto &a : g->assignments()) {
+            if (a.dst == g->doneHole() && a.guard->isTrue() &&
+                a.src.isConst() && a.src.value == 1) {
+                comb_done = true;
+            }
+        }
+        GuardPtr not_done =
+            Guard::negate(Guard::fromPort(g->doneHole()));
+        auto &vec = inst.groups[g->name()];
+        for (const auto &a : g->assignments()) {
+            bool own_done = a.dst == g->doneHole();
+            if (comb_done || own_done) {
+                vec.push_back(compileAssign(inst, a));
+            } else {
+                Assignment gated(a.dst, a.src,
+                                 Guard::conj(a.guard, not_done));
+                vec.push_back(compileAssign(inst, gated));
+            }
+        }
+    }
+}
+
+uint32_t
+SimProgram::resolve(const Instance &inst, const PortRef &ref)
+{
+    switch (ref.kind) {
+      case PortRef::Kind::This: {
+        std::string path =
+            inst.path.empty()
+                ? ref.port
+                : inst.path.substr(0, inst.path.size() - 1) + "." + ref.port;
+        return portId(path);
+      }
+      case PortRef::Kind::Cell:
+        return portId(inst.path + ref.parent + "." + ref.port);
+      case PortRef::Kind::Hole:
+        return portId(inst.path + ref.parent + "[" + ref.port + "]");
+      case PortRef::Kind::Const:
+        panic("resolve() on a constant");
+    }
+    panic("bad PortRef kind");
+}
+
+SAssign
+SimProgram::compileAssign(const Instance &inst, const Assignment &a)
+{
+    SAssign out;
+    out.dst = resolve(inst, a.dst);
+    out.guard = compileGuard(inst, a.guard);
+    if (a.src.isConst()) {
+        out.srcConst = true;
+        out.srcValue = a.src.value;
+    } else {
+        out.srcPort = resolve(inst, a.src);
+    }
+    out.id = static_cast<uint32_t>(assignDescs.size());
+    assignDescs.push_back(inst.path + a.str());
+    return out;
+}
+
+namespace {
+
+void
+compileGuardInto(const GuardPtr &g,
+                 const std::function<uint32_t(const PortRef &)> &resolve,
+                 std::vector<SExpr::Node> &nodes)
+{
+    SExpr::Node n;
+    switch (g->kind()) {
+      case Guard::Kind::True:
+        n.op = SExpr::Op::True;
+        nodes.push_back(n);
+        return;
+      case Guard::Kind::Port:
+        n.op = SExpr::Op::Port;
+        n.a = resolve(g->port());
+        nodes.push_back(n);
+        return;
+      case Guard::Kind::Not:
+        compileGuardInto(g->left(), resolve, nodes);
+        n.op = SExpr::Op::Not;
+        nodes.push_back(n);
+        return;
+      case Guard::Kind::And:
+      case Guard::Kind::Or:
+        compileGuardInto(g->left(), resolve, nodes);
+        compileGuardInto(g->right(), resolve, nodes);
+        n.op = g->kind() == Guard::Kind::And ? SExpr::Op::And
+                                             : SExpr::Op::Or;
+        nodes.push_back(n);
+        return;
+      case Guard::Kind::Cmp: {
+        switch (g->cmpOp()) {
+          case Guard::CmpOp::Eq:
+            n.op = SExpr::Op::Eq;
+            break;
+          case Guard::CmpOp::Neq:
+            n.op = SExpr::Op::Neq;
+            break;
+          case Guard::CmpOp::Lt:
+            n.op = SExpr::Op::Lt;
+            break;
+          case Guard::CmpOp::Gt:
+            n.op = SExpr::Op::Gt;
+            break;
+          case Guard::CmpOp::Leq:
+            n.op = SExpr::Op::Leq;
+            break;
+          case Guard::CmpOp::Geq:
+            n.op = SExpr::Op::Geq;
+            break;
+        }
+        if (g->lhs().isConst()) {
+            n.aImm = true;
+            n.immA = g->lhs().value;
+        } else {
+            n.a = resolve(g->lhs());
+        }
+        if (g->rhs().isConst()) {
+            n.bImm = true;
+            n.immB = g->rhs().value;
+        } else {
+            n.b = resolve(g->rhs());
+        }
+        nodes.push_back(n);
+        return;
+      }
+    }
+    panic("bad guard kind");
+}
+
+} // namespace
+
+SExpr
+SimProgram::compileGuard(const Instance &inst, const GuardPtr &g)
+{
+    SExpr e;
+    if (g->isTrue())
+        return e;
+    compileGuardInto(
+        g, [&](const PortRef &r) { return resolve(inst, r); }, e.nodes);
+    return e;
+}
+
+SimState::SimState(const SimProgram &prog) : prog(&prog)
+{
+    vals.assign(prog.numPorts(), 0);
+    tmp.assign(prog.numPorts(), 0);
+    driver.assign(prog.numPorts(), -1);
+}
+
+void
+SimState::reset()
+{
+    std::fill(vals.begin(), vals.end(), 0);
+    for (const auto &m : prog->models())
+        m->reset();
+    active.clear();
+    forces.clear();
+}
+
+void
+SimState::beginCycle()
+{
+    active.clear();
+    forces.clear();
+}
+
+void
+SimState::activate(const std::vector<SAssign> &assigns)
+{
+    for (const auto &a : assigns)
+        active.push_back(&a);
+}
+
+void
+SimState::force(uint32_t port, uint64_t value)
+{
+    forces.emplace_back(port, value);
+}
+
+int
+SimState::comb()
+{
+    for (int pass = 1; pass <= maxCombPasses; ++pass) {
+        // Jacobi pass: compute tmp entirely from vals.
+        std::fill(tmp.begin(), tmp.end(), 0);
+        for (const auto &m : prog->models())
+            m->evalComb(vals.data(), tmp.data());
+        for (const auto &[port, value] : forces)
+            tmp[port] = value;
+        for (const SAssign *a : active) {
+            if (a->guard.eval(vals.data()))
+                tmp[a->dst] = a->srcConst ? a->srcValue : vals[a->srcPort];
+        }
+        if (tmp == vals) {
+            // Converged: verify the unique-driver requirement (§3.2).
+            std::fill(driver.begin(), driver.end(), -1);
+            for (const SAssign *a : active) {
+                if (!a->guard.eval(vals.data()))
+                    continue;
+                if (driver[a->dst] >= 0) {
+                    fatal("multiple active drivers for port ",
+                          prog->portName(a->dst), ":\n  ",
+                          prog->assignDesc(driver[a->dst]), "\n  ",
+                          prog->assignDesc(a->id));
+                }
+                driver[a->dst] = static_cast<int32_t>(a->id);
+            }
+            return pass;
+        }
+        std::swap(tmp, vals);
+    }
+    fatal("combinational evaluation did not converge after ",
+          maxCombPasses, " passes (combinational loop?)");
+}
+
+void
+SimState::clock()
+{
+    for (const auto &m : prog->models())
+        m->clock(vals.data());
+}
+
+} // namespace calyx::sim

@@ -1,0 +1,179 @@
+#ifndef CALYX_SIM_ENV_H
+#define CALYX_SIM_ENV_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/context.h"
+#include "sim/models.h"
+
+namespace calyx::sim {
+
+/**
+ * A compiled guard expression: the source Guard tree flattened to a
+ * postorder array evaluated with a value stack. Port references are
+ * resolved to flat port ids.
+ */
+struct SExpr
+{
+    enum class Op : uint8_t {
+        True,
+        Port,  ///< push vals[a]
+        Not,
+        And,
+        Or,
+        Eq,
+        Neq,
+        Lt,
+        Gt,
+        Leq,
+        Geq,
+    };
+
+    struct Node
+    {
+        Op op = Op::True;
+        uint32_t a = 0, b = 0;     ///< Port ids for Port/Cmp leaves.
+        uint64_t immA = 0, immB = 0;
+        bool aImm = false, bImm = false;
+    };
+
+    std::vector<Node> nodes; ///< Empty means "always true".
+
+    bool eval(const uint64_t *vals) const;
+};
+
+/** A compiled assignment. */
+struct SAssign
+{
+    uint32_t dst = 0;
+    SExpr guard;
+    bool srcConst = false;
+    uint32_t srcPort = 0;
+    uint64_t srcValue = 0;
+    uint32_t id = 0;    ///< Index into SimProgram::assignDescs.
+};
+
+/**
+ * The flattened form of a Calyx program prepared for simulation: every
+ * component instance is recursively inlined, ports get dense ids, and
+ * assignments/guards are compiled. Shared by the control interpreter
+ * (pre-compilation programs) and the cycle simulator (lowered programs).
+ */
+class SimProgram
+{
+  public:
+    struct Instance
+    {
+        std::string path;        ///< "" for top, "pe00/" style prefix.
+        const Component *comp = nullptr;
+        std::vector<SAssign> continuous;
+        /// Group name -> compiled assignments.
+        std::map<std::string, std::vector<SAssign>> groups;
+        /// Group name -> (go hole id, done hole id).
+        std::map<std::string, std::pair<uint32_t, uint32_t>> holes;
+        uint32_t goPort = 0, donePort = 0; ///< This-instance go/done ids.
+        std::vector<std::unique_ptr<Instance>> subs;
+    };
+
+    SimProgram(const Context &ctx, const std::string &top);
+
+    const Instance &root() const { return *rootInst; }
+    size_t numPorts() const { return portNames.size(); }
+
+    /** Flat id for a hierarchical port path, e.g. "pe00/r0.out". */
+    uint32_t portId(const std::string &path) const;
+    const std::string &portName(uint32_t id) const { return portNames[id]; }
+
+    /** Model for a hierarchical cell path, e.g. "A0" or "pe00/acc". */
+    PrimModel *findModel(const std::string &cell_path) const;
+
+    const std::vector<std::unique_ptr<PrimModel>> &models() const
+    {
+        return modelList;
+    }
+
+    /** Human-readable description of assignment `id` (diagnostics). */
+    const std::string &assignDesc(uint32_t id) const
+    {
+        return assignDescs[id];
+    }
+
+    const Context &context() const { return *ctx; }
+
+  private:
+    friend class SimState;
+
+    void buildInstance(Instance &inst, const Component &comp);
+    uint32_t addPort(const std::string &path);
+    SAssign compileAssign(const Instance &inst, const Assignment &a);
+    SExpr compileGuard(const Instance &inst, const GuardPtr &g);
+    uint32_t resolve(const Instance &inst, const PortRef &ref);
+
+    const Context *ctx;
+    std::unique_ptr<Instance> rootInst;
+    std::vector<std::string> portNames;
+    std::map<std::string, uint32_t> portIds;
+    std::vector<std::unique_ptr<PrimModel>> modelList;
+    std::map<std::string, PrimModel *> modelIndex;
+    std::vector<std::string> assignDescs;
+};
+
+/**
+ * Mutable per-run simulation state: port values plus the combinational
+ * fixpoint engine. Callers select the active assignment set each cycle
+ * (continuous only for compiled programs; continuous + active groups for
+ * the interpreter), then alternate comb() and clock().
+ */
+class SimState
+{
+  public:
+    explicit SimState(const SimProgram &prog);
+
+    /** Reset all models and values. */
+    void reset();
+
+    /** Clear the active assignment set (start of cycle assembly). */
+    void beginCycle();
+
+    /** Activate a set of assignments for this cycle. */
+    void activate(const std::vector<SAssign> &assigns);
+
+    /** Force a port to a value (interpreter-driven signals). */
+    void force(uint32_t port, uint64_t value);
+
+    /**
+     * Run the combinational fixpoint for this cycle. Throws Error on
+     * multiple active drivers or failure to converge (combinational
+     * loop). Returns the number of Jacobi passes used.
+     */
+    int comb();
+
+    /** Advance all sequential primitives one clock edge. */
+    void clock();
+
+    uint64_t value(uint32_t port) const { return vals[port]; }
+    uint64_t value(const std::string &path) const
+    {
+        return vals[prog->portId(path)];
+    }
+
+    const SimProgram &program() const { return *prog; }
+
+  private:
+    const SimProgram *prog;
+    std::vector<uint64_t> vals, tmp;
+    std::vector<const SAssign *> active;
+    std::vector<std::pair<uint32_t, uint64_t>> forces;
+    std::vector<int32_t> driver; // scratch for conflict detection
+};
+
+/** Maximum Jacobi passes before declaring a combinational loop. */
+constexpr int maxCombPasses = 256;
+
+} // namespace calyx::sim
+
+#endif // CALYX_SIM_ENV_H

@@ -1,0 +1,67 @@
+#ifndef CALYX_SIM_MODELS_H
+#define CALYX_SIM_MODELS_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/cell.h"
+
+namespace calyx::sim {
+
+/**
+ * Cycle-accurate model of one primitive cell instance. Outputs are
+ * recomputed combinationally every evaluation pass; internal state
+ * advances at clock edges.
+ *
+ * Timing convention shared by all sequential primitives: when `go` (or
+ * `write_en`) is high during cycle t, the operation occupies cycles
+ * t .. t+L-1 and the `done` port pulses high during cycle t+L, where L is
+ * the primitive's latency. Data outputs hold their last computed value.
+ */
+class PrimModel
+{
+  public:
+    virtual ~PrimModel() = default;
+
+    /** Recompute outputs: read `in[]`, write `out[]` (Jacobi pass). */
+    virtual void evalComb(const uint64_t *in, uint64_t *out) const = 0;
+
+    /** Advance internal state using the settled values of this cycle. */
+    virtual void clock(const uint64_t * /*vals*/) {}
+
+    /** Reset internal state to power-on values. */
+    virtual void reset() {}
+
+    /** Backing storage for memory primitives (null otherwise). */
+    virtual std::vector<uint64_t> *memory() { return nullptr; }
+
+    /** Current value for register primitives. */
+    virtual std::optional<uint64_t> registerValue() const
+    {
+        return std::nullopt;
+    }
+
+    /** Overwrite a register's value (test/bench initialization). */
+    virtual void setRegisterValue(uint64_t) {}
+};
+
+/** Resolves a port name of the modeled cell to its flat port id. */
+using PortResolver = std::function<uint32_t(const std::string &)>;
+
+/**
+ * Build the simulation model for a primitive cell. fatal() if the
+ * primitive has no model (unknown extern without a registered model).
+ */
+std::unique_ptr<PrimModel> makeModel(const Cell &cell,
+                                     const PortResolver &resolve);
+
+/** Integer square root (for std_sqrt and reference computations). */
+uint64_t isqrt(uint64_t v);
+
+} // namespace calyx::sim
+
+#endif // CALYX_SIM_MODELS_H

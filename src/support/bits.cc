@@ -1,0 +1,36 @@
+#include "support/bits.h"
+
+namespace calyx {
+
+uint64_t
+bitMask(Width width)
+{
+    if (width == 0)
+        return 0;
+    if (width >= 64)
+        return ~uint64_t(0);
+    return (uint64_t(1) << width) - 1;
+}
+
+uint64_t
+truncate(uint64_t value, Width width)
+{
+    return value & bitMask(width);
+}
+
+Width
+bitsNeeded(uint64_t value)
+{
+    Width w = 1;
+    while (value > bitMask(w))
+        ++w;
+    return w;
+}
+
+Width
+fsmWidth(uint64_t max_state)
+{
+    return bitsNeeded(max_state);
+}
+
+} // namespace calyx

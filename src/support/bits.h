@@ -1,0 +1,28 @@
+#ifndef CALYX_SUPPORT_BITS_H
+#define CALYX_SUPPORT_BITS_H
+
+#include <cstdint>
+
+namespace calyx {
+
+/** Bit width of a port or value. Widths are limited to 64 bits. */
+using Width = uint32_t;
+
+/** All-ones mask for a width (width 0 yields 0; width >= 64 yields ~0). */
+uint64_t bitMask(Width width);
+
+/** Truncate a value to a width. */
+uint64_t truncate(uint64_t value, Width width);
+
+/** Minimum width able to represent `value` (at least 1). */
+Width bitsNeeded(uint64_t value);
+
+/**
+ * Width of a state register able to hold states 0..n inclusive, i.e.
+ * bitsNeeded(n). Used by FSM-generating passes.
+ */
+Width fsmWidth(uint64_t max_state);
+
+} // namespace calyx
+
+#endif // CALYX_SUPPORT_BITS_H

@@ -1,0 +1,15 @@
+#include "support/error.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace calyx {
+
+void
+panic(const std::string &msg)
+{
+    std::cerr << "calyx internal error: " << msg << std::endl;
+    std::abort();
+}
+
+} // namespace calyx

@@ -1,0 +1,40 @@
+#ifndef CALYX_SUPPORT_ERROR_H
+#define CALYX_SUPPORT_ERROR_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace calyx {
+
+/**
+ * Error raised for malformed user input: ill-formed IL programs,
+ * unparsable source text, violated pass preconditions, and simulation
+ * errors that correspond to undefined behaviour in the paper (e.g. two
+ * active drivers on one port). Analogous to gem5's fatal().
+ */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Raise an Error assembled from streamable pieces. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    throw Error(os.str());
+}
+
+/**
+ * Internal invariant violation: a bug in this compiler rather than in the
+ * input program. Analogous to gem5's panic().
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+} // namespace calyx
+
+#endif // CALYX_SUPPORT_ERROR_H

@@ -1,0 +1,155 @@
+#include "workloads/harness.h"
+
+#include <chrono>
+
+#include "frontends/dahlia/checker.h"
+#include "frontends/dahlia/codegen.h"
+#include "frontends/dahlia/interp.h"
+#include "frontends/dahlia/lowering.h"
+#include "sim/cycle_sim.h"
+#include "support/error.h"
+#include "workloads/polybench.h"
+
+namespace calyx::workloads {
+
+namespace {
+
+uint64_t
+log2u(uint64_t v)
+{
+    uint64_t l = 0;
+    while ((uint64_t(1) << l) < v)
+        ++l;
+    return l;
+}
+
+/** Banked layout of one original memory. */
+struct Layout
+{
+    dahlia::Type type;
+    uint64_t banks = 1;
+    size_t bankedDim = 0;
+
+    std::string
+    cellName(const std::string &base, uint64_t bank) const
+    {
+        if (banks == 1)
+            return base;
+        return base + "_b" + std::to_string(bank);
+    }
+
+    /** (bank, in-bank flat index) of a row-major element. */
+    std::pair<uint64_t, uint64_t>
+    place(uint64_t flat) const
+    {
+        if (banks == 1)
+            return {0, flat};
+        uint64_t lg = log2u(banks);
+        if (type.dims.size() == 1) {
+            return {flat % banks, flat >> lg};
+        }
+        uint64_t r = flat / type.dims[1];
+        uint64_t c = flat % type.dims[1];
+        if (bankedDim == 0)
+            return {r % banks, (r >> lg) * type.dims[1] + c};
+        return {c % banks, r * (type.dims[1] >> lg) + (c >> lg)};
+    }
+};
+
+Layout
+layoutOf(const dahlia::Decl &d)
+{
+    Layout l;
+    l.type = d.type;
+    for (size_t i = 0; i < d.type.banks.size(); ++i) {
+        if (d.type.banks[i] > 1) {
+            l.banks = d.type.banks[i];
+            l.bankedDim = i;
+        }
+    }
+    return l;
+}
+
+} // namespace
+
+MemState
+makeInputs(const std::string &kernel_name, const dahlia::Program &program)
+{
+    MemState mems;
+    for (const auto &d : program.decls)
+        mems[d.name] = inputData(kernel_name, d.name, d.type.totalSize());
+    return mems;
+}
+
+MemState
+runOnInterp(const dahlia::Program &program, const MemState &inputs)
+{
+    dahlia::AstInterp interp(program);
+    for (const auto &[name, data] : inputs)
+        interp.pokeMemory(name, data);
+    interp.run();
+    MemState out;
+    for (const auto &d : program.decls)
+        out[d.name] = interp.memory(d.name);
+    return out;
+}
+
+HardwareResult
+runOnHardware(const dahlia::Program &program,
+              const passes::CompileOptions &options, const MemState &inputs,
+              MemState *final_state)
+{
+    using clock = std::chrono::steady_clock;
+    auto start = clock::now();
+
+    dahlia::check(program);
+    dahlia::Program lowered = dahlia::lower(program);
+    Context ctx = dahlia::codegen(lowered);
+
+    HardwareResult result;
+    result.stats = passes::gatherStats(ctx);
+
+    passes::compile(ctx, options);
+    result.compileSeconds =
+        std::chrono::duration<double>(clock::now() - start).count();
+
+    estimate::AreaEstimator estimator(ctx);
+    result.area = estimator.estimateProgram();
+
+    sim::SimProgram sp(ctx, "main");
+    sim::CycleSim cs(sp);
+
+    // Scatter inputs into the (possibly banked) memory cells.
+    for (const auto &d : program.decls) {
+        Layout layout = layoutOf(d);
+        const auto &data = inputs.at(d.name);
+        for (uint64_t flat = 0; flat < data.size(); ++flat) {
+            auto [bank, pos] = layout.place(flat);
+            auto *mem = sp.findModel(layout.cellName(d.name, bank))
+                            ->memory();
+            if (!mem)
+                fatal("harness: cell is not a memory: ", d.name);
+            (*mem)[pos] = truncate(data[flat], d.type.width);
+        }
+    }
+
+    result.cycles = cs.run();
+
+    if (final_state) {
+        final_state->clear();
+        for (const auto &d : program.decls) {
+            Layout layout = layoutOf(d);
+            std::vector<uint64_t> data(d.type.totalSize());
+            for (uint64_t flat = 0; flat < data.size(); ++flat) {
+                auto [bank, pos] = layout.place(flat);
+                auto *mem = sp.findModel(layout.cellName(d.name, bank))
+                                ->memory();
+                data[flat] = (*mem)[pos];
+            }
+            (*final_state)[d.name] = std::move(data);
+        }
+    }
+    return result;
+}
+
+} // namespace calyx::workloads

@@ -1,0 +1,43 @@
+#ifndef CALYX_WORKLOADS_HARNESS_H
+#define CALYX_WORKLOADS_HARNESS_H
+
+#include <string>
+
+#include "estimate/area.h"
+#include "frontends/dahlia/ast.h"
+#include "passes/pipeline.h"
+#include "workloads/reference.h"
+
+namespace calyx::workloads {
+
+/** Everything measured for one compiled-and-simulated design. */
+struct HardwareResult
+{
+    uint64_t cycles = 0;
+    estimate::Area area;
+    passes::DesignStats stats; ///< Pre-compilation IL statistics.
+    double compileSeconds = 0.0;
+};
+
+/** Deterministic inputs for every memory a program declares. */
+MemState makeInputs(const std::string &kernel_name,
+                    const dahlia::Program &program);
+
+/** Execute on the AST reference interpreter. */
+MemState runOnInterp(const dahlia::Program &program,
+                     const MemState &inputs);
+
+/**
+ * Compile a Dahlia program through the full Calyx pipeline, simulate it
+ * with the given inputs, and report cycles/area/compile time. The final
+ * memory state (translated back from banked cells to the original
+ * layout) is stored in `final_state` when non-null.
+ */
+HardwareResult runOnHardware(const dahlia::Program &program,
+                             const passes::CompileOptions &options,
+                             const MemState &inputs,
+                             MemState *final_state = nullptr);
+
+} // namespace calyx::workloads
+
+#endif // CALYX_WORKLOADS_HARNESS_H

@@ -1,0 +1,857 @@
+#include "workloads/polybench.h"
+
+#include "support/error.h"
+
+namespace calyx::workloads {
+
+namespace {
+
+// All kernels use N = 8 (doitgen uses 4x4x4x4) and the PolyBench
+// constants alpha = 3, beta = 2 as integer literals.
+
+const char *gemm_src = R"(
+decl A: ubit<32>[8][8];
+decl B: ubit<32>[8][8];
+decl C: ubit<32>[8][8];
+for (let i: ubit<6> = 0..8) {
+  for (let j: ubit<6> = 0..8) {
+    let acc: ubit<32> = 2 * C[i][j];
+    ---
+    for (let k: ubit<6> = 0..8) {
+      acc := acc + 3 * A[i][k] * B[k][j];
+    }
+    ---
+    C[i][j] := acc;
+  }
+}
+)";
+
+const char *gemm_unrolled = R"(
+decl A: ubit<32>[8][8];
+decl B: ubit<32>[8][8 bank 2];
+decl C: ubit<32>[8][8 bank 2];
+for (let i: ubit<6> = 0..8) {
+  for (let j: ubit<6> = 0..8) unroll 2 {
+    let acc: ubit<32> = 2 * C[i][j];
+    ---
+    for (let k: ubit<6> = 0..8) {
+      acc := acc + 3 * A[i][k] * B[k][j];
+    }
+    ---
+    C[i][j] := acc;
+  }
+}
+)";
+
+const char *two_mm_src = R"(
+decl A: ubit<32>[8][8];
+decl B: ubit<32>[8][8];
+decl C: ubit<32>[8][8];
+decl D: ubit<32>[8][8];
+decl tmp: ubit<32>[8][8];
+for (let i: ubit<6> = 0..8) {
+  for (let j: ubit<6> = 0..8) {
+    let acc: ubit<32> = 0;
+    ---
+    for (let k: ubit<6> = 0..8) {
+      acc := acc + 3 * A[i][k] * B[k][j];
+    }
+    ---
+    tmp[i][j] := acc;
+  }
+}
+---
+for (let i2: ubit<6> = 0..8) {
+  for (let j2: ubit<6> = 0..8) {
+    let acc2: ubit<32> = 2 * D[i2][j2];
+    ---
+    for (let k2: ubit<6> = 0..8) {
+      acc2 := acc2 + tmp[i2][k2] * C[k2][j2];
+    }
+    ---
+    D[i2][j2] := acc2;
+  }
+}
+)";
+
+// tmp is produced with j unrolled (dim 1) and consumed along k (dim 1):
+// both loops must be unrolled on tmp's banked dimension, so the second
+// loop unrolls the reduction with a combine block.
+const char *two_mm_unrolled = R"(
+decl A: ubit<32>[8][8];
+decl B: ubit<32>[8][8 bank 2];
+decl C: ubit<32>[8 bank 2][8];
+decl D: ubit<32>[8][8];
+decl tmp: ubit<32>[8][8 bank 2];
+for (let i: ubit<6> = 0..8) {
+  for (let j: ubit<6> = 0..8) unroll 2 {
+    let acc: ubit<32> = 0;
+    ---
+    for (let k: ubit<6> = 0..8) {
+      acc := acc + 3 * A[i][k] * B[k][j];
+    }
+    ---
+    tmp[i][j] := acc;
+  }
+}
+---
+for (let i2: ubit<6> = 0..8) {
+  for (let j2: ubit<6> = 0..8) {
+    let acc2: ubit<32> = 2 * D[i2][j2];
+    ---
+    for (let k2: ubit<6> = 0..8) unroll 2 {
+      let v: ubit<32> = tmp[i2][k2] * C[k2][j2];
+    } combine {
+      acc2 := acc2 + v;
+    }
+    ---
+    D[i2][j2] := acc2;
+  }
+}
+)";
+
+const char *three_mm_src = R"(
+decl A: ubit<32>[8][8];
+decl B: ubit<32>[8][8];
+decl C: ubit<32>[8][8];
+decl D: ubit<32>[8][8];
+decl E: ubit<32>[8][8];
+decl F: ubit<32>[8][8];
+decl G: ubit<32>[8][8];
+for (let i: ubit<6> = 0..8) {
+  for (let j: ubit<6> = 0..8) {
+    let acc: ubit<32> = 0;
+    ---
+    for (let k: ubit<6> = 0..8) { acc := acc + A[i][k] * B[k][j]; }
+    ---
+    E[i][j] := acc;
+  }
+}
+---
+for (let i2: ubit<6> = 0..8) {
+  for (let j2: ubit<6> = 0..8) {
+    let acc2: ubit<32> = 0;
+    ---
+    for (let k2: ubit<6> = 0..8) { acc2 := acc2 + C[i2][k2] * D[k2][j2]; }
+    ---
+    F[i2][j2] := acc2;
+  }
+}
+---
+for (let i3: ubit<6> = 0..8) {
+  for (let j3: ubit<6> = 0..8) {
+    let acc3: ubit<32> = 0;
+    ---
+    for (let k3: ubit<6> = 0..8) { acc3 := acc3 + E[i3][k3] * F[k3][j3]; }
+    ---
+    G[i3][j3] := acc3;
+  }
+}
+)";
+
+// E is banked on its second dimension (produced j-unrolled, consumed
+// k-unrolled); F on its first (produced i-unrolled, consumed k-unrolled).
+const char *three_mm_unrolled = R"(
+decl A: ubit<32>[8][8];
+decl B: ubit<32>[8][8 bank 2];
+decl C: ubit<32>[8 bank 2][8];
+decl D: ubit<32>[8][8];
+decl E: ubit<32>[8][8 bank 2];
+decl F: ubit<32>[8 bank 2][8];
+decl G: ubit<32>[8][8];
+for (let i: ubit<6> = 0..8) {
+  for (let j: ubit<6> = 0..8) unroll 2 {
+    let acc: ubit<32> = 0;
+    ---
+    for (let k: ubit<6> = 0..8) { acc := acc + A[i][k] * B[k][j]; }
+    ---
+    E[i][j] := acc;
+  }
+}
+---
+for (let i2: ubit<6> = 0..8) unroll 2 {
+  for (let j2: ubit<6> = 0..8) {
+    let acc2: ubit<32> = 0;
+    ---
+    for (let k2: ubit<6> = 0..8) { acc2 := acc2 + C[i2][k2] * D[k2][j2]; }
+    ---
+    F[i2][j2] := acc2;
+  }
+}
+---
+for (let i3: ubit<6> = 0..8) {
+  for (let j3: ubit<6> = 0..8) {
+    let acc3: ubit<32> = 0;
+    ---
+    for (let k3: ubit<6> = 0..8) unroll 2 {
+      let v: ubit<32> = E[i3][k3] * F[k3][j3];
+    } combine {
+      acc3 := acc3 + v;
+    }
+    ---
+    G[i3][j3] := acc3;
+  }
+}
+)";
+
+const char *atax_src = R"(
+decl A: ubit<32>[8][8];
+decl x: ubit<32>[8];
+decl y: ubit<32>[8];
+decl tmp: ubit<32>[8];
+for (let i: ubit<6> = 0..8) {
+  let acc: ubit<32> = 0;
+  ---
+  for (let j: ubit<6> = 0..8) { acc := acc + A[i][j] * x[j]; }
+  ---
+  tmp[i] := acc;
+}
+---
+for (let j2: ubit<6> = 0..8) { y[j2] := 0; }
+---
+for (let i2: ubit<6> = 0..8) {
+  for (let j3: ubit<6> = 0..8) {
+    y[j3] := y[j3] + A[i2][j3] * tmp[i2];
+  }
+}
+)";
+
+const char *atax_unrolled = R"(
+decl A: ubit<32>[8][8 bank 2];
+decl x: ubit<32>[8 bank 2];
+decl y: ubit<32>[8 bank 2];
+decl tmp: ubit<32>[8];
+for (let i: ubit<6> = 0..8) {
+  let acc: ubit<32> = 0;
+  ---
+  for (let j: ubit<6> = 0..8) unroll 2 {
+    let v: ubit<32> = A[i][j] * x[j];
+  } combine {
+    acc := acc + v;
+  }
+  ---
+  tmp[i] := acc;
+}
+---
+for (let j2: ubit<6> = 0..8) unroll 2 { y[j2] := 0; }
+---
+for (let i2: ubit<6> = 0..8) {
+  for (let j3: ubit<6> = 0..8) unroll 2 {
+    y[j3] := y[j3] + A[i2][j3] * tmp[i2];
+  }
+}
+)";
+
+const char *bicg_src = R"(
+decl A: ubit<32>[8][8];
+decl s: ubit<32>[8];
+decl q: ubit<32>[8];
+decl p: ubit<32>[8];
+decl r: ubit<32>[8];
+for (let j: ubit<6> = 0..8) { s[j] := 0; }
+---
+for (let i: ubit<6> = 0..8) {
+  let acc: ubit<32> = 0;
+  ---
+  for (let j2: ubit<6> = 0..8) {
+    s[j2] := s[j2] + r[i] * A[i][j2];
+    acc := acc + A[i][j2] * p[j2];
+  }
+  ---
+  q[i] := acc;
+}
+)";
+
+const char *bicg_unrolled = R"(
+decl A: ubit<32>[8][8 bank 2];
+decl s: ubit<32>[8 bank 2];
+decl q: ubit<32>[8];
+decl p: ubit<32>[8 bank 2];
+decl r: ubit<32>[8];
+for (let j: ubit<6> = 0..8) unroll 2 { s[j] := 0; }
+---
+for (let i: ubit<6> = 0..8) {
+  let acc: ubit<32> = 0;
+  ---
+  for (let j2: ubit<6> = 0..8) unroll 2 {
+    s[j2] := s[j2] + r[i] * A[i][j2];
+    ---
+    let v: ubit<32> = A[i][j2] * p[j2];
+  } combine {
+    acc := acc + v;
+  }
+  ---
+  q[i] := acc;
+}
+)";
+
+const char *doitgen_src = R"(
+decl A: ubit<32>[16][4];
+decl C4: ubit<32>[4][4];
+decl sum: ubit<32>[4];
+for (let r: ubit<6> = 0..4) {
+  for (let q: ubit<6> = 0..4) {
+    for (let p: ubit<6> = 0..4) {
+      let acc: ubit<32> = 0;
+      ---
+      for (let ss: ubit<6> = 0..4) {
+        acc := acc + A[r * 4 + q][ss] * C4[ss][p];
+      }
+      ---
+      sum[p] := acc;
+    }
+    ---
+    for (let p2: ubit<6> = 0..4) {
+      A[r * 4 + q][p2] := sum[p2];
+    }
+  }
+}
+)";
+
+// doitgen is NOT unrollable: A is both reduced along its second
+// dimension (s) and written back along it (p) within one q-iteration,
+// so no single banking satisfies the affine bank-resolution rules —
+// the same class of rejection Dahlia's type system produces.
+
+const char *trmm_unrolled = R"(
+decl A: ubit<32>[8][8];
+decl B: ubit<32>[8][8 bank 2];
+for (let i: ubit<6> = 0..8) {
+  for (let j: ubit<6> = 0..8) unroll 2 {
+    let acc: ubit<32> = B[i][j];
+    ---
+    for (let k: ubit<6> = 0..8) {
+      if (k > i) { acc := acc + A[k][i] * B[k][j]; }
+    }
+    ---
+    B[i][j] := 3 * acc;
+  }
+}
+)";
+
+const char *gemver_src = R"(
+decl A: ubit<32>[8][8];
+decl u1: ubit<32>[8];
+decl v1: ubit<32>[8];
+decl u2: ubit<32>[8];
+decl v2: ubit<32>[8];
+decl x: ubit<32>[8];
+decl y: ubit<32>[8];
+decl z: ubit<32>[8];
+decl w: ubit<32>[8];
+for (let i: ubit<6> = 0..8) {
+  for (let j: ubit<6> = 0..8) {
+    A[i][j] := A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+  }
+}
+---
+for (let j2: ubit<6> = 0..8) {
+  for (let i2: ubit<6> = 0..8) {
+    x[i2] := x[i2] + 2 * A[j2][i2] * y[j2];
+  }
+}
+---
+for (let i3: ubit<6> = 0..8) { x[i3] := x[i3] + z[i3]; }
+---
+for (let i4: ubit<6> = 0..8) {
+  let acc: ubit<32> = 0;
+  ---
+  for (let j4: ubit<6> = 0..8) { acc := acc + 3 * A[i4][j4] * x[j4]; }
+  ---
+  w[i4] := acc;
+}
+)";
+
+const char *gemver_unrolled = R"(
+decl A: ubit<32>[8][8 bank 2];
+decl u1: ubit<32>[8];
+decl v1: ubit<32>[8 bank 2];
+decl u2: ubit<32>[8];
+decl v2: ubit<32>[8 bank 2];
+decl x: ubit<32>[8 bank 2];
+decl y: ubit<32>[8];
+decl z: ubit<32>[8 bank 2];
+decl w: ubit<32>[8];
+for (let i: ubit<6> = 0..8) {
+  for (let j: ubit<6> = 0..8) unroll 2 {
+    A[i][j] := A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+  }
+}
+---
+for (let j2: ubit<6> = 0..8) {
+  for (let i2: ubit<6> = 0..8) unroll 2 {
+    x[i2] := x[i2] + 2 * A[j2][i2] * y[j2];
+  }
+}
+---
+for (let i3: ubit<6> = 0..8) unroll 2 { x[i3] := x[i3] + z[i3]; }
+---
+for (let i4: ubit<6> = 0..8) {
+  let acc: ubit<32> = 0;
+  ---
+  for (let j4: ubit<6> = 0..8) unroll 2 {
+    let v: ubit<32> = 3 * A[i4][j4] * x[j4];
+  } combine {
+    acc := acc + v;
+  }
+  ---
+  w[i4] := acc;
+}
+)";
+
+const char *gesummv_src = R"(
+decl A: ubit<32>[8][8];
+decl B: ubit<32>[8][8];
+decl x: ubit<32>[8];
+decl y: ubit<32>[8];
+for (let i: ubit<6> = 0..8) {
+  let acca: ubit<32> = 0;
+  let accb: ubit<32> = 0;
+  ---
+  for (let j: ubit<6> = 0..8) {
+    acca := acca + A[i][j] * x[j];
+    accb := accb + B[i][j] * x[j];
+  }
+  ---
+  y[i] := 3 * acca + 2 * accb;
+}
+)";
+
+const char *gesummv_unrolled = R"(
+decl A: ubit<32>[8][8 bank 2];
+decl B: ubit<32>[8][8 bank 2];
+decl x: ubit<32>[8 bank 2];
+decl y: ubit<32>[8];
+for (let i: ubit<6> = 0..8) {
+  let acca: ubit<32> = 0;
+  let accb: ubit<32> = 0;
+  ---
+  for (let j: ubit<6> = 0..8) unroll 2 {
+    let va: ubit<32> = A[i][j] * x[j];
+    ---
+    let vb: ubit<32> = B[i][j] * x[j];
+  } combine {
+    acca := acca + va;
+    ---
+    accb := accb + vb;
+  }
+  ---
+  y[i] := 3 * acca + 2 * accb;
+}
+)";
+
+const char *mvt_src = R"(
+decl A: ubit<32>[8][8];
+decl x1: ubit<32>[8];
+decl x2: ubit<32>[8];
+decl y1: ubit<32>[8];
+decl y2: ubit<32>[8];
+for (let i: ubit<6> = 0..8) {
+  let acc: ubit<32> = x1[i];
+  ---
+  for (let j: ubit<6> = 0..8) { acc := acc + A[i][j] * y1[j]; }
+  ---
+  x1[i] := acc;
+}
+---
+for (let j2: ubit<6> = 0..8) {
+  for (let i2: ubit<6> = 0..8) {
+    x2[i2] := x2[i2] + A[j2][i2] * y2[j2];
+  }
+}
+)";
+
+const char *mvt_unrolled = R"(
+decl A: ubit<32>[8][8 bank 2];
+decl x1: ubit<32>[8];
+decl x2: ubit<32>[8 bank 2];
+decl y1: ubit<32>[8 bank 2];
+decl y2: ubit<32>[8];
+for (let i: ubit<6> = 0..8) {
+  let acc: ubit<32> = x1[i];
+  ---
+  for (let j: ubit<6> = 0..8) unroll 2 {
+    let v: ubit<32> = A[i][j] * y1[j];
+  } combine {
+    acc := acc + v;
+  }
+  ---
+  x1[i] := acc;
+}
+---
+for (let j2: ubit<6> = 0..8) {
+  for (let i2: ubit<6> = 0..8) unroll 2 {
+    x2[i2] := x2[i2] + A[j2][i2] * y2[j2];
+  }
+}
+)";
+
+const char *syrk_src = R"(
+decl A: ubit<32>[8][8];
+decl C: ubit<32>[8][8];
+for (let i: ubit<6> = 0..8) {
+  for (let j: ubit<6> = 0..8) {
+    let acc: ubit<32> = 2 * C[i][j];
+    ---
+    for (let k: ubit<6> = 0..8) {
+      acc := acc + 3 * A[i][k] * A[j][k];
+    }
+    ---
+    C[i][j] := acc;
+  }
+}
+)";
+
+const char *syrk_unrolled = R"(
+decl A: ubit<32>[8][8 bank 2];
+decl C: ubit<32>[8][8];
+for (let i: ubit<6> = 0..8) {
+  for (let j: ubit<6> = 0..8) {
+    let acc: ubit<32> = 2 * C[i][j];
+    ---
+    for (let k: ubit<6> = 0..8) unroll 2 {
+      let v: ubit<32> = 3 * A[i][k] * A[j][k];
+    } combine {
+      acc := acc + v;
+    }
+    ---
+    C[i][j] := acc;
+  }
+}
+)";
+
+const char *syr2k_src = R"(
+decl A: ubit<32>[8][8];
+decl B: ubit<32>[8][8];
+decl C: ubit<32>[8][8];
+for (let i: ubit<6> = 0..8) {
+  for (let j: ubit<6> = 0..8) {
+    let acc: ubit<32> = 2 * C[i][j];
+    ---
+    for (let k: ubit<6> = 0..8) {
+      acc := acc + 3 * A[i][k] * B[j][k] + 3 * B[i][k] * A[j][k];
+    }
+    ---
+    C[i][j] := acc;
+  }
+}
+)";
+
+const char *syr2k_unrolled = R"(
+decl A: ubit<32>[8][8 bank 2];
+decl B: ubit<32>[8][8 bank 2];
+decl C: ubit<32>[8][8];
+for (let i: ubit<6> = 0..8) {
+  for (let j: ubit<6> = 0..8) {
+    let acc: ubit<32> = 2 * C[i][j];
+    ---
+    for (let k: ubit<6> = 0..8) unroll 2 {
+      let v: ubit<32> = 3 * A[i][k] * B[j][k] + 3 * B[i][k] * A[j][k];
+    } combine {
+      acc := acc + v;
+    }
+    ---
+    C[i][j] := acc;
+  }
+}
+)";
+
+// --- Kernels with dependences / triangular loops: not unrollable -------
+
+const char *cholesky_src = R"(
+decl A: ubit<32>[8][8];
+decl L: ubit<32>[8][8];
+for (let i: ubit<6> = 0..8) {
+  for (let j: ubit<6> = 0..8) {
+    if (j <= i) {
+      let acc: ubit<32> = A[i][j];
+      ---
+      for (let k: ubit<6> = 0..8) {
+        if (k < j) { acc := acc - L[i][k] * L[j][k]; }
+      }
+      ---
+      if (i == j) {
+        L[i][j] := sqrt(acc);
+      } else {
+        L[i][j] := acc / L[j][j];
+      }
+    }
+  }
+}
+)";
+
+const char *durbin_src = R"(
+decl r: ubit<32>[8];
+decl y: ubit<32>[8];
+decl z: ubit<32>[8];
+let alpha: ubit<32> = 0 - r[0];
+let beta: ubit<32> = 1;
+---
+y[0] := 0 - r[0];
+---
+for (let k: ubit<6> = 1..8) {
+  beta := (1 - alpha * alpha) * beta;
+  ---
+  let acc: ubit<32> = 0;
+  ---
+  for (let i: ubit<6> = 0..8) {
+    if (i < k) { acc := acc + r[k - 1 - i] * y[i]; }
+  }
+  ---
+  alpha := 0 - (r[k] + acc) / beta;
+  ---
+  for (let i2: ubit<6> = 0..8) {
+    if (i2 < k) { z[i2] := y[i2] + alpha * y[k - 1 - i2]; }
+  }
+  ---
+  for (let i3: ubit<6> = 0..8) {
+    if (i3 < k) { y[i3] := z[i3]; }
+  }
+  ---
+  y[k] := alpha;
+}
+)";
+
+const char *gramschmidt_src = R"(
+decl A: ubit<32>[8][8];
+decl Q: ubit<32>[8][8];
+decl R: ubit<32>[8][8];
+for (let k: ubit<6> = 0..8) {
+  let nrm: ubit<32> = 0;
+  ---
+  for (let i: ubit<6> = 0..8) {
+    nrm := nrm + A[i][k] * A[i][k];
+  }
+  ---
+  R[k][k] := sqrt(nrm);
+  ---
+  for (let i2: ubit<6> = 0..8) {
+    Q[i2][k] := A[i2][k] / R[k][k];
+  }
+  ---
+  for (let j: ubit<6> = 0..8) {
+    if (j > k) {
+      let acc: ubit<32> = 0;
+      ---
+      for (let i3: ubit<6> = 0..8) {
+        acc := acc + Q[i3][k] * A[i3][j];
+      }
+      ---
+      R[k][j] := acc;
+      ---
+      for (let i4: ubit<6> = 0..8) {
+        A[i4][j] := A[i4][j] - Q[i4][k] * acc;
+      }
+    }
+  }
+}
+)";
+
+const char *lu_src = R"(
+decl A: ubit<32>[8][8];
+for (let i: ubit<6> = 0..8) {
+  for (let j: ubit<6> = 0..8) {
+    if (j < i) {
+      let acc: ubit<32> = A[i][j];
+      ---
+      for (let k: ubit<6> = 0..8) {
+        if (k < j) { acc := acc - A[i][k] * A[k][j]; }
+      }
+      ---
+      A[i][j] := acc / A[j][j];
+    }
+  }
+  ---
+  for (let j2: ubit<6> = 0..8) {
+    if (j2 >= i) {
+      let acc2: ubit<32> = A[i][j2];
+      ---
+      for (let k2: ubit<6> = 0..8) {
+        if (k2 < i) { acc2 := acc2 - A[i][k2] * A[k2][j2]; }
+      }
+      ---
+      A[i][j2] := acc2;
+    }
+  }
+}
+)";
+
+const char *ludcmp_src = R"(
+decl A: ubit<32>[8][8];
+decl b: ubit<32>[8];
+decl y: ubit<32>[8];
+decl x: ubit<32>[8];
+for (let i: ubit<6> = 0..8) {
+  for (let j: ubit<6> = 0..8) {
+    if (j < i) {
+      let acc: ubit<32> = A[i][j];
+      ---
+      for (let k: ubit<6> = 0..8) {
+        if (k < j) { acc := acc - A[i][k] * A[k][j]; }
+      }
+      ---
+      A[i][j] := acc / A[j][j];
+    }
+  }
+  ---
+  for (let j2: ubit<6> = 0..8) {
+    if (j2 >= i) {
+      let acc2: ubit<32> = A[i][j2];
+      ---
+      for (let k2: ubit<6> = 0..8) {
+        if (k2 < i) { acc2 := acc2 - A[i][k2] * A[k2][j2]; }
+      }
+      ---
+      A[i][j2] := acc2;
+    }
+  }
+}
+---
+for (let i2: ubit<6> = 0..8) {
+  let acc3: ubit<32> = b[i2];
+  ---
+  for (let j3: ubit<6> = 0..8) {
+    if (j3 < i2) { acc3 := acc3 - A[i2][j3] * y[j3]; }
+  }
+  ---
+  y[i2] := acc3;
+}
+---
+for (let ii: ubit<6> = 0..8) {
+  let acc4: ubit<32> = y[7 - ii];
+  ---
+  for (let j4: ubit<6> = 0..8) {
+    if (j4 > 7 - ii) { acc4 := acc4 - A[7 - ii][j4] * x[j4]; }
+  }
+  ---
+  x[7 - ii] := acc4 / A[7 - ii][7 - ii];
+}
+)";
+
+const char *symm_src = R"(
+decl A: ubit<32>[8][8];
+decl B: ubit<32>[8][8];
+decl C: ubit<32>[8][8];
+for (let i: ubit<6> = 0..8) {
+  for (let j: ubit<6> = 0..8) {
+    let temp2: ubit<32> = 0;
+    ---
+    for (let k: ubit<6> = 0..8) {
+      if (k < i) {
+        C[k][j] := C[k][j] + 3 * B[i][j] * A[i][k];
+        ---
+        temp2 := temp2 + B[k][j] * A[i][k];
+      }
+    }
+    ---
+    C[i][j] := 2 * C[i][j] + 3 * B[i][j] * A[i][i] + 3 * temp2;
+  }
+}
+)";
+
+const char *trisolv_src = R"(
+decl L: ubit<32>[8][8];
+decl b: ubit<32>[8];
+decl x: ubit<32>[8];
+for (let i: ubit<6> = 0..8) {
+  let acc: ubit<32> = b[i];
+  ---
+  for (let j: ubit<6> = 0..8) {
+    if (j < i) { acc := acc - L[i][j] * x[j]; }
+  }
+  ---
+  x[i] := acc / L[i][i];
+}
+)";
+
+const char *trmm_src = R"(
+decl A: ubit<32>[8][8];
+decl B: ubit<32>[8][8];
+for (let i: ubit<6> = 0..8) {
+  for (let j: ubit<6> = 0..8) {
+    let acc: ubit<32> = B[i][j];
+    ---
+    for (let k: ubit<6> = 0..8) {
+      if (k > i) { acc := acc + A[k][i] * B[k][j]; }
+    }
+    ---
+    B[i][j] := 3 * acc;
+  }
+}
+)";
+
+std::vector<Kernel>
+makeKernels()
+{
+    std::vector<Kernel> out;
+    auto add = [&out](const std::string &name, const std::string &label,
+                      const char *src, const char *unrolled,
+                      bool sqrt_div) {
+        Kernel k;
+        k.name = name;
+        k.label = label;
+        k.source = src;
+        k.unrolledSource = unrolled ? unrolled : "";
+        k.usesSqrtOrDiv = sqrt_div;
+        out.push_back(std::move(k));
+    };
+    // Order matches the paper's figure axes.
+    add("2mm", "2mm", two_mm_src, two_mm_unrolled, false);
+    add("3mm", "3mm", three_mm_src, three_mm_unrolled, false);
+    add("atax", "ata", atax_src, atax_unrolled, false);
+    add("doitgen", "dtg", doitgen_src, nullptr, false);
+    add("gemm", "gmm", gemm_src, gemm_unrolled, false);
+    add("gesummv", "gmv", gesummv_src, gesummv_unrolled, false);
+    add("gemver", "gev", gemver_src, gemver_unrolled, false);
+    add("gramschmidt", "gmt", gramschmidt_src, nullptr, true);
+    add("mvt", "mvt", mvt_src, mvt_unrolled, false);
+    add("syr2k", "s2k", syr2k_src, syr2k_unrolled, false);
+    add("syrk", "sk", syrk_src, syrk_unrolled, false);
+    add("bicg", "bcg", bicg_src, bicg_unrolled, false);
+    add("cholesky", "cky", cholesky_src, nullptr, true);
+    add("durbin", "dbn", durbin_src, nullptr, true);
+    add("lu", "lu", lu_src, nullptr, true);
+    add("ludcmp", "lcp", ludcmp_src, nullptr, true);
+    add("symm", "sym", symm_src, nullptr, false);
+    add("trisolv", "tsv", trisolv_src, nullptr, true);
+    add("trmm", "trm", trmm_src, trmm_unrolled, false);
+    return out;
+}
+
+} // namespace
+
+const std::vector<Kernel> &
+kernels()
+{
+    static const std::vector<Kernel> all = makeKernels();
+    return all;
+}
+
+const Kernel &
+kernel(const std::string &name)
+{
+    for (const auto &k : kernels()) {
+        if (k.name == name)
+            return k;
+    }
+    fatal("unknown PolyBench kernel: ", name);
+}
+
+std::vector<uint64_t>
+inputData(const std::string &kernel_name, const std::string &mem_name,
+          size_t size)
+{
+    // FNV-style hash of the names seeds a tiny LCG; values in [1, 13]
+    // keep divisors nonzero and products small.
+    uint64_t seed = 1469598103934665603ull;
+    for (char c : kernel_name + "/" + mem_name)
+        seed = (seed ^ static_cast<uint64_t>(c)) * 1099511628211ull;
+    std::vector<uint64_t> data(size);
+    for (size_t i = 0; i < size; ++i) {
+        seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+        data[i] = 1 + ((seed >> 33) % 13);
+    }
+    return data;
+}
+
+} // namespace calyx::workloads

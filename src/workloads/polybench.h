@@ -1,0 +1,43 @@
+#ifndef CALYX_WORKLOADS_POLYBENCH_H
+#define CALYX_WORKLOADS_POLYBENCH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "frontends/dahlia/ast.h"
+
+namespace calyx::workloads {
+
+/**
+ * One PolyBench linear-algebra kernel written in mini-Dahlia
+ * (paper §7.2: all 19 kernels; the 11 benchmarks Dahlia's type system
+ * permits also have an unrolled variant with matching memory banking).
+ * Integer (`ubit<32>`) arithmetic replaces PolyBench floats so
+ * functional equivalence with the golden reference is exact.
+ */
+struct Kernel
+{
+    std::string name;           ///< e.g. "gemm"
+    std::string label;          ///< figure label, e.g. "gmm"
+    std::string source;         ///< base Dahlia source
+    std::string unrolledSource; ///< empty when not unrollable
+    bool usesSqrtOrDiv = false; ///< contains latency-insensitive ops
+};
+
+/** All 19 kernels, in the order of the paper's figures. */
+const std::vector<Kernel> &kernels();
+
+/** Lookup by name; fatal() if unknown. */
+const Kernel &kernel(const std::string &name);
+
+/**
+ * Deterministic input data for a kernel's memory: small positive values
+ * derived from the kernel and memory names.
+ */
+std::vector<uint64_t> inputData(const std::string &kernel_name,
+                                const std::string &mem_name, size_t size);
+
+} // namespace calyx::workloads
+
+#endif // CALYX_WORKLOADS_POLYBENCH_H

@@ -1,0 +1,494 @@
+#include "workloads/reference.h"
+
+#include "sim/models.h"
+#include "support/error.h"
+
+namespace calyx::workloads {
+
+uint32_t
+udiv(uint32_t a, uint32_t b)
+{
+    return b == 0 ? 0xFFFFFFFFu : a / b;
+}
+
+uint32_t
+usqrt(uint32_t v)
+{
+    return static_cast<uint32_t>(sim::isqrt(v));
+}
+
+namespace {
+
+constexpr int N = 8;
+constexpr uint32_t ALPHA = 3;
+constexpr uint32_t BETA = 2;
+
+/** 2-D accessor over a row-major buffer. */
+class M2
+{
+  public:
+    M2(std::vector<uint64_t> &data, int cols) : data(&data), cols(cols) {}
+    uint32_t
+    get(int r, int c) const
+    {
+        return static_cast<uint32_t>((*data)[r * cols + c]);
+    }
+    void
+    set(int r, int c, uint32_t v)
+    {
+        (*data)[r * cols + c] = v;
+    }
+
+  private:
+    std::vector<uint64_t> *data;
+    int cols;
+};
+
+uint32_t
+get1(const std::vector<uint64_t> &v, int i)
+{
+    return static_cast<uint32_t>(v[i]);
+}
+
+void
+refGemm(MemState &m)
+{
+    M2 A(m.at("A"), N), B(m.at("B"), N), C(m.at("C"), N);
+    for (int i = 0; i < N; ++i) {
+        for (int j = 0; j < N; ++j) {
+            uint32_t acc = BETA * C.get(i, j);
+            for (int k = 0; k < N; ++k)
+                acc += ALPHA * A.get(i, k) * B.get(k, j);
+            C.set(i, j, acc);
+        }
+    }
+}
+
+void
+ref2mm(MemState &m)
+{
+    M2 A(m.at("A"), N), B(m.at("B"), N), C(m.at("C"), N), D(m.at("D"), N),
+        tmp(m.at("tmp"), N);
+    for (int i = 0; i < N; ++i) {
+        for (int j = 0; j < N; ++j) {
+            uint32_t acc = 0;
+            for (int k = 0; k < N; ++k)
+                acc += ALPHA * A.get(i, k) * B.get(k, j);
+            tmp.set(i, j, acc);
+        }
+    }
+    for (int i = 0; i < N; ++i) {
+        for (int j = 0; j < N; ++j) {
+            uint32_t acc = BETA * D.get(i, j);
+            for (int k = 0; k < N; ++k)
+                acc += tmp.get(i, k) * C.get(k, j);
+            D.set(i, j, acc);
+        }
+    }
+}
+
+void
+ref3mm(MemState &m)
+{
+    M2 A(m.at("A"), N), B(m.at("B"), N), C(m.at("C"), N), D(m.at("D"), N);
+    M2 E(m.at("E"), N), F(m.at("F"), N), G(m.at("G"), N);
+    for (int i = 0; i < N; ++i) {
+        for (int j = 0; j < N; ++j) {
+            uint32_t acc = 0;
+            for (int k = 0; k < N; ++k)
+                acc += A.get(i, k) * B.get(k, j);
+            E.set(i, j, acc);
+        }
+    }
+    for (int i = 0; i < N; ++i) {
+        for (int j = 0; j < N; ++j) {
+            uint32_t acc = 0;
+            for (int k = 0; k < N; ++k)
+                acc += C.get(i, k) * D.get(k, j);
+            F.set(i, j, acc);
+        }
+    }
+    for (int i = 0; i < N; ++i) {
+        for (int j = 0; j < N; ++j) {
+            uint32_t acc = 0;
+            for (int k = 0; k < N; ++k)
+                acc += E.get(i, k) * F.get(k, j);
+            G.set(i, j, acc);
+        }
+    }
+}
+
+void
+refAtax(MemState &m)
+{
+    M2 A(m.at("A"), N);
+    auto &x = m.at("x");
+    auto &y = m.at("y");
+    auto &tmp = m.at("tmp");
+    for (int i = 0; i < N; ++i) {
+        uint32_t acc = 0;
+        for (int j = 0; j < N; ++j)
+            acc += A.get(i, j) * get1(x, j);
+        tmp[i] = acc;
+    }
+    for (int j = 0; j < N; ++j)
+        y[j] = 0;
+    for (int i = 0; i < N; ++i) {
+        for (int j = 0; j < N; ++j) {
+            y[j] = static_cast<uint32_t>(y[j]) +
+                   A.get(i, j) * static_cast<uint32_t>(tmp[i]);
+        }
+    }
+    for (auto &v : y)
+        v = static_cast<uint32_t>(v);
+}
+
+void
+refBicg(MemState &m)
+{
+    M2 A(m.at("A"), N);
+    auto &s = m.at("s");
+    auto &q = m.at("q");
+    auto &p = m.at("p");
+    auto &r = m.at("r");
+    for (int j = 0; j < N; ++j)
+        s[j] = 0;
+    for (int i = 0; i < N; ++i) {
+        uint32_t acc = 0;
+        for (int j = 0; j < N; ++j) {
+            s[j] = static_cast<uint32_t>(
+                static_cast<uint32_t>(s[j]) +
+                get1(r, i) * A.get(i, j));
+            acc += A.get(i, j) * get1(p, j);
+        }
+        q[i] = acc;
+    }
+}
+
+void
+refDoitgen(MemState &m)
+{
+    constexpr int R = 4, Q = 4, P = 4, S = 4;
+    M2 A(m.at("A"), P);
+    M2 C4(m.at("C4"), P);
+    auto &sum = m.at("sum");
+    for (int r = 0; r < R; ++r) {
+        for (int q = 0; q < Q; ++q) {
+            for (int p = 0; p < P; ++p) {
+                uint32_t acc = 0;
+                for (int s = 0; s < S; ++s)
+                    acc += A.get(r * 4 + q, s) * C4.get(s, p);
+                sum[p] = acc;
+            }
+            for (int p = 0; p < P; ++p)
+                A.set(r * 4 + q, p, static_cast<uint32_t>(sum[p]));
+        }
+    }
+}
+
+void
+refGemver(MemState &m)
+{
+    M2 A(m.at("A"), N);
+    auto &u1 = m.at("u1");
+    auto &v1 = m.at("v1");
+    auto &u2 = m.at("u2");
+    auto &v2 = m.at("v2");
+    auto &x = m.at("x");
+    auto &y = m.at("y");
+    auto &z = m.at("z");
+    auto &w = m.at("w");
+    for (int i = 0; i < N; ++i)
+        for (int j = 0; j < N; ++j)
+            A.set(i, j, A.get(i, j) + get1(u1, i) * get1(v1, j) +
+                            get1(u2, i) * get1(v2, j));
+    for (int j = 0; j < N; ++j)
+        for (int i = 0; i < N; ++i)
+            x[i] = static_cast<uint32_t>(
+                static_cast<uint32_t>(x[i]) +
+                BETA * A.get(j, i) * get1(y, j));
+    for (int i = 0; i < N; ++i)
+        x[i] = static_cast<uint32_t>(static_cast<uint32_t>(x[i]) +
+                                     get1(z, i));
+    for (int i = 0; i < N; ++i) {
+        uint32_t acc = 0;
+        for (int j = 0; j < N; ++j)
+            acc += ALPHA * A.get(i, j) * get1(x, j);
+        w[i] = acc;
+    }
+}
+
+void
+refGesummv(MemState &m)
+{
+    M2 A(m.at("A"), N), B(m.at("B"), N);
+    auto &x = m.at("x");
+    auto &y = m.at("y");
+    for (int i = 0; i < N; ++i) {
+        uint32_t acca = 0, accb = 0;
+        for (int j = 0; j < N; ++j) {
+            acca += A.get(i, j) * get1(x, j);
+            accb += B.get(i, j) * get1(x, j);
+        }
+        y[i] = ALPHA * acca + BETA * accb;
+    }
+}
+
+void
+refMvt(MemState &m)
+{
+    M2 A(m.at("A"), N);
+    auto &x1 = m.at("x1");
+    auto &x2 = m.at("x2");
+    auto &y1 = m.at("y1");
+    auto &y2 = m.at("y2");
+    for (int i = 0; i < N; ++i) {
+        uint32_t acc = get1(x1, i);
+        for (int j = 0; j < N; ++j)
+            acc += A.get(i, j) * get1(y1, j);
+        x1[i] = acc;
+    }
+    for (int j = 0; j < N; ++j)
+        for (int i = 0; i < N; ++i)
+            x2[i] = static_cast<uint32_t>(
+                static_cast<uint32_t>(x2[i]) +
+                A.get(j, i) * get1(y2, j));
+}
+
+void
+refSyrk(MemState &m)
+{
+    M2 A(m.at("A"), N), C(m.at("C"), N);
+    for (int i = 0; i < N; ++i) {
+        for (int j = 0; j < N; ++j) {
+            uint32_t acc = BETA * C.get(i, j);
+            for (int k = 0; k < N; ++k)
+                acc += ALPHA * A.get(i, k) * A.get(j, k);
+            C.set(i, j, acc);
+        }
+    }
+}
+
+void
+refSyr2k(MemState &m)
+{
+    M2 A(m.at("A"), N), B(m.at("B"), N), C(m.at("C"), N);
+    for (int i = 0; i < N; ++i) {
+        for (int j = 0; j < N; ++j) {
+            uint32_t acc = BETA * C.get(i, j);
+            for (int k = 0; k < N; ++k) {
+                acc += ALPHA * A.get(i, k) * B.get(j, k) +
+                       ALPHA * B.get(i, k) * A.get(j, k);
+            }
+            C.set(i, j, acc);
+        }
+    }
+}
+
+void
+refCholesky(MemState &m)
+{
+    M2 A(m.at("A"), N), L(m.at("L"), N);
+    for (int i = 0; i < N; ++i) {
+        for (int j = 0; j < N; ++j) {
+            if (j > i)
+                continue;
+            uint32_t acc = A.get(i, j);
+            for (int k = 0; k < j; ++k)
+                acc -= L.get(i, k) * L.get(j, k);
+            if (i == j)
+                L.set(i, j, usqrt(acc));
+            else
+                L.set(i, j, udiv(acc, L.get(j, j)));
+        }
+    }
+}
+
+void
+refDurbin(MemState &m)
+{
+    auto &r = m.at("r");
+    auto &y = m.at("y");
+    auto &z = m.at("z");
+    uint32_t alpha = 0 - get1(r, 0);
+    uint32_t beta = 1;
+    y[0] = 0 - get1(r, 0);
+    for (int k = 1; k < N; ++k) {
+        beta = (1 - alpha * alpha) * beta;
+        uint32_t acc = 0;
+        for (int i = 0; i < k; ++i)
+            acc += get1(r, k - 1 - i) * get1(y, i);
+        alpha = 0 - udiv(get1(r, k) + acc, beta);
+        for (int i = 0; i < k; ++i)
+            z[i] = get1(y, i) + alpha * get1(y, k - 1 - i);
+        for (int i = 0; i < k; ++i)
+            y[i] = get1(z, i);
+        y[k] = alpha;
+    }
+}
+
+void
+refGramschmidt(MemState &m)
+{
+    M2 A(m.at("A"), N), Q(m.at("Q"), N), R(m.at("R"), N);
+    for (int k = 0; k < N; ++k) {
+        uint32_t nrm = 0;
+        for (int i = 0; i < N; ++i)
+            nrm += A.get(i, k) * A.get(i, k);
+        R.set(k, k, usqrt(nrm));
+        for (int i = 0; i < N; ++i)
+            Q.set(i, k, udiv(A.get(i, k), R.get(k, k)));
+        for (int j = k + 1; j < N; ++j) {
+            uint32_t acc = 0;
+            for (int i = 0; i < N; ++i)
+                acc += Q.get(i, k) * A.get(i, j);
+            R.set(k, j, acc);
+            for (int i = 0; i < N; ++i)
+                A.set(i, j, A.get(i, j) - Q.get(i, k) * acc);
+        }
+    }
+}
+
+void
+refLuCore(M2 &A)
+{
+    for (int i = 0; i < N; ++i) {
+        for (int j = 0; j < i; ++j) {
+            uint32_t acc = A.get(i, j);
+            for (int k = 0; k < j; ++k)
+                acc -= A.get(i, k) * A.get(k, j);
+            A.set(i, j, udiv(acc, A.get(j, j)));
+        }
+        for (int j = i; j < N; ++j) {
+            uint32_t acc = A.get(i, j);
+            for (int k = 0; k < i; ++k)
+                acc -= A.get(i, k) * A.get(k, j);
+            A.set(i, j, acc);
+        }
+    }
+}
+
+void
+refLu(MemState &m)
+{
+    M2 A(m.at("A"), N);
+    refLuCore(A);
+}
+
+void
+refLudcmp(MemState &m)
+{
+    M2 A(m.at("A"), N);
+    auto &b = m.at("b");
+    auto &y = m.at("y");
+    auto &x = m.at("x");
+    refLuCore(A);
+    for (int i = 0; i < N; ++i) {
+        uint32_t acc = get1(b, i);
+        for (int j = 0; j < i; ++j)
+            acc -= A.get(i, j) * get1(y, j);
+        y[i] = acc;
+    }
+    for (int ii = 0; ii < N; ++ii) {
+        int i = N - 1 - ii;
+        uint32_t acc = get1(y, i);
+        for (int j = i + 1; j < N; ++j)
+            acc -= A.get(i, j) * get1(x, j);
+        x[i] = udiv(acc, A.get(i, i));
+    }
+}
+
+void
+refSymm(MemState &m)
+{
+    M2 A(m.at("A"), N), B(m.at("B"), N), C(m.at("C"), N);
+    for (int i = 0; i < N; ++i) {
+        for (int j = 0; j < N; ++j) {
+            uint32_t temp2 = 0;
+            for (int k = 0; k < i; ++k) {
+                C.set(k, j,
+                      C.get(k, j) + ALPHA * B.get(i, j) * A.get(i, k));
+                temp2 += B.get(k, j) * A.get(i, k);
+            }
+            C.set(i, j, BETA * C.get(i, j) +
+                            ALPHA * B.get(i, j) * A.get(i, i) +
+                            ALPHA * temp2);
+        }
+    }
+}
+
+void
+refTrisolv(MemState &m)
+{
+    M2 L(m.at("L"), N);
+    auto &b = m.at("b");
+    auto &x = m.at("x");
+    for (int i = 0; i < N; ++i) {
+        uint32_t acc = get1(b, i);
+        for (int j = 0; j < i; ++j)
+            acc -= L.get(i, j) * get1(x, j);
+        x[i] = udiv(acc, L.get(i, i));
+    }
+}
+
+void
+refTrmm(MemState &m)
+{
+    M2 A(m.at("A"), N), B(m.at("B"), N);
+    for (int i = 0; i < N; ++i) {
+        for (int j = 0; j < N; ++j) {
+            uint32_t acc = B.get(i, j);
+            for (int k = i + 1; k < N; ++k)
+                acc += A.get(k, i) * B.get(k, j);
+            B.set(i, j, ALPHA * acc);
+        }
+    }
+}
+
+} // namespace
+
+void
+runReference(const std::string &kernel_name, MemState &mems)
+{
+    if (kernel_name == "gemm")
+        return refGemm(mems);
+    if (kernel_name == "2mm")
+        return ref2mm(mems);
+    if (kernel_name == "3mm")
+        return ref3mm(mems);
+    if (kernel_name == "atax")
+        return refAtax(mems);
+    if (kernel_name == "bicg")
+        return refBicg(mems);
+    if (kernel_name == "doitgen")
+        return refDoitgen(mems);
+    if (kernel_name == "gemver")
+        return refGemver(mems);
+    if (kernel_name == "gesummv")
+        return refGesummv(mems);
+    if (kernel_name == "mvt")
+        return refMvt(mems);
+    if (kernel_name == "syrk")
+        return refSyrk(mems);
+    if (kernel_name == "syr2k")
+        return refSyr2k(mems);
+    if (kernel_name == "cholesky")
+        return refCholesky(mems);
+    if (kernel_name == "durbin")
+        return refDurbin(mems);
+    if (kernel_name == "gramschmidt")
+        return refGramschmidt(mems);
+    if (kernel_name == "lu")
+        return refLu(mems);
+    if (kernel_name == "ludcmp")
+        return refLudcmp(mems);
+    if (kernel_name == "symm")
+        return refSymm(mems);
+    if (kernel_name == "trisolv")
+        return refTrisolv(mems);
+    if (kernel_name == "trmm")
+        return refTrmm(mems);
+    fatal("no reference for kernel ", kernel_name);
+}
+
+} // namespace calyx::workloads

@@ -1,0 +1,30 @@
+#ifndef CALYX_WORKLOADS_REFERENCE_H
+#define CALYX_WORKLOADS_REFERENCE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace calyx::workloads {
+
+/** Memory state: original (pre-banking) memory name -> row-major data. */
+using MemState = std::map<std::string, std::vector<uint64_t>>;
+
+/**
+ * Golden native implementation of each PolyBench kernel, independent of
+ * the Dahlia frontend. `mems` holds the pre-filled inputs and is updated
+ * in place to the expected final state of every memory. Arithmetic is
+ * 32-bit unsigned with the same division/sqrt conventions as the
+ * hardware primitives.
+ */
+void runReference(const std::string &kernel_name, MemState &mems);
+
+/** Hardware division convention: all-ones quotient on divide-by-zero. */
+uint32_t udiv(uint32_t a, uint32_t b);
+/** Hardware integer square root. */
+uint32_t usqrt(uint32_t v);
+
+} // namespace calyx::workloads
+
+#endif // CALYX_WORKLOADS_REFERENCE_H

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "estimate/area.h"
+#include "helpers.h"
+
+namespace calyx {
+namespace {
+
+using estimate::Area;
+using estimate::AreaEstimator;
+using testing::counterProgram;
+
+TEST(Area, PrimitiveCosts)
+{
+    Context ctx;
+    Component &main = ctx.addComponent("main");
+    main.addCell("a", "std_add", {32}, ctx);
+    AreaEstimator est(ctx);
+    Area area = est.estimate(main);
+    EXPECT_DOUBLE_EQ(area.luts, 32.0);
+    EXPECT_EQ(area.registers, 0);
+}
+
+TEST(Area, RegisterCountsFfs)
+{
+    Context ctx;
+    Component &main = ctx.addComponent("main");
+    main.addCell("r", "std_reg", {16}, ctx);
+    AreaEstimator est(ctx);
+    Area area = est.estimate(main);
+    EXPECT_EQ(area.registers, 1);
+    EXPECT_DOUBLE_EQ(area.ffs, 17.0); // payload + done bit
+}
+
+TEST(Area, MuxCostForMultipleDrivers)
+{
+    Context ctx;
+    Component &a = ctx.addComponent("a");
+    a.addCell("r", "std_reg", {8}, ctx);
+    a.continuousAssignments().emplace_back(
+        cellPort("r", "in"), constant(1, 8),
+        Guard::fromPort(thisPort("go")));
+
+    Context ctx2;
+    Component &b = ctx2.addComponent("b");
+    b.addCell("r", "std_reg", {8}, ctx2);
+    b.continuousAssignments().emplace_back(
+        cellPort("r", "in"), constant(1, 8),
+        Guard::fromPort(thisPort("go")));
+    b.continuousAssignments().emplace_back(
+        cellPort("r", "in"), constant(2, 8),
+        Guard::negate(Guard::fromPort(thisPort("go"))));
+
+    AreaEstimator ea(ctx);
+    AreaEstimator eb(ctx2);
+    EXPECT_GT(eb.estimate(b).luts, ea.estimate(a).luts);
+}
+
+TEST(Area, HierarchicalComposition)
+{
+    Context ctx;
+    Component &pe = ctx.addComponent("pe");
+    pe.addCell("a", "std_add", {32}, ctx);
+    Component &main = ctx.addComponent("main");
+    main.addCell("p0", "pe", {}, ctx);
+    main.addCell("p1", "pe", {}, ctx);
+    ctx.setEntrypoint("main");
+    AreaEstimator est(ctx);
+    EXPECT_DOUBLE_EQ(est.estimateProgram().luts, 64.0);
+}
+
+TEST(Area, DspForMultipliers)
+{
+    Context ctx;
+    Component &main = ctx.addComponent("main");
+    main.addCell("m", "std_mult_pipe", {32}, ctx);
+    AreaEstimator est(ctx);
+    EXPECT_GT(est.estimate(main).dsps, 0.0);
+}
+
+TEST(Area, CompiledDesignsHaveGuardCosts)
+{
+    // A compiled design carries FSM guard logic: LUTs must exceed the
+    // bare functional units.
+    Context ctx = counterProgram(3, 2);
+    AreaEstimator before(ctx);
+    double base = before.estimate(ctx.component("main")).luts;
+
+    Context ctx2 = counterProgram(3, 2);
+    passes::compile(ctx2, {});
+    AreaEstimator after(ctx2);
+    double compiled = after.estimate(ctx2.component("main")).luts;
+    EXPECT_GT(compiled, base);
+}
+
+} // namespace
+} // namespace calyx

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "ir/control.h"
+#include "passes/collapse_control.h"
+
+namespace calyx {
+namespace {
+
+using passes::CollapseControl;
+
+ControlPtr
+en(const std::string &g)
+{
+    return std::make_unique<Enable>(g);
+}
+
+TEST(CollapseControl, RemovesEmptyFromSeq)
+{
+    std::vector<ControlPtr> stmts;
+    stmts.push_back(std::make_unique<Empty>());
+    stmts.push_back(en("a"));
+    stmts.push_back(std::make_unique<Empty>());
+    ControlPtr c =
+        CollapseControl::collapse(std::make_unique<Seq>(std::move(stmts)));
+    EXPECT_EQ(c->kind(), Control::Kind::Enable);
+}
+
+TEST(CollapseControl, EmptySeqBecomesEmpty)
+{
+    ControlPtr c = CollapseControl::collapse(std::make_unique<Seq>());
+    EXPECT_EQ(c->kind(), Control::Kind::Empty);
+}
+
+TEST(CollapseControl, FlattensNestedSeq)
+{
+    std::vector<ControlPtr> inner;
+    inner.push_back(en("b"));
+    inner.push_back(en("c"));
+    std::vector<ControlPtr> outer;
+    outer.push_back(en("a"));
+    outer.push_back(std::make_unique<Seq>(std::move(inner)));
+    ControlPtr c =
+        CollapseControl::collapse(std::make_unique<Seq>(std::move(outer)));
+    ASSERT_EQ(c->kind(), Control::Kind::Seq);
+    EXPECT_EQ(cast<Seq>(*c).stmts().size(), 3u);
+}
+
+TEST(CollapseControl, DoesNotFlattenParIntoSeq)
+{
+    std::vector<ControlPtr> inner;
+    inner.push_back(en("b"));
+    inner.push_back(en("c"));
+    std::vector<ControlPtr> outer;
+    outer.push_back(en("a"));
+    outer.push_back(std::make_unique<Par>(std::move(inner)));
+    ControlPtr c =
+        CollapseControl::collapse(std::make_unique<Seq>(std::move(outer)));
+    ASSERT_EQ(c->kind(), Control::Kind::Seq);
+    ASSERT_EQ(cast<Seq>(*c).stmts().size(), 2u);
+    EXPECT_EQ(cast<Seq>(*c).stmts()[1]->kind(), Control::Kind::Par);
+}
+
+TEST(CollapseControl, IfWithTwoEmptyBranchesDisappears)
+{
+    ControlPtr c = CollapseControl::collapse(std::make_unique<If>(
+        cellPort("c", "out"), "cond", std::make_unique<Empty>(),
+        std::make_unique<Empty>()));
+    EXPECT_EQ(c->kind(), Control::Kind::Empty);
+}
+
+TEST(CollapseControl, IfWithOneBranchSurvives)
+{
+    ControlPtr c = CollapseControl::collapse(std::make_unique<If>(
+        cellPort("c", "out"), "cond", en("t"),
+        std::make_unique<Empty>()));
+    ASSERT_EQ(c->kind(), Control::Kind::If);
+    EXPECT_EQ(cast<If>(*c).falseBranch().kind(), Control::Kind::Empty);
+}
+
+TEST(CollapseControl, WhileBodyCollapses)
+{
+    std::vector<ControlPtr> body;
+    body.push_back(std::make_unique<Empty>());
+    body.push_back(en("g"));
+    ControlPtr c = CollapseControl::collapse(std::make_unique<While>(
+        cellPort("c", "out"), "cond",
+        std::make_unique<Seq>(std::move(body))));
+    ASSERT_EQ(c->kind(), Control::Kind::While);
+    EXPECT_EQ(cast<While>(*c).body().kind(), Control::Kind::Enable);
+}
+
+} // namespace
+} // namespace calyx

@@ -1,0 +1,376 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "helpers.h"
+#include "ir/printer.h"
+#include "passes/remove_groups.h"
+#include "support/error.h"
+
+namespace calyx {
+namespace {
+
+using testing::compiledReg;
+using testing::counterProgram;
+using testing::interpReg;
+
+/** Compiled designs must reproduce the interpreter's final state. */
+void
+expectEquivalent(const std::function<Context()> &build,
+                 const std::vector<std::string> &regs)
+{
+    Context a = build();
+    sim::SimProgram spa(a, "main");
+    sim::Interp interp(spa);
+    interp.run();
+
+    Context b = build();
+    passes::compile(b, {});
+    sim::SimProgram spb(b, "main");
+    sim::CycleSim cs(spb);
+    cs.run();
+
+    for (const auto &r : regs) {
+        EXPECT_EQ(*spa.findModel(r)->registerValue(),
+                  *spb.findModel(r)->registerValue())
+            << "register " << r;
+    }
+}
+
+TEST(CompileControl, SeqMatchesFigure2)
+{
+    // Figure 2: seq { one; two } writing 1 then 2 into x.
+    auto build = [] {
+        Context ctx;
+        auto b = ComponentBuilder::create(ctx, "main");
+        b.reg("x", 32);
+        b.regWriteGroup("one", "x", constant(1, 32));
+        b.regWriteGroup("two", "x", constant(2, 32));
+        std::vector<ControlPtr> s;
+        s.push_back(ComponentBuilder::enable("one"));
+        s.push_back(ComponentBuilder::enable("two"));
+        b.component().setControl(ComponentBuilder::seq(std::move(s)));
+        return ctx;
+    };
+    expectEquivalent(build, {"x"});
+
+    // Structure: an fsm register exists after compilation.
+    Context ctx = build();
+    passes::compile(ctx, {});
+    const Component &main = ctx.component("main");
+    EXPECT_NE(main.findCell("fsm0"), nullptr);
+    EXPECT_TRUE(main.groups().empty());
+    EXPECT_EQ(main.control().kind(), Control::Kind::Empty);
+}
+
+TEST(CompileControl, SeqOfManyChildren)
+{
+    auto build = [] {
+        Context ctx;
+        auto b = ComponentBuilder::create(ctx, "main");
+        b.reg("x", 32);
+        b.add("a", 32);
+        std::vector<ControlPtr> s;
+        for (int k = 0; k < 7; ++k) {
+            std::string name = "g" + std::to_string(k);
+            Group &g = b.group(name);
+            g.add(cellPort("a", "left"), cellPort("x", "out"));
+            g.add(cellPort("a", "right"), constant(k + 1, 32));
+            g.add(cellPort("x", "in"), cellPort("a", "out"));
+            g.add(cellPort("x", "write_en"), constant(1, 1));
+            g.add(g.doneHole(), cellPort("x", "done"));
+            s.push_back(ComponentBuilder::enable(name));
+        }
+        b.component().setControl(ComponentBuilder::seq(std::move(s)));
+        return ctx;
+    };
+    Context check = build();
+    EXPECT_EQ(compiledReg(check, "x"), 1u + 2 + 3 + 4 + 5 + 6 + 7);
+    expectEquivalent(build, {"x"});
+}
+
+TEST(CompileControl, ParChildrenWithDifferentLatencies)
+{
+    // One child is a 2-cycle register write; the other is a multiply
+    // (multLatency + 2 cycles): the par waits for both.
+    auto build = [] {
+        Context ctx;
+        auto b = ComponentBuilder::create(ctx, "main");
+        b.reg("x", 16);
+        b.reg("y", 16);
+        b.cell("mul", "std_mult_pipe", {16});
+        b.regWriteGroup("fast", "x", constant(7, 16));
+        Group &slow = b.group("slow");
+        slow.add(cellPort("mul", "left"), constant(6, 16));
+        slow.add(cellPort("mul", "right"), constant(9, 16));
+        slow.add(cellPort("mul", "go"), constant(1, 1),
+                 Guard::negate(Guard::fromPort(cellPort("mul", "done"))));
+        slow.add(cellPort("y", "in"), cellPort("mul", "out"),
+                 Guard::fromPort(cellPort("mul", "done")));
+        slow.add(cellPort("y", "write_en"), constant(1, 1),
+                 Guard::fromPort(cellPort("mul", "done")));
+        slow.add(slow.doneHole(), cellPort("y", "done"));
+        std::vector<ControlPtr> s;
+        s.push_back(ComponentBuilder::enable("fast"));
+        s.push_back(ComponentBuilder::enable("slow"));
+        b.component().setControl(ComponentBuilder::par(std::move(s)));
+        return ctx;
+    };
+    Context ctx = build();
+    uint64_t cycles = 0;
+    EXPECT_EQ(compiledReg(ctx, "y", {}, &cycles), 54u);
+    Context ctx2 = build();
+    EXPECT_EQ(compiledReg(ctx2, "x"), 7u);
+    expectEquivalent(build, {"x", "y"});
+}
+
+TEST(CompileControl, WhileLoop)
+{
+    auto build = [] { return counterProgram(5, 3); };
+    Context ctx = build();
+    EXPECT_EQ(compiledReg(ctx, "x"), 15u);
+    expectEquivalent(build, {"x", "i"});
+}
+
+TEST(CompileControl, WhileLoopZeroTrips)
+{
+    auto build = [] { return counterProgram(0, 3); };
+    Context ctx = build();
+    EXPECT_EQ(compiledReg(ctx, "x"), 0u);
+}
+
+TEST(CompileControl, NestedLoops)
+{
+    // for i in 0..3: for j in 0..4: x += 1  => x = 12.
+    auto build = [] {
+        Context ctx;
+        auto b = ComponentBuilder::create(ctx, "main");
+        b.reg("x", 32);
+        b.reg("i", 8);
+        b.reg("j", 8);
+        b.cell("lti", "std_lt", {8});
+        b.cell("ltj", "std_lt", {8});
+        b.add("ax", 32);
+        b.add("ai", 8);
+        b.add("aj", 8);
+
+        b.regWriteGroup("init_i", "i", constant(0, 8));
+        b.regWriteGroup("init_j", "j", constant(0, 8));
+
+        Group &ci = b.group("cond_i");
+        ci.add(cellPort("lti", "left"), cellPort("i", "out"));
+        ci.add(cellPort("lti", "right"), constant(3, 8));
+        ci.add(ci.doneHole(), constant(1, 1));
+        Group &cj = b.group("cond_j");
+        cj.add(cellPort("ltj", "left"), cellPort("j", "out"));
+        cj.add(cellPort("ltj", "right"), constant(4, 8));
+        cj.add(cj.doneHole(), constant(1, 1));
+
+        auto incr = [&b](const std::string &name, const std::string &reg,
+                         const std::string &adder) {
+            Group &g = b.group(name);
+            g.add(cellPort(adder, "left"), cellPort(reg, "out"));
+            g.add(cellPort(adder, "right"),
+                  constant(1, reg == "x" ? 32 : 8));
+            g.add(cellPort(reg, "in"), cellPort(adder, "out"));
+            g.add(cellPort(reg, "write_en"), constant(1, 1));
+            g.add(g.doneHole(), cellPort(reg, "done"));
+        };
+        incr("bump_x", "x", "ax");
+        incr("bump_i", "i", "ai");
+        incr("bump_j", "j", "aj");
+
+        std::vector<ControlPtr> inner_body;
+        inner_body.push_back(ComponentBuilder::enable("bump_x"));
+        inner_body.push_back(ComponentBuilder::enable("bump_j"));
+        std::vector<ControlPtr> outer_body;
+        outer_body.push_back(ComponentBuilder::enable("init_j"));
+        outer_body.push_back(ComponentBuilder::whileStmt(
+            cellPort("ltj", "out"), "cond_j",
+            ComponentBuilder::seq(std::move(inner_body))));
+        outer_body.push_back(ComponentBuilder::enable("bump_i"));
+        std::vector<ControlPtr> top;
+        top.push_back(ComponentBuilder::enable("init_i"));
+        top.push_back(ComponentBuilder::whileStmt(
+            cellPort("lti", "out"), "cond_i",
+            ComponentBuilder::seq(std::move(outer_body))));
+        b.component().setControl(ComponentBuilder::seq(std::move(top)));
+        return ctx;
+    };
+    Context ctx = build();
+    EXPECT_EQ(compiledReg(ctx, "x"), 12u);
+    expectEquivalent(build, {"x", "i", "j"});
+}
+
+TEST(CompileControl, IfBothBranches)
+{
+    for (uint64_t flag : {0, 1}) {
+        Context ctx;
+        auto b = ComponentBuilder::create(ctx, "main");
+        b.reg("f", 1);
+        b.reg("x", 8);
+        b.regWriteGroup("set_f", "f", constant(flag, 1));
+        b.regWriteGroup("then_g", "x", constant(10, 8));
+        b.regWriteGroup("else_g", "x", constant(20, 8));
+        std::vector<ControlPtr> s;
+        s.push_back(ComponentBuilder::enable("set_f"));
+        s.push_back(ComponentBuilder::ifStmt(
+            cellPort("f", "out"), "",
+            ComponentBuilder::enable("then_g"),
+            ComponentBuilder::enable("else_g")));
+        b.component().setControl(ComponentBuilder::seq(std::move(s)));
+        EXPECT_EQ(compiledReg(ctx, "x"), flag ? 10u : 20u);
+    }
+}
+
+TEST(CompileControl, IfInsideLoopResets)
+{
+    // while (i < 4) { if (i < 2) x += 1 else y += 1; i += 1 }
+    // The if's compilation group must reset cc between iterations.
+    auto build = [] {
+        Context ctx;
+        auto b = ComponentBuilder::create(ctx, "main");
+        b.reg("x", 8);
+        b.reg("y", 8);
+        b.reg("i", 8);
+        b.cell("lt4", "std_lt", {8});
+        b.cell("lt2", "std_lt", {8});
+        b.add("ax", 8);
+        b.add("ay", 8);
+        b.add("ai", 8);
+        b.regWriteGroup("init", "i", constant(0, 8));
+        Group &c4 = b.group("cond4");
+        c4.add(cellPort("lt4", "left"), cellPort("i", "out"));
+        c4.add(cellPort("lt4", "right"), constant(4, 8));
+        c4.add(c4.doneHole(), constant(1, 1));
+        Group &c2 = b.group("cond2");
+        c2.add(cellPort("lt2", "left"), cellPort("i", "out"));
+        c2.add(cellPort("lt2", "right"), constant(2, 8));
+        c2.add(c2.doneHole(), constant(1, 1));
+        auto incr = [&b](const std::string &name, const std::string &reg,
+                         const std::string &adder) {
+            Group &g = b.group(name);
+            g.add(cellPort(adder, "left"), cellPort(reg, "out"));
+            g.add(cellPort(adder, "right"), constant(1, 8));
+            g.add(cellPort(reg, "in"), cellPort(adder, "out"));
+            g.add(cellPort(reg, "write_en"), constant(1, 1));
+            g.add(g.doneHole(), cellPort(reg, "done"));
+        };
+        incr("bx", "x", "ax");
+        incr("by", "y", "ay");
+        incr("bi", "i", "ai");
+        std::vector<ControlPtr> body;
+        body.push_back(ComponentBuilder::ifStmt(
+            cellPort("lt2", "out"), "cond2",
+            ComponentBuilder::enable("bx"),
+            ComponentBuilder::enable("by")));
+        body.push_back(ComponentBuilder::enable("bi"));
+        std::vector<ControlPtr> top;
+        top.push_back(ComponentBuilder::enable("init"));
+        top.push_back(ComponentBuilder::whileStmt(
+            cellPort("lt4", "out"), "cond4",
+            ComponentBuilder::seq(std::move(body))));
+        b.component().setControl(ComponentBuilder::seq(std::move(top)));
+        return ctx;
+    };
+    Context ctx = build();
+    EXPECT_EQ(compiledReg(ctx, "x"), 2u);
+    Context ctx2 = build();
+    EXPECT_EQ(compiledReg(ctx2, "y"), 2u);
+    expectEquivalent(build, {"x", "y", "i"});
+}
+
+TEST(CompileControl, ParInsideLoopResets)
+{
+    // while (i < 3) { par { x += 1; y += 2 }; i += 1 }
+    auto build = [] {
+        Context ctx;
+        auto b = ComponentBuilder::create(ctx, "main");
+        b.reg("x", 8);
+        b.reg("y", 8);
+        b.reg("i", 8);
+        b.cell("lt", "std_lt", {8});
+        b.add("ax", 8);
+        b.add("ay", 8);
+        b.add("ai", 8);
+        b.regWriteGroup("init", "i", constant(0, 8));
+        Group &c = b.group("cond");
+        c.add(cellPort("lt", "left"), cellPort("i", "out"));
+        c.add(cellPort("lt", "right"), constant(3, 8));
+        c.add(c.doneHole(), constant(1, 1));
+        auto bump = [&b](const std::string &name, const std::string &reg,
+                         const std::string &adder, uint64_t delta) {
+            Group &g = b.group(name);
+            g.add(cellPort(adder, "left"), cellPort(reg, "out"));
+            g.add(cellPort(adder, "right"), constant(delta, 8));
+            g.add(cellPort(reg, "in"), cellPort(adder, "out"));
+            g.add(cellPort(reg, "write_en"), constant(1, 1));
+            g.add(g.doneHole(), cellPort(reg, "done"));
+        };
+        bump("bx", "x", "ax", 1);
+        bump("by", "y", "ay", 2);
+        bump("bi", "i", "ai", 1);
+        std::vector<ControlPtr> par_items;
+        par_items.push_back(ComponentBuilder::enable("bx"));
+        par_items.push_back(ComponentBuilder::enable("by"));
+        std::vector<ControlPtr> body;
+        body.push_back(ComponentBuilder::par(std::move(par_items)));
+        body.push_back(ComponentBuilder::enable("bi"));
+        std::vector<ControlPtr> top;
+        top.push_back(ComponentBuilder::enable("init"));
+        top.push_back(ComponentBuilder::whileStmt(
+            cellPort("lt", "out"), "cond",
+            ComponentBuilder::seq(std::move(body))));
+        b.component().setControl(ComponentBuilder::seq(std::move(top)));
+        return ctx;
+    };
+    Context ctx = build();
+    EXPECT_EQ(compiledReg(ctx, "x"), 3u);
+    Context ctx2 = build();
+    EXPECT_EQ(compiledReg(ctx2, "y"), 6u);
+    expectEquivalent(build, {"x", "y", "i"});
+}
+
+TEST(CompileControl, SameGroupTwiceInSeq)
+{
+    auto build = [] {
+        Context ctx;
+        auto b = ComponentBuilder::create(ctx, "main");
+        b.reg("x", 8);
+        b.add("a", 8);
+        Group &g = b.group("bump");
+        g.add(cellPort("a", "left"), cellPort("x", "out"));
+        g.add(cellPort("a", "right"), constant(5, 8));
+        g.add(cellPort("x", "in"), cellPort("a", "out"));
+        g.add(cellPort("x", "write_en"), constant(1, 1));
+        g.add(g.doneHole(), cellPort("x", "done"));
+        std::vector<ControlPtr> s;
+        s.push_back(ComponentBuilder::enable("bump"));
+        s.push_back(ComponentBuilder::enable("bump"));
+        b.component().setControl(ComponentBuilder::seq(std::move(s)));
+        return ctx;
+    };
+    Context ctx = build();
+    EXPECT_EQ(compiledReg(ctx, "x"), 10u);
+    expectEquivalent(build, {"x"});
+}
+
+TEST(CompileControl, RemoveGroupsRequiresSingleEnable)
+{
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.reg("x", 8);
+    b.regWriteGroup("a", "x", constant(1, 8));
+    b.regWriteGroup("bb", "x", constant(2, 8));
+    std::vector<ControlPtr> s;
+    s.push_back(ComponentBuilder::enable("a"));
+    s.push_back(ComponentBuilder::enable("bb"));
+    b.component().setControl(ComponentBuilder::seq(std::move(s)));
+    // Running RemoveGroups without CompileControl must fail loudly.
+    passes::PassManager pm;
+    pm.add<passes::RemoveGroups>();
+    EXPECT_THROW(pm.run(ctx), Error);
+}
+
+} // namespace
+} // namespace calyx

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "frontends/dahlia/checker.h"
+#include "frontends/dahlia/lexer.h"
+#include "frontends/dahlia/lowering.h"
+#include "frontends/dahlia/parser.h"
+#include "support/error.h"
+
+namespace calyx::dahlia {
+namespace {
+
+TEST(DahliaLexer, Tokens)
+{
+    auto toks = tokenize("let x := 5; --- a[i] <= 3 // comment\nfoo");
+    std::vector<std::string> texts;
+    for (const auto &t : toks)
+        texts.push_back(t.text);
+    std::vector<std::string> expect = {"let", "x",  ":=", "5", ";",
+                                       "---", "a",  "[",  "i", "]",
+                                       "<=",  "3",  "foo", "<eof>"};
+    EXPECT_EQ(texts, expect);
+}
+
+TEST(DahliaParser, TypesAndDecls)
+{
+    Program p = parse(R"(
+decl a: ubit<32>[8 bank 2][4];
+a[0][0] := 1
+)");
+    ASSERT_EQ(p.decls.size(), 1u);
+    EXPECT_EQ(p.decls[0].type.width, 32u);
+    EXPECT_EQ(p.decls[0].type.dims, (std::vector<uint64_t>{8, 4}));
+    EXPECT_EQ(p.decls[0].type.banks, (std::vector<uint64_t>{2, 1}));
+}
+
+TEST(DahliaParser, CompositionPrecedence)
+{
+    // `a; b --- c` = Seq(Par(a, b), c).
+    Program p = parse(R"(
+decl m: ubit<8>[4];
+m[0] := 1; m[1] := 2 --- m[2] := 3
+)");
+    ASSERT_EQ(p.body->kind, Stmt::Kind::SeqComp);
+    ASSERT_EQ(p.body->stmts.size(), 2u);
+    EXPECT_EQ(p.body->stmts[0]->kind, Stmt::Kind::ParComp);
+    EXPECT_EQ(p.body->stmts[0]->stmts.size(), 2u);
+    EXPECT_EQ(p.body->stmts[1]->kind, Stmt::Kind::Assign);
+}
+
+TEST(DahliaParser, ExpressionPrecedence)
+{
+    Program p = parse(R"(
+decl m: ubit<8>[4];
+m[0] := 1 + 2 * 3
+)");
+    const Expr &rhs = *p.body->rhs;
+    ASSERT_EQ(rhs.kind, Expr::Kind::Bin);
+    EXPECT_EQ(rhs.op, BinOp::Add);
+    EXPECT_EQ(rhs.rhs->op, BinOp::Mul);
+}
+
+TEST(DahliaParser, ForWithUnrollAndCombine)
+{
+    Program p = parse(R"(
+decl a: ubit<32>[8 bank 2];
+let acc: ubit<32> = 0;
+---
+for (let i: ubit<4> = 0..8) unroll 2 {
+  let v: ubit<32> = a[i];
+} combine {
+  acc := acc + v;
+}
+)");
+    const Stmt &f = *p.body->stmts[1];
+    ASSERT_EQ(f.kind, Stmt::Kind::For);
+    EXPECT_EQ(f.unroll, 2u);
+    EXPECT_EQ(f.lo, 0u);
+    EXPECT_EQ(f.hi, 8u);
+    ASSERT_NE(f.combine, nullptr);
+}
+
+TEST(DahliaChecker, AcceptsAllPaperKernels)
+{
+    // The checker must accept what we claim Dahlia accepts; exercised
+    // heavily by test_polybench, but keep one direct case here.
+    Program p = parse(R"(
+decl A: ubit<32>[8][8 bank 2];
+for (let i: ubit<4> = 0..8) {
+  for (let j: ubit<4> = 0..8) unroll 2 {
+    A[i][j] := A[i][j] + 1;
+  }
+}
+)");
+    EXPECT_NO_THROW(check(p));
+}
+
+TEST(DahliaChecker, RejectsUnrollWithoutBanking)
+{
+    Program p = parse(R"(
+decl A: ubit<32>[8][8];
+for (let i: ubit<4> = 0..8) {
+  for (let j: ubit<4> = 0..8) unroll 2 {
+    A[i][j] := A[i][j] + 1;
+  }
+}
+)");
+    EXPECT_THROW(check(p), Error);
+}
+
+TEST(DahliaChecker, RejectsCrossLaneScalarWrite)
+{
+    Program p = parse(R"(
+decl A: ubit<32>[8 bank 2];
+let acc: ubit<32> = 0;
+---
+for (let i: ubit<4> = 0..8) unroll 2 {
+  acc := acc + A[i];
+}
+)");
+    EXPECT_THROW(check(p), Error);
+}
+
+TEST(DahliaChecker, AcceptsCrossLaneReductionViaCombine)
+{
+    Program p = parse(R"(
+decl A: ubit<32>[8 bank 2];
+let acc: ubit<32> = 0;
+---
+for (let i: ubit<4> = 0..8) unroll 2 {
+  let v: ubit<32> = A[i];
+} combine {
+  acc := acc + v;
+}
+)");
+    EXPECT_NO_THROW(check(p));
+}
+
+TEST(DahliaChecker, RejectsAliasingLaneWrites)
+{
+    Program p = parse(R"(
+decl A: ubit<32>[8 bank 2];
+decl B: ubit<32>[8];
+for (let i: ubit<4> = 0..8) unroll 2 {
+  B[0] := A[i];
+}
+)");
+    EXPECT_THROW(check(p), Error);
+}
+
+TEST(DahliaChecker, RejectsNonDividingUnroll)
+{
+    Program p = parse(R"(
+decl A: ubit<32>[8 bank 2];
+for (let i: ubit<4> = 0..6) unroll 4 {
+  A[i] := 1;
+}
+)");
+    EXPECT_THROW(check(p), Error);
+}
+
+TEST(DahliaChecker, RejectsUnknownNames)
+{
+    EXPECT_THROW(check(parse("ghost := 1")), Error);
+    EXPECT_THROW(check(parse("decl a: ubit<8>[4];\na[0] := nope")),
+                 Error);
+}
+
+TEST(DahliaChecker, RejectsBadBankCounts)
+{
+    EXPECT_THROW(check(parse("decl a: ubit<8>[8 bank 3];\na[0] := 1")),
+                 Error);
+    EXPECT_THROW(check(parse("decl a: ubit<8>[6 bank 4];\na[0] := 1")),
+                 Error);
+}
+
+TEST(DahliaLowering, UnrollProducesParallelLanes)
+{
+    Program p = parse(R"(
+decl A: ubit<32>[8 bank 2];
+for (let i: ubit<4> = 0..8) unroll 2 {
+  A[i] := A[i] + 1;
+}
+)");
+    check(p);
+    Program low = lower(p);
+    // Banked memory split into two decls.
+    ASSERT_EQ(low.decls.size(), 2u);
+    EXPECT_EQ(low.decls[0].name, "A_b0");
+    EXPECT_EQ(low.decls[1].name, "A_b1");
+    EXPECT_EQ(low.decls[0].type.dims[0], 4u);
+
+    // Structure: seq{ let it; while(it < 8){ par{lane0, lane1} --- ... }}.
+    ASSERT_EQ(low.body->kind, Stmt::Kind::SeqComp);
+    const Stmt &loop = *low.body->stmts[1];
+    ASSERT_EQ(loop.kind, Stmt::Kind::While);
+    const Stmt &body = *loop.body;
+    ASSERT_EQ(body.kind, Stmt::Kind::SeqComp);
+    EXPECT_EQ(body.stmts[0]->kind, Stmt::Kind::ParComp);
+    EXPECT_EQ(body.stmts[0]->stmts.size(), 2u);
+}
+
+TEST(DahliaLowering, BankResolution)
+{
+    Program p = parse(R"(
+decl A: ubit<32>[8 bank 2];
+for (let i: ubit<4> = 0..8) unroll 2 {
+  A[i] := 1;
+}
+)");
+    check(p);
+    Program low = lower(p);
+    // Lane 0 writes A_b0, lane 1 writes A_b1 (i = 0 mod 2).
+    const Stmt &par = *low.body->stmts[1]->body->stmts[0];
+    const Stmt &lane0 = *par.stmts[0];
+    const Stmt &lane1 = *par.stmts[1];
+    EXPECT_EQ(lane0.lval->name, "A_b0");
+    EXPECT_EQ(lane1.lval->name, "A_b1");
+}
+
+TEST(DahliaLowering, AffineAnalysis)
+{
+    Program p = parse(R"(
+decl m: ubit<8>[4];
+m[0] := 1
+)");
+    (void)p;
+    auto a1 = affineOf(*Expr::bin(BinOp::Add, Expr::var("i"),
+                                  Expr::num(3)));
+    ASSERT_TRUE(a1.has_value());
+    EXPECT_EQ(a1->constant, 3);
+    EXPECT_EQ(a1->coeffs.at("i"), 1);
+
+    auto a2 = affineOf(*Expr::bin(
+        BinOp::Add,
+        Expr::bin(BinOp::Mul, Expr::var("r"), Expr::num(4)),
+        Expr::var("q")));
+    ASSERT_TRUE(a2.has_value());
+    EXPECT_EQ(a2->coeffs.at("r"), 4);
+
+    auto a3 =
+        affineOf(*Expr::bin(BinOp::Mul, Expr::var("i"), Expr::var("j")));
+    EXPECT_FALSE(a3.has_value());
+}
+
+} // namespace
+} // namespace calyx::dahlia

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "passes/go_insertion.h"
+
+namespace calyx {
+namespace {
+
+using passes::GoInsertion;
+
+TEST(GoInsertion, GatesBodyButNotDone)
+{
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.reg("x", 8);
+    Group &g = b.regWriteGroup("w", "x", constant(1, 8));
+    b.component().setControl(ComponentBuilder::enable("w"));
+
+    GoInsertion().runOnContext(ctx);
+
+    // x.in and x.write_en are now guarded by w[go]; the done write is
+    // untouched (Figure 2b).
+    bool saw_done = false;
+    for (const auto &a : g.assignments()) {
+        if (a.dst == g.doneHole()) {
+            saw_done = true;
+            EXPECT_TRUE(a.guard->isTrue());
+        } else {
+            bool mentions_go = false;
+            a.guard->ports([&](const PortRef &p) {
+                if (p == g.goHole())
+                    mentions_go = true;
+            });
+            EXPECT_TRUE(mentions_go) << a.str();
+        }
+    }
+    EXPECT_TRUE(saw_done);
+}
+
+TEST(GoInsertion, ComposesWithExistingGuards)
+{
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.reg("x", 8);
+    b.reg("f", 1);
+    Group &g = b.group("g");
+    g.add(cellPort("x", "in"), constant(1, 8),
+          Guard::fromPort(cellPort("f", "out")));
+    g.add(cellPort("x", "write_en"), constant(1, 1));
+    g.add(g.doneHole(), cellPort("x", "done"));
+
+    GoInsertion().runOnContext(ctx);
+    const auto &a = g.assignments()[0];
+    // Both the original f.out and the go hole appear.
+    int leaves = 0;
+    a.guard->ports([&leaves](const PortRef &) { ++leaves; });
+    EXPECT_EQ(leaves, 2);
+}
+
+} // namespace
+} // namespace calyx

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "ir/guard.h"
+
+namespace calyx {
+namespace {
+
+GuardPtr
+p(const std::string &cell)
+{
+    return Guard::fromPort(cellPort(cell, "out"));
+}
+
+TEST(Guard, TrueFolding)
+{
+    GuardPtr t = Guard::trueGuard();
+    EXPECT_TRUE(Guard::conj(t, p("a"))->kind() == Guard::Kind::Port);
+    EXPECT_TRUE(Guard::conj(p("a"), t)->kind() == Guard::Kind::Port);
+    EXPECT_TRUE(Guard::disj(t, p("a"))->isTrue());
+    EXPECT_TRUE(Guard::disj(p("a"), t)->isTrue());
+}
+
+TEST(Guard, DoubleNegation)
+{
+    GuardPtr g = p("a");
+    EXPECT_EQ(Guard::negate(Guard::negate(g)), g);
+}
+
+TEST(Guard, Printing)
+{
+    GuardPtr g = Guard::conj(
+        Guard::cmp(Guard::CmpOp::Eq, cellPort("fsm", "out"),
+                   constant(1, 2)),
+        Guard::negate(p("done")));
+    EXPECT_EQ(g->str(), "fsm.out == 2'd1 & !done.out");
+
+    GuardPtr h = Guard::disj(Guard::conj(p("a"), p("b")), p("c"));
+    EXPECT_EQ(h->str(), "a.out & b.out | c.out");
+
+    GuardPtr paren = Guard::conj(p("a"), Guard::disj(p("b"), p("c")));
+    EXPECT_EQ(paren->str(), "a.out & (b.out | c.out)");
+
+    GuardPtr notcmp = Guard::negate(
+        Guard::cmp(Guard::CmpOp::Lt, cellPort("x", "out"),
+                   constant(3, 4)));
+    EXPECT_EQ(notcmp->str(), "!(x.out < 4'd3)");
+}
+
+TEST(Guard, StructuralEquality)
+{
+    GuardPtr a = Guard::conj(p("a"), p("b"));
+    GuardPtr b = Guard::conj(p("a"), p("b"));
+    GuardPtr c = Guard::conj(p("b"), p("a"));
+    EXPECT_TRUE(Guard::equal(a, b));
+    EXPECT_FALSE(Guard::equal(a, c));
+    EXPECT_TRUE(Guard::equal(Guard::trueGuard(), Guard::trueGuard()));
+}
+
+TEST(Guard, PortCollection)
+{
+    GuardPtr g = Guard::conj(
+        p("a"), Guard::cmp(Guard::CmpOp::Lt, cellPort("b", "out"),
+                           constant(3, 8)));
+    std::vector<std::string> seen;
+    g->ports([&](const PortRef &ref) { seen.push_back(ref.parent); });
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], "a");
+    EXPECT_EQ(seen[1], "b");
+}
+
+TEST(Guard, RewritePorts)
+{
+    GuardPtr g = Guard::conj(p("a"), p("b"));
+    GuardPtr r = Guard::rewritePorts(g, [](const PortRef &ref) {
+        if (ref.parent == "a")
+            return cellPort("z", "out");
+        return ref;
+    });
+    EXPECT_EQ(r->str(), "z.out & b.out");
+    // Untouched guards are shared, not copied.
+    GuardPtr same =
+        Guard::rewritePorts(g, [](const PortRef &ref) { return ref; });
+    EXPECT_EQ(same, g);
+}
+
+TEST(Guard, SubstPort)
+{
+    PortRef hole = holePort("grp", "done");
+    GuardPtr g = Guard::conj(Guard::fromPort(hole), p("a"));
+    GuardPtr value = Guard::cmp(Guard::CmpOp::Eq, cellPort("fsm", "out"),
+                                constant(2, 2));
+    GuardPtr r = Guard::substPort(g, hole, value);
+    EXPECT_EQ(r->str(), "fsm.out == 2'd2 & a.out");
+}
+
+TEST(Guard, Size)
+{
+    EXPECT_EQ(Guard::trueGuard()->size(), 0);
+    EXPECT_EQ(p("a")->size(), 1);
+    EXPECT_EQ(Guard::conj(p("a"), Guard::negate(p("b")))->size(), 4);
+}
+
+} // namespace
+} // namespace calyx

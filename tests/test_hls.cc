@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "frontends/dahlia/parser.h"
+#include "hls/cdfg.h"
+#include "hls/scheduler.h"
+
+namespace calyx::hls {
+namespace {
+
+TEST(HlsCdfg, ExpressionSummary)
+{
+    dahlia::Program p = dahlia::parse(R"(
+decl a: ubit<32>[4];
+decl b: ubit<32>[4];
+a[0] := a[1] * b[2] + 3;
+)");
+    OpSummary s = summarizeExpr(*p.body->rhs);
+    EXPECT_EQ(s.mults, 1);
+    EXPECT_EQ(s.adds, 1);
+    EXPECT_EQ(s.memReads.at("a"), 1);
+    EXPECT_EQ(s.memReads.at("b"), 1);
+    // Chain: memory read (1) then multiply (3).
+    EXPECT_EQ(s.chain, 4);
+}
+
+TEST(HlsCdfg, RecurrenceDetection)
+{
+    dahlia::Program p = dahlia::parse(R"(
+decl a: ubit<32>[4];
+let acc: ubit<32> = 0;
+---
+acc := acc + a[0] * 3;
+)");
+    const dahlia::Stmt &assign = *p.body->stmts[1];
+    // acc feeds only the adder, not the multiplier.
+    EXPECT_FALSE(underSequentialOp(*assign.rhs, "acc"));
+
+    dahlia::Program q = dahlia::parse(R"(
+decl a: ubit<32>[4];
+let acc: ubit<32> = 1;
+---
+acc := acc * a[0];
+)");
+    EXPECT_TRUE(underSequentialOp(*q.body->stmts[1]->rhs, "acc"));
+}
+
+TEST(HlsScheduler, LoopCyclesScaleWithTrips)
+{
+    auto cycles = [](int n) {
+        std::string src = "decl a: ubit<32>[64];\n"
+                          "for (let i: ubit<8> = 0.." +
+                          std::to_string(n) + ") { a[i] := a[i] + 1; }";
+        return scheduleProgram(dahlia::parse(src)).cycles;
+    };
+    uint64_t c8 = cycles(8), c32 = cycles(32);
+    EXPECT_GT(c32, c8);
+    // The innermost loop pipelines at II = 1 (one read + one write per
+    // iteration against a dual-ported memory), so 24 extra trips cost
+    // exactly 24 cycles.
+    EXPECT_EQ(c32 - c8, 24u);
+}
+
+TEST(HlsScheduler, UnrollSpeedsUp)
+{
+    const char *base = R"(
+decl a: ubit<32>[16];
+for (let i: ubit<5> = 0..16) { a[i] := a[i] + 1; }
+)";
+    const char *unrolled = R"(
+decl a: ubit<32>[16 bank 4];
+for (let i: ubit<5> = 0..16) unroll 4 { a[i] := a[i] + 1; }
+)";
+    uint64_t b = scheduleProgram(dahlia::parse(base)).cycles;
+    uint64_t u = scheduleProgram(dahlia::parse(unrolled)).cycles;
+    EXPECT_LT(u, b);
+}
+
+TEST(HlsScheduler, UnrollIncreasesArea)
+{
+    const char *base = R"(
+decl a: ubit<32>[16];
+decl b: ubit<32>[16];
+for (let i: ubit<5> = 0..16) { a[i] := a[i] * b[i] + 1; }
+)";
+    const char *unrolled = R"(
+decl a: ubit<32>[16 bank 4];
+decl b: ubit<32>[16 bank 4];
+for (let i: ubit<5> = 0..16) unroll 4 { a[i] := a[i] * b[i] + 1; }
+)";
+    HlsReport rb = scheduleProgram(dahlia::parse(base));
+    HlsReport ru = scheduleProgram(dahlia::parse(unrolled));
+    EXPECT_GT(ru.dsps, rb.dsps);
+}
+
+TEST(HlsScheduler, DivisionCostsMoreThanAddition)
+{
+    const char *with_add = R"(
+decl a: ubit<32>[8];
+for (let i: ubit<4> = 0..8) { a[i] := a[i] + 3; }
+)";
+    const char *with_div = R"(
+decl a: ubit<32>[8];
+for (let i: ubit<4> = 0..8) { a[i] := a[i] / 3; }
+)";
+    EXPECT_GT(scheduleProgram(dahlia::parse(with_div)).cycles,
+              scheduleProgram(dahlia::parse(with_add)).cycles);
+}
+
+TEST(HlsScheduler, SameMemoryPortSerialization)
+{
+    // Three reads of one dual-port memory in a single statement cost
+    // more than reads spread over three memories.
+    const char *one_mem = R"(
+decl a: ubit<32>[8];
+decl o: ubit<32>[8];
+for (let i: ubit<4> = 0..4) { o[i] := a[i] + a[i + 1] + a[i + 2]; }
+)";
+    const char *three_mems = R"(
+decl a: ubit<32>[8];
+decl b: ubit<32>[8];
+decl c: ubit<32>[8];
+decl o: ubit<32>[8];
+for (let i: ubit<4> = 0..4) { o[i] := a[i] + b[i + 1] + c[i + 2]; }
+)";
+    EXPECT_GT(scheduleProgram(dahlia::parse(one_mem)).cycles,
+              scheduleProgram(dahlia::parse(three_mems)).cycles);
+}
+
+TEST(HlsScheduler, IndependentStatementsOverlap)
+{
+    const char *dependent = R"(
+decl a: ubit<32>[8];
+let x: ubit<32> = 0;
+---
+x := a[0] * 2
+---
+a[1] := x * 3
+)";
+    const char *independent = R"(
+decl a: ubit<32>[8];
+decl b: ubit<32>[8];
+a[0] := a[1] * 2; b[0] := b[1] * 3
+)";
+    EXPECT_GT(scheduleProgram(dahlia::parse(dependent)).cycles,
+              scheduleProgram(dahlia::parse(independent)).cycles);
+}
+
+} // namespace
+} // namespace calyx::hls

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "passes/infer_latency.h"
+
+namespace calyx {
+namespace {
+
+using passes::InferLatency;
+
+TEST(InferLatency, RegisterWriteGroup)
+{
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.reg("x", 8);
+    Group &g = b.group("w");
+    g.add(cellPort("x", "in"), constant(1, 8));
+    g.add(cellPort("x", "write_en"), constant(1, 1));
+    g.add(g.doneHole(), cellPort("x", "done"));
+    b.component().setControl(ComponentBuilder::enable("w"));
+
+    InferLatency().runOnContext(ctx);
+    EXPECT_EQ(g.staticLatency(), regLatency);
+}
+
+TEST(InferLatency, CombinationalGroup)
+{
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.cell("lt", "std_lt", {8});
+    Group &g = b.group("cond");
+    g.add(cellPort("lt", "left"), constant(1, 8));
+    g.add(cellPort("lt", "right"), constant(2, 8));
+    g.add(g.doneHole(), constant(1, 1));
+
+    InferLatency().runOnContext(ctx);
+    EXPECT_EQ(g.staticLatency(), 1);
+}
+
+TEST(InferLatency, MultiplierInvokeGroup)
+{
+    // Paper §5.3's exact rule: done = f.done, f.go = 1 inside the group.
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.cell("mul", "std_mult_pipe", {16});
+    Group &g = b.group("run_mul");
+    g.add(cellPort("mul", "left"), constant(3, 16));
+    g.add(cellPort("mul", "right"), constant(4, 16));
+    g.add(cellPort("mul", "go"), constant(1, 1));
+    g.add(g.doneHole(), cellPort("mul", "done"));
+
+    InferLatency().runOnContext(ctx);
+    EXPECT_EQ(g.staticLatency(), multLatency);
+}
+
+TEST(InferLatency, GuardedGoIdiomAccepted)
+{
+    // `f.go = !f.done ? 1` is the common idiom and also inferable.
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.cell("mul", "std_mult_pipe", {16});
+    Group &g = b.group("run_mul");
+    g.add(cellPort("mul", "left"), constant(3, 16));
+    g.add(cellPort("mul", "right"), constant(4, 16));
+    g.add(cellPort("mul", "go"), constant(1, 1),
+          Guard::negate(Guard::fromPort(cellPort("mul", "done"))));
+    g.add(g.doneHole(), cellPort("mul", "done"));
+
+    InferLatency().runOnContext(ctx);
+    EXPECT_EQ(g.staticLatency(), multLatency);
+}
+
+TEST(InferLatency, ConservativeOnComplexGroups)
+{
+    // done comes from a register whose write-enable is data-dependent:
+    // the rule must NOT fire (paper: "only works for simple groups").
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.reg("x", 16);
+    b.cell("mul", "std_mult_pipe", {16});
+    Group &g = b.group("mul_into_reg");
+    g.add(cellPort("mul", "left"), constant(3, 16));
+    g.add(cellPort("mul", "right"), constant(4, 16));
+    g.add(cellPort("mul", "go"), constant(1, 1),
+          Guard::negate(Guard::fromPort(cellPort("mul", "done"))));
+    g.add(cellPort("x", "in"), cellPort("mul", "out"),
+          Guard::fromPort(cellPort("mul", "done")));
+    g.add(cellPort("x", "write_en"), constant(1, 1),
+          Guard::fromPort(cellPort("mul", "done")));
+    g.add(g.doneHole(), cellPort("x", "done"));
+
+    InferLatency().runOnContext(ctx);
+    EXPECT_EQ(g.staticLatency(), std::nullopt);
+}
+
+TEST(InferLatency, FrontendAnnotationWins)
+{
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.reg("x", 8);
+    Group &g = b.group("w");
+    g.attrs().set(Attributes::staticAttr, 99);
+    g.add(cellPort("x", "in"), constant(1, 8));
+    g.add(cellPort("x", "write_en"), constant(1, 1));
+    g.add(g.doneHole(), cellPort("x", "done"));
+
+    InferLatency().runOnContext(ctx);
+    EXPECT_EQ(g.staticLatency(), 99);
+}
+
+TEST(InferLatency, ComponentLatencyFlowsToInstances)
+{
+    // A sub-component with fully static control gets a latency, and a
+    // group invoking it infers that latency — the mechanism behind the
+    // fully-inferred systolic arrays (paper §6.1).
+    Context ctx;
+    auto pb = ComponentBuilder::create(ctx, "pe");
+    pb.reg("r", 8);
+    pb.regWriteGroup("w1", "r", constant(1, 8));
+    pb.regWriteGroup("w2", "r", constant(2, 8));
+    std::vector<ControlPtr> s;
+    s.push_back(ComponentBuilder::enable("w1"));
+    s.push_back(ComponentBuilder::enable("w2"));
+    pb.component().setControl(ComponentBuilder::seq(std::move(s)));
+
+    auto mb = ComponentBuilder::create(ctx, "main");
+    mb.cell("p", "pe", {});
+    Group &inv = mb.group("invoke");
+    inv.add(cellPort("p", "go"), constant(1, 1));
+    inv.add(inv.doneHole(), cellPort("p", "done"));
+    mb.component().setControl(ComponentBuilder::enable("invoke"));
+
+    InferLatency().runOnContext(ctx);
+    EXPECT_EQ(ctx.component("pe").staticLatency(), 2);
+    EXPECT_EQ(inv.staticLatency(), 2);
+    // The whole main program is now static too.
+    EXPECT_EQ(ctx.component("main").staticLatency(), 2);
+}
+
+} // namespace
+} // namespace calyx

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "ir/builder.h"
+#include "sim/interp.h"
+#include "support/error.h"
+
+namespace calyx {
+namespace {
+
+using testing::counterProgram;
+using testing::interpReg;
+
+TEST(Interp, SequentialWrites)
+{
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.reg("x", 8);
+    b.regWriteGroup("one", "x", constant(1, 8));
+    b.regWriteGroup("two", "x", constant(2, 8));
+    std::vector<ControlPtr> stmts;
+    stmts.push_back(ComponentBuilder::enable("one"));
+    stmts.push_back(ComponentBuilder::enable("two"));
+    b.component().setControl(ComponentBuilder::seq(std::move(stmts)));
+
+    uint64_t cycles = 0;
+    EXPECT_EQ(interpReg(ctx, "x", &cycles), 2u);
+    // Each register-write group occupies two cycles (write + done).
+    EXPECT_EQ(cycles, 4u);
+}
+
+TEST(Interp, ParallelWritesToDistinctRegisters)
+{
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.reg("x", 8);
+    b.reg("y", 8);
+    b.regWriteGroup("wx", "x", constant(5, 8));
+    b.regWriteGroup("wy", "y", constant(6, 8));
+    std::vector<ControlPtr> stmts;
+    stmts.push_back(ComponentBuilder::enable("wx"));
+    stmts.push_back(ComponentBuilder::enable("wy"));
+    b.component().setControl(ComponentBuilder::par(std::move(stmts)));
+
+    sim::SimProgram sp(ctx, "main");
+    sim::Interp interp(sp);
+    uint64_t cycles = interp.run();
+    EXPECT_EQ(*sp.findModel("x")->registerValue(), 5u);
+    EXPECT_EQ(*sp.findModel("y")->registerValue(), 6u);
+    // Parallel groups share cycles.
+    EXPECT_EQ(cycles, 2u);
+}
+
+TEST(Interp, ParallelConflictIsAnError)
+{
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.reg("x", 8);
+    b.regWriteGroup("w1", "x", constant(1, 8));
+    b.regWriteGroup("w2", "x", constant(2, 8));
+    std::vector<ControlPtr> stmts;
+    stmts.push_back(ComponentBuilder::enable("w1"));
+    stmts.push_back(ComponentBuilder::enable("w2"));
+    b.component().setControl(ComponentBuilder::par(std::move(stmts)));
+
+    sim::SimProgram sp(ctx, "main");
+    sim::Interp interp(sp);
+    EXPECT_THROW(interp.run(), Error);
+}
+
+TEST(Interp, WhileLoopAccumulates)
+{
+    Context ctx = counterProgram(5, 3);
+    EXPECT_EQ(interpReg(ctx, "x"), 15u);
+}
+
+TEST(Interp, ZeroTripLoop)
+{
+    Context ctx = counterProgram(0, 3);
+    EXPECT_EQ(interpReg(ctx, "x"), 0u);
+}
+
+TEST(Interp, IfTakesCorrectBranch)
+{
+    for (uint64_t flag : {0, 1}) {
+        Context ctx;
+        auto b = ComponentBuilder::create(ctx, "main");
+        b.reg("f", 1);
+        b.reg("x", 8);
+        b.regWriteGroup("set_f", "f", constant(flag, 1));
+        b.regWriteGroup("then_g", "x", constant(10, 8));
+        b.regWriteGroup("else_g", "x", constant(20, 8));
+        std::vector<ControlPtr> stmts;
+        stmts.push_back(ComponentBuilder::enable("set_f"));
+        stmts.push_back(ComponentBuilder::ifStmt(
+            cellPort("f", "out"), "",
+            ComponentBuilder::enable("then_g"),
+            ComponentBuilder::enable("else_g")));
+        b.component().setControl(
+            ComponentBuilder::seq(std::move(stmts)));
+        EXPECT_EQ(interpReg(ctx, "x"), flag ? 10u : 20u);
+    }
+}
+
+TEST(Interp, SubComponentInvocation)
+{
+    // A sub-component that doubles its input; main invokes it twice.
+    Context ctx;
+    auto pb = ComponentBuilder::create(ctx, "doubler");
+    Component &pe = pb.component();
+    pe.addInput("v", 16);
+    pe.addOutput("out", 16);
+    pb.add("a", 16);
+    pb.reg("r", 16);
+    Group &work = pb.group("work");
+    work.add(cellPort("a", "left"), thisPort("v"));
+    work.add(cellPort("a", "right"), thisPort("v"));
+    work.add(cellPort("r", "in"), cellPort("a", "out"));
+    work.add(cellPort("r", "write_en"), constant(1, 1));
+    work.add(work.doneHole(), cellPort("r", "done"));
+    pe.continuousAssignments().emplace_back(thisPort("out"),
+                                            cellPort("r", "out"));
+    pe.setControl(ComponentBuilder::enable("work"));
+
+    auto mb = ComponentBuilder::create(ctx, "main");
+    mb.cell("d", "doubler", {});
+    mb.reg("y", 16);
+    Group &invoke = mb.group("invoke");
+    invoke.add(cellPort("d", "v"), constant(21, 16));
+    invoke.add(cellPort("d", "go"), constant(1, 1));
+    invoke.add(invoke.doneHole(), cellPort("d", "done"));
+    Group &grab = mb.group("grab");
+    grab.add(cellPort("y", "in"), cellPort("d", "out"));
+    grab.add(cellPort("y", "write_en"), constant(1, 1));
+    grab.add(grab.doneHole(), cellPort("y", "done"));
+    std::vector<ControlPtr> stmts;
+    stmts.push_back(ComponentBuilder::enable("invoke"));
+    stmts.push_back(ComponentBuilder::enable("grab"));
+    stmts.push_back(ComponentBuilder::enable("invoke"));
+    stmts.push_back(ComponentBuilder::enable("grab"));
+    mb.component().setControl(ComponentBuilder::seq(std::move(stmts)));
+
+    sim::SimProgram sp(ctx, "main");
+    sim::Interp interp(sp);
+    interp.run();
+    EXPECT_EQ(*sp.findModel("y")->registerValue(), 42u);
+    EXPECT_EQ(*sp.findModel("d/r")->registerValue(), 42u);
+}
+
+TEST(Interp, CycleLimit)
+{
+    // while (1) {} must hit the cycle cap.
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.reg("x", 8);
+    b.cell("one", "std_const", {1, 1});
+    Group &cond = b.group("cond");
+    cond.add(cond.doneHole(), constant(1, 1));
+    b.regWriteGroup("body", "x", constant(1, 8));
+    b.component().setControl(ComponentBuilder::whileStmt(
+        cellPort("one", "out"), "cond",
+        ComponentBuilder::enable("body")));
+    sim::SimProgram sp(ctx, "main");
+    sim::Interp interp(sp);
+    EXPECT_THROW(interp.run(1000), Error);
+}
+
+} // namespace
+} // namespace calyx

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/context.h"
+#include "support/error.h"
+
+namespace calyx {
+namespace {
+
+TEST(PortRef, Printing)
+{
+    EXPECT_EQ(cellPort("a0", "out").str(), "a0.out");
+    EXPECT_EQ(thisPort("go").str(), "go");
+    EXPECT_EQ(holePort("incr", "done").str(), "incr[done]");
+    EXPECT_EQ(constant(5, 32).str(), "32'd5");
+}
+
+TEST(PortRef, ConstantValidation)
+{
+    EXPECT_THROW(constant(2, 1), Error);
+    EXPECT_THROW(constant(1, 0), Error);
+    EXPECT_NO_THROW(constant(255, 8));
+    EXPECT_THROW(constant(256, 8), Error);
+}
+
+TEST(Attributes, Basics)
+{
+    Attributes a;
+    EXPECT_FALSE(a.has("static"));
+    a.set("static", 4);
+    EXPECT_TRUE(a.has("static"));
+    EXPECT_EQ(a.get("static"), 4);
+    EXPECT_EQ(a.find("missing"), std::nullopt);
+    EXPECT_THROW(a.get("missing"), Error);
+    a.erase("static");
+    EXPECT_FALSE(a.has("static"));
+}
+
+TEST(Component, ImplicitInterfacePorts)
+{
+    Context ctx;
+    Component &c = ctx.addComponent("main");
+    EXPECT_TRUE(c.hasPort("go"));
+    EXPECT_TRUE(c.hasPort("done"));
+    EXPECT_EQ(c.port("go").dir, Direction::Input);
+    EXPECT_EQ(c.port("done").dir, Direction::Output);
+}
+
+TEST(Component, CellsAndWidths)
+{
+    Context ctx;
+    Component &c = ctx.addComponent("main");
+    Cell &r = c.addCell("r", "std_reg", {32}, ctx);
+    EXPECT_EQ(r.portWidth("in"), 32u);
+    EXPECT_EQ(r.portWidth("write_en"), 1u);
+    EXPECT_EQ(r.portDir("out"), Direction::Output);
+    EXPECT_TRUE(r.attrs().has(Attributes::statefulAttr));
+    EXPECT_EQ(c.portWidth(cellPort("r", "out")), 32u);
+    EXPECT_EQ(c.portWidth(constant(3, 7)), 7u);
+    EXPECT_THROW(c.addCell("r", "std_reg", {8}, ctx), Error);
+    EXPECT_THROW(c.cell("missing"), Error);
+}
+
+TEST(Component, MemoryCellParameters)
+{
+    Context ctx;
+    Component &c = ctx.addComponent("main");
+    Cell &m = c.addCell("m", "std_mem_d2", {32, 4, 6, 2, 3}, ctx);
+    EXPECT_EQ(m.portWidth("addr0"), 2u);
+    EXPECT_EQ(m.portWidth("addr1"), 3u);
+    EXPECT_EQ(m.portWidth("read_data"), 32u);
+}
+
+TEST(Component, UniqueNames)
+{
+    Context ctx;
+    Component &c = ctx.addComponent("main");
+    c.addCell("fsm0", "std_reg", {1}, ctx);
+    std::string fresh = c.uniqueName("fsm");
+    EXPECT_NE(fresh, "fsm0");
+    EXPECT_EQ(c.findCell(fresh), nullptr);
+}
+
+TEST(Component, GroupManagement)
+{
+    Context ctx;
+    Component &c = ctx.addComponent("main");
+    Group &g = c.addGroup("a");
+    g.add(g.doneHole(), constant(1, 1));
+    EXPECT_TRUE(g.hasDoneWrite());
+    EXPECT_EQ(c.groups().size(), 1u);
+    c.removeGroup("a");
+    EXPECT_EQ(c.groups().size(), 0u);
+    EXPECT_EQ(c.findGroup("a"), nullptr);
+}
+
+TEST(Context, ComponentInstantiation)
+{
+    Context ctx;
+    Component &pe = ctx.addComponent("pe");
+    pe.addInput("x", 16);
+    pe.addOutput("y", 16);
+    Component &main = ctx.addComponent("main");
+    Cell &inst = main.addCell("p0", "pe", {}, ctx);
+    EXPECT_FALSE(inst.isPrimitive());
+    EXPECT_EQ(inst.portWidth("x"), 16u);
+    EXPECT_EQ(inst.portWidth("go"), 1u);
+    EXPECT_THROW(main.addCell("p1", "pe", {32}, ctx), Error);
+    EXPECT_THROW(main.addCell("p2", "nonexistent", {}, ctx), Error);
+}
+
+TEST(Context, ComponentLatencyPropagatesToInstances)
+{
+    Context ctx;
+    Component &pe = ctx.addComponent("pe");
+    pe.attrs().set(Attributes::staticAttr, 5);
+    Component &main = ctx.addComponent("main");
+    Cell &inst = main.addCell("p0", "pe", {}, ctx);
+    EXPECT_EQ(inst.attrs().find(Attributes::staticAttr), 5);
+}
+
+TEST(Context, TopologicalOrder)
+{
+    Context ctx;
+    Component &leaf = ctx.addComponent("leaf");
+    (void)leaf;
+    Component &mid = ctx.addComponent("mid");
+    mid.addCell("l", "leaf", {}, ctx);
+    Component &top = ctx.addComponent("top");
+    top.addCell("m", "mid", {}, ctx);
+    auto order = ctx.topologicalOrder();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0]->name(), "leaf");
+    EXPECT_EQ(order[1]->name(), "mid");
+    EXPECT_EQ(order[2]->name(), "top");
+}
+
+TEST(Control, CloneAndCount)
+{
+    std::vector<ControlPtr> inner;
+    inner.push_back(std::make_unique<Enable>("a"));
+    inner.push_back(std::make_unique<Enable>("b"));
+    auto par = std::make_unique<Par>(std::move(inner));
+    std::vector<ControlPtr> outer;
+    outer.push_back(std::move(par));
+    outer.push_back(std::make_unique<Enable>("c"));
+    Seq seq(std::move(outer));
+
+    EXPECT_EQ(countControlStatements(seq), 5);
+
+    ControlPtr copy = seq.clone();
+    EXPECT_EQ(countControlStatements(*copy), 5);
+    ASSERT_EQ(copy->kind(), Control::Kind::Seq);
+    auto &cseq = cast<Seq>(*copy);
+    EXPECT_EQ(cseq.stmts()[0]->kind(), Control::Kind::Par);
+    EXPECT_EQ(cast<Enable>(*cseq.stmts()[1]).group(), "c");
+}
+
+TEST(Control, WalkVisitsEverything)
+{
+    auto w = std::make_unique<While>(
+        cellPort("lt", "out"), "cond",
+        std::make_unique<If>(cellPort("eq", "out"), "",
+                             std::make_unique<Enable>("t"),
+                             std::make_unique<Empty>()));
+    int enables = 0, total = 0;
+    w->walk([&](const Control &c) {
+        ++total;
+        if (c.kind() == Control::Kind::Enable)
+            ++enables;
+    });
+    EXPECT_EQ(total, 4);
+    EXPECT_EQ(enables, 1);
+}
+
+TEST(Builder, RegWriteGroupShape)
+{
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.reg("x", 8);
+    Group &g = b.regWriteGroup("set_x", "x", constant(42, 8));
+    EXPECT_EQ(g.assignments().size(), 3u);
+    EXPECT_TRUE(g.hasDoneWrite());
+    EXPECT_EQ(g.staticLatency(), 1);
+}
+
+} // namespace
+} // namespace calyx

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "passes/compile_control.h"
+#include "passes/go_insertion.h"
+#include "passes/remove_groups.h"
+
+namespace calyx {
+namespace {
+
+using testing::counterProgram;
+
+TEST(RemoveGroups, PostConditions)
+{
+    Context ctx = counterProgram(3, 2);
+    passes::PassManager pm;
+    pm.add<passes::GoInsertion>();
+    pm.add<passes::CompileControl>();
+    pm.add<passes::RemoveGroups>();
+    pm.run(ctx);
+
+    const Component &main = ctx.component("main");
+    EXPECT_TRUE(main.groups().empty());
+    EXPECT_EQ(main.control().kind(), Control::Kind::Empty);
+    // No residual holes anywhere.
+    for (const auto &a : main.continuousAssignments()) {
+        EXPECT_FALSE(a.dst.isHole()) << a.str();
+        EXPECT_FALSE(a.src.isHole()) << a.str();
+        a.guard->ports([](const PortRef &p) {
+            EXPECT_FALSE(p.isHole()) << p.str();
+        });
+    }
+}
+
+TEST(RemoveGroups, InterfaceWiring)
+{
+    // After the full pipeline the component's done port must be driven.
+    Context ctx = counterProgram(2, 1);
+    passes::compile(ctx, {});
+    const Component &main = ctx.component("main");
+    bool drives_done = false;
+    for (const auto &a : main.continuousAssignments()) {
+        if (a.dst.isThis() && a.dst.port == "done")
+            drives_done = true;
+    }
+    EXPECT_TRUE(drives_done);
+}
+
+TEST(RemoveGroups, SingleGroupProgram)
+{
+    // A single enable wires this.go/done straight through; the design
+    // must not re-execute while go stays high during the done cycle.
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.reg("x", 8);
+    b.add("a", 8);
+    Group &g = b.group("bump");
+    g.add(cellPort("a", "left"), cellPort("x", "out"));
+    g.add(cellPort("a", "right"), constant(1, 8));
+    g.add(cellPort("x", "in"), cellPort("a", "out"));
+    g.add(cellPort("x", "write_en"), constant(1, 1));
+    g.add(g.doneHole(), cellPort("x", "done"));
+    b.component().setControl(ComponentBuilder::enable("bump"));
+
+    passes::compile(ctx, {});
+    sim::SimProgram sp(ctx, "main");
+    sim::CycleSim cs(sp);
+    cs.run();
+    EXPECT_EQ(*sp.findModel("x")->registerValue(), 1u);
+}
+
+TEST(RemoveGroups, EmptyComponentUntouched)
+{
+    Context ctx;
+    Component &main = ctx.addComponent("main");
+    main.continuousAssignments().emplace_back(
+        thisPort("done"), constant(1, 1),
+        Guard::fromPort(thisPort("go")));
+    passes::PassManager pm;
+    pm.add<passes::RemoveGroups>();
+    pm.run(ctx);
+    EXPECT_EQ(main.continuousAssignments().size(), 1u);
+}
+
+} // namespace
+} // namespace calyx

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "sim/env.h"
+#include "sim/models.h"
+#include "support/error.h"
+
+namespace calyx {
+namespace {
+
+using sim::SimProgram;
+using sim::SimState;
+
+/** Fixture driving a single primitive through continuous assignments. */
+class ModelTest : public ::testing::Test
+{
+  protected:
+    Context ctx;
+    Component *comp = nullptr;
+
+    void
+    make(const std::string &type, const std::vector<uint64_t> &params)
+    {
+        comp = &ctx.addComponent("main");
+        comp->addCell("c", type, params, ctx);
+    }
+
+    /** Run one cycle with the given port forces; returns the state. */
+    void
+    step(SimState &st, const std::vector<std::pair<std::string, uint64_t>>
+                           &forces)
+    {
+        st.beginCycle();
+        for (const auto &[port, value] : forces)
+            st.force(st.program().portId(port), value);
+        st.comb();
+        st.clock();
+    }
+};
+
+TEST_F(ModelTest, RegisterTiming)
+{
+    make("std_reg", {8});
+    SimProgram sp(ctx, "main");
+    SimState st(sp);
+    st.reset();
+
+    // Cycle 1: write 42.
+    step(st, {{"c.in", 42}, {"c.write_en", 1}});
+    // Cycle 2: done pulses exactly one cycle after the write.
+    st.beginCycle();
+    st.comb();
+    EXPECT_EQ(st.value("c.out"), 42u);
+    EXPECT_EQ(st.value("c.done"), 1u);
+    st.clock();
+    // Cycle 3: done drops, value persists.
+    st.beginCycle();
+    st.comb();
+    EXPECT_EQ(st.value("c.out"), 42u);
+    EXPECT_EQ(st.value("c.done"), 0u);
+}
+
+TEST_F(ModelTest, RegisterWidthMasking)
+{
+    make("std_reg", {4});
+    SimProgram sp(ctx, "main");
+    SimState st(sp);
+    st.reset();
+    step(st, {{"c.in", 0x1F}, {"c.write_en", 1}});
+    st.beginCycle();
+    st.comb();
+    EXPECT_EQ(st.value("c.out"), 0xFu);
+}
+
+TEST_F(ModelTest, Adder)
+{
+    make("std_add", {8});
+    SimProgram sp(ctx, "main");
+    SimState st(sp);
+    st.reset();
+    st.beginCycle();
+    st.force(sp.portId("c.left"), 200);
+    st.force(sp.portId("c.right"), 100);
+    st.comb();
+    EXPECT_EQ(st.value("c.out"), 44u); // 300 mod 256
+}
+
+TEST_F(ModelTest, Comparators)
+{
+    make("std_lt", {8});
+    SimProgram sp(ctx, "main");
+    SimState st(sp);
+    st.reset();
+    st.beginCycle();
+    st.force(sp.portId("c.left"), 3);
+    st.force(sp.portId("c.right"), 7);
+    st.comb();
+    EXPECT_EQ(st.value("c.out"), 1u);
+}
+
+TEST_F(ModelTest, MemoryReadWrite)
+{
+    make("std_mem_d1", {16, 8, 3});
+    SimProgram sp(ctx, "main");
+    SimState st(sp);
+    st.reset();
+    // Write 99 to address 5.
+    step(st, {{"c.addr0", 5}, {"c.write_data", 99}, {"c.write_en", 1}});
+    // Combinational read at the same address; done pulses.
+    st.beginCycle();
+    st.force(sp.portId("c.addr0"), 5);
+    st.comb();
+    EXPECT_EQ(st.value("c.read_data"), 99u);
+    EXPECT_EQ(st.value("c.done"), 1u);
+    st.clock();
+
+    auto *mem = sp.findModel("c")->memory();
+    ASSERT_NE(mem, nullptr);
+    EXPECT_EQ((*mem)[5], 99u);
+}
+
+TEST_F(ModelTest, Memory2D)
+{
+    make("std_mem_d2", {8, 3, 4, 2, 2});
+    SimProgram sp(ctx, "main");
+    SimState st(sp);
+    st.reset();
+    step(st, {{"c.addr0", 2},
+              {"c.addr1", 3},
+              {"c.write_data", 7},
+              {"c.write_en", 1}});
+    auto *mem = sp.findModel("c")->memory();
+    EXPECT_EQ((*mem)[2 * 4 + 3], 7u);
+}
+
+TEST_F(ModelTest, MultiplierLatency)
+{
+    make("std_mult_pipe", {16});
+    SimProgram sp(ctx, "main");
+    SimState st(sp);
+    st.reset();
+    // Assert go with operands during cycle 1 only.
+    step(st, {{"c.left", 6}, {"c.right", 7}, {"c.go", 1}});
+    // Done must pulse exactly at cycle 1 + multLatency.
+    for (int cycle = 2; cycle <= multLatency + 2; ++cycle) {
+        st.beginCycle();
+        st.comb();
+        bool expect_done = cycle == multLatency + 1;
+        EXPECT_EQ(st.value("c.done"), expect_done ? 1u : 0u)
+            << "cycle " << cycle;
+        if (expect_done) {
+            EXPECT_EQ(st.value("c.out"), 42u);
+        }
+        st.clock();
+    }
+    // Result persists after done.
+    st.beginCycle();
+    st.comb();
+    EXPECT_EQ(st.value("c.out"), 42u);
+}
+
+TEST_F(ModelTest, DividerQuotientRemainder)
+{
+    make("std_div_pipe", {16});
+    SimProgram sp(ctx, "main");
+    SimState st(sp);
+    st.reset();
+    step(st, {{"c.left", 47}, {"c.right", 5}, {"c.go", 1}});
+    for (int cycle = 2; cycle <= divLatency; ++cycle) {
+        st.beginCycle();
+        st.comb();
+        st.clock();
+    }
+    st.beginCycle();
+    st.comb();
+    EXPECT_EQ(st.value("c.done"), 1u);
+    EXPECT_EQ(st.value("c.out_quotient"), 9u);
+    EXPECT_EQ(st.value("c.out_remainder"), 2u);
+}
+
+TEST_F(ModelTest, DivideByZeroConvention)
+{
+    make("std_div_pipe", {8});
+    SimProgram sp(ctx, "main");
+    SimState st(sp);
+    st.reset();
+    step(st, {{"c.left", 13}, {"c.right", 0}, {"c.go", 1}});
+    for (int cycle = 2; cycle <= divLatency; ++cycle) {
+        st.beginCycle();
+        st.comb();
+        st.clock();
+    }
+    st.beginCycle();
+    st.comb();
+    EXPECT_EQ(st.value("c.out_quotient"), 255u);
+    EXPECT_EQ(st.value("c.out_remainder"), 13u);
+}
+
+TEST_F(ModelTest, SqrtDataDependentLatency)
+{
+    make("std_sqrt", {32});
+    SimProgram sp(ctx, "main");
+    SimState st(sp);
+    st.reset();
+    step(st, {{"c.in", 144}, {"c.go", 1}});
+    int cycles_until_done = 0;
+    for (int i = 0; i < 40; ++i) {
+        st.beginCycle();
+        st.comb();
+        ++cycles_until_done;
+        if (st.value("c.done")) {
+            EXPECT_EQ(st.value("c.out"), 12u);
+            break;
+        }
+        st.clock();
+    }
+    EXPECT_GT(cycles_until_done, 1);
+    EXPECT_LT(cycles_until_done, 40);
+}
+
+TEST(Isqrt, Values)
+{
+    EXPECT_EQ(sim::isqrt(0), 0u);
+    EXPECT_EQ(sim::isqrt(1), 1u);
+    EXPECT_EQ(sim::isqrt(3), 1u);
+    EXPECT_EQ(sim::isqrt(4), 2u);
+    EXPECT_EQ(sim::isqrt(99), 9u);
+    EXPECT_EQ(sim::isqrt(100), 10u);
+    EXPECT_EQ(sim::isqrt(0xFFFFFFFFull), 65535u);
+}
+
+TEST(SimEngine, MultiDriverDetection)
+{
+    Context ctx;
+    Component &comp = ctx.addComponent("main");
+    comp.addCell("r", "std_reg", {8}, ctx);
+    comp.continuousAssignments().emplace_back(cellPort("r", "in"),
+                                              constant(1, 8));
+    comp.continuousAssignments().emplace_back(cellPort("r", "in"),
+                                              constant(2, 8));
+    SimProgram sp(ctx, "main");
+    SimState st(sp);
+    st.reset();
+    st.beginCycle();
+    st.activate(sp.root().continuous);
+    EXPECT_THROW(st.comb(), Error);
+}
+
+TEST(SimEngine, CombinationalLoopDetection)
+{
+    Context ctx;
+    Component &comp = ctx.addComponent("main");
+    comp.addCell("n", "std_not", {1}, ctx);
+    // n.in = n.out: a ring oscillator that never settles.
+    comp.continuousAssignments().emplace_back(cellPort("n", "in"),
+                                              cellPort("n", "out"));
+    SimProgram sp(ctx, "main");
+    SimState st(sp);
+    st.reset();
+    st.beginCycle();
+    st.activate(sp.root().continuous);
+    EXPECT_THROW(st.comb(), Error);
+}
+
+} // namespace
+} // namespace calyx

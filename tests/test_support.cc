@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "support/bits.h"
+#include "support/error.h"
+
+namespace calyx {
+namespace {
+
+TEST(Bits, BitMask)
+{
+    EXPECT_EQ(bitMask(0), 0u);
+    EXPECT_EQ(bitMask(1), 1u);
+    EXPECT_EQ(bitMask(2), 3u);
+    EXPECT_EQ(bitMask(8), 255u);
+    EXPECT_EQ(bitMask(32), 0xFFFFFFFFu);
+    EXPECT_EQ(bitMask(64), ~uint64_t(0));
+    EXPECT_EQ(bitMask(100), ~uint64_t(0));
+}
+
+TEST(Bits, Truncate)
+{
+    EXPECT_EQ(truncate(0xFF, 4), 0xFu);
+    EXPECT_EQ(truncate(0x100, 8), 0u);
+    EXPECT_EQ(truncate(5, 32), 5u);
+    EXPECT_EQ(truncate(~uint64_t(0), 1), 1u);
+}
+
+TEST(Bits, BitsNeeded)
+{
+    EXPECT_EQ(bitsNeeded(0), 1u);
+    EXPECT_EQ(bitsNeeded(1), 1u);
+    EXPECT_EQ(bitsNeeded(2), 2u);
+    EXPECT_EQ(bitsNeeded(3), 2u);
+    EXPECT_EQ(bitsNeeded(4), 3u);
+    EXPECT_EQ(bitsNeeded(7), 3u);
+    EXPECT_EQ(bitsNeeded(8), 4u);
+    EXPECT_EQ(bitsNeeded(255), 8u);
+    EXPECT_EQ(bitsNeeded(256), 9u);
+}
+
+TEST(Bits, FsmWidth)
+{
+    // A seq with n children needs states 0..n.
+    EXPECT_EQ(fsmWidth(2), 2u);
+    EXPECT_EQ(fsmWidth(3), 2u);
+    EXPECT_EQ(fsmWidth(4), 3u);
+}
+
+TEST(Errors, FatalThrows)
+{
+    EXPECT_THROW(fatal("boom: ", 42), Error);
+    try {
+        fatal("value is ", 7);
+    } catch (const Error &e) {
+        EXPECT_STREQ(e.what(), "value is 7");
+    }
+}
+
+} // namespace
+} // namespace calyx

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "backend/verilog.h"
+#include "helpers.h"
+#include "support/error.h"
+
+namespace calyx {
+namespace {
+
+using backend::VerilogBackend;
+using testing::counterProgram;
+
+TEST(Verilog, RefusesUncompiledComponents)
+{
+    Context ctx = counterProgram(2, 1);
+    std::ostringstream os;
+    EXPECT_THROW(
+        VerilogBackend::emitComponent(ctx.component("main"), ctx, os),
+        Error);
+}
+
+TEST(Verilog, EmitsModulePerComponent)
+{
+    Context ctx = counterProgram(2, 1);
+    passes::compile(ctx, {});
+    std::string sv = VerilogBackend::emitString(ctx);
+    EXPECT_NE(sv.find("module main("), std::string::npos);
+    EXPECT_NE(sv.find("module std_reg"), std::string::npos);
+    EXPECT_NE(sv.find("module std_add"), std::string::npos);
+    EXPECT_NE(sv.find("endmodule"), std::string::npos);
+    // Instances are parameterized and clocked.
+    EXPECT_NE(sv.find("std_reg #(.WIDTH(32)) x(.clk(clk)"),
+              std::string::npos);
+    // Guarded assignments become mux chains.
+    EXPECT_NE(sv.find("assign x_in ="), std::string::npos);
+}
+
+TEST(Verilog, HierarchicalInstantiation)
+{
+    Context ctx;
+    auto pb = ComponentBuilder::create(ctx, "pe");
+    pb.reg("r", 8);
+    pb.regWriteGroup("w", "r", constant(3, 8));
+    pb.component().setControl(ComponentBuilder::enable("w"));
+    auto mb = ComponentBuilder::create(ctx, "main");
+    mb.cell("p0", "pe", {});
+    Group &inv = mb.group("invoke");
+    inv.add(cellPort("p0", "go"), constant(1, 1));
+    inv.add(inv.doneHole(), cellPort("p0", "done"));
+    mb.component().setControl(ComponentBuilder::enable("invoke"));
+
+    passes::compile(ctx, {});
+    std::string sv = VerilogBackend::emitString(ctx);
+    EXPECT_NE(sv.find("module pe("), std::string::npos);
+    EXPECT_NE(sv.find("pe p0(.clk(clk)"), std::string::npos);
+}
+
+TEST(Verilog, LineCounting)
+{
+    EXPECT_EQ(VerilogBackend::countLines(""), 0);
+    EXPECT_EQ(VerilogBackend::countLines("a\nb\n"), 2);
+    Context ctx = counterProgram(2, 1);
+    passes::compile(ctx, {});
+    std::string sv = VerilogBackend::emitString(ctx);
+    EXPECT_GT(VerilogBackend::countLines(sv), 100);
+}
+
+} // namespace
+} // namespace calyx

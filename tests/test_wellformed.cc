@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "passes/wellformed.h"
+#include "support/error.h"
+
+namespace calyx {
+namespace {
+
+using passes::WellFormed;
+
+TEST(WellFormed, AcceptsValidProgram)
+{
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.reg("x", 8);
+    b.regWriteGroup("w", "x", constant(3, 8));
+    b.component().setControl(ComponentBuilder::enable("w"));
+    EXPECT_NO_THROW(WellFormed().runOnContext(ctx));
+}
+
+TEST(WellFormed, RejectsWidthMismatch)
+{
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.reg("x", 8);
+    Group &g = b.group("g");
+    g.add(cellPort("x", "in"), constant(1, 16)); // 16 into 8
+    g.add(g.doneHole(), cellPort("x", "done"));
+    b.component().setControl(ComponentBuilder::enable("g"));
+    EXPECT_THROW(WellFormed().runOnContext(ctx), Error);
+}
+
+TEST(WellFormed, RejectsWriteToCellOutput)
+{
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.reg("x", 8);
+    Group &g = b.group("g");
+    g.add(cellPort("x", "out"), constant(1, 8));
+    g.add(g.doneHole(), cellPort("x", "done"));
+    EXPECT_THROW(WellFormed().runOnContext(ctx), Error);
+}
+
+TEST(WellFormed, RejectsReadOfCellInput)
+{
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.reg("x", 8);
+    b.reg("y", 8);
+    Group &g = b.group("g");
+    g.add(cellPort("y", "in"), cellPort("x", "in"));
+    g.add(g.doneHole(), cellPort("y", "done"));
+    EXPECT_THROW(WellFormed().runOnContext(ctx), Error);
+}
+
+TEST(WellFormed, RejectsDoubleUnconditionalDrivers)
+{
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.reg("x", 8);
+    Group &g = b.group("g");
+    g.add(cellPort("x", "in"), constant(1, 8));
+    g.add(cellPort("x", "in"), constant(2, 8));
+    g.add(g.doneHole(), cellPort("x", "done"));
+    EXPECT_THROW(WellFormed().runOnContext(ctx), Error);
+}
+
+TEST(WellFormed, AllowsGuardedMultipleDrivers)
+{
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.reg("x", 8);
+    b.reg("f", 1);
+    GuardPtr f = Guard::fromPort(cellPort("f", "out"));
+    Group &g = b.group("g");
+    g.add(cellPort("x", "in"), constant(1, 8), f);
+    g.add(cellPort("x", "in"), constant(2, 8), Guard::negate(f));
+    g.add(cellPort("x", "write_en"), constant(1, 1));
+    g.add(g.doneHole(), cellPort("x", "done"));
+    EXPECT_NO_THROW(WellFormed().runOnContext(ctx));
+}
+
+TEST(WellFormed, RejectsUnknownGroupInControl)
+{
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.component().setControl(ComponentBuilder::enable("ghost"));
+    EXPECT_THROW(WellFormed().runOnContext(ctx), Error);
+}
+
+TEST(WellFormed, RejectsEnabledGroupWithoutDone)
+{
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.reg("x", 8);
+    Group &g = b.group("g");
+    g.add(cellPort("x", "in"), constant(1, 8));
+    b.component().setControl(ComponentBuilder::enable("g"));
+    EXPECT_THROW(WellFormed().runOnContext(ctx), Error);
+}
+
+TEST(WellFormed, RejectsWideConditionPort)
+{
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.reg("x", 8);
+    b.regWriteGroup("body", "x", constant(1, 8));
+    Group &cond = b.group("cond");
+    cond.add(cond.doneHole(), constant(1, 1));
+    b.component().setControl(ComponentBuilder::whileStmt(
+        cellPort("x", "out"), "cond", // 8-bit port
+        ComponentBuilder::enable("body")));
+    EXPECT_THROW(WellFormed().runOnContext(ctx), Error);
+}
+
+TEST(WellFormed, RejectsNonOneBitGuardLeaf)
+{
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.reg("x", 8);
+    b.reg("y", 8);
+    Group &g = b.group("g");
+    g.add(cellPort("y", "in"), constant(1, 8),
+          Guard::fromPort(cellPort("x", "out")));
+    g.add(g.doneHole(), cellPort("y", "done"));
+    EXPECT_THROW(WellFormed().runOnContext(ctx), Error);
+}
+
+TEST(WellFormed, RejectsCmpWidthMismatch)
+{
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.reg("x", 8);
+    b.reg("y", 8);
+    Group &g = b.group("g");
+    g.add(cellPort("y", "in"), constant(1, 8),
+          Guard::cmp(Guard::CmpOp::Eq, cellPort("x", "out"),
+                     constant(1, 4)));
+    g.add(g.doneHole(), cellPort("y", "done"));
+    EXPECT_THROW(WellFormed().runOnContext(ctx), Error);
+}
+
+} // namespace
+} // namespace calyx

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * futil: command-line driver for the Calyx compiler (the artifact's
+ * `futil` binary). Reads a textual Calyx program, runs the compilation
+ * pipeline, and emits Calyx or SystemVerilog, or simulates the design.
+ *
+ * Usage:
+ *   futil [options] file.futil
+ *     -b calyx|verilog   backend (default calyx)
+ *     -p <pass>          enable optimization: resource-sharing,
+ *                        register-sharing, static, all
+ *     --no-compile       print the program without lowering control
+ *     --sim              compile, simulate, and report the cycle count
+ *     --area             print the area estimate
+ *     --stats            print cells/groups/control statistics
+ */
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "backend/verilog.h"
+#include "estimate/area.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "passes/pipeline.h"
+#include "sim/cycle_sim.h"
+#include "support/error.h"
+
+namespace {
+
+int
+usage()
+{
+    std::cerr << "usage: futil [-b calyx|verilog] [-p <pass>] "
+                 "[--no-compile] [--sim] [--area] [--stats] file.futil\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string backend = "calyx";
+    std::string file;
+    bool compile = true, simulate = false, area = false, stats = false;
+    calyx::passes::CompileOptions options;
+
+    std::vector<std::string> args(argv + 1, argv + argc);
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        if (a == "-b") {
+            if (++i >= args.size())
+                return usage();
+            backend = args[i];
+        } else if (a == "-p") {
+            if (++i >= args.size())
+                return usage();
+            const std::string &pass = args[i];
+            if (pass == "resource-sharing") {
+                options.resourceSharing = true;
+            } else if (pass == "register-sharing") {
+                options.registerSharing = true;
+            } else if (pass == "static") {
+                options.sensitive = true;
+            } else if (pass == "all") {
+                options.resourceSharing = true;
+                options.registerSharing = true;
+                options.sensitive = true;
+            } else {
+                std::cerr << "unknown pass: " << pass << "\n";
+                return 2;
+            }
+        } else if (a == "--no-compile") {
+            compile = false;
+        } else if (a == "--sim") {
+            simulate = true;
+        } else if (a == "--area") {
+            area = true;
+        } else if (a == "--stats") {
+            stats = true;
+        } else if (!a.empty() && a[0] == '-') {
+            return usage();
+        } else {
+            file = a;
+        }
+    }
+    if (file.empty())
+        return usage();
+
+    std::ifstream in(file);
+    if (!in) {
+        std::cerr << "cannot open " << file << "\n";
+        return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+
+    try {
+        calyx::Context ctx =
+            calyx::Parser::parseProgram(buffer.str());
+        if (stats) {
+            auto s = calyx::passes::gatherStats(ctx);
+            std::cout << "cells: " << s.cells << "\ngroups: " << s.groups
+                      << "\ncontrol statements: " << s.controlStatements
+                      << "\n";
+        }
+        if (compile)
+            calyx::passes::compile(ctx, options);
+        if (area) {
+            calyx::estimate::AreaEstimator est(ctx);
+            auto a = est.estimateProgram();
+            std::cout << "LUTs: " << a.luts << "\nFFs: " << a.ffs
+                      << "\nDSPs: " << a.dsps
+                      << "\nregisters: " << a.registers << "\n";
+        }
+        if (simulate) {
+            calyx::sim::SimProgram sp(ctx, ctx.entrypoint());
+            calyx::sim::CycleSim cs(sp);
+            std::cout << "cycles: " << cs.run() << "\n";
+        }
+        if (!simulate && !area && !stats) {
+            if (backend == "verilog") {
+                calyx::backend::VerilogBackend::emit(ctx, std::cout);
+            } else {
+                calyx::Printer::print(ctx, std::cout);
+            }
+        }
+    } catch (const calyx::Error &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}
