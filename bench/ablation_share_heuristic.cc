@@ -46,14 +46,16 @@ main()
             dahlia::Program prog = dahlia::parse(k.source);
             workloads::MemState inputs =
                 workloads::makeInputs(k.name, prog);
-            passes::CompileOptions off;
             double base =
-                workloads::runOnHardware(prog, off, inputs).area.luts;
-            passes::CompileOptions on;
-            on.resourceSharing = true;
-            on.resourceSharingMinWidth = threshold;
+                workloads::runOnHardware(prog, "default", inputs)
+                    .area.luts;
+            passes::PipelineSpec spec = passes::parsePipelineSpec(
+                "all,-register-sharing,-static");
+            passes::applyPassOptions(
+                spec, "resource-sharing[min-width=" +
+                          std::to_string(threshold) + "]");
             double shared =
-                workloads::runOnHardware(prog, on, inputs).area.luts;
+                workloads::runOnHardware(prog, spec, inputs).area.luts;
             factors.push_back(shared / base);
         }
         if (threshold == 0) {

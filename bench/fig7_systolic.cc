@@ -40,9 +40,9 @@ runSystolic(int dim, bool sensitive, double *luts)
     systolic::Config cfg;
     cfg.rows = cfg.cols = cfg.inner = dim;
     systolic::generate(ctx, cfg);
-    passes::CompileOptions options;
-    options.sensitive = sensitive;
-    passes::compile(ctx, options);
+    passes::runPipeline(ctx, sensitive
+                                 ? "all,-resource-sharing,-register-sharing"
+                                 : "default");
 
     estimate::AreaEstimator est(ctx);
     *luts = est.estimateProgram().luts;

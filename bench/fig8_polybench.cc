@@ -42,11 +42,7 @@ measure(const std::string &kernel_name, const std::string &source)
     workloads::MemState inputs =
         workloads::makeInputs(kernel_name, prog);
 
-    passes::CompileOptions options;
-    options.resourceSharing = true;
-    options.registerSharing = true;
-    options.sensitive = true;
-    auto hw = workloads::runOnHardware(prog, options, inputs);
+    auto hw = workloads::runOnHardware(prog, "all", inputs);
     hls::HlsReport h = hls::scheduleProgram(prog);
 
     Measured m;

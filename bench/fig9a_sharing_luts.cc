@@ -8,6 +8,7 @@
  */
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "frontends/dahlia/parser.h"
@@ -22,10 +23,12 @@ double
 lutsFor(const dahlia::Program &prog, const workloads::MemState &inputs,
         bool resource, bool registers)
 {
-    passes::CompileOptions options;
-    options.resourceSharing = resource;
-    options.registerSharing = registers;
-    auto hw = workloads::runOnHardware(prog, options, inputs);
+    std::string spec = "all,-static";
+    if (!resource)
+        spec += ",-resource-sharing";
+    if (!registers)
+        spec += ",-register-sharing";
+    auto hw = workloads::runOnHardware(prog, spec, inputs);
     return hw.area.luts;
 }
 

@@ -21,9 +21,8 @@ int
 registersFor(const dahlia::Program &prog,
              const workloads::MemState &inputs, bool share)
 {
-    passes::CompileOptions options;
-    options.registerSharing = share;
-    auto hw = workloads::runOnHardware(prog, options, inputs);
+    auto hw = workloads::runOnHardware(
+        prog, share ? "all,-resource-sharing,-static" : "default", inputs);
     return hw.area.registers;
 }
 

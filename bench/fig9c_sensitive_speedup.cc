@@ -42,11 +42,9 @@ main()
         workloads::MemState inputs =
             workloads::makeInputs(k.name, prog);
 
-        passes::CompileOptions off;
-        auto base = workloads::runOnHardware(prog, off, inputs);
-        passes::CompileOptions on;
-        on.sensitive = true;
-        auto fast = workloads::runOnHardware(prog, on, inputs);
+        auto base = workloads::runOnHardware(prog, "default", inputs);
+        auto fast = workloads::runOnHardware(
+            prog, "all,-resource-sharing,-register-sharing", inputs);
 
         double speedup = static_cast<double>(base.cycles) /
                          static_cast<double>(fast.cycles);

@@ -30,11 +30,7 @@ BM_CompileGemver(benchmark::State &state)
     for (auto _ : state) {
         dahlia::Program copy = prog.clone();
         Context ctx = dahlia::compileDahlia(copy);
-        passes::CompileOptions options;
-        options.resourceSharing = true;
-        options.registerSharing = true;
-        options.sensitive = true;
-        passes::compile(ctx, options);
+        passes::runPipeline(ctx, "all");
         std::string sv = backend::VerilogBackend::emitString(ctx);
         benchmark::DoNotOptimize(sv);
     }
@@ -49,9 +45,8 @@ BM_CompileSystolic8x8(benchmark::State &state)
         systolic::Config cfg;
         cfg.rows = cfg.cols = cfg.inner = 8;
         systolic::generate(ctx, cfg);
-        passes::CompileOptions options;
-        options.sensitive = true;
-        passes::compile(ctx, options);
+        passes::runPipeline(ctx,
+                            "all,-resource-sharing,-register-sharing");
         std::string sv = backend::VerilogBackend::emitString(ctx);
         benchmark::DoNotOptimize(sv);
     }
@@ -67,9 +62,7 @@ printDesignStats()
     systolic::generate(ctx, cfg);
     passes::DesignStats stats = passes::gatherStats(ctx);
 
-    passes::CompileOptions options;
-    options.sensitive = true;
-    passes::compile(ctx, options);
+    passes::runPipeline(ctx, "all,-resource-sharing,-register-sharing");
     std::string sv = backend::VerilogBackend::emitString(ctx);
 
     std::printf("=== §7.4 design statistics: 8x8 systolic array ===\n");

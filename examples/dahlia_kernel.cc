@@ -50,11 +50,10 @@ main()
 
     // Hardware, both compilation modes.
     for (bool sensitive : {false, true}) {
-        passes::CompileOptions options;
-        options.sensitive = sensitive;
         workloads::MemState final_state;
-        auto hw =
-            workloads::runOnHardware(prog, options, inputs, &final_state);
+        auto hw = workloads::runOnHardware(
+            prog, sensitive ? "all,-resource-sharing,-register-sharing" : "default",
+            inputs, &final_state);
         bool ok = final_state == golden;
         std::cout << (sensitive ? "latency-sensitive  "
                                 : "latency-insensitive")

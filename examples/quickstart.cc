@@ -138,9 +138,9 @@ main()
     // 3. Compile to structural form and simulate (Verilator stand-in).
     for (bool sensitive : {false, true}) {
         Context ctx = buildReductionTree();
-        passes::CompileOptions options;
-        options.sensitive = sensitive;
-        passes::compile(ctx, options);
+        passes::runPipeline(ctx, sensitive
+                                     ? "all,-resource-sharing,-register-sharing"
+                                     : "default");
         sim::SimProgram sp(ctx, "main");
         fillInputs(sp);
         sim::CycleSim cs(sp);
@@ -153,7 +153,7 @@ main()
 
     // 4. Emit SystemVerilog.
     Context ctx = buildReductionTree();
-    passes::compile(ctx, {});
+    passes::runPipeline(ctx, "default");
     std::string sv = backend::VerilogBackend::emitString(ctx);
     std::cout << "emitted " << backend::VerilogBackend::countLines(sv)
               << " lines of SystemVerilog\n";

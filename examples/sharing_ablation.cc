@@ -7,6 +7,7 @@
  * *increase* LUTs because of the added multiplexers).
  */
 #include <iostream>
+#include <string>
 
 #include "frontends/dahlia/parser.h"
 #include "workloads/harness.h"
@@ -39,12 +40,14 @@ main()
     std::cout << "config                cycles   LUTs     FFs   "
                  "registers  correct\n";
     for (const auto &c : configs) {
-        passes::CompileOptions options;
-        options.resourceSharing = c.resource;
-        options.registerSharing = c.registers;
+        std::string spec = "all,-static";
+        if (!c.resource)
+            spec += ",-resource-sharing";
+        if (!c.registers)
+            spec += ",-register-sharing";
         workloads::MemState final_state;
         auto hw =
-            workloads::runOnHardware(prog, options, inputs, &final_state);
+            workloads::runOnHardware(prog, spec, inputs, &final_state);
         std::cout << c.name << "  " << hw.cycles << "   "
                   << static_cast<int>(hw.area.luts) << "   "
                   << static_cast<int>(hw.area.ffs) << "   "

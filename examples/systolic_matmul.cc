@@ -61,9 +61,9 @@ main()
         systolic::generate(ctx, cfg);
 
         passes::DesignStats stats = passes::gatherStats(ctx);
-        passes::CompileOptions options;
-        options.sensitive = sensitive;
-        passes::compile(ctx, options);
+        passes::runPipeline(ctx, sensitive
+                                     ? "all,-resource-sharing,-register-sharing"
+                                     : "default");
 
         sim::SimProgram sp(ctx, "main");
         fill(sp, a, bt);

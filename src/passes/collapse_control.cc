@@ -1,5 +1,7 @@
 #include "passes/collapse_control.h"
 
+#include "passes/registry.h"
+
 namespace calyx::passes {
 
 ControlPtr
@@ -65,5 +67,12 @@ CollapseControl::runOnComponent(Component &comp, Context &)
 {
     comp.setControl(collapse(comp.takeControl()));
 }
+
+namespace {
+PassRegistration<CollapseControl> registration{
+    "collapse-control",
+    "Flatten nested seq/par and drop empty control statements",
+    {{"pre-opt", 10}}};
+} // namespace
 
 } // namespace calyx::passes

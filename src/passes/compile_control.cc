@@ -1,5 +1,7 @@
 #include "passes/compile_control.h"
 
+#include "passes/registry.h"
+
 #include <set>
 
 #include "passes/go_insertion.h"
@@ -346,5 +348,12 @@ CompileControl::runOnComponent(Component &comp, Context &ctx)
             comp.removeGroup(name);
     }
 }
+
+namespace {
+PassRegistration<CompileControl> registration{
+    "compile-control",
+    "Lower the control tree to latency-insensitive FSMs (§4.2-4.3)",
+    {{"compile", 30}}};
+} // namespace
 
 } // namespace calyx::passes

@@ -1,5 +1,7 @@
 #include "passes/dead_cell_removal.h"
 
+#include "passes/registry.h"
+
 #include <set>
 
 namespace calyx::passes {
@@ -43,5 +45,12 @@ DeadCellRemoval::runOnComponent(Component &comp, Context &ctx)
     for (const auto &name : dead)
         comp.removeCell(name);
 }
+
+namespace {
+PassRegistration<DeadCellRemoval> registration{
+    "dead-cell-removal",
+    "Remove cells no assignment or control statement references",
+    {{"post-opt", 10}}};
+} // namespace
 
 } // namespace calyx::passes

@@ -1,0 +1,30 @@
+#include "passes/design_stats.h"
+
+#include "ir/control.h"
+
+namespace calyx::passes {
+
+DesignStats
+gatherStats(const Component &comp)
+{
+    DesignStats s;
+    s.cells = static_cast<int>(comp.cells().size());
+    s.groups = static_cast<int>(comp.groups().size());
+    s.controlStatements = countControlStatements(comp.control());
+    return s;
+}
+
+DesignStats
+gatherStats(const Context &ctx)
+{
+    DesignStats total;
+    for (const auto &comp : ctx.components()) {
+        DesignStats s = gatherStats(*comp);
+        total.cells += s.cells;
+        total.groups += s.groups;
+        total.controlStatements += s.controlStatements;
+    }
+    return total;
+}
+
+} // namespace calyx::passes

@@ -1,0 +1,26 @@
+#ifndef CALYX_PASSES_DESIGN_STATS_H
+#define CALYX_PASSES_DESIGN_STATS_H
+
+#include "ir/context.h"
+
+namespace calyx::passes {
+
+/** Size statistics of a design (paper §7.4). */
+struct DesignStats
+{
+    int cells = 0;
+    int groups = 0;
+    int controlStatements = 0;
+
+    bool operator==(const DesignStats &other) const = default;
+};
+
+/** Gather §7.4-style statistics for one component. */
+DesignStats gatherStats(const Component &comp);
+
+/** Sum of per-component statistics over a whole program. */
+DesignStats gatherStats(const Context &ctx);
+
+} // namespace calyx::passes
+
+#endif // CALYX_PASSES_DESIGN_STATS_H

@@ -1,5 +1,7 @@
 #include "passes/go_insertion.h"
 
+#include "passes/registry.h"
+
 namespace calyx::passes {
 
 void
@@ -20,5 +22,12 @@ GoInsertion::runOnComponent(Component &comp, Context &)
     for (const auto &g : comp.groups())
         gateGroup(*g);
 }
+
+namespace {
+PassRegistration<GoInsertion> registration{
+    "go-insertion",
+    "Guard group assignments with the group's go hole (§4.2)",
+    {{"compile", 20}}};
+} // namespace
 
 } // namespace calyx::passes

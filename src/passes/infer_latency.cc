@@ -1,5 +1,7 @@
 #include "passes/infer_latency.h"
 
+#include "passes/registry.h"
+
 #include "passes/static_pass.h"
 
 namespace calyx::passes {
@@ -124,5 +126,12 @@ InferLatency::runOnComponent(Component &comp, Context &ctx)
         }
     }
 }
+
+namespace {
+PassRegistration<InferLatency> registration{
+    "infer-latency",
+    "Infer 'static' latency attributes for groups and components (§5.3)",
+    {{"pre-opt", 20}}};
+} // namespace
 
 } // namespace calyx::passes

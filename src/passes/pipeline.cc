@@ -1,62 +1,39 @@
 #include "passes/pipeline.h"
 
-#include "passes/collapse_control.h"
-#include "passes/compile_control.h"
-#include "passes/dead_cell_removal.h"
-#include "passes/go_insertion.h"
-#include "passes/infer_latency.h"
-#include "passes/register_sharing.h"
-#include "passes/remove_groups.h"
-#include "passes/resource_sharing.h"
-#include "passes/static_pass.h"
-#include "passes/wellformed.h"
+#include <string>
 
 namespace calyx::passes {
 
-DesignStats
-gatherStats(const Component &comp)
+std::string
+compileOptionsToSpec(const CompileOptions &options)
 {
-    DesignStats s;
-    s.cells = static_cast<int>(comp.cells().size());
-    s.groups = static_cast<int>(comp.groups().size());
-    s.controlStatements = countControlStatements(comp.control());
-    return s;
-}
-
-DesignStats
-gatherStats(const Context &ctx)
-{
-    DesignStats total;
-    for (const auto &comp : ctx.components()) {
-        DesignStats s = gatherStats(*comp);
-        total.cells += s.cells;
-        total.groups += s.groups;
-        total.controlStatements += s.controlStatements;
+    std::string spec = "well-formed";
+    if (options.collapseControl)
+        spec += ",collapse-control";
+    if (options.inferLatency)
+        spec += ",infer-latency";
+    if (options.resourceSharing) {
+        spec += ",resource-sharing";
+        if (options.resourceSharingMinWidth > 0)
+            spec += "[min-width=" +
+                    std::to_string(options.resourceSharingMinWidth) + "]";
     }
-    return total;
+    if (options.registerSharing)
+        spec += ",register-sharing";
+    if (options.sensitive)
+        spec += ",static";
+    spec += ",go-insertion,compile-control,remove-groups";
+    if (options.deadCellRemoval)
+        spec += ",dead-cell-removal";
+    return spec;
 }
 
 void
 compile(Context &ctx, const CompileOptions &options)
 {
-    PassManager pm;
-    pm.add<WellFormed>();
-    if (options.collapseControl)
-        pm.add<CollapseControl>();
-    if (options.inferLatency)
-        pm.add<InferLatency>();
-    if (options.resourceSharing)
-        pm.add<ResourceSharing>(options.resourceSharingMinWidth);
-    if (options.registerSharing)
-        pm.add<RegisterSharing>();
-    if (options.sensitive)
-        pm.add<StaticPass>();
-    pm.add<GoInsertion>();
-    pm.add<CompileControl>();
-    pm.add<RemoveGroups>();
-    if (options.deadCellRemoval)
-        pm.add<DeadCellRemoval>();
-    pm.run(ctx, options.verify);
+    RunOptions run_options;
+    run_options.verify = options.verify;
+    runPipeline(ctx, compileOptionsToSpec(options), run_options);
 }
 
 } // namespace calyx::passes

@@ -1,11 +1,20 @@
 #ifndef CALYX_PASSES_PIPELINE_H
 #define CALYX_PASSES_PIPELINE_H
 
-#include "passes/pass_manager.h"
+#include "passes/design_stats.h"
+#include "passes/pipeline_spec.h"
 
 namespace calyx::passes {
 
-/** Configuration of the standard compilation pipeline. */
+/**
+ * Boolean-style configuration of the standard compilation pipeline.
+ *
+ * Compatibility shim: the pass API is the named-pass registry
+ * (passes/registry.h) driven by pipeline-spec strings such as
+ * `"all,-collapse-control,resource-sharing[min-width=8]"`; this struct
+ * is kept so existing callers migrate incrementally. compile() lowers
+ * it to the equivalent spec (see compileOptionsToSpec) and runs that.
+ */
 struct CompileOptions
 {
     bool collapseControl = true;
@@ -28,19 +37,12 @@ struct CompileOptions
     bool verify = false;
 };
 
-/** Size statistics of a design (paper §7.4). */
-struct DesignStats
-{
-    int cells = 0;
-    int groups = 0;
-    int controlStatements = 0;
-};
-
-/** Gather §7.4-style statistics for one component. */
-DesignStats gatherStats(const Component &comp);
-
-/** Sum of per-component statistics over a whole program. */
-DesignStats gatherStats(const Context &ctx);
+/**
+ * The pipeline-spec string equivalent to a CompileOptions value, e.g.
+ * `"well-formed,collapse-control,infer-latency,go-insertion,..."`.
+ * compile(ctx, options) is exactly runPipeline(ctx, that spec).
+ */
+std::string compileOptionsToSpec(const CompileOptions &options);
 
 /**
  * Run the standard pipeline (paper §4.2): optimizations, GoInsertion,

@@ -1,0 +1,233 @@
+#include "passes/pipeline_spec.h"
+
+#include <algorithm>
+#include <set>
+
+#include "passes/registry.h"
+#include "support/error.h"
+
+namespace calyx::passes {
+
+namespace {
+
+/** Split on commas that are not inside `[...]`. */
+std::vector<std::string>
+splitItems(const std::string &spec)
+{
+    std::vector<std::string> items;
+    std::string cur;
+    int depth = 0;
+    for (char c : spec) {
+        if (c == '[')
+            ++depth;
+        else if (c == ']')
+            --depth;
+        if (c == ',' && depth == 0) {
+            items.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    items.push_back(cur);
+    if (depth != 0)
+        fatal("pipeline spec '", spec, "': unbalanced '[' ... ']'");
+
+    // Trim whitespace and drop empty items (trailing commas).
+    std::vector<std::string> out;
+    for (auto &item : items) {
+        size_t b = item.find_first_not_of(" \t");
+        size_t e = item.find_last_not_of(" \t");
+        if (b == std::string::npos)
+            continue;
+        out.push_back(item.substr(b, e - b + 1));
+    }
+    return out;
+}
+
+/** Parse `name[k=v,...]` into an invocation (no registry lookup). */
+PassInvocation
+parseItem(const std::string &item)
+{
+    PassInvocation inv;
+    size_t open = item.find('[');
+    if (open == std::string::npos) {
+        inv.name = item;
+        return inv;
+    }
+    if (item.back() != ']')
+        fatal("pass options '", item, "': expected trailing ']'");
+    inv.name = item.substr(0, open);
+    std::string body = item.substr(open + 1, item.size() - open - 2);
+    for (const std::string &kv : splitItems(body)) {
+        size_t eq = kv.find('=');
+        if (eq == std::string::npos || eq == 0)
+            fatal("pass option '", kv, "' in '", item,
+                  "': expected key=value");
+        inv.options.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
+    }
+    if (inv.name.empty())
+        fatal("pass options '", item, "': missing pass name");
+    return inv;
+}
+
+/** Every concrete pass an alias (transitively) expands to. */
+void
+collectAliasMembers(const std::string &alias, std::set<std::string> &out,
+                    int depth)
+{
+    auto &registry = PassRegistry::instance();
+    if (depth > 16)
+        fatal("alias '", alias, "': expansion is cyclic");
+    for (const std::string &item :
+         splitItems(registry.aliasExpansion(alias))) {
+        if (registry.hasAlias(item))
+            collectAliasMembers(item, out, depth + 1);
+        else
+            out.insert(item);
+    }
+}
+
+void
+expandInto(const std::string &spec, PipelineSpec &out, int depth)
+{
+    auto &registry = PassRegistry::instance();
+    if (depth > 16)
+        fatal("pipeline spec '", spec, "': alias expansion is cyclic");
+
+    for (const std::string &item : splitItems(spec)) {
+        if (item[0] == '-') {
+            std::string name = item.substr(1);
+            std::set<std::string> disabled;
+            if (registry.hasAlias(name)) {
+                collectAliasMembers(name, disabled, depth);
+            } else if (registry.hasPass(name)) {
+                disabled.insert(name);
+            } else {
+                std::string hint = registry.suggest(name);
+                fatal("cannot disable unknown pass '", name, "'",
+                      hint.empty() ? ""
+                                   : " (did you mean '" + hint + "'?)");
+            }
+            auto &passes = out.passes;
+            passes.erase(std::remove_if(passes.begin(), passes.end(),
+                                        [&](const PassInvocation &inv) {
+                                            return disabled.count(inv.name);
+                                        }),
+                         passes.end());
+            continue;
+        }
+
+        PassInvocation inv = parseItem(item);
+        if (registry.hasAlias(inv.name)) {
+            if (!inv.options.empty())
+                fatal("alias '", inv.name,
+                      "' cannot take options; set them on the member "
+                      "pass instead");
+            expandInto(registry.aliasExpansion(inv.name), out, depth + 1);
+        } else if (registry.hasPass(inv.name)) {
+            out.passes.push_back(std::move(inv));
+        } else {
+            std::string hint = registry.suggest(inv.name);
+            fatal("unknown pass or alias '", inv.name, "'",
+                  hint.empty() ? "" : " (did you mean '" + hint + "'?)",
+                  "; run with --list-passes for the full list");
+        }
+    }
+}
+
+} // namespace
+
+std::string
+PassInvocation::str() const
+{
+    std::string s = name;
+    if (!options.empty()) {
+        s += "[";
+        for (size_t i = 0; i < options.size(); ++i) {
+            if (i)
+                s += ",";
+            s += options[i].first + "=" + options[i].second;
+        }
+        s += "]";
+    }
+    return s;
+}
+
+std::string
+PipelineSpec::str() const
+{
+    std::string s;
+    for (size_t i = 0; i < passes.size(); ++i) {
+        if (i)
+            s += ",";
+        s += passes[i].str();
+    }
+    return s;
+}
+
+PipelineSpec
+parsePipelineSpec(const std::string &spec)
+{
+    PipelineSpec out;
+    expandInto(spec, out, 0);
+    return out;
+}
+
+void
+applyPassOptions(PipelineSpec &spec, const std::string &item)
+{
+    PassInvocation inv = parseItem(item);
+    if (!PassRegistry::instance().hasPass(inv.name)) {
+        std::string hint = PassRegistry::instance().suggest(inv.name);
+        fatal("unknown pass '", inv.name, "'",
+              hint.empty() ? "" : " (did you mean '" + hint + "'?)");
+    }
+    if (inv.options.empty())
+        fatal("pass option override '", item, "': expected name[key=value]");
+    bool found = false;
+    for (PassInvocation &target : spec.passes) {
+        if (target.name != inv.name)
+            continue;
+        found = true;
+        for (const auto &kv : inv.options) {
+            auto it = std::find_if(
+                target.options.begin(), target.options.end(),
+                [&](const auto &o) { return o.first == kv.first; });
+            if (it != target.options.end())
+                it->second = kv.second;
+            else
+                target.options.push_back(kv);
+        }
+    }
+    if (!found)
+        fatal("pass '", inv.name, "' is not in the pipeline '", spec.str(),
+              "'; add it with -p first");
+}
+
+PassManager
+buildPassManager(const PipelineSpec &spec)
+{
+    PassManager pm;
+    for (const PassInvocation &inv : spec.passes) {
+        auto pass = PassRegistry::instance().create(inv.name);
+        for (const auto &[key, value] : inv.options)
+            pass->option(key, value);
+        pm.add(std::move(pass));
+    }
+    return pm;
+}
+
+std::vector<PassRunInfo>
+runPipeline(Context &ctx, const PipelineSpec &spec, const RunOptions &opts)
+{
+    return buildPassManager(spec).run(ctx, opts);
+}
+
+std::vector<PassRunInfo>
+runPipeline(Context &ctx, const std::string &spec, const RunOptions &opts)
+{
+    return runPipeline(ctx, parsePipelineSpec(spec), opts);
+}
+
+} // namespace calyx::passes

@@ -1,0 +1,71 @@
+#ifndef CALYX_PASSES_PIPELINE_SPEC_H
+#define CALYX_PASSES_PIPELINE_SPEC_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "passes/pass_manager.h"
+
+namespace calyx::passes {
+
+/** One pass in a parsed pipeline, with its per-pass options. */
+struct PassInvocation
+{
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> options;
+
+    /** Round-trip back to item syntax: `name[k=v,...]`. */
+    std::string str() const;
+};
+
+/** An ordered, fully alias-expanded pipeline. */
+struct PipelineSpec
+{
+    std::vector<PassInvocation> passes;
+
+    /** Round-trip back to spec syntax (for diagnostics and tests). */
+    std::string str() const;
+};
+
+/**
+ * Parse a pipeline-spec string into an ordered pass list:
+ *
+ *   spec  := item (',' item)*
+ *   item  := '-' name              disable: remove every prior
+ *                                  occurrence of the pass (or of every
+ *                                  member of the alias)
+ *          | name                  append a pass, or expand an alias
+ *          | name '[' k=v,... ']'  append a pass with options
+ *
+ * Aliases (`all`, `default`, `pre-opt`, `compile`, `post-opt`) expand
+ * recursively and cannot take options. Unknown names are fatal errors
+ * with a did-you-mean suggestion. Commas inside `[...]` do not split
+ * items, so `all,-collapse-control,resource-sharing[min-width=8]` parses
+ * as three items.
+ */
+PipelineSpec parsePipelineSpec(const std::string &spec);
+
+/**
+ * Apply `pass[k=v,...]` option overrides to every instance of the pass
+ * already in the spec (the driver's `-x`). The pass must be present;
+ * overriding an absent pass is a fatal error, so typos cannot silently
+ * do nothing.
+ */
+void applyPassOptions(PipelineSpec &spec, const std::string &item);
+
+/**
+ * Instantiate the spec through the PassRegistry, applying each
+ * invocation's options via Pass::option.
+ */
+PassManager buildPassManager(const PipelineSpec &spec);
+
+/** Parse + instantiate + run. Returns per-pass instrumentation. */
+std::vector<PassRunInfo> runPipeline(Context &ctx, const PipelineSpec &spec,
+                                     const RunOptions &opts = {});
+std::vector<PassRunInfo> runPipeline(Context &ctx, const std::string &spec,
+                                     const RunOptions &opts = {});
+
+} // namespace calyx::passes
+
+#endif // CALYX_PASSES_PIPELINE_SPEC_H

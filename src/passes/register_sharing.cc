@@ -1,5 +1,7 @@
 #include "passes/register_sharing.h"
 
+#include "passes/registry.h"
+
 #include <map>
 #include <set>
 
@@ -89,5 +91,12 @@ RegisterSharing::runOnComponent(Component &comp, Context &)
         }
     });
 }
+
+namespace {
+PassRegistration<RegisterSharing> registration{
+    "register-sharing",
+    "Merge registers with disjoint live ranges (§5.2)",
+    {{"pre-opt", 40}}};
+} // namespace
 
 } // namespace calyx::passes

@@ -1,0 +1,199 @@
+#include "passes/registry.h"
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.h"
+
+namespace calyx::passes {
+
+namespace {
+
+/** Classic Levenshtein distance, for did-you-mean suggestions. */
+size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<size_t> prev(b.size() + 1), cur(b.size() + 1);
+    for (size_t j = 0; j <= b.size(); ++j)
+        prev[j] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (size_t j = 1; j <= b.size(); ++j) {
+            size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+} // namespace
+
+PassRegistry::PassRegistry()
+{
+    // Composite aliases. `default` is the standard pipeline that
+    // CompileOptions{} historically selected; `all` additionally runs
+    // every optimization pass (the old `futil -p all`).
+    composites["default"] = {
+        "well-formed,collapse-control,infer-latency,go-insertion,"
+        "compile-control,remove-groups,dead-cell-removal",
+        "Standard pipeline without optional optimizations"};
+    composites["all"] = {"well-formed,pre-opt,compile,post-opt",
+                         "Full pipeline including every optimization pass"};
+}
+
+PassRegistry &
+PassRegistry::instance()
+{
+    static PassRegistry registry;
+    return registry;
+}
+
+void
+PassRegistry::registerPass(Entry entry)
+{
+    if (entries.count(entry.name))
+        fatal("pass '", entry.name, "' registered twice");
+    if (composites.count(entry.name))
+        fatal("pass '", entry.name, "' collides with an alias");
+    std::string name = entry.name;
+    entries.emplace(std::move(name), std::move(entry));
+}
+
+void
+PassRegistry::registerAlias(const std::string &name,
+                            const std::string &expansion,
+                            const std::string &description)
+{
+    if (entries.count(name))
+        fatal("alias '", name, "' collides with a pass");
+    composites[name] = {expansion, description};
+}
+
+bool
+PassRegistry::hasPass(const std::string &name) const
+{
+    return entries.count(name) > 0;
+}
+
+bool
+PassRegistry::hasAlias(const std::string &name) const
+{
+    if (composites.count(name))
+        return true;
+    for (const auto &[_, e] : entries)
+        for (const auto &m : e.aliases)
+            if (m.alias == name)
+                return true;
+    return false;
+}
+
+const PassRegistry::Entry *
+PassRegistry::findPass(const std::string &name) const
+{
+    auto it = entries.find(name);
+    return it == entries.end() ? nullptr : &it->second;
+}
+
+std::unique_ptr<Pass>
+PassRegistry::create(const std::string &name) const
+{
+    const Entry *e = findPass(name);
+    if (!e) {
+        std::string hint = suggest(name);
+        fatal("unknown pass '", name, "'",
+              hint.empty() ? "" : " (did you mean '" + hint + "'?)",
+              "; run with --list-passes for the full list");
+    }
+    return e->factory();
+}
+
+std::string
+PassRegistry::aliasExpansion(const std::string &name) const
+{
+    auto it = composites.find(name);
+    if (it != composites.end())
+        return it->second.expansion;
+
+    // Group alias: members sorted by (order, name) for determinism.
+    std::vector<std::pair<int, std::string>> members;
+    for (const auto &[pass_name, e] : entries)
+        for (const auto &m : e.aliases)
+            if (m.alias == name)
+                members.emplace_back(m.order, pass_name);
+    if (members.empty())
+        fatal("unknown alias '", name, "'");
+    std::sort(members.begin(), members.end());
+
+    std::string spec;
+    for (const auto &[_, pass_name] : members) {
+        if (!spec.empty())
+            spec += ",";
+        spec += pass_name;
+    }
+    return spec;
+}
+
+std::vector<std::string>
+PassRegistry::passNames() const
+{
+    std::vector<std::string> names;
+    for (const auto &[name, _] : entries)
+        names.push_back(name);
+    return names; // std::map iteration is already sorted
+}
+
+std::vector<std::string>
+PassRegistry::aliasNames() const
+{
+    std::set<std::string> names;
+    for (const auto &[name, _] : composites)
+        names.insert(name);
+    for (const auto &[_, e] : entries)
+        for (const auto &m : e.aliases)
+            names.insert(m.alias);
+    return {names.begin(), names.end()};
+}
+
+std::string
+PassRegistry::aliasDescription(const std::string &name) const
+{
+    auto it = composites.find(name);
+    return it == composites.end() ? "" : it->second.description;
+}
+
+std::vector<std::string>
+PassRegistry::aliasesOf(const std::string &pass) const
+{
+    std::vector<std::string> names;
+    const Entry *e = findPass(pass);
+    if (!e)
+        return names;
+    for (const auto &m : e->aliases)
+        names.push_back(m.alias);
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+std::string
+PassRegistry::suggest(const std::string &unknown) const
+{
+    std::string best;
+    size_t best_distance = std::string::npos;
+    std::vector<std::string> candidates = passNames();
+    for (const auto &a : aliasNames())
+        candidates.push_back(a);
+    for (const auto &candidate : candidates) {
+        size_t d = editDistance(unknown, candidate);
+        if (d < best_distance) {
+            best_distance = d;
+            best = candidate;
+        }
+    }
+    // Only suggest plausible typos: at most 2 edits, or one third of
+    // the name for long names.
+    size_t budget = std::max<size_t>(2, unknown.size() / 3);
+    return best_distance <= budget ? best : "";
+}
+
+} // namespace calyx::passes

@@ -1,0 +1,139 @@
+#ifndef CALYX_PASSES_REGISTRY_H
+#define CALYX_PASSES_REGISTRY_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "passes/pass_manager.h"
+
+namespace calyx::passes {
+
+/**
+ * Global registry of named passes (paper §4: "an open-source pass-based
+ * compiler" whose optimizations are composable passes). Every pass in
+ * src/passes/ self-registers at static-initialization time with a
+ * factory, a one-line description, and membership in alias groups, so
+ * that drivers discover passes by kebab-case name instead of hard-coding
+ * a boolean per pass.
+ *
+ * Two kinds of alias are supported:
+ *  - group aliases, built from the memberships passes declare at
+ *    registration time (`pre-opt`, `compile`, `post-opt`); members are
+ *    ordered by their declared position so expansion order is
+ *    deterministic regardless of static-init order across TUs,
+ *  - composite aliases, registered centrally as a spec string that may
+ *    itself reference other aliases (`all`, `default`).
+ */
+class PassRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<Pass>()>;
+
+    /** One alias a pass belongs to, with its position inside the alias. */
+    struct AliasMembership
+    {
+        std::string alias;
+        /** Sort key inside the alias (pipeline order matters). */
+        int order = 0;
+    };
+
+    struct Entry
+    {
+        std::string name;
+        std::string description;
+        Factory factory;
+        std::vector<AliasMembership> aliases;
+    };
+
+    /** The process-wide registry. */
+    static PassRegistry &instance();
+
+    /** Register a pass; duplicate names are a fatal error. */
+    void registerPass(Entry entry);
+
+    /**
+     * Register a composite alias whose expansion is a pipeline-spec
+     * string (may reference passes and other aliases).
+     */
+    void registerAlias(const std::string &name, const std::string &expansion,
+                       const std::string &description);
+
+    bool hasPass(const std::string &name) const;
+    bool hasAlias(const std::string &name) const;
+
+    /** Entry for a registered pass, or nullptr. */
+    const Entry *findPass(const std::string &name) const;
+
+    /**
+     * Instantiate a registered pass. Unknown names are a fatal error
+     * with a did-you-mean suggestion.
+     */
+    std::unique_ptr<Pass> create(const std::string &name) const;
+
+    /**
+     * Expansion of an alias as a comma-separated spec string. Group
+     * aliases expand to their members sorted by declared order;
+     * composite aliases return their registered expansion.
+     */
+    std::string aliasExpansion(const std::string &name) const;
+
+    /** All registered pass names, sorted. */
+    std::vector<std::string> passNames() const;
+
+    /** All alias names (group and composite), sorted. */
+    std::vector<std::string> aliasNames() const;
+
+    /** One-line description of an alias ("" for group aliases). */
+    std::string aliasDescription(const std::string &name) const;
+
+    /** Aliases a pass is a member of, sorted. */
+    std::vector<std::string> aliasesOf(const std::string &pass) const;
+
+    /**
+     * Closest registered pass or alias name by edit distance, or ""
+     * when nothing is near enough to be a plausible typo.
+     */
+    std::string suggest(const std::string &unknown) const;
+
+  private:
+    PassRegistry();
+
+    struct CompositeAlias
+    {
+        std::string expansion;
+        std::string description;
+    };
+
+    std::map<std::string, Entry> entries;
+    std::map<std::string, CompositeAlias> composites;
+};
+
+/**
+ * Static self-registration helper: a pass translation unit declares
+ *
+ *   namespace { PassRegistration<CollapseControl> reg{
+ *       "collapse-control", "Flatten nested seq/par...",
+ *       {{"pre-opt", 10}}}; }
+ *
+ * and the pass becomes available to every driver by name.
+ */
+template <typename P> struct PassRegistration
+{
+    PassRegistration(std::string name, std::string description,
+                     std::vector<PassRegistry::AliasMembership> aliases = {})
+    {
+        PassRegistry::Entry e;
+        e.name = std::move(name);
+        e.description = std::move(description);
+        e.factory = [] { return std::make_unique<P>(); };
+        e.aliases = std::move(aliases);
+        PassRegistry::instance().registerPass(std::move(e));
+    }
+};
+
+} // namespace calyx::passes
+
+#endif // CALYX_PASSES_REGISTRY_H

@@ -1,5 +1,7 @@
 #include "passes/remove_groups.h"
 
+#include "passes/registry.h"
+
 #include <map>
 #include <set>
 
@@ -183,5 +185,12 @@ RemoveGroups::runOnComponent(Component &comp, Context &)
         comp.removeGroup(name);
     comp.setControl(std::make_unique<Empty>());
 }
+
+namespace {
+PassRegistration<RemoveGroups> registration{
+    "remove-groups",
+    "Inline holes and erase groups, leaving flat guarded assignments (§4.2)",
+    {{"compile", 40}}};
+} // namespace
 
 } // namespace calyx::passes

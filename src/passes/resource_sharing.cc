@@ -1,10 +1,13 @@
 #include "passes/resource_sharing.h"
 
+#include "passes/registry.h"
+
 #include <map>
 #include <set>
 
 #include "analysis/coloring.h"
 #include "analysis/schedule.h"
+#include "support/error.h"
 
 namespace calyx::passes {
 
@@ -184,5 +187,31 @@ ResourceSharing::runOnComponent(Component &comp, Context &ctx)
         rewriteAssignment(a, mapping);
     rewriteControlPorts(comp.control(), mapping);
 }
+
+void
+ResourceSharing::option(const std::string &key, const std::string &value)
+{
+    if (key == "min-width") {
+        if (value.empty() ||
+            value.find_first_not_of("0123456789") != std::string::npos)
+            fatal("resource-sharing option min-width: expected a "
+                  "non-negative integer, got '", value, "'");
+        try {
+            minWidth = static_cast<Width>(std::stoull(value));
+        } catch (const std::out_of_range &) {
+            fatal("resource-sharing option min-width: value '", value,
+                  "' is out of range");
+        }
+        return;
+    }
+    Pass::option(key, value);
+}
+
+namespace {
+PassRegistration<ResourceSharing> registration{
+    "resource-sharing",
+    "Share combinational functional units across non-parallel groups (§5.1)",
+    {{"pre-opt", 30}}};
+} // namespace
 
 } // namespace calyx::passes

@@ -32,6 +32,10 @@ class ResourceSharing final : public Pass
     explicit ResourceSharing(Width min_width = 0) : minWidth(min_width) {}
 
     std::string name() const override { return "resource-sharing"; }
+
+    /** Supports `min-width=<N>` (pipeline-spec `[min-width=N]`). */
+    void option(const std::string &key, const std::string &value) override;
+
     void runOnComponent(Component &comp, Context &ctx) override;
 
     /** Number of cells merged away in the last run (for reporting). */

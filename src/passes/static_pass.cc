@@ -1,5 +1,7 @@
 #include "passes/static_pass.h"
 
+#include "passes/registry.h"
+
 #include <algorithm>
 
 #include "support/error.h"
@@ -254,5 +256,12 @@ StaticPass::runOnComponent(Component &comp, Context &ctx)
 {
     comp.setControl(rewrite(comp.takeControl(), comp, ctx));
 }
+
+namespace {
+PassRegistration<StaticPass> registration{
+    "static",
+    "Compile static control subtrees into counter-driven schedules (§4.4)",
+    {{"compile", 10}}};
+} // namespace
 
 } // namespace calyx::passes

@@ -1,5 +1,7 @@
 #include "passes/wellformed.h"
 
+#include "passes/registry.h"
+
 #include <map>
 #include <set>
 
@@ -180,5 +182,12 @@ WellFormed::runOnComponent(Component &comp, Context &)
     checkAssignments(comp, comp.continuousAssignments(), "wires");
     checkControl(comp, comp.control());
 }
+
+namespace {
+PassRegistration<WellFormed> registration{
+    "well-formed",
+    "Validate structural well-formedness of the IL (§3)",
+    {}};
+} // namespace
 
 } // namespace calyx::passes

@@ -96,8 +96,8 @@ runOnInterp(const dahlia::Program &program, const MemState &inputs)
 
 HardwareResult
 runOnHardware(const dahlia::Program &program,
-              const passes::CompileOptions &options, const MemState &inputs,
-              MemState *final_state)
+              const passes::PipelineSpec &spec, const MemState &inputs,
+              MemState *final_state, const passes::RunOptions &run_options)
 {
     using clock = std::chrono::steady_clock;
     auto start = clock::now();
@@ -109,7 +109,7 @@ runOnHardware(const dahlia::Program &program,
     HardwareResult result;
     result.stats = passes::gatherStats(ctx);
 
-    passes::compile(ctx, options);
+    passes::runPipeline(ctx, spec, run_options);
     result.compileSeconds =
         std::chrono::duration<double>(clock::now() - start).count();
 
@@ -150,6 +150,26 @@ runOnHardware(const dahlia::Program &program,
         }
     }
     return result;
+}
+
+HardwareResult
+runOnHardware(const dahlia::Program &program, const std::string &spec,
+              const MemState &inputs, MemState *final_state)
+{
+    return runOnHardware(program, passes::parsePipelineSpec(spec), inputs,
+                         final_state);
+}
+
+HardwareResult
+runOnHardware(const dahlia::Program &program,
+              const passes::CompileOptions &options, const MemState &inputs,
+              MemState *final_state)
+{
+    passes::RunOptions run_options;
+    run_options.verify = options.verify;
+    return runOnHardware(
+        program, passes::parsePipelineSpec(passes::compileOptionsToSpec(options)),
+        inputs, final_state, run_options);
 }
 
 } // namespace calyx::workloads

@@ -28,11 +28,24 @@ MemState runOnInterp(const dahlia::Program &program,
                      const MemState &inputs);
 
 /**
- * Compile a Dahlia program through the full Calyx pipeline, simulate it
+ * Compile a Dahlia program through a Calyx pass pipeline, simulate it
  * with the given inputs, and report cycles/area/compile time. The final
  * memory state (translated back from banked cells to the original
  * layout) is stored in `final_state` when non-null.
+ *
+ * The pipeline is a parsed PipelineSpec (or a spec string such as
+ * `"all,-register-sharing"`); the CompileOptions overload is a
+ * compatibility shim over compileOptionsToSpec.
  */
+HardwareResult runOnHardware(const dahlia::Program &program,
+                             const passes::PipelineSpec &spec,
+                             const MemState &inputs,
+                             MemState *final_state = nullptr,
+                             const passes::RunOptions &run_options = {});
+HardwareResult runOnHardware(const dahlia::Program &program,
+                             const std::string &spec,
+                             const MemState &inputs,
+                             MemState *final_state = nullptr);
 HardwareResult runOnHardware(const dahlia::Program &program,
                              const passes::CompileOptions &options,
                              const MemState &inputs,

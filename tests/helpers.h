@@ -73,6 +73,18 @@ interpReg(Context &ctx, const std::string &reg, uint64_t *cycles = nullptr)
     return *sp.findModel(reg)->registerValue();
 }
 
+/** Register value after cycle-simulating an already-compiled program. */
+inline uint64_t
+simulatedReg(Context &ctx, const std::string &reg, uint64_t *cycles)
+{
+    sim::SimProgram sp(ctx, "main");
+    sim::CycleSim cs(sp);
+    uint64_t c = cs.run();
+    if (cycles)
+        *cycles = c;
+    return *sp.findModel(reg)->registerValue();
+}
+
 /** Register value after compiling and cycle-simulating a program. */
 inline uint64_t
 compiledReg(Context &ctx, const std::string &reg,
@@ -80,12 +92,16 @@ compiledReg(Context &ctx, const std::string &reg,
             uint64_t *cycles = nullptr)
 {
     passes::compile(ctx, options);
-    sim::SimProgram sp(ctx, "main");
-    sim::CycleSim cs(sp);
-    uint64_t c = cs.run();
-    if (cycles)
-        *cycles = c;
-    return *sp.findModel(reg)->registerValue();
+    return simulatedReg(ctx, reg, cycles);
+}
+
+/** Same, but the pipeline is given as a pipeline-spec string. */
+inline uint64_t
+compiledReg(Context &ctx, const std::string &reg, const std::string &spec,
+            uint64_t *cycles = nullptr)
+{
+    passes::runPipeline(ctx, spec);
+    return simulatedReg(ctx, reg, cycles);
 }
 
 } // namespace calyx::testing

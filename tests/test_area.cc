@@ -87,7 +87,7 @@ TEST(Area, CompiledDesignsHaveGuardCosts)
     double base = before.estimate(ctx.component("main")).luts;
 
     Context ctx2 = counterProgram(3, 2);
-    passes::compile(ctx2, {});
+    passes::runPipeline(ctx2, "default");
     AreaEstimator after(ctx2);
     double compiled = after.estimate(ctx2.component("main")).luts;
     EXPECT_GT(compiled, base);

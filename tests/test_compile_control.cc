@@ -25,7 +25,7 @@ expectEquivalent(const std::function<Context()> &build,
     interp.run();
 
     Context b = build();
-    passes::compile(b, {});
+    passes::runPipeline(b, "default");
     sim::SimProgram spb(b, "main");
     sim::CycleSim cs(spb);
     cs.run();
@@ -56,7 +56,7 @@ TEST(CompileControl, SeqMatchesFigure2)
 
     // Structure: an fsm register exists after compilation.
     Context ctx = build();
-    passes::compile(ctx, {});
+    passes::runPipeline(ctx, "default");
     const Component &main = ctx.component("main");
     EXPECT_NE(main.findCell("fsm0"), nullptr);
     EXPECT_TRUE(main.groups().empty());
@@ -118,7 +118,7 @@ TEST(CompileControl, ParChildrenWithDifferentLatencies)
     };
     Context ctx = build();
     uint64_t cycles = 0;
-    EXPECT_EQ(compiledReg(ctx, "y", {}, &cycles), 54u);
+    EXPECT_EQ(compiledReg(ctx, "y", "default", &cycles), 54u);
     Context ctx2 = build();
     EXPECT_EQ(compiledReg(ctx2, "x"), 7u);
     expectEquivalent(build, {"x", "y"});

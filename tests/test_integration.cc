@@ -115,7 +115,7 @@ component main() -> () {
 }
 )";
     Context ctx = Parser::parseProgram(src);
-    passes::compile(ctx, {});
+    passes::runPipeline(ctx, "default");
     sim::SimProgram sp(ctx, "main");
     sim::CycleSim cs(sp);
     cs.run();
@@ -136,7 +136,7 @@ TEST(Integration, VerifyModeCatchesNothingOnGoodPrograms)
 TEST(Integration, VerilogForTextProgram)
 {
     Context ctx = Parser::parseProgram(fig2_program);
-    passes::compile(ctx, {});
+    passes::runPipeline(ctx, "default");
     std::string sv = backend::VerilogBackend::emitString(ctx);
     EXPECT_NE(sv.find("module main("), std::string::npos);
     // The two constants survive into the mux chain.
@@ -147,7 +147,7 @@ TEST(Integration, VerilogForTextProgram)
 TEST(Integration, AreaForTextProgram)
 {
     Context ctx = Parser::parseProgram(fig2_program);
-    passes::compile(ctx, {});
+    passes::runPipeline(ctx, "default");
     estimate::AreaEstimator est(ctx);
     auto area = est.estimateProgram();
     EXPECT_GT(area.luts, 0.0);
@@ -179,7 +179,7 @@ component main() -> () {
 }
 )";
     Context ctx = Parser::parseProgram(src);
-    EXPECT_NO_THROW(passes::compile(ctx, {}));
+    EXPECT_NO_THROW(passes::runPipeline(ctx, "default"));
     std::string sv = backend::VerilogBackend::emitString(ctx);
     EXPECT_NE(sv.find("my_sqrt"), std::string::npos);
     EXPECT_NE(sv.find("mysqrt.sv"), std::string::npos);
@@ -204,7 +204,7 @@ component main() -> () {
 }
 )";
     Context ctx = Parser::parseProgram(src);
-    passes::compile(ctx, {});
+    passes::runPipeline(ctx, "default");
     sim::SimProgram sp(ctx, "main");
     sim::CycleSim cs(sp);
     EXPECT_THROW(cs.run(), Error);
@@ -220,7 +220,7 @@ TEST(Integration, CompiledCyclesDominateInterpreter)
         testing::interpReg(a, "x", &interp_cycles);
         Context b = testing::counterProgram(trips, 2);
         uint64_t compiled_cycles = 0;
-        testing::compiledReg(b, "x", {}, &compiled_cycles);
+        testing::compiledReg(b, "x", "default", &compiled_cycles);
         EXPECT_GE(compiled_cycles, interp_cycles) << trips;
     }
 }
@@ -244,7 +244,7 @@ TEST(Integration, SensitiveNeverSlowerOnStaticPrograms)
 
         uint64_t insensitive = 0, sensitive = 0;
         Context c1 = Parser::parseProgram(Printer::toString(ctx));
-        testing::compiledReg(c1, "x", {}, &insensitive);
+        testing::compiledReg(c1, "x", "default", &insensitive);
         Context c2 = Parser::parseProgram(Printer::toString(ctx));
         passes::CompileOptions opts;
         opts.sensitive = true;

@@ -140,7 +140,7 @@ TEST(Polybench, SensitiveNeverSlower)
         dahlia::Program prog = dahlia::parse(k.source);
         MemState inputs = workloads::makeInputs(k.name, prog);
         auto slow =
-            workloads::runOnHardware(prog, {}, inputs);
+            workloads::runOnHardware(prog, "default", inputs);
         passes::CompileOptions fast_opts;
         fast_opts.sensitive = true;
         auto fast = workloads::runOnHardware(prog, fast_opts, inputs);

@@ -36,7 +36,7 @@ TEST(RemoveGroups, InterfaceWiring)
 {
     // After the full pipeline the component's done port must be driven.
     Context ctx = counterProgram(2, 1);
-    passes::compile(ctx, {});
+    passes::runPipeline(ctx, "default");
     const Component &main = ctx.component("main");
     bool drives_done = false;
     for (const auto &a : main.continuousAssignments()) {
@@ -62,7 +62,7 @@ TEST(RemoveGroups, SingleGroupProgram)
     g.add(g.doneHole(), cellPort("x", "done"));
     b.component().setControl(ComponentBuilder::enable("bump"));
 
-    passes::compile(ctx, {});
+    passes::runPipeline(ctx, "default");
     sim::SimProgram sp(ctx, "main");
     sim::CycleSim cs(sp);
     cs.run();

@@ -111,7 +111,7 @@ TEST(SimEdge, ThreeLevelHierarchy)
         interp.run();
         EXPECT_EQ(*sp.findModel("m/l/r")->registerValue(), 9u);
     }
-    passes::compile(ctx, {});
+    passes::runPipeline(ctx, "default");
     sim::SimProgram sp(ctx, "main");
     sim::CycleSim cs(sp);
     cs.run();

@@ -86,7 +86,7 @@ TEST(StaticPass, ExactCycleCount)
 
     Context insensitive = staticSeqProgram();
     uint64_t cycles_insensitive = 0;
-    EXPECT_EQ(compiledReg(insensitive, "y", {}, &cycles_insensitive), 2u);
+    EXPECT_EQ(compiledReg(insensitive, "y", "default", &cycles_insensitive), 2u);
 
     // The static schedule runs each write in exactly one cycle.
     EXPECT_LT(cycles_sensitive, cycles_insensitive);
@@ -99,7 +99,7 @@ TEST(StaticPass, LoopBodyBecomesStatic)
     // results must be identical and cycles should shrink.
     Context plain = counterProgram(6, 2);
     uint64_t plain_cycles = 0;
-    EXPECT_EQ(compiledReg(plain, "x", {}, &plain_cycles), 12u);
+    EXPECT_EQ(compiledReg(plain, "x", "default", &plain_cycles), 12u);
 
     Context fast = counterProgram(6, 2);
     passes::CompileOptions opts;
@@ -171,7 +171,7 @@ TEST(StaticPass, MixedStaticDynamicSqrt)
     opts.sensitive = true;
     EXPECT_EQ(compiledReg(ctx, "r", opts), 42u);
     Context ctx2 = build();
-    EXPECT_EQ(compiledReg(ctx2, "r", {}), 42u);
+    EXPECT_EQ(compiledReg(ctx2, "r", "default"), 42u);
 }
 
 TEST(StaticPass, StaticRegionInsideLoopReArms)

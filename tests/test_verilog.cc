@@ -22,7 +22,7 @@ TEST(Verilog, RefusesUncompiledComponents)
 TEST(Verilog, EmitsModulePerComponent)
 {
     Context ctx = counterProgram(2, 1);
-    passes::compile(ctx, {});
+    passes::runPipeline(ctx, "default");
     std::string sv = VerilogBackend::emitString(ctx);
     EXPECT_NE(sv.find("module main("), std::string::npos);
     EXPECT_NE(sv.find("module std_reg"), std::string::npos);
@@ -49,7 +49,7 @@ TEST(Verilog, HierarchicalInstantiation)
     inv.add(inv.doneHole(), cellPort("p0", "done"));
     mb.component().setControl(ComponentBuilder::enable("invoke"));
 
-    passes::compile(ctx, {});
+    passes::runPipeline(ctx, "default");
     std::string sv = VerilogBackend::emitString(ctx);
     EXPECT_NE(sv.find("module pe("), std::string::npos);
     EXPECT_NE(sv.find("pe p0(.clk(clk)"), std::string::npos);
@@ -60,7 +60,7 @@ TEST(Verilog, LineCounting)
     EXPECT_EQ(VerilogBackend::countLines(""), 0);
     EXPECT_EQ(VerilogBackend::countLines("a\nb\n"), 2);
     Context ctx = counterProgram(2, 1);
-    passes::compile(ctx, {});
+    passes::runPipeline(ctx, "default");
     std::string sv = VerilogBackend::emitString(ctx);
     EXPECT_GT(VerilogBackend::countLines(sv), 100);
 }

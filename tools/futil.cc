@@ -1,19 +1,35 @@
 /**
  * @file
  * futil: command-line driver for the Calyx compiler (the artifact's
- * `futil` binary). Reads a textual Calyx program, runs the compilation
- * pipeline, and emits Calyx or SystemVerilog, or simulates the design.
+ * `futil` binary). Reads a textual Calyx program, runs a configurable
+ * pass pipeline, and emits Calyx or SystemVerilog, or simulates the
+ * design.
  *
  * Usage:
  *   futil [options] file.futil
- *     -b calyx|verilog   backend (default calyx)
- *     -p <pass>          enable optimization: resource-sharing,
- *                        register-sharing, static, all
- *     --no-compile       print the program without lowering control
- *     --sim              compile, simulate, and report the cycle count
- *     --area             print the area estimate
- *     --stats            print cells/groups/control statistics
+ *     -b calyx|verilog       backend (default calyx)
+ *     -p <spec>              pipeline spec: comma-separated pass and
+ *                            alias names; '-pass' disables a pass,
+ *                            'pass[key=val,...]' sets per-pass options
+ *                            (default 'default'; repeatable — later
+ *                            specs append in order)
+ *     -d <pass>              disable a pass (same as appending '-pass')
+ *     -x pass[key=val,...]   set options on a pass already in the
+ *                            pipeline
+ *     --list-passes          list registered passes and aliases, exit
+ *     --pass-timings         print per-pass wall time and stats deltas
+ *     --dump-ir-after <pass> print the IR after the named pass (stderr)
+ *     --verify               run the well-formed checker between passes
+ *     --no-compile           print the program without lowering control
+ *     --sim                  compile, simulate, report the cycle count
+ *     --area                 print the area estimate
+ *     --stats                print cells/groups/control statistics
+ *
+ * Example:
+ *   futil -p all,-collapse-control -x resource-sharing[min-width=8] \
+ *         --pass-timings file.futil
  */
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -25,6 +41,7 @@
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "passes/pipeline.h"
+#include "passes/registry.h"
 #include "sim/cycle_sim.h"
 #include "support/error.h"
 
@@ -33,9 +50,66 @@ namespace {
 int
 usage()
 {
-    std::cerr << "usage: futil [-b calyx|verilog] [-p <pass>] "
-                 "[--no-compile] [--sim] [--area] [--stats] file.futil\n";
+    std::cerr
+        << "usage: futil [options] file.futil\n"
+           "  -b calyx|verilog       backend (default calyx)\n"
+           "  -p <spec>              pipeline spec: comma-separated pass\n"
+           "                         and alias names; '-pass' disables,\n"
+           "                         'pass[key=val,...]' sets options\n"
+           "                         (default 'default'; repeatable)\n"
+           "  -d <pass>              disable a pass\n"
+           "  -x pass[key=val,...]   set options on a pipeline pass\n"
+           "  --list-passes          list passes and aliases, then exit\n"
+           "  --pass-timings         print per-pass time + stats deltas\n"
+           "  --dump-ir-after <pass> print IR after the named pass\n"
+           "  --verify               run well-formed checker per pass\n"
+           "  --no-compile           print without lowering control\n"
+           "  --sim                  simulate and report cycles\n"
+           "  --area                 print the area estimate\n"
+           "  --stats                print cells/groups/control stats\n";
     return 2;
+}
+
+int
+listPasses()
+{
+    auto &registry = calyx::passes::PassRegistry::instance();
+    std::cout << "passes:\n";
+    for (const std::string &name : registry.passNames()) {
+        const auto *entry = registry.findPass(name);
+        std::string aliases;
+        for (const std::string &a : registry.aliasesOf(name))
+            aliases += (aliases.empty() ? "" : ", ") + a;
+        std::printf("  %-20s %s%s\n", name.c_str(),
+                    entry->description.c_str(),
+                    aliases.empty() ? "" : ("  [" + aliases + "]").c_str());
+    }
+    std::cout << "\naliases:\n";
+    for (const std::string &name : registry.aliasNames()) {
+        std::string desc = registry.aliasDescription(name);
+        std::printf("  %-10s -> %s\n", name.c_str(),
+                    registry.aliasExpansion(name).c_str());
+        if (!desc.empty())
+            std::printf("  %-10s    (%s)\n", "", desc.c_str());
+    }
+    return 0;
+}
+
+void
+printTimings(const std::vector<calyx::passes::PassRunInfo> &infos)
+{
+    std::printf("%-20s %10s %8s %8s %9s\n", "pass", "time(ms)", "d-cells",
+                "d-groups", "d-control");
+    double total = 0;
+    for (const auto &info : infos) {
+        total += info.seconds;
+        std::printf("%-20s %10.3f %+8d %+8d %+9d\n", info.pass.c_str(),
+                    info.seconds * 1e3, info.after.cells - info.before.cells,
+                    info.after.groups - info.before.groups,
+                    info.after.controlStatements -
+                        info.before.controlStatements);
+    }
+    std::printf("%-20s %10.3f\n", "total", total * 1e3);
 }
 
 } // namespace
@@ -45,8 +119,18 @@ main(int argc, char **argv)
 {
     std::string backend = "calyx";
     std::string file;
+    std::string spec_text;
+    std::vector<std::string> disables;
+    std::vector<std::string> overrides;
     bool compile = true, simulate = false, area = false, stats = false;
-    calyx::passes::CompileOptions options;
+    calyx::passes::RunOptions run_options;
+    bool timings = false;
+
+    auto append_spec = [&spec_text](const std::string &item) {
+        if (!spec_text.empty())
+            spec_text += ",";
+        spec_text += item;
+    };
 
     std::vector<std::string> args(argv + 1, argv + argc);
     for (size_t i = 0; i < args.size(); ++i) {
@@ -58,21 +142,25 @@ main(int argc, char **argv)
         } else if (a == "-p") {
             if (++i >= args.size())
                 return usage();
-            const std::string &pass = args[i];
-            if (pass == "resource-sharing") {
-                options.resourceSharing = true;
-            } else if (pass == "register-sharing") {
-                options.registerSharing = true;
-            } else if (pass == "static") {
-                options.sensitive = true;
-            } else if (pass == "all") {
-                options.resourceSharing = true;
-                options.registerSharing = true;
-                options.sensitive = true;
-            } else {
-                std::cerr << "unknown pass: " << pass << "\n";
-                return 2;
-            }
+            append_spec(args[i]);
+        } else if (a == "-d") {
+            if (++i >= args.size())
+                return usage();
+            disables.push_back(args[i]);
+        } else if (a == "-x") {
+            if (++i >= args.size())
+                return usage();
+            overrides.push_back(args[i]);
+        } else if (a == "--list-passes") {
+            return listPasses();
+        } else if (a == "--pass-timings") {
+            timings = true;
+        } else if (a == "--dump-ir-after") {
+            if (++i >= args.size())
+                return usage();
+            run_options.dumpIrAfter = args[i];
+        } else if (a == "--verify") {
+            run_options.verify = true;
         } else if (a == "--no-compile") {
             compile = false;
         } else if (a == "--sim") {
@@ -99,6 +187,32 @@ main(int argc, char **argv)
     buffer << in.rdbuf();
 
     try {
+        if (spec_text.empty())
+            spec_text = "default";
+        // Disables go last so `-d pass` works no matter where it
+        // appears relative to -p on the command line.
+        for (const std::string &d : disables)
+            append_spec("-" + d);
+        calyx::passes::PipelineSpec spec =
+            calyx::passes::parsePipelineSpec(spec_text);
+        for (const std::string &item : overrides)
+            calyx::passes::applyPassOptions(spec, item);
+        if (!run_options.dumpIrAfter.empty()) {
+            if (!calyx::passes::PassRegistry::instance().hasPass(
+                    run_options.dumpIrAfter))
+                calyx::fatal("--dump-ir-after: unknown pass '",
+                             run_options.dumpIrAfter, "'");
+            bool scheduled = false;
+            for (const auto &inv : spec.passes)
+                scheduled |= inv.name == run_options.dumpIrAfter;
+            if (!scheduled)
+                calyx::fatal("--dump-ir-after: pass '",
+                             run_options.dumpIrAfter,
+                             "' is not in the pipeline '", spec.str(),
+                             "'");
+        }
+        run_options.collectStats = timings;
+
         calyx::Context ctx =
             calyx::Parser::parseProgram(buffer.str());
         if (stats) {
@@ -107,8 +221,11 @@ main(int argc, char **argv)
                       << "\ncontrol statements: " << s.controlStatements
                       << "\n";
         }
-        if (compile)
-            calyx::passes::compile(ctx, options);
+        if (compile) {
+            auto infos = calyx::passes::runPipeline(ctx, spec, run_options);
+            if (timings)
+                printTimings(infos);
+        }
         if (area) {
             calyx::estimate::AreaEstimator est(ctx);
             auto a = est.estimateProgram();
@@ -121,7 +238,7 @@ main(int argc, char **argv)
             calyx::sim::CycleSim cs(sp);
             std::cout << "cycles: " << cs.run() << "\n";
         }
-        if (!simulate && !area && !stats) {
+        if (!simulate && !area && !stats && !timings) {
             if (backend == "verilog") {
                 calyx::backend::VerilogBackend::emit(ctx, std::cout);
             } else {
