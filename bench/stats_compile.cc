@@ -11,11 +11,13 @@
 
 #include <cstdio>
 
-#include "backend/verilog.h"
+#include "emit/backend.h"
 #include "frontends/dahlia/codegen.h"
 #include "frontends/dahlia/parser.h"
 #include "frontends/systolic/systolic.h"
 #include "passes/pipeline.h"
+#include "support/text.h"
+#include "workloads/harness.h"
 #include "workloads/polybench.h"
 
 using namespace calyx;
@@ -28,10 +30,7 @@ BM_CompileGemver(benchmark::State &state)
     const auto &k = workloads::kernel("gemver");
     dahlia::Program prog = dahlia::parse(k.source);
     for (auto _ : state) {
-        dahlia::Program copy = prog.clone();
-        Context ctx = dahlia::compileDahlia(copy);
-        passes::runPipeline(ctx, "all");
-        std::string sv = backend::VerilogBackend::emitString(ctx);
+        std::string sv = workloads::emitDesign(prog, "all", "verilog");
         benchmark::DoNotOptimize(sv);
     }
 }
@@ -47,7 +46,9 @@ BM_CompileSystolic8x8(benchmark::State &state)
         systolic::generate(ctx, cfg);
         passes::runPipeline(ctx,
                             "all,-resource-sharing,-register-sharing");
-        std::string sv = backend::VerilogBackend::emitString(ctx);
+        std::string sv =
+            emit::BackendRegistry::instance().create("verilog")->emitString(
+                ctx);
         benchmark::DoNotOptimize(sv);
     }
 }
@@ -63,7 +64,8 @@ printDesignStats()
     passes::DesignStats stats = passes::gatherStats(ctx);
 
     passes::runPipeline(ctx, "all,-resource-sharing,-register-sharing");
-    std::string sv = backend::VerilogBackend::emitString(ctx);
+    std::string sv =
+        emit::BackendRegistry::instance().create("verilog")->emitString(ctx);
 
     std::printf("=== §7.4 design statistics: 8x8 systolic array ===\n");
     std::printf("(paper-reported values in brackets)\n");
@@ -72,7 +74,7 @@ printDesignStats()
     std::printf("  control statements: %d [1,744]\n",
                 stats.controlStatements);
     std::printf("  SystemVerilog LOC:  %d [8,906]\n",
-                backend::VerilogBackend::countLines(sv));
+                countLines(sv));
     std::printf("(compile times measured by the benchmarks below; "
                 "paper: gemver 0.06 s vs 26.1 s Vivado HLS, systolic "
                 "0.7 s)\n\n");

@@ -9,12 +9,13 @@
  */
 #include <iostream>
 
-#include "backend/verilog.h"
+#include "emit/verilog.h"
 #include "ir/builder.h"
 #include "ir/printer.h"
 #include "passes/pipeline.h"
 #include "sim/cycle_sim.h"
 #include "sim/interp.h"
+#include "support/text.h"
 
 using namespace calyx;
 
@@ -154,8 +155,8 @@ main()
     // 4. Emit SystemVerilog.
     Context ctx = buildReductionTree();
     passes::runPipeline(ctx, "default");
-    std::string sv = backend::VerilogBackend::emitString(ctx);
-    std::cout << "emitted " << backend::VerilogBackend::countLines(sv)
+    std::string sv = emit::VerilogBackend().emitString(ctx);
+    std::cout << "emitted " << countLines(sv)
               << " lines of SystemVerilog\n";
     return 0;
 }

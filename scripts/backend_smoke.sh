@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Backend smoke test: run `futil -b <backend>` for every registered
+# backend over every textual example, failing on non-zero exit or empty
+# output. Used by CI after the unit-test suite.
+#
+# Usage: scripts/backend_smoke.sh [path/to/futil]
+set -u
+
+futil="${1:-build/futil}"
+if [ ! -x "$futil" ]; then
+    echo "backend_smoke: futil binary not found at '$futil'" >&2
+    exit 1
+fi
+
+# Backend names are the first token of each listing row.
+backends=$("$futil" --list-backends | awk 'NR > 1 { print $1 }')
+if [ -z "$backends" ]; then
+    echo "backend_smoke: --list-backends reported no backends" >&2
+    exit 1
+fi
+
+examples=$(ls examples/*.futil 2>/dev/null)
+if [ -z "$examples" ]; then
+    echo "backend_smoke: no examples/*.futil inputs found" >&2
+    exit 1
+fi
+
+failures=0
+for example in $examples; do
+    for backend in $backends; do
+        out=$("$futil" -b "$backend" "$example" 2>/tmp/backend_smoke_err)
+        status=$?
+        if [ $status -ne 0 ]; then
+            echo "FAIL $example -b $backend: exit $status" >&2
+            cat /tmp/backend_smoke_err >&2
+            failures=$((failures + 1))
+        elif [ -z "$out" ]; then
+            echo "FAIL $example -b $backend: empty output" >&2
+            failures=$((failures + 1))
+        else
+            echo "ok   $example -b $backend ($(printf '%s\n' "$out" | wc -l) lines)"
+        fi
+    done
+done
+
+# The unknown-backend path must be a hard error with a suggestion.
+if "$futil" -b nonsense examples/counter.futil > /dev/null 2>&1; then
+    echo "FAIL: futil -b nonsense exited zero" >&2
+    failures=$((failures + 1))
+else
+    echo "ok   futil -b nonsense fails hard"
+fi
+
+if [ $failures -ne 0 ]; then
+    echo "backend_smoke: $failures failure(s)" >&2
+    exit 1
+fi
+echo "backend_smoke: all backends emitted non-empty output"

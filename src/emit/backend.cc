@@ -1,0 +1,90 @@
+#include "emit/backend.h"
+
+#include <sstream>
+
+#include "support/error.h"
+#include "support/text.h"
+
+namespace calyx::emit {
+
+std::vector<std::pair<PortRef, std::vector<const Assignment *>>>
+groupAssignmentsByDst(const std::vector<Assignment> &assigns)
+{
+    std::vector<std::pair<PortRef, std::vector<const Assignment *>>> groups;
+    std::map<PortRef, size_t> index;
+    for (const auto &a : assigns) {
+        auto [it, inserted] = index.try_emplace(a.dst, groups.size());
+        if (inserted)
+            groups.emplace_back(a.dst,
+                                std::vector<const Assignment *>{});
+        groups[it->second].second.push_back(&a);
+    }
+    return groups;
+}
+
+std::string
+Backend::emitString(const Context &ctx) const
+{
+    std::ostringstream os;
+    emit(ctx, os);
+    return os.str();
+}
+
+BackendRegistry &
+BackendRegistry::instance()
+{
+    static BackendRegistry registry;
+    return registry;
+}
+
+void
+BackendRegistry::registerBackend(Entry entry)
+{
+    if (entries.count(entry.name))
+        fatal("backend '", entry.name, "' registered twice");
+    std::string name = entry.name;
+    entries.emplace(std::move(name), std::move(entry));
+}
+
+bool
+BackendRegistry::has(const std::string &name) const
+{
+    return entries.count(name) > 0;
+}
+
+const BackendRegistry::Entry *
+BackendRegistry::find(const std::string &name) const
+{
+    auto it = entries.find(name);
+    return it == entries.end() ? nullptr : &it->second;
+}
+
+std::unique_ptr<Backend>
+BackendRegistry::create(const std::string &name) const
+{
+    const Entry *e = find(name);
+    if (!e) {
+        std::string hint = suggest(name);
+        fatal("unknown backend '", name, "'",
+              hint.empty() ? "" : " (did you mean '" + hint + "'?)",
+              "; run with --list-backends for the full list");
+    }
+    return e->factory();
+}
+
+std::vector<std::string>
+BackendRegistry::names() const
+{
+    std::vector<std::string> result;
+    for (const auto &[name, _] : entries)
+        result.push_back(name);
+    return result; // std::map iteration is already sorted
+}
+
+std::string
+BackendRegistry::suggest(const std::string &unknown) const
+{
+    return suggestClosest(unknown, names());
+}
+
+} // namespace calyx::emit

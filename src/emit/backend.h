@@ -1,0 +1,128 @@
+#ifndef CALYX_EMIT_BACKEND_H
+#define CALYX_EMIT_BACKEND_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/context.h"
+
+namespace calyx::emit {
+
+/**
+ * Group continuous assignments by destination port, preserving
+ * first-seen program order. This is the shape HDL backends need: each
+ * entry becomes one mux tree over the destination's guarded
+ * assignments (the unique-driver requirement makes in-group order
+ * irrelevant).
+ */
+std::vector<std::pair<PortRef, std::vector<const Assignment *>>>
+groupAssignmentsByDst(const std::vector<Assignment> &assigns);
+
+/**
+ * A code-generation backend (paper §6: Calyx is *infrastructure* — the
+ * IL is the stable middle and emitters plug in around it). A backend
+ * turns a Context into one textual artifact: SystemVerilog, FIRRTL, a
+ * Graphviz structure graph, a JSON netlist, or the Calyx IL itself.
+ *
+ * Backends mirror the pass registry (src/passes/registry.h): every
+ * backend self-registers at static-initialization time with a
+ * kebab-case name, a description, and a preferred file extension, so
+ * drivers discover emitters by name (`futil -b <name>`) instead of
+ * hard-coding an if/else per format.
+ */
+class Backend
+{
+  public:
+    virtual ~Backend() = default;
+
+    /** Emit the whole program to `os`. */
+    virtual void emit(const Context &ctx, std::ostream &os) const = 0;
+
+    /** Convenience: emit into a string. */
+    std::string emitString(const Context &ctx) const;
+};
+
+/** Global registry of named backends. */
+class BackendRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<Backend>()>;
+
+    struct Entry
+    {
+        std::string name;
+        std::string description;
+        /** Preferred output file extension, e.g. ".sv". */
+        std::string fileExtension;
+        /**
+         * Whether the backend only accepts fully-lowered programs
+         * (flat guarded assignments: no groups, no control).
+         */
+        bool requiresLowered = false;
+        Factory factory;
+    };
+
+    /** The process-wide registry. */
+    static BackendRegistry &instance();
+
+    /** Register a backend; duplicate names are a fatal error. */
+    void registerBackend(Entry entry);
+
+    bool has(const std::string &name) const;
+
+    /** Entry for a registered backend, or nullptr. */
+    const Entry *find(const std::string &name) const;
+
+    /**
+     * Instantiate a registered backend. Unknown names are a fatal
+     * error with a did-you-mean suggestion.
+     */
+    std::unique_ptr<Backend> create(const std::string &name) const;
+
+    /** All registered backend names, sorted. */
+    std::vector<std::string> names() const;
+
+    /**
+     * Closest registered backend name by edit distance, or "" when
+     * nothing is near enough to be a plausible typo.
+     */
+    std::string suggest(const std::string &unknown) const;
+
+  private:
+    BackendRegistry() = default;
+
+    std::map<std::string, Entry> entries;
+};
+
+/**
+ * Static self-registration helper: a backend translation unit declares
+ *
+ *   namespace { BackendRegistration<DotBackend> reg{
+ *       "dot", "Graphviz structure graph", ".dot"}; }
+ *
+ * and the backend becomes available to every driver by name.
+ */
+template <typename B> struct BackendRegistration
+{
+    BackendRegistration(std::string name, std::string description,
+                        std::string file_extension,
+                        bool requires_lowered = false)
+    {
+        BackendRegistry::Entry e;
+        e.name = std::move(name);
+        e.description = std::move(description);
+        e.fileExtension = std::move(file_extension);
+        e.requiresLowered = requires_lowered;
+        e.factory = [] { return std::make_unique<B>(); };
+        BackendRegistry::instance().registerBackend(std::move(e));
+    }
+};
+
+} // namespace calyx::emit
+
+#endif // CALYX_EMIT_BACKEND_H

@@ -1,0 +1,18 @@
+#include "emit/calyx.h"
+
+#include "ir/printer.h"
+
+namespace calyx::emit {
+
+void
+CalyxBackend::emit(const Context &ctx, std::ostream &os) const
+{
+    Printer::print(ctx, os);
+}
+
+namespace {
+BackendRegistration<CalyxBackend> registration{
+    "calyx", "Textual Calyx IL at the current pipeline stage", ".futil"};
+} // namespace
+
+} // namespace calyx::emit

@@ -1,0 +1,21 @@
+#ifndef CALYX_EMIT_CALYX_H
+#define CALYX_EMIT_CALYX_H
+
+#include "emit/backend.h"
+
+namespace calyx::emit {
+
+/**
+ * The identity backend: pretty-prints the textual Calyx IL at whatever
+ * pipeline stage the program is in (the output parses back with
+ * Parser). Registered as `calyx`.
+ */
+class CalyxBackend : public Backend
+{
+  public:
+    void emit(const Context &ctx, std::ostream &os) const override;
+};
+
+} // namespace calyx::emit
+
+#endif // CALYX_EMIT_CALYX_H

@@ -1,0 +1,243 @@
+#include "emit/dot.h"
+
+#include <map>
+#include <set>
+
+#include "support/error.h"
+
+namespace calyx::emit {
+
+namespace {
+
+/** Quote a string for use as a dot node id or label. */
+std::string
+quoted(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += "\"";
+    return out;
+}
+
+std::string
+controlLabel(const Control &ctrl)
+{
+    switch (ctrl.kind()) {
+      case Control::Kind::Empty:
+        return "empty";
+      case Control::Kind::Enable:
+        return "enable";
+      case Control::Kind::Seq:
+        return "seq";
+      case Control::Kind::Par:
+        return "par";
+      case Control::Kind::If:
+        return "if " + cast<If>(ctrl).condPort().str();
+      case Control::Kind::While:
+        return "while " + cast<While>(ctrl).condPort().str();
+    }
+    panic("bad control kind");
+}
+
+/** Emits one component cluster; keeps node ids unique via a prefix. */
+class ComponentGraph
+{
+  public:
+    ComponentGraph(const Component &comp, std::ostream &os)
+        : comp(comp), os(os), prefix(comp.name() + "/")
+    {}
+
+    void
+    emit()
+    {
+        os << "  subgraph " << quoted("cluster_" + comp.name()) << " {\n";
+        os << "    label=" << quoted("component " + comp.name()) << ";\n";
+
+        for (const auto &cell : comp.cells()) {
+            std::string label = cell->name() + ": " + cell->type();
+            if (!cell->params().empty()) {
+                label += "(";
+                bool first = true;
+                for (uint64_t p : cell->params()) {
+                    if (!first)
+                        label += ", ";
+                    first = false;
+                    label += std::to_string(p);
+                }
+                label += ")";
+            }
+            os << "    " << node(cell->name()) << " [shape=box, label="
+               << quoted(label) << "];\n";
+        }
+        for (const auto &group : comp.groups()) {
+            os << "    " << groupNode(group->name())
+               << " [shape=ellipse, style=filled, fillcolor=lightgrey, "
+                  "label=" << quoted("group " + group->name()) << "];\n";
+        }
+
+        for (const auto &group : comp.groups()) {
+            for (const auto &a : group->assignments())
+                dataEdge(a, group->name());
+        }
+        for (const auto &a : comp.continuousAssignments())
+            dataEdge(a, "");
+
+        if (comp.control().kind() != Control::Kind::Empty)
+            controlNode(comp.control());
+
+        os << "  }\n";
+    }
+
+  private:
+    std::string
+    node(const std::string &cell)
+    {
+        return quoted(prefix + cell);
+    }
+
+    std::string
+    groupNode(const std::string &group)
+    {
+        return quoted(prefix + "group/" + group);
+    }
+
+    /** Node for an assignment endpoint; "" when it has none (consts). */
+    std::string
+    endpoint(const PortRef &ref)
+    {
+        switch (ref.kind) {
+          case PortRef::Kind::Cell:
+            return node(ref.parent);
+          case PortRef::Kind::Hole:
+            return groupNode(ref.parent);
+          case PortRef::Kind::This: {
+            // Signature ports get lazily-created plaintext nodes.
+            std::string id = prefix + "port/" + ref.port;
+            if (ports.insert(id).second)
+                os << "    " << quoted(id) << " [shape=plaintext, label="
+                   << quoted(ref.port) << "];\n";
+            return quoted(id);
+          }
+          case PortRef::Kind::Const:
+            return "";
+        }
+        panic("bad PortRef kind");
+    }
+
+    void
+    dataEdge(const Assignment &a, const std::string &group)
+    {
+        std::string dst = endpoint(a.dst);
+        if (dst.empty())
+            return;
+        std::set<std::string> sources;
+        std::string direct = endpoint(a.src);
+        if (!direct.empty())
+            sources.insert(direct);
+        // Guard reads are dataflow too; they gate the destination.
+        a.guard->ports([&](const PortRef &p) {
+            std::string n = endpoint(p);
+            if (!n.empty())
+                sources.insert(n);
+        });
+        for (const std::string &src : sources) {
+            std::string edge = "    " + src + " -> " + dst;
+            if (!group.empty())
+                edge += " [label=" + quoted(group) + "]";
+            edge += ";\n";
+            if (edges.insert(edge).second)
+                os << edge;
+        }
+    }
+
+    /** Emit a control-tree node, return its id. */
+    std::string
+    controlNode(const Control &ctrl)
+    {
+        std::string id = quoted(prefix + "ctrl/" +
+                                std::to_string(ctrlCount++));
+        os << "    " << id << " [shape=diamond, label="
+           << quoted(controlLabel(ctrl)) << "];\n";
+
+        auto child = [this, &id](const Control &c) {
+            if (c.kind() == Control::Kind::Enable) {
+                os << "    " << id << " -> "
+                   << groupNode(cast<Enable>(c).group())
+                   << " [style=dashed];\n";
+            } else if (c.kind() != Control::Kind::Empty) {
+                // Emit the child subtree first: controlNode writes the
+                // child's node line, which must not split the edge line.
+                std::string child_id = controlNode(c);
+                os << "    " << id << " -> " << child_id
+                   << " [style=dashed];\n";
+            }
+        };
+
+        switch (ctrl.kind()) {
+          case Control::Kind::Empty:
+            break;
+          case Control::Kind::Enable:
+            os << "    " << id << " -> "
+               << groupNode(cast<Enable>(ctrl).group())
+               << " [style=dashed];\n";
+            break;
+          case Control::Kind::Seq:
+            for (const auto &c : cast<Seq>(ctrl).stmts())
+                child(*c);
+            break;
+          case Control::Kind::Par:
+            for (const auto &c : cast<Par>(ctrl).stmts())
+                child(*c);
+            break;
+          case Control::Kind::If: {
+            const auto &i = cast<If>(ctrl);
+            if (!i.condGroup().empty())
+                os << "    " << id << " -> " << groupNode(i.condGroup())
+                   << " [style=dashed, label=\"cond\"];\n";
+            child(i.trueBranch());
+            child(i.falseBranch());
+            break;
+          }
+          case Control::Kind::While: {
+            const auto &w = cast<While>(ctrl);
+            if (!w.condGroup().empty())
+                os << "    " << id << " -> " << groupNode(w.condGroup())
+                   << " [style=dashed, label=\"cond\"];\n";
+            child(w.body());
+            break;
+          }
+        }
+        return id;
+    }
+
+    const Component &comp;
+    std::ostream &os;
+    std::string prefix;
+    std::set<std::string> ports;
+    std::set<std::string> edges;
+    int ctrlCount = 0;
+};
+
+} // namespace
+
+void
+DotBackend::emit(const Context &ctx, std::ostream &os) const
+{
+    os << "digraph " << quoted(ctx.entrypoint()) << " {\n";
+    os << "  rankdir=LR;\n";
+    for (const auto &comp : ctx.components())
+        ComponentGraph(*comp, os).emit();
+    os << "}\n";
+}
+
+namespace {
+BackendRegistration<DotBackend> registration{
+    "dot", "Graphviz cell/group/control structure graph (any stage)",
+    ".dot"};
+} // namespace
+
+} // namespace calyx::emit

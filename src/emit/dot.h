@@ -1,0 +1,35 @@
+#ifndef CALYX_EMIT_DOT_H
+#define CALYX_EMIT_DOT_H
+
+#include <ostream>
+#include <string>
+
+#include "emit/backend.h"
+#include "ir/context.h"
+
+namespace calyx::emit {
+
+/**
+ * Graphviz backend: renders the cell/group/control structure of a
+ * program as a `dot` digraph, one cluster per component. Works at any
+ * pipeline stage (pair it with `--dump-ir-after` to visualize how a
+ * pass reshapes a design):
+ *
+ *  - cells are boxes, groups are ellipses, control statements are
+ *    diamonds;
+ *  - solid edges are dataflow (assignment src cell -> dst cell,
+ *    labelled with the group that contains the assignment);
+ *  - dashed edges are the control tree (enables point at the group
+ *    they run, while/if point at their condition group).
+ *
+ * Registered as `dot`.
+ */
+class DotBackend : public Backend
+{
+  public:
+    void emit(const Context &ctx, std::ostream &os) const override;
+};
+
+} // namespace calyx::emit
+
+#endif // CALYX_EMIT_DOT_H

@@ -1,0 +1,38 @@
+#ifndef CALYX_EMIT_FIRRTL_H
+#define CALYX_EMIT_FIRRTL_H
+
+#include <ostream>
+#include <string>
+
+#include "emit/backend.h"
+#include "ir/context.h"
+
+namespace calyx::emit {
+
+/**
+ * FIRRTL backend: translates control-free Calyx (flat guarded
+ * assignments) into a FIRRTL circuit, mirroring the Verilog backend's
+ * structure. Each component maps to a module; each cell to an instance
+ * of a per-(primitive, parameters) specialized module; each driven port
+ * to a `mux` tree over its guarded assignments.
+ *
+ * Combinational primitives and std_reg are expressed directly in
+ * FIRRTL; the remaining stateful primitives (memories, pipelined
+ * multiplier/divider, sqrt) and extern primitives become `extmodule`
+ * black boxes whose `defname` points at the SystemVerilog library the
+ * verilog backend emits. Registered as `firrtl`.
+ */
+class FirrtlBackend : public Backend
+{
+  public:
+    /** Emit the whole circuit (primitive specializations + components). */
+    void emit(const Context &ctx, std::ostream &os) const override;
+
+    /** Emit a single component as a FIRRTL module. */
+    static void emitComponent(const Component &comp, const Context &ctx,
+                              std::ostream &os);
+};
+
+} // namespace calyx::emit
+
+#endif // CALYX_EMIT_FIRRTL_H

@@ -1,0 +1,38 @@
+#ifndef CALYX_EMIT_JSON_NETLIST_H
+#define CALYX_EMIT_JSON_NETLIST_H
+
+#include <ostream>
+#include <string>
+
+#include "emit/backend.h"
+#include "ir/context.h"
+
+namespace calyx::emit {
+
+/**
+ * JSON netlist backend: serializes the flat guarded-assignment form
+ * that the cycle simulator consumes — extern primitive prototypes,
+ * components with signatures, cells, and guarded continuous
+ * assignments. Lowered programs only (no groups, no control).
+ *
+ * The format round-trips: `loadJsonNetlist` rebuilds a semantically
+ * identical Context, so a netlist emitted here, reloaded, and wrapped
+ * in `sim::SimProgram` simulates to the same architectural state and
+ * cycle count as the in-memory design (tested in
+ * tests/test_json_netlist.cc). Registered as `json-netlist`.
+ */
+class JsonNetlistBackend : public Backend
+{
+  public:
+    void emit(const Context &ctx, std::ostream &os) const override;
+};
+
+/**
+ * Rebuild a Context from a JSON netlist produced by JsonNetlistBackend.
+ * Throws Error on malformed documents or unsupported versions.
+ */
+Context loadJsonNetlist(const std::string &text);
+
+} // namespace calyx::emit
+
+#endif // CALYX_EMIT_JSON_NETLIST_H

@@ -1,12 +1,8 @@
-#include "backend/verilog.h"
-
-#include <map>
-#include <sstream>
-#include <vector>
+#include "emit/verilog.h"
 
 #include "support/error.h"
 
-namespace calyx::backend {
+namespace calyx::emit {
 
 namespace {
 
@@ -101,18 +97,9 @@ VerilogBackend::emitComponent(const Component &comp, const Context &ctx,
         os << ");\n";
     }
 
-    // Guarded assignments become mux trees per destination, in program
-    // order (the unique-driver requirement makes the order irrelevant).
-    std::map<PortRef, std::vector<const Assignment *>> by_dst;
-    std::vector<PortRef> order;
-    for (const auto &a : comp.continuousAssignments()) {
-        auto [it, inserted] = by_dst.try_emplace(a.dst);
-        if (inserted)
-            order.push_back(a.dst);
-        it->second.push_back(&a);
-    }
-    for (const auto &dst : order) {
-        const auto &assigns = by_dst[dst];
+    // Guarded assignments become mux trees per destination.
+    for (const auto &[dst, assigns] :
+         groupAssignmentsByDst(comp.continuousAssignments())) {
         os << "  assign " << wireName(dst) << " =\n";
         for (const auto *a : assigns) {
             os << "    " << guardExpr(a->guard) << " ? "
@@ -285,7 +272,7 @@ endmodule
 }
 
 void
-VerilogBackend::emit(const Context &ctx, std::ostream &os)
+VerilogBackend::emit(const Context &ctx, std::ostream &os) const
 {
     emitPrimitives(ctx, os);
     for (const auto &comp : ctx.components()) {
@@ -294,23 +281,10 @@ VerilogBackend::emit(const Context &ctx, std::ostream &os)
     }
 }
 
-std::string
-VerilogBackend::emitString(const Context &ctx)
-{
-    std::ostringstream os;
-    emit(ctx, os);
-    return os.str();
-}
+namespace {
+BackendRegistration<VerilogBackend> registration{
+    "verilog", "Synthesizable SystemVerilog (lowered programs only)",
+    ".sv", /*requires_lowered=*/true};
+} // namespace
 
-int
-VerilogBackend::countLines(const std::string &text)
-{
-    int lines = 0;
-    for (char c : text) {
-        if (c == '\n')
-            ++lines;
-    }
-    return lines;
-}
-
-} // namespace calyx::backend
+} // namespace calyx::emit

@@ -1,12 +1,13 @@
-#ifndef CALYX_BACKEND_VERILOG_H
-#define CALYX_BACKEND_VERILOG_H
+#ifndef CALYX_EMIT_VERILOG_H
+#define CALYX_EMIT_VERILOG_H
 
 #include <ostream>
 #include <string>
 
+#include "emit/backend.h"
 #include "ir/context.h"
 
-namespace calyx::backend {
+namespace calyx::emit {
 
 /**
  * The Lower pass' code generator (paper §4.2): translates control-free
@@ -14,13 +15,13 @@ namespace calyx::backend {
  * Each component maps to a module; each cell to a primitive instance or
  * submodule instantiation; each driven port to a mux tree over its
  * guarded assignments. A clock is threaded through the design.
+ * Registered as `verilog`.
  */
-class VerilogBackend
+class VerilogBackend : public Backend
 {
   public:
     /** Emit the whole program plus the primitive library. */
-    static void emit(const Context &ctx, std::ostream &os);
-    static std::string emitString(const Context &ctx);
+    void emit(const Context &ctx, std::ostream &os) const override;
 
     /** Emit a single component as a module. */
     static void emitComponent(const Component &comp, const Context &ctx,
@@ -28,11 +29,8 @@ class VerilogBackend
 
     /** Emit the std_* primitive library. */
     static void emitPrimitives(const Context &ctx, std::ostream &os);
-
-    /** Number of lines in `text` (for §7.4 statistics). */
-    static int countLines(const std::string &text);
 };
 
-} // namespace calyx::backend
+} // namespace calyx::emit
 
-#endif // CALYX_BACKEND_VERILOG_H
+#endif // CALYX_EMIT_VERILOG_H

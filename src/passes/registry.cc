@@ -4,30 +4,9 @@
 #include <set>
 
 #include "support/error.h"
+#include "support/text.h"
 
 namespace calyx::passes {
-
-namespace {
-
-/** Classic Levenshtein distance, for did-you-mean suggestions. */
-size_t
-editDistance(const std::string &a, const std::string &b)
-{
-    std::vector<size_t> prev(b.size() + 1), cur(b.size() + 1);
-    for (size_t j = 0; j <= b.size(); ++j)
-        prev[j] = j;
-    for (size_t i = 1; i <= a.size(); ++i) {
-        cur[0] = i;
-        for (size_t j = 1; j <= b.size(); ++j) {
-            size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
-            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
-        }
-        std::swap(prev, cur);
-    }
-    return prev[b.size()];
-}
-
-} // namespace
 
 PassRegistry::PassRegistry()
 {
@@ -178,22 +157,10 @@ PassRegistry::aliasesOf(const std::string &pass) const
 std::string
 PassRegistry::suggest(const std::string &unknown) const
 {
-    std::string best;
-    size_t best_distance = std::string::npos;
     std::vector<std::string> candidates = passNames();
     for (const auto &a : aliasNames())
         candidates.push_back(a);
-    for (const auto &candidate : candidates) {
-        size_t d = editDistance(unknown, candidate);
-        if (d < best_distance) {
-            best_distance = d;
-            best = candidate;
-        }
-    }
-    // Only suggest plausible typos: at most 2 edits, or one third of
-    // the name for long names.
-    size_t budget = std::max<size_t>(2, unknown.size() / 3);
-    return best_distance <= budget ? best : "";
+    return suggestClosest(unknown, candidates);
 }
 
 } // namespace calyx::passes

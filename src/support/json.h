@@ -1,0 +1,78 @@
+#ifndef CALYX_SUPPORT_JSON_H
+#define CALYX_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace calyx::json {
+
+/**
+ * Minimal JSON document model for the netlist interchange format
+ * (src/emit/json_netlist.*). Self-contained on purpose: the container
+ * image bakes in no JSON library, and the subset we need — objects,
+ * arrays, strings, unsigned integers, booleans — is tiny.
+ *
+ * Objects preserve insertion order so emitted documents are
+ * deterministic and diffable.
+ */
+class Value
+{
+  public:
+    enum class Kind { Null, Bool, Num, Str, Arr, Obj };
+
+    Value() = default;
+
+    static Value boolean(bool b);
+    static Value number(uint64_t n);
+    static Value str(std::string s);
+    static Value array();
+    static Value object();
+
+    Kind kind() const { return kindVal; }
+    bool isNull() const { return kindVal == Kind::Null; }
+
+    /** Typed accessors; fatal() on a kind mismatch. */
+    bool asBool() const;
+    uint64_t asNum() const;
+    const std::string &asStr() const;
+    const std::vector<Value> &items() const;
+    const std::vector<std::pair<std::string, Value>> &members() const;
+
+    /** Append to an array; fatal() if this is not one. */
+    void push(Value v);
+
+    /** Set an object member (appends; later sets win on lookup). */
+    void set(const std::string &key, Value v);
+
+    /** Object member or nullptr; fatal() if this is not an object. */
+    const Value *find(const std::string &key) const;
+
+    /** Object member; fatal() when absent. */
+    const Value &at(const std::string &key) const;
+
+    /** Serialize with 2-space indentation. */
+    void write(std::ostream &os, int indent = 0) const;
+    std::string str() const;
+
+  private:
+    Kind kindVal = Kind::Null;
+    bool boolVal = false;
+    uint64_t numVal = 0;
+    std::string strVal;
+    std::vector<Value> arr;
+    std::vector<std::pair<std::string, Value>> obj;
+};
+
+/**
+ * Parse a JSON document. Throws Error with a line/column position on
+ * malformed input. Numbers must be unsigned integers (the netlist
+ * format uses nothing else).
+ */
+Value parse(const std::string &text);
+
+} // namespace calyx::json
+
+#endif // CALYX_SUPPORT_JSON_H

@@ -1,0 +1,52 @@
+#include "support/text.h"
+
+#include <algorithm>
+
+namespace calyx {
+
+int
+countLines(const std::string &text)
+{
+    int lines = 0;
+    for (char c : text) {
+        if (c == '\n')
+            ++lines;
+    }
+    return lines;
+}
+
+size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<size_t> prev(b.size() + 1), cur(b.size() + 1);
+    for (size_t j = 0; j <= b.size(); ++j)
+        prev[j] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (size_t j = 1; j <= b.size(); ++j) {
+            size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+std::string
+suggestClosest(const std::string &unknown,
+               const std::vector<std::string> &candidates)
+{
+    std::string best;
+    size_t best_distance = std::string::npos;
+    for (const auto &candidate : candidates) {
+        size_t d = editDistance(unknown, candidate);
+        if (d < best_distance) {
+            best_distance = d;
+            best = candidate;
+        }
+    }
+    size_t budget = std::max<size_t>(2, unknown.size() / 3);
+    return best_distance <= budget ? best : "";
+}
+
+} // namespace calyx

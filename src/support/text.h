@@ -1,0 +1,26 @@
+#ifndef CALYX_SUPPORT_TEXT_H
+#define CALYX_SUPPORT_TEXT_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace calyx {
+
+/** Number of newline-terminated lines in `text` (§7.4 statistics). */
+int countLines(const std::string &text);
+
+/** Classic Levenshtein distance, for did-you-mean suggestions. */
+size_t editDistance(const std::string &a, const std::string &b);
+
+/**
+ * Closest candidate to `unknown` by edit distance, or "" when nothing
+ * is near enough to be a plausible typo (at most 2 edits, or one third
+ * of the name for long names).
+ */
+std::string suggestClosest(const std::string &unknown,
+                           const std::vector<std::string> &candidates);
+
+} // namespace calyx
+
+#endif // CALYX_SUPPORT_TEXT_H

@@ -2,10 +2,9 @@
 
 #include <chrono>
 
-#include "frontends/dahlia/checker.h"
+#include "emit/backend.h"
 #include "frontends/dahlia/codegen.h"
 #include "frontends/dahlia/interp.h"
-#include "frontends/dahlia/lowering.h"
 #include "sim/cycle_sim.h"
 #include "support/error.h"
 #include "workloads/polybench.h"
@@ -102,9 +101,7 @@ runOnHardware(const dahlia::Program &program,
     using clock = std::chrono::steady_clock;
     auto start = clock::now();
 
-    dahlia::check(program);
-    dahlia::Program lowered = dahlia::lower(program);
-    Context ctx = dahlia::codegen(lowered);
+    Context ctx = dahlia::compileDahlia(program);
 
     HardwareResult result;
     result.stats = passes::gatherStats(ctx);
@@ -158,6 +155,23 @@ runOnHardware(const dahlia::Program &program, const std::string &spec,
 {
     return runOnHardware(program, passes::parsePipelineSpec(spec), inputs,
                          final_state);
+}
+
+std::string
+emitDesign(const dahlia::Program &program, const passes::PipelineSpec &spec,
+           const std::string &backend)
+{
+    auto emitter = emit::BackendRegistry::instance().create(backend);
+    Context ctx = dahlia::compileDahlia(program);
+    passes::runPipeline(ctx, spec);
+    return emitter->emitString(ctx);
+}
+
+std::string
+emitDesign(const dahlia::Program &program, const std::string &spec,
+           const std::string &backend)
+{
+    return emitDesign(program, passes::parsePipelineSpec(spec), backend);
 }
 
 HardwareResult

@@ -51,6 +51,19 @@ HardwareResult runOnHardware(const dahlia::Program &program,
                              const MemState &inputs,
                              MemState *final_state = nullptr);
 
+/**
+ * Compile a Dahlia program through a pass pipeline and emit it with a
+ * registered backend (src/emit/backend.h): "verilog", "firrtl", "dot",
+ * "json-netlist", or "calyx". Unknown backend names are a fatal error
+ * with a did-you-mean suggestion.
+ */
+std::string emitDesign(const dahlia::Program &program,
+                       const passes::PipelineSpec &spec,
+                       const std::string &backend);
+std::string emitDesign(const dahlia::Program &program,
+                       const std::string &spec,
+                       const std::string &backend);
+
 } // namespace calyx::workloads
 
 #endif // CALYX_WORKLOADS_HARNESS_H

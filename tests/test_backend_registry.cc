@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "emit/backend.h"
+#include "emit/verilog.h"
+#include "helpers.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "support/error.h"
+
+namespace calyx {
+namespace {
+
+using emit::BackendRegistry;
+using testing::counterProgram;
+
+TEST(BackendRegistry, AllStandardBackendsRegistered)
+{
+    auto names = BackendRegistry::instance().names();
+    EXPECT_GE(names.size(), 5u);
+    for (const char *required :
+         {"calyx", "verilog", "firrtl", "dot", "json-netlist"}) {
+        EXPECT_TRUE(std::find(names.begin(), names.end(), required) !=
+                    names.end())
+            << "missing backend: " << required;
+    }
+    // names() is sorted (it drives --list-backends).
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(BackendRegistry, EntriesCarryMetadata)
+{
+    const auto *verilog = BackendRegistry::instance().find("verilog");
+    ASSERT_NE(verilog, nullptr);
+    EXPECT_EQ(verilog->fileExtension, ".sv");
+    EXPECT_TRUE(verilog->requiresLowered);
+    EXPECT_FALSE(verilog->description.empty());
+
+    const auto *dot = BackendRegistry::instance().find("dot");
+    ASSERT_NE(dot, nullptr);
+    EXPECT_EQ(dot->fileExtension, ".dot");
+    EXPECT_FALSE(dot->requiresLowered);
+
+    EXPECT_EQ(BackendRegistry::instance().find("nope"), nullptr);
+}
+
+TEST(BackendRegistry, CreateMatchesDirectUse)
+{
+    Context ctx = counterProgram(2, 1);
+    passes::runPipeline(ctx, "default");
+    auto backend = BackendRegistry::instance().create("verilog");
+    EXPECT_EQ(backend->emitString(ctx),
+              emit::VerilogBackend().emitString(ctx));
+}
+
+TEST(BackendRegistry, UnknownBackendIsFatalWithSuggestion)
+{
+    EXPECT_THROW(BackendRegistry::instance().create("nonsense"), Error);
+    try {
+        BackendRegistry::instance().create("verilig");
+        FAIL() << "expected Error";
+    } catch (const Error &e) {
+        EXPECT_NE(std::string(e.what()).find("did you mean 'verilog'"),
+                  std::string::npos)
+            << e.what();
+    }
+    // Far-off typos get no suggestion but still fail hard.
+    try {
+        BackendRegistry::instance().create("zzzzzzzzzz");
+        FAIL() << "expected Error";
+    } catch (const Error &e) {
+        EXPECT_EQ(std::string(e.what()).find("did you mean"),
+                  std::string::npos);
+    }
+}
+
+TEST(BackendRegistry, DuplicateRegistrationIsFatal)
+{
+    BackendRegistry::Entry entry;
+    entry.name = "calyx";
+    entry.description = "imposter";
+    entry.factory = [] {
+        return std::unique_ptr<emit::Backend>(nullptr);
+    };
+    EXPECT_THROW(BackendRegistry::instance().registerBackend(entry), Error);
+}
+
+TEST(BackendRegistry, CalyxBackendRoundTripsThroughParser)
+{
+    Context ctx = counterProgram(3, 2);
+    std::string text =
+        BackendRegistry::instance().create("calyx")->emitString(ctx);
+    Context reparsed = Parser::parseProgram(text);
+    EXPECT_EQ(Printer::toString(reparsed), text);
+}
+
+TEST(BackendRegistry, LoweredBackendsRejectUncompiledPrograms)
+{
+    for (const char *name : {"verilog", "firrtl", "json-netlist"}) {
+        Context ctx = counterProgram(2, 1);
+        auto backend = BackendRegistry::instance().create(name);
+        EXPECT_THROW(backend->emitString(ctx), Error)
+            << name << " accepted a program with groups";
+        EXPECT_TRUE(BackendRegistry::instance().find(name)->requiresLowered);
+    }
+}
+
+TEST(BackendRegistry, AnyStageBackendsAcceptUncompiledPrograms)
+{
+    for (const char *name : {"calyx", "dot"}) {
+        Context ctx = counterProgram(2, 1);
+        auto backend = BackendRegistry::instance().create(name);
+        EXPECT_FALSE(backend->emitString(ctx).empty());
+    }
+}
+
+} // namespace
+} // namespace calyx

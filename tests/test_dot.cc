@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "emit/dot.h"
+#include "helpers.h"
+#include "ir/builder.h"
+
+namespace calyx {
+namespace {
+
+using emit::DotBackend;
+using testing::counterProgram;
+
+/** Single-group design small enough to pin the full dot output. */
+Context
+tinyProgram()
+{
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.reg("r", 8);
+    b.regWriteGroup("w", "r", constant(5, 8));
+    b.component().setControl(ComponentBuilder::enable("w"));
+    return ctx;
+}
+
+TEST(Dot, GoldenTinyProgram)
+{
+    Context ctx = tinyProgram();
+    const char *golden = R"dot(digraph "main" {
+  rankdir=LR;
+  subgraph "cluster_main" {
+    label="component main";
+    "main/r" [shape=box, label="r: std_reg(8)"];
+    "main/group/w" [shape=ellipse, style=filled, fillcolor=lightgrey, label="group w"];
+    "main/r" -> "main/group/w" [label="w"];
+    "main/ctrl/0" [shape=diamond, label="enable"];
+    "main/ctrl/0" -> "main/group/w" [style=dashed];
+  }
+}
+)dot";
+    EXPECT_EQ(DotBackend().emitString(ctx), golden);
+}
+
+TEST(Dot, SourceProgramShowsGroupsAndControl)
+{
+    Context ctx = counterProgram(2, 1);
+    std::string dot = DotBackend().emitString(ctx);
+
+    // Cells, groups, and the control tree are all present.
+    EXPECT_NE(dot.find("\"main/x\" [shape=box, label=\"x: std_reg(32)\"]"),
+              std::string::npos);
+    EXPECT_NE(dot.find("label=\"group bump_x\""), std::string::npos);
+    EXPECT_NE(dot.find("label=\"seq\""), std::string::npos);
+    EXPECT_NE(dot.find("label=\"while lt.out\""), std::string::npos);
+    // The while's condition group is linked with a labelled dashed edge.
+    EXPECT_NE(dot.find("-> \"main/group/cond\" [style=dashed, "
+                       "label=\"cond\"]"),
+              std::string::npos);
+    // Dataflow: the adder feeds the register inside group bump_x.
+    EXPECT_NE(dot.find("\"main/addx\" -> \"main/x\" [label=\"bump_x\"]"),
+              std::string::npos);
+}
+
+TEST(Dot, LoweredProgramHasNoGroupsOrControl)
+{
+    Context ctx = counterProgram(2, 1);
+    passes::runPipeline(ctx, "default");
+    std::string dot = DotBackend().emitString(ctx);
+
+    EXPECT_EQ(dot.find("group/"), std::string::npos);
+    EXPECT_EQ(dot.find("ctrl/"), std::string::npos);
+    // Still a well-formed digraph with dataflow edges.
+    EXPECT_NE(dot.find("digraph \"main\" {"), std::string::npos);
+    EXPECT_NE(dot.find("\"main/addx\" -> \"main/x\""), std::string::npos);
+}
+
+TEST(Dot, DuplicateEdgesAreCollapsed)
+{
+    Context ctx = tinyProgram();
+    // Two assignments with the same endpoints inside one group produce
+    // one edge.
+    Group &w = ctx.component("main").group("w");
+    w.add(cellPort("r", "in"), cellPort("r", "out"));
+    w.add(cellPort("r", "in"), cellPort("r", "out"));
+    std::string dot = DotBackend().emitString(ctx);
+
+    std::string edge = "\"main/r\" -> \"main/r\" [label=\"w\"]";
+    size_t first = dot.find(edge);
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_EQ(dot.find(edge, first + 1), std::string::npos);
+}
+
+TEST(Dot, MultiComponentProgramGetsOneClusterEach)
+{
+    Context ctx;
+    auto pb = ComponentBuilder::create(ctx, "pe");
+    pb.reg("r", 8);
+    auto mb = ComponentBuilder::create(ctx, "main");
+    mb.cell("p0", "pe", {});
+    std::string dot = DotBackend().emitString(ctx);
+
+    EXPECT_NE(dot.find("subgraph \"cluster_pe\""), std::string::npos);
+    EXPECT_NE(dot.find("subgraph \"cluster_main\""), std::string::npos);
+    EXPECT_NE(dot.find("\"main/p0\" [shape=box, label=\"p0: pe\"]"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace calyx

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "emit/firrtl.h"
+#include "helpers.h"
+#include "ir/builder.h"
+#include "support/error.h"
+
+namespace calyx {
+namespace {
+
+using emit::FirrtlBackend;
+using testing::counterProgram;
+
+/**
+ * Hand-lowered single-register design (continuous assignments only):
+ * small enough that the full FIRRTL output is pinned as a golden
+ * string.
+ */
+Context
+tinyLoweredProgram()
+{
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.reg("r", 8);
+    Component &comp = b.component();
+    comp.continuousAssignments().emplace_back(cellPort("r", "in"),
+                                              constant(5, 8));
+    comp.continuousAssignments().emplace_back(cellPort("r", "write_en"),
+                                              thisPort("go"));
+    comp.continuousAssignments().emplace_back(thisPort("done"),
+                                              cellPort("r", "done"));
+    return ctx;
+}
+
+TEST(Firrtl, GoldenTinyProgram)
+{
+    Context ctx = tinyLoweredProgram();
+    const char *golden = R"(circuit main :
+  module std_reg_8 :
+    input clk : Clock
+    input in : UInt<8>
+    input write_en : UInt<1>
+    output out : UInt<8>
+    output done : UInt<1>
+    reg value : UInt<8>, clk
+    reg done_reg : UInt<1>, clk
+    done_reg <= UInt<1>(0)
+    when write_en :
+      value <= in
+      done_reg <= UInt<1>(1)
+    out <= value
+    done <= done_reg
+
+  module main :
+    input clk : Clock
+    input go : UInt<1>
+    output done : UInt<1>
+
+    inst r of std_reg_8
+    r.clk <= clk
+    r.in is invalid
+    r.write_en is invalid
+    done is invalid
+
+    r.in <= mux(UInt<1>(1), UInt<8>(5), UInt<8>(0))
+    r.write_en <= mux(UInt<1>(1), go, UInt<1>(0))
+    done <= mux(UInt<1>(1), r.done, UInt<1>(0))
+
+)";
+    EXPECT_EQ(FirrtlBackend().emitString(ctx), golden);
+}
+
+TEST(Firrtl, RefusesUncompiledComponents)
+{
+    Context ctx = counterProgram(2, 1);
+    std::ostringstream os;
+    EXPECT_THROW(
+        FirrtlBackend::emitComponent(ctx.component("main"), ctx, os),
+        Error);
+}
+
+TEST(Firrtl, CompiledCounterStructure)
+{
+    Context ctx = counterProgram(2, 1);
+    passes::runPipeline(ctx, "default");
+    std::string fir = FirrtlBackend().emitString(ctx);
+
+    EXPECT_NE(fir.find("circuit main :\n"), std::string::npos);
+    // One specialized module per (primitive, params) pair.
+    EXPECT_NE(fir.find("module std_add_32 :"), std::string::npos);
+    EXPECT_NE(fir.find("module std_add_8 :"), std::string::npos);
+    EXPECT_NE(fir.find("module std_lt_8 :"), std::string::npos);
+    EXPECT_NE(fir.find("out <= lt(left, right)"), std::string::npos);
+    EXPECT_NE(fir.find("out <= tail(add(left, right), 1)"),
+              std::string::npos);
+    // Instances reference specializations and thread the clock.
+    EXPECT_NE(fir.find("inst x of std_reg_32"), std::string::npos);
+    EXPECT_NE(fir.find("x.clk <= clk"), std::string::npos);
+    // Guarded assignments became mux trees (FSM guards are eq compares).
+    EXPECT_NE(fir.find("mux("), std::string::npos);
+    EXPECT_NE(fir.find("eq(fsm"), std::string::npos);
+    // No residual group machinery.
+    EXPECT_EQ(fir.find("["), std::string::npos);
+}
+
+TEST(Firrtl, MemoriesBecomeExtmoduleBlackBoxes)
+{
+    // Quickstart-style design with a memory: the stateful library
+    // primitives black-box onto the SystemVerilog library.
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.mem1d("m", 32, 4);
+    b.reg("r", 32);
+    Group &load = b.group("load");
+    load.add(cellPort("m", "addr0"), constant(0, 2));
+    load.add(cellPort("r", "in"), cellPort("m", "read_data"));
+    load.add(cellPort("r", "write_en"), constant(1, 1));
+    load.add(load.doneHole(), cellPort("r", "done"));
+    b.component().setControl(ComponentBuilder::enable("load"));
+    passes::runPipeline(ctx, "default");
+
+    std::string fir = FirrtlBackend().emitString(ctx);
+    EXPECT_NE(fir.find("extmodule std_mem_d1_32_4_2 :"), std::string::npos);
+    EXPECT_NE(fir.find("defname = std_mem_d1"), std::string::npos);
+    EXPECT_NE(fir.find("parameter WIDTH = 32"), std::string::npos);
+    EXPECT_NE(fir.find("parameter SIZE = 4"), std::string::npos);
+    EXPECT_NE(fir.find("inst m of std_mem_d1_32_4_2"), std::string::npos);
+}
+
+TEST(Firrtl, HierarchicalInstantiation)
+{
+    Context ctx;
+    auto pb = ComponentBuilder::create(ctx, "pe");
+    pb.reg("r", 8);
+    pb.regWriteGroup("w", "r", constant(3, 8));
+    pb.component().setControl(ComponentBuilder::enable("w"));
+    auto mb = ComponentBuilder::create(ctx, "main");
+    mb.cell("p0", "pe", {});
+    Group &inv = mb.group("invoke");
+    inv.add(cellPort("p0", "go"), constant(1, 1));
+    inv.add(inv.doneHole(), cellPort("p0", "done"));
+    mb.component().setControl(ComponentBuilder::enable("invoke"));
+    passes::runPipeline(ctx, "default");
+
+    std::string fir = FirrtlBackend().emitString(ctx);
+    EXPECT_NE(fir.find("module pe :"), std::string::npos);
+    EXPECT_NE(fir.find("inst p0 of pe"), std::string::npos);
+    EXPECT_NE(fir.find("p0.clk <= clk"), std::string::npos);
+}
+
+TEST(Firrtl, ZeroParameterExternPrimitive)
+{
+    // Regression: combBody must not index an empty parameter list.
+    Context ctx;
+    PrimitiveDef def;
+    def.name = "my_prim";
+    def.ports = {PrimPortSpec{"in", Direction::Input, 8, ""},
+                 PrimPortSpec{"out", Direction::Output, 8, ""}};
+    def.externFile = "blackbox.sv";
+    ctx.primitives().add(def);
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.cell("p", "my_prim", {});
+    Component &comp = b.component();
+    comp.continuousAssignments().emplace_back(cellPort("p", "in"),
+                                              constant(3, 8));
+
+    std::string fir = FirrtlBackend().emitString(ctx);
+    EXPECT_NE(fir.find("extmodule my_prim :"), std::string::npos);
+    EXPECT_NE(fir.find("defname = my_prim"), std::string::npos);
+}
+
+} // namespace
+} // namespace calyx

@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "backend/verilog.h"
+#include "emit/verilog.h"
 #include "estimate/area.h"
 #include "helpers.h"
 #include "ir/parser.h"
@@ -137,7 +137,7 @@ TEST(Integration, VerilogForTextProgram)
 {
     Context ctx = Parser::parseProgram(fig2_program);
     passes::runPipeline(ctx, "default");
-    std::string sv = backend::VerilogBackend::emitString(ctx);
+    std::string sv = emit::VerilogBackend().emitString(ctx);
     EXPECT_NE(sv.find("module main("), std::string::npos);
     // The two constants survive into the mux chain.
     EXPECT_NE(sv.find("32'd1"), std::string::npos);
@@ -180,7 +180,7 @@ component main() -> () {
 )";
     Context ctx = Parser::parseProgram(src);
     EXPECT_NO_THROW(passes::runPipeline(ctx, "default"));
-    std::string sv = backend::VerilogBackend::emitString(ctx);
+    std::string sv = emit::VerilogBackend().emitString(ctx);
     EXPECT_NE(sv.find("my_sqrt"), std::string::npos);
     EXPECT_NE(sv.find("mysqrt.sv"), std::string::npos);
     // No simulation model exists for unknown externs.

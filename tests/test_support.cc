@@ -2,6 +2,8 @@
 
 #include "support/bits.h"
 #include "support/error.h"
+#include "support/json.h"
+#include "support/text.h"
 
 namespace calyx {
 namespace {
@@ -54,6 +56,80 @@ TEST(Errors, FatalThrows)
     } catch (const Error &e) {
         EXPECT_STREQ(e.what(), "value is 7");
     }
+}
+
+TEST(Text, CountLines)
+{
+    EXPECT_EQ(countLines(""), 0);
+    EXPECT_EQ(countLines("no newline"), 0);
+    EXPECT_EQ(countLines("a\nb\n"), 2);
+    EXPECT_EQ(countLines("a\nb"), 1);
+}
+
+TEST(Text, EditDistance)
+{
+    EXPECT_EQ(editDistance("", ""), 0u);
+    EXPECT_EQ(editDistance("abc", "abc"), 0u);
+    EXPECT_EQ(editDistance("abc", ""), 3u);
+    EXPECT_EQ(editDistance("kitten", "sitting"), 3u);
+    EXPECT_EQ(editDistance("verilog", "verilig"), 1u);
+}
+
+TEST(Text, SuggestClosest)
+{
+    std::vector<std::string> names = {"verilog", "firrtl", "dot"};
+    EXPECT_EQ(suggestClosest("verilig", names), "verilog");
+    EXPECT_EQ(suggestClosest("frrtl", names), "firrtl");
+    EXPECT_EQ(suggestClosest("zzzzzzzz", names), "");
+    EXPECT_EQ(suggestClosest("x", {}), "");
+}
+
+TEST(Json, BuildAndWrite)
+{
+    json::Value obj = json::Value::object();
+    obj.set("name", json::Value::str("r0"));
+    obj.set("width", json::Value::number(32));
+    obj.set("memory", json::Value::boolean(false));
+    json::Value arr = json::Value::array();
+    arr.push(json::Value::number(1));
+    arr.push(json::Value::number(2));
+    obj.set("params", std::move(arr));
+
+    json::Value parsed = json::parse(obj.str());
+    EXPECT_EQ(parsed.at("name").asStr(), "r0");
+    EXPECT_EQ(parsed.at("width").asNum(), 32u);
+    EXPECT_FALSE(parsed.at("memory").asBool());
+    EXPECT_EQ(parsed.at("params").items().size(), 2u);
+    EXPECT_EQ(parsed.at("params").items()[1].asNum(), 2u);
+    EXPECT_EQ(parsed.find("missing"), nullptr);
+    EXPECT_THROW(parsed.at("missing"), Error);
+}
+
+TEST(Json, StringEscaping)
+{
+    json::Value v = json::Value::str("a\"b\\c\nd\te");
+    json::Value parsed = json::parse(v.str());
+    EXPECT_EQ(parsed.asStr(), "a\"b\\c\nd\te");
+}
+
+TEST(Json, ParseErrors)
+{
+    EXPECT_THROW(json::parse(""), Error);
+    EXPECT_THROW(json::parse("{"), Error);
+    EXPECT_THROW(json::parse("[1, 2,]"), Error);
+    EXPECT_THROW(json::parse("{\"a\": 1} trailing"), Error);
+    EXPECT_THROW(json::parse("1.5"), Error);
+    EXPECT_THROW(json::parse("-3"), Error);
+    EXPECT_THROW(json::parse("18446744073709551616"), Error); // 2^64
+    EXPECT_THROW(json::Value::number(1).asStr(), Error);
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder)
+{
+    json::Value obj = json::Value::object();
+    obj.set("z", json::Value::number(1));
+    obj.set("a", json::Value::number(2));
+    EXPECT_EQ(obj.str(), "{\n  \"z\": 1,\n  \"a\": 2\n}");
 }
 
 } // namespace

@@ -1,13 +1,14 @@
 #include <gtest/gtest.h>
 
-#include "backend/verilog.h"
+#include "emit/verilog.h"
 #include "helpers.h"
 #include "support/error.h"
+#include "support/text.h"
 
 namespace calyx {
 namespace {
 
-using backend::VerilogBackend;
+using emit::VerilogBackend;
 using testing::counterProgram;
 
 TEST(Verilog, RefusesUncompiledComponents)
@@ -23,7 +24,7 @@ TEST(Verilog, EmitsModulePerComponent)
 {
     Context ctx = counterProgram(2, 1);
     passes::runPipeline(ctx, "default");
-    std::string sv = VerilogBackend::emitString(ctx);
+    std::string sv = VerilogBackend().emitString(ctx);
     EXPECT_NE(sv.find("module main("), std::string::npos);
     EXPECT_NE(sv.find("module std_reg"), std::string::npos);
     EXPECT_NE(sv.find("module std_add"), std::string::npos);
@@ -50,19 +51,19 @@ TEST(Verilog, HierarchicalInstantiation)
     mb.component().setControl(ComponentBuilder::enable("invoke"));
 
     passes::runPipeline(ctx, "default");
-    std::string sv = VerilogBackend::emitString(ctx);
+    std::string sv = VerilogBackend().emitString(ctx);
     EXPECT_NE(sv.find("module pe("), std::string::npos);
     EXPECT_NE(sv.find("pe p0(.clk(clk)"), std::string::npos);
 }
 
 TEST(Verilog, LineCounting)
 {
-    EXPECT_EQ(VerilogBackend::countLines(""), 0);
-    EXPECT_EQ(VerilogBackend::countLines("a\nb\n"), 2);
+    EXPECT_EQ(countLines(""), 0);
+    EXPECT_EQ(countLines("a\nb\n"), 2);
     Context ctx = counterProgram(2, 1);
     passes::runPipeline(ctx, "default");
-    std::string sv = VerilogBackend::emitString(ctx);
-    EXPECT_GT(VerilogBackend::countLines(sv), 100);
+    std::string sv = VerilogBackend().emitString(ctx);
+    EXPECT_GT(countLines(sv), 100);
 }
 
 } // namespace

@@ -2,12 +2,16 @@
  * @file
  * futil: command-line driver for the Calyx compiler (the artifact's
  * `futil` binary). Reads a textual Calyx program, runs a configurable
- * pass pipeline, and emits Calyx or SystemVerilog, or simulates the
- * design.
+ * pass pipeline, and emits the result through a registered backend, or
+ * simulates the design.
  *
  * Usage:
  *   futil [options] file.futil
- *     -b calyx|verilog       backend (default calyx)
+ *     -b <backend>           backend by registry name (default calyx);
+ *                            unknown names are a hard error with a
+ *                            did-you-mean suggestion
+ *     -o <file>              write the emitted artifact to <file>
+ *                            (default stdout)
  *     -p <spec>              pipeline spec: comma-separated pass and
  *                            alias names; '-pass' disables a pass,
  *                            'pass[key=val,...]' sets per-pass options
@@ -17,17 +21,19 @@
  *     -x pass[key=val,...]   set options on a pass already in the
  *                            pipeline
  *     --list-passes          list registered passes and aliases, exit
+ *     --list-backends        list registered backends, exit
+ *     --emit-stats           print emitted line/byte counts (stderr)
  *     --pass-timings         print per-pass wall time and stats deltas
  *     --dump-ir-after <pass> print the IR after the named pass (stderr)
  *     --verify               run the well-formed checker between passes
- *     --no-compile           print the program without lowering control
+ *     --no-compile           emit the program without lowering control
  *     --sim                  compile, simulate, report the cycle count
  *     --area                 print the area estimate
  *     --stats                print cells/groups/control statistics
  *
  * Example:
- *   futil -p all,-collapse-control -x resource-sharing[min-width=8] \
- *         --pass-timings file.futil
+ *   futil -b firrtl -o design.fir -p all,-collapse-control \
+ *         --emit-stats file.futil
  */
 #include <cstdio>
 #include <fstream>
@@ -36,14 +42,14 @@
 #include <string>
 #include <vector>
 
-#include "backend/verilog.h"
+#include "emit/backend.h"
 #include "estimate/area.h"
 #include "ir/parser.h"
-#include "ir/printer.h"
 #include "passes/pipeline.h"
 #include "passes/registry.h"
 #include "sim/cycle_sim.h"
 #include "support/error.h"
+#include "support/text.h"
 
 namespace {
 
@@ -52,7 +58,9 @@ usage()
 {
     std::cerr
         << "usage: futil [options] file.futil\n"
-           "  -b calyx|verilog       backend (default calyx)\n"
+           "  -b <backend>           backend by name (default calyx);\n"
+           "                         see --list-backends\n"
+           "  -o <file>              write emitted output to <file>\n"
            "  -p <spec>              pipeline spec: comma-separated pass\n"
            "                         and alias names; '-pass' disables,\n"
            "                         'pass[key=val,...]' sets options\n"
@@ -60,10 +68,12 @@ usage()
            "  -d <pass>              disable a pass\n"
            "  -x pass[key=val,...]   set options on a pipeline pass\n"
            "  --list-passes          list passes and aliases, then exit\n"
+           "  --list-backends        list backends, then exit\n"
+           "  --emit-stats           print emitted line/byte counts\n"
            "  --pass-timings         print per-pass time + stats deltas\n"
            "  --dump-ir-after <pass> print IR after the named pass\n"
            "  --verify               run well-formed checker per pass\n"
-           "  --no-compile           print without lowering control\n"
+           "  --no-compile           emit without lowering control\n"
            "  --sim                  simulate and report cycles\n"
            "  --area                 print the area estimate\n"
            "  --stats                print cells/groups/control stats\n";
@@ -95,6 +105,21 @@ listPasses()
     return 0;
 }
 
+int
+listBackends()
+{
+    auto &registry = calyx::emit::BackendRegistry::instance();
+    std::cout << "backends:\n";
+    for (const std::string &name : registry.names()) {
+        const auto *entry = registry.find(name);
+        std::printf("  %-14s %-7s %s%s\n", name.c_str(),
+                    entry->fileExtension.c_str(),
+                    entry->description.c_str(),
+                    entry->requiresLowered ? "" : "  [any stage]");
+    }
+    return 0;
+}
+
 void
 printTimings(const std::vector<calyx::passes::PassRunInfo> &infos)
 {
@@ -119,10 +144,12 @@ main(int argc, char **argv)
 {
     std::string backend = "calyx";
     std::string file;
+    std::string output;
     std::string spec_text;
     std::vector<std::string> disables;
     std::vector<std::string> overrides;
     bool compile = true, simulate = false, area = false, stats = false;
+    bool emit_stats = false;
     calyx::passes::RunOptions run_options;
     bool timings = false;
 
@@ -139,6 +166,10 @@ main(int argc, char **argv)
             if (++i >= args.size())
                 return usage();
             backend = args[i];
+        } else if (a == "-o") {
+            if (++i >= args.size())
+                return usage();
+            output = args[i];
         } else if (a == "-p") {
             if (++i >= args.size())
                 return usage();
@@ -153,6 +184,10 @@ main(int argc, char **argv)
             overrides.push_back(args[i]);
         } else if (a == "--list-passes") {
             return listPasses();
+        } else if (a == "--list-backends") {
+            return listBackends();
+        } else if (a == "--emit-stats") {
+            emit_stats = true;
         } else if (a == "--pass-timings") {
             timings = true;
         } else if (a == "--dump-ir-after") {
@@ -187,6 +222,11 @@ main(int argc, char **argv)
     buffer << in.rdbuf();
 
     try {
+        // Resolve the backend up front so `futil -b nonsense` is a hard
+        // error before any compilation work happens.
+        std::unique_ptr<calyx::emit::Backend> emitter =
+            calyx::emit::BackendRegistry::instance().create(backend);
+
         if (spec_text.empty())
             spec_text = "default";
         // Disables go last so `-d pass` works no matter where it
@@ -238,11 +278,31 @@ main(int argc, char **argv)
             calyx::sim::CycleSim cs(sp);
             std::cout << "cycles: " << cs.run() << "\n";
         }
-        if (!simulate && !area && !stats && !timings) {
-            if (backend == "verilog") {
-                calyx::backend::VerilogBackend::emit(ctx, std::cout);
+        bool emits = !output.empty() ||
+                     (!simulate && !area && !stats && !timings);
+        if (emits) {
+            if (output.empty() && !emit_stats) {
+                emitter->emit(ctx, std::cout); // stream large artifacts
             } else {
-                calyx::Printer::print(ctx, std::cout);
+                // -o materializes first so a failing backend cannot
+                // leave a truncated artifact behind; --emit-stats needs
+                // the whole text anyway.
+                std::string text = emitter->emitString(ctx);
+                if (output.empty()) {
+                    std::cout << text;
+                } else {
+                    std::ofstream out(output);
+                    if (!out)
+                        calyx::fatal("cannot write ", output);
+                    out << text;
+                }
+                if (emit_stats) {
+                    std::fprintf(stderr, "%s: %d lines, %zu bytes%s%s\n",
+                                 backend.c_str(), calyx::countLines(text),
+                                 text.size(),
+                                 output.empty() ? "" : " -> ",
+                                 output.c_str());
+                }
             }
         }
     } catch (const calyx::Error &e) {
