@@ -10,6 +10,7 @@
  * Also reports §7.1's headline ratios: systolic-vs-HLS speedup/area and
  * the Sensitive pass's speedup, with latencies fully inferred (§5.3).
  */
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -32,6 +33,12 @@ struct Row
     uint64_t sensitive, insensitive, hls;
     double lutSensitive, lutInsensitive, lutHls;
 };
+
+/// Simulator wall-clock accumulated across every runSystolic() call,
+/// for the cycles/sec summary (ISSUE 3: measure, don't assert).
+uint64_t totalSimCycles = 0;
+double totalSimSeconds = 0;
+constexpr sim::Engine simEngine = sim::Engine::Levelized;
 
 uint64_t
 runSystolic(int dim, bool sensitive, double *luts)
@@ -56,8 +63,15 @@ runSystolic(int dim, bool sensitive, double *luts)
             (*t)[k] = 2 * i + k + 1;
         }
     }
-    sim::CycleSim cs(sp);
-    return cs.run();
+    sim::CycleSim cs(sp, simEngine);
+    auto start = std::chrono::steady_clock::now();
+    uint64_t cycles = cs.run();
+    totalSimSeconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    totalSimCycles += cycles;
+    return cycles;
 }
 
 /**
@@ -170,5 +184,13 @@ main()
     std::printf("  Sensitive area ratio (insens/sens), geomean: %.2fx "
                 "[1.1x]\n",
                 geomean(static_shrink));
+    std::printf("\nsimulator throughput (%s engine): %llu cycles in "
+                "%.3fs = %.0f cycles/sec\n",
+                sim::engineName(simEngine),
+                static_cast<unsigned long long>(totalSimCycles),
+                totalSimSeconds,
+                totalSimSeconds > 0
+                    ? static_cast<double>(totalSimCycles) / totalSimSeconds
+                    : 0.0);
     return 0;
 }

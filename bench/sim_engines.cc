@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Cross-engine simulator benchmark (ISSUE 3): times the Jacobi
+ * fixed-point oracle against the levelized event-driven engine on the
+ * fig7 (systolic matmul) and fig8 (PolyBench) workloads, verifies that
+ * both engines agree on cycle counts and architectural state, and
+ * writes the measurements to BENCH_sim.json.
+ *
+ * Usage:
+ *   bench_sim_engines [--small] [--check] [--reps N] [--out FILE]
+ *     --small   CI smoke configuration (fewer/smaller workloads)
+ *     --check   exit non-zero if the levelized engine is slower than
+ *               Jacobi on any workload
+ *     --reps N  timing repetitions per engine (default 3)
+ *     --out     output path (default BENCH_sim.json)
+ */
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "frontends/dahlia/parser.h"
+#include "frontends/systolic/systolic.h"
+#include "passes/pipeline.h"
+#include "sim/cycle_sim.h"
+#include "support/error.h"
+#include "workloads/harness.h"
+#include "workloads/polybench.h"
+
+using namespace calyx;
+
+namespace {
+
+struct EngineRun
+{
+    uint64_t cycles = 0;
+    double seconds = 0; ///< Total across all repetitions.
+};
+
+struct WorkloadResult
+{
+    std::string name;
+    int reps = 0;
+    EngineRun jacobi, levelized;
+
+    double
+    speedup() const
+    {
+        return levelized.seconds > 0 ? jacobi.seconds / levelized.seconds
+                                     : 0.0;
+    }
+};
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** One timed systolic run; returns cycles and appends wall time. */
+uint64_t
+runSystolicOnce(const Context &ctx, int dim, sim::Engine engine,
+                double *seconds, std::vector<std::vector<uint64_t>> *state)
+{
+    sim::SimProgram sp(ctx, "main");
+    for (int i = 0; i < dim; ++i) {
+        auto *l = sp.findModel(systolic::leftMemName(i))->memory();
+        auto *t = sp.findModel(systolic::topMemName(i))->memory();
+        for (int k = 0; k < dim; ++k) {
+            (*l)[k] = i + k + 1;
+            (*t)[k] = 2 * i + k + 1;
+        }
+    }
+    // Note: the lazy schedule build lands inside the timed region, the
+    // same rule the kernel workloads measure under.
+    sim::CycleSim cs(sp, engine);
+    double start = now();
+    uint64_t cycles = cs.run();
+    *seconds += now() - start;
+    if (state)
+        *state = sim::archState(sp);
+    return cycles;
+}
+
+WorkloadResult
+benchSystolic(int dim, int reps)
+{
+    WorkloadResult r;
+    r.name = "systolic_" + std::to_string(dim) + "x" + std::to_string(dim);
+    r.reps = reps;
+
+    Context ctx;
+    systolic::Config cfg;
+    cfg.rows = cfg.cols = cfg.inner = dim;
+    systolic::generate(ctx, cfg);
+    passes::runPipeline(ctx, "all,-resource-sharing,-register-sharing");
+
+    std::vector<std::vector<uint64_t>> jacobiState, levelState;
+    for (int i = 0; i < reps; ++i) {
+        r.jacobi.cycles = runSystolicOnce(ctx, dim, sim::Engine::Jacobi,
+                                          &r.jacobi.seconds,
+                                          i == 0 ? &jacobiState : nullptr);
+        r.levelized.cycles = runSystolicOnce(
+            ctx, dim, sim::Engine::Levelized, &r.levelized.seconds,
+            i == 0 ? &levelState : nullptr);
+    }
+    if (r.jacobi.cycles != r.levelized.cycles) {
+        fatal(r.name, ": engine cycle mismatch (jacobi=", r.jacobi.cycles,
+              ", levelized=", r.levelized.cycles, ")");
+    }
+    if (jacobiState != levelState)
+        fatal(r.name, ": engine architectural state mismatch");
+    return r;
+}
+
+WorkloadResult
+benchKernel(const std::string &name, int reps)
+{
+    WorkloadResult r;
+    r.name = name;
+    r.reps = reps;
+
+    const workloads::Kernel &k = workloads::kernel(name);
+    dahlia::Program prog = dahlia::parse(k.source);
+    workloads::MemState inputs = workloads::makeInputs(name, prog);
+    passes::PipelineSpec spec = passes::parsePipelineSpec("all");
+
+    workloads::MemState jacobiMems, levelMems;
+    for (int i = 0; i < reps; ++i) {
+        auto hj = workloads::runOnHardware(prog, spec, inputs, &jacobiMems,
+                                           {}, sim::Engine::Jacobi);
+        auto hl = workloads::runOnHardware(prog, spec, inputs, &levelMems,
+                                           {}, sim::Engine::Levelized);
+        r.jacobi.cycles = hj.cycles;
+        r.jacobi.seconds += hj.simSeconds;
+        r.levelized.cycles = hl.cycles;
+        r.levelized.seconds += hl.simSeconds;
+    }
+    if (r.jacobi.cycles != r.levelized.cycles) {
+        fatal(r.name, ": engine cycle mismatch (jacobi=", r.jacobi.cycles,
+              ", levelized=", r.levelized.cycles, ")");
+    }
+    if (jacobiMems != levelMems)
+        fatal(r.name, ": engine final memory state mismatch");
+    return r;
+}
+
+double
+cps(const WorkloadResult &r, const EngineRun &e)
+{
+    return e.seconds > 0
+               ? static_cast<double>(e.cycles) * r.reps / e.seconds
+               : 0.0;
+}
+
+void
+writeJson(const std::string &path,
+          const std::vector<WorkloadResult> &results, double geomean)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write ", path);
+    out << "{\n  \"workloads\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const WorkloadResult &r = results[i];
+        char buf[512];
+        std::snprintf(
+            buf, sizeof buf,
+            "    {\"name\": \"%s\", \"cycles\": %llu, \"reps\": %d,\n"
+            "     \"jacobi\": {\"seconds\": %.6f, \"cycles_per_sec\": "
+            "%.0f},\n"
+            "     \"levelized\": {\"seconds\": %.6f, \"cycles_per_sec\": "
+            "%.0f},\n"
+            "     \"speedup\": %.2f}%s\n",
+            r.name.c_str(),
+            static_cast<unsigned long long>(r.levelized.cycles), r.reps,
+            r.jacobi.seconds, cps(r, r.jacobi), r.levelized.seconds,
+            cps(r, r.levelized), r.speedup(),
+            i + 1 < results.size() ? "," : "");
+        out << buf;
+    }
+    char tail[96];
+    std::snprintf(tail, sizeof tail,
+                  "  ],\n  \"geomean_speedup\": %.2f\n}\n", geomean);
+    out << tail;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool small = false, check = false;
+    int reps = 3;
+    std::string out_path = "BENCH_sim.json";
+
+    std::vector<std::string> args(argv + 1, argv + argc);
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--small") {
+            small = true;
+        } else if (args[i] == "--check") {
+            check = true;
+        } else if (args[i] == "--reps" && i + 1 < args.size()) {
+            reps = std::max(1, std::atoi(args[++i].c_str()));
+        } else if (args[i] == "--out" && i + 1 < args.size()) {
+            out_path = args[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_sim_engines [--small] [--check] "
+                         "[--reps N] [--out FILE]\n");
+            return 2;
+        }
+    }
+
+    std::vector<int> dims = small ? std::vector<int>{2, 4}
+                                  : std::vector<int>{2, 4, 6, 8};
+    std::vector<std::string> kernels =
+        small ? std::vector<std::string>{"gemm", "atax"}
+              : std::vector<std::string>{"gemm", "atax", "mvt", "bicg"};
+
+    std::printf("=== simulation engines: jacobi vs levelized ===\n");
+    std::printf("%-14s %12s | %14s %14s | %8s\n", "workload", "cycles",
+                "jacobi c/s", "levelized c/s", "speedup");
+
+    std::vector<WorkloadResult> results;
+    try {
+        for (int dim : dims)
+            results.push_back(benchSystolic(dim, reps));
+        for (const std::string &k : kernels)
+            results.push_back(benchKernel(k, reps));
+    } catch (const Error &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+
+    double log_sum = 0;
+    bool regression = false;
+    for (const WorkloadResult &r : results) {
+        std::printf("%-14s %12llu | %14.0f %14.0f | %7.2fx\n",
+                    r.name.c_str(),
+                    static_cast<unsigned long long>(r.levelized.cycles),
+                    cps(r, r.jacobi), cps(r, r.levelized), r.speedup());
+        log_sum += std::log(r.speedup());
+        if (r.speedup() < 1.0)
+            regression = true;
+    }
+    double geomean =
+        results.empty()
+            ? 0.0
+            : std::exp(log_sum / static_cast<double>(results.size()));
+    std::printf("geomean speedup: %.2fx\n", geomean);
+
+    try {
+        writeJson(out_path, results, geomean);
+    } catch (const Error &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+
+    if (check && regression) {
+        std::fprintf(stderr,
+                     "FAIL: levelized engine slower than jacobi on at "
+                     "least one workload\n");
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Simulation-engine benchmark: time the Jacobi reference engine against
+# the levelized event-driven engine on the fig7 (systolic) and fig8
+# (PolyBench) workloads and write BENCH_sim.json (cycles/sec per engine
+# per workload). The driver itself verifies that both engines produce
+# identical cycle counts and architectural state.
+#
+# Usage: scripts/bench_sim.sh [path/to/bench_sim_engines] [extra flags]
+#   e.g. scripts/bench_sim.sh build/bench_sim_engines --small --check
+#
+# CI runs the --small --check configuration: small workloads, hard
+# failure if the levelized engine is slower than Jacobi on any of them.
+set -u
+
+bench="${1:-build/bench_sim_engines}"
+shift 2>/dev/null || true
+if [ ! -x "$bench" ]; then
+    echo "bench_sim: bench binary not found at '$bench'" >&2
+    exit 1
+fi
+
+# A caller-supplied --out wins (the driver takes the last --out given);
+# track it so the output check validates the right file.
+out="BENCH_sim.json"
+prev=""
+for arg in "$@"; do
+    if [ "$prev" = "--out" ]; then
+        out="$arg"
+    fi
+    prev="$arg"
+done
+
+"$bench" --out "$out" "$@"
+status=$?
+if [ $status -ne 0 ]; then
+    echo "bench_sim: driver failed (exit $status)" >&2
+    exit $status
+fi
+
+if [ ! -s "$out" ]; then
+    echo "bench_sim: $out missing or empty" >&2
+    exit 1
+fi
+echo "bench_sim: wrote $out"

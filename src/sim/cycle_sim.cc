@@ -4,12 +4,14 @@
 
 namespace calyx::sim {
 
-CycleSim::CycleSim(const SimProgram &prog) : prog(&prog), stateVal(prog) {}
+CycleSim::CycleSim(const SimProgram &prog, Engine engine)
+    : prog(&prog), stateVal(prog, engine)
+{}
 
 void
 CycleSim::activateRec(const SimProgram::Instance &inst)
 {
-    if (!inst.groups.empty()) {
+    if (inst.hasGroups()) {
         fatal("CycleSim requires a fully-compiled program, but component ",
               inst.comp->name(), " still has groups");
     }

@@ -13,11 +13,16 @@ namespace calyx::sim {
  * substitute for Verilator: after RemoveGroups a Calyx program is the
  * RTL netlist modulo syntax, so clocking it with the primitive models
  * yields the cycle counts the paper measures (§7 evaluation setup).
+ *
+ * The combinational engine is selectable (docs/simulation.md): the
+ * levelized event-driven engine is the default; the Jacobi fixed-point
+ * engine remains available as the reference oracle.
  */
 class CycleSim
 {
   public:
-    explicit CycleSim(const SimProgram &prog);
+    explicit CycleSim(const SimProgram &prog,
+                      Engine engine = Engine::Levelized);
 
     /**
      * Drive `go` high and clock the design until `done` reads 1.

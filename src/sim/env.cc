@@ -1,18 +1,63 @@
 #include "sim/env.h"
 
+#include <algorithm>
 #include <cstring>
 
+#include "sim/schedule.h"
 #include "support/error.h"
 
 namespace calyx::sim {
+
+std::vector<std::vector<uint64_t>>
+archState(const SimProgram &prog)
+{
+    std::vector<std::vector<uint64_t>> state;
+    for (const auto &m : prog.models()) {
+        if (auto rv = m->registerValue())
+            state.push_back({*rv});
+        else if (auto *mem = m->memory())
+            state.push_back(*mem);
+    }
+    return state;
+}
+
+const char *
+engineName(Engine engine)
+{
+    return engine == Engine::Jacobi ? "jacobi" : "levelized";
+}
+
+Engine
+parseEngine(const std::string &name)
+{
+    if (name == "jacobi")
+        return Engine::Jacobi;
+    if (name == "levelized")
+        return Engine::Levelized;
+    fatal("unknown simulation engine '", name,
+          "' (options: jacobi, levelized)");
+}
 
 bool
 SExpr::eval(const uint64_t *vals) const
 {
     if (nodes.empty())
         return true;
-    // Stack machine over the postorder array.
-    uint64_t stack[64];
+    if (depth <= sexprInlineDepth) {
+        uint64_t stack[sexprInlineDepth];
+        return evalWith(vals, stack);
+    }
+    // Pathological guard: size heap scratch to the exact depth computed
+    // at compile time instead of overflowing the inline buffer.
+    std::vector<uint64_t> stack(depth);
+    return evalWith(vals, stack.data());
+}
+
+bool
+SExpr::evalWith(const uint64_t *vals, uint64_t *stack) const
+{
+    // Stack machine over the postorder array. Depth was bounded when the
+    // guard was compiled, so no per-node overflow check is needed here.
     size_t sp = 0;
     for (const Node &n : nodes) {
         switch (n.op) {
@@ -64,10 +109,65 @@ SExpr::eval(const uint64_t *vals) const
             break;
           }
         }
-        if (sp >= 64)
-            panic("guard expression too deep");
     }
     return stack[0] != 0;
+}
+
+void
+SExpr::computeDepth()
+{
+    uint32_t cur = 0;
+    depth = 0;
+    for (const Node &n : nodes) {
+        switch (n.op) {
+          case Op::Not:
+            break; // pops one, pushes one
+          case Op::And:
+          case Op::Or:
+            --cur; // pops two, pushes one
+            break;
+          default:
+            ++cur; // True/Port/Cmp leaves push one
+            break;
+        }
+        depth = std::max(depth, cur);
+    }
+}
+
+void
+SExpr::collectPorts(std::vector<uint32_t> &ports) const
+{
+    for (const Node &n : nodes) {
+        switch (n.op) {
+          case Op::Port:
+            ports.push_back(n.a);
+            break;
+          case Op::Eq:
+          case Op::Neq:
+          case Op::Lt:
+          case Op::Gt:
+          case Op::Leq:
+          case Op::Geq:
+            if (!n.aImm)
+                ports.push_back(n.a);
+            if (!n.bImm)
+                ports.push_back(n.b);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+uint32_t
+SimProgram::Instance::groupId(const std::string &name) const
+{
+    auto it = groupIndex.find(name);
+    if (it == groupIndex.end()) {
+        fatal("simulator: unknown group ", name, " in component ",
+              comp->name());
+    }
+    return it->second;
 }
 
 SimProgram::SimProgram(const Context &ctx, const std::string &top)
@@ -77,6 +177,8 @@ SimProgram::SimProgram(const Context &ctx, const std::string &top)
     rootInst->path = "";
     buildInstance(*rootInst, ctx.component(top));
 }
+
+SimProgram::~SimProgram() = default;
 
 uint32_t
 SimProgram::addPort(const std::string &path)
@@ -104,6 +206,32 @@ SimProgram::findModel(const std::string &cell_path) const
     if (it == modelIndex.end())
         fatal("simulator: unknown cell path ", cell_path);
     return it->second;
+}
+
+void
+SimProgram::forEachAssignment(
+    const std::function<void(const SAssign &, bool)> &fn) const
+{
+    std::function<void(const Instance &)> walk =
+        [&](const Instance &inst) {
+            for (const SAssign &a : inst.continuous)
+                fn(a, true);
+            for (const auto &vec : inst.groupAssigns) {
+                for (const SAssign &a : vec)
+                    fn(a, false);
+            }
+            for (const auto &sub : inst.subs)
+                walk(*sub);
+        };
+    walk(*rootInst);
+}
+
+const SimSchedule &
+SimProgram::schedule() const
+{
+    if (!sched)
+        sched = std::make_unique<SimSchedule>(*this);
+    return *sched;
 }
 
 void
@@ -149,11 +277,14 @@ SimProgram::buildInstance(Instance &inst, const Component &comp)
         }
     }
 
-    // Group holes.
+    // Group holes, with dense group ids in declaration order.
     for (const auto &g : comp.groups()) {
         uint32_t go = addPort(prefix + g->name() + "[go]");
         uint32_t done = addPort(prefix + g->name() + "[done]");
-        inst.holes[g->name()] = {go, done};
+        uint32_t id = static_cast<uint32_t>(inst.groupNames.size());
+        inst.groupNames.push_back(g->name());
+        inst.groupHoles.push_back({go, done});
+        inst.groupIndex[g->name()] = id;
     }
 
     // Assignments.
@@ -174,7 +305,7 @@ SimProgram::buildInstance(Instance &inst, const Component &comp)
         }
         GuardPtr not_done =
             Guard::negate(Guard::fromPort(g->doneHole()));
-        auto &vec = inst.groups[g->name()];
+        auto &vec = inst.groupAssigns.emplace_back();
         for (const auto &a : g->assignments()) {
             bool own_done = a.dst == g->doneHole();
             if (comb_done || own_done) {
@@ -307,10 +438,12 @@ SimProgram::compileGuard(const Instance &inst, const GuardPtr &g)
         return e;
     compileGuardInto(
         g, [&](const PortRef &r) { return resolve(inst, r); }, e.nodes);
+    e.computeDepth();
     return e;
 }
 
-SimState::SimState(const SimProgram &prog) : prog(&prog)
+SimState::SimState(const SimProgram &prog, Engine engine)
+    : prog(&prog), engineVal(engine)
 {
     vals.assign(prog.numPorts(), 0);
     tmp.assign(prog.numPorts(), 0);
@@ -325,20 +458,35 @@ SimState::reset()
         m->reset();
     active.clear();
     forces.clear();
+    // Forget all incremental levelized state: the next comb() walks the
+    // entire schedule once.
+    activationValid = false;
+    activationCalls.clear();
+    prevActivationCalls.clear();
+    prevForces.clear();
 }
 
 void
 SimState::beginCycle()
 {
     active.clear();
+    std::swap(prevActivationCalls, activationCalls);
+    activationCalls.clear();
+    std::swap(prevForces, forces);
     forces.clear();
 }
 
 void
 SimState::activate(const std::vector<SAssign> &assigns)
 {
-    for (const auto &a : assigns)
-        active.push_back(&a);
+    if (engineVal == Engine::Jacobi) {
+        for (const auto &a : assigns)
+            active.push_back(&a);
+    } else {
+        // Record by identity only; the per-port scatter happens lazily
+        // in comb() and is skipped when the call sequence repeats.
+        activationCalls.push_back(&assigns);
+    }
 }
 
 void
@@ -349,6 +497,12 @@ SimState::force(uint32_t port, uint64_t value)
 
 int
 SimState::comb()
+{
+    return engineVal == Engine::Jacobi ? combJacobi() : combLevelized();
+}
+
+int
+SimState::combJacobi()
 {
     for (int pass = 1; pass <= maxCombPasses; ++pass) {
         // Jacobi pass: compute tmp entirely from vals.
@@ -384,10 +538,218 @@ SimState::comb()
 }
 
 void
+SimState::markDirty(uint32_t port)
+{
+    uint32_t node = sched->nodeOf(port);
+    if (!inQueue[node]) {
+        inQueue[node] = 1;
+        queue.push(node);
+    }
+}
+
+void
+SimState::markAllDirty()
+{
+    for (uint32_t n = 0; n < sched->nodes().size(); ++n) {
+        if (!inQueue[n]) {
+            inQueue[n] = 1;
+            queue.push(n);
+        }
+    }
+}
+
+void
+SimState::rebuildActiveByPort()
+{
+    std::swap(activeByPort, oldActiveByPort);
+    std::swap(touched, oldTouched);
+    // After the swap, activeByPort holds the lists from two rebuilds
+    // ago; clear exactly the slots that were populated.
+    for (uint32_t p : touched)
+        activeByPort[p].clear();
+    touched.clear();
+    for (const std::vector<SAssign> *vec : activationCalls) {
+        for (const SAssign &a : *vec) {
+            if (activeByPort[a.dst].empty())
+                touched.push_back(a.dst);
+            activeByPort[a.dst].push_back(&a);
+        }
+    }
+    // Dirty every port whose potential-driver list changed; ports in
+    // oldTouched but not touched fell back to force/model/zero.
+    for (uint32_t p : touched) {
+        if (activeByPort[p] != oldActiveByPort[p])
+            markDirty(p);
+    }
+    for (uint32_t p : oldTouched) {
+        if (activeByPort[p] != oldActiveByPort[p])
+            markDirty(p);
+    }
+}
+
+void
+SimState::diffForces()
+{
+    // Over-approximate: dirty everything forced in either cycle. Force
+    // sets are tiny (top go + one hole per active group).
+    for (const auto &[port, value] : forces)
+        markDirty(port);
+    for (const auto &[port, value] : prevForces)
+        markDirty(port);
+}
+
+uint64_t
+SimState::evalPort(uint32_t port, bool check_conflicts)
+{
+    // Driver priority mirrors the Jacobi pass order: active assignment
+    // beats force beats model output beats the zero default.
+    const SAssign *winner = nullptr;
+    for (const SAssign *a : activeByPort[port]) {
+        if (!a->guard.eval(vals.data()))
+            continue;
+        if (winner && check_conflicts) {
+            fatal("multiple active drivers for port ",
+                  prog->portName(port), ":\n  ",
+                  prog->assignDesc(winner->id), "\n  ",
+                  prog->assignDesc(a->id));
+        }
+        winner = a;
+    }
+    if (winner)
+        return winner->srcConst ? winner->srcValue : vals[winner->srcPort];
+    if (forcedStamp[port] == stamp)
+        return forcedVal[port];
+    if (PrimModel *m = sched->modelOf(port)) {
+        m->evalComb(vals.data(), tmp.data());
+        return tmp[port];
+    }
+    return 0;
+}
+
+void
+SimState::evalNode(uint32_t node_index)
+{
+    const SimSchedule::Node &node = sched->nodes()[node_index];
+    const uint32_t *mem = sched->memberPorts().data() + node.first;
+
+    if (!node.cyclic) {
+        uint32_t p = mem[0];
+        uint64_t nv = evalPort(p, true);
+        if (nv != vals[p]) {
+            vals[p] = nv;
+            for (const uint32_t *q = sched->fanoutBegin(p),
+                                *e = sched->fanoutEnd(p);
+                 q != e; ++q)
+                markDirty(*q);
+        }
+        return;
+    }
+
+    // Non-trivial SCC: bounded local fixed point (Gauss-Seidel over the
+    // members, which converges at least as fast as a Jacobi sweep).
+    bool changed = true;
+    int iter = 0;
+    while (changed) {
+        if (++iter > maxCombPasses) {
+            std::string ports;
+            for (uint32_t i = 0; i < node.count; ++i) {
+                if (!ports.empty())
+                    ports += ", ";
+                ports += prog->portName(mem[i]);
+            }
+            fatal("combinational cycle did not settle after ",
+                  maxCombPasses, " iterations; ports on the cycle: ",
+                  ports);
+        }
+        changed = false;
+        for (uint32_t i = 0; i < node.count; ++i) {
+            uint32_t p = mem[i];
+            uint64_t nv = evalPort(p, false);
+            if (nv != vals[p]) {
+                vals[p] = nv;
+                portChanged[p] = 1;
+                changed = true;
+            }
+        }
+    }
+    // Settled: re-check with conflict detection (values cannot change),
+    // then wake external fanouts of members that moved.
+    for (uint32_t i = 0; i < node.count; ++i)
+        evalPort(mem[i], true);
+    for (uint32_t i = 0; i < node.count; ++i) {
+        uint32_t p = mem[i];
+        if (!portChanged[p])
+            continue;
+        portChanged[p] = 0;
+        for (const uint32_t *q = sched->fanoutBegin(p),
+                            *e = sched->fanoutEnd(p);
+             q != e; ++q) {
+            if (sched->nodeOf(*q) != node_index)
+                markDirty(*q);
+        }
+    }
+}
+
+int
+SimState::combLevelized()
+{
+    if (!sched) {
+        // First evaluation: bind (and possibly build) the schedule and
+        // size the engine's bookkeeping.
+        sched = &prog->schedule();
+        inQueue.assign(sched->nodes().size(), 0);
+        portChanged.assign(prog->numPorts(), 0);
+        forcedVal.assign(prog->numPorts(), 0);
+        forcedStamp.assign(prog->numPorts(), 0);
+        activeByPort.resize(prog->numPorts());
+        oldActiveByPort.resize(prog->numPorts());
+    }
+
+    ++stamp;
+    for (const auto &[port, value] : forces) {
+        forcedVal[port] = value;
+        forcedStamp[port] = stamp;
+    }
+
+    if (!activationValid) {
+        markAllDirty();
+        rebuildActiveByPort();
+    } else {
+        if (activationCalls != prevActivationCalls)
+            rebuildActiveByPort();
+        if (forces != prevForces)
+            diffForces();
+    }
+    activationValid = true;
+
+    int evaluated = 0;
+    while (!queue.empty()) {
+        uint32_t node = queue.top();
+        queue.pop();
+        inQueue[node] = 0;
+        evalNode(node);
+        ++evaluated;
+    }
+    return evaluated;
+}
+
+void
 SimState::clock()
 {
     for (const auto &m : prog->models())
         m->clock(vals.data());
+    if (engineVal == Engine::Levelized && sched) {
+        // Seed the next cycle's event queue: outputs of stateful models
+        // whose post-edge value differs from the settled one.
+        const auto &stateful = sched->statefulModels();
+        for (size_t i = 0; i < stateful.size(); ++i) {
+            stateful[i]->evalComb(vals.data(), tmp.data());
+            for (uint32_t o : sched->statefulOutputs(i)) {
+                if (tmp[o] != vals[o])
+                    markDirty(o);
+            }
+        }
+    }
 }
 
 } // namespace calyx::sim

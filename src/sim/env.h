@@ -2,8 +2,10 @@
 #define CALYX_SIM_ENV_H
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <queue>
 #include <string>
 #include <vector>
 
@@ -11,6 +13,28 @@
 #include "sim/models.h"
 
 namespace calyx::sim {
+
+class SimSchedule;
+
+/**
+ * Combinational evaluation engine selection (see docs/simulation.md).
+ *
+ *  - Jacobi: the original reference engine. Every comb() pass zero-fills
+ *    a scratch vector, re-evaluates every model and active assignment,
+ *    and iterates to a fixed point. O(depth x (ports + assigns)) per
+ *    cycle, but trivially correct; kept forever as the oracle.
+ *  - Levelized: statically scheduled event-driven engine. A port-level
+ *    dependency graph over all potential drivers is SCC-condensed and
+ *    topologically ordered once per program; each cycle walks only the
+ *    dirty cone of that schedule.
+ */
+enum class Engine { Jacobi, Levelized };
+
+/** "jacobi" / "levelized". */
+const char *engineName(Engine engine);
+
+/** Parse an engine name; fatal() with the valid options on a miss. */
+Engine parseEngine(const std::string &name);
 
 /**
  * A compiled guard expression: the source Guard tree flattened to a
@@ -43,8 +67,27 @@ struct SExpr
 
     std::vector<Node> nodes; ///< Empty means "always true".
 
+    /**
+     * Maximum value-stack depth eval() can reach, computed when the
+     * guard is compiled. Guards deeper than the inline scratch buffer
+     * fall back to heap-sized storage instead of overflowing it.
+     */
+    uint32_t depth = 0;
+
     bool eval(const uint64_t *vals) const;
+
+    /** Recompute `depth` from `nodes` (called after compilation). */
+    void computeDepth();
+
+    /** Append every port id the guard reads to `ports`. */
+    void collectPorts(std::vector<uint32_t> &ports) const;
+
+  private:
+    bool evalWith(const uint64_t *vals, uint64_t *stack) const;
 };
+
+/** Inline eval stack size; deeper guards use heap scratch. */
+constexpr uint32_t sexprInlineDepth = 64;
 
 /** A compiled assignment. */
 struct SAssign
@@ -71,15 +114,24 @@ class SimProgram
         std::string path;        ///< "" for top, "pe00/" style prefix.
         const Component *comp = nullptr;
         std::vector<SAssign> continuous;
-        /// Group name -> compiled assignments.
-        std::map<std::string, std::vector<SAssign>> groups;
-        /// Group name -> (go hole id, done hole id).
-        std::map<std::string, std::pair<uint32_t, uint32_t>> holes;
+        /// Per-group data indexed by dense group id (declaration order);
+        /// the string map exists only for one-time name resolution.
+        std::vector<std::string> groupNames;
+        std::vector<std::vector<SAssign>> groupAssigns;
+        /// (go hole id, done hole id) per group id.
+        std::vector<std::pair<uint32_t, uint32_t>> groupHoles;
+        std::map<std::string, uint32_t> groupIndex;
         uint32_t goPort = 0, donePort = 0; ///< This-instance go/done ids.
         std::vector<std::unique_ptr<Instance>> subs;
+
+        bool hasGroups() const { return !groupAssigns.empty(); }
+
+        /** Dense id for a group name; fatal() on a miss. */
+        uint32_t groupId(const std::string &name) const;
     };
 
     SimProgram(const Context &ctx, const std::string &top);
+    ~SimProgram();
 
     const Instance &root() const { return *rootInst; }
     size_t numPorts() const { return portNames.size(); }
@@ -102,6 +154,19 @@ class SimProgram
         return assignDescs[id];
     }
 
+    /** Visit every compiled assignment; `continuous` distinguishes
+     *  always-active assignments from group ones. */
+    void forEachAssignment(
+        const std::function<void(const SAssign &, bool continuous)> &fn)
+        const;
+
+    /**
+     * The levelized evaluation schedule, built on first use and cached.
+     * Construction fatal()s when the program contains an unconditional
+     * combinational cycle, naming the ports on it.
+     */
+    const SimSchedule &schedule() const;
+
     const Context &context() const { return *ctx; }
 
   private:
@@ -120,18 +185,20 @@ class SimProgram
     std::vector<std::unique_ptr<PrimModel>> modelList;
     std::map<std::string, PrimModel *> modelIndex;
     std::vector<std::string> assignDescs;
+    mutable std::unique_ptr<SimSchedule> sched; ///< Lazily built.
 };
 
 /**
  * Mutable per-run simulation state: port values plus the combinational
- * fixpoint engine. Callers select the active assignment set each cycle
+ * evaluation engine. Callers select the active assignment set each cycle
  * (continuous only for compiled programs; continuous + active groups for
  * the interpreter), then alternate comb() and clock().
  */
 class SimState
 {
   public:
-    explicit SimState(const SimProgram &prog);
+    explicit SimState(const SimProgram &prog,
+                      Engine engine = Engine::Levelized);
 
     /** Reset all models and values. */
     void reset();
@@ -146,9 +213,9 @@ class SimState
     void force(uint32_t port, uint64_t value);
 
     /**
-     * Run the combinational fixpoint for this cycle. Throws Error on
-     * multiple active drivers or failure to converge (combinational
-     * loop). Returns the number of Jacobi passes used.
+     * Settle the combinational network for this cycle. Throws Error on
+     * multiple active drivers or a combinational loop. Returns the
+     * number of Jacobi passes (Jacobi) or node evaluations (Levelized).
      */
     int comb();
 
@@ -161,18 +228,65 @@ class SimState
         return vals[prog->portId(path)];
     }
 
+    Engine engine() const { return engineVal; }
     const SimProgram &program() const { return *prog; }
 
   private:
+    int combJacobi();
+    int combLevelized();
+
+    /** Settled value of one port under driver priority; see evalPort(). */
+    uint64_t evalPort(uint32_t port, bool check_conflicts);
+
+    void markDirty(uint32_t port);
+    void markAllDirty();
+    void rebuildActiveByPort();
+    void diffForces();
+    void evalNode(uint32_t node_index);
+
     const SimProgram *prog;
+    Engine engineVal;
     std::vector<uint64_t> vals, tmp;
-    std::vector<const SAssign *> active;
+    std::vector<const SAssign *> active; ///< Jacobi: flat active set.
     std::vector<std::pair<uint32_t, uint64_t>> forces;
     std::vector<int32_t> driver; // scratch for conflict detection
+
+    // --- Levelized engine state -------------------------------------
+    const SimSchedule *sched = nullptr; ///< Bound on first comb().
+
+    /// This cycle's activate() calls, by identity. When the sequence
+    /// matches the previous cycle's, the per-port active lists are
+    /// reused wholesale and no re-scatter or diff happens.
+    std::vector<const std::vector<SAssign> *> activationCalls;
+    std::vector<const std::vector<SAssign> *> prevActivationCalls;
+    bool activationValid = false; ///< False after reset().
+
+    /// Per-port active drivers, double-buffered so a rebuild can diff
+    /// against the previous cycle; `touched` lists the non-empty slots.
+    std::vector<std::vector<const SAssign *>> activeByPort;
+    std::vector<std::vector<const SAssign *>> oldActiveByPort;
+    std::vector<uint32_t> touched, oldTouched;
+
+    std::vector<std::pair<uint32_t, uint64_t>> prevForces;
+    std::vector<uint64_t> forcedVal;
+    std::vector<uint32_t> forcedStamp;
+    uint32_t stamp = 0; ///< Incremented every comb().
+
+    /// Event queue: dirty schedule nodes, popped in topological order.
+    std::priority_queue<uint32_t, std::vector<uint32_t>,
+                        std::greater<uint32_t>> queue;
+    std::vector<uint8_t> inQueue;     ///< Per schedule node.
+    std::vector<uint8_t> portChanged; ///< Scratch for cyclic nodes.
 };
 
-/** Maximum Jacobi passes before declaring a combinational loop. */
+/** Maximum Jacobi passes / local SCC iterations before giving up. */
 constexpr int maxCombPasses = 256;
+
+/**
+ * Snapshot of all architectural state — registers and memory contents,
+ * in model order. Used by cross-engine equivalence checks.
+ */
+std::vector<std::vector<uint64_t>> archState(const SimProgram &prog);
 
 } // namespace calyx::sim
 

@@ -7,11 +7,19 @@ namespace calyx::sim {
 /** Runtime state for one control node. */
 struct Interp::ExecNode
 {
+    static constexpr uint32_t noGroup = 0xFFFFFFFF;
+
     const Control *ctrl = nullptr;
     const SimProgram::Instance *inst = nullptr;
 
     enum class Phase { Run, Cond, Body };
     Phase phase = Phase::Run;
+
+    // Per-cycle hot-path data, resolved once when the node is entered so
+    // collect()/advance() never touch string-keyed maps.
+    uint32_t groupId = noGroup;     ///< Enable: dense group id.
+    uint32_t condGroupId = noGroup; ///< If/While: cond group id.
+    uint32_t condPort = 0;          ///< If/While: condition port id.
 
     size_t idx = 0;      // seq: current child index
     bool finished = false;
@@ -28,7 +36,8 @@ struct Interp::InstanceExec
     std::unique_ptr<ExecNode> root;
 };
 
-Interp::Interp(const SimProgram &prog) : prog(&prog), stateVal(prog)
+Interp::Interp(const SimProgram &prog, Engine engine)
+    : prog(&prog), stateVal(prog, engine)
 {
     for (const auto &sub : prog.root().subs)
         gatherInstances(*sub);
@@ -59,6 +68,7 @@ Interp::begin(const Control &ctrl, const SimProgram::Instance &inst)
         node->finished = true;
         break;
       case Control::Kind::Enable:
+        node->groupId = inst.groupId(cast<Enable>(ctrl).group());
         break;
       case Control::Kind::Seq: {
         const auto &stmts = cast<Seq>(ctrl).stmts();
@@ -88,9 +98,20 @@ Interp::begin(const Control &ctrl, const SimProgram::Instance &inst)
         break;
       }
       case Control::Kind::If:
-      case Control::Kind::While:
+      case Control::Kind::While: {
         node->phase = ExecNode::Phase::Cond;
+        const std::string &cg =
+            ctrl.kind() == Control::Kind::If
+                ? cast<If>(ctrl).condGroup()
+                : cast<While>(ctrl).condGroup();
+        if (!cg.empty())
+            node->condGroupId = inst.groupId(cg);
+        const PortRef &cp = ctrl.kind() == Control::Kind::If
+                                ? cast<If>(ctrl).condPort()
+                                : cast<While>(ctrl).condPort();
+        node->condPort = condPortId(cp, inst);
         break;
+      }
     }
     return node;
 }
@@ -103,15 +124,10 @@ Interp::collect(ExecNode &node)
     switch (node.ctrl->kind()) {
       case Control::Kind::Empty:
         return;
-      case Control::Kind::Enable: {
-        const std::string &g = cast<Enable>(*node.ctrl).group();
-        auto git = node.inst->groups.find(g);
-        if (git == node.inst->groups.end())
-            fatal("interp: enable of unknown group ", g);
-        stateVal.activate(git->second);
-        stateVal.force(node.inst->holes.at(g).first, 1);
+      case Control::Kind::Enable:
+        stateVal.activate(node.inst->groupAssigns[node.groupId]);
+        stateVal.force(node.inst->groupHoles[node.groupId].first, 1);
         return;
-      }
       case Control::Kind::Seq:
         if (!node.children.empty())
             collect(*node.children[0]);
@@ -125,13 +141,11 @@ Interp::collect(ExecNode &node)
       case Control::Kind::If:
       case Control::Kind::While: {
         if (node.phase == ExecNode::Phase::Cond) {
-            const std::string &cg =
-                node.ctrl->kind() == Control::Kind::If
-                    ? cast<If>(*node.ctrl).condGroup()
-                    : cast<While>(*node.ctrl).condGroup();
-            if (!cg.empty()) {
-                stateVal.activate(node.inst->groups.at(cg));
-                stateVal.force(node.inst->holes.at(cg).first, 1);
+            if (node.condGroupId != ExecNode::noGroup) {
+                stateVal.activate(
+                    node.inst->groupAssigns[node.condGroupId]);
+                stateVal.force(
+                    node.inst->groupHoles[node.condGroupId].first, 1);
             }
         } else if (!node.children.empty()) {
             collect(*node.children[0]);
@@ -151,8 +165,7 @@ Interp::advance(ExecNode &node)
         node.finished = true;
         return true;
       case Control::Kind::Enable: {
-        const std::string &g = cast<Enable>(*node.ctrl).group();
-        uint32_t done = node.inst->holes.at(g).second;
+        uint32_t done = node.inst->groupHoles[node.groupId].second;
         if (stateVal.value(done) & 1)
             node.finished = true;
         return node.finished;
@@ -189,14 +202,13 @@ Interp::advance(ExecNode &node)
         const auto &stmt = cast<If>(*node.ctrl);
         if (node.phase == ExecNode::Phase::Cond) {
             bool cond_done = true;
-            if (!stmt.condGroup().empty()) {
+            if (node.condGroupId != ExecNode::noGroup) {
                 uint32_t done =
-                    node.inst->holes.at(stmt.condGroup()).second;
+                    node.inst->groupHoles[node.condGroupId].second;
                 cond_done = stateVal.value(done) & 1;
             }
             if (cond_done) {
-                uint64_t v = stateVal.value(
-                    condPortId(stmt.condPort(), *node.inst));
+                uint64_t v = stateVal.value(node.condPort);
                 const Control &branch =
                     (v & 1) ? stmt.trueBranch() : stmt.falseBranch();
                 auto child = begin(branch, *node.inst);
@@ -218,14 +230,13 @@ Interp::advance(ExecNode &node)
         const auto &stmt = cast<While>(*node.ctrl);
         if (node.phase == ExecNode::Phase::Cond) {
             bool cond_done = true;
-            if (!stmt.condGroup().empty()) {
+            if (node.condGroupId != ExecNode::noGroup) {
                 uint32_t done =
-                    node.inst->holes.at(stmt.condGroup()).second;
+                    node.inst->groupHoles[node.condGroupId].second;
                 cond_done = stateVal.value(done) & 1;
             }
             if (cond_done) {
-                uint64_t v = stateVal.value(
-                    condPortId(stmt.condPort(), *node.inst));
+                uint64_t v = stateVal.value(node.condPort);
                 if (v & 1) {
                     auto child = begin(stmt.body(), *node.inst);
                     if (child->finished) {

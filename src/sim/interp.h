@@ -26,7 +26,8 @@ namespace calyx::sim {
 class Interp
 {
   public:
-    explicit Interp(const SimProgram &prog);
+    explicit Interp(const SimProgram &prog,
+                    Engine engine = Engine::Levelized);
     ~Interp();
 
     /**

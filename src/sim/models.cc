@@ -22,6 +22,12 @@ class ConstModel final : public PrimModel
         o[out] = value;
     }
 
+    ModelDeps
+    deps() const override
+    {
+        return {{out}, {}, false};
+    }
+
   private:
     uint32_t out;
     uint64_t value;
@@ -51,6 +57,12 @@ class UnaryModel final : public PrimModel
             o[out] = truncate(~v, outWidth);
             break;
         }
+    }
+
+    ModelDeps
+    deps() const override
+    {
+        return {{out}, {{in, {out}}}, false};
     }
 
   private:
@@ -99,6 +111,12 @@ class BinModel final : public PrimModel
         o[out] = truncate(v, width);
     }
 
+    ModelDeps
+    deps() const override
+    {
+        return {{out}, {{l, {out}}, {r, {out}}}, false};
+    }
+
   private:
     Op op;
     uint32_t l, r, out;
@@ -141,6 +159,12 @@ class CmpModel final : public PrimModel
             break;
         }
         o[out] = v ? 1 : 0;
+    }
+
+    ModelDeps
+    deps() const override
+    {
+        return {{out}, {{l, {out}}, {r, {out}}}, false};
     }
 
   private:
@@ -186,6 +210,13 @@ class RegModel final : public PrimModel
     void setRegisterValue(uint64_t v) override
     {
         value = truncate(v, width);
+    }
+
+    /// `in`/`write_en` are sampled only at the clock edge: no comb edges.
+    ModelDeps
+    deps() const override
+    {
+        return {{out, done}, {}, true};
     }
 
   private:
@@ -261,6 +292,20 @@ class MemModel final : public PrimModel
 
     std::vector<uint64_t> *memory() override { return &data; }
 
+    /// Reads are combinational in the address ports; writes are clocked.
+    ModelDeps
+    deps() const override
+    {
+        ModelDeps d;
+        d.outputs = {readData, readData1, done};
+        for (uint32_t a : addrs)
+            d.combEdges.push_back({a, {readData}});
+        for (uint32_t a : addrs1)
+            d.combEdges.push_back({a, {readData1}});
+        d.stateful = true;
+        return d;
+    }
+
   private:
     std::vector<uint32_t> addrs, addrs1;
     std::vector<uint64_t> dims;
@@ -294,6 +339,16 @@ class PipeModel final : public PrimModel
         for (size_t i = 0; i < outs.size(); ++i)
             o[outs[i]] = results[i];
         o[done] = donePulse ? 1 : 0;
+    }
+
+    ModelDeps
+    deps() const override
+    {
+        ModelDeps d;
+        d.outputs = outs;
+        d.outputs.push_back(done);
+        d.stateful = true;
+        return d;
     }
 
     void
@@ -379,6 +434,12 @@ class SqrtModel final : public PrimModel
     {
         o[out] = result;
         o[done] = donePulse ? 1 : 0;
+    }
+
+    ModelDeps
+    deps() const override
+    {
+        return {{out, done}, {}, true};
     }
 
     void

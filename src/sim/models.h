@@ -6,6 +6,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ir/cell.h"
@@ -22,6 +23,30 @@ namespace calyx::sim {
  * t .. t+L-1 and the `done` port pulses high during cycle t+L, where L is
  * the primitive's latency. Data outputs hold their last computed value.
  */
+/**
+ * Static dependency metadata for one primitive model, used by the
+ * levelized engine (sim/schedule.h) to build the port-level dependency
+ * graph. `combEdges` lists which input ports combinationally feed which
+ * output ports; inputs that are only sampled at clock edges (a
+ * register's `in`/`write_en`, a memory's `write_data`) are deliberately
+ * absent, which is what cuts the graph at sequential elements.
+ */
+struct ModelDeps
+{
+    /** Every port this model drives during evalComb(). */
+    std::vector<uint32_t> outputs;
+
+    /** (input port, output ports it combinationally affects). */
+    std::vector<std::pair<uint32_t, std::vector<uint32_t>>> combEdges;
+
+    /**
+     * True when some output reads internal state that advances at clock
+     * edges (registers, memories, pipes). The engine re-checks these
+     * models' outputs after every clock() to seed the event queue.
+     */
+    bool stateful = false;
+};
+
 class PrimModel
 {
   public:
@@ -29,6 +54,13 @@ class PrimModel
 
     /** Recompute outputs: read `in[]`, write `out[]` (Jacobi pass). */
     virtual void evalComb(const uint64_t *in, uint64_t *out) const = 0;
+
+    /**
+     * Dependency contract for schedule construction. Every primitive
+     * must declare all of its outputs, the input->output combinational
+     * edges, and whether outputs depend on clocked internal state.
+     */
+    virtual ModelDeps deps() const = 0;
 
     /** Advance internal state using the settled values of this cycle. */
     virtual void clock(const uint64_t * /*vals*/) {}

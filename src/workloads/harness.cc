@@ -96,7 +96,8 @@ runOnInterp(const dahlia::Program &program, const MemState &inputs)
 HardwareResult
 runOnHardware(const dahlia::Program &program,
               const passes::PipelineSpec &spec, const MemState &inputs,
-              MemState *final_state, const passes::RunOptions &run_options)
+              MemState *final_state, const passes::RunOptions &run_options,
+              sim::Engine engine)
 {
     using clock = std::chrono::steady_clock;
     auto start = clock::now();
@@ -114,7 +115,7 @@ runOnHardware(const dahlia::Program &program,
     result.area = estimator.estimateProgram();
 
     sim::SimProgram sp(ctx, "main");
-    sim::CycleSim cs(sp);
+    sim::CycleSim cs(sp, engine);
 
     // Scatter inputs into the (possibly banked) memory cells.
     for (const auto &d : program.decls) {
@@ -130,7 +131,10 @@ runOnHardware(const dahlia::Program &program,
         }
     }
 
+    auto sim_start = clock::now();
     result.cycles = cs.run();
+    result.simSeconds =
+        std::chrono::duration<double>(clock::now() - sim_start).count();
 
     if (final_state) {
         final_state->clear();

@@ -6,6 +6,7 @@
 #include "estimate/area.h"
 #include "frontends/dahlia/ast.h"
 #include "passes/pipeline.h"
+#include "sim/env.h"
 #include "workloads/reference.h"
 
 namespace calyx::workloads {
@@ -17,6 +18,15 @@ struct HardwareResult
     estimate::Area area;
     passes::DesignStats stats; ///< Pre-compilation IL statistics.
     double compileSeconds = 0.0;
+    double simSeconds = 0.0; ///< Wall-clock time inside CycleSim::run().
+
+    /** Simulator throughput (0 when the run was too fast to time). */
+    double
+    cyclesPerSecond() const
+    {
+        return simSeconds > 0 ? static_cast<double>(cycles) / simSeconds
+                              : 0.0;
+    }
 };
 
 /** Deterministic inputs for every memory a program declares. */
@@ -41,7 +51,8 @@ HardwareResult runOnHardware(const dahlia::Program &program,
                              const passes::PipelineSpec &spec,
                              const MemState &inputs,
                              MemState *final_state = nullptr,
-                             const passes::RunOptions &run_options = {});
+                             const passes::RunOptions &run_options = {},
+                             sim::Engine engine = sim::Engine::Levelized);
 HardwareResult runOnHardware(const dahlia::Program &program,
                              const std::string &spec,
                              const MemState &inputs,

@@ -198,6 +198,36 @@ TEST(SimEdge, ForcesBeatAssignments)
     EXPECT_EQ(*sp.findModel("x")->registerValue(), 42u);
 }
 
+TEST(SimEdge, DeepGuardUsesHeapScratch)
+{
+    // A right-leaning conjunction deeper than the inline eval stack
+    // (sexprInlineDepth) used to overflow a fixed 64-slot buffer with
+    // no bound check; guards now carry their compile-time max depth and
+    // fall back to heap scratch.
+    Context ctx;
+    Component &comp = ctx.addComponent("main");
+    comp.addCell("f", "std_reg", {1}, ctx);
+    comp.addCell("x", "std_reg", {8}, ctx);
+    GuardPtr leaf = Guard::negate(Guard::fromPort(cellPort("f", "out")));
+    GuardPtr chain = leaf;
+    for (uint32_t i = 0; i < 2 * sim::sexprInlineDepth; ++i)
+        chain = Guard::conj(leaf, chain);
+    comp.continuousAssignments().emplace_back(cellPort("x", "in"),
+                                              constant(7, 8), chain);
+
+    for (sim::Engine engine :
+         {sim::Engine::Jacobi, sim::Engine::Levelized}) {
+        sim::SimProgram sp(ctx, "main");
+        sim::SimState st(sp, engine);
+        st.reset();
+        st.beginCycle();
+        st.activate(sp.root().continuous);
+        EXPECT_NO_THROW(st.comb());
+        // f resets to 0, so every !f.out conjunct is true.
+        EXPECT_EQ(st.value("x.in"), 7u);
+    }
+}
+
 TEST(SimEdge, PortNameLookupErrors)
 {
     Context ctx;

@@ -28,6 +28,8 @@
  *     --verify               run the well-formed checker between passes
  *     --no-compile           emit the program without lowering control
  *     --sim                  compile, simulate, report the cycle count
+ *     --sim-engine=<e>       combinational engine: levelized (default)
+ *                            or jacobi (the reference fixed-point)
  *     --area                 print the area estimate
  *     --stats                print cells/groups/control statistics
  *
@@ -75,6 +77,7 @@ usage()
            "  --verify               run well-formed checker per pass\n"
            "  --no-compile           emit without lowering control\n"
            "  --sim                  simulate and report cycles\n"
+           "  --sim-engine=<e>       levelized (default) or jacobi\n"
            "  --area                 print the area estimate\n"
            "  --stats                print cells/groups/control stats\n";
     return 2;
@@ -150,6 +153,7 @@ main(int argc, char **argv)
     std::vector<std::string> overrides;
     bool compile = true, simulate = false, area = false, stats = false;
     bool emit_stats = false;
+    calyx::sim::Engine sim_engine = calyx::sim::Engine::Levelized;
     calyx::passes::RunOptions run_options;
     bool timings = false;
 
@@ -200,6 +204,23 @@ main(int argc, char **argv)
             compile = false;
         } else if (a == "--sim") {
             simulate = true;
+        } else if (a.rfind("--sim-engine=", 0) == 0) {
+            try {
+                sim_engine = calyx::sim::parseEngine(
+                    a.substr(std::string("--sim-engine=").size()));
+            } catch (const calyx::Error &e) {
+                std::cerr << "error: " << e.what() << "\n";
+                return 2;
+            }
+        } else if (a == "--sim-engine") {
+            if (++i >= args.size())
+                return usage();
+            try {
+                sim_engine = calyx::sim::parseEngine(args[i]);
+            } catch (const calyx::Error &e) {
+                std::cerr << "error: " << e.what() << "\n";
+                return 2;
+            }
         } else if (a == "--area") {
             area = true;
         } else if (a == "--stats") {
@@ -275,7 +296,7 @@ main(int argc, char **argv)
         }
         if (simulate) {
             calyx::sim::SimProgram sp(ctx, ctx.entrypoint());
-            calyx::sim::CycleSim cs(sp);
+            calyx::sim::CycleSim cs(sp, sim_engine);
             std::cout << "cycles: " << cs.run() << "\n";
         }
         bool emits = !output.empty() ||
