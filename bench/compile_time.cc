@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Compile-time benchmark (ISSUE 4): times the full `-p all` pipeline on
+ * scaled designs — 8x8 up to 32x32 systolic arrays plus the PolyBench
+ * suite — and writes per-pass and end-to-end wall time to
+ * BENCH_compile.json. With --baseline FILE, per-workload "before"
+ * timings from a previous run (e.g. the string-keyed seed, committed at
+ * bench/baselines/compile_seed.json) are merged in so the JSON records
+ * before/after side by side.
+ *
+ * Usage:
+ *   bench_compile_time [--small] [--check] [--reps N] [--out FILE]
+ *                      [--baseline FILE]
+ *     --small     CI smoke configuration (8x8/16x16 systolic, two
+ *                 PolyBench kernels)
+ *     --check     exit non-zero unless every timing is nonzero and the
+ *                 systolic timings grow monotonically with array size
+ *     --reps N    timing repetitions per workload (default 3)
+ *     --out       output path (default BENCH_compile.json)
+ *     --baseline  JSON from a previous run to embed as "before"
+ *
+ * All times are stored as integer microseconds (the JSON layer is
+ * integer-only); generation/parsing happens outside the timed region,
+ * the pipeline run (including IR traversals and pass bookkeeping) is
+ * inside it.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "frontends/dahlia/checker.h"
+#include "frontends/dahlia/codegen.h"
+#include "frontends/dahlia/parser.h"
+#include "frontends/systolic/systolic.h"
+#include "passes/pipeline_spec.h"
+#include "support/error.h"
+#include "support/json.h"
+#include "workloads/polybench.h"
+
+using namespace calyx;
+
+namespace {
+
+constexpr const char *kPipeline = "all";
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+uint64_t
+toMicros(double seconds)
+{
+    double us = seconds * 1e6;
+    return us <= 0 ? 0 : static_cast<uint64_t>(us + 0.5);
+}
+
+struct WorkloadResult
+{
+    std::string name;
+    std::string kind; ///< "systolic" or "polybench"
+    uint64_t size = 0; ///< systolic dimension; 0 for polybench
+    int reps = 0;
+    double endToEndSeconds = 0; ///< Sum across reps.
+    /** Per-pass wall time summed across reps, in pipeline order. */
+    std::vector<std::pair<std::string, double>> perPass;
+
+    void
+    accumulate(const std::vector<passes::PassRunInfo> &infos)
+    {
+        if (perPass.empty()) {
+            for (const auto &info : infos)
+                perPass.emplace_back(info.pass, 0.0);
+        }
+        for (size_t i = 0; i < infos.size() && i < perPass.size(); ++i)
+            perPass[i].second += infos[i].seconds;
+    }
+};
+
+/** Time `reps` fresh compiles; `make` rebuilds the Context each time. */
+template <typename MakeContext>
+WorkloadResult
+benchWorkload(const std::string &name, const std::string &kind,
+              uint64_t size, int reps, const MakeContext &make)
+{
+    WorkloadResult r;
+    r.name = name;
+    r.kind = kind;
+    r.size = size;
+    r.reps = reps;
+    for (int i = 0; i < reps; ++i) {
+        Context ctx = make();
+        double start = now();
+        auto infos = passes::runPipeline(ctx, kPipeline);
+        r.endToEndSeconds += now() - start;
+        r.accumulate(infos);
+    }
+    return r;
+}
+
+WorkloadResult
+benchSystolic(int dim, int reps)
+{
+    std::string name =
+        "systolic_" + std::to_string(dim) + "x" + std::to_string(dim);
+    return benchWorkload(name, "systolic", static_cast<uint64_t>(dim), reps,
+                         [dim]() {
+                             Context ctx;
+                             systolic::Config cfg;
+                             cfg.rows = cfg.cols = cfg.inner = dim;
+                             systolic::generate(ctx, cfg);
+                             return ctx;
+                         });
+}
+
+WorkloadResult
+benchPolybench(const workloads::Kernel &k, int reps)
+{
+    dahlia::Program program = dahlia::parse(k.source);
+    dahlia::check(program);
+    return benchWorkload("polybench_" + k.name, "polybench", 0, reps,
+                         [&program]() {
+                             return dahlia::compileDahlia(program);
+                         });
+}
+
+json::Value
+toJson(const WorkloadResult &r, const json::Value *baseline)
+{
+    json::Value w = json::Value::object();
+    w.set("name", json::Value::str(r.name));
+    w.set("kind", json::Value::str(r.kind));
+    if (r.size)
+        w.set("size", json::Value::number(r.size));
+    w.set("reps", json::Value::number(static_cast<uint64_t>(r.reps)));
+    // All times are per-compile means, so runs with different rep
+    // counts (e.g. the slow string-keyed baseline at --reps 1) compare
+    // directly.
+    w.set("end_to_end_us",
+          json::Value::number(toMicros(r.endToEndSeconds / r.reps)));
+    json::Value per_pass = json::Value::object();
+    for (const auto &[pass, seconds] : r.perPass)
+        per_pass.set(pass, json::Value::number(toMicros(seconds / r.reps)));
+    w.set("per_pass_us", std::move(per_pass));
+
+    if (baseline) {
+        // Baselines come from this same writer, so end_to_end_us is
+        // already a per-compile mean regardless of the rep count.
+        uint64_t before = baseline->at("end_to_end_us").asNum();
+        w.set("baseline_end_to_end_us", json::Value::number(before));
+        uint64_t after = toMicros(r.endToEndSeconds / r.reps);
+        if (after > 0) {
+            // Integer-only JSON: speedup in percent (150 = 1.5x).
+            w.set("speedup_vs_baseline_pct",
+                  json::Value::number(before * 100 / after));
+        }
+        if (const json::Value *bp = baseline->find("per_pass_us"))
+            w.set("baseline_per_pass_us", *bp);
+    }
+    return w;
+}
+
+/** Workload entry with the given name in a bench JSON, or nullptr. */
+const json::Value *
+findWorkload(const json::Value &doc, const std::string &name)
+{
+    const json::Value *list = doc.find("workloads");
+    if (!list || list->kind() != json::Value::Kind::Arr)
+        return nullptr;
+    for (const auto &w : list->items()) {
+        if (const json::Value *n = w.find("name")) {
+            if (n->kind() == json::Value::Kind::Str && n->asStr() == name)
+                return &w;
+        }
+    }
+    return nullptr;
+}
+
+int
+check(const std::vector<WorkloadResult> &results)
+{
+    int failures = 0;
+    uint64_t prevSystolic = 0;
+    for (const auto &r : results) {
+        uint64_t us = toMicros(r.endToEndSeconds / r.reps);
+        if (us == 0) {
+            std::fprintf(stderr, "bench_compile: %s reported zero time\n",
+                         r.name.c_str());
+            ++failures;
+        }
+        if (r.kind == "systolic") {
+            // Larger arrays must not compile faster: timings are summed
+            // over reps, so noise would have to exceed the size scaling
+            // to break this.
+            if (us < prevSystolic) {
+                std::fprintf(stderr,
+                             "bench_compile: %s (%llu us) faster than "
+                             "smaller systolic design (%llu us)\n",
+                             r.name.c_str(),
+                             static_cast<unsigned long long>(us),
+                             static_cast<unsigned long long>(prevSystolic));
+                ++failures;
+            }
+            prevSystolic = us;
+        }
+    }
+    return failures;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool small = false, doCheck = false;
+    int reps = 3;
+    std::string out = "BENCH_compile.json";
+    std::string baselinePath;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--small") {
+            small = true;
+        } else if (arg == "--check") {
+            doCheck = true;
+        } else if (arg == "--reps" && i + 1 < argc) {
+            reps = std::atoi(argv[++i]);
+        } else if (arg == "--out" && i + 1 < argc) {
+            out = argv[++i];
+        } else if (arg == "--baseline" && i + 1 < argc) {
+            baselinePath = argv[++i];
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+            return 2;
+        }
+    }
+    if (reps < 1)
+        reps = 1;
+
+    json::Value baseline;
+    if (!baselinePath.empty()) {
+        std::ifstream in(baselinePath);
+        if (!in) {
+            std::fprintf(stderr, "bench_compile: cannot read baseline %s\n",
+                         baselinePath.c_str());
+            return 2;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        baseline = json::parse(ss.str());
+    }
+
+    std::vector<WorkloadResult> results;
+    try {
+        std::vector<int> dims = small ? std::vector<int>{8, 16}
+                                      : std::vector<int>{8, 16, 32};
+        for (int dim : dims) {
+            results.push_back(benchSystolic(dim, reps));
+            std::fprintf(stderr, "bench_compile: %s %.3fs\n",
+                         results.back().name.c_str(),
+                         results.back().endToEndSeconds);
+        }
+        for (const auto &k : workloads::kernels()) {
+            if (small && k.name != "gemm" && k.name != "atax")
+                continue;
+            results.push_back(benchPolybench(k, reps));
+            std::fprintf(stderr, "bench_compile: %s %.3fs\n",
+                         results.back().name.c_str(),
+                         results.back().endToEndSeconds);
+        }
+    } catch (const Error &e) {
+        std::fprintf(stderr, "bench_compile: %s\n", e.what());
+        return 1;
+    }
+
+    json::Value doc = json::Value::object();
+    doc.set("schema", json::Value::str("calyx-compile-bench-v1"));
+    doc.set("pipeline", json::Value::str(kPipeline));
+    doc.set("reps", json::Value::number(static_cast<uint64_t>(reps)));
+    doc.set("unit", json::Value::str("microseconds"));
+    json::Value list = json::Value::array();
+    for (const auto &r : results) {
+        const json::Value *base = baselinePath.empty()
+                                      ? nullptr
+                                      : findWorkload(baseline, r.name);
+        list.push(toJson(r, base));
+    }
+    doc.set("workloads", std::move(list));
+
+    std::ofstream os(out);
+    doc.write(os);
+    os << "\n";
+    if (!os) {
+        std::fprintf(stderr, "bench_compile: cannot write %s\n",
+                     out.c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "bench_compile: wrote %s\n", out.c_str());
+
+    return doCheck ? (check(results) ? 1 : 0) : 0;
+}

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Compile-time benchmark: time the full `-p all` pipeline on generated
+# systolic arrays (8x8 up to 32x32) and the PolyBench suite, and write
+# BENCH_compile.json (per-pass and end-to-end wall time). When the
+# string-keyed seed baseline (bench/baselines/compile_seed.json) is
+# present, its timings are merged in as "baseline_*" fields so the JSON
+# records before/after side by side.
+#
+# Usage: scripts/bench_compile.sh [path/to/bench_compile_time] [extra flags]
+#   e.g. scripts/bench_compile.sh build/bench_compile_time --small --check
+#
+# CI runs the --small --check configuration: small workloads, hard
+# failure unless every timing is nonzero and the systolic timings grow
+# monotonically with the array size.
+set -u
+
+bench="${1:-build/bench_compile_time}"
+shift 2>/dev/null || true
+if [ ! -x "$bench" ]; then
+    echo "bench_compile: bench binary not found at '$bench'" >&2
+    exit 1
+fi
+
+script_dir="$(cd "$(dirname "$0")" && pwd)"
+baseline="$script_dir/../bench/baselines/compile_seed.json"
+
+# A caller-supplied --out wins (the driver takes the last --out given);
+# track it so the output check validates the right file.
+out="BENCH_compile.json"
+prev=""
+for arg in "$@"; do
+    if [ "$prev" = "--out" ]; then
+        out="$arg"
+    fi
+    prev="$arg"
+done
+
+extra=()
+if [ -f "$baseline" ]; then
+    extra=(--baseline "$baseline")
+fi
+
+"$bench" --out "$out" "${extra[@]}" "$@"
+status=$?
+if [ $status -ne 0 ]; then
+    echo "bench_compile: driver failed (exit $status)" >&2
+    exit $status
+fi
+
+if [ ! -s "$out" ]; then
+    echo "bench_compile: $out missing or empty" >&2
+    exit 1
+fi
+echo "bench_compile: wrote $out"

@@ -4,37 +4,44 @@
 
 namespace calyx::analysis {
 
-std::map<std::string, std::string>
-greedyColor(const std::vector<std::string> &nodes,
-            const std::set<std::pair<std::string, std::string>> &conflicts)
+std::map<Symbol, Symbol>
+greedyColor(const std::vector<Symbol> &nodes,
+            const std::function<bool(Symbol, Symbol)> &conflict)
 {
-    auto conflict = [&conflicts](const std::string &a,
-                                 const std::string &b) {
-        return conflicts.count(a < b ? std::pair{a, b}
-                                     : std::pair{b, a}) > 0;
-    };
+    // (node, color) in processing order; scanned per node. The scan
+    // order does not affect the result (only membership in `used`).
+    std::vector<std::pair<Symbol, int>> color;
+    color.reserve(nodes.size());
+    std::vector<Symbol> representative;
 
-    std::map<std::string, int> color;
-    std::vector<std::string> representative;
-
-    for (const auto &node : nodes) {
-        std::set<int> used;
+    for (Symbol node : nodes) {
+        std::vector<char> used(representative.size() + 1, 0);
         for (const auto &[other, c] : color) {
             if (conflict(node, other))
-                used.insert(c);
+                used[c] = 1;
         }
         int c = 0;
-        while (used.count(c))
+        while (used[c])
             ++c;
-        color[node] = c;
+        color.emplace_back(node, c);
         if (c == static_cast<int>(representative.size()))
             representative.push_back(node);
     }
 
-    std::map<std::string, std::string> mapping;
+    std::map<Symbol, Symbol> mapping;
     for (const auto &[node, c] : color)
         mapping[node] = representative[c];
     return mapping;
+}
+
+std::map<Symbol, Symbol>
+greedyColor(const std::vector<Symbol> &nodes,
+            const std::set<std::pair<Symbol, Symbol>> &conflicts)
+{
+    return greedyColor(nodes, [&conflicts](Symbol a, Symbol b) {
+        return conflicts.count(a < b ? std::pair{a, b}
+                                     : std::pair{b, a}) > 0;
+    });
 }
 
 } // namespace calyx::analysis

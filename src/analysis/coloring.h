@@ -1,24 +1,35 @@
 #ifndef CALYX_ANALYSIS_COLORING_H
 #define CALYX_ANALYSIS_COLORING_H
 
+#include <functional>
 #include <map>
 #include <set>
-#include <string>
+#include <utility>
 #include <vector>
+
+#include "support/symbol.h"
 
 namespace calyx::analysis {
 
 /**
  * Greedy graph coloring used by both sharing passes (paper §5.1, §5.2).
- * Nodes are cell names; edges are conflicts. Nodes are processed in the
- * given order and each receives the lowest color not used by an already
- * colored neighbor. The returned map sends every node to the
- * representative (first) node of its color, so applying it as a renaming
- * merges each color class onto one cell.
+ * Nodes are cell names; `conflict` answers whether two nodes may not
+ * share. Nodes are processed in the given order and each receives the
+ * lowest color not used by an already colored neighbor. The returned
+ * map sends every node to the representative (first) node of its color,
+ * so applying it as a renaming merges each color class onto one cell.
+ *
+ * The conflict oracle form is the hot path (passes back it with an O(1)
+ * interference-matrix or hashed-pair-key lookup); the edge-set overload
+ * is a convenience for tests and small callers.
  */
-std::map<std::string, std::string>
-greedyColor(const std::vector<std::string> &nodes,
-            const std::set<std::pair<std::string, std::string>> &conflicts);
+std::map<Symbol, Symbol>
+greedyColor(const std::vector<Symbol> &nodes,
+            const std::function<bool(Symbol, Symbol)> &conflict);
+
+std::map<Symbol, Symbol>
+greedyColor(const std::vector<Symbol> &nodes,
+            const std::set<std::pair<Symbol, Symbol>> &conflicts);
 
 } // namespace calyx::analysis
 

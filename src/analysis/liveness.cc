@@ -2,85 +2,131 @@
 
 #include <deque>
 
-#include "analysis/schedule.h"
-
 namespace calyx::analysis {
 
-Liveness::Liveness(const Pcfg &g,
-                   const std::map<std::string, RegAccess> &access,
-                   const std::set<std::string> &always_live)
-    : access(&access), alwaysLive(always_live)
+Liveness::Liveness(const Pcfg &g, const std::map<Symbol, RegAccess> &access,
+                   const std::set<Symbol> &always_live)
+    : access(&access)
 {
+    // Dense register universe: everything the access sets or the
+    // always-live boundary mention, indexed in lexicographic order for
+    // determinism.
+    std::set<Symbol> universe(always_live.begin(), always_live.end());
+    for (const auto &[group, acc] : access) {
+        (void)group;
+        universe.insert(acc.reads.begin(), acc.reads.end());
+        universe.insert(acc.mustWrites.begin(), acc.mustWrites.end());
+        universe.insert(acc.anyWrites.begin(), acc.anyWrites.end());
+    }
+    regNames.assign(universe.begin(), universe.end());
+    regIndex.reserve(regNames.size());
+    for (uint32_t i = 0; i < regNames.size(); ++i)
+        regIndex.emplace(regNames[i], i);
+    words = (regNames.size() + 63) / 64;
+    matrix.assign(regNames.size() * words, 0);
+
+    alwaysLiveBits = toBits(always_live);
+
     // Registers written by the same group can never be merged: the merged
     // register would have two drivers in one group.
-    for (const auto &[name, acc] : access) {
-        (void)name;
-        for (const auto &a : acc.anyWrites) {
-            for (const auto &b : acc.anyWrites) {
-                if (a < b)
-                    interferenceEdges.insert({a, b});
-            }
-        }
+    for (const auto &[group, acc] : access) {
+        (void)group;
+        if (acc.anyWrites.size() < 2)
+            continue;
+        DenseBits any = toBits(acc.anyWrites);
+        interfere(any, any);
     }
-    analyze(g, alwaysLive);
+
+    analyze(g, alwaysLiveBits);
 }
 
-const RegAccess &
+DenseBits
+Liveness::toBits(const std::set<Symbol> &set) const
+{
+    DenseBits bits(regNames.size());
+    for (Symbol s : set) {
+        auto it = regIndex.find(s);
+        if (it != regIndex.end())
+            bits.set(it->second);
+    }
+    return bits;
+}
+
+void
+Liveness::mergeGraph(const Pcfg &g, NodeBits &merged)
+{
+    for (const auto &n : g.nodes) {
+        if (n.kind == PcfgNode::Kind::Group) {
+            const NodeBits &bits = nodeAccess(n);
+            merged.reads |= bits.reads;
+            merged.mustWrites |= bits.mustWrites;
+            merged.anyWrites |= bits.anyWrites;
+        } else if (n.kind == PcfgNode::Kind::ParNode) {
+            for (const auto &c : n.children)
+                mergeGraph(*c, merged);
+        }
+    }
+}
+
+const Liveness::NodeBits &
 Liveness::nodeAccess(const PcfgNode &node)
 {
-    if (node.kind == PcfgNode::Kind::Nop)
+    if (node.kind == PcfgNode::Kind::Nop) {
+        if (emptyAccess.reads.words().empty()) {
+            emptyAccess.reads.resize(regNames.size());
+            emptyAccess.mustWrites.resize(regNames.size());
+            emptyAccess.anyWrites.resize(regNames.size());
+        }
         return emptyAccess;
+    }
     if (node.kind == PcfgNode::Kind::Group) {
+        auto cached = groupBits.find(node.group);
+        if (cached != groupBits.end())
+            return cached->second;
+        NodeBits bits;
         auto it = access->find(node.group);
-        return it == access->end() ? emptyAccess : it->second;
+        if (it == access->end()) {
+            bits.reads.resize(regNames.size());
+            bits.mustWrites.resize(regNames.size());
+            bits.anyWrites.resize(regNames.size());
+        } else {
+            bits.reads = toBits(it->second.reads);
+            bits.mustWrites = toBits(it->second.mustWrites);
+            bits.anyWrites = toBits(it->second.anyWrites);
+        }
+        return groupBits.emplace(node.group, std::move(bits)).first->second;
     }
     // ParNode: union over children, cached. All children execute, so the
     // union of must-writes is itself a must-write set (paper §5.2).
     auto it = parAccessCache.find(&node);
     if (it != parAccessCache.end())
         return it->second;
-    RegAccess merged;
-    std::function<void(const Pcfg &)> merge_graph = [&](const Pcfg &g) {
-        for (const auto &n : g.nodes) {
-            if (n.kind == PcfgNode::Kind::Group) {
-                auto ait = access->find(n.group);
-                if (ait == access->end())
-                    continue;
-                merged.reads.insert(ait->second.reads.begin(),
-                                    ait->second.reads.end());
-                merged.mustWrites.insert(ait->second.mustWrites.begin(),
-                                         ait->second.mustWrites.end());
-                merged.anyWrites.insert(ait->second.anyWrites.begin(),
-                                        ait->second.anyWrites.end());
-            } else if (n.kind == PcfgNode::Kind::ParNode) {
-                for (const auto &c : n.children)
-                    merge_graph(*c);
-            }
-        }
-    };
+    NodeBits merged;
+    merged.reads.resize(regNames.size());
+    merged.mustWrites.resize(regNames.size());
+    merged.anyWrites.resize(regNames.size());
     for (const auto &c : node.children)
-        merge_graph(*c);
+        mergeGraph(*c, merged);
     return parAccessCache.emplace(&node, std::move(merged)).first->second;
 }
 
 void
-Liveness::interfere(const std::set<std::string> &defs,
-                    const std::set<std::string> &live_out)
+Liveness::interfere(const DenseBits &defs, const DenseBits &live_out)
 {
-    for (const auto &d : defs) {
-        for (const auto &l : live_out) {
-            if (d != l)
-                interferenceEdges.insert(d < l ? std::pair{d, l}
-                                               : std::pair{l, d});
-        }
-    }
+    const auto &lw = live_out.words();
+    defs.forEach([this, &lw](size_t d) {
+        uint64_t *row = matrix.data() + d * words;
+        for (size_t i = 0; i < words; ++i)
+            row[i] |= lw[i];
+    });
 }
 
-std::set<std::string>
-Liveness::analyze(const Pcfg &g, const std::set<std::string> &boundary)
+DenseBits
+Liveness::analyze(const Pcfg &g, const DenseBits &boundary)
 {
     size_t n = g.nodes.size();
-    std::vector<std::set<std::string>> live_in(n), live_out(n);
+    std::vector<DenseBits> live_in(n, DenseBits(regNames.size()));
+    std::vector<DenseBits> live_out(n, DenseBits(regNames.size()));
 
     // Backward worklist to fixpoint.
     std::deque<int> worklist;
@@ -95,17 +141,16 @@ Liveness::analyze(const Pcfg &g, const std::set<std::string> &boundary)
         queued[idx] = false;
         const PcfgNode &node = g.nodes[idx];
 
-        std::set<std::string> out = idx == g.exit ? boundary
-                                                  : std::set<std::string>{};
+        DenseBits out = idx == g.exit ? boundary
+                                      : DenseBits(regNames.size());
         for (int s : node.succs)
-            out.insert(live_in[s].begin(), live_in[s].end());
-        out.insert(alwaysLive.begin(), alwaysLive.end());
+            out |= live_in[s];
+        out |= alwaysLiveBits;
 
-        const RegAccess &acc = nodeAccess(node);
-        std::set<std::string> in = out;
-        for (const auto &w : acc.mustWrites)
-            in.erase(w);
-        in.insert(acc.reads.begin(), acc.reads.end());
+        const NodeBits &acc = nodeAccess(node);
+        DenseBits in = out;
+        in.subtract(acc.mustWrites);
+        in |= acc.reads;
 
         if (out != live_out[idx] || in != live_in[idx]) {
             live_out[idx] = std::move(out);
@@ -124,7 +169,7 @@ Liveness::analyze(const Pcfg &g, const std::set<std::string> &boundary)
     // registers coming out of the p-node).
     for (size_t i = 0; i < n; ++i) {
         const PcfgNode &node = g.nodes[i];
-        const RegAccess &acc = nodeAccess(node);
+        const NodeBits &acc = nodeAccess(node);
         interfere(acc.mustWrites, live_out[i]);
         interfere(acc.anyWrites, live_out[i]);
         if (node.kind == PcfgNode::Kind::ParNode) {
@@ -136,6 +181,37 @@ Liveness::analyze(const Pcfg &g, const std::set<std::string> &boundary)
     // them as mutually interfering.
     interfere(live_in[g.entry], live_in[g.entry]);
     return live_in[g.entry];
+}
+
+bool
+Liveness::conflict(Symbol a, Symbol b) const
+{
+    if (a == b)
+        return false;
+    auto ia = regIndex.find(a);
+    auto ib = regIndex.find(b);
+    if (ia == regIndex.end() || ib == regIndex.end())
+        return false;
+    uint32_t x = ia->second, y = ib->second;
+    // interfere() fills only the def's row, so probe both directions.
+    return ((matrix[x * words + y / 64] >> (y % 64)) & 1) ||
+           ((matrix[y * words + x / 64] >> (x % 64)) & 1);
+}
+
+std::set<std::pair<Symbol, Symbol>>
+Liveness::interference() const
+{
+    std::set<std::pair<Symbol, Symbol>> edges;
+    for (uint32_t x = 0; x < regNames.size(); ++x) {
+        for (uint32_t y = x + 1; y < regNames.size(); ++y) {
+            if (((matrix[x * words + y / 64] >> (y % 64)) & 1) ||
+                ((matrix[y * words + x / 64] >> (x % 64)) & 1)) {
+                // regNames is lexicographic, so (x, y) is canonical.
+                edges.insert({regNames[x], regNames[y]});
+            }
+        }
+    }
+    return edges;
 }
 
 } // namespace calyx::analysis

@@ -3,10 +3,14 @@
 
 #include <map>
 #include <set>
-#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "analysis/pcfg.h"
-#include "analysis/read_write_sets.h"
+#include "ir/defuse.h"
+#include "support/bitset.h"
+#include "support/symbol.h"
 
 namespace calyx::analysis {
 
@@ -14,6 +18,11 @@ namespace calyx::analysis {
  * Live-range analysis over a parallel CFG (paper §5.2). Computes, for
  * every register, where it is live, and derives the interference graph
  * used for register sharing.
+ *
+ * Internally registers are mapped to dense indices and every live set
+ * is a DenseBits word vector; the interference graph is a bit matrix.
+ * The register-sharing pass queries conflict() in O(1) instead of
+ * ordering string pairs in a tree set.
  */
 class Liveness
 {
@@ -23,37 +32,49 @@ class Liveness
      * @param access     per-group register read/write sets
      * @param always_live registers live at every program point
      */
-    Liveness(const Pcfg &g, const std::map<std::string, RegAccess> &access,
-             const std::set<std::string> &always_live);
+    Liveness(const Pcfg &g, const std::map<Symbol, RegAccess> &access,
+             const std::set<Symbol> &always_live);
+
+    /** Whether the live ranges of `a` and `b` overlap (or the two are
+     * written by the same group). O(1) matrix probe. */
+    bool conflict(Symbol a, Symbol b) const;
 
     /**
-     * Pairs of registers whose live ranges overlap (or that are written
-     * by the same group), i.e. the edges of the interference graph.
+     * Materialized interference edges (canonical lexicographic pairs).
+     * For tests and diagnostics; passes should use conflict().
      */
-    const std::set<std::pair<std::string, std::string>> &
-    interference() const
-    {
-        return interferenceEdges;
-    }
+    std::set<std::pair<Symbol, Symbol>> interference() const;
 
   private:
+    struct NodeBits
+    {
+        DenseBits reads, mustWrites, anyWrites;
+    };
+
+    const NodeBits &nodeAccess(const PcfgNode &node);
+    void mergeGraph(const Pcfg &g, NodeBits &merged);
+
     /**
      * Run the backward dataflow on `g` with `boundary` as the live-out
      * set at the exit node; records interference edges as it goes.
      * Returns the live-in set at the entry node.
      */
-    std::set<std::string> analyze(const Pcfg &g,
-                                  const std::set<std::string> &boundary);
+    DenseBits analyze(const Pcfg &g, const DenseBits &boundary);
 
-    const RegAccess &nodeAccess(const PcfgNode &node);
-    void interfere(const std::set<std::string> &defs,
-                   const std::set<std::string> &live_out);
+    /** row(d) |= live_out for every d in defs. */
+    void interfere(const DenseBits &defs, const DenseBits &live_out);
 
-    const std::map<std::string, RegAccess> *access;
-    std::set<std::string> alwaysLive;
-    std::map<const PcfgNode *, RegAccess> parAccessCache;
-    std::set<std::pair<std::string, std::string>> interferenceEdges;
-    RegAccess emptyAccess;
+    DenseBits toBits(const std::set<Symbol> &set) const;
+
+    const std::map<Symbol, RegAccess> *access;
+    std::unordered_map<Symbol, uint32_t> regIndex;
+    std::vector<Symbol> regNames; ///< index -> name, lexicographic
+    size_t words = 0;             ///< words per DenseBits row
+    DenseBits alwaysLiveBits;
+    std::unordered_map<Symbol, NodeBits> groupBits;
+    std::map<const PcfgNode *, NodeBits> parAccessCache;
+    std::vector<uint64_t> matrix; ///< regNames.size() rows x words
+    NodeBits emptyAccess;
 };
 
 } // namespace calyx::analysis

@@ -2,10 +2,10 @@
 #define CALYX_ANALYSIS_PCFG_H
 
 #include <memory>
-#include <string>
 #include <vector>
 
 #include "ir/control.h"
+#include "support/symbol.h"
 
 namespace calyx::analysis {
 
@@ -22,7 +22,7 @@ struct PcfgNode
     enum class Kind { Nop, Group, ParNode };
 
     Kind kind = Kind::Nop;
-    std::string group;                        ///< Kind::Group only.
+    Symbol group;                             ///< Kind::Group only.
     std::vector<std::unique_ptr<Pcfg>> children; ///< Kind::ParNode only.
 
     std::vector<int> succs;

@@ -1,17 +1,20 @@
 #include "analysis/schedule.h"
 
+#include <functional>
+#include <vector>
+
 namespace calyx::analysis {
 
 GroupPair
-makePair(const std::string &a, const std::string &b)
+makePair(Symbol a, Symbol b)
 {
     return a < b ? GroupPair{a, b} : GroupPair{b, a};
 }
 
-std::set<std::string>
+std::set<Symbol>
 groupsInControl(const Control &ctrl)
 {
-    std::set<std::string> out;
+    std::set<Symbol> out;
     ctrl.walk([&out](const Control &node) {
         switch (node.kind()) {
           case Control::Kind::Enable:
@@ -35,7 +38,8 @@ groupsInControl(const Control &ctrl)
 namespace {
 
 void
-collectConflicts(const Control &ctrl, std::set<GroupPair> &conflicts)
+collectConflicts(const Control &ctrl,
+                 const std::function<void(Symbol, Symbol)> &add)
 {
     switch (ctrl.kind()) {
       case Control::Kind::Empty:
@@ -43,30 +47,30 @@ collectConflicts(const Control &ctrl, std::set<GroupPair> &conflicts)
         return;
       case Control::Kind::Seq:
         for (const auto &c : cast<Seq>(ctrl).stmts())
-            collectConflicts(*c, conflicts);
+            collectConflicts(*c, add);
         return;
       case Control::Kind::If: {
         const auto &i = cast<If>(ctrl);
-        collectConflicts(i.trueBranch(), conflicts);
-        collectConflicts(i.falseBranch(), conflicts);
+        collectConflicts(i.trueBranch(), add);
+        collectConflicts(i.falseBranch(), add);
         return;
       }
       case Control::Kind::While:
-        collectConflicts(cast<While>(ctrl).body(), conflicts);
+        collectConflicts(cast<While>(ctrl).body(), add);
         return;
       case Control::Kind::Par: {
         const auto &children = cast<Par>(ctrl).stmts();
-        std::vector<std::set<std::string>> sets;
+        std::vector<std::set<Symbol>> sets;
         for (const auto &c : children) {
-            collectConflicts(*c, conflicts);
+            collectConflicts(*c, add);
             sets.push_back(groupsInControl(*c));
         }
         for (size_t i = 0; i < sets.size(); ++i) {
             for (size_t j = i + 1; j < sets.size(); ++j) {
-                for (const auto &a : sets[i]) {
-                    for (const auto &b : sets[j]) {
+                for (Symbol a : sets[i]) {
+                    for (Symbol b : sets[j]) {
                         if (a != b)
-                            conflicts.insert(makePair(a, b));
+                            add(a, b);
                     }
                 }
             }
@@ -78,11 +82,23 @@ collectConflicts(const Control &ctrl, std::set<GroupPair> &conflicts)
 
 } // namespace
 
+std::unordered_set<uint64_t>
+parallelConflictKeys(const Control &ctrl)
+{
+    std::unordered_set<uint64_t> keys;
+    collectConflicts(ctrl, [&keys](Symbol a, Symbol b) {
+        keys.insert(symbolPairKey(a, b));
+    });
+    return keys;
+}
+
 std::set<GroupPair>
 parallelConflicts(const Control &ctrl)
 {
     std::set<GroupPair> conflicts;
-    collectConflicts(ctrl, conflicts);
+    collectConflicts(ctrl, [&conflicts](Symbol a, Symbol b) {
+        conflicts.insert(makePair(a, b));
+    });
     return conflicts;
 }
 

@@ -1,32 +1,52 @@
 #ifndef CALYX_ANALYSIS_SCHEDULE_H
 #define CALYX_ANALYSIS_SCHEDULE_H
 
+#include <cstdint>
 #include <set>
-#include <string>
+#include <unordered_set>
 #include <utility>
 
 #include "ir/component.h"
+#include "support/symbol.h"
 
 namespace calyx::analysis {
 
-/** Unordered pair of group names (canonicalized). */
-using GroupPair = std::pair<std::string, std::string>;
+/** Unordered pair of group names (canonicalized lexicographically). */
+using GroupPair = std::pair<Symbol, Symbol>;
 
 /** Canonicalize an unordered pair. */
-GroupPair makePair(const std::string &a, const std::string &b);
+GroupPair makePair(Symbol a, Symbol b);
+
+/**
+ * Canonical O(1) key for an unordered symbol pair: the two ids packed
+ * smaller-first. This is what the hot paths hash instead of ordering
+ * string pairs.
+ */
+inline uint64_t
+symbolPairKey(Symbol a, Symbol b)
+{
+    uint32_t x = a.id(), y = b.id();
+    if (x > y)
+        std::swap(x, y);
+    return (static_cast<uint64_t>(x) << 32) | y;
+}
 
 /**
  * Groups enabled anywhere in a control subtree, including `with` condition
  * groups of if/while statements.
  */
-std::set<std::string> groupsInControl(const Control &ctrl);
+std::set<Symbol> groupsInControl(const Control &ctrl);
 
 /**
  * May-run-in-parallel analysis (paper §5.1): the set of group pairs that
  * can be active simultaneously, derived from `par` blocks. Groups in
  * different children of a `par` conflict; groups within one child only
  * conflict through nested `par` blocks.
+ *
+ * The key-set form is the one passes consume (hashing two u32 ids);
+ * the ordered-pair form exists for tests and diagnostics.
  */
+std::unordered_set<uint64_t> parallelConflictKeys(const Control &ctrl);
 std::set<GroupPair> parallelConflicts(const Control &ctrl);
 
 } // namespace calyx::analysis

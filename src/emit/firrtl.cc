@@ -197,8 +197,8 @@ FirrtlBackend::emitComponent(const Component &comp, const Context &ctx,
     // Instances. Primitive cells instantiate their specialization;
     // component cells instantiate the component module directly.
     for (const auto &cell : comp.cells()) {
-        std::string module =
-            cell->isPrimitive() ? specializedName(*cell) : cell->type();
+        std::string module = cell->isPrimitive() ? specializedName(*cell)
+                                                 : cell->type().str();
         os << "    inst " << cell->name() << " of " << module << "\n";
         os << "    " << cell->name() << ".clk <= clk\n";
         // Inputs the program never drives stay explicitly invalid.

@@ -4,38 +4,50 @@
 
 namespace calyx {
 
+// Interning goes through the function-local table singleton, so these
+// dynamic initializers are safe in any TU order.
+const Symbol Attributes::staticAttr{"static"};
+const Symbol Attributes::shareAttr{"share"};
+const Symbol Attributes::externalAttr{"external"};
+const Symbol Attributes::statefulAttr{"stateful"};
+
+// Queries scan linearly: attribute maps hold a handful of entries, and
+// Symbol equality is an id compare, so this beats tree probes whose
+// every step would compare interned spellings.
+
 bool
-Attributes::has(const std::string &name) const
+Attributes::has(Symbol name) const
 {
-    return attrs.count(name) > 0;
+    return find(name).has_value();
 }
 
 int64_t
-Attributes::get(const std::string &name) const
+Attributes::get(Symbol name) const
 {
-    auto it = attrs.find(name);
-    if (it == attrs.end())
+    auto v = find(name);
+    if (!v)
         fatal("missing attribute: ", name);
-    return it->second;
+    return *v;
 }
 
 std::optional<int64_t>
-Attributes::find(const std::string &name) const
+Attributes::find(Symbol name) const
 {
-    auto it = attrs.find(name);
-    if (it == attrs.end())
-        return std::nullopt;
-    return it->second;
+    for (const auto &[key, value] : attrs) {
+        if (key == name)
+            return value;
+    }
+    return std::nullopt;
 }
 
 void
-Attributes::set(const std::string &name, int64_t value)
+Attributes::set(Symbol name, int64_t value)
 {
     attrs[name] = value;
 }
 
 void
-Attributes::erase(const std::string &name)
+Attributes::erase(Symbol name)
 {
     attrs.erase(name);
 }

@@ -4,7 +4,8 @@
 #include <cstdint>
 #include <map>
 #include <optional>
-#include <string>
+
+#include "support/symbol.h"
 
 namespace calyx {
 
@@ -12,39 +13,47 @@ namespace calyx {
  * Key-value attributes attached to components, cells, groups, and control
  * statements (paper §3.5). Frontends and passes use attributes to exchange
  * information, e.g. `"static"=4` (latency in cycles) or `"share"=1`.
+ *
+ * Keys are interned Symbols. The backing map stays lexicographically
+ * ordered so printed attribute lists keep their historical
+ * (alphabetical) order — but because Symbol's operator< compares
+ * spellings, queries scan the (tiny, typically <=3 entry) map linearly
+ * with O(1) id compares instead of probing the tree with string
+ * comparisons.
  */
 class Attributes
 {
   public:
     /** Whether the attribute `name` is present. */
-    bool has(const std::string &name) const;
+    bool has(Symbol name) const;
 
     /** Value of attribute `name`; fatal() if absent. */
-    int64_t get(const std::string &name) const;
+    int64_t get(Symbol name) const;
 
     /** Value of attribute `name`, or std::nullopt if absent. */
-    std::optional<int64_t> find(const std::string &name) const;
+    std::optional<int64_t> find(Symbol name) const;
 
     /** Insert or overwrite attribute `name`. */
-    void set(const std::string &name, int64_t value);
+    void set(Symbol name, int64_t value);
 
     /** Remove attribute `name` if present. */
-    void erase(const std::string &name);
+    void erase(Symbol name);
 
     bool empty() const { return attrs.empty(); }
 
-    const std::map<std::string, int64_t> &all() const { return attrs; }
+    const std::map<Symbol, int64_t> &all() const { return attrs; }
 
     bool operator==(const Attributes &other) const = default;
 
-    // Well-known attribute names.
-    static constexpr const char *staticAttr = "static";
-    static constexpr const char *shareAttr = "share";
-    static constexpr const char *externalAttr = "external";
-    static constexpr const char *statefulAttr = "stateful";
+    // Well-known attribute names, interned once so call sites pay no
+    // per-query re-interning.
+    static const Symbol staticAttr;
+    static const Symbol shareAttr;
+    static const Symbol externalAttr;
+    static const Symbol statefulAttr;
 
   private:
-    std::map<std::string, int64_t> attrs;
+    std::map<Symbol, int64_t> attrs;
 };
 
 } // namespace calyx

@@ -3,46 +3,45 @@
 namespace calyx {
 
 ComponentBuilder
-ComponentBuilder::create(Context &ctx, const std::string &name)
+ComponentBuilder::create(Context &ctx, Symbol name)
 {
     Component &comp = ctx.addComponent(name);
     return ComponentBuilder(ctx, comp);
 }
 
 Cell &
-ComponentBuilder::cell(const std::string &name, const std::string &type,
+ComponentBuilder::cell(Symbol name, Symbol type,
                        const std::vector<uint64_t> &params)
 {
     return comp->addCell(name, type, params, *ctx);
 }
 
 Cell &
-ComponentBuilder::reg(const std::string &name, Width width)
+ComponentBuilder::reg(Symbol name, Width width)
 {
     return cell(name, "std_reg", {width});
 }
 
 Cell &
-ComponentBuilder::add(const std::string &name, Width width)
+ComponentBuilder::add(Symbol name, Width width)
 {
     return cell(name, "std_add", {width});
 }
 
 Cell &
-ComponentBuilder::mem1d(const std::string &name, Width width, uint64_t size)
+ComponentBuilder::mem1d(Symbol name, Width width, uint64_t size)
 {
     return cell(name, "std_mem_d1", {width, size, bitsNeeded(size - 1)});
 }
 
 Group &
-ComponentBuilder::group(const std::string &name)
+ComponentBuilder::group(Symbol name)
 {
     return comp->addGroup(name);
 }
 
 Group &
-ComponentBuilder::regWriteGroup(const std::string &group_name,
-                                const std::string &reg_cell,
+ComponentBuilder::regWriteGroup(Symbol group_name, Symbol reg_cell,
                                 const PortRef &value)
 {
     Group &g = comp->addGroup(group_name);
@@ -54,7 +53,7 @@ ComponentBuilder::regWriteGroup(const std::string &group_name,
 }
 
 ControlPtr
-ComponentBuilder::enable(const std::string &group)
+ComponentBuilder::enable(Symbol group)
 {
     return std::make_unique<Enable>(group);
 }
@@ -72,14 +71,14 @@ ComponentBuilder::par(std::vector<ControlPtr> stmts)
 }
 
 ControlPtr
-ComponentBuilder::ifStmt(const PortRef &port, const std::string &cond,
+ComponentBuilder::ifStmt(const PortRef &port, Symbol cond,
                          ControlPtr t, ControlPtr f)
 {
     return std::make_unique<If>(port, cond, std::move(t), std::move(f));
 }
 
 ControlPtr
-ComponentBuilder::whileStmt(const PortRef &port, const std::string &cond,
+ComponentBuilder::whileStmt(const PortRef &port, Symbol cond,
                             ControlPtr body)
 {
     return std::make_unique<While>(port, cond, std::move(body));

@@ -19,41 +19,41 @@ class ComponentBuilder
     {}
 
     /** Create the component in `ctx` and build into it. */
-    static ComponentBuilder create(Context &ctx, const std::string &name);
+    static ComponentBuilder create(Context &ctx, Symbol name);
 
     Component &component() { return *comp; }
     Context &context() { return *ctx; }
 
     /** Instantiate a cell; returns a reference usable for ports. */
-    Cell &cell(const std::string &name, const std::string &type,
+    Cell &cell(Symbol name, Symbol type,
                const std::vector<uint64_t> &params = {});
 
     /** Instantiate a W-bit register. */
-    Cell &reg(const std::string &name, Width width);
+    Cell &reg(Symbol name, Width width);
 
     /** Instantiate a W-bit adder. */
-    Cell &add(const std::string &name, Width width);
+    Cell &add(Symbol name, Width width);
 
     /** Instantiate a 1-D memory. */
-    Cell &mem1d(const std::string &name, Width width, uint64_t size);
+    Cell &mem1d(Symbol name, Width width, uint64_t size);
 
     /** Create a group. */
-    Group &group(const std::string &name);
+    Group &group(Symbol name);
 
     /**
      * Create a group writing `value` into register `reg_cell` with the
      * canonical done wiring; returns the group. Marked "static"=1.
      */
-    Group &regWriteGroup(const std::string &group_name,
-                         const std::string &reg_cell, const PortRef &value);
+    Group &regWriteGroup(Symbol group_name, Symbol reg_cell,
+                         const PortRef &value);
 
     // --- Control helpers --------------------------------------------------
-    static ControlPtr enable(const std::string &group);
+    static ControlPtr enable(Symbol group);
     static ControlPtr seq(std::vector<ControlPtr> stmts);
     static ControlPtr par(std::vector<ControlPtr> stmts);
-    static ControlPtr ifStmt(const PortRef &port, const std::string &cond,
+    static ControlPtr ifStmt(const PortRef &port, Symbol cond,
                              ControlPtr t, ControlPtr f);
-    static ControlPtr whileStmt(const PortRef &port, const std::string &cond,
+    static ControlPtr whileStmt(const PortRef &port, Symbol cond,
                                 ControlPtr body);
 
   private:

@@ -1,11 +1,12 @@
 #include "ir/cell.h"
 
 #include "support/error.h"
+#include "support/text.h"
 
 namespace calyx {
 
 bool
-Cell::hasPort(const std::string &port) const
+Cell::hasPort(Symbol port) const
 {
     for (const auto &p : ports) {
         if (p.name == port)
@@ -15,23 +16,36 @@ Cell::hasPort(const std::string &port) const
 }
 
 Width
-Cell::portWidth(const std::string &port) const
+Cell::portWidth(Symbol port) const
 {
     for (const auto &p : ports) {
         if (p.name == port)
             return p.width;
     }
-    fatal("cell ", nameVal, " (", typeVal, ") has no port ", port);
+    noSuchPort(port);
 }
 
 Direction
-Cell::portDir(const std::string &port) const
+Cell::portDir(Symbol port) const
 {
     for (const auto &p : ports) {
         if (p.name == port)
             return p.dir;
     }
-    fatal("cell ", nameVal, " (", typeVal, ") has no port ", port);
+    noSuchPort(port);
+}
+
+void
+Cell::noSuchPort(Symbol port) const
+{
+    std::vector<std::string> known;
+    for (const auto &p : ports)
+        known.push_back(p.name.str());
+    std::string close = suggestClosest(port.str(), known);
+    if (close.empty())
+        fatal("cell ", nameVal, " (", typeVal, ") has no port ", port);
+    fatal("cell ", nameVal, " (", typeVal, ") has no port ", port,
+          " (did you mean '", close, "'?)");
 }
 
 } // namespace calyx

@@ -2,7 +2,6 @@
 #define CALYX_IR_CELL_H
 
 #include <cstdint>
-#include <string>
 #include <vector>
 
 #include "ir/attributes.h"
@@ -14,22 +13,30 @@ namespace calyx {
  * An instance of a primitive or of another component (paper §3.2's
  * `cells` section). Ports are resolved at construction time from the
  * prototype and the instantiation parameters.
+ *
+ * Names are interned Symbols; in addition every cell carries a dense
+ * per-component id (its position in Component::cells()), maintained by
+ * the owning Component across removals.
  */
 class Cell
 {
   public:
-    Cell(std::string name, std::string type, std::vector<uint64_t> params,
+    Cell(Symbol name, Symbol type, std::vector<uint64_t> params,
          std::vector<PortDef> resolved_ports, bool is_primitive)
-        : nameVal(std::move(name)), typeVal(std::move(type)),
-          paramsVal(std::move(params)), ports(std::move(resolved_ports)),
-          primitive(is_primitive)
+        : nameVal(name), typeVal(type), paramsVal(std::move(params)),
+          ports(std::move(resolved_ports)), primitive(is_primitive)
     {}
 
-    const std::string &name() const { return nameVal; }
-    void rename(std::string n) { nameVal = std::move(n); }
+    Symbol name() const { return nameVal; }
+
+    /**
+     * Dense index of this cell within its component (stable until a
+     * cell is removed, at which point later ids shift down).
+     */
+    uint32_t id() const { return idVal; }
 
     /** Primitive or component name this cell instantiates. */
-    const std::string &type() const { return typeVal; }
+    Symbol type() const { return typeVal; }
 
     const std::vector<uint64_t> &params() const { return paramsVal; }
 
@@ -39,17 +46,17 @@ class Cell
     const std::vector<PortDef> &portDefs() const { return ports; }
 
     /** Whether the instance exposes a port called `port`. */
-    bool hasPort(const std::string &port) const;
+    bool hasPort(Symbol port) const;
 
     /** Width of `port`; fatal() if absent. */
-    Width portWidth(const std::string &port) const;
+    Width portWidth(Symbol port) const;
 
     /** Direction of `port`; fatal() if absent. */
-    Direction portDir(const std::string &port) const;
+    Direction portDir(Symbol port) const;
 
     /**
      * Two cells are interchangeable for sharing iff they instantiate the
-     * same prototype with the same parameters.
+     * same prototype with the same parameters. O(1) on the type name.
      */
     bool sameSignature(const Cell &other) const
     {
@@ -60,8 +67,17 @@ class Cell
     const Attributes &attrs() const { return attributes; }
 
   private:
-    std::string nameVal;
-    std::string typeVal;
+    friend class Component; // maintains nameVal (rename) and idVal
+
+    /** Error path for portWidth/portDir: did-you-mean fatal. */
+    [[noreturn]] void noSuchPort(Symbol port) const;
+
+    void rename(Symbol n) { nameVal = n; }
+    void setId(uint32_t id) { idVal = id; }
+
+    Symbol nameVal;
+    Symbol typeVal;
+    uint32_t idVal = 0;
     std::vector<uint64_t> paramsVal;
     std::vector<PortDef> ports;
     bool primitive;

@@ -1,21 +1,25 @@
 #include "ir/component.h"
 
 #include "ir/context.h"
+#include "ir/defuse.h"
 #include "support/error.h"
+#include "support/text.h"
 
 namespace calyx {
 
-Component::Component(std::string name)
-    : nameVal(std::move(name)), controlVal(std::make_unique<Empty>())
+Component::Component(Symbol name)
+    : nameVal(name), controlVal(std::make_unique<Empty>())
 {
     // Every component implicitly participates in the go/done calling
     // convention (paper §4.1).
-    sig.push_back(PortDef{"go", 1, Direction::Input});
-    sig.push_back(PortDef{"done", 1, Direction::Output});
+    sig.push_back(PortDef{goSymbol(), 1, Direction::Input});
+    sig.push_back(PortDef{doneSymbol(), 1, Direction::Output});
 }
 
+Component::~Component() = default;
+
 void
-Component::addInput(const std::string &name, Width width)
+Component::addInput(Symbol name, Width width)
 {
     if (hasPort(name))
         fatal("component ", nameVal, ": duplicate port ", name);
@@ -23,7 +27,7 @@ Component::addInput(const std::string &name, Width width)
 }
 
 void
-Component::addOutput(const std::string &name, Width width)
+Component::addOutput(Symbol name, Width width)
 {
     if (hasPort(name))
         fatal("component ", nameVal, ": duplicate port ", name);
@@ -31,7 +35,7 @@ Component::addOutput(const std::string &name, Width width)
 }
 
 bool
-Component::hasPort(const std::string &name) const
+Component::hasPort(Symbol name) const
 {
     for (const auto &p : sig) {
         if (p.name == name)
@@ -41,103 +45,153 @@ Component::hasPort(const std::string &name) const
 }
 
 const PortDef &
-Component::port(const std::string &name) const
+Component::port(Symbol name) const
 {
     for (const auto &p : sig) {
         if (p.name == name)
             return p;
     }
-    fatal("component ", nameVal, " has no port ", name);
+    std::vector<std::string> known;
+    for (const auto &p : sig)
+        known.push_back(p.name.str());
+    std::string close = suggestClosest(name.str(), known);
+    if (close.empty())
+        fatal("component ", nameVal, " has no port ", name);
+    fatal("component ", nameVal, " has no port ", name, " (did you mean '",
+          close, "'?)");
 }
 
 Cell &
-Component::addCell(const std::string &name, const std::string &type,
+Component::addCell(Symbol name, Symbol type,
                    const std::vector<uint64_t> &params, const Context &ctx)
 {
     if (cellIndex.count(name))
         fatal("component ", nameVal, ": duplicate cell ", name);
     auto cell = ctx.instantiate(name, type, params);
     Cell *raw = cell.get();
+    raw->setId(static_cast<uint32_t>(cellList.size()));
+    cellIndex.emplace(name, raw->id());
     cellList.push_back(std::move(cell));
-    cellIndex[name] = raw;
     return *raw;
 }
 
 Cell *
-Component::findCell(const std::string &name)
+Component::findCell(Symbol name)
 {
     auto it = cellIndex.find(name);
-    return it == cellIndex.end() ? nullptr : it->second;
+    return it == cellIndex.end() ? nullptr : cellList[it->second].get();
 }
 
 const Cell *
-Component::findCell(const std::string &name) const
+Component::findCell(Symbol name) const
 {
     auto it = cellIndex.find(name);
-    return it == cellIndex.end() ? nullptr : it->second;
+    return it == cellIndex.end() ? nullptr : cellList[it->second].get();
 }
 
 Cell &
-Component::cell(const std::string &name)
+Component::cell(Symbol name)
 {
     Cell *c = findCell(name);
     if (!c)
-        fatal("component ", nameVal, " has no cell ", name);
+        noSuchCell(name);
     return *c;
 }
 
 const Cell &
-Component::cell(const std::string &name) const
+Component::cell(Symbol name) const
 {
     const Cell *c = findCell(name);
     if (!c)
-        fatal("component ", nameVal, " has no cell ", name);
+        noSuchCell(name);
     return *c;
 }
 
 void
-Component::removeCell(const std::string &name)
+Component::noSuchCell(Symbol name) const
+{
+    // Error path only: suggest the closest cell or group name, the UX
+    // the pass/backend registries established for typos.
+    std::vector<std::string> known;
+    for (const auto &c : cellList)
+        known.push_back(c->name().str());
+    for (const auto &g : groupList)
+        known.push_back(g->name().str());
+    std::string close = suggestClosest(name.str(), known);
+    if (close.empty())
+        fatal("component ", nameVal, " has no cell ", name);
+    fatal("component ", nameVal, " has no cell ", name, " (did you mean '",
+          close, "'?)");
+}
+
+void
+Component::removeCell(Symbol name)
 {
     auto it = cellIndex.find(name);
     if (it == cellIndex.end())
         return;
+    uint32_t id = it->second;
     cellIndex.erase(it);
-    for (auto lit = cellList.begin(); lit != cellList.end(); ++lit) {
-        if ((*lit)->name() == name) {
-            cellList.erase(lit);
-            return;
-        }
+    cellList.erase(cellList.begin() + id);
+    // Dense ids are positions: everything after the removed cell
+    // shifts down one slot.
+    for (uint32_t i = id; i < cellList.size(); ++i) {
+        cellList[i]->setId(i);
+        cellIndex[cellList[i]->name()] = i;
     }
+    // Uses of the removed name (if any remain) are now dangling; the
+    // WellFormed dangling-reference check reports them with their
+    // sites. The DefUse index itself records uses, not definitions,
+    // so it stays valid.
+}
+
+void
+Component::renameCell(Symbol old_name, Symbol new_name)
+{
+    if (old_name == new_name)
+        return;
+    auto it = cellIndex.find(old_name);
+    if (it == cellIndex.end())
+        fatal("component ", nameVal, " has no cell ", old_name);
+    if (cellIndex.count(new_name) || groupIndex.count(new_name))
+        fatal("component ", nameVal, ": rename target ", new_name,
+              " already exists");
+    uint32_t id = it->second;
+    cellIndex.erase(it);
+    cellIndex.emplace(new_name, id);
+    cellList[id]->rename(new_name);
 }
 
 Group &
-Component::addGroup(const std::string &name)
+Component::addGroup(Symbol name)
 {
     if (groupIndex.count(name))
         fatal("component ", nameVal, ": duplicate group ", name);
     auto group = std::make_unique<Group>(name);
     Group *raw = group.get();
+    raw->idVal = static_cast<uint32_t>(groupList.size());
+    raw->owner = this;
+    groupIndex.emplace(name, raw->idVal);
     groupList.push_back(std::move(group));
-    groupIndex[name] = raw;
     return *raw;
 }
 
 Group *
-Component::findGroup(const std::string &name)
+Component::findGroup(Symbol name)
 {
     auto it = groupIndex.find(name);
-    return it == groupIndex.end() ? nullptr : it->second;
+    return it == groupIndex.end() ? nullptr : groupList[it->second].get();
 }
 
 const Group *
-Component::findGroup(const std::string &name) const
+Component::findGroup(Symbol name) const
 {
     auto it = groupIndex.find(name);
-    return it == groupIndex.end() ? nullptr : it->second;
+    return it == groupIndex.end() ? nullptr : groupList[it->second].get();
 }
 
 Group &
-Component::group(const std::string &name)
+Component::group(Symbol name)
 {
     Group *g = findGroup(name);
     if (!g)
@@ -146,7 +200,7 @@ Component::group(const std::string &name)
 }
 
 const Group &
-Component::group(const std::string &name) const
+Component::group(Symbol name) const
 {
     const Group *g = findGroup(name);
     if (!g)
@@ -155,33 +209,80 @@ Component::group(const std::string &name) const
 }
 
 void
-Component::removeGroup(const std::string &name)
+Component::removeGroup(Symbol name)
 {
     auto it = groupIndex.find(name);
     if (it == groupIndex.end())
         return;
+    uint32_t id = it->second;
     groupIndex.erase(it);
-    for (auto lit = groupList.begin(); lit != groupList.end(); ++lit) {
-        if ((*lit)->name() == name) {
-            groupList.erase(lit);
-            return;
-        }
+    groupList.erase(groupList.begin() + id);
+    for (uint32_t i = id; i < groupList.size(); ++i) {
+        groupList[i]->idVal = i;
+        groupIndex[groupList[i]->name()] = i;
     }
+    // The group's assignments die with it: drop their use sites. Uses
+    // *of* the group elsewhere (holes, enables) stay — they are now
+    // dangling and WellFormed reports them.
+    if (defUseCache)
+        defUseCache->removeGroupSites(name);
+}
+
+void
+Component::addContinuous(Assignment a)
+{
+    continuous.push_back(std::move(a));
+    if (defUseCache) {
+        defUseCache->addAssignment(
+            Symbol(), static_cast<uint32_t>(continuous.size() - 1),
+            continuous.back());
+    }
+}
+
+void
+Component::setControl(ControlPtr c)
+{
+    invalidateDefUse();
+    controlVal = std::move(c);
 }
 
 ControlPtr
 Component::takeControl()
 {
+    invalidateDefUse();
     ControlPtr out = std::move(controlVal);
     controlVal = std::make_unique<Empty>();
     return out;
 }
 
-std::string
-Component::uniqueName(const std::string &prefix) const
+const DefUse &
+Component::defUse() const
 {
-    for (int i = 0;; ++i) {
-        std::string candidate = prefix + std::to_string(i);
+    if (!defUseCache)
+        defUseCache = std::make_unique<DefUse>(DefUse::compute(*this));
+    return *defUseCache;
+}
+
+void
+Component::invalidateDefUse() const
+{
+    defUseCache.reset();
+}
+
+void
+Component::noteGroupAssign(Symbol group, uint32_t index,
+                           const Assignment &a)
+{
+    if (defUseCache)
+        defUseCache->addAssignment(group, index, a);
+}
+
+Symbol
+Component::uniqueName(Symbol prefix) const
+{
+    uint32_t &next = uniqueCounters[prefix];
+    for (;;) {
+        Symbol candidate(prefix.str() + std::to_string(next++));
         if (!cellIndex.count(candidate) && !groupIndex.count(candidate) &&
             !hasPort(candidate)) {
             return candidate;

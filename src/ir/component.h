@@ -1,9 +1,9 @@
 #ifndef CALYX_IR_COMPONENT_H
 #define CALYX_IR_COMPONENT_H
 
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ir/attributes.h"
@@ -11,73 +11,113 @@
 #include "ir/control.h"
 #include "ir/group.h"
 #include "ir/port.h"
+#include "support/symbol.h"
 
 namespace calyx {
 
 class Context;
+class DefUse;
 
 /**
  * A Calyx component (paper §3.1): a signature, a set of cells, wires
  * (continuous assignments and groups), and a control program.
+ *
+ * All names are interned Symbols. Cells and groups carry dense ids
+ * (their positions in cells()/groups()); the name indices are
+ * symbol-keyed hash maps, so lookup is O(1) instead of a string-keyed
+ * tree walk. The component also caches a DefUse index over its wires
+ * and control (see ir/defuse.h for the maintenance contract).
  */
 class Component
 {
   public:
-    explicit Component(std::string name);
+    explicit Component(Symbol name);
+    ~Component();
 
-    const std::string &name() const { return nameVal; }
+    Symbol name() const { return nameVal; }
 
     // --- Signature -------------------------------------------------------
-    void addInput(const std::string &name, Width width);
-    void addOutput(const std::string &name, Width width);
+    void addInput(Symbol name, Width width);
+    void addOutput(Symbol name, Width width);
     const std::vector<PortDef> &signature() const { return sig; }
-    bool hasPort(const std::string &name) const;
-    const PortDef &port(const std::string &name) const;
+    bool hasPort(Symbol name) const;
+    const PortDef &port(Symbol name) const;
 
     // --- Cells -----------------------------------------------------------
     /**
      * Instantiate `type` (primitive or component) with `params` as cell
      * `name`. Ports are resolved through `ctx`.
      */
-    Cell &addCell(const std::string &name, const std::string &type,
+    Cell &addCell(Symbol name, Symbol type,
                   const std::vector<uint64_t> &params, const Context &ctx);
-    Cell *findCell(const std::string &name);
-    const Cell *findCell(const std::string &name) const;
-    Cell &cell(const std::string &name);
-    const Cell &cell(const std::string &name) const;
-    void removeCell(const std::string &name);
+    Cell *findCell(Symbol name);
+    const Cell *findCell(Symbol name) const;
+    Cell &cell(Symbol name);
+    const Cell &cell(Symbol name) const;
+    void removeCell(Symbol name);
+    /**
+     * Rename a cell, keeping the name index and the cell's dense id.
+     * Port references to the old name are NOT rewritten; callers do
+     * that themselves (and the dangling-reference check in WellFormed
+     * reports any they miss).
+     */
+    void renameCell(Symbol old_name, Symbol new_name);
     const std::vector<std::unique_ptr<Cell>> &cells() const
     {
         return cellList;
     }
 
     // --- Groups ----------------------------------------------------------
-    Group &addGroup(const std::string &name);
-    Group *findGroup(const std::string &name);
-    const Group *findGroup(const std::string &name) const;
-    Group &group(const std::string &name);
-    const Group &group(const std::string &name) const;
-    void removeGroup(const std::string &name);
+    Group &addGroup(Symbol name);
+    Group *findGroup(Symbol name);
+    const Group *findGroup(Symbol name) const;
+    Group &group(Symbol name);
+    const Group &group(Symbol name) const;
+    void removeGroup(Symbol name);
     const std::vector<std::unique_ptr<Group>> &groups() const
     {
         return groupList;
     }
 
     // --- Wires and control -----------------------------------------------
-    std::vector<Assignment> &continuousAssignments() { return continuous; }
+    /** Mutable wire access invalidates the DefUse cache (see defuse.h). */
+    std::vector<Assignment> &
+    continuousAssignments()
+    {
+        invalidateDefUse();
+        return continuous;
+    }
     const std::vector<Assignment> &continuousAssignments() const
     {
         return continuous;
     }
+    /** Append a continuous assignment (DefUse-maintaining). */
+    void addContinuous(Assignment a);
 
-    Control &control() { return *controlVal; }
+    Control &
+    control()
+    {
+        invalidateDefUse();
+        return *controlVal;
+    }
     const Control &control() const { return *controlVal; }
-    void setControl(ControlPtr c) { controlVal = std::move(c); }
+    void setControl(ControlPtr c);
     ControlPtr takeControl();
 
+    // --- DefUse ----------------------------------------------------------
+    /** The def-use index, computed on first use and cached. */
+    const DefUse &defUse() const;
+    /** The cached index, or nullptr when none is materialized. */
+    const DefUse *maintainedDefUse() const { return defUseCache.get(); }
+    void invalidateDefUse() const;
+
     // --- Utilities ---------------------------------------------------------
-    /** Fresh name with the given prefix, unused by cells/groups/ports. */
-    std::string uniqueName(const std::string &prefix) const;
+    /**
+     * Fresh name with the given prefix, unused by cells/groups/ports.
+     * O(1) amortized: a per-prefix counter survives across calls, so
+     * minting the N-th `fsm` register does not rescan `fsm0..fsmN-1`.
+     */
+    Symbol uniqueName(Symbol prefix) const;
 
     /** Width of any port reference appearing in this component. */
     Width portWidth(const PortRef &ref) const;
@@ -92,15 +132,27 @@ class Component
     }
 
   private:
-    std::string nameVal;
+    friend class Group;
+
+    /** Group::add hook: records the new assignment in the index. */
+    void noteGroupAssign(Symbol group, uint32_t index,
+                         const Assignment &a);
+
+    /** Error path for cell(): fatal with a did-you-mean suggestion. */
+    [[noreturn]] void noSuchCell(Symbol name) const;
+
+    Symbol nameVal;
     std::vector<PortDef> sig;
     std::vector<std::unique_ptr<Cell>> cellList;
-    std::map<std::string, Cell *> cellIndex;
+    std::unordered_map<Symbol, uint32_t> cellIndex; ///< name -> dense id
     std::vector<std::unique_ptr<Group>> groupList;
-    std::map<std::string, Group *> groupIndex;
+    std::unordered_map<Symbol, uint32_t> groupIndex; ///< name -> dense id
     std::vector<Assignment> continuous;
     ControlPtr controlVal;
     Attributes attributes;
+    /** Next counter per uniqueName prefix (amortizes fresh names). */
+    mutable std::unordered_map<Symbol, uint32_t> uniqueCounters;
+    mutable std::unique_ptr<DefUse> defUseCache;
 };
 
 } // namespace calyx

@@ -1,14 +1,15 @@
 #include "ir/context.h"
 
 #include <map>
-#include <set>
+#include <unordered_set>
 
 #include "support/error.h"
+#include "support/text.h"
 
 namespace calyx {
 
 Component &
-Context::addComponent(const std::string &name)
+Context::addComponent(Symbol name)
 {
     if (findComponent(name) || prims.has(name))
         fatal("duplicate component definition: ", name);
@@ -17,7 +18,7 @@ Context::addComponent(const std::string &name)
 }
 
 Component *
-Context::findComponent(const std::string &name)
+Context::findComponent(Symbol name)
 {
     for (auto &c : comps) {
         if (c->name() == name)
@@ -27,7 +28,7 @@ Context::findComponent(const std::string &name)
 }
 
 const Component *
-Context::findComponent(const std::string &name) const
+Context::findComponent(Symbol name) const
 {
     for (const auto &c : comps) {
         if (c->name() == name)
@@ -37,7 +38,7 @@ Context::findComponent(const std::string &name) const
 }
 
 Component &
-Context::component(const std::string &name)
+Context::component(Symbol name)
 {
     Component *c = findComponent(name);
     if (!c)
@@ -46,7 +47,7 @@ Context::component(const std::string &name)
 }
 
 const Component &
-Context::component(const std::string &name) const
+Context::component(Symbol name) const
 {
     const Component *c = findComponent(name);
     if (!c)
@@ -55,7 +56,7 @@ Context::component(const std::string &name) const
 }
 
 std::unique_ptr<Cell>
-Context::instantiate(const std::string &name, const std::string &type,
+Context::instantiate(Symbol name, Symbol type,
                      const std::vector<uint64_t> &params) const
 {
     if (prims.has(type)) {
@@ -64,7 +65,7 @@ Context::instantiate(const std::string &name, const std::string &type,
             fatal("primitive ", type, " expects ", def.params.size(),
                   " parameters, got ", params.size());
         }
-        std::map<std::string, uint64_t> env;
+        std::map<Symbol, uint64_t> env;
         for (size_t i = 0; i < params.size(); ++i)
             env[def.params[i]] = params[i];
         std::vector<PortDef> ports;
@@ -90,8 +91,20 @@ Context::instantiate(const std::string &name, const std::string &type,
     }
 
     const Component *def = findComponent(type);
-    if (!def)
-        fatal("unknown cell type: ", type);
+    if (!def) {
+        // Mirror the pass/backend registries' UX: name the closest
+        // known primitive or component when the type looks like a typo.
+        std::vector<std::string> candidates;
+        for (const auto &[prim_name, unused] : prims.all())
+            candidates.push_back(prim_name.str());
+        for (const auto &c : comps)
+            candidates.push_back(c->name().str());
+        std::string close = suggestClosest(type.str(), candidates);
+        if (close.empty())
+            fatal("unknown cell type: ", type);
+        fatal("unknown cell type: ", type, " (did you mean '", close,
+              "'?)");
+    }
     if (!params.empty())
         fatal("component instances take no parameters: ", type);
     std::vector<PortDef> ports = def->signature();
@@ -109,8 +122,8 @@ std::vector<Component *>
 Context::topologicalOrder()
 {
     std::vector<Component *> order;
-    std::set<std::string> done;
-    std::set<std::string> visiting;
+    std::unordered_set<Symbol> done;
+    std::unordered_set<Symbol> visiting;
 
     std::function<void(Component *)> visit = [&](Component *c) {
         if (done.count(c->name()))

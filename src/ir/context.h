@@ -2,11 +2,11 @@
 #define CALYX_IR_CONTEXT_H
 
 #include <memory>
-#include <string>
 #include <vector>
 
 #include "ir/component.h"
 #include "ir/primitives.h"
+#include "support/symbol.h"
 
 namespace calyx {
 
@@ -28,12 +28,12 @@ class Context
     const PrimitiveRegistry &primitives() const { return prims; }
 
     /** Create a new empty component. */
-    Component &addComponent(const std::string &name);
+    Component &addComponent(Symbol name);
 
-    Component *findComponent(const std::string &name);
-    const Component *findComponent(const std::string &name) const;
-    Component &component(const std::string &name);
-    const Component &component(const std::string &name) const;
+    Component *findComponent(Symbol name);
+    const Component *findComponent(Symbol name) const;
+    Component &component(Symbol name);
+    const Component &component(Symbol name) const;
 
     const std::vector<std::unique_ptr<Component>> &components() const
     {
@@ -41,17 +41,17 @@ class Context
     }
 
     /** Entrypoint component (default "main"). */
-    const std::string &entrypoint() const { return entry; }
-    void setEntrypoint(std::string name) { entry = std::move(name); }
+    Symbol entrypoint() const { return entry; }
+    void setEntrypoint(Symbol name) { entry = name; }
     Component &main() { return component(entry); }
     const Component &main() const { return component(entry); }
 
     /**
      * Build a cell instantiating `type` (primitive or component defined in
      * this context) with positional `params`, resolving all port widths.
+     * Unknown types are fatal errors with a did-you-mean suggestion.
      */
-    std::unique_ptr<Cell> instantiate(const std::string &name,
-                                      const std::string &type,
+    std::unique_ptr<Cell> instantiate(Symbol name, Symbol type,
                                       const std::vector<uint64_t> &params)
         const;
 
@@ -64,7 +64,7 @@ class Context
   private:
     PrimitiveRegistry prims;
     std::vector<std::unique_ptr<Component>> comps;
-    std::string entry = "main";
+    Symbol entry = Symbol("main");
 };
 
 } // namespace calyx

@@ -65,17 +65,16 @@ class Empty final : public Control
 class Enable final : public Control
 {
   public:
-    explicit Enable(std::string group)
-        : Control(Kind::Enable), groupName(std::move(group))
+    explicit Enable(Symbol group) : Control(Kind::Enable), groupName(group)
     {}
 
-    const std::string &group() const { return groupName; }
-    void setGroup(std::string g) { groupName = std::move(g); }
+    Symbol group() const { return groupName; }
+    void setGroup(Symbol g) { groupName = g; }
 
     ControlPtr clone() const override;
 
   private:
-    std::string groupName;
+    Symbol groupName;
 };
 
 /** Execute children in order. */
@@ -124,14 +123,13 @@ class Par final : public Control
 class If final : public Control
 {
   public:
-    If(PortRef cond_port, std::string cond_group, ControlPtr t, ControlPtr f)
+    If(PortRef cond_port, Symbol cond_group, ControlPtr t, ControlPtr f)
         : Control(Kind::If), condPortVal(std::move(cond_port)),
-          condGroupVal(std::move(cond_group)), tVal(std::move(t)),
-          fVal(std::move(f))
+          condGroupVal(cond_group), tVal(std::move(t)), fVal(std::move(f))
     {}
 
     const PortRef &condPort() const { return condPortVal; }
-    const std::string &condGroup() const { return condGroupVal; }
+    Symbol condGroup() const { return condGroupVal; }
     Control &trueBranch() { return *tVal; }
     const Control &trueBranch() const { return *tVal; }
     Control &falseBranch() { return *fVal; }
@@ -143,7 +141,7 @@ class If final : public Control
 
   private:
     PortRef condPortVal;
-    std::string condGroupVal;
+    Symbol condGroupVal;
     ControlPtr tVal, fVal;
 };
 
@@ -154,13 +152,13 @@ class If final : public Control
 class While final : public Control
 {
   public:
-    While(PortRef cond_port, std::string cond_group, ControlPtr body)
+    While(PortRef cond_port, Symbol cond_group, ControlPtr body)
         : Control(Kind::While), condPortVal(std::move(cond_port)),
-          condGroupVal(std::move(cond_group)), bodyVal(std::move(body))
+          condGroupVal(cond_group), bodyVal(std::move(body))
     {}
 
     const PortRef &condPort() const { return condPortVal; }
-    const std::string &condGroup() const { return condGroupVal; }
+    Symbol condGroup() const { return condGroupVal; }
     Control &body() { return *bodyVal; }
     const Control &body() const { return *bodyVal; }
     ControlPtr &bodyPtr() { return bodyVal; }
@@ -169,7 +167,7 @@ class While final : public Control
 
   private:
     PortRef condPortVal;
-    std::string condGroupVal;
+    Symbol condGroupVal;
     ControlPtr bodyVal;
 };
 

@@ -1,6 +1,22 @@
 #include "ir/group.h"
 
+#include "ir/component.h"
+
 namespace calyx {
+
+Symbol
+goSymbol()
+{
+    static const Symbol s("go");
+    return s;
+}
+
+Symbol
+doneSymbol()
+{
+    static const Symbol s("done");
+    return s;
+}
 
 void
 Assignment::reads(const std::function<void(const PortRef &)> &fn) const
@@ -18,11 +34,42 @@ Assignment::str() const
     return dst.str() + " = " + guard->str() + " ? " + src.str() + ";";
 }
 
+void
+Group::add(Assignment a)
+{
+    assigns.push_back(std::move(a));
+    if (owner) {
+        owner->noteGroupAssign(nameVal,
+                               static_cast<uint32_t>(assigns.size() - 1),
+                               assigns.back());
+    }
+}
+
+void
+Group::touch()
+{
+    if (owner)
+        owner->invalidateDefUse();
+}
+
+PortRef
+Group::goHole() const
+{
+    return holePort(nameVal, goSymbol());
+}
+
+PortRef
+Group::doneHole() const
+{
+    return holePort(nameVal, doneSymbol());
+}
+
 bool
 Group::hasDoneWrite() const
 {
     for (const auto &a : assigns) {
-        if (a.dst.isHole() && a.dst.parent == nameVal && a.dst.port == "done")
+        if (a.dst.isHole() && a.dst.parent == nameVal &&
+            a.dst.port == doneSymbol())
             return true;
     }
     return false;

@@ -11,6 +11,8 @@
 
 namespace calyx {
 
+class Component;
+
 /**
  * A guarded, non-blocking assignment `dst = guard ? src` (paper §3.2).
  * `src` is a port or constant; all computation happens inside cells.
@@ -37,36 +39,56 @@ struct Assignment
  * A group: a named set of assignments encapsulating one action
  * (paper §3.3). Groups expose `go`/`done` interface holes; writes to
  * `name[done]` signal completion.
+ *
+ * Groups created through Component::addGroup know their owner: adding
+ * assignments through add() keeps the owner's DefUse index current,
+ * while grabbing the mutable assignment vector conservatively
+ * invalidates it (see docs/ir.md, "DefUse maintenance contract").
  */
 class Group
 {
   public:
-    explicit Group(std::string name) : nameVal(std::move(name)) {}
+    explicit Group(Symbol name) : nameVal(name) {}
 
-    const std::string &name() const { return nameVal; }
+    Symbol name() const { return nameVal; }
 
-    std::vector<Assignment> &assignments() { return assigns; }
+    /** Dense index of this group within its component. */
+    uint32_t id() const { return idVal; }
+
+    /**
+     * Mutable access to the assignment vector. The IR cannot see what
+     * the caller does with it, so the owning component's DefUse index
+     * (if materialized) is invalidated.
+     */
+    std::vector<Assignment> &
+    assignments()
+    {
+        touch();
+        return assigns;
+    }
     const std::vector<Assignment> &assignments() const { return assigns; }
 
-    /** Append an assignment. */
-    void add(Assignment a) { assigns.push_back(std::move(a)); }
+    /** Append an assignment (DefUse-maintaining). */
+    void add(Assignment a);
 
     /** Shorthand: add `dst = src`. */
-    void add(const PortRef &dst, const PortRef &src)
+    void
+    add(const PortRef &dst, const PortRef &src)
     {
-        assigns.emplace_back(dst, src);
+        add(Assignment(dst, src));
     }
 
     /** Shorthand: add `dst = guard ? src`. */
-    void add(const PortRef &dst, const PortRef &src, GuardPtr guard)
+    void
+    add(const PortRef &dst, const PortRef &src, GuardPtr guard)
     {
-        assigns.emplace_back(dst, src, std::move(guard));
+        add(Assignment(dst, src, std::move(guard)));
     }
 
     /** The group's own `go` hole. */
-    PortRef goHole() const { return holePort(nameVal, "go"); }
+    PortRef goHole() const;
     /** The group's own `done` hole. */
-    PortRef doneHole() const { return holePort(nameVal, "done"); }
+    PortRef doneHole() const;
 
     /** Whether any assignment writes this group's done hole. */
     bool hasDoneWrite() const;
@@ -81,10 +103,21 @@ class Group
     const Attributes &attrs() const { return attributes; }
 
   private:
-    std::string nameVal;
+    friend class Component; // sets owner/idVal, renames
+
+    /** Invalidate the owner's DefUse index (mutation escape hatch). */
+    void touch();
+
+    Symbol nameVal;
+    uint32_t idVal = 0;
+    Component *owner = nullptr;
     std::vector<Assignment> assigns;
     Attributes attributes;
 };
+
+/** The interned `go` / `done` hole names (shared across the IR). */
+Symbol goSymbol();
+Symbol doneSymbol();
 
 } // namespace calyx
 

@@ -19,7 +19,7 @@ PortRef::str() const
 {
     switch (kind) {
       case Kind::This:
-        return port;
+        return port.str();
       case Kind::Cell:
         return parent + "." + port;
       case Kind::Hole:
@@ -30,8 +30,19 @@ PortRef::str() const
     panic("bad PortRef kind");
 }
 
+size_t
+PortRefHash::operator()(const PortRef &p) const noexcept
+{
+    uint64_t h = static_cast<uint64_t>(p.kind);
+    h = h * 0x9e3779b97f4a7c15ull + p.parent.id();
+    h = h * 0x9e3779b97f4a7c15ull + p.port.id();
+    h = h * 0x9e3779b97f4a7c15ull + p.value;
+    h = h * 0x9e3779b97f4a7c15ull + p.width;
+    return static_cast<size_t>(h);
+}
+
 PortRef
-cellPort(const std::string &cell, const std::string &port)
+cellPort(Symbol cell, Symbol port)
 {
     PortRef p;
     p.kind = PortRef::Kind::Cell;
@@ -41,7 +52,7 @@ cellPort(const std::string &cell, const std::string &port)
 }
 
 PortRef
-thisPort(const std::string &port)
+thisPort(Symbol port)
 {
     PortRef p;
     p.kind = PortRef::Kind::This;
@@ -50,7 +61,7 @@ thisPort(const std::string &port)
 }
 
 PortRef
-holePort(const std::string &group, const std::string &hole)
+holePort(Symbol group, Symbol hole)
 {
     PortRef p;
     p.kind = PortRef::Kind::Hole;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "support/bits.h"
+#include "support/symbol.h"
 
 namespace calyx {
 
@@ -14,7 +15,7 @@ enum class Direction { Input, Output };
 /** Declaration of a port in a component signature or primitive prototype. */
 struct PortDef
 {
-    std::string name;
+    Symbol name;
     Width width = 0;
     Direction dir = Direction::Input;
 };
@@ -26,14 +27,19 @@ struct PortDef
  *  - Cell:  `cell.port` for an instantiated subcomponent/primitive,
  *  - Hole:  `group[go]` / `group[done]` interface signals (paper §3.3),
  *  - Const: a literal `width'd value`.
+ *
+ * Names are interned Symbols, so a PortRef is four words of plain data:
+ * copying allocates nothing and equality is an integer compare. This is
+ * the property every pass and the simulator lean on — port references
+ * are hashed and compared millions of times per compile.
  */
 struct PortRef
 {
     enum class Kind { This, Cell, Hole, Const };
 
     Kind kind = Kind::Const;
-    std::string parent; ///< Cell or group name (Cell/Hole only).
-    std::string port;   ///< Port or hole name (empty for Const).
+    Symbol parent;      ///< Cell or group name (Cell/Hole only).
+    Symbol port;        ///< Port or hole name (empty for Const).
     uint64_t value = 0; ///< Literal value (Const only).
     Width width = 0;    ///< Literal width (Const only; 0 elsewhere).
 
@@ -42,21 +48,30 @@ struct PortRef
     bool isThis() const { return kind == Kind::This; }
     bool isCell() const { return kind == Kind::Cell; }
 
+    /** O(1): Symbol equality is id equality. */
     bool operator==(const PortRef &other) const = default;
+
+    /** Deterministic (lexicographic on names), matching the string IR. */
     bool operator<(const PortRef &other) const;
 
     /** Canonical textual form, e.g. `a0.out`, `incr[done]`, `32'd5`. */
     std::string str() const;
 };
 
+/** O(1) hash over the symbol ids, for unordered containers. */
+struct PortRefHash
+{
+    size_t operator()(const PortRef &p) const noexcept;
+};
+
 /** Reference to `cell.port`. */
-PortRef cellPort(const std::string &cell, const std::string &port);
+PortRef cellPort(Symbol cell, Symbol port);
 
 /** Reference to a port of the enclosing component. */
-PortRef thisPort(const std::string &port);
+PortRef thisPort(Symbol port);
 
 /** Reference to a group interface hole, e.g. holePort("incr", "done"). */
-PortRef holePort(const std::string &group, const std::string &hole);
+PortRef holePort(Symbol group, Symbol hole);
 
 /** Constant literal of the given width. */
 PortRef constant(uint64_t value, Width width);

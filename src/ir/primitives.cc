@@ -203,13 +203,13 @@ PrimitiveRegistry::PrimitiveRegistry()
 }
 
 bool
-PrimitiveRegistry::has(const std::string &name) const
+PrimitiveRegistry::has(Symbol name) const
 {
     return defs.count(name) > 0;
 }
 
 const PrimitiveDef &
-PrimitiveRegistry::get(const std::string &name) const
+PrimitiveRegistry::get(Symbol name) const
 {
     auto it = defs.find(name);
     if (it == defs.end())

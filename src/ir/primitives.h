@@ -16,10 +16,10 @@ namespace calyx {
  */
 struct PrimPortSpec
 {
-    std::string name;
+    Symbol name;
     Direction dir = Direction::Input;
-    Width fixedWidth = 0;    ///< Used when widthParam is empty.
-    std::string widthParam;  ///< Parameter naming the width, if any.
+    Width fixedWidth = 0; ///< Used when widthParam is empty.
+    Symbol widthParam;    ///< Parameter naming the width, if any.
 };
 
 /**
@@ -28,8 +28,8 @@ struct PrimPortSpec
  */
 struct PrimitiveDef
 {
-    std::string name;
-    std::vector<std::string> params;
+    Symbol name;
+    std::vector<Symbol> params;
     std::vector<PrimPortSpec> ports;
     Attributes attrs;
 
@@ -38,8 +38,8 @@ struct PrimitiveDef
      * (paper §4.1). For std_reg the write enable acts as `go`.
      * Empty when the primitive is purely combinational.
      */
-    std::string goPort;
-    std::string donePort;
+    Symbol goPort;
+    Symbol donePort;
 
     bool isMemory = false;  ///< Simulator exposes contents for poking.
 
@@ -61,16 +61,16 @@ class PrimitiveRegistry
     /** Registry pre-populated with the std_* library. */
     PrimitiveRegistry();
 
-    bool has(const std::string &name) const;
-    const PrimitiveDef &get(const std::string &name) const;
+    bool has(Symbol name) const;
+    const PrimitiveDef &get(Symbol name) const;
 
     /** Register an extern or frontend-specific primitive. */
     void add(PrimitiveDef def);
 
-    const std::map<std::string, PrimitiveDef> &all() const { return defs; }
+    const std::map<Symbol, PrimitiveDef> &all() const { return defs; }
 
   private:
-    std::map<std::string, PrimitiveDef> defs;
+    std::map<Symbol, PrimitiveDef> defs;
 };
 
 /** Fixed latencies of the sequential standard primitives (in cycles). */

@@ -178,7 +178,7 @@ Printer::print(const Context &ctx, std::ostream &os)
                 s += "@done ";
             s += spec.name + ": ";
             s += spec.widthParam.empty() ? std::to_string(spec.fixedWidth)
-                                         : spec.widthParam;
+                                         : spec.widthParam.str();
             return s;
         };
         first = true;

@@ -60,12 +60,12 @@ class ControlCompiler
     }
 
     /** Condition groups that were inlined and can be deleted. */
-    const std::set<std::string> &inlined() const { return inlinedGroups; }
+    const std::set<Symbol> &inlined() const { return inlinedGroups; }
 
   private:
     Component &comp;
     Context &ctx;
-    std::set<std::string> inlinedGroups;
+    std::set<Symbol> inlinedGroups;
 
     static GuardPtr
     port(const PortRef &p)

@@ -2,37 +2,35 @@
 
 #include "passes/registry.h"
 
-#include <set>
+#include <vector>
+
+#include "ir/defuse.h"
 
 namespace calyx::passes {
 
 void
 DeadCellRemoval::runOnComponent(Component &comp, Context &ctx)
 {
-    std::set<std::string> used;
-    auto mark = [&used](const PortRef &p) {
-        if (p.isCell())
-            used.insert(p.parent);
-    };
-    auto scan = [&](const std::vector<Assignment> &assigns) {
-        for (const auto &a : assigns) {
-            mark(a.dst);
-            a.reads(mark);
+    // The DefUse index already knows every assignment, guard, and
+    // control site naming each cell; a cell is live iff it has any
+    // cell-kind use (hole-kind uses belong to the group namespace).
+    const DefUse &du = comp.defUse();
+    auto used = [&du](Symbol cell) {
+        const DefUse::Uses *uses = du.find(cell);
+        if (!uses)
+            return false;
+        if (uses->anyAssign(DefUse::kAnyCell))
+            return true;
+        for (const auto &use : uses->control) {
+            if (!use.asGroup) // if/while condition port
+                return true;
         }
+        return false;
     };
-    for (const auto &g : comp.groups())
-        scan(g->assignments());
-    scan(comp.continuousAssignments());
-    comp.control().walk([&](const Control &node) {
-        if (node.kind() == Control::Kind::If)
-            mark(cast<If>(node).condPort());
-        else if (node.kind() == Control::Kind::While)
-            mark(cast<While>(node).condPort());
-    });
 
-    std::vector<std::string> dead;
+    std::vector<Symbol> dead;
     for (const auto &cell : comp.cells()) {
-        if (used.count(cell->name()))
+        if (used(cell->name()))
             continue;
         if (cell->attrs().has(Attributes::externalAttr))
             continue;
@@ -42,7 +40,7 @@ DeadCellRemoval::runOnComponent(Component &comp, Context &ctx)
         }
         dead.push_back(cell->name());
     }
-    for (const auto &name : dead)
+    for (Symbol name : dead)
         comp.removeCell(name);
 }
 

@@ -3,12 +3,14 @@
 #include "passes/registry.h"
 
 #include <map>
-#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "analysis/coloring.h"
 #include "analysis/liveness.h"
 #include "analysis/pcfg.h"
-#include "analysis/read_write_sets.h"
+#include "ir/defuse.h"
 
 namespace calyx::passes {
 
@@ -17,17 +19,19 @@ RegisterSharing::runOnComponent(Component &comp, Context &)
 {
     mergedCount = 0;
 
-    std::set<std::string> regs = analysis::registerCells(comp);
+    std::set<Symbol> regs = analysis::registerCells(comp);
     if (regs.size() < 2)
         return;
-    std::set<std::string> always_live = analysis::alwaysLiveRegisters(comp);
+    std::set<Symbol> always_live = analysis::alwaysLiveRegisters(comp);
 
     auto access = analysis::registerAccess(comp);
-    auto pcfg = analysis::buildPcfg(comp.control());
+    // const access: building the pCFG must not drop the DefUse index
+    // registerAccess just populated.
+    auto pcfg = analysis::buildPcfg(std::as_const(comp).control());
     analysis::Liveness liveness(*pcfg, access, always_live);
 
     // Candidates: registers not live everywhere, bucketed by width.
-    std::map<uint64_t, std::vector<std::string>> buckets;
+    std::map<uint64_t, std::vector<Symbol>> buckets;
     for (const auto &cell : comp.cells()) {
         if (cell->type() != "std_reg")
             continue;
@@ -36,18 +40,19 @@ RegisterSharing::runOnComponent(Component &comp, Context &)
         buckets[cell->params()[0]].push_back(cell->name());
     }
 
-    std::set<std::pair<std::string, std::string>> conflicts =
-        liveness.interference();
+    auto conflict = [&liveness](Symbol a, Symbol b) {
+        return liveness.conflict(a, b);
+    };
 
-    std::map<std::string, std::string> mapping;
+    std::unordered_map<Symbol, Symbol> mapping;
     for (const auto &[width, cells] : buckets) {
         (void)width;
         if (cells.size() < 2)
             continue;
-        auto colored = analysis::greedyColor(cells, conflicts);
+        auto colored = analysis::greedyColor(cells, conflict);
         for (const auto &[from, to] : colored) {
             if (from != to) {
-                mapping[from] = to;
+                mapping.emplace(from, to);
                 ++mergedCount;
             }
         }

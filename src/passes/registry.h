@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "passes/pass_manager.h"
+#include "support/symbol.h"
 
 namespace calyx::passes {
 
@@ -107,8 +108,8 @@ class PassRegistry
         std::string description;
     };
 
-    std::map<std::string, Entry> entries;
-    std::map<std::string, CompositeAlias> composites;
+    std::map<Symbol, Entry> entries;
+    std::map<Symbol, CompositeAlias> composites;
 };
 
 /**

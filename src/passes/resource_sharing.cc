@@ -4,6 +4,9 @@
 
 #include <map>
 #include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
 #include "analysis/coloring.h"
 #include "analysis/schedule.h"
@@ -16,7 +19,7 @@ namespace {
 /** Rename cell references in an assignment according to `mapping`. */
 void
 rewriteAssignment(Assignment &a,
-                  const std::map<std::string, std::string> &mapping)
+                  const std::unordered_map<Symbol, Symbol> &mapping)
 {
     auto rename = [&mapping](const PortRef &p) {
         if (p.isCell()) {
@@ -36,7 +39,7 @@ rewriteAssignment(Assignment &a,
 
 void
 rewriteControlPorts(Control &ctrl,
-                    const std::map<std::string, std::string> &mapping)
+                    const std::unordered_map<Symbol, Symbol> &mapping)
 {
     ctrl.walk([&mapping](Control &node) {
         PortRef *port = nullptr;
@@ -60,8 +63,8 @@ ResourceSharing::runOnComponent(Component &comp, Context &ctx)
     mergedCount = 0;
 
     // Shareable cells, bucketed by signature.
-    std::set<std::string> shareable;
-    std::map<std::string, std::vector<std::string>> buckets;
+    std::unordered_set<Symbol> shareable;
+    std::map<Symbol, std::vector<Symbol>> buckets;
     for (const auto &cell : comp.cells()) {
         bool share = cell->attrs().has(Attributes::shareAttr) &&
                      !cell->attrs().has(Attributes::statefulAttr);
@@ -80,20 +83,21 @@ ResourceSharing::runOnComponent(Component &comp, Context &ctx)
         if (!share)
             continue;
         shareable.insert(cell->name());
-        std::string sig = cell->type();
+        std::string sig = cell->type().str();
         for (uint64_t p : cell->params())
             sig += "_" + std::to_string(p);
-        buckets[sig].push_back(cell->name());
+        buckets[Symbol(sig)].push_back(cell->name());
     }
     if (shareable.empty())
         return;
 
     // Which groups use which shareable cells.
-    std::map<std::string, std::set<std::string>> cells_of_group;
-    std::set<std::string> in_continuous;
-    for (const auto &group : comp.groups()) {
+    std::unordered_map<Symbol, std::set<Symbol>> cells_of_group;
+    std::set<Symbol> in_continuous;
+    const Component &ccomp = comp; // reads must not invalidate DefUse
+    for (const auto &group : ccomp.groups()) {
         auto &used = cells_of_group[group->name()];
-        for (const auto &a : group->assignments()) {
+        for (const auto &a : std::as_const(*group).assignments()) {
             auto mark = [&](const PortRef &p) {
                 if (p.isCell() && shareable.count(p.parent))
                     used.insert(p.parent);
@@ -102,7 +106,7 @@ ResourceSharing::runOnComponent(Component &comp, Context &ctx)
             a.reads(mark);
         }
     }
-    for (const auto &a : comp.continuousAssignments()) {
+    for (const auto &a : ccomp.continuousAssignments()) {
         auto mark = [&](const PortRef &p) {
             if (p.isCell() && shareable.count(p.parent))
                 in_continuous.insert(p.parent);
@@ -112,9 +116,9 @@ ResourceSharing::runOnComponent(Component &comp, Context &ctx)
     }
     // Cells referenced by if/while condition ports behave like continuous
     // uses of the enclosing cond group; attribute them to that group.
-    comp.control().walk([&](const Control &node) {
+    ccomp.control().walk([&](const Control &node) {
         const PortRef *port = nullptr;
-        std::string cond;
+        Symbol cond;
         if (node.kind() == Control::Kind::If) {
             port = &cast<If>(node).condPort();
             cond = cast<If>(node).condGroup();
@@ -130,48 +134,53 @@ ResourceSharing::runOnComponent(Component &comp, Context &ctx)
             cells_of_group[cond].insert(port->parent);
     });
 
-    // Step 1: group conflict graph from the execution schedule.
-    std::set<analysis::GroupPair> group_conflicts =
-        analysis::parallelConflicts(comp.control());
+    // Step 1: group conflict graph from the execution schedule, as
+    // hashed id-pair keys (O(1) insert/lookup).
+    std::unordered_set<uint64_t> group_conflicts =
+        analysis::parallelConflictKeys(ccomp.control());
 
-    // Cell-level conflicts.
-    std::set<std::pair<std::string, std::string>> cell_conflicts;
-    auto add_conflict = [&cell_conflicts](const std::string &a,
-                                          const std::string &b) {
+    // Cell-level conflicts, same representation.
+    std::unordered_set<uint64_t> cell_conflicts;
+    auto add_conflict = [&cell_conflicts](Symbol a, Symbol b) {
         if (a != b)
-            cell_conflicts.insert(a < b ? std::pair{a, b}
-                                        : std::pair{b, a});
+            cell_conflicts.insert(analysis::symbolPairKey(a, b));
     };
     // Two cells used by one group are simultaneously busy.
     for (const auto &[g, used] : cells_of_group) {
         (void)g;
-        for (const auto &a : used)
-            for (const auto &b : used)
+        for (Symbol a : used)
+            for (Symbol b : used)
                 add_conflict(a, b);
     }
-    // Cells of groups that may run in parallel conflict.
-    for (const auto &[g1, g2] : group_conflicts) {
+    // Cells of groups that may run in parallel conflict. Iterate the
+    // recorded pairs and cross the groups' cell sets.
+    for (uint64_t key : group_conflicts) {
+        Symbol g1 = Symbol::fromId(static_cast<uint32_t>(key >> 32));
+        Symbol g2 = Symbol::fromId(static_cast<uint32_t>(key));
         auto it1 = cells_of_group.find(g1);
         auto it2 = cells_of_group.find(g2);
         if (it1 == cells_of_group.end() || it2 == cells_of_group.end())
             continue;
-        for (const auto &a : it1->second)
-            for (const auto &b : it2->second)
+        for (Symbol a : it1->second)
+            for (Symbol b : it2->second)
                 add_conflict(a, b);
     }
     // Continuous uses are always live: conflict with everything.
-    for (const auto &c : in_continuous)
-        for (const auto &other : shareable)
+    for (Symbol c : in_continuous)
+        for (Symbol other : shareable)
             add_conflict(c, other);
 
     // Step 2: greedy coloring per signature bucket.
-    std::map<std::string, std::string> mapping;
+    auto conflict = [&cell_conflicts](Symbol a, Symbol b) {
+        return cell_conflicts.count(analysis::symbolPairKey(a, b)) > 0;
+    };
+    std::unordered_map<Symbol, Symbol> mapping;
     for (const auto &[sig, cells] : buckets) {
         (void)sig;
-        auto colored = analysis::greedyColor(cells, cell_conflicts);
+        auto colored = analysis::greedyColor(cells, conflict);
         for (const auto &[from, to] : colored) {
             if (from != to) {
-                mapping[from] = to;
+                mapping.emplace(from, to);
                 ++mergedCount;
             }
         }

@@ -2,10 +2,15 @@
 
 #include "passes/registry.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
+#include <utility>
+#include <vector>
 
+#include "ir/defuse.h"
 #include "support/error.h"
+#include "support/text.h"
 
 namespace calyx::passes {
 
@@ -172,15 +177,117 @@ checkControl(const Component &comp, const Control &ctrl)
     });
 }
 
+const char *
+controlKindName(Control::Kind kind)
+{
+    switch (kind) {
+      case Control::Kind::Enable:
+        return "enable";
+      case Control::Kind::If:
+        return "if";
+      case Control::Kind::While:
+        return "while";
+      default:
+        return "control";
+    }
+}
+
+/**
+ * Dangling-reference sweep over the DefUse index: removeCell and
+ * removeGroup do not rewrite surviving references, so any use of a
+ * name with no definition is reported with the component and the exact
+ * referencing site (the group + assignment text, or the control
+ * statement kind).
+ */
+void
+checkDanglingRefs(const Component &comp)
+{
+    const DefUse &du = comp.defUse();
+    std::vector<std::string> problems;
+
+    // A dangling name is often a typo for a live one; suggest it.
+    auto suggest = [&comp](Symbol sym, bool want_group) {
+        std::vector<std::string> known;
+        if (want_group) {
+            for (const auto &g : comp.groups())
+                known.push_back(g->name().str());
+        } else {
+            for (const auto &c : comp.cells())
+                known.push_back(c->name().str());
+        }
+        std::string close = suggestClosest(sym.str(), known);
+        return close.empty() ? std::string()
+                             : " (did you mean '" + close + "'?)";
+    };
+
+    auto site_text = [&comp](const DefUse::AssignSite &site) {
+        const Assignment &a =
+            site.group.empty()
+                ? comp.continuousAssignments()[site.index]
+                : comp.group(site.group).assignments()[site.index];
+        std::string where = site.group.empty()
+                                ? std::string("continuous assignments")
+                                : "group '" + site.group + "'";
+        return where + ", assignment '" + a.str() + "'";
+    };
+
+    for (const auto &[sym, uses] : du.entries()) {
+        bool is_cell = comp.findCell(sym) != nullptr;
+        bool is_group = comp.findGroup(sym) != nullptr;
+        for (const auto &site : uses.assigns) {
+            if ((site.roles & DefUse::kAnyCell) && !is_cell) {
+                problems.push_back("dangling reference to cell '" +
+                                   sym.str() + "' in " + site_text(site) +
+                                   suggest(sym, false));
+            }
+            if ((site.roles & DefUse::kAnyHole) && !is_group) {
+                problems.push_back("dangling reference to group '" +
+                                   sym.str() + "' hole in " +
+                                   site_text(site) + suggest(sym, true));
+            }
+        }
+        for (const auto &use : uses.control) {
+            if (use.asGroup && !is_group) {
+                problems.push_back(
+                    "dangling reference to group '" + sym.str() + "' in " +
+                    controlKindName(use.node->kind()) +
+                    " control statement" + suggest(sym, true));
+            }
+            if (!use.asGroup && !is_cell) {
+                problems.push_back("dangling reference to cell '" +
+                                   sym.str() + "' in " +
+                                   controlKindName(use.node->kind()) +
+                                   " condition port" + suggest(sym, false));
+            }
+        }
+    }
+    if (problems.empty())
+        return;
+    // The index iterates in hash order; sort for a stable report.
+    std::sort(problems.begin(), problems.end());
+    std::string msg = problems[0];
+    if (problems.size() > 1) {
+        msg += " (and " + std::to_string(problems.size() - 1) +
+               " more dangling reference(s))";
+    }
+    fatal(comp.name(), ": ", msg);
+}
+
 } // namespace
 
 void
 WellFormed::runOnComponent(Component &comp, Context &)
 {
-    for (const auto &g : comp.groups())
-        checkAssignments(comp, g->assignments(), "group " + g->name());
-    checkAssignments(comp, comp.continuousAssignments(), "wires");
-    checkControl(comp, comp.control());
+    const Component &c = comp;
+    // A maintained DefUse index must agree with a fresh recompute
+    // before the dangling sweep (or any pass) trusts it.
+    verifyDefUse(c);
+    checkDanglingRefs(c);
+    for (const auto &g : c.groups())
+        checkAssignments(c, std::as_const(*g).assignments(),
+                         "group " + g->name());
+    checkAssignments(c, c.continuousAssignments(), "wires");
+    checkControl(c, c.control());
 }
 
 namespace {

@@ -5,6 +5,7 @@
 
 #include "sim/schedule.h"
 #include "support/error.h"
+#include "support/text.h"
 
 namespace calyx::sim {
 
@@ -160,7 +161,7 @@ SExpr::collectPorts(std::vector<uint32_t> &ports) const
 }
 
 uint32_t
-SimProgram::Instance::groupId(const std::string &name) const
+SimProgram::Instance::groupId(Symbol name) const
 {
     auto it = groupIndex.find(name);
     if (it == groupIndex.end()) {
@@ -170,7 +171,7 @@ SimProgram::Instance::groupId(const std::string &name) const
     return it->second;
 }
 
-SimProgram::SimProgram(const Context &ctx, const std::string &top)
+SimProgram::SimProgram(const Context &ctx, Symbol top)
     : ctx(&ctx)
 {
     rootInst = std::make_unique<Instance>();
@@ -181,7 +182,7 @@ SimProgram::SimProgram(const Context &ctx, const std::string &top)
 SimProgram::~SimProgram() = default;
 
 uint32_t
-SimProgram::addPort(const std::string &path)
+SimProgram::addPort(Symbol path)
 {
     auto [it, inserted] =
         portIds.emplace(path, static_cast<uint32_t>(portNames.size()));
@@ -191,20 +192,42 @@ SimProgram::addPort(const std::string &path)
 }
 
 uint32_t
-SimProgram::portId(const std::string &path) const
+SimProgram::portId(Symbol path) const
 {
     auto it = portIds.find(path);
-    if (it == portIds.end())
-        fatal("simulator: unknown port path ", path);
+    if (it == portIds.end()) {
+        std::vector<std::string> known;
+        known.reserve(portNames.size());
+        for (Symbol name : portNames)
+            known.push_back(name.str());
+        std::string close = suggestClosest(path.str(), known);
+        if (close.empty())
+            fatal("simulator: unknown port path ", path);
+        fatal("simulator: unknown port path ", path, " (did you mean '",
+              close, "'?)");
+    }
     return it->second;
 }
 
 PrimModel *
-SimProgram::findModel(const std::string &cell_path) const
+SimProgram::findModel(Symbol cell_path) const
 {
     auto it = modelIndex.find(cell_path);
-    if (it == modelIndex.end())
-        fatal("simulator: unknown cell path ", cell_path);
+    if (it == modelIndex.end()) {
+        // One-shot diagnostic path: mirror the pass/backend registries'
+        // did-you-mean UX for misspelled harness cell paths.
+        std::vector<std::string> known;
+        known.reserve(modelIndex.size());
+        for (const auto &[name, model] : modelIndex) {
+            (void)model;
+            known.push_back(name.str());
+        }
+        std::string close = suggestClosest(cell_path.str(), known);
+        if (close.empty())
+            fatal("simulator: unknown cell path ", cell_path);
+        fatal("simulator: unknown cell path ", cell_path,
+              " (did you mean '", close, "'?)");
+    }
     return it->second;
 }
 
@@ -244,7 +267,7 @@ SimProgram::buildInstance(Instance &inst, const Component &comp)
     // ("pe00.go"), which addPort de-duplicates by path.
     for (const auto &p : comp.signature()) {
         std::string path = inst.path.empty()
-                               ? p.name
+                               ? p.name.str()
                                : inst.path.substr(0, inst.path.size() - 1) +
                                      "." + p.name;
         uint32_t id = addPort(path);
@@ -326,7 +349,7 @@ SimProgram::resolve(const Instance &inst, const PortRef &ref)
       case PortRef::Kind::This: {
         std::string path =
             inst.path.empty()
-                ? ref.port
+                ? ref.port.str()
                 : inst.path.substr(0, inst.path.size() - 1) + "." + ref.port;
         return portId(path);
       }

@@ -3,14 +3,15 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <queue>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ir/context.h"
 #include "sim/models.h"
+#include "support/symbol.h"
 
 namespace calyx::sim {
 
@@ -115,33 +116,38 @@ class SimProgram
         const Component *comp = nullptr;
         std::vector<SAssign> continuous;
         /// Per-group data indexed by dense group id (declaration order);
-        /// the string map exists only for one-time name resolution.
-        std::vector<std::string> groupNames;
+        /// the symbol map exists only for one-time name resolution.
+        std::vector<Symbol> groupNames;
         std::vector<std::vector<SAssign>> groupAssigns;
         /// (go hole id, done hole id) per group id.
         std::vector<std::pair<uint32_t, uint32_t>> groupHoles;
-        std::map<std::string, uint32_t> groupIndex;
+        std::unordered_map<Symbol, uint32_t> groupIndex;
         uint32_t goPort = 0, donePort = 0; ///< This-instance go/done ids.
         std::vector<std::unique_ptr<Instance>> subs;
 
         bool hasGroups() const { return !groupAssigns.empty(); }
 
         /** Dense id for a group name; fatal() on a miss. */
-        uint32_t groupId(const std::string &name) const;
+        uint32_t groupId(Symbol name) const;
     };
 
-    SimProgram(const Context &ctx, const std::string &top);
+    SimProgram(const Context &ctx, Symbol top);
     ~SimProgram();
 
     const Instance &root() const { return *rootInst; }
     size_t numPorts() const { return portNames.size(); }
 
-    /** Flat id for a hierarchical port path, e.g. "pe00/r0.out". */
-    uint32_t portId(const std::string &path) const;
-    const std::string &portName(uint32_t id) const { return portNames[id]; }
+    /** Flat id for a hierarchical port path, e.g. "pe00/r0.out".
+     * fatal() with a did-you-mean suggestion on a miss. */
+    uint32_t portId(Symbol path) const;
+    const std::string &portName(uint32_t id) const
+    {
+        return portNames[id].str();
+    }
 
-    /** Model for a hierarchical cell path, e.g. "A0" or "pe00/acc". */
-    PrimModel *findModel(const std::string &cell_path) const;
+    /** Model for a hierarchical cell path, e.g. "A0" or "pe00/acc".
+     * fatal() with a did-you-mean suggestion on a miss. */
+    PrimModel *findModel(Symbol cell_path) const;
 
     const std::vector<std::unique_ptr<PrimModel>> &models() const
     {
@@ -173,17 +179,17 @@ class SimProgram
     friend class SimState;
 
     void buildInstance(Instance &inst, const Component &comp);
-    uint32_t addPort(const std::string &path);
+    uint32_t addPort(Symbol path);
     SAssign compileAssign(const Instance &inst, const Assignment &a);
     SExpr compileGuard(const Instance &inst, const GuardPtr &g);
     uint32_t resolve(const Instance &inst, const PortRef &ref);
 
     const Context *ctx;
     std::unique_ptr<Instance> rootInst;
-    std::vector<std::string> portNames;
-    std::map<std::string, uint32_t> portIds;
+    std::vector<Symbol> portNames;
+    std::unordered_map<Symbol, uint32_t> portIds;
     std::vector<std::unique_ptr<PrimModel>> modelList;
-    std::map<std::string, PrimModel *> modelIndex;
+    std::unordered_map<Symbol, PrimModel *> modelIndex;
     std::vector<std::string> assignDescs;
     mutable std::unique_ptr<SimSchedule> sched; ///< Lazily built.
 };
@@ -223,10 +229,7 @@ class SimState
     void clock();
 
     uint64_t value(uint32_t port) const { return vals[port]; }
-    uint64_t value(const std::string &path) const
-    {
-        return vals[prog->portId(path)];
-    }
+    uint64_t value(Symbol path) const { return vals[prog->portId(path)]; }
 
     Engine engine() const { return engineVal; }
     const SimProgram &program() const { return *prog; }

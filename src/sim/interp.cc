@@ -273,7 +273,7 @@ Interp::condPortId(const PortRef &ref, const SimProgram::Instance &inst)
       case PortRef::Kind::This: {
         std::string path =
             inst.path.empty()
-                ? ref.port
+                ? ref.port.str()
                 : inst.path.substr(0, inst.path.size() - 1) + "." + ref.port;
         return prog->portId(path);
       }

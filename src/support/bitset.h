@@ -1,0 +1,102 @@
+#ifndef CALYX_SUPPORT_BITSET_H
+#define CALYX_SUPPORT_BITSET_H
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace calyx {
+
+/**
+ * A fixed-width bitset over dense indices (cell ids, register indices,
+ * group ids). The analysis layer uses these for live sets and
+ * interference rows: word-parallel union/subtract instead of
+ * node-by-node tree-set splicing.
+ */
+class DenseBits
+{
+  public:
+    DenseBits() = default;
+    explicit DenseBits(size_t nbits) : w((nbits + 63) / 64, 0) {}
+
+    void
+    resize(size_t nbits)
+    {
+        w.assign((nbits + 63) / 64, 0);
+    }
+
+    void set(size_t i) { w[i / 64] |= uint64_t(1) << (i % 64); }
+    void reset(size_t i) { w[i / 64] &= ~(uint64_t(1) << (i % 64)); }
+    bool
+    test(size_t i) const
+    {
+        return (w[i / 64] >> (i % 64)) & 1;
+    }
+
+    DenseBits &
+    operator|=(const DenseBits &other)
+    {
+        // Clamp to the shorter operand: mixing widths is not a read
+        // past the narrower vector, the missing words are zero.
+        size_t n = std::min(w.size(), other.w.size());
+        for (size_t i = 0; i < n; ++i)
+            w[i] |= other.w[i];
+        return *this;
+    }
+
+    /** this &= ~other. */
+    void
+    subtract(const DenseBits &other)
+    {
+        size_t n = std::min(w.size(), other.w.size());
+        for (size_t i = 0; i < n; ++i)
+            w[i] &= ~other.w[i];
+    }
+
+    bool
+    any() const
+    {
+        for (uint64_t word : w) {
+            if (word)
+                return true;
+        }
+        return false;
+    }
+
+    size_t
+    count() const
+    {
+        size_t n = 0;
+        for (uint64_t word : w)
+            n += static_cast<size_t>(std::popcount(word));
+        return n;
+    }
+
+    bool operator==(const DenseBits &other) const = default;
+
+    /** Call `fn(index)` for every set bit, ascending. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (size_t wi = 0; wi < w.size(); ++wi) {
+            uint64_t word = w[wi];
+            while (word) {
+                unsigned bit = std::countr_zero(word);
+                fn(wi * 64 + bit);
+                word &= word - 1;
+            }
+        }
+    }
+
+    const std::vector<uint64_t> &words() const { return w; }
+
+  private:
+    std::vector<uint64_t> w;
+};
+
+} // namespace calyx
+
+#endif // CALYX_SUPPORT_BITSET_H

@@ -1,0 +1,110 @@
+#include "support/symbol.h"
+
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+namespace calyx {
+
+namespace {
+
+/**
+ * The global string table. A deque gives stable addresses under
+ * append, so `Symbol::str()` can hand out references without holding
+ * the lock; the map resolves spellings to ids on intern.
+ *
+ * Meyers-singleton initialization makes first use from any thread safe
+ * (C++11 magic statics); the shared mutex serializes appends against
+ * concurrent lookups afterwards.
+ */
+struct Table
+{
+    std::shared_mutex mutex;
+    std::deque<std::string> strings;
+    std::unordered_map<std::string_view, uint32_t> ids;
+
+    Table()
+    {
+        strings.emplace_back(); // id 0 = ""
+        ids.emplace(strings.back(), 0);
+    }
+
+    uint32_t
+    intern(std::string_view s)
+    {
+        {
+            std::shared_lock lock(mutex);
+            auto it = ids.find(s);
+            if (it != ids.end())
+                return it->second;
+        }
+        std::unique_lock lock(mutex);
+        auto it = ids.find(s);
+        if (it != ids.end())
+            return it->second;
+        uint32_t id = static_cast<uint32_t>(strings.size());
+        strings.emplace_back(s);
+        // Keyed by a view of the deque-owned copy, which never moves.
+        ids.emplace(strings.back(), id);
+        return id;
+    }
+
+    const std::string &
+    get(uint32_t id)
+    {
+        std::shared_lock lock(mutex);
+        return strings[id];
+    }
+
+    size_t
+    size()
+    {
+        std::shared_lock lock(mutex);
+        return strings.size();
+    }
+};
+
+Table &
+table()
+{
+    static Table t;
+    return t;
+}
+
+} // namespace
+
+Symbol::Symbol(std::string_view s) : idVal(s.empty() ? 0 : table().intern(s))
+{}
+
+Symbol::Symbol(const std::string &s) : Symbol(std::string_view(s)) {}
+
+Symbol::Symbol(const char *s) : Symbol(std::string_view(s)) {}
+
+const std::string &
+Symbol::str() const
+{
+    return table().get(idVal);
+}
+
+size_t
+Symbol::tableSize()
+{
+    return table().size();
+}
+
+bool
+operator==(const Symbol &a, std::string_view b)
+{
+    return std::string_view(a.str()) == b;
+}
+
+std::ostream &
+operator<<(std::ostream &os, const Symbol &s)
+{
+    return os << s.str();
+}
+
+} // namespace calyx

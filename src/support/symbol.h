@@ -1,0 +1,185 @@
+#ifndef CALYX_SUPPORT_SYMBOL_H
+#define CALYX_SUPPORT_SYMBOL_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace calyx {
+
+/**
+ * An interned identifier: a dense u32 index into a global, append-only
+ * string table. Symbols are the name type of the IR core — component,
+ * cell, group, port, and attribute names are all Symbols — so the hot
+ * operations of every layer (map lookups in passes, port resolution in
+ * the simulator, equality tests in read/write-set analyses) are integer
+ * compares and integer hashes instead of heap-string walks.
+ *
+ * Properties:
+ *  - Equality and hashing are O(1) on the id. Two Symbols are equal iff
+ *    they intern the same spelling.
+ *  - `operator<` is *lexicographic* on the spelling, NOT id order.
+ *    Interning order depends on execution order (parse order, pass
+ *    order), so id-ordered containers would iterate differently from
+ *    the string-keyed containers they replace and perturb every
+ *    printed artifact. Ordered containers (std::set<Symbol>,
+ *    std::map<Symbol, V>) therefore iterate exactly like their
+ *    std::string ancestors; use unordered containers (O(1) id hash)
+ *    on hot paths where iteration order does not leak into output.
+ *  - The table is global and append-only; symbols are never freed.
+ *    Interning is thread-safe (shared mutex); `str()` returns a
+ *    reference that remains valid for the life of the process.
+ *  - The default Symbol is the empty string and has id 0.
+ *
+ * Symbol converts implicitly from and to strings so the IR API remains
+ * source-compatible with string-based callers: `comp.cell("a0")` interns
+ * at the call site, and a Symbol can be passed wherever a
+ * `const std::string &` is expected. Code on a hot path should traffic
+ * in Symbols end to end and convert only at I/O boundaries.
+ */
+class Symbol
+{
+  public:
+    /** The empty symbol (id 0). */
+    constexpr Symbol() = default;
+
+    /** Intern `s` (implicit: string-typed call sites keep compiling). */
+    Symbol(std::string_view s);
+    Symbol(const std::string &s);
+    Symbol(const char *s);
+
+    /** Dense table index; stable for the life of the process. */
+    uint32_t id() const { return idVal; }
+
+    /** The interned spelling; valid for the life of the process. */
+    const std::string &str() const;
+
+    /** Implicit view as the interned spelling. */
+    operator const std::string &() const { return str(); }
+
+    bool empty() const { return idVal == 0; }
+
+    /** O(1): same id iff same spelling. */
+    bool operator==(const Symbol &other) const
+    {
+        return idVal == other.idVal;
+    }
+    bool operator!=(const Symbol &other) const
+    {
+        return idVal != other.idVal;
+    }
+
+    /** Deterministic lexicographic order (see class comment). */
+    bool operator<(const Symbol &other) const
+    {
+        return idVal != other.idVal && str() < other.str();
+    }
+
+    /** Comparator ordering by id, for containers where order is free. */
+    struct IdLess
+    {
+        bool
+        operator()(const Symbol &a, const Symbol &b) const
+        {
+            return a.id() < b.id();
+        }
+    };
+
+    /** Number of distinct symbols interned so far (tests, stats). */
+    static size_t tableSize();
+
+    /**
+     * Rebuild a Symbol from an id previously obtained via id(). The id
+     * must come from a live Symbol (ids are never recycled, so any
+     * stored id stays valid); passing an arbitrary integer is UB.
+     */
+    static Symbol
+    fromId(uint32_t id)
+    {
+        Symbol s;
+        s.idVal = id;
+        return s;
+    }
+
+  private:
+    uint32_t idVal = 0;
+};
+
+/**
+ * Mixed comparisons resolve the string side without interning it (an
+ * exact-match overload also beats the ambiguity of the two implicit
+ * conversion directions).
+ */
+bool operator==(const Symbol &a, std::string_view b);
+inline bool
+operator==(std::string_view a, const Symbol &b)
+{
+    return b == a;
+}
+inline bool
+operator==(const Symbol &a, const char *b)
+{
+    return a == std::string_view(b);
+}
+inline bool
+operator==(const char *a, const Symbol &b)
+{
+    return b == std::string_view(a);
+}
+inline bool
+operator==(const Symbol &a, const std::string &b)
+{
+    return a == std::string_view(b);
+}
+inline bool
+operator==(const std::string &a, const Symbol &b)
+{
+    return b == std::string_view(a);
+}
+template <typename T>
+bool
+operator!=(const Symbol &a, const T &b)
+{
+    return !(a == b);
+}
+
+/** Concatenation at diagnostic/printing boundaries. */
+inline std::string
+operator+(const Symbol &a, const char *b)
+{
+    return a.str() + b;
+}
+inline std::string
+operator+(const char *a, const Symbol &b)
+{
+    return a + b.str();
+}
+inline std::string
+operator+(const Symbol &a, const std::string &b)
+{
+    return a.str() + b;
+}
+inline std::string
+operator+(const std::string &a, const Symbol &b)
+{
+    return a + b.str();
+}
+
+std::ostream &operator<<(std::ostream &os, const Symbol &s);
+
+} // namespace calyx
+
+template <>
+struct std::hash<calyx::Symbol>
+{
+    size_t
+    operator()(const calyx::Symbol &s) const noexcept
+    {
+        // Fibonacci scramble: dense sequential ids otherwise collide in
+        // power-of-two bucket counts.
+        return static_cast<size_t>(s.id()) * 0x9e3779b97f4a7c15ull;
+    }
+};
+
+#endif // CALYX_SUPPORT_SYMBOL_H

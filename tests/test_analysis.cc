@@ -3,7 +3,7 @@
 #include "analysis/coloring.h"
 #include "analysis/liveness.h"
 #include "analysis/pcfg.h"
-#include "analysis/read_write_sets.h"
+#include "ir/defuse.h"
 #include "analysis/schedule.h"
 #include "ir/builder.h"
 
@@ -143,7 +143,7 @@ TEST(Liveness, DefAfterLastUseAllowsSharing)
 {
     // Groups: w0 writes t0; rx reads t0 writes x; w1 writes t1;
     // ry reads t1 writes y. t0 dies before t1 is born.
-    std::map<std::string, an::RegAccess> access;
+    std::map<Symbol, an::RegAccess> access;
     access["w0"].mustWrites = {"t0"};
     access["w0"].anyWrites = {"t0"};
     access["rx"].reads = {"t0"};
@@ -168,7 +168,7 @@ TEST(Liveness, DefAfterLastUseAllowsSharing)
 
 TEST(Liveness, SimultaneouslyLiveInterfere)
 {
-    std::map<std::string, an::RegAccess> access;
+    std::map<Symbol, an::RegAccess> access;
     access["w0"].mustWrites = {"t0"};
     access["w0"].anyWrites = {"t0"};
     access["w1"].mustWrites = {"t1"};
@@ -189,7 +189,7 @@ TEST(Liveness, ParChildrenSeeLiveOut)
 {
     // par { write t0; write t1 } then read both: interference must be
     // discovered inside the p-node handling.
-    std::map<std::string, an::RegAccess> access;
+    std::map<Symbol, an::RegAccess> access;
     access["w0"].mustWrites = {"t0"};
     access["w0"].anyWrites = {"t0"};
     access["w1"].mustWrites = {"t1"};
@@ -210,8 +210,8 @@ TEST(Liveness, ParChildrenSeeLiveOut)
 
 TEST(Coloring, GreedyMergesIndependent)
 {
-    std::vector<std::string> nodes = {"a", "b", "c"};
-    std::set<std::pair<std::string, std::string>> conflicts = {
+    std::vector<Symbol> nodes = {"a", "b", "c"};
+    std::set<std::pair<Symbol, Symbol>> conflicts = {
         {"a", "b"}};
     auto mapping = an::greedyColor(nodes, conflicts);
     EXPECT_EQ(mapping.at("a"), "a");
@@ -222,8 +222,8 @@ TEST(Coloring, GreedyMergesIndependent)
 
 TEST(Coloring, CliqueNeedsDistinctColors)
 {
-    std::vector<std::string> nodes = {"a", "b", "c"};
-    std::set<std::pair<std::string, std::string>> conflicts = {
+    std::vector<Symbol> nodes = {"a", "b", "c"};
+    std::set<std::pair<Symbol, Symbol>> conflicts = {
         {"a", "b"}, {"a", "c"}, {"b", "c"}};
     auto mapping = an::greedyColor(nodes, conflicts);
     EXPECT_EQ(mapping.at("a"), "a");

@@ -210,7 +210,7 @@ x := a[0] * a[1];
     // The multiply group carries static = multLatency + 1 (§6.2).
     bool found = false;
     for (const auto &g : ctx.component("main").groups()) {
-        if (g->name().rfind("do_mul", 0) == 0) {
+        if (g->name().str().rfind("do_mul", 0) == 0) {
             found = true;
             EXPECT_EQ(g->staticLatency(), multLatency + 1);
         }
@@ -227,7 +227,7 @@ a[0] := sqrt(a[1]);
     Context ctx = dahlia::compileDahlia(prog);
     bool found = false;
     for (const auto &g : ctx.component("main").groups()) {
-        if (g->name().rfind("do_sqrt", 0) == 0) {
+        if (g->name().str().rfind("do_sqrt", 0) == 0) {
             found = true;
             EXPECT_EQ(g->staticLatency(), std::nullopt);
         }

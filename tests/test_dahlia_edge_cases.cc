@@ -267,7 +267,7 @@ for (let i: ubit<3> = 0..4) { a[i] := a[i] + 1; }
     Context ctx = dahlia::compileDahlia(prog);
     int rd_groups = 0;
     for (const auto &g : ctx.component("main").groups()) {
-        if (g->name().rfind("rd", 0) == 0)
+        if (g->name().str().rfind("rd", 0) == 0)
             ++rd_groups;
     }
     EXPECT_EQ(rd_groups, 0);

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/defuse.h"
+#include "support/error.h"
+
+namespace calyx {
+namespace {
+
+/** Maintained index must match a fresh recompute; returns the reason
+ * when it does not. */
+testing::AssertionResult
+indexInSync(const Component &comp)
+{
+    const DefUse *maintained = comp.maintainedDefUse();
+    if (!maintained)
+        return testing::AssertionFailure() << "no maintained index";
+    std::string why;
+    DefUse fresh = DefUse::compute(comp);
+    if (!maintained->equivalent(fresh, &why))
+        return testing::AssertionFailure() << why;
+    return testing::AssertionSuccess();
+}
+
+Context
+baseProgram()
+{
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.reg("r0", 8);
+    b.reg("r1", 8);
+    b.cell("add0", "std_add", {8});
+    Group &g = b.group("upd");
+    g.add(cellPort("add0", "left"), cellPort("r0", "out"));
+    g.add(cellPort("add0", "right"), constant(1, 8));
+    g.add(cellPort("r0", "in"), cellPort("add0", "out"));
+    g.add(cellPort("r0", "write_en"), constant(1, 1));
+    g.add(g.doneHole(), cellPort("r0", "done"));
+    b.component().setControl(ComponentBuilder::enable("upd"));
+    return ctx;
+}
+
+TEST(DefUse, ComputeFindsAssignGuardAndControlUses)
+{
+    Context ctx = baseProgram();
+    const Component &main = ctx.main();
+    const DefUse &du = main.defUse();
+
+    const DefUse::Uses *r0 = du.find(Symbol("r0"));
+    ASSERT_NE(r0, nullptr);
+    EXPECT_TRUE(r0->anyAssign(DefUse::kSrcCell));
+    EXPECT_TRUE(r0->anyAssign(DefUse::kDstCell));
+
+    const DefUse::Uses *upd = du.find(Symbol("upd"));
+    ASSERT_NE(upd, nullptr);
+    // done-hole write + the Enable control node.
+    EXPECT_TRUE(upd->anyAssign(DefUse::kDstHole));
+    ASSERT_EQ(upd->control.size(), 1u);
+    EXPECT_TRUE(upd->control[0].asGroup);
+
+    EXPECT_EQ(du.find(Symbol("never_mentioned")), nullptr);
+}
+
+TEST(DefUse, GuardUsesAreTracked)
+{
+    Context ctx = baseProgram();
+    Component &main = ctx.main();
+    Group &g = main.group("upd");
+    g.add(cellPort("r1", "in"), constant(7, 8),
+          Guard::fromPort(cellPort("r0", "done")));
+    const DefUse::Uses *r0 = main.defUse().find(Symbol("r0"));
+    ASSERT_NE(r0, nullptr);
+    EXPECT_TRUE(r0->anyAssign(DefUse::kGuardCell));
+}
+
+TEST(DefUse, IncrementalAddStaysInSync)
+{
+    Context ctx = baseProgram();
+    Component &main = ctx.main();
+    main.defUse(); // materialize
+
+    // Group::add on an owned group maintains the index.
+    Group &g = main.group("upd");
+    g.add(cellPort("r1", "in"), cellPort("r0", "out"));
+    g.add(cellPort("r1", "write_en"), constant(1, 1));
+    EXPECT_TRUE(indexInSync(main));
+
+    // addContinuous maintains too.
+    main.addContinuous(
+        Assignment(thisPort("done"), cellPort("r0", "done")));
+    EXPECT_TRUE(indexInSync(main));
+
+    // A brand-new group filled through add().
+    Group &g2 = main.addGroup("fresh");
+    g2.add(cellPort("r1", "write_en"), constant(1, 1));
+    g2.add(g2.doneHole(), cellPort("r1", "done"));
+    EXPECT_TRUE(indexInSync(main));
+}
+
+TEST(DefUse, RemoveGroupDropsItsSitesKeepsDanglingUses)
+{
+    Context ctx = baseProgram();
+    Component &main = ctx.main();
+    Group &g2 = main.addGroup("aux");
+    g2.add(cellPort("r1", "in"), constant(3, 8));
+    g2.add(cellPort("r1", "write_en"), constant(1, 1));
+    g2.add(g2.doneHole(), cellPort("r1", "done"));
+    main.defUse(); // materialize
+
+    main.removeGroup("aux");
+    EXPECT_TRUE(indexInSync(main));
+    // r1 was only referenced inside aux: no surviving uses.
+    EXPECT_EQ(main.defUse().find(Symbol("r1")), nullptr);
+
+    // Removing a group that is still enabled keeps the control use —
+    // that is exactly what the WellFormed dangling check reports.
+    main.removeGroup("upd");
+    EXPECT_TRUE(indexInSync(main));
+    const DefUse::Uses *upd = main.defUse().find(Symbol("upd"));
+    ASSERT_NE(upd, nullptr);
+    EXPECT_TRUE(upd->assigns.empty());
+    ASSERT_EQ(upd->control.size(), 1u);
+    EXPECT_TRUE(upd->control[0].asGroup);
+}
+
+TEST(DefUse, RemoveAndRenameCellKeepIndexValid)
+{
+    Context ctx = baseProgram();
+    Component &main = ctx.main();
+    main.defUse();
+
+    // Cells define no use sites, so removal must not disturb the index.
+    main.removeCell("r1");
+    EXPECT_TRUE(indexInSync(main));
+
+    // renameCell moves the definition; uses keep naming the old symbol
+    // until a pass rewrites them (and stay indexed under it).
+    main.renameCell("add0", "adder");
+    EXPECT_TRUE(indexInSync(main));
+    EXPECT_NE(main.defUse().find(Symbol("add0")), nullptr);
+    EXPECT_EQ(main.findCell("add0"), nullptr);
+    EXPECT_NE(main.findCell("adder"), nullptr);
+    EXPECT_EQ(main.cell("adder").name(), "adder");
+}
+
+TEST(DefUse, RawMutationInvalidatesInsteadOfLying)
+{
+    Context ctx = baseProgram();
+    Component &main = ctx.main();
+    main.defUse();
+    ASSERT_NE(main.maintainedDefUse(), nullptr);
+
+    // Grabbing the mutable assignment vector conservatively drops the
+    // cache; the next defUse() recomputes.
+    main.group("upd").assignments().clear();
+    EXPECT_EQ(main.maintainedDefUse(), nullptr);
+    EXPECT_EQ(main.defUse().find(Symbol("add0")), nullptr);
+}
+
+TEST(DefUse, ControlMutatorsInvalidate)
+{
+    Context ctx = baseProgram();
+    Component &main = ctx.main();
+    main.defUse();
+    ASSERT_NE(main.maintainedDefUse(), nullptr);
+    main.setControl(std::make_unique<Empty>());
+    EXPECT_EQ(main.maintainedDefUse(), nullptr);
+    const DefUse::Uses *upd = main.defUse().find(Symbol("upd"));
+    ASSERT_NE(upd, nullptr);
+    EXPECT_TRUE(upd->control.empty()); // enable is gone
+}
+
+TEST(DefUse, DenseIdsTrackPositionsAcrossRemoval)
+{
+    Context ctx = baseProgram();
+    Component &main = ctx.main();
+    EXPECT_EQ(main.cell("r0").id(), 0u);
+    EXPECT_EQ(main.cell("r1").id(), 1u);
+    EXPECT_EQ(main.cell("add0").id(), 2u);
+    main.removeCell("r1");
+    EXPECT_EQ(main.cell("r0").id(), 0u);
+    EXPECT_EQ(main.cell("add0").id(), 1u);
+    ASSERT_EQ(main.cells().size(), 2u);
+    for (uint32_t i = 0; i < main.cells().size(); ++i)
+        EXPECT_EQ(main.cells()[i]->id(), i);
+}
+
+TEST(DefUse, UniqueNameStaysFreshAndCheap)
+{
+    Context ctx = baseProgram();
+    Component &main = ctx.main();
+    // Take a name the counter would otherwise mint.
+    main.addCell("fsm0", "std_reg", {1}, ctx);
+    std::set<Symbol> minted;
+    for (int i = 0; i < 100; ++i) {
+        Symbol fresh = main.uniqueName("fsm");
+        EXPECT_TRUE(minted.insert(fresh).second) << fresh.str();
+        EXPECT_EQ(main.findCell(fresh), nullptr);
+        EXPECT_EQ(main.findGroup(fresh), nullptr);
+        main.addCell(fresh, "std_reg", {1}, ctx);
+    }
+    EXPECT_FALSE(minted.count(Symbol("fsm0")));
+}
+
+TEST(DefUse, VerifyDefUseNamesComponentOnCorruption)
+{
+    Context ctx = baseProgram();
+    Component &main = ctx.main();
+    main.defUse();
+    // Forge divergence: mutate through a path the index cannot see.
+    // (const_cast stands in for a buggy pass writing around the API.)
+    auto &assigns = const_cast<std::vector<Assignment> &>(
+        std::as_const(main).group("upd").assignments());
+    ASSERT_NE(main.maintainedDefUse(), nullptr); // const access kept it
+    assigns.pop_back();
+    try {
+        verifyDefUse(main);
+        FAIL() << "expected verifyDefUse to throw";
+    } catch (const Error &e) {
+        EXPECT_NE(std::string(e.what()).find("main"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("DefUse"), std::string::npos);
+    }
+}
+
+TEST(DefUse, RegisterAccessMatchesDirectScan)
+{
+    // The batch path over the index must agree with first principles on
+    // a mixed conditional/unconditional write pattern.
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.reg("x", 8);
+    b.reg("y", 8);
+    b.reg("f", 1);
+    Group &g = b.group("g");
+    g.add(cellPort("x", "in"), constant(1, 8));
+    g.add(cellPort("x", "write_en"), constant(1, 1));
+    GuardPtr f = Guard::fromPort(cellPort("f", "out"));
+    g.add(cellPort("y", "in"), constant(2, 8), f);
+    g.add(cellPort("y", "write_en"), constant(1, 1), f);
+    g.add(g.doneHole(), cellPort("x", "done"));
+
+    auto access = analysis::registerAccess(ctx.main());
+    const auto &acc = access.at(Symbol("g"));
+    EXPECT_TRUE(acc.mustWrites.count(Symbol("x")));
+    EXPECT_FALSE(acc.mustWrites.count(Symbol("y")));
+    EXPECT_TRUE(acc.reads.count(Symbol("y")));
+    EXPECT_TRUE(acc.reads.count(Symbol("f")));
+    EXPECT_TRUE(acc.anyWrites.count(Symbol("y")));
+}
+
+} // namespace
+} // namespace calyx

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "passes/pipeline_spec.h"
+
+namespace calyx {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path>
+exampleFiles()
+{
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::directory_iterator(CALYX_EXAMPLES_DIR)) {
+        if (entry.path().extension() == ".futil")
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+std::string
+slurp(const fs::path &p)
+{
+    std::ifstream in(p);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/**
+ * print(parse(text)) must be a fixed point: parsing the printed form
+ * and printing again reproduces it byte for byte. This pins the
+ * Symbol-based printer/parser to the textual IL across every shipped
+ * example.
+ */
+TEST(RoundTrip, PrintParsePrintIdempotentOnExamples)
+{
+    auto files = exampleFiles();
+    ASSERT_FALSE(files.empty())
+        << "no .futil examples found in " << CALYX_EXAMPLES_DIR;
+    for (const auto &file : files) {
+        SCOPED_TRACE(file.string());
+        Context first = Parser::parseProgram(slurp(file));
+        std::string printed = Printer::toString(first);
+        Context second = Parser::parseProgram(printed);
+        EXPECT_EQ(Printer::toString(second), printed);
+    }
+}
+
+/** The fixed point must also hold for fully lowered programs. */
+TEST(RoundTrip, IdempotentAfterCompilation)
+{
+    for (const auto &file : exampleFiles()) {
+        SCOPED_TRACE(file.string());
+        Context ctx = Parser::parseProgram(slurp(file));
+        passes::runPipeline(ctx, "all");
+        std::string printed = Printer::toString(ctx);
+        Context reparsed = Parser::parseProgram(printed);
+        EXPECT_EQ(Printer::toString(reparsed), printed);
+    }
+}
+
+} // namespace
+} // namespace calyx

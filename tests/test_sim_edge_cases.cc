@@ -31,6 +31,37 @@ TEST(SimEdge, DisjointGuardedDriversAreLegal)
     EXPECT_EQ(st.value("x.in"), 2u); // f resets to 0
 }
 
+TEST(SimEdge, UnknownCellPathSuggestsClosest)
+{
+    Context ctx = testing::counterProgram(3, 2);
+    passes::compile(ctx);
+    sim::SimProgram prog(ctx, "main");
+    try {
+        prog.findModel("xx"); // actual register is "x"
+        FAIL() << "expected an unknown-cell-path error";
+    } catch (const Error &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown cell path"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("did you mean"), std::string::npos) << msg;
+    }
+}
+
+TEST(SimEdge, UnknownPortPathSuggestsClosest)
+{
+    Context ctx = testing::counterProgram(3, 2);
+    passes::compile(ctx);
+    sim::SimProgram prog(ctx, "main");
+    try {
+        prog.portId("x.outt");
+        FAIL() << "expected an unknown-port-path error";
+    } catch (const Error &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown port path"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("did you mean 'x.out'"), std::string::npos)
+            << msg;
+    }
+}
+
 TEST(SimEdge, OutOfBoundsReadReturnsZero)
 {
     Context ctx;

@@ -141,5 +141,116 @@ TEST(WellFormed, RejectsCmpWidthMismatch)
     EXPECT_THROW(WellFormed().runOnContext(ctx), Error);
 }
 
+TEST(WellFormed, ReportsDanglingCellAfterRemoveCell)
+{
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.reg("x", 8);
+    b.reg("victim", 8);
+    Group &g = b.group("g");
+    g.add(cellPort("x", "in"), cellPort("victim", "out"));
+    g.add(cellPort("x", "write_en"), constant(1, 1));
+    g.add(g.doneHole(), cellPort("x", "done"));
+    b.component().setControl(ComponentBuilder::enable("g"));
+    Component &main = b.component();
+
+    EXPECT_NO_THROW(WellFormed().runOnContext(ctx));
+    main.removeCell("victim"); // silently leaves the read in g
+    try {
+        WellFormed().runOnContext(ctx);
+        FAIL() << "expected a dangling-reference error";
+    } catch (const Error &e) {
+        std::string msg = e.what();
+        // Component, removed entity, and the referencing site.
+        EXPECT_NE(msg.find("main"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("dangling"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("victim"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("group 'g'"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("x.in = victim.out"), std::string::npos) << msg;
+    }
+}
+
+TEST(WellFormed, ReportsDanglingGroupAfterRemoveGroup)
+{
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.reg("x", 8);
+    b.regWriteGroup("w", "x", constant(3, 8));
+    b.component().setControl(ComponentBuilder::enable("w"));
+    Component &main = b.component();
+
+    main.removeGroup("w"); // enable in control survives
+    try {
+        WellFormed().runOnContext(ctx);
+        FAIL() << "expected a dangling-reference error";
+    } catch (const Error &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("main"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("dangling"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("'w'"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("enable"), std::string::npos) << msg;
+    }
+}
+
+TEST(WellFormed, ReportsDanglingHoleReference)
+{
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.reg("x", 8);
+    b.regWriteGroup("w", "x", constant(3, 8));
+    Group &g = b.group("g");
+    g.add(cellPort("x", "write_en"), constant(1, 1),
+          Guard::fromPort(holePort("w", "done")));
+    g.add(g.doneHole(), cellPort("x", "done"));
+    b.component().setControl(ComponentBuilder::enable("g"));
+    Component &main = b.component();
+
+    main.removeGroup("w"); // g still reads w[done] in a guard
+    try {
+        WellFormed().runOnContext(ctx);
+        FAIL() << "expected a dangling-reference error";
+    } catch (const Error &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("dangling"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("'w'"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("group 'g'"), std::string::npos) << msg;
+    }
+}
+
+TEST(WellFormed, DidYouMeanOnMisspelledCell)
+{
+    Context ctx;
+    auto b = ComponentBuilder::create(ctx, "main");
+    b.reg("counter", 8);
+    Group &g = b.group("g");
+    g.add(cellPort("countre", "in"), constant(1, 8)); // typo
+    g.add(g.doneHole(), constant(1, 1));
+    b.component().setControl(ComponentBuilder::enable("g"));
+    try {
+        WellFormed().runOnContext(ctx);
+        FAIL() << "expected an unknown-cell error";
+    } catch (const Error &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("countre"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("did you mean 'counter'"), std::string::npos)
+            << msg;
+    }
+}
+
+TEST(WellFormed, DidYouMeanOnMisspelledCellType)
+{
+    Context ctx;
+    Component &main = ctx.addComponent("main");
+    try {
+        main.addCell("r", "std_regg", {8}, ctx);
+        FAIL() << "expected an unknown-type error";
+    } catch (const Error &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("std_regg"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("did you mean 'std_reg'"), std::string::npos)
+            << msg;
+    }
+}
+
 } // namespace
 } // namespace calyx
