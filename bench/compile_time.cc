@@ -8,13 +8,19 @@
  * bench/baselines/compile_seed.json) are merged in so the JSON records
  * before/after side by side.
  *
+ * Each workload also records its FSM lowering statistics (ISSUE 5):
+ * machine/state/counter-state counts, FSM and seed-equivalent register
+ * counts, and control-lowering wall time, under the "fsm" key.
+ *
  * Usage:
  *   bench_compile_time [--small] [--check] [--reps N] [--out FILE]
  *                      [--baseline FILE]
  *     --small     CI smoke configuration (8x8/16x16 systolic, two
- *                 PolyBench kernels)
- *     --check     exit non-zero unless every timing is nonzero and the
- *                 systolic timings grow monotonically with array size
+ *                 PolyBench kernels, a 6-loop control-heavy design)
+ *     --check     exit non-zero unless every timing is nonzero, the
+ *                 systolic timings grow monotonically with array size,
+ *                 and the flat control lowering mints no more control
+ *                 registers than the seed's per-node expansion
  *     --reps N    timing repetitions per workload (default 3)
  *     --out       output path (default BENCH_compile.json)
  *     --baseline  JSON from a previous run to embed as "before"
@@ -38,9 +44,12 @@
 #include "frontends/dahlia/codegen.h"
 #include "frontends/dahlia/parser.h"
 #include "frontends/systolic/systolic.h"
+#include "ir/builder.h"
+#include "ir/fsm.h"
 #include "passes/pipeline_spec.h"
 #include "support/error.h"
 #include "support/json.h"
+#include "support/time.h"
 #include "workloads/polybench.h"
 
 using namespace calyx;
@@ -48,14 +57,6 @@ using namespace calyx;
 namespace {
 
 constexpr const char *kPipeline = "all";
-
-double
-now()
-{
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now().time_since_epoch())
-        .count();
-}
 
 uint64_t
 toMicros(double seconds)
@@ -73,6 +74,10 @@ struct WorkloadResult
     double endToEndSeconds = 0; ///< Sum across reps.
     /** Per-pass wall time summed across reps, in pipeline order. */
     std::vector<std::pair<std::string, double>> perPass;
+    /** FSM lowering statistics of the last compiled context (state,
+     * register, and seed-register counts are deterministic across
+     * reps; the lowering time is that compile's wall time). */
+    FsmStats fsm;
 
     void
     accumulate(const std::vector<passes::PassRunInfo> &infos)
@@ -99,12 +104,101 @@ benchWorkload(const std::string &name, const std::string &kind,
     r.reps = reps;
     for (int i = 0; i < reps; ++i) {
         Context ctx = make();
-        double start = now();
+        double start = nowSeconds();
         auto infos = passes::runPipeline(ctx, kPipeline);
-        r.endToEndSeconds += now() - start;
+        r.endToEndSeconds += nowSeconds() - start;
         r.accumulate(infos);
+        if (i == reps - 1) {
+            r.fsm = FsmStats{};
+            for (const auto &comp : ctx.components()) {
+                FsmStats s = fsmStats(*comp);
+                r.fsm.machines += s.machines;
+                r.fsm.states += s.states;
+                r.fsm.codes += s.codes;
+                r.fsm.transitions += s.transitions;
+                r.fsm.counterStates += s.counterStates;
+                r.fsm.registers += s.registers;
+                r.fsm.helperRegisters += s.helperRegisters;
+                r.fsm.controlRegisters += s.controlRegisters;
+                r.fsm.seedRegisters += s.seedRegisters;
+                r.fsm.loweringSeconds += s.loweringSeconds;
+            }
+        }
     }
     return r;
+}
+
+/**
+ * Control-heavy design (ISSUE 5): deeply nested seq / while / if / par
+ * over simple register writes — the shape the flat FSM lowering exists
+ * for. Deterministic, so the --check assertions (flat lowering uses no
+ * more control registers than the seed's per-node expansion) are
+ * stable in CI.
+ */
+WorkloadResult
+benchControlHeavy(int loops, int reps)
+{
+    std::string name = "control_heavy_" + std::to_string(loops);
+    return benchWorkload(name, "control", static_cast<uint64_t>(loops),
+                         reps, [loops]() {
+        Context ctx;
+        auto b = ComponentBuilder::create(ctx, "main");
+        b.reg("x", 16);
+        b.reg("y", 16);
+        b.add("ax", 16);
+        int groups = 0;
+        auto writeGroup = [&](const std::string &dst) {
+            std::string g = "w" + std::to_string(groups++);
+            b.regWriteGroup(g, dst, constant(groups % 100, 16));
+            return g;
+        };
+        std::vector<ControlPtr> top;
+        for (int l = 0; l < loops; ++l) {
+            std::string id = std::to_string(l);
+            b.reg("i" + id, 8);
+            b.add("ia" + id, 8);
+            b.cell("lt" + id, "std_lt", {8});
+            b.regWriteGroup("init" + id, "i" + id, constant(0, 8));
+            Group &cond = b.group("cond" + id);
+            cond.add(cellPort("lt" + id, "left"),
+                     cellPort("i" + id, "out"));
+            cond.add(cellPort("lt" + id, "right"), constant(3, 8));
+            cond.add(cond.doneHole(), constant(1, 1));
+            Group &bump = b.group("bump" + id);
+            bump.add(cellPort("ia" + id, "left"),
+                     cellPort("i" + id, "out"));
+            bump.add(cellPort("ia" + id, "right"), constant(1, 8));
+            bump.add(cellPort("i" + id, "in"),
+                     cellPort("ia" + id, "out"));
+            bump.add(cellPort("i" + id, "write_en"), constant(1, 1));
+            bump.add(bump.doneHole(), cellPort("i" + id, "done"));
+
+            // Body: 3-level nested seq + if + par under the loop.
+            std::vector<ControlPtr> inner2;
+            inner2.push_back(ComponentBuilder::enable(writeGroup("x")));
+            inner2.push_back(ComponentBuilder::enable(writeGroup("x")));
+            std::vector<ControlPtr> inner1;
+            inner1.push_back(ComponentBuilder::enable(writeGroup("x")));
+            inner1.push_back(ComponentBuilder::seq(std::move(inner2)));
+            std::vector<ControlPtr> arms;
+            arms.push_back(ComponentBuilder::enable(writeGroup("x")));
+            arms.push_back(ComponentBuilder::enable(writeGroup("y")));
+            std::vector<ControlPtr> body;
+            body.push_back(ComponentBuilder::seq(std::move(inner1)));
+            body.push_back(ComponentBuilder::ifStmt(
+                cellPort("lt" + id, "out"), "cond" + id,
+                ComponentBuilder::enable(writeGroup("x")),
+                ComponentBuilder::enable(writeGroup("y"))));
+            body.push_back(ComponentBuilder::par(std::move(arms)));
+            body.push_back(ComponentBuilder::enable("bump" + id));
+            top.push_back(ComponentBuilder::enable("init" + id));
+            top.push_back(ComponentBuilder::whileStmt(
+                cellPort("lt" + id, "out"), "cond" + id,
+                ComponentBuilder::seq(std::move(body))));
+        }
+        b.component().setControl(ComponentBuilder::seq(std::move(top)));
+        return ctx;
+    });
 }
 
 WorkloadResult
@@ -151,6 +245,25 @@ toJson(const WorkloadResult &r, const json::Value *baseline)
     for (const auto &[pass, seconds] : r.perPass)
         per_pass.set(pass, json::Value::number(toMicros(seconds / r.reps)));
     w.set("per_pass_us", std::move(per_pass));
+
+    // FSM lowering record (ISSUE 5): schedule size, register footprint
+    // vs the seed's per-node expansion, and control-lowering wall time.
+    json::Value fsm = json::Value::object();
+    fsm.set("machines",
+            json::Value::number(static_cast<uint64_t>(r.fsm.machines)));
+    fsm.set("states",
+            json::Value::number(static_cast<uint64_t>(r.fsm.states)));
+    fsm.set("counter_states", json::Value::number(static_cast<uint64_t>(
+                                  r.fsm.counterStates)));
+    fsm.set("registers",
+            json::Value::number(static_cast<uint64_t>(r.fsm.registers)));
+    fsm.set("control_registers", json::Value::number(static_cast<uint64_t>(
+                                     r.fsm.controlRegisters)));
+    fsm.set("seed_registers", json::Value::number(static_cast<uint64_t>(
+                                  r.fsm.seedRegisters)));
+    fsm.set("control_lowering_us",
+            json::Value::number(toMicros(r.fsm.loweringSeconds)));
+    w.set("fsm", std::move(fsm));
 
     if (baseline) {
         // Baselines come from this same writer, so end_to_end_us is
@@ -211,6 +324,24 @@ check(const std::vector<WorkloadResult> &results)
                 ++failures;
             }
             prevSystolic = us;
+        }
+        // The flat lowering must never mint more control-state
+        // registers than the seed's per-node expansion would have.
+        if (r.fsm.machines > 0 &&
+            r.fsm.controlRegisters > r.fsm.seedRegisters) {
+            std::fprintf(stderr,
+                         "bench_compile: %s: flat lowering minted %d "
+                         "control registers, seed lowering only %d\n",
+                         r.name.c_str(), r.fsm.controlRegisters,
+                         r.fsm.seedRegisters);
+            ++failures;
+        }
+        if (r.kind == "control" && r.fsm.machines == 0) {
+            std::fprintf(stderr,
+                         "bench_compile: %s: control-heavy design "
+                         "produced no FSM machines\n",
+                         r.name.c_str());
+            ++failures;
         }
     }
     return failures;
@@ -277,6 +408,11 @@ main(int argc, char **argv)
                          results.back().name.c_str(),
                          results.back().endToEndSeconds);
         }
+        // Control-heavy design: exercises the FSM lowering itself.
+        results.push_back(benchControlHeavy(small ? 6 : 24, reps));
+        std::fprintf(stderr, "bench_compile: %s %.3fs\n",
+                     results.back().name.c_str(),
+                     results.back().endToEndSeconds);
     } catch (const Error &e) {
         std::fprintf(stderr, "bench_compile: %s\n", e.what());
         return 1;

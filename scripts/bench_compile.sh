@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Compile-time benchmark: time the full `-p all` pipeline on generated
-# systolic arrays (8x8 up to 32x32) and the PolyBench suite, and write
-# BENCH_compile.json (per-pass and end-to-end wall time). When the
+# systolic arrays (8x8 up to 32x32), the PolyBench suite, and a
+# control-heavy nested seq/while/if/par design, and write
+# BENCH_compile.json (per-pass and end-to-end wall time, plus per-design
+# FSM lowering statistics: state count, FSM register count vs the
+# seed-equivalent count, and control-lowering wall time). When the
 # string-keyed seed baseline (bench/baselines/compile_seed.json) is
 # present, its timings are merged in as "baseline_*" fields so the JSON
 # records before/after side by side.
@@ -10,8 +13,9 @@
 #   e.g. scripts/bench_compile.sh build/bench_compile_time --small --check
 #
 # CI runs the --small --check configuration: small workloads, hard
-# failure unless every timing is nonzero and the systolic timings grow
-# monotonically with the array size.
+# failure unless every timing is nonzero, the systolic timings grow
+# monotonically with the array size, and the flat FSM lowering mints no
+# more control registers than the seed's per-node expansion.
 set -u
 
 bench="${1:-build/bench_compile_time}"

@@ -1,0 +1,72 @@
+#include "analysis/latency.h"
+
+#include <algorithm>
+
+#include "ir/component.h"
+#include "support/error.h"
+
+namespace calyx::analysis {
+
+std::optional<int64_t>
+controlLatency(const Control &ctrl, const Component &comp)
+{
+    switch (ctrl.kind()) {
+      case Control::Kind::Empty:
+        return 0;
+      case Control::Kind::Enable: {
+        const Group *g = comp.findGroup(cast<Enable>(ctrl).group());
+        if (!g)
+            return std::nullopt;
+        return g->staticLatency();
+      }
+      case Control::Kind::Seq: {
+        int64_t total = 0;
+        for (const auto &c : cast<Seq>(ctrl).stmts()) {
+            auto l = controlLatency(*c, comp);
+            if (!l)
+                return std::nullopt;
+            total += *l;
+        }
+        return total;
+      }
+      case Control::Kind::Par: {
+        int64_t total = 0;
+        for (const auto &c : cast<Par>(ctrl).stmts()) {
+            auto l = controlLatency(*c, comp);
+            if (!l)
+                return std::nullopt;
+            total = std::max(total, *l);
+        }
+        return total;
+      }
+      case Control::Kind::If: {
+        const auto &i = cast<If>(ctrl);
+        int64_t cond = 1;
+        if (!i.condGroup().empty()) {
+            const Group *g = comp.findGroup(i.condGroup());
+            if (!g || !g->staticLatency())
+                return std::nullopt;
+            cond = *g->staticLatency();
+        }
+        auto t = controlLatency(i.trueBranch(), comp);
+        auto f = controlLatency(i.falseBranch(), comp);
+        if (!t || !f)
+            return std::nullopt;
+        int64_t hi = std::max(*t, *f);
+        int64_t lo = std::min(*t, *f);
+        // Profitability: a static if always pays the longer branch.
+        // When the branches are very asymmetric (e.g. a guarded update
+        // inside a triangular loop), dynamic compilation of the short
+        // path is cheaper, so stay best-effort and bail out.
+        if (hi > 2 * (lo + 2))
+            return std::nullopt;
+        return cond + hi;
+      }
+      case Control::Kind::While:
+        // Trip counts are data-dependent; loops stay dynamic.
+        return std::nullopt;
+    }
+    panic("bad control kind");
+}
+
+} // namespace calyx::analysis

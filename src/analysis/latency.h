@@ -1,0 +1,35 @@
+#ifndef CALYX_ANALYSIS_LATENCY_H
+#define CALYX_ANALYSIS_LATENCY_H
+
+#include <cstdint>
+#include <optional>
+
+namespace calyx {
+class Component;
+class Control;
+} // namespace calyx
+
+namespace calyx::analysis {
+
+/**
+ * Static latency of a control subtree in cycles, or nullopt when any
+ * part is dynamic (paper §4.4). Groups contribute their "static"
+ * attribute (frontend-annotated or inferred by the infer-latency
+ * pass); seq sums, par takes the max, if pays the condition plus the
+ * longer branch, while is always dynamic.
+ *
+ * `if` applies a profitability cutoff: when the branches are very
+ * asymmetric, a static schedule always pays the longer branch, so the
+ * subtree is reported dynamic and the short path keeps its handshake.
+ *
+ * This is the latency feed of the FSM lowering layer (src/lowering/):
+ * the builder fuses subtrees with known latency into counter states,
+ * and StaticPass uses the same computation to pick maximal static
+ * islands.
+ */
+std::optional<int64_t> controlLatency(const Control &ctrl,
+                                      const Component &comp);
+
+} // namespace calyx::analysis
+
+#endif // CALYX_ANALYSIS_LATENCY_H

@@ -175,6 +175,26 @@ Liveness::analyze(const Pcfg &g, const DenseBits &boundary)
         if (node.kind == PcfgNode::Kind::ParNode) {
             for (const auto &c : node.children)
                 analyze(*c, live_out[i]);
+            // Registers written in *different* children execute their
+            // writes simultaneously: merging two of them would create
+            // two active drivers on one physical register, so they
+            // interfere even when both are dead (write-only) and the
+            // live ranges alone would never overlap.
+            std::vector<NodeBits> childAccess(node.children.size());
+            for (size_t c = 0; c < node.children.size(); ++c) {
+                childAccess[c].reads.resize(regNames.size());
+                childAccess[c].mustWrites.resize(regNames.size());
+                childAccess[c].anyWrites.resize(regNames.size());
+                mergeGraph(*node.children[c], childAccess[c]);
+            }
+            for (size_t a = 0; a < childAccess.size(); ++a) {
+                for (size_t b = a + 1; b < childAccess.size(); ++b) {
+                    interfere(childAccess[a].anyWrites,
+                              childAccess[b].anyWrites);
+                    interfere(childAccess[b].anyWrites,
+                              childAccess[a].anyWrites);
+                }
+            }
         }
     }
     // Registers live on entry hold values we do not understand; treat

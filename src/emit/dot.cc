@@ -89,6 +89,11 @@ class ComponentGraph
         if (comp.control().kind() != Control::Kind::Empty)
             controlNode(comp.control());
 
+        // FSM view: one cluster per machine the control lowering built
+        // (present after compile-control / static have run).
+        for (const auto &m : comp.fsms())
+            fsmCluster(*m);
+
         os << "  }\n";
     }
 
@@ -212,6 +217,46 @@ class ComponentGraph
           }
         }
         return id;
+    }
+
+    /** One cluster per lowered machine: states as nodes (accepting =
+     *  double circle, counter states annotated with their span),
+     *  transitions as edges labeled with their guards. */
+    void
+    fsmCluster(const FsmMachine &m)
+    {
+        std::string mp = prefix + "fsm/" + m.name() + "/";
+        os << "    subgraph "
+           << quoted("cluster_" + prefix + "fsm_" + m.name()) << " {\n";
+        std::string label = "fsm " + m.name();
+        if (m.realized()) {
+            label += " [" +
+                     std::string(fsmEncodingName(m.encoding()));
+            label += m.registerCell().empty()
+                         ? ", no register]"
+                         : ", " + m.registerCell() + "]";
+        }
+        os << "      label=" << quoted(label) << ";\n";
+        for (uint32_t id = 0; id < m.states().size(); ++id) {
+            const FsmState &s = m.state(id);
+            std::string text = s.name.str();
+            if (s.span != 1)
+                text += " (" + std::to_string(s.span) + " cycles)";
+            os << "      " << quoted(mp + std::to_string(id))
+               << " [shape=" << (s.accepting ? "doublecircle" : "circle")
+               << (id == m.entry() ? ", style=bold" : "")
+               << ", label=" << quoted(text) << "];\n";
+        }
+        for (uint32_t id = 0; id < m.states().size(); ++id) {
+            for (const auto &t : m.state(id).transitions) {
+                os << "      " << quoted(mp + std::to_string(id)) << " -> "
+                   << quoted(mp + std::to_string(t.target));
+                if (!t.guard->isTrue())
+                    os << " [label=" << quoted(t.guard->str()) << "]";
+                os << ";\n";
+            }
+        }
+        os << "    }\n";
     }
 
     const Component &comp;

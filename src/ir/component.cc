@@ -239,6 +239,20 @@ Component::addContinuous(Assignment a)
     }
 }
 
+FsmMachine &
+Component::addFsm(FsmMachinePtr m)
+{
+    fsmList.push_back(std::move(m));
+    return *fsmList.back();
+}
+
+void
+Component::noteFsmLowering(int seed_registers, double seconds)
+{
+    fsmSeedRegs += seed_registers;
+    fsmSeconds += seconds;
+}
+
 void
 Component::setControl(ControlPtr c)
 {

@@ -9,6 +9,7 @@
 #include "ir/attributes.h"
 #include "ir/cell.h"
 #include "ir/control.h"
+#include "ir/fsm.h"
 #include "ir/group.h"
 #include "ir/port.h"
 #include "support/symbol.h"
@@ -104,6 +105,24 @@ class Component
     void setControl(ControlPtr c);
     ControlPtr takeControl();
 
+    // --- FSM machines (control-lowering metadata) ------------------------
+    /**
+     * Machines built by the control-lowering layer (src/lowering/).
+     * They persist after realization so --dump-fsm, the dot backend's
+     * FSM view, and --emit-stats can inspect the compiled schedule.
+     * Not serialized: the printer and parser ignore them.
+     */
+    const std::vector<FsmMachinePtr> &fsms() const { return fsmList; }
+    FsmMachine &addFsm(FsmMachinePtr m);
+    void clearFsms() { fsmList.clear(); }
+
+    /** Accumulate control-lowering bookkeeping: how many FSM registers
+     * the seed (one-per-seq-node) lowering would have minted for the
+     * lowered control, and wall time spent in build/optimize/realize. */
+    void noteFsmLowering(int seed_registers, double seconds);
+    int fsmSeedRegisters() const { return fsmSeedRegs; }
+    double fsmLoweringSeconds() const { return fsmSeconds; }
+
     // --- DefUse ----------------------------------------------------------
     /** The def-use index, computed on first use and cached. */
     const DefUse &defUse() const;
@@ -150,6 +169,9 @@ class Component
     std::vector<Assignment> continuous;
     ControlPtr controlVal;
     Attributes attributes;
+    std::vector<FsmMachinePtr> fsmList;
+    int fsmSeedRegs = 0;
+    double fsmSeconds = 0;
     /** Next counter per uniqueName prefix (amortizes fresh names). */
     mutable std::unordered_map<Symbol, uint32_t> uniqueCounters;
     mutable std::unique_ptr<DefUse> defUseCache;

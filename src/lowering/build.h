@@ -1,0 +1,115 @@
+#ifndef CALYX_LOWERING_BUILD_H
+#define CALYX_LOWERING_BUILD_H
+
+#include <functional>
+#include <set>
+
+#include "ir/component.h"
+#include "ir/context.h"
+#include "ir/fsm.h"
+
+namespace calyx::lowering {
+
+/** Configuration of the build stage. */
+struct BuildOptions
+{
+    /**
+     * Fuse statically-timed subtrees (known latency via the "static"
+     * attributes the infer-latency pass populates) into single counter
+     * states instead of handshaking every enable (paper §4.4 applied
+     * inside the flat machine). Off by default: the standard pipeline
+     * reserves latency-sensitive compilation for the `static` pass so
+     * `compile-control` alone stays latency-insensitive.
+     */
+    bool fuseStatic = false;
+};
+
+/**
+ * Build stage of control lowering: top-down compilation of a control
+ * tree into one flat FsmMachine per dynamic island.
+ *
+ * Unlike the seed's bottom-up expansion (one `std_reg` state counter
+ * per `seq` node, `cc`/`cs` latch registers per `if`/`while`), the
+ * builder walks the whole tree with an explicit continuation: every
+ * dynamic leaf becomes one state, `seq` concatenates fragments, and
+ * `if`/`while` become condition-evaluation states whose *transitions*
+ * read the condition port at the decision edge — no latch registers at
+ * all. Only `par` forks new islands: each non-trivial parallel child is
+ * lowered into its own group (via the lowerIsland callback) and
+ * coordinated through per-child completion bits, because a single flat
+ * machine cannot track independently-timed parallel children.
+ *
+ * The machine is behavioral at this point: actions drive group holes
+ * and helper cells, but no state register exists until
+ * lowering::realize materializes one.
+ */
+class FsmBuilder
+{
+  public:
+    /**
+     * Callback that lowers a par-child subtree into its own island
+     * group (recursively running build/optimize/realize) and returns
+     * the realized group's name.
+     */
+    using LowerIsland = std::function<Symbol(const Control &)>;
+
+    FsmBuilder(Component &comp, Context &ctx, const BuildOptions &opts,
+               LowerIsland lower_island);
+
+    /**
+     * Build the machine for a dynamic control tree: entry fragment
+     * chained to a single accepting state.
+     */
+    FsmMachinePtr build(const Control &ctrl, Symbol name);
+
+    /**
+     * Build the machine for a fully static subtree with total latency
+     * `latency`: one counter state carrying the windowed schedule,
+     * followed by the accepting state (the `static` pass's island
+     * shape, paper §4.4).
+     */
+    FsmMachinePtr buildStatic(const Control &ctrl, int64_t latency,
+                              Symbol name);
+
+    /** Combinational condition groups inlined into evaluation states;
+     * the driver deletes the originals when nothing else uses them. */
+    const std::set<Symbol> &inlinedCondGroups() const
+    {
+        return inlinedGroups;
+    }
+
+  private:
+    uint32_t compile(const Control &ctrl, uint32_t cont);
+    uint32_t compileEnable(Symbol group, uint32_t cont);
+    uint32_t compilePar(const Par &par, uint32_t cont);
+    uint32_t compileIf(const If &stmt, uint32_t cont);
+    uint32_t compileWhile(const While &stmt, uint32_t cont);
+
+    /** Add `group[go] = !group[done] ? 1` (plus `extra`) to `state`. */
+    void addEnable(FsmState &state, Symbol group, GuardPtr extra);
+
+    /**
+     * Install condition machinery for if/while on an evaluation state:
+     * inline a combinational condition group, or enable a handshaken
+     * one. Returns the guard under which the condition port is valid
+     * this cycle (true for inlined/portless conditions, `cond[done]`
+     * for handshaken ones).
+     */
+    GuardPtr buildCond(FsmState &state, Symbol cond_group);
+
+    /** Emit windowed actions realizing a static schedule into `state`
+     * (a counter state), starting at cycle `off` under `path`. */
+    void scheduleStatic(const Control &ctrl, FsmState &state, int64_t off,
+                        const GuardPtr &path);
+
+    Component &comp;
+    Context &ctx;
+    BuildOptions opts;
+    LowerIsland lowerIsland;
+    FsmMachine *m = nullptr;
+    std::set<Symbol> inlinedGroups;
+};
+
+} // namespace calyx::lowering
+
+#endif // CALYX_LOWERING_BUILD_H

@@ -1,0 +1,71 @@
+#include "lowering/lower.h"
+
+#include "support/error.h"
+
+namespace calyx::lowering {
+
+Symbol
+lowerControl(Component &comp, Context &ctx, const Control &ctrl,
+             const LowerOptions &opts, std::set<Symbol> &inlined)
+{
+    FsmBuilder builder(comp, ctx, opts.build,
+                       [&](const Control &island) {
+                           return lowerControl(comp, ctx, island, opts,
+                                               inlined);
+                       });
+    FsmMachinePtr machine =
+        builder.build(ctrl, comp.uniqueName("control"));
+    inlined.insert(builder.inlinedCondGroups().begin(),
+                   builder.inlinedCondGroups().end());
+    if (opts.optimize)
+        optimize(*machine);
+    Symbol group = realize(*machine, comp, ctx, opts.realize);
+    comp.addFsm(std::move(machine));
+    return group;
+}
+
+Symbol
+lowerStatic(Component &comp, Context &ctx, const Control &ctrl,
+            int64_t latency, const LowerOptions &opts)
+{
+    FsmBuilder builder(comp, ctx, opts.build, [](const Control &) {
+        panic("static islands cannot fork sub-islands");
+        return Symbol();
+    });
+    FsmMachinePtr machine =
+        builder.buildStatic(ctrl, latency, comp.uniqueName("static"));
+    if (opts.optimize)
+        optimize(*machine);
+    Symbol group = realize(*machine, comp, ctx, opts.realize);
+    comp.addFsm(std::move(machine));
+    return group;
+}
+
+int
+seedControlRegisters(const Control &ctrl)
+{
+    int count = 0;
+    ctrl.walk([&count](const Control &node) {
+        switch (node.kind()) {
+          case Control::Kind::Seq:
+            if (cast<Seq>(node).stmts().size() >= 2)
+                ++count; // fsm state counter
+            break;
+          case Control::Kind::If:
+          case Control::Kind::While:
+            count += 2; // cc ("condition computed") + cs (saved value)
+            break;
+          case Control::Kind::Par: {
+            size_t n = cast<Par>(node).stmts().size();
+            if (n >= 2)
+                count += static_cast<int>(n); // pd completion bits
+            break;
+          }
+          default:
+            break;
+        }
+    });
+    return count;
+}
+
+} // namespace calyx::lowering

@@ -1,0 +1,55 @@
+#ifndef CALYX_LOWERING_LOWER_H
+#define CALYX_LOWERING_LOWER_H
+
+#include <set>
+
+#include "lowering/build.h"
+#include "lowering/optimize.h"
+#include "lowering/realize.h"
+
+namespace calyx::lowering {
+
+/** Composed configuration of the three lowering stages. */
+struct LowerOptions
+{
+    BuildOptions build;
+    /** Run the FSM optimize stage between build and realize. */
+    bool optimize = true;
+    RealizeOptions realize;
+};
+
+/**
+ * Lower a dynamic control tree into a realized island group on `comp`,
+ * running build -> optimize -> realize and recursing into par-child
+ * islands. Every machine is registered on the component
+ * (Component::addFsm) for later inspection. Inlined combinational
+ * condition groups are accumulated into `inlined`; the caller decides
+ * whether the originals can be deleted.
+ *
+ * Returns the top island's realized group.
+ */
+Symbol lowerControl(Component &comp, Context &ctx, const Control &ctrl,
+                    const LowerOptions &opts, std::set<Symbol> &inlined);
+
+/**
+ * Lower a fully static subtree of known `latency` into a counter-state
+ * island (the `static` pass's shape). The realized group carries no
+ * "static" attribute; the caller sets it (it owns the latency claim).
+ */
+Symbol lowerStatic(Component &comp, Context &ctx, const Control &ctrl,
+                   int64_t latency, const LowerOptions &opts);
+
+/**
+ * Control-state registers the seed's bottom-up lowering would mint for
+ * `ctrl`: one `std_reg` state counter per multi-child `seq` node, a
+ * `cc`+`cs` latch pair per `if`/`while`, and one completion bit per
+ * `par` child. (The `static` pass adds one counter per static island
+ * on top.) Recorded via Component::noteFsmLowering so --emit-stats and
+ * the compile benchmark can report the flat lowering's saving; the CI
+ * smoke step asserts the flat lowering never mints more.
+ */
+int seedControlRegisters(const Control &ctrl);
+
+} // namespace calyx::lowering
+
+#endif // CALYX_LOWERING_LOWER_H

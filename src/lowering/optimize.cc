@@ -1,0 +1,199 @@
+#include "lowering/optimize.h"
+
+#include <vector>
+
+#include "support/error.h"
+
+namespace calyx::lowering {
+
+bool
+isFalseGuard(const GuardPtr &g)
+{
+    return g->kind() == Guard::Kind::Not && g->left()->isTrue();
+}
+
+GuardPtr
+simplifyGuard(const GuardPtr &g)
+{
+    switch (g->kind()) {
+      case Guard::Kind::True:
+      case Guard::Kind::Port:
+      case Guard::Kind::Cmp:
+        return g;
+      case Guard::Kind::Not:
+        // negate() folds double negation itself.
+        return Guard::negate(simplifyGuard(g->left()));
+      case Guard::Kind::And: {
+        GuardPtr l = simplifyGuard(g->left());
+        GuardPtr r = simplifyGuard(g->right());
+        if (isFalseGuard(l) || isFalseGuard(r))
+            return Guard::negate(Guard::trueGuard());
+        if (Guard::equal(l, r))
+            return l;
+        if (Guard::equal(l, Guard::negate(r)))
+            return Guard::negate(Guard::trueGuard());
+        return Guard::conj(std::move(l), std::move(r));
+      }
+      case Guard::Kind::Or: {
+        GuardPtr l = simplifyGuard(g->left());
+        GuardPtr r = simplifyGuard(g->right());
+        if (isFalseGuard(l))
+            return r;
+        if (isFalseGuard(r))
+            return l;
+        if (Guard::equal(l, r))
+            return l;
+        if (Guard::equal(l, Guard::negate(r)))
+            return Guard::trueGuard();
+        return Guard::disj(std::move(l), std::move(r));
+      }
+    }
+    panic("bad guard kind");
+}
+
+namespace {
+
+bool
+sameAction(const FsmAction &a, const FsmAction &b)
+{
+    return a.dst == b.dst && a.src == b.src && a.offset == b.offset &&
+           a.length == b.length && a.continuous == b.continuous &&
+           Guard::equal(a.guard, b.guard);
+}
+
+bool
+sameState(const FsmState &a, const FsmState &b)
+{
+    if (a.span != b.span || a.accepting != b.accepting ||
+        a.combExit != b.combExit ||
+        a.actions.size() != b.actions.size() ||
+        a.transitions.size() != b.transitions.size())
+        return false;
+    for (size_t i = 0; i < a.actions.size(); ++i) {
+        if (!sameAction(a.actions[i], b.actions[i]))
+            return false;
+    }
+    for (size_t i = 0; i < a.transitions.size(); ++i) {
+        if (a.transitions[i].target != b.transitions[i].target ||
+            !Guard::equal(a.transitions[i].guard, b.transitions[i].guard))
+            return false;
+    }
+    return true;
+}
+
+void
+retarget(FsmMachine &m, const std::vector<uint32_t> &to)
+{
+    for (auto &s : m.states())
+        for (auto &t : s.transitions)
+            t.target = to[t.target];
+    m.setEntry(to[m.entry()]);
+}
+
+} // namespace
+
+OptimizeResult
+optimize(FsmMachine &m)
+{
+    OptimizeResult result;
+    uint32_t n = static_cast<uint32_t>(m.states().size());
+
+    // 1. Guard simplification; false guards kill their site.
+    for (auto &s : m.states()) {
+        for (auto &a : s.actions) {
+            GuardPtr simple = simplifyGuard(a.guard);
+            if (!Guard::equal(simple, a.guard))
+                ++result.guardsSimplified;
+            a.guard = std::move(simple);
+        }
+        std::erase_if(s.actions, [](const FsmAction &a) {
+            return isFalseGuard(a.guard);
+        });
+        for (auto &t : s.transitions) {
+            GuardPtr simple = simplifyGuard(t.guard);
+            if (!Guard::equal(simple, t.guard))
+                ++result.guardsSimplified;
+            t.guard = std::move(simple);
+        }
+        std::erase_if(s.transitions, [](const FsmTransition &t) {
+            return isFalseGuard(t.guard);
+        });
+    }
+
+    // 2. Forwarding: skip do-nothing pass-through states.
+    std::vector<uint32_t> forward(n);
+    for (uint32_t id = 0; id < n; ++id)
+        forward[id] = id;
+    for (uint32_t id = 0; id < n; ++id) {
+        const FsmState &s = m.state(id);
+        if (s.span == 1 && !s.accepting && s.actions.empty() &&
+            s.transitions.size() == 1 &&
+            s.transitions[0].guard->isTrue() &&
+            s.transitions[0].target != id) {
+            forward[id] = s.transitions[0].target;
+            ++result.statesForwarded;
+        }
+    }
+    // Resolve chains; a forwarding cycle (all-empty loop) is left alone.
+    for (uint32_t id = 0; id < n; ++id) {
+        uint32_t cur = id;
+        for (uint32_t hops = 0; forward[cur] != cur; ++hops) {
+            if (hops > n) { // cycle: undo this chain
+                forward[id] = id;
+                --result.statesForwarded;
+                break;
+            }
+            cur = forward[cur];
+        }
+        if (forward[id] != id)
+            forward[id] = cur;
+    }
+    retarget(m, forward);
+
+    // 3. Duplicate merging, to a fixpoint (folding one pair can make
+    // its predecessors identical in turn).
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t a = 0; a < n && !changed; ++a) {
+            for (uint32_t b = a + 1; b < n && !changed; ++b) {
+                if (!sameState(m.state(a), m.state(b)))
+                    continue;
+                std::vector<uint32_t> to(n);
+                for (uint32_t id = 0; id < n; ++id)
+                    to[id] = id == b ? a : id;
+                retarget(m, to);
+                // Unlink b: nothing targets it now, so the reachability
+                // sweep below removes it.
+                m.state(b).actions.clear();
+                m.state(b).transitions.clear();
+                m.state(b).accepting = false;
+                ++result.statesMerged;
+                changed = true;
+            }
+        }
+    }
+
+    // 4. Unreachable elimination.
+    std::vector<bool> reachable(n, false);
+    std::vector<uint32_t> work{m.entry()};
+    reachable[m.entry()] = true;
+    while (!work.empty()) {
+        uint32_t id = work.back();
+        work.pop_back();
+        for (const auto &t : m.state(id).transitions) {
+            if (!reachable[t.target]) {
+                reachable[t.target] = true;
+                work.push_back(t.target);
+            }
+        }
+    }
+    for (uint32_t id = 0; id < n; ++id)
+        result.unreachableRemoved += reachable[id] ? 0 : 1;
+    if (result.unreachableRemoved > 0)
+        m.compact(reachable);
+
+    return result;
+}
+
+} // namespace calyx::lowering

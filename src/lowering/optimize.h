@@ -1,0 +1,49 @@
+#ifndef CALYX_LOWERING_OPTIMIZE_H
+#define CALYX_LOWERING_OPTIMIZE_H
+
+#include "ir/fsm.h"
+
+namespace calyx::lowering {
+
+/** What the optimize stage did to one machine (for stats/tests). */
+struct OptimizeResult
+{
+    int unreachableRemoved = 0;
+    int statesMerged = 0;
+    int statesForwarded = 0;
+    int guardsSimplified = 0;
+};
+
+/**
+ * Boolean simplification over the existing Guard machinery: folds
+ * double negation, idempotent conjunction/disjunction (a & a, a | a),
+ * contradiction (a & !a -> false, encoded as !true), absorption of the
+ * false guard, and complement disjunction (a | !a -> true). Structural
+ * (Guard::equal) only — no SAT, no reassociation.
+ */
+GuardPtr simplifyGuard(const GuardPtr &g);
+
+/** Whether `g` is the canonical false guard (!true). */
+bool isFalseGuard(const GuardPtr &g);
+
+/**
+ * Optimize stage of control lowering, run between build and realize:
+ *
+ *  1. guard simplification on every action and transition (dropping
+ *     actions and transitions whose guard folded to false),
+ *  2. forwarding: a non-accepting, span-1 state with no actions and a
+ *     single unconditional transition is skipped by retargeting its
+ *     predecessors (and the entry) past it,
+ *  3. duplicate-state merging: states with identical span, accepting
+ *     flag, actions, and transitions collapse to one (iterated to a
+ *     fixpoint so chains of duplicates fold),
+ *  4. unreachable-state elimination from the entry.
+ *
+ * All four preserve the machine's observable schedule except
+ * forwarding, which removes a do-nothing stall cycle.
+ */
+OptimizeResult optimize(FsmMachine &m);
+
+} // namespace calyx::lowering
+
+#endif // CALYX_LOWERING_OPTIMIZE_H

@@ -4,327 +4,70 @@
 
 #include <set>
 
-#include "passes/go_insertion.h"
 #include "support/error.h"
+#include "support/time.h"
 
 namespace calyx::passes {
 
 namespace {
 
-const PortRef one1 = constant(1, 1);
-const PortRef zero1 = constant(0, 1);
-
-/**
- * A group is combinational when its done hole is the constant 1 and it
- * only feeds combinational cells. Such groups (the `with` condition
- * groups of Dahlia-style frontends) are inlined into the compilation
- * group rather than handshaken, mirroring Calyx's comb groups.
- */
 bool
-isCombGroup(const Group &g)
+parseBool(const std::string &pass, const std::string &key,
+          const std::string &value)
 {
-    for (const auto &a : g.assignments()) {
-        if (a.dst == g.doneHole()) {
-            if (!(a.guard->isTrue() && a.src.isConst() && a.src.value == 1))
-                return false;
-        }
-    }
-    return g.hasDoneWrite();
+    if (value == "true" || value == "on" || value == "1")
+        return true;
+    if (value == "false" || value == "off" || value == "0")
+        return false;
+    fatal(pass, " option ", key, ": expected true/false, got '", value,
+          "'");
 }
 
-/** Bottom-up compiler for one component's control program. */
-class ControlCompiler
-{
-  public:
-    ControlCompiler(Component &comp, Context &ctx) : comp(comp), ctx(ctx) {}
-
-    /** Compile `ctrl`, returning the name of the realizing group. */
-    std::string
-    compile(const Control &ctrl)
-    {
-        switch (ctrl.kind()) {
-          case Control::Kind::Enable:
-            return cast<Enable>(ctrl).group();
-          case Control::Kind::Empty:
-            return compileEmpty();
-          case Control::Kind::Seq:
-            return compileSeq(cast<Seq>(ctrl));
-          case Control::Kind::Par:
-            return compilePar(cast<Par>(ctrl));
-          case Control::Kind::If:
-            return compileIf(cast<If>(ctrl));
-          case Control::Kind::While:
-            return compileWhile(cast<While>(ctrl));
-        }
-        panic("bad control kind");
-    }
-
-    /** Condition groups that were inlined and can be deleted. */
-    const std::set<Symbol> &inlined() const { return inlinedGroups; }
-
-  private:
-    Component &comp;
-    Context &ctx;
-    std::set<Symbol> inlinedGroups;
-
-    static GuardPtr
-    port(const PortRef &p)
-    {
-        return Guard::fromPort(p);
-    }
-
-    static GuardPtr
-    doneOf(const std::string &group)
-    {
-        return Guard::fromPort(holePort(group, "done"));
-    }
-
-    /** Enable guard for a child: `when & !child[done]`. Deasserting go
-     *  during the done cycle keeps state elements from committing twice
-     *  (the write enable would otherwise still be high). */
-    void
-    enableChild(Group &g, const std::string &child, const GuardPtr &when)
-    {
-        g.add(holePort(child, "go"), one1,
-              Guard::conj(when, Guard::negate(doneOf(child))));
-    }
-
-    /** A no-op group that completes immediately. */
-    std::string
-    compileEmpty()
-    {
-        Group &g = comp.addGroup(comp.uniqueName("nop"));
-        g.add(g.doneHole(), one1);
-        GoInsertion::gateGroup(g);
-        return g.name();
-    }
-
-    std::string
-    compileSeq(const Seq &seq)
-    {
-        std::vector<std::string> children;
-        for (const auto &c : seq.stmts())
-            children.push_back(compile(*c));
-        size_t n = children.size();
-        if (n == 0)
-            return compileEmpty();
-        if (n == 1)
-            return children[0];
-
-        Width w = fsmWidth(n);
-        Cell &fsm = comp.addCell(comp.uniqueName("fsm"), "std_reg", {w},
-                                 ctx);
-        PortRef fsm_out = cellPort(fsm.name(), "out");
-        PortRef fsm_in = cellPort(fsm.name(), "in");
-        PortRef fsm_en = cellPort(fsm.name(), "write_en");
-
-        Group &g = comp.addGroup(comp.uniqueName("seq"));
-        for (size_t k = 0; k < n; ++k) {
-            GuardPtr at_k = Guard::cmp(Guard::CmpOp::Eq, fsm_out,
-                                       constant(k, w));
-            // Enable child k in state k.
-            enableChild(g, children[k], at_k);
-            // Advance when child k signals done.
-            GuardPtr step = Guard::conj(at_k, doneOf(children[k]));
-            g.add(fsm_in, constant(k + 1, w), step);
-            g.add(fsm_en, one1, step);
-        }
-        GuardPtr at_end =
-            Guard::cmp(Guard::CmpOp::Eq, fsm_out, constant(n, w));
-        g.add(g.doneHole(), one1, at_end);
-        GoInsertion::gateGroup(g);
-        // Reset for reuse inside loops (paper §4.3). Continuous: the
-        // parent deasserts this group's go during its done cycle, so a
-        // gated reset would never fire. The final state is transient, so
-        // an always-armed reset is safe.
-        comp.continuousAssignments().emplace_back(fsm_in, constant(0, w),
-                                                  at_end);
-        comp.continuousAssignments().emplace_back(fsm_en, one1, at_end);
-        return g.name();
-    }
-
-    std::string
-    compilePar(const Par &par)
-    {
-        std::vector<std::string> children;
-        for (const auto &c : par.stmts())
-            children.push_back(compile(*c));
-        size_t n = children.size();
-        if (n == 0)
-            return compileEmpty();
-        if (n == 1)
-            return children[0];
-
-        Group &g = comp.addGroup(comp.uniqueName("par"));
-        GuardPtr all_done = Guard::trueGuard();
-        std::vector<std::string> pds;
-        for (size_t k = 0; k < n; ++k) {
-            Cell &pd =
-                comp.addCell(comp.uniqueName("pd"), "std_reg", {1}, ctx);
-            pds.push_back(pd.name());
-            PortRef pd_out = cellPort(pd.name(), "out");
-            // Run the child until its completion has been recorded.
-            enableChild(g, children[k], Guard::negate(port(pd_out)));
-            // Latch the child's done pulse.
-            GuardPtr child_done = doneOf(children[k]);
-            g.add(cellPort(pd.name(), "in"), one1, child_done);
-            g.add(cellPort(pd.name(), "write_en"), one1, child_done);
-            all_done = Guard::conj(all_done, port(pd_out));
-        }
-        g.add(g.doneHole(), one1, all_done);
-        GoInsertion::gateGroup(g);
-        // Reset the completion bits once the whole par is done
-        // (continuous for the same reason as in compileSeq).
-        for (const auto &pd : pds) {
-            comp.continuousAssignments().emplace_back(cellPort(pd, "in"),
-                                                      zero1, all_done);
-            comp.continuousAssignments().emplace_back(
-                cellPort(pd, "write_en"), one1, all_done);
-        }
-        return g.name();
-    }
-
-    /**
-     * Shared condition machinery for if/while. Latches the 1-bit
-     * condition port into `cs` and sets `cc` ("condition computed").
-     * Combinational condition groups are inlined under the evaluation
-     * guard; sequential ones are handshaken (their condition port must
-     * then be register-backed so it survives into the latch cycle).
-     */
-    struct CondRegs
-    {
-        std::string cc, cs;
-        GuardPtr condDone, taken, notTaken;
-        GuardPtr ccOut;
-    };
-
-    CondRegs
-    buildCond(Group &g, const PortRef &cond_port,
-              const std::string &cond_group)
-    {
-        CondRegs regs;
-        Cell &cc = comp.addCell(comp.uniqueName("cc"), "std_reg", {1}, ctx);
-        Cell &cs = comp.addCell(comp.uniqueName("cs"), "std_reg", {1}, ctx);
-        regs.cc = cc.name();
-        regs.cs = cs.name();
-
-        GuardPtr cc_out = port(cellPort(cc.name(), "out"));
-        GuardPtr cs_out = port(cellPort(cs.name(), "out"));
-        GuardPtr not_computed = Guard::negate(cc_out);
-
-        if (cond_group.empty()) {
-            // The port is continuously driven; latch it right away.
-            regs.condDone = not_computed;
-        } else {
-            Group &cond = comp.group(cond_group);
-            if (isCombGroup(cond)) {
-                // Inline the combinational condition under the
-                // evaluation guard; it completes in the same cycle.
-                for (const auto &a : cond.assignments()) {
-                    if (a.dst == cond.doneHole())
-                        continue;
-                    // GoInsertion already gated these with cond[go],
-                    // which will never be driven once inlined; replace
-                    // that gate with the evaluation guard.
-                    GuardPtr guard = Guard::substPort(
-                        a.guard, Guard::fromPort(cond.goHole())->port(),
-                        Guard::trueGuard());
-                    g.add(a.dst, a.src, Guard::conj(guard, not_computed));
-                }
-                inlinedGroups.insert(cond_group);
-                regs.condDone = not_computed;
-            } else {
-                enableChild(g, cond_group, not_computed);
-                regs.condDone =
-                    Guard::conj(not_computed, doneOf(cond_group));
-            }
-        }
-        // Save the condition value and mark it computed (paper §4.3).
-        g.add(cellPort(cs.name(), "in"), cond_port, regs.condDone);
-        g.add(cellPort(cs.name(), "write_en"), one1, regs.condDone);
-        g.add(cellPort(cc.name(), "in"), one1, regs.condDone);
-        g.add(cellPort(cc.name(), "write_en"), one1, regs.condDone);
-
-        regs.taken = Guard::conj(cc_out, cs_out);
-        regs.notTaken = Guard::conj(cc_out, Guard::negate(cs_out));
-        regs.ccOut = cc_out;
-        return regs;
-    }
-
-    std::string
-    compileIf(const If &stmt)
-    {
-        bool has_true = stmt.trueBranch().kind() != Control::Kind::Empty;
-        bool has_false = stmt.falseBranch().kind() != Control::Kind::Empty;
-        std::string tg = has_true ? compile(stmt.trueBranch()) : "";
-        std::string fg = has_false ? compile(stmt.falseBranch()) : "";
-
-        Group &g = comp.addGroup(comp.uniqueName("if"));
-        CondRegs regs = buildCond(g, stmt.condPort(), stmt.condGroup());
-
-        GuardPtr true_done = regs.taken;
-        if (has_true) {
-            enableChild(g, tg, regs.taken);
-            true_done = Guard::conj(regs.taken, doneOf(tg));
-        }
-        GuardPtr false_done = regs.notTaken;
-        if (has_false) {
-            enableChild(g, fg, regs.notTaken);
-            false_done = Guard::conj(regs.notTaken, doneOf(fg));
-        }
-        GuardPtr fin = Guard::disj(true_done, false_done);
-        g.add(g.doneHole(), one1, fin);
-        GoInsertion::gateGroup(g);
-        // Reset the computed bit for reuse inside loops (continuous; the
-        // guard can only be true while this statement is completing).
-        comp.continuousAssignments().emplace_back(cellPort(regs.cc, "in"),
-                                                  zero1, fin);
-        comp.continuousAssignments().emplace_back(
-            cellPort(regs.cc, "write_en"), one1, fin);
-        return g.name();
-    }
-
-    std::string
-    compileWhile(const While &stmt)
-    {
-        bool has_body = stmt.body().kind() != Control::Kind::Empty;
-        std::string bg = has_body ? compile(stmt.body()) : "";
-
-        Group &g = comp.addGroup(comp.uniqueName("while"));
-        CondRegs regs = buildCond(g, stmt.condPort(), stmt.condGroup());
-
-        GuardPtr body_done = regs.taken;
-        if (has_body) {
-            enableChild(g, bg, regs.taken);
-            body_done = Guard::conj(regs.taken, doneOf(bg));
-        }
-        g.add(g.doneHole(), one1, regs.notTaken);
-        GoInsertion::gateGroup(g);
-        // After an iteration, clear cc so the condition re-evaluates; on
-        // exit, clear cc so the loop can run again (paper §4.3).
-        GuardPtr clear = Guard::disj(body_done, regs.notTaken);
-        comp.continuousAssignments().emplace_back(cellPort(regs.cc, "in"),
-                                                  zero1, clear);
-        comp.continuousAssignments().emplace_back(
-            cellPort(regs.cc, "write_en"), one1, clear);
-        return g.name();
-    }
-};
-
 } // namespace
+
+void
+CompileControl::option(const std::string &key, const std::string &value)
+{
+    if (key == "encoding") {
+        if (value == "binary")
+            opts.realize.encoding = FsmEncoding::Binary;
+        else if (value == "one-hot")
+            opts.realize.encoding = FsmEncoding::OneHot;
+        else
+            fatal("compile-control option encoding: expected binary or "
+                  "one-hot, got '", value, "'");
+        return;
+    }
+    if (key == "fuse-static") {
+        opts.build.fuseStatic = parseBool(name(), key, value);
+        return;
+    }
+    if (key == "optimize") {
+        opts.optimize = parseBool(name(), key, value);
+        return;
+    }
+    Pass::option(key, value);
+}
 
 void
 CompileControl::runOnComponent(Component &comp, Context &ctx)
 {
     if (comp.control().kind() == Control::Kind::Empty)
         return;
-    ControlCompiler compiler(comp, ctx);
-    std::string top = compiler.compile(comp.control());
+    if (comp.control().kind() == Control::Kind::Enable)
+        return; // already a single island group
+
+    double t0 = nowSeconds();
+    int seed_regs = lowering::seedControlRegisters(comp.control());
+    std::set<Symbol> inlined;
+    Symbol top =
+        lowering::lowerControl(comp, ctx, comp.control(), opts, inlined);
     comp.setControl(std::make_unique<Enable>(top));
+    comp.noteFsmLowering(seed_regs, nowSeconds() - t0);
 
     // Delete inlined combinational condition groups unless something
     // still references their holes (e.g. a static region's schedule).
-    for (const auto &name : compiler.inlined()) {
+    for (const auto &name : inlined) {
         if (name == top)
             continue;
         bool referenced = false;
@@ -352,7 +95,7 @@ CompileControl::runOnComponent(Component &comp, Context &ctx)
 namespace {
 PassRegistration<CompileControl> registration{
     "compile-control",
-    "Lower the control tree to latency-insensitive FSMs (§4.2-4.3)",
+    "Lower control through the FSM IR: build/optimize/realize (§4.2-4.3)",
     {{"compile", 30}}};
 } // namespace
 

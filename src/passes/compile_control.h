@@ -1,37 +1,46 @@
 #ifndef CALYX_PASSES_COMPILE_CONTROL_H
 #define CALYX_PASSES_COMPILE_CONTROL_H
 
+#include "lowering/lower.h"
 #include "passes/pass_manager.h"
 
 namespace calyx::passes {
 
 /**
- * CompileControl (paper §4.2-4.3): bottom-up replacement of every control
- * statement with a compilation group that structurally realizes it using
- * latency-insensitive FSMs:
+ * CompileControl (paper §4.2-4.3): thin driver over the control
+ * lowering layer (src/lowering/). The control tree of each component is
+ * compiled top-down into one flat FsmMachine per dynamic island
+ * (build), the machine is cleaned up at the state level (optimize), and
+ * materialized as a state register plus decode guards and group enables
+ * (realize) — instead of the seed's bottom-up expansion that minted one
+ * `std_reg` counter per `seq` node and `cc`/`cs` latches per
+ * `if`/`while`. See docs/control.md.
  *
- *  - seq: a state register stepping through one state per child, advanced
- *    by the child's done signal; done when the register reaches the final
- *    state, which also resets it (so the group works inside loops).
- *  - par: one 1-bit register per child latching its done; children run
- *    while their bit is 0; done when all bits are 1, which resets them.
- *  - if: runs the condition group, latches the 1-bit condition port into
- *    `cs` and sets `cc` ("condition computed"); the branch selected by
- *    `cs` runs; done when the branch is done, which resets `cc`.
- *  - while: like if, but the body's completion clears `cc` so the
- *    condition re-evaluates; done when the latched condition is 0.
+ * Options (pipeline spec `compile-control[k=v]` or `futil -x`):
+ *  - encoding=binary|one-hot   state-register encoding (default binary)
+ *  - fuse-static=true|false    fuse statically-timed subtrees into
+ *                              counter states (default false; the
+ *                              `static` pass is the standard route to
+ *                              latency-sensitive compilation)
+ *  - optimize=true|false       run the FSM optimize stage (default on)
  *
- * Generated assignments are gated with the compilation group's own go
- * hole (the equivalent of running GoInsertion on them), so this pass must
- * run after GoInsertion has processed source groups.
+ * Generated assignments are gated with the island group's own go hole,
+ * so this pass must run after GoInsertion has processed source groups.
  *
- * After this pass each component's control is a single group enable.
+ * After this pass each component's control is a single group enable,
+ * and the built machines stay on the component (Component::fsms) for
+ * --dump-fsm, the dot FSM view, and --emit-stats.
  */
 class CompileControl final : public Pass
 {
   public:
     std::string name() const override { return "compile-control"; }
+    void option(const std::string &key,
+                const std::string &value) override;
     void runOnComponent(Component &comp, Context &ctx) override;
+
+  private:
+    lowering::LowerOptions opts;
 };
 
 } // namespace calyx::passes

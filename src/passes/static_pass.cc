@@ -2,219 +2,51 @@
 
 #include "passes/registry.h"
 
-#include <algorithm>
-
+#include "analysis/latency.h"
+#include "lowering/lower.h"
 #include "support/error.h"
+#include "support/time.h"
 
 namespace calyx::passes {
 
 std::optional<int64_t>
 StaticPass::latencyOf(const Control &ctrl, const Component &comp)
 {
-    switch (ctrl.kind()) {
-      case Control::Kind::Empty:
-        return 0;
-      case Control::Kind::Enable: {
-        const Group *g = comp.findGroup(cast<Enable>(ctrl).group());
-        if (!g)
-            return std::nullopt;
-        return g->staticLatency();
-      }
-      case Control::Kind::Seq: {
-        int64_t total = 0;
-        for (const auto &c : cast<Seq>(ctrl).stmts()) {
-            auto l = latencyOf(*c, comp);
-            if (!l)
-                return std::nullopt;
-            total += *l;
-        }
-        return total;
-      }
-      case Control::Kind::Par: {
-        int64_t total = 0;
-        for (const auto &c : cast<Par>(ctrl).stmts()) {
-            auto l = latencyOf(*c, comp);
-            if (!l)
-                return std::nullopt;
-            total = std::max(total, *l);
-        }
-        return total;
-      }
-      case Control::Kind::If: {
-        const auto &i = cast<If>(ctrl);
-        int64_t cond = 1;
-        if (!i.condGroup().empty()) {
-            const Group *g = comp.findGroup(i.condGroup());
-            if (!g || !g->staticLatency())
-                return std::nullopt;
-            cond = *g->staticLatency();
-        }
-        auto t = latencyOf(i.trueBranch(), comp);
-        auto f = latencyOf(i.falseBranch(), comp);
-        if (!t || !f)
-            return std::nullopt;
-        int64_t hi = std::max(*t, *f);
-        int64_t lo = std::min(*t, *f);
-        // Profitability: a static if always pays the longer branch.
-        // When the branches are very asymmetric (e.g. a guarded update
-        // inside a triangular loop), dynamic compilation of the short
-        // path is cheaper, so stay best-effort and bail out.
-        if (hi > 2 * (lo + 2))
-            return std::nullopt;
-        return cond + hi;
-      }
-      case Control::Kind::While:
-        // Trip counts are data-dependent; loops stay dynamic.
-        return std::nullopt;
-    }
-    panic("bad control kind");
+    return analysis::controlLatency(ctrl, comp);
 }
 
 namespace {
 
-/** Builds one static compilation group for a static control subtree. */
-class StaticCompiler
-{
-  public:
-    StaticCompiler(Component &comp, Context &ctx) : comp(comp), ctx(ctx) {}
-
-    std::string
-    compile(const Control &ctrl, int64_t total)
-    {
-        Group &g = comp.addGroup(comp.uniqueName("static"));
-        width = fsmWidth(static_cast<uint64_t>(total));
-        Cell &fsm =
-            comp.addCell(comp.uniqueName("fsm"), "std_reg", {width}, ctx);
-        fsmOut = cellPort(fsm.name(), "out");
-        group = &g;
-
-        schedule(ctrl, 0, Guard::trueGuard());
-
-        // Self-incrementing counter while fsm < total.
-        Cell &incr = comp.addCell(comp.uniqueName("incr"), "std_add",
-                                  {width}, ctx);
-        GuardPtr running = Guard::cmp(Guard::CmpOp::Lt, fsmOut,
-                                      constant(total, width));
-        g.add(cellPort(incr.name(), "left"), fsmOut);
-        g.add(cellPort(incr.name(), "right"), constant(1, width));
-        g.add(cellPort(fsm.name(), "in"), cellPort(incr.name(), "out"),
-              running);
-        g.add(cellPort(fsm.name(), "write_en"), constant(1, 1), running);
-
-        GuardPtr at_end = Guard::cmp(Guard::CmpOp::Eq, fsmOut,
-                                     constant(total, width));
-        g.add(g.doneHole(), constant(1, 1), at_end);
-
-        // Continuous (ungated) reset: when a static parent stops enabling
-        // this group after exactly `total` cycles, the counter still
-        // re-arms; when a dynamic parent holds go through the done cycle,
-        // this fires in the same cycle as done.
-        comp.continuousAssignments().emplace_back(
-            cellPort(fsm.name(), "in"), constant(0, width), at_end);
-        comp.continuousAssignments().emplace_back(
-            cellPort(fsm.name(), "write_en"), constant(1, 1), at_end);
-
-        g.attrs().set(Attributes::staticAttr, total);
-        return g.name();
-    }
-
-  private:
-    /** Guard for fsm in [off, off+len). */
-    GuardPtr
-    window(int64_t off, int64_t len) const
-    {
-        if (len == 1)
-            return Guard::cmp(Guard::CmpOp::Eq, fsmOut,
-                              constant(off, width));
-        GuardPtr lo = Guard::cmp(Guard::CmpOp::Geq, fsmOut,
-                                 constant(off, width));
-        GuardPtr hi = Guard::cmp(Guard::CmpOp::Lt, fsmOut,
-                                 constant(off + len, width));
-        if (off == 0)
-            return hi;
-        return Guard::conj(lo, hi);
-    }
-
-    /**
-     * Emit go assignments realizing `ctrl` starting at cycle `off` under
-     * `path` (the conjunction of enclosing branch conditions).
-     */
-    void
-    schedule(const Control &ctrl, int64_t off, const GuardPtr &path)
-    {
-        switch (ctrl.kind()) {
-          case Control::Kind::Empty:
-            return;
-          case Control::Kind::Enable: {
-            const std::string &name = cast<Enable>(ctrl).group();
-            int64_t latency = *comp.group(name).staticLatency();
-            if (latency == 0)
-                return;
-            group->add(holePort(name, "go"), constant(1, 1),
-                       Guard::conj(window(off, latency), path));
-            return;
-          }
-          case Control::Kind::Seq: {
-            for (const auto &c : cast<Seq>(ctrl).stmts()) {
-                schedule(*c, off, path);
-                off += *StaticPass::latencyOf(*c, comp);
-            }
-            return;
-          }
-          case Control::Kind::Par:
-            for (const auto &c : cast<Par>(ctrl).stmts())
-                schedule(*c, off, path);
-            return;
-          case Control::Kind::If: {
-            const auto &i = cast<If>(ctrl);
-            int64_t cond_latency = 1;
-            if (!i.condGroup().empty()) {
-                cond_latency = *comp.group(i.condGroup()).staticLatency();
-                group->add(holePort(i.condGroup(), "go"), constant(1, 1),
-                           Guard::conj(window(off, cond_latency), path));
-            }
-            // Latch the condition on the last cycle of its window.
-            Cell &cs = comp.addCell(comp.uniqueName("cs"), "std_reg", {1},
-                                    ctx);
-            GuardPtr latch =
-                Guard::conj(window(off + cond_latency - 1, 1), path);
-            group->add(cellPort(cs.name(), "in"), i.condPort(), latch);
-            group->add(cellPort(cs.name(), "write_en"), constant(1, 1),
-                       latch);
-            GuardPtr cs_out = Guard::fromPort(cellPort(cs.name(), "out"));
-            schedule(i.trueBranch(), off + cond_latency,
-                     Guard::conj(path, cs_out));
-            schedule(i.falseBranch(), off + cond_latency,
-                     Guard::conj(path, Guard::negate(cs_out)));
-            return;
-          }
-          case Control::Kind::While:
-            panic("while inside a static region");
-        }
-    }
-
-    Component &comp;
-    Context &ctx;
-    Group *group = nullptr;
-    PortRef fsmOut;
-    Width width = 0;
-};
-
 /**
- * Replace maximal static subtrees with enables of static groups.
- * Enables themselves are left alone (they are already single groups).
+ * Replace maximal static subtrees with enables of counter islands
+ * lowered through the FSM stages. Enables themselves are left alone
+ * (they are already single groups).
  */
 ControlPtr
-rewrite(ControlPtr ctrl, Component &comp, Context &ctx)
+rewrite(ControlPtr ctrl, Component &comp, Context &ctx, int &islands)
 {
     Control::Kind k = ctrl->kind();
     if (k == Control::Kind::Empty || k == Control::Kind::Enable)
         return ctrl;
 
-    auto latency = StaticPass::latencyOf(*ctrl, comp);
+    auto latency = analysis::controlLatency(*ctrl, comp);
     if (latency && *latency > 0) {
-        StaticCompiler compiler(comp, ctx);
-        std::string name = compiler.compile(*ctrl, *latency);
+        // This pass runs before GoInsertion, which will gate the
+        // island group like any frontend group.
+        lowering::LowerOptions opts;
+        opts.realize.gate = false;
+        Symbol name = lowering::lowerStatic(comp, ctx, *ctrl, *latency,
+                                            opts);
+        comp.group(name).attrs().set(Attributes::staticAttr, *latency);
+        // The seed spent one counter register per island plus one cs
+        // condition latch per if inside it — the same latches the
+        // builder's static schedule mints, so the flat-vs-seed
+        // comparison stays like-for-like.
+        islands += 1;
+        ctrl->walk([&islands](const Control &node) {
+            if (node.kind() == Control::Kind::If)
+                islands += 1;
+        });
         return std::make_unique<Enable>(name);
     }
 
@@ -222,26 +54,26 @@ rewrite(ControlPtr ctrl, Component &comp, Context &ctx)
       case Control::Kind::Seq: {
         auto &stmts = cast<Seq>(*ctrl).stmts();
         for (auto &c : stmts)
-            c = rewrite(std::move(c), comp, ctx);
+            c = rewrite(std::move(c), comp, ctx, islands);
         return ctrl;
       }
       case Control::Kind::Par: {
         auto &stmts = cast<Par>(*ctrl).stmts();
         for (auto &c : stmts)
-            c = rewrite(std::move(c), comp, ctx);
+            c = rewrite(std::move(c), comp, ctx, islands);
         return ctrl;
       }
       case Control::Kind::If: {
         auto &i = cast<If>(*ctrl);
         i.trueBranchPtr() =
-            rewrite(std::move(i.trueBranchPtr()), comp, ctx);
+            rewrite(std::move(i.trueBranchPtr()), comp, ctx, islands);
         i.falseBranchPtr() =
-            rewrite(std::move(i.falseBranchPtr()), comp, ctx);
+            rewrite(std::move(i.falseBranchPtr()), comp, ctx, islands);
         return ctrl;
       }
       case Control::Kind::While: {
         auto &w = cast<While>(*ctrl);
-        w.bodyPtr() = rewrite(std::move(w.bodyPtr()), comp, ctx);
+        w.bodyPtr() = rewrite(std::move(w.bodyPtr()), comp, ctx, islands);
         return ctrl;
       }
       default:
@@ -254,7 +86,10 @@ rewrite(ControlPtr ctrl, Component &comp, Context &ctx)
 void
 StaticPass::runOnComponent(Component &comp, Context &ctx)
 {
-    comp.setControl(rewrite(comp.takeControl(), comp, ctx));
+    double t0 = nowSeconds();
+    int islands = 0;
+    comp.setControl(rewrite(comp.takeControl(), comp, ctx, islands));
+    comp.noteFsmLowering(islands, nowSeconds() - t0);
 }
 
 namespace {

@@ -1,0 +1,19 @@
+#ifndef CALYX_SUPPORT_TIME_H
+#define CALYX_SUPPORT_TIME_H
+
+#include <chrono>
+
+namespace calyx {
+
+/** Monotonic wall clock in seconds, for interval timing. */
+inline double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace calyx
+
+#endif // CALYX_SUPPORT_TIME_H

@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Lowering-equivalence suite (ISSUE 5 satellite): every textual example
+ * plus randomized control trees (nested seq/par/if/while over mixed
+ * static and dynamic groups) go through the FSM lowering and must end
+ * in the same architectural state as the simulator's interpreter path,
+ * under both combinational engines, with identical cycle counts across
+ * the engines — in every lowering configuration (default, all,
+ * one-hot encoding, fuse-static).
+ */
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "helpers.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "sim/cycle_sim.h"
+#include "sim/interp.h"
+
+namespace calyx {
+namespace {
+
+/** Lowering configurations exercised for every design. */
+const char *const kConfigs[] = {
+    "default",
+    "all",
+    "well-formed,collapse-control,infer-latency,go-insertion,"
+    "compile-control[encoding=one-hot],remove-groups,dead-cell-removal",
+    "well-formed,collapse-control,infer-latency,go-insertion,"
+    "compile-control[fuse-static=true],remove-groups,dead-cell-removal",
+};
+
+/** Names of the architectural cells of the source design. */
+std::vector<Symbol>
+archCells(const Context &ctx)
+{
+    std::vector<Symbol> cells;
+    for (const auto &cell : ctx.component(ctx.entrypoint()).cells()) {
+        const std::string &type = cell->type().str();
+        if (type == "std_reg" || type.rfind("std_mem", 0) == 0)
+            cells.push_back(cell->name());
+    }
+    return cells;
+}
+
+/** Snapshot registers and memory contents of the named cells. */
+std::map<Symbol, std::vector<uint64_t>>
+snapshot(const sim::SimProgram &sp, const std::vector<Symbol> &cells)
+{
+    std::map<Symbol, std::vector<uint64_t>> state;
+    for (Symbol name : cells) {
+        sim::PrimModel *model = sp.findModel(name);
+        if (auto reg = model->registerValue()) {
+            state[name] = {*reg};
+        } else if (auto *mem = model->memory()) {
+            state[name] = *mem;
+        }
+    }
+    return state;
+}
+
+/**
+ * Core equivalence check: interpreter on the source program vs the
+ * lowered design under both engines, for every configuration.
+ * `preserves_cells` should be false for configurations that may rename
+ * or remove architectural cells (register sharing, dead-cell removal
+ * of written-but-unread registers under "all").
+ */
+void
+expectLoweringEquivalent(const std::function<Context()> &build,
+                         const std::string &label)
+{
+    Context source = build();
+    std::vector<Symbol> cells = archCells(source);
+    sim::SimProgram sp(source, source.entrypoint());
+    sim::Interp interp(sp);
+    interp.run(2'000'000);
+    auto want = snapshot(sp, cells);
+
+    for (const char *config : kConfigs) {
+        bool preserves_cells =
+            std::string(config).find("all") != 0; // "all" may share regs
+        Context lowered = build();
+        passes::runPipeline(lowered, config);
+
+        // Dead-cell removal may drop write-only registers; compare the
+        // cells that survived lowering (every surviving architectural
+        // cell must hold the interpreter's value for it).
+        std::vector<Symbol> surviving;
+        for (Symbol name : cells) {
+            if (lowered.component(lowered.entrypoint()).findCell(name))
+                surviving.push_back(name);
+        }
+        std::map<Symbol, std::vector<uint64_t>> want_surviving;
+        for (Symbol name : surviving)
+            want_surviving[name] = want.at(name);
+
+        uint64_t cycles[2] = {0, 0};
+        std::vector<std::vector<uint64_t>> engine_state[2];
+        int idx = 0;
+        for (sim::Engine engine :
+             {sim::Engine::Jacobi, sim::Engine::Levelized}) {
+            sim::SimProgram spc(lowered, lowered.entrypoint());
+            sim::CycleSim cs(spc, engine);
+            cycles[idx] = cs.run(2'000'000);
+            engine_state[idx] = sim::archState(spc);
+            if (preserves_cells) {
+                EXPECT_EQ(snapshot(spc, surviving), want_surviving)
+                    << label << " [" << config << "] engine " << idx
+                    << ": architectural state diverged from the "
+                       "interpreter";
+            }
+            ++idx;
+        }
+        EXPECT_EQ(cycles[0], cycles[1])
+            << label << " [" << config << "]: engines disagree on cycles";
+        EXPECT_EQ(engine_state[0], engine_state[1])
+            << label << " [" << config << "]: engines disagree on state";
+    }
+}
+
+TEST(LoweringEquivalence, AllExamplePrograms)
+{
+    namespace fs = std::filesystem;
+    int found = 0;
+    for (const auto &entry : fs::directory_iterator(CALYX_EXAMPLES_DIR)) {
+        if (entry.path().extension() != ".futil")
+            continue;
+        ++found;
+        std::ifstream in(entry.path());
+        ASSERT_TRUE(in) << entry.path();
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        std::string text = buffer.str();
+        expectLoweringEquivalent(
+            [&text] { return Parser::parseProgram(text); },
+            entry.path().filename().string());
+    }
+    EXPECT_GE(found, 2) << "expected at least two examples/*.futil";
+}
+
+/**
+ * Random control trees over a pool of registers: static register
+ * writes (annotated "static"=1 by regWriteGroup), dynamic increments
+ * (inferable), data-dependent sqrt groups (genuinely dynamic), nested
+ * seq/par/if/while. Every while loop owns a dedicated trip counter so
+ * nesting always terminates; par arms write disjoint registers.
+ */
+class RandomControl
+{
+  public:
+    explicit RandomControl(uint32_t seed) : rng(seed) {}
+
+    Context
+    build()
+    {
+        Context ctx;
+        auto b = ComponentBuilder::create(ctx, "main");
+        comp = &b.component();
+        builder = &b;
+        groupCount = 0;
+        loopCount = 0;
+
+        numRegs = 2 + rng() % 3;
+        for (int r = 0; r < numRegs; ++r) {
+            b.reg(reg(r), 8);
+            b.cell("add" + std::to_string(r), "std_add", {8});
+        }
+        b.cell("sq", "std_sqrt", {8});
+
+        comp->setControl(gen(3, allRegs()));
+        return ctx;
+    }
+
+  private:
+    std::string
+    reg(int r) const
+    {
+        return "r" + std::to_string(r);
+    }
+
+    std::vector<int>
+    allRegs() const
+    {
+        std::vector<int> v(numRegs);
+        for (int i = 0; i < numRegs; ++i)
+            v[i] = i;
+        return v;
+    }
+
+    /** Static leaf: a constant register write ("static"=1). */
+    std::string
+    staticGroup(const std::vector<int> &allowed)
+    {
+        int dst = allowed[rng() % allowed.size()];
+        std::string name = "s" + std::to_string(groupCount++);
+        builder->regWriteGroup(name, reg(dst),
+                               constant(1 + rng() % 30, 8));
+        return name;
+    }
+
+    /** Dynamic-but-inferable leaf: r_dst += k reading r_src. */
+    std::string
+    incrGroup(const std::vector<int> &allowed)
+    {
+        int dst = allowed[rng() % allowed.size()];
+        int src = static_cast<int>(rng() % numRegs);
+        std::string name = "g" + std::to_string(groupCount++);
+        Group &g = comp->addGroup(name);
+        std::string adder = "add" + std::to_string(dst);
+        g.add(cellPort(adder, "left"), cellPort(reg(src), "out"));
+        g.add(cellPort(adder, "right"), constant(rng() % 16, 8));
+        g.add(cellPort(reg(dst), "in"), cellPort(adder, "out"));
+        g.add(cellPort(reg(dst), "write_en"), constant(1, 1));
+        g.add(g.doneHole(), cellPort(reg(dst), "done"));
+        return name;
+    }
+
+    /** Genuinely dynamic leaf: r_dst = sqrt(r_src), variable latency. */
+    std::string
+    sqrtGroup(const std::vector<int> &allowed)
+    {
+        int dst = allowed[rng() % allowed.size()];
+        int src = static_cast<int>(rng() % numRegs);
+        std::string name = "q" + std::to_string(groupCount++);
+        Group &g = comp->addGroup(name);
+        GuardPtr done = Guard::fromPort(cellPort("sq", "done"));
+        g.add(cellPort("sq", "in"), cellPort(reg(src), "out"));
+        g.add(cellPort("sq", "go"), constant(1, 1), Guard::negate(done));
+        g.add(cellPort(reg(dst), "in"), cellPort("sq", "out"), done);
+        g.add(cellPort(reg(dst), "write_en"), constant(1, 1), done);
+        g.add(g.doneHole(), cellPort(reg(dst), "done"));
+        return name;
+    }
+
+    ControlPtr
+    leaf(const std::vector<int> &allowed)
+    {
+        switch (rng() % 3) {
+          case 0:
+            return std::make_unique<Enable>(staticGroup(allowed));
+          case 1:
+            return std::make_unique<Enable>(incrGroup(allowed));
+          default:
+            return std::make_unique<Enable>(sqrtGroup(allowed));
+        }
+    }
+
+    ControlPtr
+    gen(int depth, const std::vector<int> &allowed)
+    {
+        int kind = depth == 0 ? 0 : static_cast<int>(rng() % 10);
+        if (kind < 3 || allowed.empty())
+            return leaf(allowed.empty() ? allRegs() : allowed);
+        if (kind < 5) { // seq
+            size_t n = 2 + rng() % 3;
+            auto seq = std::make_unique<Seq>();
+            for (size_t i = 0; i < n; ++i)
+                seq->add(gen(depth - 1, allowed));
+            return seq;
+        }
+        if (kind < 7 && allowed.size() >= 2) { // par, disjoint arms
+            size_t split = 1 + rng() % (allowed.size() - 1);
+            std::vector<int> left(allowed.begin(),
+                                  allowed.begin() + split);
+            std::vector<int> right(allowed.begin() + split,
+                                   allowed.end());
+            auto par = std::make_unique<Par>();
+            par->add(gen(depth - 1, left));
+            // The sqrt unit is shared; keep it out of one arm so
+            // parallel arms never contend for it.
+            par->add(genNoSqrt(depth - 1, right));
+            return par;
+        }
+        if (kind < 8) { // if on a comparison of a register
+            int r = allowed[rng() % allowed.size()];
+            std::string cname = "c" + std::to_string(groupCount++);
+            std::string lt = "lt" + cname;
+            comp->addCell(lt, "std_lt", {8}, builder->context());
+            Group &cond = comp->addGroup(cname);
+            cond.add(cellPort(lt, "left"), cellPort(reg(r), "out"));
+            cond.add(cellPort(lt, "right"),
+                     constant(1 + rng() % 40, 8));
+            cond.add(cond.doneHole(), constant(1, 1));
+            return std::make_unique<If>(cellPort(lt, "out"), cname,
+                                        gen(depth - 1, allowed),
+                                        gen(depth - 1, allowed));
+        }
+        // Bounded while with a dedicated trip counter.
+        int id = loopCount++;
+        std::string cnt = "cnt" + std::to_string(id);
+        builder->reg(cnt, 8);
+        comp->addCell("ca" + std::to_string(id), "std_add", {8},
+                      builder->context());
+        comp->addCell("cl" + std::to_string(id), "std_lt", {8},
+                      builder->context());
+        Group &tick = comp->addGroup("tick" + std::to_string(id));
+        tick.add(cellPort("ca" + std::to_string(id), "left"),
+                 cellPort(cnt, "out"));
+        tick.add(cellPort("ca" + std::to_string(id), "right"),
+                 constant(1, 8));
+        tick.add(cellPort(cnt, "in"),
+                 cellPort("ca" + std::to_string(id), "out"));
+        tick.add(cellPort(cnt, "write_en"), constant(1, 1));
+        tick.add(tick.doneHole(), cellPort(cnt, "done"));
+        Group &cond = comp->addGroup("lc" + std::to_string(id));
+        cond.add(cellPort("cl" + std::to_string(id), "left"),
+                 cellPort(cnt, "out"));
+        cond.add(cellPort("cl" + std::to_string(id), "right"),
+                 constant(1 + rng() % 3, 8));
+        cond.add(cond.doneHole(), constant(1, 1));
+        auto body = std::make_unique<Seq>();
+        body->add(gen(depth - 1, allowed));
+        body->add(
+            std::make_unique<Enable>("tick" + std::to_string(id)));
+        return std::make_unique<While>(
+            cellPort("cl" + std::to_string(id), "out"),
+            "lc" + std::to_string(id), std::move(body));
+    }
+
+    /** Like gen() but never emits a sqrt leaf (for one par arm). */
+    ControlPtr
+    genNoSqrt(int depth, const std::vector<int> &allowed)
+    {
+        if (depth == 0 || allowed.empty()) {
+            return std::make_unique<Enable>(
+                rng() % 2 ? staticGroup(allowed.empty() ? allRegs()
+                                                        : allowed)
+                          : incrGroup(allowed.empty() ? allRegs()
+                                                      : allowed));
+        }
+        if (rng() % 3 == 0) {
+            size_t n = 2 + rng() % 2;
+            auto seq = std::make_unique<Seq>();
+            for (size_t i = 0; i < n; ++i)
+                seq->add(genNoSqrt(depth - 1, allowed));
+            return seq;
+        }
+        return std::make_unique<Enable>(
+            rng() % 2 ? staticGroup(allowed) : incrGroup(allowed));
+    }
+
+    std::mt19937 rng;
+    Component *comp = nullptr;
+    ComponentBuilder *builder = nullptr;
+    int numRegs = 0;
+    int groupCount = 0;
+    int loopCount = 0;
+};
+
+class LoweringSeed : public ::testing::TestWithParam<uint32_t>
+{};
+
+TEST_P(LoweringSeed, RandomControlTreeMatchesInterpreter)
+{
+    uint32_t seed = GetParam();
+    expectLoweringEquivalent(
+        [seed] {
+            RandomControl gen(seed);
+            return gen.build();
+        },
+        "seed " + std::to_string(seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LoweringSeed, ::testing::Range(0u, 25u));
+
+} // namespace
+} // namespace calyx

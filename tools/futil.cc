@@ -22,7 +22,14 @@
  *                            pipeline
  *     --list-passes          list registered passes and aliases, exit
  *     --list-backends        list registered backends, exit
- *     --emit-stats           print emitted line/byte counts (stderr)
+ *     --emit-stats           print emitted line/byte counts and, after
+ *                            control lowering, per-component FSM
+ *                            statistics (states, registers, encoding,
+ *                            seed-equivalent registers, lowering wall
+ *                            time) on stderr
+ *     --dump-fsm             print the FSM machines built by control
+ *                            lowering (states, actions, transitions)
+ *                            instead of emitting a backend artifact
  *     --pass-timings         print per-pass wall time and stats deltas
  *     --dump-ir-after <pass> print the IR after the named pass (stderr)
  *     --verify               run the well-formed checker between passes
@@ -46,6 +53,7 @@
 
 #include "emit/backend.h"
 #include "estimate/area.h"
+#include "ir/fsm.h"
 #include "ir/parser.h"
 #include "passes/pipeline.h"
 #include "passes/registry.h"
@@ -71,7 +79,9 @@ usage()
            "  -x pass[key=val,...]   set options on a pipeline pass\n"
            "  --list-passes          list passes and aliases, then exit\n"
            "  --list-backends        list backends, then exit\n"
-           "  --emit-stats           print emitted line/byte counts\n"
+           "  --emit-stats           print emitted line/byte counts and\n"
+           "                         FSM lowering statistics\n"
+           "  --dump-fsm             print lowered FSM machines\n"
            "  --pass-timings         print per-pass time + stats deltas\n"
            "  --dump-ir-after <pass> print IR after the named pass\n"
            "  --verify               run well-formed checker per pass\n"
@@ -152,7 +162,7 @@ main(int argc, char **argv)
     std::vector<std::string> disables;
     std::vector<std::string> overrides;
     bool compile = true, simulate = false, area = false, stats = false;
-    bool emit_stats = false;
+    bool emit_stats = false, dump_fsm = false;
     calyx::sim::Engine sim_engine = calyx::sim::Engine::Levelized;
     calyx::passes::RunOptions run_options;
     bool timings = false;
@@ -192,6 +202,8 @@ main(int argc, char **argv)
             return listBackends();
         } else if (a == "--emit-stats") {
             emit_stats = true;
+        } else if (a == "--dump-fsm") {
+            dump_fsm = true;
         } else if (a == "--pass-timings") {
             timings = true;
         } else if (a == "--dump-ir-after") {
@@ -287,6 +299,39 @@ main(int argc, char **argv)
             if (timings)
                 printTimings(infos);
         }
+        if (emit_stats) {
+            for (const auto &comp : ctx.components()) {
+                calyx::FsmStats fs = calyx::fsmStats(*comp);
+                if (fs.machines == 0)
+                    continue;
+                const char *enc = "binary";
+                for (const auto &m : comp->fsms())
+                    if (m->encoding() == calyx::FsmEncoding::OneHot)
+                        enc = "one-hot";
+                std::fprintf(
+                    stderr,
+                    "fsm[%s]: machines=%d states=%d codes=%lld "
+                    "transitions=%lld counter-states=%lld registers=%d "
+                    "helpers=%d control-registers=%d seed-registers=%d "
+                    "encoding=%s lowering=%.3fms\n",
+                    comp->name().str().c_str(), fs.machines, fs.states,
+                    static_cast<long long>(fs.codes),
+                    static_cast<long long>(fs.transitions),
+                    static_cast<long long>(fs.counterStates),
+                    fs.registers, fs.helperRegisters,
+                    fs.controlRegisters, fs.seedRegisters, enc,
+                    fs.loweringSeconds * 1e3);
+            }
+        }
+        if (dump_fsm) {
+            for (const auto &comp : ctx.components()) {
+                if (comp->fsms().empty())
+                    continue;
+                std::cout << "component " << comp->name().str() << ":\n";
+                for (const auto &m : comp->fsms())
+                    std::cout << m->str();
+            }
+        }
         if (area) {
             calyx::estimate::AreaEstimator est(ctx);
             auto a = est.estimateProgram();
@@ -299,8 +344,8 @@ main(int argc, char **argv)
             calyx::sim::CycleSim cs(sp, sim_engine);
             std::cout << "cycles: " << cs.run() << "\n";
         }
-        bool emits = !output.empty() ||
-                     (!simulate && !area && !stats && !timings);
+        bool emits = !output.empty() || (!simulate && !area && !stats &&
+                                         !timings && !dump_fsm);
         if (emits) {
             if (output.empty() && !emit_stats) {
                 emitter->emit(ctx, std::cout); // stream large artifacts
