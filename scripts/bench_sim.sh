@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
-# Simulation-engine benchmark: time the Jacobi reference engine against
-# the levelized event-driven engine on the fig7 (systolic) and fig8
+# Simulation-engine benchmark: time every registered evaluation engine
+# (jacobi, levelized, compiled — the driver reads the registry, so a new
+# engine shows up automatically) on the fig7 (systolic) and fig8
 # (PolyBench) workloads and write BENCH_sim.json (cycles/sec per engine
-# per workload). The driver itself verifies that both engines produce
-# identical cycle counts and architectural state.
+# per workload). The driver itself verifies that all engines produce
+# identical cycle counts and architectural state, and skips the
+# compiled engine when the host has no C++ toolchain.
 #
 # Usage: scripts/bench_sim.sh [path/to/bench_sim_engines] [extra flags]
 #   e.g. scripts/bench_sim.sh build/bench_sim_engines --small --check
 #
 # CI runs the --small --check configuration: small workloads, hard
-# failure if the levelized engine is slower than Jacobi on any of them.
+# failure if the compiled engine is slower than levelized on any of
+# them. Set CALYX_CPPSIM_CACHE to persist the compiled engine's JIT
+# cache across runs (CI restores it between jobs).
 set -u
 
 bench="${1:-build/bench_sim_engines}"

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Compiled-engine smoke test: run `futil --sim --sim-engine=compiled`
+# twice over every textual example and check that (1) the cycle counts
+# match the levelized engine, and (2) the second run services every
+# module from the on-disk cache — no new files may appear in the cache
+# directory, proving the content-addressed digest is stable and the JIT
+# is skipped.
+#
+# Skips (exit 0) when no host C++ compiler is available, since the
+# compiled engine is an optional acceleration, not a requirement.
+#
+# Usage: scripts/compiled_smoke.sh [path/to/futil] [cache-dir]
+set -u
+
+futil="${1:-build/futil}"
+cache="${2:-$(mktemp -d /tmp/calyx-cppsim-smoke.XXXXXX)}"
+if [ ! -x "$futil" ]; then
+    echo "compiled_smoke: futil binary not found at '$futil'" >&2
+    exit 1
+fi
+
+# Graceful skip without a toolchain (mirrors
+# sim::compiledEngineUnavailableReason()).
+cxx="${CXX:-}"
+if [ -z "$cxx" ]; then
+    for c in c++ g++ clang++; do
+        if command -v "$c" > /dev/null 2>&1; then
+            cxx="$c"
+            break
+        fi
+    done
+fi
+if [ -z "$cxx" ]; then
+    echo "compiled_smoke: no host C++ compiler; skipping"
+    exit 0
+fi
+
+examples=$(ls examples/*.futil 2>/dev/null)
+if [ -z "$examples" ]; then
+    echo "compiled_smoke: no examples/*.futil inputs found" >&2
+    exit 1
+fi
+
+export CALYX_CPPSIM_CACHE="$cache"
+failures=0
+
+run_all() {
+    # Prints "example cycles" per line; empty cycle field on failure.
+    for example in $examples; do
+        cycles=$("$futil" --sim --sim-engine=compiled "$example" \
+                     2>/tmp/compiled_smoke_err | awk '{ print $2 }')
+        if [ -z "$cycles" ]; then
+            echo "FAIL $example --sim-engine=compiled" >&2
+            cat /tmp/compiled_smoke_err >&2
+            failures=$((failures + 1))
+        fi
+        echo "$example $cycles"
+    done
+}
+
+# First pass: compile-and-run, comparing against the levelized engine.
+first=$(run_all)
+while read -r example cycles; do
+    [ -z "$cycles" ] && continue
+    ref=$("$futil" --sim --sim-engine=levelized "$example" \
+              2>/dev/null | awk '{ print $2 }')
+    if [ "$cycles" != "$ref" ]; then
+        echo "FAIL $example: compiled=$cycles levelized=$ref" >&2
+        failures=$((failures + 1))
+    else
+        echo "ok   $example ($cycles cycles)"
+    fi
+done <<EOF
+$first
+EOF
+
+# Second pass: every module must come from cache. A cache hit adds no
+# files (no new sources, objects, or temporaries).
+before=$(ls "$cache" | wc -l)
+second=$(run_all)
+after=$(ls "$cache" | wc -l)
+if [ "$first" != "$second" ]; then
+    echo "FAIL: second (cached) run disagrees with the first" >&2
+    failures=$((failures + 1))
+fi
+if [ "$after" -ne "$before" ]; then
+    echo "FAIL: cached rerun changed the cache dir ($before -> $after files)" >&2
+    failures=$((failures + 1))
+else
+    echo "ok   cached rerun added no files ($after in $cache)"
+fi
+
+if [ $failures -ne 0 ]; then
+    echo "compiled_smoke: $failures failure(s)" >&2
+    exit 1
+fi
+echo "compiled_smoke: all examples ran compiled and cached"

@@ -1,0 +1,1079 @@
+#include "emit/cppsim.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/primitives.h"
+#include "sim/env.h"
+#include "sim/schedule.h"
+#include "support/bits.h"
+#include "support/error.h"
+
+namespace calyx::emit {
+
+namespace {
+
+using sim::SAssign;
+using sim::SExpr;
+using sim::SimProgram;
+using sim::SimSchedule;
+
+std::string
+hexLit(uint64_t v)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << v << "ull";
+    return os.str();
+}
+
+/** Escape a port/cell name for use inside a C++ string literal. */
+std::string
+escapeLit(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+/** One primitive cell paired with its model index and state slots. */
+struct Prim
+{
+    const Cell *cell = nullptr;
+    std::string path;
+    size_t model = 0; ///< Index into SimProgram::models().
+    int reg = -1;     ///< Register slot, or -1.
+    int mem = -1;     ///< Memory slot, or -1.
+    uint64_t memSize = 0;
+    std::vector<uint64_t> memDims;
+};
+
+/**
+ * Everything the codegen needs, resolved once: drivers per port,
+ * primitive cells in model order, and constant-folded port values.
+ */
+struct Codegen
+{
+    const SimProgram &prog;
+    const SimSchedule &sched;
+    uint32_t numPorts;
+
+    std::vector<std::vector<const SAssign *>> drivers;
+    std::vector<Prim> prims;
+    std::unordered_map<const sim::PrimModel *, const Prim *> primOfModel;
+
+    std::vector<uint8_t> computed; ///< eval() (or reset()) writes it.
+    std::vector<uint8_t> folded;   ///< Compile-time constant.
+    std::vector<uint64_t> foldedVal;
+
+    /// Shared guard value pool (see buildGuardPool): assignment → guard
+    /// id, pool entry → its guard and the acyclic port whose statement
+    /// computes the pooled value at first use.
+    std::unordered_map<const SAssign *, uint32_t> guardIdOf;
+    std::vector<const SExpr *> guardPool;
+    std::vector<uint32_t> guardHome;
+
+    int numRegs = 0, numMems = 0;
+
+    explicit Codegen(const SimProgram &p)
+        : prog(p), sched(p.schedule()),
+          numPorts(static_cast<uint32_t>(p.numPorts()))
+    {}
+
+    uint32_t
+    pid(const Prim &prim, const char *port) const
+    {
+        return prog.portId(prim.path + "." + port);
+    }
+
+    /** Value reference: folded constant literal or vals[] load. */
+    std::string
+    val(uint32_t port) const
+    {
+        if (folded[port])
+            return hexLit(foldedVal[port]);
+        return "vals[" + std::to_string(port) + "]";
+    }
+};
+
+void
+rejectGroups(const SimProgram::Instance &inst)
+{
+    if (inst.hasGroups()) {
+        fatal("cppsim: component ", inst.comp->name(),
+              " still has groups; the compiled-simulation backend "
+              "requires a fully-lowered program (run the default "
+              "pipeline first)");
+    }
+    for (const auto &sub : inst.subs)
+        rejectGroups(*sub);
+}
+
+/**
+ * Visit primitive cells in exactly the order SimProgram::buildInstance
+ * creates their models: component cell order, recursing into
+ * sub-instances in place.
+ */
+void
+walkPrims(const SimProgram::Instance &inst,
+          const std::function<void(const Cell &, const std::string &)> &fn)
+{
+    size_t sub = 0;
+    for (const auto &cell : inst.comp->cells()) {
+        if (cell->isPrimitive())
+            fn(*cell, inst.path + cell->name().str());
+        else
+            walkPrims(*inst.subs[sub++], fn);
+    }
+}
+
+void
+collectPrims(Codegen &cg)
+{
+    walkPrims(cg.prog.root(), [&](const Cell &cell, const std::string &path) {
+        Prim p;
+        p.cell = &cell;
+        p.path = path;
+        p.model = cg.prims.size();
+        const std::string &t = cell.type().str();
+        if (t == "std_reg") {
+            p.reg = cg.numRegs++;
+        } else if (t == "std_mem_d1" || t == "std_mem_d2") {
+            p.mem = cg.numMems++;
+            p.memDims.assign({cell.params()[1]});
+            if (t == "std_mem_d2")
+                p.memDims.push_back(cell.params()[2]);
+            p.memSize = 1;
+            for (uint64_t d : p.memDims)
+                p.memSize *= d;
+        }
+        cg.prims.push_back(std::move(p));
+    });
+    const auto &models = cg.prog.models();
+    if (models.size() != cg.prims.size())
+        panic("cppsim: primitive walk does not match model list");
+    for (const Prim &p : cg.prims) {
+        if (cg.prog.findModel(p.path) != models[p.model].get())
+            panic("cppsim: model order mismatch at " + p.path);
+        cg.primOfModel[models[p.model].get()] = &p;
+    }
+}
+
+/** Guard expression as branchless 0/1 integer arithmetic. */
+std::string
+guardExpr(const Codegen &cg, const SExpr &g)
+{
+    if (g.nodes.empty())
+        return "1";
+    std::vector<std::string> stack;
+    for (const SExpr::Node &n : g.nodes) {
+        switch (n.op) {
+          case SExpr::Op::True:
+            stack.push_back("1");
+            break;
+          case SExpr::Op::Port:
+            if (cg.folded[n.a])
+                stack.push_back((cg.foldedVal[n.a] & 1) ? "1" : "0");
+            else
+                stack.push_back("(vals[" + std::to_string(n.a) + "] & 1)");
+            break;
+          case SExpr::Op::Not: {
+            std::string x = std::move(stack.back());
+            stack.back() = "(" + x + " ^ 1)";
+            break;
+          }
+          case SExpr::Op::And:
+          case SExpr::Op::Or: {
+            std::string b = std::move(stack.back());
+            stack.pop_back();
+            std::string a = std::move(stack.back());
+            stack.back() = "(" + a + (n.op == SExpr::Op::And ? " & " : " | ") +
+                           b + ")";
+            break;
+          }
+          default: {
+            std::string a = n.aImm ? hexLit(n.immA) : cg.val(n.a);
+            std::string b = n.bImm ? hexLit(n.immB) : cg.val(n.b);
+            const char *op = nullptr;
+            switch (n.op) {
+              case SExpr::Op::Eq:
+                op = "==";
+                break;
+              case SExpr::Op::Neq:
+                op = "!=";
+                break;
+              case SExpr::Op::Lt:
+                op = "<";
+                break;
+              case SExpr::Op::Gt:
+                op = ">";
+                break;
+              case SExpr::Op::Leq:
+                op = "<=";
+                break;
+              case SExpr::Op::Geq:
+                op = ">=";
+                break;
+              default:
+                panic("cppsim: bad SExpr op");
+            }
+            stack.push_back("(uint64_t)(" + a + " " + op + " " + b + ")");
+            break;
+          }
+        }
+    }
+    return stack.back();
+}
+
+/**
+ * Text-keyed common-subexpression pool for one emitted port. Large
+ * guards (FSM range checks repeat `go & !done` in every disjunct, and
+ * whole disjuncts recur across drivers) compile each SExpr node to a
+ * numbered local exactly once: identical subtrees produce identical
+ * operand names, so their key collides and the local is reused.
+ */
+struct GuardCSE
+{
+    std::string ind;   ///< Indentation for emitted locals.
+    std::string stmts; ///< Accumulated "uint64_t tN = ...;" lines.
+    std::unordered_map<std::string, std::string> memo;
+    int next = 0;
+
+    std::string local(const std::string &expr)
+    {
+        auto it = memo.find(expr);
+        if (it != memo.end())
+            return it->second;
+        std::string name = "t" + std::to_string(next++);
+        stmts += ind + "uint64_t " + name + " = " + expr + ";\n";
+        memo.emplace(expr, name);
+        return name;
+    }
+};
+
+/** Guard nodes above which guardVar() is used instead of guardExpr().
+ * Below this, inline composition is both smaller and faster; above it
+ * (FSM range-check chains reach hundreds of nodes) expression nesting
+ * depth and repeated subtrees dominate. */
+constexpr size_t guardInlineNodes = 64;
+
+/** Guard compiled through the CSE pool: returns the local holding the
+ * 0/1 result. Same stack walk as guardExpr(), one local per node. */
+std::string
+guardVar(const Codegen &cg, const SExpr &g, GuardCSE &cse)
+{
+    if (g.nodes.empty())
+        return "1";
+    std::vector<std::string> stack;
+    for (const SExpr::Node &n : g.nodes) {
+        switch (n.op) {
+          case SExpr::Op::True:
+            stack.push_back("1");
+            break;
+          case SExpr::Op::Port:
+            if (cg.folded[n.a])
+                stack.push_back((cg.foldedVal[n.a] & 1) ? "1" : "0");
+            else
+                stack.push_back(cse.local("vals[" + std::to_string(n.a) +
+                                          "] & 1"));
+            break;
+          case SExpr::Op::Not: {
+            std::string x = std::move(stack.back());
+            stack.back() = cse.local(x + " ^ 1");
+            break;
+          }
+          case SExpr::Op::And:
+          case SExpr::Op::Or: {
+            std::string b = std::move(stack.back());
+            stack.pop_back();
+            std::string a = std::move(stack.back());
+            stack.back() = cse.local(
+                a + (n.op == SExpr::Op::And ? " & " : " | ") + b);
+            break;
+          }
+          default: {
+            std::string a = n.aImm ? hexLit(n.immA) : cg.val(n.a);
+            std::string b = n.bImm ? hexLit(n.immB) : cg.val(n.b);
+            const char *op = nullptr;
+            switch (n.op) {
+              case SExpr::Op::Eq:
+                op = "==";
+                break;
+              case SExpr::Op::Neq:
+                op = "!=";
+                break;
+              case SExpr::Op::Lt:
+                op = "<";
+                break;
+              case SExpr::Op::Gt:
+                op = ">";
+                break;
+              case SExpr::Op::Leq:
+                op = "<=";
+                break;
+              case SExpr::Op::Geq:
+                op = ">=";
+                break;
+              default:
+                panic("cppsim: bad SExpr op");
+            }
+            stack.push_back(cse.local(a + " " + op + " " + b));
+            break;
+          }
+        }
+    }
+    return stack.back();
+}
+
+std::string
+srcExpr(const Codegen &cg, const SAssign &a)
+{
+    return a.srcConst ? hexLit(a.srcValue) : cg.val(a.srcPort);
+}
+
+/** Truncation of `e` to `w` bits, elided for full-width values. */
+std::string
+trunc(const std::string &e, Width w)
+{
+    if (w >= 64)
+        return e;
+    return "(" + e + " & " + hexLit(bitMask(w)) + ")";
+}
+
+std::string
+memberRef(const Prim &p, const char *field)
+{
+    return "s->p" + std::to_string(p.model) + "_" + field;
+}
+
+/** Flattened memory address expression (mirrors MemModel::flatAddr). */
+std::string
+memAddrExpr(const Codegen &cg, const Prim &p, const char *a0,
+            const char *a1)
+{
+    std::string addr = cg.val(cg.pid(p, a0));
+    if (p.memDims.size() == 2) {
+        addr = "(" + addr + " * " + std::to_string(p.memDims[1]) + "ull + " +
+               cg.val(cg.pid(p, a1)) + ")";
+    }
+    return addr;
+}
+
+/**
+ * The inlined combinational expression a primitive drives onto `port`
+ * (mirrors the PrimModel::evalComb semantics in sim/models.cc).
+ */
+std::string
+modelOutExpr(const Codegen &cg, const Prim &p, uint32_t port)
+{
+    const std::string &t = p.cell->type().str();
+    const auto &params = p.cell->params();
+    auto w = [&params](size_t i) { return static_cast<Width>(params[i]); };
+
+    if (t == "std_const")
+        return hexLit(truncate(params[1], w(0)));
+    if (t == "std_wire" || t == "std_pad")
+        return trunc(cg.val(cg.pid(p, "in")), t == "std_wire" ? w(0) : w(1));
+    if (t == "std_slice")
+        return trunc(cg.val(cg.pid(p, "in")), w(1));
+    if (t == "std_not")
+        return trunc("~" + cg.val(cg.pid(p, "in")), w(0));
+
+    static const std::unordered_map<std::string, const char *> bin_ops = {
+        {"std_add", "+"}, {"std_sub", "-"}, {"std_and", "&"},
+        {"std_or", "|"},  {"std_xor", "^"},
+    };
+    if (auto it = bin_ops.find(t); it != bin_ops.end()) {
+        return trunc("(" + cg.val(cg.pid(p, "left")) + " " + it->second +
+                         " " + cg.val(cg.pid(p, "right")) + ")",
+                     w(0));
+    }
+    if (t == "std_lsh" || t == "std_rsh") {
+        std::string l = cg.val(cg.pid(p, "left"));
+        std::string r = cg.val(cg.pid(p, "right"));
+        const char *op = t == "std_lsh" ? "<<" : ">>";
+        return "(" + r + " >= 64 ? 0ull : " +
+               trunc("(" + l + " " + op + " " + r + ")", w(0)) + ")";
+    }
+    static const std::unordered_map<std::string, const char *> cmp_ops = {
+        {"std_eq", "=="}, {"std_neq", "!="}, {"std_lt", "<"},
+        {"std_gt", ">"},  {"std_le", "<="},  {"std_ge", ">="},
+    };
+    if (auto it = cmp_ops.find(t); it != cmp_ops.end()) {
+        return "(uint64_t)(" + cg.val(cg.pid(p, "left")) + " " + it->second +
+               " " + cg.val(cg.pid(p, "right")) + ")";
+    }
+    if (t == "std_reg") {
+        if (port == cg.pid(p, "done"))
+            return "(uint64_t)s->rdone[" + std::to_string(p.reg) + "]";
+        return "*s->regs[" + std::to_string(p.reg) + "]";
+    }
+    if (t == "std_mem_d1" || t == "std_mem_d2") {
+        std::string mem = "s->mems[" + std::to_string(p.mem) + "]";
+        std::string size = std::to_string(p.memSize) + "ull";
+        if (port == cg.pid(p, "done"))
+            return "(uint64_t)s->mdone[" + std::to_string(p.mem) + "]";
+        if (port == cg.pid(p, "read_data")) {
+            std::string a = memAddrExpr(cg, p, "addr0", "addr1");
+            return "(" + a + " < " + size + " ? " + mem + "[" + a +
+                   "] : 0ull)";
+        }
+        std::string a = memAddrExpr(cg, p, "addr0_1", "addr1_1");
+        return "(" + a + " < " + size + " ? " + mem + "[" + a + "] : 0ull)";
+    }
+    if (t == "std_mult_pipe" || t == "std_div_pipe" || t == "std_sqrt") {
+        if (port == cg.pid(p, "done"))
+            return "(uint64_t)" + memberRef(p, "done");
+        if (t == "std_div_pipe" && port == cg.pid(p, "out_remainder"))
+            return memberRef(p, "r1");
+        return memberRef(p, "r0");
+    }
+    fatal("cppsim: no codegen for primitive ", t);
+}
+
+/**
+ * Settled-value expression for one computed port under the
+ * interpreter's driver priority: the ternary chain walks drivers
+ * last-to-first (SimState::evalPort keeps the last active assignment)
+ * and falls back to the inlined model output, then zero.
+ */
+std::string
+portExpr(const Codegen &cg, uint32_t port)
+{
+    std::string expr;
+    if (const sim::PrimModel *m = cg.sched.modelOf(port))
+        expr = modelOutExpr(cg, *cg.primOfModel.at(m), port);
+    else
+        expr = "0ull";
+    const auto &ds = cg.drivers[port];
+    for (auto it = ds.begin(); it != ds.end(); ++it) {
+        const SAssign *a = *it;
+        if (a->guard.nodes.empty()) {
+            // Unconditional driver: earlier drivers can never win.
+            expr = srcExpr(cg, *a);
+        } else {
+            expr = "(" + guardExpr(cg, a->guard) + " ? " + srcExpr(cg, *a) +
+                   " : " + expr + ")";
+        }
+    }
+    return expr;
+}
+
+/** Fan-in above which a port is emitted as a flat if-chain. */
+constexpr size_t selectChainMax = 8;
+
+/** True when the port needs the statement-block form: deep fan-in or a
+ * guard big enough for the CSE pool. The inline portExpr() form would
+ * hand the host compiler a pathologically nested expression. */
+bool
+needsBlock(const Codegen &cg, uint32_t port)
+{
+    const auto &ds = cg.drivers[port];
+    if (ds.size() > selectChainMax)
+        return true;
+    for (const SAssign *a : ds) {
+        if (a->guard.nodes.size() > guardInlineNodes)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Statements computing the settled value of `port` into local `var`.
+ * Small fan-in with small guards inlines the nested-select portExpr();
+ * big fan-in ports (a lowered memory write mux can have thousands of
+ * drivers) become a flat if-chain instead — identical last-active-wins
+ * order, but linear work for the host compiler where a 1000-deep
+ * nested conditional expression makes it crawl. Guards above
+ * guardInlineNodes compile through a shared per-port CSE pool.
+ */
+std::string
+portValueStmts(const Codegen &cg, uint32_t port, const std::string &var,
+               const std::string &ind, bool in_scc)
+{
+    const auto &ds = cg.drivers[port];
+    if (!needsBlock(cg, port)) {
+        return ind + "uint64_t " + var + " = " + portExpr(cg, port) + ";\n";
+    }
+
+    GuardCSE cse{ind};
+    std::string pool; ///< `s->gv[k] = ...;` writes this port owns.
+    std::vector<uint32_t> homed;
+    std::vector<std::string> guards(ds.size());
+    for (size_t i = 0; i < ds.size(); ++i) {
+        const SExpr &g = ds[i]->guard;
+        if (g.nodes.empty())
+            continue; // Unconditional; no guard text needed.
+        uint32_t gid = UINT32_MAX;
+        if (!in_scc) {
+            if (auto it = cg.guardIdOf.find(ds[i]);
+                it != cg.guardIdOf.end())
+                gid = it->second;
+        }
+        if (gid != UINT32_MAX) {
+            guards[i] = "s->gv[" + std::to_string(gid) + "]";
+            if (cg.guardHome[gid] == port &&
+                std::find(homed.begin(), homed.end(), gid) ==
+                    homed.end()) {
+                homed.push_back(gid);
+                pool += ind + guards[i] + " = " + guardVar(cg, g, cse) +
+                        ";\n";
+            }
+        } else {
+            guards[i] = g.nodes.size() > guardInlineNodes
+                            ? guardVar(cg, g, cse)
+                            : guardExpr(cg, g);
+        }
+    }
+
+    std::string base;
+    if (const sim::PrimModel *m = cg.sched.modelOf(port))
+        base = modelOutExpr(cg, *cg.primOfModel.at(m), port);
+    else
+        base = "0ull";
+
+    std::string s = cse.stmts + pool;
+    if (ds.size() <= selectChainMax) {
+        // Few drivers: keep the branchless select, just with pooled
+        // guard locals instead of inline guard expressions.
+        std::string expr = base;
+        for (size_t i = 0; i < ds.size(); ++i) {
+            if (guards[i].empty())
+                expr = srcExpr(cg, *ds[i]);
+            else
+                expr = "(" + guards[i] + " ? " + srcExpr(cg, *ds[i]) +
+                       " : " + expr + ")";
+        }
+        s += ind + "uint64_t " + var + " = " + expr + ";\n";
+        return s;
+    }
+    s += ind + "uint64_t " + var + " = " + base + ";\n";
+    for (size_t i = 0; i < ds.size(); ++i) {
+        if (guards[i].empty())
+            s += ind + var + " = " + srcExpr(cg, *ds[i]) + ";\n";
+        else
+            s += ind + "if (" + guards[i] + ") " + var + " = " +
+                 srcExpr(cg, *ds[i]) + ";\n";
+    }
+    return s;
+}
+
+/**
+ * Fold constant-only ports: std_const outputs and single unguarded
+ * assignments from constants, propagated transitively in topological
+ * order. Folded ports are written once at reset and disappear from
+ * eval(); expressions reading them get literals the host compiler
+ * folds further.
+ */
+void
+foldConstants(Codegen &cg)
+{
+    cg.folded.assign(cg.numPorts, 0);
+    cg.foldedVal.assign(cg.numPorts, 0);
+    for (const SimSchedule::Node &node : cg.sched.nodes()) {
+        if (node.cyclic || node.count != 1)
+            continue;
+        uint32_t p = cg.sched.memberPorts()[node.first];
+        const auto &ds = cg.drivers[p];
+        if (ds.size() == 1 && ds[0]->guard.nodes.empty()) {
+            const SAssign *a = ds[0];
+            if (a->srcConst) {
+                cg.folded[p] = 1;
+                cg.foldedVal[p] = a->srcValue;
+            } else if (cg.folded[a->srcPort]) {
+                cg.folded[p] = 1;
+                cg.foldedVal[p] = cg.foldedVal[a->srcPort];
+            }
+        } else if (ds.empty()) {
+            const sim::PrimModel *m = cg.sched.modelOf(p);
+            if (!m)
+                continue;
+            const Prim &prim = *cg.primOfModel.at(m);
+            if (prim.cell->type() == "std_const") {
+                cg.folded[p] = 1;
+                cg.foldedVal[p] = truncate(prim.cell->params()[1],
+                                           static_cast<Width>(
+                                               prim.cell->params()[0]));
+            }
+        }
+    }
+}
+
+/**
+ * Dedupe big guards into a per-eval value pool. A lowered group's
+ * enable guard (hundreds of SExpr nodes of FSM range checks) is
+ * attached to every assignment in the group, so the identical
+ * expression would be re-emitted — and re-evaluated — for every port
+ * the group drives. Instead, each distinct big guard gets a slot in
+ * the generated instance's `gv[]` array, computed once per eval by the
+ * statement of the first acyclic port that reads it; every later
+ * reader loads the slot. Topological order makes this sound: every
+ * reader's node is scheduled after all of the guard's input ports, so
+ * by first use the inputs are settled and cannot change for the rest
+ * of the eval. Cyclic (SCC) members keep inline re-evaluation — their
+ * inputs do change mid-loop, and the interpreter's fixed-point
+ * trajectory must be reproduced exactly.
+ */
+void
+buildGuardPool(Codegen &cg)
+{
+    std::unordered_map<std::string, uint32_t> by_text;
+    for (const SimSchedule::Node &node : cg.sched.nodes()) {
+        if (node.cyclic)
+            continue;
+        uint32_t p = cg.sched.memberPorts()[node.first];
+        if (cg.folded[p] || !cg.computed[p])
+            continue;
+        for (const SAssign *a : cg.drivers[p]) {
+            if (a->guard.nodes.size() <= guardInlineNodes)
+                continue;
+            std::string key = guardExpr(cg, a->guard);
+            auto [it, fresh] = by_text.emplace(
+                key, static_cast<uint32_t>(cg.guardPool.size()));
+            if (fresh) {
+                cg.guardPool.push_back(&a->guard);
+                cg.guardHome.push_back(p);
+            }
+            cg.guardIdOf.emplace(a, it->second);
+        }
+    }
+}
+
+/** Statements for one schedule node (one port, or one SCC loop). */
+std::string
+nodeStmt(const Codegen &cg, const SimSchedule::Node &node)
+{
+    const uint32_t *mem = cg.sched.memberPorts().data() + node.first;
+    if (!node.cyclic) {
+        uint32_t p = mem[0];
+        if (cg.folded[p] || !cg.computed[p])
+            return "";
+        std::string ps = std::to_string(p);
+        if (!needsBlock(cg, p))
+            return "  vals[" + ps + "] = " + portExpr(cg, p) + ";\n";
+        return "  {\n" + portValueStmts(cg, p, "v", "    ", false) +
+               "    vals[" + ps + "] = v;\n  }\n";
+    }
+
+    // Non-trivial SCC: bounded Gauss–Seidel fixed point over the
+    // members in schedule order, mirroring SimState::evalNode — same
+    // sweep order, same iteration bound, same diagnostic.
+    std::string ports;
+    for (uint32_t i = 0; i < node.count; ++i) {
+        if (!ports.empty())
+            ports += ", ";
+        ports += cg.prog.portName(mem[i]);
+    }
+    std::string s;
+    s += "  { // combinational SCC: " + ports + "\n";
+    s += "    bool ch = true;\n    int it = 0;\n";
+    s += "    while (ch) {\n";
+    s += "      if (++it > kMaxIters) {\n";
+    s += "        s->err = \"combinational cycle did not settle after 256 "
+         "iterations; ports on the cycle: " +
+         escapeLit(ports) + "\";\n        return;\n      }\n";
+    s += "      ch = false;\n";
+    for (uint32_t i = 0; i < node.count; ++i) {
+        uint32_t p = mem[i];
+        if (!cg.computed[p])
+            continue;
+        std::string ps = std::to_string(p);
+        s += "      {\n" + portValueStmts(cg, p, "nv", "        ", true);
+        s += "        if (nv != vals[" + ps + "]) { vals[" + ps +
+             "] = nv; ch = true; }\n      }\n";
+    }
+    s += "    }\n  }\n";
+    return s;
+}
+
+/** Clock-edge statements for one primitive (empty for comb cells). */
+std::string
+clockStmt(const Codegen &cg, const Prim &p)
+{
+    const std::string &t = p.cell->type().str();
+    const auto &params = p.cell->params();
+    auto w = [&params](size_t i) { return static_cast<Width>(params[i]); };
+    std::string s;
+
+    if (t == "std_reg") {
+        std::string r = std::to_string(p.reg);
+        s += "  if (vals[" + std::to_string(cg.pid(p, "write_en")) +
+             "] & 1) { *s->regs[" + r + "] = " +
+             trunc(cg.val(cg.pid(p, "in")), w(0)) + "; s->rdone[" + r +
+             "] = 1; } else s->rdone[" + r + "] = 0;\n";
+        return s;
+    }
+    if (t == "std_mem_d1" || t == "std_mem_d2") {
+        std::string m = std::to_string(p.mem);
+        std::string size = std::to_string(p.memSize) + "ull";
+        s += "  if (vals[" + std::to_string(cg.pid(p, "write_en")) +
+             "] & 1) {\n";
+        s += "    uint64_t a = " + memAddrExpr(cg, p, "addr0", "addr1") +
+             ";\n";
+        s += "    if (a >= " + size + ") {\n";
+        s += "      snprintf(s->errbuf, sizeof s->errbuf, \"memory " +
+             escapeLit(p.cell->name().str()) +
+             ": write to out-of-bounds address %llu (size " +
+             std::to_string(p.memSize) +
+             ")\", (unsigned long long)a);\n"
+             "      s->err = s->errbuf;\n      return;\n    }\n";
+        s += "    s->mems[" + m + "][a] = " +
+             trunc(cg.val(cg.pid(p, "write_data")), w(0)) + ";\n";
+        s += "    s->mdone[" + m + "] = 1;\n  } else s->mdone[" + m +
+             "] = 0;\n";
+        return s;
+    }
+    if (t == "std_mult_pipe" || t == "std_div_pipe") {
+        int64_t latency = t == "std_mult_pipe" ? multLatency : divLatency;
+        std::string busy = memberRef(p, "busy"), done = memberRef(p, "done");
+        std::string rem = memberRef(p, "rem"), a = memberRef(p, "a");
+        std::string b = memberRef(p, "b"), r0 = memberRef(p, "r0");
+        std::string finish;
+        if (t == "std_mult_pipe") {
+            finish = r0 + " = " + trunc("(" + a + " * " + b + ")", w(0)) +
+                     ";";
+        } else {
+            std::string r1 = memberRef(p, "r1");
+            finish = "if (" + b + " == 0) { " + r0 + " = " +
+                     hexLit(bitMask(w(0))) + "; " + r1 + " = " +
+                     trunc(a, w(0)) + "; } else { " + r0 + " = " +
+                     trunc("(" + a + " / " + b + ")", w(0)) + "; " + r1 +
+                     " = " + trunc("(" + a + " % " + b + ")", w(0)) + "; }";
+        }
+        s += "  " + done + " = 0;\n";
+        s += "  if (" + busy + ") {\n";
+        s += "    if (--" + rem + " == 0) { " + finish + " " + busy +
+             " = 0; " + done + " = 1; }\n";
+        s += "  } else if (vals[" + std::to_string(cg.pid(p, "go")) +
+             "] & 1) {\n";
+        s += "    " + a + " = " + cg.val(cg.pid(p, "left")) + "; " + b +
+             " = " + cg.val(cg.pid(p, "right")) + ";\n";
+        if (latency <= 1)
+            s += "    " + finish + " " + done + " = 1;\n";
+        else
+            s += "    " + busy + " = 1; " + rem + " = " +
+                 std::to_string(latency - 1) + ";\n";
+        s += "  }\n";
+        return s;
+    }
+    if (t == "std_sqrt") {
+        std::string busy = memberRef(p, "busy"), done = memberRef(p, "done");
+        std::string rem = memberRef(p, "rem"), op = memberRef(p, "a");
+        std::string r0 = memberRef(p, "r0");
+        s += "  " + done + " = 0;\n";
+        s += "  if (" + busy + ") {\n";
+        s += "    if (--" + rem + " == 0) { " + r0 + " = " +
+             trunc("cppsim_isqrt(" + op + ")", w(0)) + "; " + busy +
+             " = 0; " + done + " = 1; }\n";
+        s += "  } else if (vals[" + std::to_string(cg.pid(p, "go")) +
+             "] & 1) {\n";
+        s += "    " + op + " = " + cg.val(cg.pid(p, "in")) + ";\n";
+        s += "    " + busy + " = 1; " + rem + " = 1 + cppsim_bits_needed(" +
+             op + ") / 2;\n";
+        s += "  }\n";
+        return s;
+    }
+    return "";
+}
+
+/** Per-primitive members of the generated instance struct. */
+std::string
+stateMembers(const Codegen &cg)
+{
+    std::string s;
+    for (const Prim &p : cg.prims) {
+        const std::string &t = p.cell->type().str();
+        std::string pre = "p" + std::to_string(p.model) + "_";
+        if (t == "std_mult_pipe" || t == "std_div_pipe") {
+            s += "  uint64_t " + pre + "a, " + pre + "b, " + pre + "r0";
+            if (t == "std_div_pipe")
+                s += ", " + pre + "r1";
+            s += ";\n  int64_t " + pre + "rem;\n";
+            s += "  unsigned char " + pre + "busy, " + pre + "done;\n";
+        } else if (t == "std_sqrt") {
+            s += "  uint64_t " + pre + "a, " + pre + "r0;\n";
+            s += "  int64_t " + pre + "rem;\n";
+            s += "  unsigned char " + pre + "busy, " + pre + "done;\n";
+        }
+    }
+    return s;
+}
+
+/**
+ * Group statements into `void cppsim_<stem>_chunk<i>(...)` function
+ * definitions of at most `chunk` statements each (one schedule node or
+ * one primitive's clock block never splits). Chunking keeps any single
+ * function small enough that the host compiler's optimizer stays
+ * roughly linear on six-figure-statement designs, and gives the JIT
+ * driver natural seams for splitting the module into shards it can
+ * compile in parallel (the functions have external linkage; every
+ * shard sees the declarations in the common prologue).
+ */
+std::vector<std::string>
+buildChunks(const std::string &stem, const std::vector<std::string> &stmts,
+            size_t chunk)
+{
+    std::vector<std::string> fns;
+    size_t i = 0;
+    while (i < stmts.size()) {
+        std::string fn = "void cppsim_" + stem + "_chunk" +
+                         std::to_string(fns.size()) +
+                         "(CppsimInst *s, uint64_t *vals) {\n"
+                         "  (void)s; (void)vals;\n";
+        size_t end = std::min(stmts.size(), i + chunk);
+        size_t body = 0;
+        for (; i < end; ++i) {
+            // Byte cap too: several compiler passes are superlinear in
+            // function size, and one statement can be a multi-KB mux
+            // block — a count-only cap still produced functions the
+            // host compiler took minutes on. A lone oversized
+            // statement still becomes its own chunk.
+            if (body > 0 && body + stmts[i].size() > cppsimChunkBytes)
+                break;
+            body += stmts[i].size();
+            fn += stmts[i];
+        }
+        fn += "}\n";
+        fns.push_back(std::move(fn));
+    }
+    return fns;
+}
+
+std::string
+chunkDecls(const std::string &stem, size_t count)
+{
+    std::string s;
+    for (size_t i = 0; i < count; ++i) {
+        s += "void cppsim_" + stem + "_chunk" + std::to_string(i) +
+             "(CppsimInst *s, uint64_t *vals);\n";
+    }
+    return s;
+}
+
+void
+emitDispatcher(std::ostream &os, const std::string &stem, size_t count)
+{
+    os << "static void cppsim_" << stem
+       << "_all(CppsimInst *s, uint64_t *vals) {\n";
+    if (count == 0)
+        os << "  (void)s; (void)vals;\n";
+    for (size_t c = 0; c < count; ++c) {
+        os << "  cppsim_" << stem << "_chunk" << c << "(s, vals);\n";
+        os << "  if (s->err) return;\n";
+    }
+    os << "}\n";
+}
+
+} // namespace
+
+void
+emitCppSim(const SimProgram &prog, std::ostream &os)
+{
+    rejectGroups(prog.root());
+
+    Codegen cg(prog);
+
+    cg.drivers.assign(cg.numPorts, {});
+    prog.forEachAssignment([&](const SAssign &a, bool continuous) {
+        if (continuous)
+            cg.drivers[a.dst].push_back(&a);
+    });
+
+    collectPrims(cg);
+
+    cg.computed.assign(cg.numPorts, 0);
+    for (uint32_t p = 0; p < cg.numPorts; ++p) {
+        if (!cg.drivers[p].empty() || cg.sched.modelOf(p))
+            cg.computed[p] = 1;
+    }
+    foldConstants(cg);
+    buildGuardPool(cg);
+
+    // Statement lists come first: the prologue declares every chunk
+    // function, so their count must be known before anything is
+    // written. eval walks the whole netlist in topological schedule
+    // order; clock visits every stateful primitive in model order.
+    std::vector<std::string> evalStmts;
+    for (const SimSchedule::Node &node : cg.sched.nodes()) {
+        std::string s = nodeStmt(cg, node);
+        if (!s.empty())
+            evalStmts.push_back(std::move(s));
+    }
+    std::vector<std::string> clockStmts;
+    for (const Prim &p : cg.prims) {
+        std::string s = clockStmt(cg, p);
+        if (!s.empty())
+            clockStmts.push_back(std::move(s));
+    }
+    std::vector<std::string> evalFns =
+        buildChunks("eval", evalStmts, cppsimChunkStatements);
+    std::vector<std::string> clkFns =
+        buildChunks("clk", clockStmts, cppsimChunkStatements);
+
+    bool has_sqrt = false;
+    for (const Prim &p : cg.prims)
+        has_sqrt |= p.cell->type() == "std_sqrt";
+
+    // --- Common prologue. The JIT driver (sim/compiled.cc) replicates
+    // everything above the first shard marker into each shard it
+    // compiles in parallel, so the prologue holds only declarations
+    // and the (internal-linkage) constants — single definitions live
+    // in the tail segment.
+    os << "// Generated by the calyx 'cppsim' backend: compiled-simulation "
+          "module.\n";
+    os << "// Top component: " << prog.root().comp->name().str() << " ("
+       << cg.numPorts << " ports, " << cg.prims.size()
+       << " primitives). Do not edit.\n";
+    os << "// Lines matching '" << cppsimShardMarker
+       << "' are seams where the JIT driver may\n"
+          "// split this file into parallel-compiled shards; the file also "
+          "compiles\n"
+          "// as a single translation unit.\n";
+    os << "#include <cstdint>\n#include <cstdio>\n#include <cstdlib>\n"
+          "#include <cstring>\n\n";
+    os << "constexpr uint32_t kNumPorts = " << cg.numPorts << ";\n";
+    os << "constexpr uint32_t kNumRegs = " << cg.numRegs << ";\n";
+    os << "constexpr uint32_t kNumMems = " << cg.numMems << ";\n";
+    os << "constexpr uint32_t kNumGuards = " << cg.guardPool.size()
+       << ";\n";
+    os << "constexpr int kMaxIters = " << sim::maxCombPasses << ";\n\n";
+
+    os << "struct CppsimInst {\n";
+    os << "  uint64_t *regs[kNumRegs ? kNumRegs : 1];\n";
+    os << "  uint64_t *mems[kNumMems ? kNumMems : 1];\n";
+    os << "  unsigned char rdone[kNumRegs ? kNumRegs : 1];\n";
+    os << "  unsigned char mdone[kNumMems ? kNumMems : 1];\n";
+    os << "  uint64_t gv[kNumGuards ? kNumGuards : 1]; // guard pool\n";
+    os << stateMembers(cg);
+    os << "  const char *err;\n  char errbuf[192];\n};\n\n";
+
+    if (has_sqrt) {
+        os << "uint64_t cppsim_isqrt(uint64_t v);\n"
+              "int64_t cppsim_bits_needed(uint64_t v);\n";
+    }
+    os << chunkDecls("eval", evalFns.size());
+    os << chunkDecls("clk", clkFns.size());
+
+    // --- Shards: one chunk function per marker-delimited segment.
+    for (const std::string &fn : evalFns)
+        os << cppsimShardMarker << "\n" << fn;
+    for (const std::string &fn : clkFns)
+        os << cppsimShardMarker << "\n" << fn;
+
+    // --- Tail: single definitions, dispatchers, and the C ABI.
+    os << cppsimShardMarker << "\n";
+    if (has_sqrt) {
+        os << "uint64_t cppsim_isqrt(uint64_t v) {\n"
+              "  if (v == 0) return 0;\n"
+              "  uint64_t x = v, y = (x + 1) / 2;\n"
+              "  while (y < x) { x = y; y = (x + v / x) / 2; }\n"
+              "  return x;\n}\n";
+        os << "int64_t cppsim_bits_needed(uint64_t v) {\n"
+              "  int64_t n = 1;\n"
+              "  while (v >>= 1) ++n;\n"
+              "  return n;\n}\n\n";
+    }
+
+    os << "namespace {\n\n";
+
+    // Ports eval()/reset() write; forces must stay off these.
+    os << "const unsigned char kDriven[kNumPorts] = {\n";
+    for (uint32_t p = 0; p < cg.numPorts; ++p) {
+        os << (cg.computed[p] ? '1' : '0') << ',';
+        if (p % 32 == 31)
+            os << '\n';
+    }
+    os << "};\n\n";
+
+    if (cg.numMems > 0) {
+        os << "const uint64_t kMemSizes[kNumMems] = {";
+        bool first = true;
+        for (const Prim &p : cg.prims) {
+            if (p.mem < 0)
+                continue;
+            os << (first ? "" : ", ") << p.memSize << "ull";
+            first = false;
+        }
+        os << "};\n\n";
+    }
+
+    emitDispatcher(os, "eval", evalFns.size());
+    emitDispatcher(os, "clk", clkFns.size());
+    os << "\n";
+
+    os << "void cppsim_do_reset(CppsimInst *s, uint64_t *vals) {\n";
+    os << "  uint64_t *regs[kNumRegs ? kNumRegs : 1];\n";
+    os << "  uint64_t *mems[kNumMems ? kNumMems : 1];\n";
+    os << "  memcpy(regs, s->regs, sizeof regs);\n";
+    os << "  memcpy(mems, s->mems, sizeof mems);\n";
+    os << "  memset(s, 0, sizeof *s);\n";
+    os << "  memcpy(s->regs, regs, sizeof regs);\n";
+    os << "  memcpy(s->mems, mems, sizeof mems);\n";
+    os << "  // Constant-folded ports, written once instead of per eval.\n";
+    for (uint32_t p = 0; p < cg.numPorts; ++p) {
+        if (cg.folded[p])
+            os << "  vals[" << p << "] = " << hexLit(cg.foldedVal[p])
+               << ";\n";
+    }
+    os << "}\n\n";
+
+    os << "} // namespace\n\n";
+
+    os << "extern \"C\" {\n";
+    os << "uint32_t cppsim_abi() { return " << cppsimAbiVersion << "; }\n";
+    os << "uint32_t cppsim_num_ports() { return kNumPorts; }\n";
+    os << "uint32_t cppsim_num_regs() { return kNumRegs; }\n";
+    os << "uint32_t cppsim_num_mems() { return kNumMems; }\n";
+    os << "uint64_t cppsim_mem_size(uint32_t i) {\n";
+    if (cg.numMems > 0)
+        os << "  return i < kNumMems ? kMemSizes[i] : 0;\n";
+    else
+        os << "  (void)i;\n  return 0;\n";
+    os << "}\n";
+    os << "const unsigned char *cppsim_driven() { return kDriven; }\n";
+    os << "const char *cppsim_top() { return \""
+       << escapeLit(prog.root().comp->name().str()) << "\"; }\n";
+    os << "void *cppsim_new() { return calloc(1, sizeof(CppsimInst)); }\n";
+    os << "void cppsim_free(void *s) { free(s); }\n";
+    os << "void cppsim_bind(void *vs, uint64_t **regs, uint64_t **mems) {\n"
+          "  CppsimInst *s = (CppsimInst *)vs;\n"
+          "  for (uint32_t i = 0; i < kNumRegs; ++i) s->regs[i] = regs[i];\n"
+          "  for (uint32_t i = 0; i < kNumMems; ++i) s->mems[i] = mems[i];\n"
+          "}\n";
+    os << "void cppsim_reset(void *s, uint64_t *vals) {\n"
+          "  cppsim_do_reset((CppsimInst *)s, vals);\n}\n";
+    os << "void cppsim_eval(void *s, uint64_t *vals) {\n"
+          "  if (((CppsimInst *)s)->err) return;\n"
+          "  cppsim_eval_all((CppsimInst *)s, vals);\n}\n";
+    os << "void cppsim_clock(void *s, uint64_t *vals) {\n"
+          "  if (((CppsimInst *)s)->err) return;\n"
+          "  cppsim_clk_all((CppsimInst *)s, vals);\n}\n";
+    os << "const char *cppsim_error(void *s) { "
+          "return ((CppsimInst *)s)->err; }\n";
+    os << "} // extern \"C\"\n";
+}
+
+void
+CppSimBackend::emit(const Context &ctx, std::ostream &os) const
+{
+    sim::SimProgram prog(ctx, ctx.entrypoint());
+    emitCppSim(prog, os);
+}
+
+namespace {
+
+BackendRegistration<CppSimBackend> reg{
+    "cppsim",
+    "compiled-simulation C++ module (JIT input for --sim-engine=compiled)",
+    ".cc", true};
+
+} // namespace
+
+} // namespace calyx::emit

@@ -1,0 +1,453 @@
+#include "sim/compiled.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <dlfcn.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "emit/cppsim.h"
+#include "sim/env.h"
+#include "support/error.h"
+#include "support/hash.h"
+#include "support/subprocess.h"
+
+namespace calyx::sim {
+
+namespace {
+
+/** Host C++ compiler: $CXX, else the first common name on PATH. */
+std::string
+hostCompiler()
+{
+    if (const char *cxx = std::getenv("CXX"); cxx && *cxx) {
+        std::string found = findProgram(cxx);
+        if (!found.empty())
+            return found;
+    }
+    for (const char *name : {"c++", "g++", "clang++"}) {
+        std::string found = findProgram(name);
+        if (!found.empty())
+            return found;
+    }
+    return "";
+}
+
+/**
+ * Flags for the host compile. $CALYX_CPPSIM_CXXFLAGS overrides wholesale;
+ * the default scales the optimization level down as the generated source
+ * grows — on big netlists the optimizer dominates JIT latency while the
+ * straight-line code barely benefits, so trading a few x of eval speed
+ * for minutes of compile time is the right default (the same knob
+ * verilator exposes as -O0/-O3).
+ */
+std::vector<std::string>
+compileFlags(size_t source_bytes)
+{
+    std::string flags;
+    if (const char *env = std::getenv("CALYX_CPPSIM_CXXFLAGS"); env && *env) {
+        flags = env;
+    } else {
+        const char *opt = source_bytes < 2u << 20   ? "-O2"
+                          : source_bytes < 8u << 20 ? "-O1"
+                                                    : "-O0";
+        flags = std::string(opt) + " -shared -fPIC -std=c++17";
+    }
+    std::vector<std::string> out;
+    std::istringstream is(flags);
+    std::string tok;
+    while (is >> tok)
+        out.push_back(tok);
+    return out;
+}
+
+bool
+makeDirs(const std::string &path)
+{
+    // mkdir -p: create each prefix, tolerating already-exists.
+    for (size_t i = 1; i <= path.size(); ++i) {
+        if (i != path.size() && path[i] != '/')
+            continue;
+        std::string prefix = path.substr(0, i);
+        if (mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST)
+            return false;
+    }
+    return true;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+bool
+writeFile(const std::string &path, const std::string &data)
+{
+    FILE *f = fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    size_t n = fwrite(data.data(), 1, data.size(), f);
+    bool ok = n == data.size() && fclose(f) == 0;
+    if (!ok)
+        unlink(path.c_str());
+    return ok;
+}
+
+/**
+ * Process-wide registry of loaded modules by source digest. weak_ptr
+ * so a module unloads (dlclose) once every SimState using it is gone,
+ * while concurrent users share one handle.
+ */
+std::mutex &
+registryMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::map<std::string, std::weak_ptr<CompiledModule>> &
+registry()
+{
+    static std::map<std::string, std::weak_ptr<CompiledModule>> r;
+    return r;
+}
+
+/**
+ * Build shard translation units from the generated source: the common
+ * prologue (everything before the first marker line, declarations only)
+ * plus a contiguous, byte-balanced run of marker-delimited segments per
+ * shard. At most `groups` shards come back — one per hardware thread is
+ * the useful maximum, because every extra shard re-parses the prologue
+ * (which grows with design size: the instance struct declares per-
+ * primitive state) for no extra parallelism. A source without markers,
+ * or groups <= 1, comes back as one entry.
+ */
+std::vector<std::string>
+splitShards(const std::string &source, size_t groups)
+{
+    const std::string marker = std::string(emit::cppsimShardMarker) + "\n";
+    std::vector<size_t> cuts;
+    for (size_t pos = source.find(marker); pos != std::string::npos;
+         pos = source.find(marker, pos + marker.size())) {
+        // Only match whole lines: start-of-file or right after '\n'.
+        if (pos == 0 || source[pos - 1] == '\n')
+            cuts.push_back(pos);
+    }
+    if (cuts.empty() || groups <= 1)
+        return {source};
+    groups = std::min(groups, cuts.size());
+    std::string prologue = source.substr(0, cuts[0]);
+
+    // Greedy contiguous packing toward an even byte split.
+    size_t total = source.size() - cuts[0];
+    size_t target = (total + groups - 1) / groups;
+    std::vector<std::string> shards;
+    std::string body;
+    for (size_t i = 0; i < cuts.size(); ++i) {
+        size_t begin = cuts[i];
+        size_t end = i + 1 < cuts.size() ? cuts[i + 1] : source.size();
+        body += source.substr(begin, end - begin);
+        bool last = i + 1 == cuts.size();
+        if (last || (body.size() >= target &&
+                     shards.size() + 1 < groups)) {
+            shards.push_back(prologue + body);
+            body.clear();
+        }
+    }
+    return shards;
+}
+
+/** Sources below this size build faster as one translation unit than
+ * as parallel shards (compiler startup dominates). */
+constexpr size_t shardSourceBytes = 256 * 1024;
+
+/** Compile `source` into the shared object `tmp`. Sources build as a
+ * single translation unit unless the host has multiple hardware
+ * threads and the source is big and marker-split, in which case one
+ * byte-balanced object per thread is compiled in parallel, then
+ * linked. fatal() on any failure. */
+void
+compileSource(const std::string &cxx, const std::string &source,
+              const std::string &cc, const std::string &tmp)
+{
+    std::vector<std::string> flags = compileFlags(source.size());
+    size_t hw = std::thread::hardware_concurrency();
+    std::vector<std::string> shards =
+        source.size() < shardSourceBytes
+            ? std::vector<std::string>{source}
+            : splitShards(source, hw ? hw : 1);
+
+    if (shards.size() <= 1) {
+        std::vector<std::string> argv{cxx};
+        for (const std::string &f : flags)
+            argv.push_back(f);
+        argv.insert(argv.end(), {"-o", tmp, cc});
+        ProcessResult res = runProcess(argv);
+        if (!res.ok()) {
+            unlink(tmp.c_str());
+            fatal("compiled engine: host compile failed (exit ",
+                  res.exitCode, "):\n  ", cxx, " ... -o ", tmp, " ", cc,
+                  "\n", res.output);
+        }
+        return;
+    }
+
+    // Per-object flags: everything but the link-only -shared, plus -c.
+    std::vector<std::string> objFlags;
+    for (const std::string &f : flags) {
+        if (f != "-shared")
+            objFlags.push_back(f);
+    }
+    objFlags.push_back("-c");
+
+    std::string stem = tmp + ".shard";
+    std::vector<std::string> objs(shards.size());
+    auto cleanup = [&] {
+        for (size_t i = 0; i < shards.size(); ++i) {
+            unlink((stem + std::to_string(i) + ".cc").c_str());
+            unlink((stem + std::to_string(i) + ".o").c_str());
+        }
+    };
+
+    size_t workers = std::min(shards.size(), hw ? hw : size_t{2});
+    std::atomic<size_t> next{0};
+    std::mutex failMutex;
+    std::string failure;
+    auto work = [&] {
+        for (size_t i = next.fetch_add(1); i < shards.size();
+             i = next.fetch_add(1)) {
+            std::string src = stem + std::to_string(i) + ".cc";
+            std::string obj = stem + std::to_string(i) + ".o";
+            objs[i] = obj;
+            if (!writeFile(src, shards[i])) {
+                std::lock_guard<std::mutex> lock(failMutex);
+                if (failure.empty())
+                    failure = "cannot write " + src;
+                return;
+            }
+            std::vector<std::string> argv{cxx};
+            for (const std::string &f : objFlags)
+                argv.push_back(f);
+            argv.insert(argv.end(), {"-o", obj, src});
+            ProcessResult res = runProcess(argv);
+            if (!res.ok()) {
+                std::lock_guard<std::mutex> lock(failMutex);
+                if (failure.empty()) {
+                    failure = "shard compile failed (exit " +
+                              std::to_string(res.exitCode) + "): " + src +
+                              "\n" + res.output;
+                }
+                return;
+            }
+        }
+    };
+    std::vector<std::thread> pool;
+    for (size_t w = 0; w < workers; ++w)
+        pool.emplace_back(work);
+    for (std::thread &t : pool)
+        t.join();
+    if (!failure.empty()) {
+        cleanup();
+        fatal("compiled engine: ", failure);
+    }
+
+    std::vector<std::string> argv{cxx};
+    for (const std::string &f : flags)
+        argv.push_back(f);
+    argv.insert(argv.end(), {"-o", tmp});
+    argv.insert(argv.end(), objs.begin(), objs.end());
+    ProcessResult res = runProcess(argv);
+    cleanup();
+    if (!res.ok()) {
+        unlink(tmp.c_str());
+        fatal("compiled engine: shard link failed (exit ", res.exitCode,
+              "):\n  ", cxx, " ... -o ", tmp, "\n", res.output);
+    }
+}
+
+template <typename Fn>
+Fn
+resolveSym(void *handle, const char *name, const std::string &so)
+{
+    void *sym = dlsym(handle, name);
+    if (!sym) {
+        fatal("compiled engine: symbol ", name, " missing from ", so,
+              " (stale or foreign cache object; remove it and rerun)");
+    }
+    return reinterpret_cast<Fn>(sym);
+}
+
+} // namespace
+
+std::string
+compiledCacheDir()
+{
+    if (const char *dir = std::getenv("CALYX_CPPSIM_CACHE"); dir && *dir)
+        return dir;
+    if (const char *xdg = std::getenv("XDG_CACHE_HOME"); xdg && *xdg)
+        return std::string(xdg) + "/calyx-cppsim";
+    if (const char *home = std::getenv("HOME"); home && *home)
+        return std::string(home) + "/.cache/calyx-cppsim";
+    return "/tmp/calyx-cppsim";
+}
+
+std::string
+compiledEngineUnavailableReason()
+{
+    if (hostCompiler().empty()) {
+        return "no host C++ compiler found (set $CXX or install one of "
+               "c++/g++/clang++)";
+    }
+    return "";
+}
+
+std::shared_ptr<CompiledModule>
+CompiledModule::load(const SimProgram &prog)
+{
+    std::ostringstream src;
+    emit::emitCppSim(prog, src);
+    std::string source = src.str();
+    std::string digest = contentDigest(source);
+
+    std::lock_guard<std::mutex> lock(registryMutex());
+    if (auto existing = registry()[digest].lock())
+        return existing;
+
+    std::string dir = compiledCacheDir();
+    if (!makeDirs(dir)) {
+        fatal("compiled engine: cannot create cache directory ", dir, ": ",
+              std::strerror(errno));
+    }
+    std::string so = dir + "/" + digest + ".so";
+
+    auto mod = std::shared_ptr<CompiledModule>(new CompiledModule);
+    mod->soPath = so;
+    mod->cached = fileExists(so);
+
+    if (!mod->cached) {
+        std::string cxx = hostCompiler();
+        if (cxx.empty())
+            fatal("compiled engine: ", compiledEngineUnavailableReason());
+
+        std::string cc = dir + "/" + digest + ".cc";
+        if (!writeFile(cc, source))
+            fatal("compiled engine: cannot write ", cc);
+
+        // Compile into a pid-unique temporary, then atomically rename:
+        // concurrent builds of the same program race benignly.
+        std::string tmp = so + ".tmp." + std::to_string(getpid());
+        compileSource(cxx, source, cc, tmp);
+        if (rename(tmp.c_str(), so.c_str()) != 0) {
+            unlink(tmp.c_str());
+            fatal("compiled engine: cannot move ", tmp, " to ", so, ": ",
+                  std::strerror(errno));
+        }
+    }
+
+    mod->handle = dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (!mod->handle)
+        fatal("compiled engine: dlopen ", so, ": ", dlerror());
+
+    auto abi = resolveSym<uint32_t (*)()>(mod->handle, "cppsim_abi", so);
+    if (abi() != emit::cppsimAbiVersion) {
+        fatal("compiled engine: ", so, " has ABI version ", abi(),
+              ", expected ", emit::cppsimAbiVersion,
+              " (stale cache object; remove it and rerun)");
+    }
+
+    mod->ports = resolveSym<uint32_t (*)()>(mod->handle,
+                                            "cppsim_num_ports", so)();
+    mod->regs = resolveSym<uint32_t (*)()>(mod->handle, "cppsim_num_regs",
+                                           so)();
+    mod->mems = resolveSym<uint32_t (*)()>(mod->handle, "cppsim_num_mems",
+                                           so)();
+    mod->drivenMask = resolveSym<const unsigned char *(*)()>(
+        mod->handle, "cppsim_driven", so)();
+    mod->fnNew = resolveSym<void *(*)()>(mod->handle, "cppsim_new", so);
+    mod->fnFree = resolveSym<void (*)(void *)>(mod->handle, "cppsim_free",
+                                               so);
+    mod->fnBind = resolveSym<void (*)(void *, uint64_t **, uint64_t **)>(
+        mod->handle, "cppsim_bind", so);
+    mod->fnReset = resolveSym<void (*)(void *, uint64_t *)>(
+        mod->handle, "cppsim_reset", so);
+    mod->fnEval = resolveSym<void (*)(void *, uint64_t *)>(
+        mod->handle, "cppsim_eval", so);
+    mod->fnClock = resolveSym<void (*)(void *, uint64_t *)>(
+        mod->handle, "cppsim_clock", so);
+    mod->fnError = resolveSym<const char *(*)(void *)>(
+        mod->handle, "cppsim_error", so);
+
+    if (mod->ports != prog.numPorts()) {
+        fatal("compiled engine: ", so, " was built for ", mod->ports,
+              " ports but the program has ", prog.numPorts(),
+              " (hash collision or stale cache; remove it and rerun)");
+    }
+
+    registry()[digest] = mod;
+    return mod;
+}
+
+CompiledModule::~CompiledModule()
+{
+    if (handle)
+        dlclose(handle);
+}
+
+void *
+CompiledModule::newInstance() const
+{
+    void *inst = fnNew();
+    if (!inst)
+        fatal("compiled engine: instance allocation failed");
+    return inst;
+}
+
+void
+CompiledModule::freeInstance(void *inst) const
+{
+    if (inst)
+        fnFree(inst);
+}
+
+void
+CompiledModule::bind(void *inst, uint64_t **reg_storage,
+                     uint64_t **mem_storage) const
+{
+    fnBind(inst, reg_storage, mem_storage);
+}
+
+void
+CompiledModule::reset(void *inst, uint64_t *vals) const
+{
+    fnReset(inst, vals);
+}
+
+void
+CompiledModule::eval(void *inst, uint64_t *vals) const
+{
+    fnEval(inst, vals);
+}
+
+void
+CompiledModule::clock(void *inst, uint64_t *vals) const
+{
+    fnClock(inst, vals);
+}
+
+const char *
+CompiledModule::error(void *inst) const
+{
+    return fnError(inst);
+}
+
+} // namespace calyx::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "sim/compiled.h"
 #include "sim/schedule.h"
 #include "support/error.h"
 #include "support/text.h"
@@ -22,21 +23,59 @@ archState(const SimProgram &prog)
     return state;
 }
 
+const std::vector<EngineInfo> &
+engineInfos()
+{
+    static const std::vector<EngineInfo> infos = {
+        {Engine::Jacobi, "jacobi",
+         "reference fixed-point engine (the oracle)"},
+        {Engine::Levelized, "levelized",
+         "statically scheduled event-driven engine"},
+        {Engine::Compiled, "compiled",
+         "codegen the schedule to C++ and JIT-build it "
+         "(needs a host compiler)"},
+    };
+    return infos;
+}
+
+std::vector<std::string>
+engineNames()
+{
+    std::vector<std::string> names;
+    names.reserve(engineInfos().size());
+    for (const EngineInfo &info : engineInfos())
+        names.push_back(info.name);
+    return names;
+}
+
 const char *
 engineName(Engine engine)
 {
-    return engine == Engine::Jacobi ? "jacobi" : "levelized";
+    for (const EngineInfo &info : engineInfos()) {
+        if (info.engine == engine)
+            return info.name;
+    }
+    panic("engineName: bad engine");
 }
 
 Engine
 parseEngine(const std::string &name)
 {
-    if (name == "jacobi")
-        return Engine::Jacobi;
-    if (name == "levelized")
-        return Engine::Levelized;
-    fatal("unknown simulation engine '", name,
-          "' (options: jacobi, levelized)");
+    std::string options;
+    for (const EngineInfo &info : engineInfos()) {
+        if (name == info.name)
+            return info.engine;
+        if (!options.empty())
+            options += ", ";
+        options += info.name;
+    }
+    std::string close = suggestClosest(name, engineNames());
+    if (close.empty()) {
+        fatal("unknown simulation engine '", name, "' (options: ", options,
+              ")");
+    }
+    fatal("unknown simulation engine '", name, "' (did you mean '", close,
+          "'? options: ", options, ")");
 }
 
 bool
@@ -257,6 +296,14 @@ SimProgram::schedule() const
     return *sched;
 }
 
+std::shared_ptr<CompiledModule>
+SimProgram::compiledModule() const
+{
+    if (!compiled)
+        compiled = CompiledModule::load(*this);
+    return compiled;
+}
+
 void
 SimProgram::buildInstance(Instance &inst, const Component &comp)
 {
@@ -473,6 +520,12 @@ SimState::SimState(const SimProgram &prog, Engine engine)
     driver.assign(prog.numPorts(), -1);
 }
 
+SimState::~SimState()
+{
+    if (compiledInst)
+        compiledMod->freeInstance(compiledInst);
+}
+
 void
 SimState::reset()
 {
@@ -487,6 +540,10 @@ SimState::reset()
     activationCalls.clear();
     prevActivationCalls.clear();
     prevForces.clear();
+    // Zero the generated module's internal state (done pulses, pipe
+    // countdowns) and re-write constant-folded port values.
+    if (compiledInst)
+        compiledMod->reset(compiledInst, vals.data());
 }
 
 void
@@ -521,7 +578,100 @@ SimState::force(uint32_t port, uint64_t value)
 int
 SimState::comb()
 {
-    return engineVal == Engine::Jacobi ? combJacobi() : combLevelized();
+    switch (engineVal) {
+      case Engine::Jacobi:
+        return combJacobi();
+      case Engine::Levelized:
+        return combLevelized();
+      case Engine::Compiled:
+        return combCompiled();
+    }
+    panic("comb: bad engine");
+}
+
+void
+SimState::ensureCompiled()
+{
+    if (compiledInst)
+        return;
+    compiledMod = prog->compiledModule();
+
+    // Bind the generated instance's register and memory state to the
+    // PrimModel objects' own storage (model order on both sides), so
+    // archState(), registerValue(), and harness memory pokes observe
+    // the compiled run exactly as they observe an interpreted one.
+    std::vector<uint64_t *> regStorage, memStorage;
+    for (const auto &m : prog->models()) {
+        if (uint64_t *r = m->registerStorage())
+            regStorage.push_back(r);
+        if (std::vector<uint64_t> *mem = m->memory())
+            memStorage.push_back(mem->data());
+    }
+    if (regStorage.size() != compiledMod->numRegs() ||
+        memStorage.size() != compiledMod->numMems()) {
+        fatal("compiled engine: module state shape (",
+              compiledMod->numRegs(), " regs, ", compiledMod->numMems(),
+              " mems) does not match the program (", regStorage.size(),
+              " regs, ", memStorage.size(), " mems)");
+    }
+
+    compiledInst = compiledMod->newInstance();
+    compiledMod->bind(compiledInst, regStorage.data(), memStorage.data());
+    compiledMod->reset(compiledInst, vals.data());
+
+    continuousCount = 0;
+    prog->forEachAssignment([&](const SAssign &, bool continuous) {
+        if (continuous)
+            ++continuousCount;
+    });
+}
+
+void
+SimState::checkCompiledError()
+{
+    if (const char *err = compiledMod->error(compiledInst))
+        fatal(err);
+}
+
+int
+SimState::combCompiled()
+{
+    ensureCompiled();
+
+    // The generated eval() hard-codes every continuous assignment as a
+    // potential driver, so the cycle's activation set must be exactly
+    // the full continuous set (what CycleSim activates). Anything else
+    // (e.g. the interpreter's per-group sets) needs an interpreting
+    // engine.
+    size_t activated = 0;
+    for (const std::vector<SAssign> *vec : activationCalls)
+        activated += vec->size();
+    if (activated != continuousCount) {
+        fatal("compiled engine: cycle activated ", activated,
+              " assignments but the program has ", continuousCount,
+              " continuous ones; group-level activation requires "
+              "--sim-engine=jacobi or levelized");
+    }
+
+    // Forces only exist for ports eval() does not compute (the cycle
+    // driver's top-level go). A force that stops being applied reverts
+    // to the undriven default of zero, matching evalPort().
+    const unsigned char *driven = compiledMod->driven();
+    for (const auto &[port, value] : prevForces) {
+        if (!driven[port])
+            vals[port] = 0;
+    }
+    for (const auto &[port, value] : forces) {
+        if (driven[port]) {
+            fatal("compiled engine: cannot force computed port ",
+                  prog->portName(port));
+        }
+        vals[port] = value;
+    }
+
+    compiledMod->eval(compiledInst, vals.data());
+    checkCompiledError();
+    return 1;
 }
 
 int
@@ -759,6 +909,15 @@ SimState::combLevelized()
 void
 SimState::clock()
 {
+    if (engineVal == Engine::Compiled) {
+        // The generated clock code advances every stateful primitive
+        // (registers and memories through the bound model storage);
+        // calling the models' clock() too would double-advance them.
+        ensureCompiled();
+        compiledMod->clock(compiledInst, vals.data());
+        checkCompiledError();
+        return;
+    }
     for (const auto &m : prog->models())
         m->clock(vals.data());
     if (engineVal == Engine::Levelized && sched) {

@@ -16,6 +16,7 @@
 namespace calyx::sim {
 
 class SimSchedule;
+class CompiledModule;
 
 /**
  * Combinational evaluation engine selection (see docs/simulation.md).
@@ -28,13 +29,33 @@ class SimSchedule;
  *    dependency graph over all potential drivers is SCC-condensed and
  *    topologically ordered once per program; each cycle walks only the
  *    dirty cone of that schedule.
+ *  - Compiled: verilator-style compiled simulation. The levelized
+ *    schedule is code-generated as straight-line C++ (emit/cppsim.h),
+ *    built with the host toolchain, and dlopen()ed (sim/compiled.h).
+ *    Requires fully-lowered programs and a host C++ compiler.
  */
-enum class Engine { Jacobi, Levelized };
+enum class Engine { Jacobi, Levelized, Compiled };
 
-/** "jacobi" / "levelized". */
+/** Registry row for one engine: drives parsing, benches, and docs. */
+struct EngineInfo
+{
+    Engine engine;
+    const char *name;
+    const char *description;
+};
+
+/** Every engine, in declaration order. The single source of truth the
+ * parser, the bench harness, and the tests enumerate. */
+const std::vector<EngineInfo> &engineInfos();
+
+/** All engine names, in declaration order. */
+std::vector<std::string> engineNames();
+
+/** "jacobi" / "levelized" / "compiled". */
 const char *engineName(Engine engine);
 
-/** Parse an engine name; fatal() with the valid options on a miss. */
+/** Parse an engine name; fatal() with the valid options and a
+ * did-you-mean suggestion on a miss. */
 Engine parseEngine(const std::string &name);
 
 /**
@@ -173,6 +194,15 @@ class SimProgram
      */
     const SimSchedule &schedule() const;
 
+    /**
+     * The JIT-compiled simulation module for this program, loaded on
+     * first use and cached (sim/compiled.h), so every SimState running
+     * --sim-engine=compiled over this program shares one module and
+     * codegen happens once. fatal() like schedule() on rejection, plus
+     * on a missing host toolchain or a failed host compile.
+     */
+    std::shared_ptr<CompiledModule> compiledModule() const;
+
     const Context &context() const { return *ctx; }
 
   private:
@@ -192,6 +222,7 @@ class SimProgram
     std::unordered_map<Symbol, PrimModel *> modelIndex;
     std::vector<std::string> assignDescs;
     mutable std::unique_ptr<SimSchedule> sched; ///< Lazily built.
+    mutable std::shared_ptr<CompiledModule> compiled; ///< Lazily loaded.
 };
 
 /**
@@ -205,6 +236,10 @@ class SimState
   public:
     explicit SimState(const SimProgram &prog,
                       Engine engine = Engine::Levelized);
+    ~SimState();
+
+    SimState(const SimState &) = delete;
+    SimState &operator=(const SimState &) = delete;
 
     /** Reset all models and values. */
     void reset();
@@ -237,6 +272,13 @@ class SimState
   private:
     int combJacobi();
     int combLevelized();
+    int combCompiled();
+
+    /** Load/bind the generated module on the first compiled comb(). */
+    void ensureCompiled();
+
+    /** fatal() with the module's sticky runtime error, if any. */
+    void checkCompiledError();
 
     /** Settled value of one port under driver priority; see evalPort(). */
     uint64_t evalPort(uint32_t port, bool check_conflicts);
@@ -280,6 +322,11 @@ class SimState
                         std::greater<uint32_t>> queue;
     std::vector<uint8_t> inQueue;     ///< Per schedule node.
     std::vector<uint8_t> portChanged; ///< Scratch for cyclic nodes.
+
+    // --- Compiled engine state --------------------------------------
+    std::shared_ptr<CompiledModule> compiledMod; ///< Shared per digest.
+    void *compiledInst = nullptr; ///< This state's generated instance.
+    size_t continuousCount = 0;   ///< Total continuous assignments.
 };
 
 /** Maximum Jacobi passes / local SCC iterations before giving up. */

@@ -39,6 +39,14 @@ struct Interp::InstanceExec
 Interp::Interp(const SimProgram &prog, Engine engine)
     : prog(&prog), stateVal(prog, engine)
 {
+    if (engine == Engine::Compiled) {
+        // The interpreter activates per-group assignment sets and
+        // forces group holes cycle by cycle; the generated module
+        // hard-codes the full continuous set. Only lowered programs
+        // (cycle_sim.h) can run compiled.
+        fatal("the control interpreter cannot use the compiled engine; "
+              "lower the program first or pick jacobi/levelized");
+    }
     for (const auto &sub : prog.root().subs)
         gatherInstances(*sub);
 }

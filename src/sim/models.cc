@@ -211,6 +211,7 @@ class RegModel final : public PrimModel
     {
         value = truncate(v, width);
     }
+    uint64_t *registerStorage() override { return &value; }
 
     /// `in`/`write_en` are sampled only at the clock edge: no comb edges.
     ModelDeps

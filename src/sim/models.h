@@ -79,6 +79,15 @@ class PrimModel
 
     /** Overwrite a register's value (test/bench initialization). */
     virtual void setRegisterValue(uint64_t) {}
+
+    /**
+     * Direct pointer to a register primitive's value storage (null for
+     * everything else). The compiled engine (sim/compiled.h) binds
+     * generated clock code to this address so register state stays
+     * shared with the model object — archState(), registerValue(), and
+     * harness pokes keep working across engines.
+     */
+    virtual uint64_t *registerStorage() { return nullptr; }
 };
 
 /** Resolves a port name of the modeled cell to its flat port id. */

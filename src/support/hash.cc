@@ -1,0 +1,48 @@
+#include "support/hash.h"
+
+#include <cstdio>
+
+namespace calyx {
+
+Hash128
+contentHash(const std::string &data)
+{
+    // Two FNV-1a streams with distinct offsets/primes; 128 combined
+    // bits make accidental collisions between generated sources
+    // astronomically unlikely.
+    uint64_t a = 0xcbf29ce484222325ull;
+    uint64_t b = 0x9e3779b97f4a7c15ull;
+    for (unsigned char c : data) {
+        a = (a ^ c) * 0x100000001b3ull;
+        b = (b ^ c) * 0x00000100000001b5ull;
+        b ^= b >> 29;
+    }
+    // Final avalanche so short inputs still spread across all bits.
+    auto mix = [](uint64_t v) {
+        v ^= v >> 33;
+        v *= 0xff51afd7ed558ccdull;
+        v ^= v >> 33;
+        v *= 0xc4ceb9fe1a85ec53ull;
+        v ^= v >> 33;
+        return v;
+    };
+    return {mix(a), mix(b ^ a)};
+}
+
+std::string
+hexDigest(const Hash128 &h)
+{
+    char buf[33];
+    std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                  static_cast<unsigned long long>(h.hi),
+                  static_cast<unsigned long long>(h.lo));
+    return buf;
+}
+
+std::string
+contentDigest(const std::string &data)
+{
+    return hexDigest(contentHash(data));
+}
+
+} // namespace calyx

@@ -1,0 +1,37 @@
+#ifndef CALYX_SUPPORT_HASH_H
+#define CALYX_SUPPORT_HASH_H
+
+#include <cstdint>
+#include <string>
+
+namespace calyx {
+
+/**
+ * 128-bit content hash (two independent FNV-1a variants), used to key
+ * content-addressed caches such as the compiled-simulation module cache
+ * (src/sim/compiled.h). Not cryptographic: the goal is that two
+ * different generated sources virtually never share a cache slot, not
+ * resistance to adversarial collisions.
+ */
+struct Hash128
+{
+    uint64_t lo = 0, hi = 0;
+
+    bool operator==(const Hash128 &o) const
+    {
+        return lo == o.lo && hi == o.hi;
+    }
+};
+
+/** Hash an arbitrary byte string. */
+Hash128 contentHash(const std::string &data);
+
+/** 32 lowercase hex digits, suitable as a cache file stem. */
+std::string hexDigest(const Hash128 &h);
+
+/** contentHash + hexDigest in one step. */
+std::string contentDigest(const std::string &data);
+
+} // namespace calyx
+
+#endif // CALYX_SUPPORT_HASH_H

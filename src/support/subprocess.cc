@@ -1,0 +1,111 @@
+#include "support/subprocess.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "support/error.h"
+
+namespace calyx {
+
+ProcessResult
+runProcess(const std::vector<std::string> &argv)
+{
+    if (argv.empty())
+        fatal("runProcess: empty argv");
+
+    int pipefd[2];
+    if (pipe(pipefd) != 0)
+        fatal("runProcess: pipe failed: ", std::strerror(errno));
+
+    pid_t pid = fork();
+    if (pid < 0) {
+        close(pipefd[0]);
+        close(pipefd[1]);
+        fatal("runProcess: fork failed: ", std::strerror(errno));
+    }
+
+    if (pid == 0) {
+        // Child: funnel stdout + stderr into the pipe and exec.
+        dup2(pipefd[1], STDOUT_FILENO);
+        dup2(pipefd[1], STDERR_FILENO);
+        close(pipefd[0]);
+        close(pipefd[1]);
+        std::vector<char *> cargv;
+        cargv.reserve(argv.size() + 1);
+        for (const std::string &a : argv)
+            cargv.push_back(const_cast<char *>(a.c_str()));
+        cargv.push_back(nullptr);
+        execvp(cargv[0], cargv.data());
+        // Exec failed; report through the pipe and use the shell's
+        // conventional "command not found" code.
+        std::string msg = "exec " + argv[0] + ": " + std::strerror(errno) +
+                          "\n";
+        ssize_t ignored = write(STDERR_FILENO, msg.data(), msg.size());
+        (void)ignored;
+        _exit(127);
+    }
+
+    close(pipefd[1]);
+    ProcessResult result;
+    char buf[4096];
+    ssize_t n;
+    while ((n = read(pipefd[0], buf, sizeof buf)) > 0)
+        result.output.append(buf, static_cast<size_t>(n));
+    close(pipefd[0]);
+
+    int status = 0;
+    if (waitpid(pid, &status, 0) < 0)
+        fatal("runProcess: waitpid failed: ", std::strerror(errno));
+    if (WIFEXITED(status))
+        result.exitCode = WEXITSTATUS(status);
+    else
+        result.exitCode = -1;
+    return result;
+}
+
+namespace {
+
+bool
+isExecutableFile(const std::string &path)
+{
+    struct stat st;
+    return stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode) &&
+           access(path.c_str(), X_OK) == 0;
+}
+
+} // namespace
+
+std::string
+findProgram(const std::string &name)
+{
+    if (name.empty())
+        return "";
+    if (name.find('/') != std::string::npos)
+        return isExecutableFile(name) ? name : "";
+
+    const char *path = std::getenv("PATH");
+    if (!path)
+        return "";
+    std::string dirs = path;
+    size_t start = 0;
+    while (start <= dirs.size()) {
+        size_t end = dirs.find(':', start);
+        if (end == std::string::npos)
+            end = dirs.size();
+        std::string dir = dirs.substr(start, end - start);
+        if (dir.empty())
+            dir = ".";
+        std::string candidate = dir + "/" + name;
+        if (isExecutableFile(candidate))
+            return candidate;
+        start = end + 1;
+    }
+    return "";
+}
+
+} // namespace calyx

@@ -1,0 +1,37 @@
+#ifndef CALYX_SUPPORT_SUBPROCESS_H
+#define CALYX_SUPPORT_SUBPROCESS_H
+
+#include <string>
+#include <vector>
+
+namespace calyx {
+
+/** Outcome of one child process run to completion. */
+struct ProcessResult
+{
+    /** Exit code; -1 when the child died on a signal or never spawned. */
+    int exitCode = -1;
+
+    /** Interleaved stdout + stderr of the child. */
+    std::string output;
+
+    bool ok() const { return exitCode == 0; }
+};
+
+/**
+ * Run `argv` (argv[0] resolved through PATH) to completion, capturing
+ * stdout and stderr. No shell is involved, so arguments need no
+ * quoting. fatal() only on spawn-level failures (empty argv, pipe or
+ * fork errors); a failing child is reported through the result.
+ */
+ProcessResult runProcess(const std::vector<std::string> &argv);
+
+/**
+ * Absolute path of an executable found on PATH (or `name` itself when
+ * it already names an executable path), or "" when nothing matches.
+ */
+std::string findProgram(const std::string &name);
+
+} // namespace calyx
+
+#endif // CALYX_SUPPORT_SUBPROCESS_H

@@ -80,6 +80,42 @@ makeInputs(const std::string &kernel_name, const dahlia::Program &program)
     return mems;
 }
 
+void
+pokeInputs(sim::SimProgram &sim, const dahlia::Program &program,
+           const MemState &inputs)
+{
+    for (const auto &d : program.decls) {
+        Layout layout = layoutOf(d);
+        const auto &data = inputs.at(d.name);
+        for (uint64_t flat = 0; flat < data.size(); ++flat) {
+            auto [bank, pos] = layout.place(flat);
+            auto *mem =
+                sim.findModel(layout.cellName(d.name, bank))->memory();
+            if (!mem)
+                fatal("harness: cell is not a memory: ", d.name);
+            (*mem)[pos] = truncate(data[flat], d.type.width);
+        }
+    }
+}
+
+MemState
+readMemories(const sim::SimProgram &sim, const dahlia::Program &program)
+{
+    MemState state;
+    for (const auto &d : program.decls) {
+        Layout layout = layoutOf(d);
+        std::vector<uint64_t> data(d.type.totalSize());
+        for (uint64_t flat = 0; flat < data.size(); ++flat) {
+            auto [bank, pos] = layout.place(flat);
+            auto *mem =
+                sim.findModel(layout.cellName(d.name, bank))->memory();
+            data[flat] = (*mem)[pos];
+        }
+        state[d.name] = std::move(data);
+    }
+    return state;
+}
+
 MemState
 runOnInterp(const dahlia::Program &program, const MemState &inputs)
 {
@@ -117,39 +153,15 @@ runOnHardware(const dahlia::Program &program,
     sim::SimProgram sp(ctx, "main");
     sim::CycleSim cs(sp, engine);
 
-    // Scatter inputs into the (possibly banked) memory cells.
-    for (const auto &d : program.decls) {
-        Layout layout = layoutOf(d);
-        const auto &data = inputs.at(d.name);
-        for (uint64_t flat = 0; flat < data.size(); ++flat) {
-            auto [bank, pos] = layout.place(flat);
-            auto *mem = sp.findModel(layout.cellName(d.name, bank))
-                            ->memory();
-            if (!mem)
-                fatal("harness: cell is not a memory: ", d.name);
-            (*mem)[pos] = truncate(data[flat], d.type.width);
-        }
-    }
+    pokeInputs(sp, program, inputs);
 
     auto sim_start = clock::now();
     result.cycles = cs.run();
     result.simSeconds =
         std::chrono::duration<double>(clock::now() - sim_start).count();
 
-    if (final_state) {
-        final_state->clear();
-        for (const auto &d : program.decls) {
-            Layout layout = layoutOf(d);
-            std::vector<uint64_t> data(d.type.totalSize());
-            for (uint64_t flat = 0; flat < data.size(); ++flat) {
-                auto [bank, pos] = layout.place(flat);
-                auto *mem = sp.findModel(layout.cellName(d.name, bank))
-                                ->memory();
-                data[flat] = (*mem)[pos];
-            }
-            (*final_state)[d.name] = std::move(data);
-        }
-    }
+    if (final_state)
+        *final_state = readMemories(sp, program);
     return result;
 }
 

@@ -33,6 +33,20 @@ struct HardwareResult
 MemState makeInputs(const std::string &kernel_name,
                     const dahlia::Program &program);
 
+/**
+ * Scatter `inputs` into the simulation program's (possibly banked)
+ * memory cells, translating the row-major layout of each declared
+ * memory to the banked cells the pipeline created. Exposed so callers
+ * that re-run one SimProgram (the engine benches) can re-seed
+ * memories without recompiling the design.
+ */
+void pokeInputs(sim::SimProgram &sim, const dahlia::Program &program,
+                const MemState &inputs);
+
+/** Gather final memory contents back into the original layout. */
+MemState readMemories(const sim::SimProgram &sim,
+                      const dahlia::Program &program);
+
 /** Execute on the AST reference interpreter. */
 MemState runOnInterp(const dahlia::Program &program,
                      const MemState &inputs);

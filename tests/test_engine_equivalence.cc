@@ -1,10 +1,16 @@
 /**
- * Cross-engine equivalence suite (ISSUE 3): the levelized event-driven
- * engine must be observationally identical to the Jacobi fixed-point
- * oracle — same cycle counts, same final memory contents, same register
- * state — on every example program, PolyBench kernels, and a systolic
- * configuration; and true combinational loops must be rejected with the
- * offending port names instead of a convergence timeout.
+ * Cross-engine equivalence suite (ISSUE 3, extended by ISSUE 6): every
+ * registered evaluation engine must be observationally identical to the
+ * Jacobi fixed-point oracle — same cycle counts, same final memory
+ * contents, same register state — on every example program, PolyBench
+ * kernels, and a systolic configuration; guarded combinational cycles
+ * must settle to the same fixed point everywhere; and true
+ * combinational loops must be rejected with the offending port names
+ * instead of a convergence timeout.
+ *
+ * The engine list comes from sim::engineInfos(), so a new engine is
+ * automatically swept. The compiled engine is skipped (not failed)
+ * when the host has no C++ toolchain.
  */
 #include <gtest/gtest.h>
 
@@ -18,6 +24,7 @@
 #include "helpers.h"
 #include "ir/builder.h"
 #include "ir/parser.h"
+#include "sim/compiled.h"
 #include "sim/cycle_sim.h"
 #include "sim/interp.h"
 #include "support/error.h"
@@ -26,6 +33,26 @@
 
 namespace calyx {
 namespace {
+
+/**
+ * Engines to compare against the Jacobi oracle: every registered
+ * non-Jacobi engine that can run in this environment. The compiled
+ * engine drops out on hosts without a C++ toolchain.
+ */
+std::vector<sim::Engine>
+comparisonEngines()
+{
+    std::vector<sim::Engine> out;
+    for (const sim::EngineInfo &info : sim::engineInfos()) {
+        if (info.engine == sim::Engine::Jacobi)
+            continue;
+        if (info.engine == sim::Engine::Compiled &&
+            !sim::compiledEngineUnavailableReason().empty())
+            continue;
+        out.push_back(info.engine);
+    }
+    return out;
+}
 
 /** Cycle-simulate a compiled context with one engine. */
 uint64_t
@@ -42,12 +69,18 @@ simulate(const Context &ctx, sim::Engine engine,
 void
 expectEnginesAgree(const Context &ctx, const std::string &label)
 {
-    std::vector<std::vector<uint64_t>> jacobi_state, level_state;
+    std::vector<std::vector<uint64_t>> jacobi_state;
     uint64_t jacobi = simulate(ctx, sim::Engine::Jacobi, &jacobi_state);
-    uint64_t level = simulate(ctx, sim::Engine::Levelized, &level_state);
-    EXPECT_EQ(jacobi, level) << label << ": cycle count mismatch";
-    EXPECT_EQ(jacobi_state, level_state)
-        << label << ": architectural state mismatch";
+    for (sim::Engine engine : comparisonEngines()) {
+        std::vector<std::vector<uint64_t>> state;
+        uint64_t cycles = simulate(ctx, engine, &state);
+        EXPECT_EQ(jacobi, cycles)
+            << label << ": cycle count mismatch ("
+            << sim::engineName(engine) << " vs jacobi)";
+        EXPECT_EQ(jacobi_state, state)
+            << label << ": architectural state mismatch ("
+            << sim::engineName(engine) << " vs jacobi)";
+    }
 }
 
 TEST(EngineEquivalence, AllExamplePrograms)
@@ -77,15 +110,19 @@ TEST(EngineEquivalence, PolybenchKernels)
         workloads::MemState inputs = workloads::makeInputs(name, prog);
         passes::PipelineSpec spec = passes::parsePipelineSpec("all");
 
-        workloads::MemState jacobi_mems, level_mems;
+        workloads::MemState jacobi_mems;
         auto hj = workloads::runOnHardware(prog, spec, inputs,
                                            &jacobi_mems, {},
                                            sim::Engine::Jacobi);
-        auto hl = workloads::runOnHardware(prog, spec, inputs,
-                                           &level_mems, {},
-                                           sim::Engine::Levelized);
-        EXPECT_EQ(hj.cycles, hl.cycles) << name;
-        EXPECT_EQ(jacobi_mems, level_mems) << name;
+        for (sim::Engine engine : comparisonEngines()) {
+            workloads::MemState mems;
+            auto h = workloads::runOnHardware(prog, spec, inputs, &mems,
+                                              {}, engine);
+            EXPECT_EQ(hj.cycles, h.cycles)
+                << name << " (" << sim::engineName(engine) << ")";
+            EXPECT_EQ(jacobi_mems, mems)
+                << name << " (" << sim::engineName(engine) << ")";
+        }
     }
 }
 
@@ -98,11 +135,7 @@ TEST(EngineEquivalence, SystolicConfiguration)
     systolic::generate(ctx, cfg);
     passes::runPipeline(ctx, "all,-resource-sharing,-register-sharing");
 
-    std::vector<std::vector<uint64_t>> states[2];
-    uint64_t cycles[2];
-    int i = 0;
-    for (sim::Engine engine :
-         {sim::Engine::Jacobi, sim::Engine::Levelized}) {
+    auto run = [&](sim::Engine engine, uint64_t *cycles) {
         sim::SimProgram sp(ctx, "main");
         for (int r = 0; r < dim; ++r) {
             auto *l = sp.findModel(systolic::leftMemName(r))->memory();
@@ -113,12 +146,18 @@ TEST(EngineEquivalence, SystolicConfiguration)
             }
         }
         sim::CycleSim cs(sp, engine);
-        cycles[i] = cs.run();
-        states[i] = sim::archState(sp);
-        ++i;
+        *cycles = cs.run();
+        return sim::archState(sp);
+    };
+
+    uint64_t jacobi_cycles;
+    auto jacobi_state = run(sim::Engine::Jacobi, &jacobi_cycles);
+    for (sim::Engine engine : comparisonEngines()) {
+        uint64_t cycles;
+        auto state = run(engine, &cycles);
+        EXPECT_EQ(jacobi_cycles, cycles) << sim::engineName(engine);
+        EXPECT_EQ(jacobi_state, state) << sim::engineName(engine);
     }
-    EXPECT_EQ(cycles[0], cycles[1]);
-    EXPECT_EQ(states[0], states[1]);
 }
 
 TEST(EngineEquivalence, InterpreterCrossEngine)
@@ -140,57 +179,127 @@ TEST(EngineEquivalence, InterpreterCrossEngine)
     EXPECT_EQ(regs[0], regs[1]);
 }
 
+TEST(EngineEquivalence, InterpreterRejectsCompiledEngine)
+{
+    // The control interpreter activates per-group sets and forces group
+    // holes; the generated module hard-codes the continuous set, so the
+    // combination is rejected up front regardless of toolchain.
+    Context ctx = testing::counterProgram(2, 1);
+    sim::SimProgram sp(ctx, "main");
+    try {
+        sim::Interp interp(sp, sim::Engine::Compiled);
+        FAIL() << "interpreter accepted the compiled engine";
+    } catch (const Error &e) {
+        EXPECT_NE(std::string(e.what()).find("compiled"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(EngineEquivalence, GuardedCycleSettlesEverywhere)
+{
+    // w1.in <- w2.out is guarded on sel.out (held at 0), w2.in <- w1.out
+    // is unconditional, and a constant drives w1.in when the guard is
+    // off: a structural combinational cycle that every engine must
+    // accept and settle by fixed point rather than reject. The Jacobi
+    // oracle iterates globally, the levelized engine runs the SCC's
+    // local Gauss-Seidel loop, and the compiled module emits the SCC as
+    // a bounded fixed-point loop — all must land on w2.out == 5.
+    Context ctx;
+    Component &comp = ctx.addComponent("main");
+    comp.addCell("sel", "std_wire", {1}, ctx);
+    comp.addCell("w1", "std_wire", {8}, ctx);
+    comp.addCell("w2", "std_wire", {8}, ctx);
+    auto &assigns = comp.continuousAssignments();
+    assigns.emplace_back(cellPort("sel", "in"), constant(0, 1));
+    GuardPtr on = Guard::fromPort(cellPort("sel", "out"));
+    assigns.emplace_back(cellPort("w1", "in"), cellPort("w2", "out"), on);
+    assigns.emplace_back(cellPort("w1", "in"), constant(5, 8),
+                         Guard::negate(on));
+    assigns.emplace_back(cellPort("w2", "in"), cellPort("w1", "out"));
+
+    sim::SimProgram sp(ctx, "main");
+    for (const sim::EngineInfo &info : sim::engineInfos()) {
+        if (info.engine == sim::Engine::Compiled &&
+            !sim::compiledEngineUnavailableReason().empty())
+            continue;
+        sim::SimState st(sp, info.engine);
+        st.reset();
+        st.beginCycle();
+        st.activate(sp.root().continuous);
+        st.comb();
+        EXPECT_EQ(st.value(Symbol("w2.out")), 5u) << info.name;
+        EXPECT_EQ(st.value(Symbol("w1.out")), 5u) << info.name;
+    }
+}
+
+/** Engines that diagnose combinational loops by port name at
+ * schedule-build time (the Jacobi oracle can only time out). */
+std::vector<sim::Engine>
+diagnosingEngines()
+{
+    return comparisonEngines();
+}
+
 TEST(EngineEquivalence, CombinationalLoopNamesPorts)
 {
     // w1.in -> w1.out -> w2.in -> w2.out -> w1.in: an unconditional
-    // combinational cycle. The levelized engine diagnoses it by name at
-    // schedule-build time; the Jacobi oracle can only time out.
-    Context ctx;
-    Component &comp = ctx.addComponent("main");
-    comp.addCell("w1", "std_wire", {8}, ctx);
-    comp.addCell("w2", "std_wire", {8}, ctx);
-    comp.continuousAssignments().emplace_back(cellPort("w2", "in"),
-                                              cellPort("w1", "out"));
-    comp.continuousAssignments().emplace_back(cellPort("w1", "in"),
-                                              cellPort("w2", "out"));
-    sim::SimProgram sp(ctx, "main");
-    sim::SimState st(sp, sim::Engine::Levelized);
-    st.reset();
-    st.beginCycle();
-    st.activate(sp.root().continuous);
-    try {
-        st.comb();
-        FAIL() << "combinational loop was not rejected";
-    } catch (const Error &e) {
-        std::string msg = e.what();
-        EXPECT_NE(msg.find("combinational loop"), std::string::npos)
-            << msg;
-        for (const char *port : {"w1.in", "w1.out", "w2.in", "w2.out"})
-            EXPECT_NE(msg.find(port), std::string::npos)
-                << "diagnostic misses " << port << ": " << msg;
+    // combinational cycle. Both the levelized engine and the compiled
+    // engine (whose codegen consumes the same schedule) must reject it
+    // naming every port on the cycle.
+    for (sim::Engine engine : diagnosingEngines()) {
+        Context ctx;
+        Component &comp = ctx.addComponent("main");
+        comp.addCell("w1", "std_wire", {8}, ctx);
+        comp.addCell("w2", "std_wire", {8}, ctx);
+        comp.continuousAssignments().emplace_back(cellPort("w2", "in"),
+                                                  cellPort("w1", "out"));
+        comp.continuousAssignments().emplace_back(cellPort("w1", "in"),
+                                                  cellPort("w2", "out"));
+        sim::SimProgram sp(ctx, "main");
+        sim::SimState st(sp, engine);
+        st.reset();
+        st.beginCycle();
+        st.activate(sp.root().continuous);
+        try {
+            st.comb();
+            FAIL() << "combinational loop was not rejected by "
+                   << sim::engineName(engine);
+        } catch (const Error &e) {
+            std::string msg = e.what();
+            EXPECT_NE(msg.find("combinational loop"), std::string::npos)
+                << msg;
+            for (const char *port : {"w1.in", "w1.out", "w2.in", "w2.out"})
+                EXPECT_NE(msg.find(port), std::string::npos)
+                    << sim::engineName(engine) << " diagnostic misses "
+                    << port << ": " << msg;
+        }
     }
 }
 
 TEST(EngineEquivalence, SelfLoopNamesPort)
 {
     // n.in = n.out through an inverter: the classic ring oscillator.
-    Context ctx;
-    Component &comp = ctx.addComponent("main");
-    comp.addCell("n", "std_not", {1}, ctx);
-    comp.continuousAssignments().emplace_back(cellPort("n", "in"),
-                                              cellPort("n", "out"));
-    sim::SimProgram sp(ctx, "main");
-    sim::SimState st(sp, sim::Engine::Levelized);
-    st.reset();
-    st.beginCycle();
-    st.activate(sp.root().continuous);
-    try {
-        st.comb();
-        FAIL() << "ring oscillator was not rejected";
-    } catch (const Error &e) {
-        std::string msg = e.what();
-        EXPECT_NE(msg.find("n.in"), std::string::npos) << msg;
-        EXPECT_NE(msg.find("n.out"), std::string::npos) << msg;
+    for (sim::Engine engine : diagnosingEngines()) {
+        Context ctx;
+        Component &comp = ctx.addComponent("main");
+        comp.addCell("n", "std_not", {1}, ctx);
+        comp.continuousAssignments().emplace_back(cellPort("n", "in"),
+                                                  cellPort("n", "out"));
+        sim::SimProgram sp(ctx, "main");
+        sim::SimState st(sp, engine);
+        st.reset();
+        st.beginCycle();
+        st.activate(sp.root().continuous);
+        try {
+            st.comb();
+            FAIL() << "ring oscillator was not rejected by "
+                   << sim::engineName(engine);
+        } catch (const Error &e) {
+            std::string msg = e.what();
+            EXPECT_NE(msg.find("n.in"), std::string::npos) << msg;
+            EXPECT_NE(msg.find("n.out"), std::string::npos) << msg;
+        }
     }
 }
 

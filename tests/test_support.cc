@@ -2,7 +2,9 @@
 
 #include "support/bits.h"
 #include "support/error.h"
+#include "support/hash.h"
 #include "support/json.h"
+#include "support/subprocess.h"
 #include "support/text.h"
 
 namespace calyx {
@@ -82,6 +84,38 @@ TEST(Text, SuggestClosest)
     EXPECT_EQ(suggestClosest("frrtl", names), "firrtl");
     EXPECT_EQ(suggestClosest("zzzzzzzz", names), "");
     EXPECT_EQ(suggestClosest("x", {}), "");
+}
+
+TEST(Hash, ContentDigest)
+{
+    // Deterministic, 32 hex chars, and distinct across tiny edits —
+    // the properties the compiled-module cache keys on.
+    std::string d = contentDigest("cppsim module body");
+    EXPECT_EQ(d.size(), 32u);
+    EXPECT_EQ(d.find_first_not_of("0123456789abcdef"), std::string::npos);
+    EXPECT_EQ(d, contentDigest("cppsim module body"));
+    EXPECT_NE(d, contentDigest("cppsim module body "));
+    EXPECT_NE(d, contentDigest(""));
+    EXPECT_FALSE(contentHash("a") == contentHash("b"));
+}
+
+TEST(Subprocess, RunAndFind)
+{
+    // `sh` exists on any host this suite runs on.
+    std::string sh = findProgram("sh");
+    ASSERT_FALSE(sh.empty());
+    EXPECT_EQ(sh[0], '/');
+    EXPECT_EQ(findProgram("no-such-program-zzz"), "");
+
+    ProcessResult ok = runProcess({sh, "-c", "echo out; echo err >&2"});
+    EXPECT_TRUE(ok.ok());
+    // stdout and stderr are both captured (interleaved).
+    EXPECT_NE(ok.output.find("out"), std::string::npos);
+    EXPECT_NE(ok.output.find("err"), std::string::npos);
+
+    ProcessResult bad = runProcess({sh, "-c", "exit 3"});
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(bad.exitCode, 3);
 }
 
 TEST(Json, BuildAndWrite)

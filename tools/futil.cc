@@ -35,8 +35,9 @@
  *     --verify               run the well-formed checker between passes
  *     --no-compile           emit the program without lowering control
  *     --sim                  compile, simulate, report the cycle count
- *     --sim-engine=<e>       combinational engine: levelized (default)
- *                            or jacobi (the reference fixed-point)
+ *     --sim-engine=<e>       combinational engine: levelized (default),
+ *                            jacobi (the reference fixed-point), or
+ *                            compiled (codegen + JIT via the host CXX)
  *     --area                 print the area estimate
  *     --stats                print cells/groups/control statistics
  *
@@ -63,6 +64,20 @@
 
 namespace {
 
+/** "jacobi, levelized, or compiled" from the engine registry. */
+std::string
+engineList()
+{
+    const auto &infos = calyx::sim::engineInfos();
+    std::string s;
+    for (size_t i = 0; i < infos.size(); ++i) {
+        if (i > 0)
+            s += i + 1 == infos.size() ? ", or " : ", ";
+        s += infos[i].name;
+    }
+    return s;
+}
+
 int
 usage()
 {
@@ -87,7 +102,9 @@ usage()
            "  --verify               run well-formed checker per pass\n"
            "  --no-compile           emit without lowering control\n"
            "  --sim                  simulate and report cycles\n"
-           "  --sim-engine=<e>       levelized (default) or jacobi\n"
+           "  --sim-engine=<e>       "
+        << engineList()
+        << " (default levelized)\n"
            "  --area                 print the area estimate\n"
            "  --stats                print cells/groups/control stats\n";
     return 2;
