@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Observability smoke test: run `futil --trace --profile` over every
+# textual example under the jacobi and levelized engines (plus the
+# compiled engine when a host C++ compiler exists), validate every
+# artifact with obscheck, and check the headline cross-engine property:
+# the VCD trace of one design is byte-identical no matter which engine
+# produced the cycle values.
+#
+# Usage: scripts/obs_smoke.sh [path/to/futil] [path/to/obscheck]
+set -u
+
+futil="${1:-build/futil}"
+obscheck="${2:-build/obscheck}"
+for bin in "$futil" "$obscheck"; do
+    if [ ! -x "$bin" ]; then
+        echo "obs_smoke: binary not found at '$bin'" >&2
+        exit 1
+    fi
+done
+
+examples=$(ls examples/*.futil 2>/dev/null)
+if [ -z "$examples" ]; then
+    echo "obs_smoke: no examples/*.futil inputs found" >&2
+    exit 1
+fi
+
+# Engine list mirrors compiled_smoke.sh: the compiled engine is an
+# optional acceleration, exercised only when a host compiler exists.
+engines="jacobi levelized"
+cxx="${CXX:-}"
+if [ -z "$cxx" ]; then
+    for c in c++ g++ clang++; do
+        if command -v "$c" > /dev/null 2>&1; then
+            cxx="$c"
+            break
+        fi
+    done
+fi
+if [ -n "$cxx" ]; then
+    engines="$engines compiled"
+else
+    echo "obs_smoke: no host C++ compiler; skipping the compiled engine"
+fi
+
+outdir=$(mktemp -d /tmp/calyx-obs-smoke.XXXXXX)
+export CALYX_CPPSIM_CACHE="$outdir/cppsim-cache"
+trap 'rm -rf "$outdir"' EXIT
+failures=0
+
+for example in $examples; do
+    base=$(basename "$example" .futil)
+    ref=""
+    for engine in $engines; do
+        vcd="$outdir/${base}_${engine}.vcd"
+        prof="$outdir/${base}_${engine}.json"
+        if ! "$futil" --sim --sim-engine="$engine" --trace "$vcd" \
+                 --trace-scope=all --profile "$prof" "$example" \
+                 > /dev/null 2>"$outdir/err"; then
+            echo "FAIL $example ($engine): futil failed" >&2
+            cat "$outdir/err" >&2
+            failures=$((failures + 1))
+            continue
+        fi
+        if ! "$obscheck" vcd "$vcd"; then
+            echo "FAIL $example ($engine): invalid VCD" >&2
+            failures=$((failures + 1))
+        fi
+        if ! "$obscheck" profile "$prof"; then
+            echo "FAIL $example ($engine): invalid profile" >&2
+            failures=$((failures + 1))
+        fi
+        if [ -z "$ref" ]; then
+            ref="$vcd"
+        elif ! cmp -s "$ref" "$vcd"; then
+            echo "FAIL $example: $vcd differs from $ref" >&2
+            failures=$((failures + 1))
+        fi
+    done
+    [ -n "$ref" ] && echo "ok   $example (engines: $engines)"
+done
+
+if [ $failures -ne 0 ]; then
+    echo "obs_smoke: $failures failure(s)" >&2
+    exit 1
+fi
+echo "obs_smoke: traces and profiles validated across engines"

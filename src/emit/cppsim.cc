@@ -874,7 +874,8 @@ emitDispatcher(std::ostream &os, const std::string &stem, size_t count)
 } // namespace
 
 void
-emitCppSim(const SimProgram &prog, std::ostream &os)
+emitCppSim(const SimProgram &prog, std::ostream &os,
+           const CppSimOptions &opts)
 {
     rejectGroups(prog.root());
 
@@ -952,7 +953,12 @@ emitCppSim(const SimProgram &prog, std::ostream &os)
     os << "  unsigned char mdone[kNumMems ? kNumMems : 1];\n";
     os << "  uint64_t gv[kNumGuards ? kNumGuards : 1]; // guard pool\n";
     os << stateMembers(cg);
-    os << "  const char *err;\n  char errbuf[192];\n};\n\n";
+    os << "  const char *err;\n  char errbuf[192];\n";
+    if (opts.probe) {
+        os << "  void (*probe)(void *, const uint64_t *);\n"
+              "  void *probeCtx;\n";
+    }
+    os << "};\n\n";
 
     if (has_sqrt) {
         os << "uint64_t cppsim_isqrt(uint64_t v);\n"
@@ -1013,9 +1019,17 @@ emitCppSim(const SimProgram &prog, std::ostream &os)
     os << "  uint64_t *mems[kNumMems ? kNumMems : 1];\n";
     os << "  memcpy(regs, s->regs, sizeof regs);\n";
     os << "  memcpy(mems, s->mems, sizeof mems);\n";
+    if (opts.probe) {
+        os << "  void (*probe)(void *, const uint64_t *) = s->probe;\n";
+        os << "  void *probeCtx = s->probeCtx;\n";
+    }
     os << "  memset(s, 0, sizeof *s);\n";
     os << "  memcpy(s->regs, regs, sizeof regs);\n";
     os << "  memcpy(s->mems, mems, sizeof mems);\n";
+    if (opts.probe) {
+        os << "  s->probe = probe;\n";
+        os << "  s->probeCtx = probeCtx;\n";
+    }
     os << "  // Constant-folded ports, written once instead of per eval.\n";
     for (uint32_t p = 0; p < cg.numPorts; ++p) {
         if (cg.folded[p])
@@ -1049,9 +1063,21 @@ emitCppSim(const SimProgram &prog, std::ostream &os)
           "}\n";
     os << "void cppsim_reset(void *s, uint64_t *vals) {\n"
           "  cppsim_do_reset((CppsimInst *)s, vals);\n}\n";
-    os << "void cppsim_eval(void *s, uint64_t *vals) {\n"
-          "  if (((CppsimInst *)s)->err) return;\n"
-          "  cppsim_eval_all((CppsimInst *)s, vals);\n}\n";
+    if (opts.probe) {
+        os << "void cppsim_set_probe(void *vs, "
+              "void (*fn)(void *, const uint64_t *), void *ctx) {\n"
+              "  CppsimInst *s = (CppsimInst *)vs;\n"
+              "  s->probe = fn;\n  s->probeCtx = ctx;\n}\n";
+        os << "void cppsim_eval(void *vs, uint64_t *vals) {\n"
+              "  CppsimInst *s = (CppsimInst *)vs;\n"
+              "  if (s->err) return;\n"
+              "  cppsim_eval_all(s, vals);\n"
+              "  if (!s->err && s->probe) s->probe(s->probeCtx, vals);\n}\n";
+    } else {
+        os << "void cppsim_eval(void *s, uint64_t *vals) {\n"
+              "  if (((CppsimInst *)s)->err) return;\n"
+              "  cppsim_eval_all((CppsimInst *)s, vals);\n}\n";
+    }
     os << "void cppsim_clock(void *s, uint64_t *vals) {\n"
           "  if (((CppsimInst *)s)->err) return;\n"
           "  cppsim_clk_all((CppsimInst *)s, vals);\n}\n";

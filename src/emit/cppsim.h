@@ -37,13 +37,28 @@ class CppSimBackend : public Backend
     void emit(const Context &ctx, std::ostream &os) const override;
 };
 
+/** Codegen knobs for emitCppSim. */
+struct CppSimOptions
+{
+    /**
+     * Emit the observability variant: the instance carries a probe
+     * callback slot (installed via `cppsim_set_probe`), and eval()
+     * ends by invoking it with the settled port array. Off by default
+     * so the hot path stays branch-free; the JIT driver keeps probed
+     * and plain modules as distinct cache entries (different source,
+     * different digest). See docs/observability.md.
+     */
+    bool probe = false;
+};
+
 /**
  * Emit the compiled-simulation C++ module for an already-flattened
  * program. fatal() when the program still has groups (the compiled
  * engine requires fully-lowered programs) or contains an unconditional
  * combinational cycle (the schedule build names the ports).
  */
-void emitCppSim(const sim::SimProgram &prog, std::ostream &os);
+void emitCppSim(const sim::SimProgram &prog, std::ostream &os,
+                const CppSimOptions &opts = {});
 
 /** Version of the generated C ABI; bumped on incompatible changes. */
 constexpr uint32_t cppsimAbiVersion = 1;

@@ -1,0 +1,16 @@
+#include "obs/observer.h"
+
+namespace calyx::obs {
+
+// Out-of-line virtuals anchor the vtable in this translation unit.
+SimObserver::~SimObserver() = default;
+
+void
+SimObserver::combStats(uint64_t, int)
+{}
+
+void
+SimObserver::finish(uint64_t)
+{}
+
+} // namespace calyx::obs

@@ -1,0 +1,52 @@
+#include "obs/report.h"
+
+namespace calyx::obs {
+
+json::Value
+reportEnvelope(const std::string &file)
+{
+    json::Value v = json::Value::object();
+    v.set("version", json::Value::number(1));
+    v.set("file", json::Value::str(file));
+    return v;
+}
+
+namespace {
+
+json::Value
+signedDelta(int delta)
+{
+    // The Num kind is unsigned; deltas can go negative (passes remove
+    // cells/groups), so emit them as reals.
+    return json::Value::real(static_cast<double>(delta));
+}
+
+} // namespace
+
+json::Value
+passTimingsJson(const std::string &pipeline,
+                const std::vector<passes::PassRunInfo> &infos)
+{
+    json::Value c = json::Value::object();
+    c.set("pipeline", json::Value::str(pipeline));
+    json::Value arr = json::Value::array();
+    double total = 0;
+    for (const passes::PassRunInfo &info : infos) {
+        total += info.seconds;
+        json::Value p = json::Value::object();
+        p.set("pass", json::Value::str(info.pass));
+        p.set("ms", json::Value::real(info.seconds * 1e3));
+        p.set("delta_cells",
+              signedDelta(info.after.cells - info.before.cells));
+        p.set("delta_groups",
+              signedDelta(info.after.groups - info.before.groups));
+        p.set("delta_control", signedDelta(info.after.controlStatements -
+                                           info.before.controlStatements));
+        arr.push(std::move(p));
+    }
+    c.set("passes", std::move(arr));
+    c.set("total_ms", json::Value::real(total * 1e3));
+    return c;
+}
+
+} // namespace calyx::obs

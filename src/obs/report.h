@@ -1,0 +1,40 @@
+#ifndef CALYX_OBS_REPORT_H
+#define CALYX_OBS_REPORT_H
+
+#include <string>
+#include <vector>
+
+#include "passes/pass_manager.h"
+#include "support/json.h"
+
+namespace calyx::obs {
+
+/**
+ * The unified machine-readable report envelope (docs/observability.md):
+ * one JSON document that can carry compile-side instrumentation (pass
+ * timings and stats deltas) and sim-side observability (the profiler's
+ * output) from a single futil invocation. `futil --pass-timings=json`
+ * prints a compile-only envelope; `futil --profile out.json` writes
+ * the full one. The future `--serve` metrics endpoint returns this
+ * same document.
+ *
+ * Top-level shape:
+ *   { "version": 1,
+ *     "file": "<input path>",
+ *     "compile": { "pipeline": "...", "passes": [...],
+ *                  "total_ms": R },      // when timings were collected
+ *     "sim":     { "engine": "...",
+ *                  "profile": {...} } }  // when a profiled run happened
+ */
+
+/** Start an envelope: {version, file}. */
+json::Value reportEnvelope(const std::string &file);
+
+/** The `compile` object for a pipeline run (pass names, per-pass wall
+ * milliseconds, cells/groups/control deltas, total). */
+json::Value passTimingsJson(const std::string &pipeline,
+                            const std::vector<passes::PassRunInfo> &infos);
+
+} // namespace calyx::obs
+
+#endif // CALYX_OBS_REPORT_H

@@ -1,0 +1,218 @@
+#include "obs/vcd.h"
+
+#include <functional>
+#include <sstream>
+
+#include "sim/env.h"
+#include "support/error.h"
+
+namespace calyx::obs {
+
+using sim::SimProgram;
+
+const char *
+vcdScopeName(VcdScope scope)
+{
+    switch (scope) {
+      case VcdScope::Top:   return "top";
+      case VcdScope::State: return "state";
+      case VcdScope::All:   return "all";
+    }
+    return "?";
+}
+
+VcdScope
+parseVcdScope(const std::string &name)
+{
+    if (name == "top")
+        return VcdScope::Top;
+    if (name == "state")
+        return VcdScope::State;
+    if (name == "all")
+        return VcdScope::All;
+    fatal("--trace-scope: unknown scope '", name,
+          "' (options: top, state, all)");
+}
+
+namespace {
+
+uint64_t
+maskTo(uint64_t value, uint32_t width)
+{
+    if (width >= 64)
+        return value;
+    return value & ((uint64_t(1) << width) - 1);
+}
+
+} // namespace
+
+VcdWriter::VcdWriter(const SimProgram &prog, std::ostream &os,
+                     VcdScope scope)
+    : os(os)
+{
+    // A constant $date (instead of the wall clock) keeps traces of the
+    // same design byte-identical across engines and runs — the property
+    // the cross-engine tests diff on.
+    os << "$date\n    (constant: see docs/observability.md)\n$end\n";
+    os << "$version\n    calyx futil --trace\n$end\n";
+    os << "$timescale\n    1 ns\n$end\n";
+
+    // One var per traced port, laid out as a scope tree mirroring the
+    // flattened instance hierarchy. Each scope body is rendered into a
+    // string first so empty scopes (a sub-instance with no state cells
+    // under --trace-scope=state) are dropped entirely.
+    auto addVar = [&](std::ostream &out, const std::string &name,
+                      uint32_t width, uint32_t port) {
+        Var v;
+        v.port = port;
+        v.width = width ? width : 1;
+        v.code = nextCode();
+        out << "$var wire " << v.width << " " << v.code << " " << name;
+        if (v.width > 1)
+            out << " [" << v.width - 1 << ":0]";
+        out << " $end\n";
+        vars.push_back(std::move(v));
+    };
+
+    std::function<bool(const SimProgram::Instance &, const std::string &,
+                       bool, std::ostream &)>
+        emitInstance = [&](const SimProgram::Instance &inst,
+                           const std::string &sig_prefix, bool top,
+                           std::ostream &out) -> bool {
+        bool any = false;
+
+        // Signature ports. The top instance's paths are the bare port
+        // names; a sub-instance's alias the parent's cell ports
+        // ("pe00.go"), which is also why they are emitted here and not
+        // in the parent's scope — same ids, one var.
+        if (scope != VcdScope::State || top) {
+            for (const auto &p : inst.comp->signature()) {
+                addVar(out, p.name.str(), p.width,
+                       prog.portId(Symbol(sig_prefix +
+                                                  p.name.str())));
+                any = true;
+            }
+        }
+        if (scope == VcdScope::Top)
+            return any;
+
+        for (const auto &cell : inst.comp->cells()) {
+            std::string cell_path = inst.path + cell->name().str();
+            if (cell->isPrimitive()) {
+                if (scope == VcdScope::State) {
+                    sim::PrimModel *m =
+                        prog.findModel(Symbol(cell_path));
+                    if (!m->registerStorage() && !m->memory())
+                        continue;
+                }
+                out << "$scope module " << cell->name() << " $end\n";
+                for (const auto &p : cell->portDefs()) {
+                    addVar(out, p.name.str(), p.width,
+                           prog.portId(Symbol(cell_path + "." +
+                                                      p.name.str())));
+                }
+                out << "$upscope $end\n";
+                any = true;
+                continue;
+            }
+            // Component instance: recurse into the matching sub.
+            for (const auto &sub : inst.subs) {
+                if (sub->path != cell_path + "/")
+                    continue;
+                std::ostringstream body;
+                if (emitInstance(*sub, cell_path + ".", false, body)) {
+                    out << "$scope module " << cell->name() << " $end\n"
+                        << body.str() << "$upscope $end\n";
+                    any = true;
+                }
+                break;
+            }
+        }
+
+        if (scope == VcdScope::All) {
+            for (size_t g = 0; g < inst.groupNames.size(); ++g) {
+                out << "$scope module " << inst.groupNames[g]
+                    << " $end\n";
+                addVar(out, "go", 1, inst.groupHoles[g].first);
+                addVar(out, "done", 1, inst.groupHoles[g].second);
+                out << "$upscope $end\n";
+                any = true;
+            }
+        }
+        return any;
+    };
+
+    std::ostringstream body;
+    emitInstance(prog.root(), "", true, body);
+    os << "$scope module " << prog.root().comp->name() << " $end\n"
+       << body.str() << "$upscope $end\n";
+    os << "$enddefinitions $end\n";
+}
+
+std::string
+VcdWriter::nextCode()
+{
+    // Identifier codes per the VCD grammar: printable ASCII 33..126,
+    // shortest-first ("!", "\"", ..., "!!", ...).
+    uint32_t n = codeCounter++;
+    std::string code;
+    do {
+        code += static_cast<char>(33 + n % 94);
+        n /= 94;
+    } while (n > 0);
+    return code;
+}
+
+void
+VcdWriter::writeValue(const Var &v, uint64_t value)
+{
+    if (v.width == 1) {
+        os << ((value & 1) ? '1' : '0') << v.code << "\n";
+        return;
+    }
+    os << 'b';
+    if (value == 0) {
+        os << '0';
+    } else {
+        int hi = 63 - __builtin_clzll(value);
+        for (int b = hi; b >= 0; --b)
+            os << (((value >> b) & 1) ? '1' : '0');
+    }
+    os << ' ' << v.code << "\n";
+}
+
+void
+VcdWriter::cycleSettled(uint64_t cycle, const uint64_t *vals)
+{
+    if (!dumpedInitial) {
+        os << "#" << cycle << "\n$dumpvars\n";
+        for (Var &v : vars) {
+            v.last = maskTo(vals[v.port], v.width);
+            writeValue(v, v.last);
+        }
+        os << "$end\n";
+        dumpedInitial = true;
+        return;
+    }
+    bool stamped = false;
+    for (Var &v : vars) {
+        uint64_t cur = maskTo(vals[v.port], v.width);
+        if (cur == v.last)
+            continue;
+        if (!stamped) {
+            os << "#" << cycle << "\n";
+            stamped = true;
+        }
+        v.last = cur;
+        writeValue(v, cur);
+    }
+}
+
+void
+VcdWriter::finish(uint64_t cycles)
+{
+    os << "#" << cycles << "\n";
+    os.flush();
+}
+
+} // namespace calyx::obs

@@ -1,0 +1,77 @@
+#ifndef CALYX_OBS_VCD_H
+#define CALYX_OBS_VCD_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/observer.h"
+
+namespace calyx::sim {
+class SimProgram;
+}
+
+namespace calyx::obs {
+
+/**
+ * Which signals a VCD trace records (futil --trace-scope=...).
+ *
+ *  - Top:   only the top component's signature ports.
+ *  - State: signature ports plus the ports of every register and
+ *           memory primitive — the architectural state, cheap enough
+ *           to leave on for big designs.
+ *  - All:   every port in the flattened design, including group
+ *           go/done holes on pre-lowering programs.
+ */
+enum class VcdScope { Top, State, All };
+
+const char *vcdScopeName(VcdScope scope);
+
+/** Parse a scope name; fatal() with the valid options on a miss. */
+VcdScope parseVcdScope(const std::string &name);
+
+/**
+ * SimObserver that streams a Value Change Dump (IEEE 1364 §18) of the
+ * observed run. The header — including a constant $date, so the same
+ * design traced under different engines or on different days produces
+ * byte-identical files — is written at construction; one timestamp per
+ * settled cycle follows, with only changed signals re-dumped. Scopes
+ * mirror the flattened instance tree: the top component is the root
+ * module, each primitive cell and each sub-component instance is a
+ * child module, and (on pre-lowering programs) each group is a module
+ * holding its go/done holes. See docs/observability.md.
+ *
+ * Timestamps are in cycles (`$timescale 1 ns` with one ns per cycle);
+ * values are sampled post-settle, pre-clock-edge.
+ */
+class VcdWriter : public SimObserver
+{
+  public:
+    VcdWriter(const sim::SimProgram &prog, std::ostream &os,
+              VcdScope scope = VcdScope::All);
+
+    void cycleSettled(uint64_t cycle, const uint64_t *vals) override;
+    void finish(uint64_t cycles) override;
+
+  private:
+    struct Var
+    {
+        uint32_t port = 0;  ///< Flat SimProgram port id.
+        uint32_t width = 1;
+        std::string code;   ///< VCD identifier code.
+        uint64_t last = 0;  ///< Value at the previous dump.
+    };
+
+    std::string nextCode();
+    void writeValue(const Var &v, uint64_t value);
+
+    std::ostream &os;
+    std::vector<Var> vars;
+    uint32_t codeCounter = 0;
+    bool dumpedInitial = false;
+};
+
+} // namespace calyx::obs
+
+#endif // CALYX_OBS_VCD_H

@@ -36,8 +36,10 @@ CycleSim::run(uint64_t max_cycles)
         stateVal.comb();
         bool done = stateVal.value(top.donePort) & 1;
         stateVal.clock();
-        if (done)
+        if (done) {
+            stateVal.finishObservers(cycles);
             return cycles;
+        }
     }
 }
 

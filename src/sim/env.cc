@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/observer.h"
 #include "sim/compiled.h"
 #include "sim/schedule.h"
 #include "support/error.h"
@@ -297,11 +298,28 @@ SimProgram::schedule() const
 }
 
 std::shared_ptr<CompiledModule>
-SimProgram::compiledModule() const
+SimProgram::compiledModule(bool probe) const
 {
-    if (!compiled)
-        compiled = CompiledModule::load(*this);
-    return compiled;
+    auto &slot = compiled[probe ? 1 : 0];
+    if (!slot)
+        slot = CompiledModule::load(*this, probe);
+    return slot;
+}
+
+bool
+SimProgram::hasGroups() const
+{
+    std::function<bool(const Instance &)> walk =
+        [&](const Instance &inst) {
+            if (inst.hasGroups())
+                return true;
+            for (const auto &sub : inst.subs) {
+                if (walk(*sub))
+                    return true;
+            }
+            return false;
+        };
+    return walk(*rootInst);
 }
 
 void
@@ -534,6 +552,7 @@ SimState::reset()
         m->reset();
     active.clear();
     forces.clear();
+    cycleIndex = 0;
     // Forget all incremental levelized state: the next comb() walks the
     // entire schedule once.
     activationValid = false;
@@ -578,15 +597,65 @@ SimState::force(uint32_t port, uint64_t value)
 int
 SimState::comb()
 {
+    int evals;
     switch (engineVal) {
       case Engine::Jacobi:
-        return combJacobi();
+        evals = combJacobi();
+        break;
       case Engine::Levelized:
-        return combLevelized();
+        evals = combLevelized();
+        break;
       case Engine::Compiled:
-        return combCompiled();
+        evals = combCompiled();
+        break;
+      default:
+        panic("comb: bad engine");
     }
-    panic("comb: bad engine");
+    if (!observerList.empty()) {
+        // The probed compiled module already invoked cycleSettled from
+        // inside its eval() (via probeThunk); the interpreting engines
+        // notify here. Either way observers see settled, pre-clock-edge
+        // values once per cycle.
+        if (engineVal != Engine::Compiled || !compiledProbe)
+            notifySettled();
+        for (obs::SimObserver *o : observerList)
+            o->combStats(cycleIndex, evals);
+        ++cycleIndex;
+    }
+    return evals;
+}
+
+void
+SimState::addObserver(obs::SimObserver *observer)
+{
+    observerList.push_back(observer);
+    if (compiledInst && !compiledProbe) {
+        // A plain (probe-free) module is already bound; drop it so the
+        // next comb() reloads the probed variant.
+        compiledMod->freeInstance(compiledInst);
+        compiledInst = nullptr;
+    }
+}
+
+void
+SimState::notifySettled()
+{
+    for (obs::SimObserver *o : observerList)
+        o->cycleSettled(cycleIndex, vals.data());
+}
+
+void
+SimState::probeThunk(void *ctx, const uint64_t *vals)
+{
+    (void)vals; // the same array the state owns
+    static_cast<SimState *>(ctx)->notifySettled();
+}
+
+void
+SimState::finishObservers(uint64_t cycles)
+{
+    for (obs::SimObserver *o : observerList)
+        o->finish(cycles);
 }
 
 void
@@ -594,7 +663,9 @@ SimState::ensureCompiled()
 {
     if (compiledInst)
         return;
-    compiledMod = prog->compiledModule();
+    bool want_probe = !observerList.empty();
+    compiledMod = prog->compiledModule(want_probe);
+    compiledProbe = want_probe && compiledMod->hasProbe();
 
     // Bind the generated instance's register and memory state to the
     // PrimModel objects' own storage (model order on both sides), so
@@ -617,6 +688,8 @@ SimState::ensureCompiled()
 
     compiledInst = compiledMod->newInstance();
     compiledMod->bind(compiledInst, regStorage.data(), memStorage.data());
+    if (compiledProbe)
+        compiledMod->setProbe(compiledInst, &SimState::probeThunk, this);
     compiledMod->reset(compiledInst, vals.data());
 
     continuousCount = 0;

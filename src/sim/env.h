@@ -13,6 +13,10 @@
 #include "sim/models.h"
 #include "support/symbol.h"
 
+namespace calyx::obs {
+class SimObserver;
+}
+
 namespace calyx::sim {
 
 class SimSchedule;
@@ -170,6 +174,10 @@ class SimProgram
      * fatal() with a did-you-mean suggestion on a miss. */
     PrimModel *findModel(Symbol cell_path) const;
 
+    /** True when any instance (top or nested) still has groups, i.e.
+     * the program needs the control interpreter rather than CycleSim. */
+    bool hasGroups() const;
+
     const std::vector<std::unique_ptr<PrimModel>> &models() const
     {
         return modelList;
@@ -200,8 +208,14 @@ class SimProgram
      * --sim-engine=compiled over this program shares one module and
      * codegen happens once. fatal() like schedule() on rejection, plus
      * on a missing host toolchain or a failed host compile.
+     *
+     * The probed variant (`probe = true`) is generated with observer
+     * callbacks compiled in (emit/cppsim.h) and cached separately —
+     * requesting it never slows down unobserved runs of the plain
+     * module, whose hot path stays branch-free.
      */
-    std::shared_ptr<CompiledModule> compiledModule() const;
+    std::shared_ptr<CompiledModule> compiledModule(bool probe = false)
+        const;
 
     const Context &context() const { return *ctx; }
 
@@ -222,7 +236,8 @@ class SimProgram
     std::unordered_map<Symbol, PrimModel *> modelIndex;
     std::vector<std::string> assignDescs;
     mutable std::unique_ptr<SimSchedule> sched; ///< Lazily built.
-    mutable std::shared_ptr<CompiledModule> compiled; ///< Lazily loaded.
+    /// Lazily loaded generated modules: [0] plain, [1] with probes.
+    mutable std::shared_ptr<CompiledModule> compiled[2];
 };
 
 /**
@@ -269,6 +284,26 @@ class SimState
     Engine engine() const { return engineVal; }
     const SimProgram &program() const { return *prog; }
 
+    /**
+     * Attach an observer (obs/observer.h); not owned, must outlive the
+     * state. Every subsequent comb() notifies all observers in
+     * attachment order, on every engine. Attach before the first
+     * compiled-engine comb(): attaching later reloads the generated
+     * module in its probed variant.
+     */
+    void addObserver(obs::SimObserver *observer);
+
+    const std::vector<obs::SimObserver *> &observers() const
+    {
+        return observerList;
+    }
+
+    /** Cycles settled (comb() calls) since reset, observer-visible. */
+    uint64_t settledCycles() const { return cycleIndex; }
+
+    /** Notify observers that the run ended (drivers call this once). */
+    void finishObservers(uint64_t cycles);
+
   private:
     int combJacobi();
     int combLevelized();
@@ -279,6 +314,12 @@ class SimState
 
     /** fatal() with the module's sticky runtime error, if any. */
     void checkCompiledError();
+
+    /** Run every observer's cycleSettled for the current cycle. */
+    void notifySettled();
+
+    /** C callback the probed generated module invokes after eval(). */
+    static void probeThunk(void *ctx, const uint64_t *vals);
 
     /** Settled value of one port under driver priority; see evalPort(). */
     uint64_t evalPort(uint32_t port, bool check_conflicts);
@@ -327,6 +368,11 @@ class SimState
     std::shared_ptr<CompiledModule> compiledMod; ///< Shared per digest.
     void *compiledInst = nullptr; ///< This state's generated instance.
     size_t continuousCount = 0;   ///< Total continuous assignments.
+    bool compiledProbe = false;   ///< Loaded module notifies observers.
+
+    // --- Observability ----------------------------------------------
+    std::vector<obs::SimObserver *> observerList;
+    uint64_t cycleIndex = 0; ///< Settled cycles since reset().
 };
 
 /** Maximum Jacobi passes / local SCC iterations before giving up. */

@@ -346,6 +346,7 @@ Interp::run(uint64_t max_cycles)
         }
         stateVal.clock();
     }
+    stateVal.finishObservers(cycles);
     return cycles;
 }
 

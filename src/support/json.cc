@@ -1,6 +1,8 @@
 #include "support/json.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
 
 #include "support/error.h"
@@ -22,6 +24,15 @@ Value::number(uint64_t n)
     Value v;
     v.kindVal = Kind::Num;
     v.numVal = n;
+    return v;
+}
+
+Value
+Value::real(double d)
+{
+    Value v;
+    v.kindVal = Kind::Real;
+    v.realVal = d;
     return v;
 }
 
@@ -59,6 +70,7 @@ kindName(Value::Kind k)
       case Value::Kind::Null: return "null";
       case Value::Kind::Bool: return "bool";
       case Value::Kind::Num:  return "number";
+      case Value::Kind::Real: return "real";
       case Value::Kind::Str:  return "string";
       case Value::Kind::Arr:  return "array";
       case Value::Kind::Obj:  return "object";
@@ -88,6 +100,16 @@ Value::asNum() const
     if (kindVal != Kind::Num)
         wrongKind(Kind::Num, kindVal);
     return numVal;
+}
+
+double
+Value::asReal() const
+{
+    if (kindVal == Kind::Num)
+        return static_cast<double>(numVal);
+    if (kindVal != Kind::Real)
+        wrongKind(Kind::Real, kindVal);
+    return realVal;
 }
 
 const std::string &
@@ -195,6 +217,22 @@ Value::write(std::ostream &os, int indent) const
       case Kind::Num:
         os << numVal;
         break;
+      case Kind::Real: {
+        // %.17g round-trips doubles but litters output with noise
+        // digits; profile fields are percentages and milliseconds, so
+        // six significant digits are plenty. Non-finite values have no
+        // JSON spelling; emit 0.
+        char buf[32];
+        double d = realVal;
+        if (!(d == d) || d > 1e308 || d < -1e308)
+            d = 0;
+        std::snprintf(buf, sizeof(buf), "%.6g", d);
+        os << buf;
+        // Keep a syntactic marker so the value re-parses as Real.
+        if (!std::strpbrk(buf, ".eE"))
+            os << ".0";
+        break;
+      }
       case Kind::Str:
         writeEscaped(strVal, os);
         break;
@@ -319,7 +357,7 @@ class JsonParser
             return parseArray();
         if (c == '"')
             return Value::str(parseString());
-        if (c >= '0' && c <= '9')
+        if ((c >= '0' && c <= '9') || c == '-')
             return parseNumber();
         if (consumeWord("true"))
             return Value::boolean(true);
@@ -435,22 +473,61 @@ class JsonParser
     Value
     parseNumber()
     {
+        size_t start = pos;
+        bool negative = false;
+        if (pos < text.size() && text[pos] == '-') {
+            negative = true;
+            ++pos;
+        }
         uint64_t n = 0;
-        bool any = false;
+        bool any = false, overflow = false;
         while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
             uint64_t digit = static_cast<uint64_t>(text[pos] - '0');
             if (n > (UINT64_MAX - digit) / 10)
-                err("integer overflow");
-            n = n * 10 + digit;
+                overflow = true;
+            else
+                n = n * 10 + digit;
             ++pos;
             any = true;
         }
         if (!any)
             err("expected digits");
-        if (pos < text.size() &&
-            (text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E'))
-            err("only unsigned integers are supported");
-        return Value::number(n);
+        bool fractional = pos < text.size() &&
+                          (text[pos] == '.' || text[pos] == 'e' ||
+                           text[pos] == 'E');
+        if (!negative && !fractional) {
+            // Plain unsigned integer: keep full 64-bit precision (the
+            // netlist format depends on exact round-trips).
+            if (overflow)
+                err("integer overflow");
+            return Value::number(n);
+        }
+        if (fractional) {
+            if (text[pos] == '.') {
+                ++pos;
+                if (pos >= text.size() || text[pos] < '0' ||
+                    text[pos] > '9')
+                    err("expected digits after '.'");
+                while (pos < text.size() && text[pos] >= '0' &&
+                       text[pos] <= '9')
+                    ++pos;
+            }
+            if (pos < text.size() &&
+                (text[pos] == 'e' || text[pos] == 'E')) {
+                ++pos;
+                if (pos < text.size() &&
+                    (text[pos] == '+' || text[pos] == '-'))
+                    ++pos;
+                if (pos >= text.size() || text[pos] < '0' ||
+                    text[pos] > '9')
+                    err("expected exponent digits");
+                while (pos < text.size() && text[pos] >= '0' &&
+                       text[pos] <= '9')
+                    ++pos;
+            }
+        }
+        return Value::real(
+            std::strtod(text.substr(start, pos - start).c_str(), nullptr));
     }
 
     const std::string &text;

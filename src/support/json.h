@@ -11,9 +11,10 @@ namespace calyx::json {
 
 /**
  * Minimal JSON document model for the netlist interchange format
- * (src/emit/json_netlist.*). Self-contained on purpose: the container
- * image bakes in no JSON library, and the subset we need — objects,
- * arrays, strings, unsigned integers, booleans — is tiny.
+ * (src/emit/json_netlist.*) and the observability report envelope
+ * (src/obs/report.h). Self-contained on purpose: the container image
+ * bakes in no JSON library, and the subset we need — objects, arrays,
+ * strings, unsigned integers, reals, booleans — is tiny.
  *
  * Objects preserve insertion order so emitted documents are
  * deterministic and diffable.
@@ -21,12 +22,13 @@ namespace calyx::json {
 class Value
 {
   public:
-    enum class Kind { Null, Bool, Num, Str, Arr, Obj };
+    enum class Kind { Null, Bool, Num, Real, Str, Arr, Obj };
 
     Value() = default;
 
     static Value boolean(bool b);
     static Value number(uint64_t n);
+    static Value real(double d);
     static Value str(std::string s);
     static Value array();
     static Value object();
@@ -37,6 +39,9 @@ class Value
     /** Typed accessors; fatal() on a kind mismatch. */
     bool asBool() const;
     uint64_t asNum() const;
+    /** Real value; integer Nums coerce (a profile field like 1.0 may
+     * have been written and re-parsed as 1). */
+    double asReal() const;
     const std::string &asStr() const;
     const std::vector<Value> &items() const;
     const std::vector<std::pair<std::string, Value>> &members() const;
@@ -61,6 +66,7 @@ class Value
     Kind kindVal = Kind::Null;
     bool boolVal = false;
     uint64_t numVal = 0;
+    double realVal = 0;
     std::string strVal;
     std::vector<Value> arr;
     std::vector<std::pair<std::string, Value>> obj;
@@ -68,8 +74,9 @@ class Value
 
 /**
  * Parse a JSON document. Throws Error with a line/column position on
- * malformed input. Numbers must be unsigned integers (the netlist
- * format uses nothing else).
+ * malformed input. Plain unsigned integers parse as Num (preserving
+ * full 64-bit precision for the netlist format); numbers with a sign,
+ * fraction, or exponent parse as Real.
  */
 Value parse(const std::string &text);
 

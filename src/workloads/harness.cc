@@ -133,7 +133,8 @@ HardwareResult
 runOnHardware(const dahlia::Program &program,
               const passes::PipelineSpec &spec, const MemState &inputs,
               MemState *final_state, const passes::RunOptions &run_options,
-              sim::Engine engine)
+              sim::Engine engine,
+              const std::vector<obs::SimObserver *> &observers)
 {
     using clock = std::chrono::steady_clock;
     auto start = clock::now();
@@ -152,6 +153,8 @@ runOnHardware(const dahlia::Program &program,
 
     sim::SimProgram sp(ctx, "main");
     sim::CycleSim cs(sp, engine);
+    for (obs::SimObserver *o : observers)
+        cs.state().addObserver(o);
 
     pokeInputs(sp, program, inputs);
 

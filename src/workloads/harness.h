@@ -2,12 +2,17 @@
 #define CALYX_WORKLOADS_HARNESS_H
 
 #include <string>
+#include <vector>
 
 #include "estimate/area.h"
 #include "frontends/dahlia/ast.h"
 #include "passes/pipeline.h"
 #include "sim/env.h"
 #include "workloads/reference.h"
+
+namespace calyx::obs {
+class SimObserver;
+}
 
 namespace calyx::workloads {
 
@@ -60,13 +65,19 @@ MemState runOnInterp(const dahlia::Program &program,
  * The pipeline is a parsed PipelineSpec (or a spec string such as
  * `"all,-register-sharing"`); the CompileOptions overload is a
  * compatibility shim over compileOptionsToSpec.
+ *
+ * `observers` (obs/observer.h; not owned) are attached to the run's
+ * SimState before the simulation starts, so a workload can be traced
+ * or profiled through the same entry point the benches use.
  */
 HardwareResult runOnHardware(const dahlia::Program &program,
                              const passes::PipelineSpec &spec,
                              const MemState &inputs,
                              MemState *final_state = nullptr,
                              const passes::RunOptions &run_options = {},
-                             sim::Engine engine = sim::Engine::Levelized);
+                             sim::Engine engine = sim::Engine::Levelized,
+                             const std::vector<obs::SimObserver *>
+                                 &observers = {});
 HardwareResult runOnHardware(const dahlia::Program &program,
                              const std::string &spec,
                              const MemState &inputs,

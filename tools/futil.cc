@@ -31,6 +31,8 @@
  *                            lowering (states, actions, transitions)
  *                            instead of emitting a backend artifact
  *     --pass-timings         print per-pass wall time and stats deltas
+ *     --pass-timings=json    same, as the JSON report envelope on stdout
+ *                            (docs/observability.md)
  *     --dump-ir-after <pass> print the IR after the named pass (stderr)
  *     --verify               run the well-formed checker between passes
  *     --no-compile           emit the program without lowering control
@@ -38,6 +40,11 @@
  *     --sim-engine=<e>       combinational engine: levelized (default),
  *                            jacobi (the reference fixed-point), or
  *                            compiled (codegen + JIT via the host CXX)
+ *     --trace <file>         simulate and write a VCD waveform trace
+ *     --trace-scope=<s>      trace scope: top, state, or all (default)
+ *     --profile <file>       simulate and write the profile report
+ *                            (JSON envelope: compile + sim sections)
+ *     --profile-summary      simulate and print the profile table
  *     --area                 print the area estimate
  *     --stats                print cells/groups/control statistics
  *
@@ -48,17 +55,24 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <algorithm>
 
 #include "emit/backend.h"
 #include "estimate/area.h"
 #include "ir/fsm.h"
 #include "ir/parser.h"
+#include "obs/profile.h"
+#include "obs/report.h"
+#include "obs/vcd.h"
 #include "passes/pipeline.h"
 #include "passes/registry.h"
 #include "sim/cycle_sim.h"
+#include "sim/interp.h"
 #include "support/error.h"
 #include "support/text.h"
 
@@ -98,6 +112,7 @@ usage()
            "                         FSM lowering statistics\n"
            "  --dump-fsm             print lowered FSM machines\n"
            "  --pass-timings         print per-pass time + stats deltas\n"
+           "  --pass-timings=json    same, as a JSON report envelope\n"
            "  --dump-ir-after <pass> print IR after the named pass\n"
            "  --verify               run well-formed checker per pass\n"
            "  --no-compile           emit without lowering control\n"
@@ -105,6 +120,10 @@ usage()
            "  --sim-engine=<e>       "
         << engineList()
         << " (default levelized)\n"
+           "  --trace <file>         simulate, write a VCD trace\n"
+           "  --trace-scope=<s>      top, state, or all (default all)\n"
+           "  --profile <file>       simulate, write the JSON profile\n"
+           "  --profile-summary      simulate, print the profile table\n"
            "  --area                 print the area estimate\n"
            "  --stats                print cells/groups/control stats\n";
     return 2;
@@ -182,7 +201,10 @@ main(int argc, char **argv)
     bool emit_stats = false, dump_fsm = false;
     calyx::sim::Engine sim_engine = calyx::sim::Engine::Levelized;
     calyx::passes::RunOptions run_options;
-    bool timings = false;
+    bool timings = false, timings_json = false;
+    std::string trace_file, profile_file;
+    bool profile_summary = false;
+    calyx::obs::VcdScope trace_scope = calyx::obs::VcdScope::All;
 
     auto append_spec = [&spec_text](const std::string &item) {
         if (!spec_text.empty())
@@ -223,6 +245,30 @@ main(int argc, char **argv)
             dump_fsm = true;
         } else if (a == "--pass-timings") {
             timings = true;
+        } else if (a == "--pass-timings=json") {
+            timings = true;
+            timings_json = true;
+        } else if (a == "--trace") {
+            if (++i >= args.size())
+                return usage();
+            trace_file = args[i];
+            simulate = true;
+        } else if (a.rfind("--trace-scope=", 0) == 0) {
+            try {
+                trace_scope = calyx::obs::parseVcdScope(
+                    a.substr(std::string("--trace-scope=").size()));
+            } catch (const calyx::Error &e) {
+                std::cerr << "error: " << e.what() << "\n";
+                return 2;
+            }
+        } else if (a == "--profile") {
+            if (++i >= args.size())
+                return usage();
+            profile_file = args[i];
+            simulate = true;
+        } else if (a == "--profile-summary") {
+            profile_summary = true;
+            simulate = true;
         } else if (a == "--dump-ir-after") {
             if (++i >= args.size())
                 return usage();
@@ -301,7 +347,9 @@ main(int argc, char **argv)
                              "' is not in the pipeline '", spec.str(),
                              "'");
         }
-        run_options.collectStats = timings;
+        // The profile envelope embeds the compile section, so collect
+        // stats whenever either consumer wants them.
+        run_options.collectStats = timings || !profile_file.empty();
 
         calyx::Context ctx =
             calyx::Parser::parseProgram(buffer.str());
@@ -311,13 +359,35 @@ main(int argc, char **argv)
                       << "\ncontrol statements: " << s.controlStatements
                       << "\n";
         }
+        std::vector<calyx::passes::PassRunInfo> pass_infos;
         if (compile) {
-            auto infos = calyx::passes::runPipeline(ctx, spec, run_options);
-            if (timings)
-                printTimings(infos);
+            pass_infos =
+                calyx::passes::runPipeline(ctx, spec, run_options);
+            if (timings) {
+                if (timings_json) {
+                    calyx::json::Value env =
+                        calyx::obs::reportEnvelope(file);
+                    env.set("compile", calyx::obs::passTimingsJson(
+                                           spec.str(), pass_infos));
+                    env.write(std::cout);
+                    std::cout << "\n";
+                } else {
+                    printTimings(pass_infos);
+                }
+            }
         }
         if (emit_stats) {
-            for (const auto &comp : ctx.components()) {
+            // Deterministic order: components sorted by name, not the
+            // registration/hash order the context happens to hold.
+            std::vector<const calyx::Component *> stat_comps;
+            for (const auto &comp : ctx.components())
+                stat_comps.push_back(comp.get());
+            std::sort(stat_comps.begin(), stat_comps.end(),
+                      [](const calyx::Component *a,
+                         const calyx::Component *b) {
+                          return a->name().str() < b->name().str();
+                      });
+            for (const calyx::Component *comp : stat_comps) {
                 calyx::FsmStats fs = calyx::fsmStats(*comp);
                 if (fs.machines == 0)
                     continue;
@@ -358,8 +428,61 @@ main(int argc, char **argv)
         }
         if (simulate) {
             calyx::sim::SimProgram sp(ctx, ctx.entrypoint());
-            calyx::sim::CycleSim cs(sp, sim_engine);
-            std::cout << "cycles: " << cs.run() << "\n";
+
+            std::ofstream trace_out;
+            std::unique_ptr<calyx::obs::VcdWriter> vcd;
+            if (!trace_file.empty()) {
+                trace_out.open(trace_file);
+                if (!trace_out)
+                    calyx::fatal("cannot write ", trace_file);
+                vcd = std::make_unique<calyx::obs::VcdWriter>(
+                    sp, trace_out, trace_scope);
+            }
+            std::unique_ptr<calyx::obs::Profiler> profiler;
+            if (!profile_file.empty() || profile_summary)
+                profiler = std::make_unique<calyx::obs::Profiler>(sp);
+
+            auto attach = [&](calyx::sim::SimState &state) {
+                if (vcd)
+                    state.addObserver(vcd.get());
+                if (profiler)
+                    state.addObserver(profiler.get());
+            };
+
+            // Programs that still have groups (--no-compile, partial
+            // pipelines) run under the control interpreter; lowered
+            // ones under the cycle simulator.
+            uint64_t cycles;
+            if (sp.hasGroups()) {
+                calyx::sim::Interp interp(sp, sim_engine);
+                attach(interp.state());
+                cycles = interp.run();
+            } else {
+                calyx::sim::CycleSim cs(sp, sim_engine);
+                attach(cs.state());
+                cycles = cs.run();
+            }
+            std::cout << "cycles: " << cycles << "\n";
+
+            if (profiler && profile_summary)
+                profiler->printSummary(std::cout);
+            if (profiler && !profile_file.empty()) {
+                calyx::json::Value env = calyx::obs::reportEnvelope(file);
+                if (!pass_infos.empty())
+                    env.set("compile", calyx::obs::passTimingsJson(
+                                           spec.str(), pass_infos));
+                calyx::json::Value sim_obj = calyx::json::Value::object();
+                sim_obj.set("engine", calyx::json::Value::str(
+                                          calyx::sim::engineName(
+                                              sim_engine)));
+                sim_obj.set("profile", profiler->report());
+                env.set("sim", std::move(sim_obj));
+                std::ofstream out(profile_file);
+                if (!out)
+                    calyx::fatal("cannot write ", profile_file);
+                env.write(out);
+                out << "\n";
+            }
         }
         bool emits = !output.empty() || (!simulate && !area && !stats &&
                                          !timings && !dump_fsm);
