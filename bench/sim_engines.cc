@@ -21,6 +21,13 @@
  * attached (the "observed" row), so BENCH_sim.json records the cost of
  * leaving tracing on — and, by comparison with the plain levelized
  * row, that the tracing-off path carries no residual overhead.
+ * Observed and plain repetitions interleave pairwise so the overhead
+ * quotient compares runs taken under the same host conditions.
+ *
+ * Batched throughput (sim/batch.h) is measured per workload as
+ * stimuli/sec at batch sizes 1/64/4096 for each engine and thread
+ * count (see benchBatched), written as the per-workload "batched"
+ * rows in BENCH_sim.json.
  *
  * Usage:
  *   bench_sim_engines [--small] [--check] [--reps N] [--out FILE]
@@ -29,8 +36,12 @@
  *     --check     exit non-zero if compiled is slower than levelized on
  *                 any workload (the tiny configurations legitimately
  *                 let jacobi beat levelized, so that pair is not
- *                 gated), or if levelized throughput regressed > 5%
- *                 against the recorded baseline
+ *                 gated), if levelized throughput regressed > 5%
+ *                 against the recorded baseline, or if a batched gate
+ *                 fails (checkBatched: compiled batch-4096 >= 8x
+ *                 batch-1 on gemm; levelized N-thread batch-64 >= 2x
+ *                 single-thread on systolic_8x8 when the host has >= 2
+ *                 cores)
  *     --reps N    timing repetitions per engine (default 3)
  *     --out       output path (default BENCH_sim.json)
  *     --max-dim N skip systolic configurations larger than NxN
@@ -45,6 +56,7 @@
 #include <fstream>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "frontends/dahlia/codegen.h"
@@ -52,6 +64,7 @@
 #include "frontends/systolic/systolic.h"
 #include "obs/observer.h"
 #include "passes/pipeline.h"
+#include "sim/batch.h"
 #include "sim/compiled.h"
 #include "sim/cycle_sim.h"
 #include "support/error.h"
@@ -93,12 +106,44 @@ struct EngineRun
     }
 };
 
+/** One batched-throughput measurement: stimuli/sec for one (engine,
+ * batch size, thread count) cell, best-of-reps like EngineRun. */
+struct BatchRow
+{
+    std::string engine;
+    uint32_t batchSize = 0;
+    unsigned threads = 1;
+    uint32_t laneTile = 0;
+    int reps = 0;
+    double best = 0; ///< Fastest single repetition, seconds.
+
+    double
+    stimPerSec() const
+    {
+        return best > 0 ? static_cast<double>(batchSize) / best : 0.0;
+    }
+};
+
 struct WorkloadResult
 {
     std::string name;
     uint64_t cycles = 0;
     std::vector<EngineRun> runs; ///< Indexed like sim::engineInfos().
     EngineRun observed; ///< Levelized with a no-op observer attached.
+    std::vector<BatchRow> batched; ///< sim/batch.h throughput rows.
+
+    /** stimuli/sec of the (engine, batch, threads) row, or 0. */
+    double
+    batchStimPerSec(const std::string &engine, uint32_t batch,
+                    unsigned threads) const
+    {
+        for (const BatchRow &row : batched) {
+            if (row.engine == engine && row.batchSize == batch &&
+                row.threads == threads)
+                return row.stimPerSec();
+        }
+        return 0.0;
+    }
 
     double
     observedCps() const
@@ -186,6 +231,29 @@ benchProgram(const std::string &name, sim::SimProgram &sp, int reps,
                   sim::engineName(engine));
         }
 
+        // The observability cost row rides along with the levelized
+        // reps: the same run with a do-nothing observer attached, so
+        // BENCH_sim.json records what leaving a probe on costs (and
+        // that off costs nothing — the plain reps never touch the
+        // notification path). Observed and plain repetitions
+        // interleave within one loop: back-to-back pairs see the same
+        // host conditions, so the overhead quotient of the two bests
+        // compares like with like instead of folding in whatever the
+        // machine did between two separate measurement loops (the
+        // separated form charged one workload +67% "overhead" that
+        // was nothing but scheduler drift).
+        struct NoopObserver : obs::SimObserver
+        {
+            void
+            cycleSettled(uint64_t, const uint64_t *) override
+            {
+            }
+        } noop;
+        bool observe = engine == sim::Engine::Levelized;
+        if (observe) {
+            r.observed.cycles = run.cycles;
+            r.observed.reps = reps;
+        }
         for (int i = 0; i < reps; ++i) {
             seed();
             sim::CycleSim cs(sp, engine);
@@ -195,38 +263,87 @@ benchProgram(const std::string &name, sim::SimProgram &sp, int reps,
             run.seconds += dt;
             if (run.best == 0 || dt < run.best)
                 run.best = dt;
+            if (!observe)
+                continue;
+            seed();
+            sim::CycleSim ocs(sp, engine);
+            ocs.state().addObserver(&noop);
+            start = now();
+            ocs.run();
+            dt = now() - start;
+            r.observed.seconds += dt;
+            if (r.observed.best == 0 || dt < r.observed.best)
+                r.observed.best = dt;
         }
         run.ran = true;
-
-        // The observability cost row: the same levelized run with a
-        // do-nothing observer attached, so BENCH_sim.json records what
-        // leaving a probe on costs (and that off costs nothing — the
-        // plain row above never touches the notification path).
-        if (engine == sim::Engine::Levelized) {
-            struct NoopObserver : obs::SimObserver
-            {
-                void
-                cycleSettled(uint64_t, const uint64_t *) override
-                {
-                }
-            } noop;
-            r.observed.cycles = run.cycles;
-            r.observed.reps = reps;
-            for (int i = 0; i < reps; ++i) {
-                seed();
-                sim::CycleSim cs(sp, engine);
-                cs.state().addObserver(&noop);
-                double start = now();
-                cs.run();
-                double dt = now() - start;
-                r.observed.seconds += dt;
-                if (r.observed.best == 0 || dt < r.observed.best)
-                    r.observed.best = dt;
-            }
+        if (observe)
             r.observed.ran = true;
-        }
     }
     return r;
+}
+
+/**
+ * Batched-throughput rows (sim/batch.h): stimuli/sec per engine, batch
+ * size, and thread count, appended to `r.batched`. One resident
+ * BatchRunner per (engine, threads) pays schedule/JIT setup once —
+ * exactly the `futil --serve` usage the rows are meant to predict.
+ * Batch sizes: 1/64/4096 on the compiled engine (the --check gate
+ * holds 4096 to >= 8x the batch-1 rate on gemm, i.e. batching must
+ * amortize the fixed lane width); the levelized interpreter stops at
+ * 64 — its per-stimulus cost makes a 4096 batch minutes long without
+ * saying anything new. Thread counts: 1, plus the host's hardware
+ * concurrency when it is >= 2.
+ */
+void
+benchBatched(WorkloadResult &r, sim::SimProgram &sp,
+             const sim::Stimulus &stim, int reps,
+             const std::function<bool(sim::Engine)> &skip)
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    std::vector<unsigned> threadCfgs{1};
+    if (hw >= 2)
+        threadCfgs.push_back(hw);
+    struct Cfg
+    {
+        sim::Engine e;
+        std::vector<uint32_t> batches;
+    };
+    const std::vector<Cfg> cfgs = {
+        {sim::Engine::Compiled, {1, 64, 4096}},
+        {sim::Engine::Levelized, {1, 64}},
+    };
+    for (const Cfg &cfg : cfgs) {
+        if (skip(cfg.e))
+            continue;
+        for (unsigned th : threadCfgs) {
+            sim::BatchOptions bo;
+            bo.engine = cfg.e;
+            bo.threads = th;
+            sim::BatchRunner runner(sp, bo);
+            {
+                // Untimed warmup: JIT load, pool spin-up, allocator.
+                std::vector<sim::Stimulus> warm(1, stim);
+                runner.run(warm);
+            }
+            for (uint32_t b : cfg.batches) {
+                std::vector<sim::Stimulus> batchVec(b, stim);
+                BatchRow row;
+                row.engine = sim::engineName(cfg.e);
+                row.batchSize = b;
+                row.threads = th;
+                row.laneTile = runner.options().laneTile;
+                row.reps = b >= 4096 ? std::min(reps, 2) : reps;
+                for (int i = 0; i < row.reps; ++i) {
+                    double start = now();
+                    runner.run(batchVec);
+                    double dt = now() - start;
+                    if (row.best == 0 || dt < row.best)
+                        row.best = dt;
+                }
+                r.batched.push_back(std::move(row));
+            }
+        }
+    }
 }
 
 WorkloadResult
@@ -256,8 +373,25 @@ benchSystolic(int dim, int reps, const std::function<bool(sim::Engine)> &skip)
     };
     std::string name =
         "systolic_" + std::to_string(dim) + "x" + std::to_string(dim);
-    return benchProgram(name, sp, dim >= singleRepDim ? 1 : reps, seed,
-                        state, skip_dim);
+    WorkloadResult r = benchProgram(
+        name, sp, dim >= singleRepDim ? 1 : reps, seed, state, skip_dim);
+    if (dim <= jacobiMaxDim) {
+        // Batched rows for the tractable dims only (the gate workload
+        // is systolic_8x8; a 64x64 batch of 64 is hours of levelized).
+        sim::Stimulus stim;
+        for (int i = 0; i < dim; ++i) {
+            std::vector<uint64_t> l(dim), t(dim);
+            for (int k = 0; k < dim; ++k) {
+                l[k] = i + k + 1;
+                t[k] = 2 * i + k + 1;
+            }
+            stim.mems.emplace_back(systolic::leftMemName(i),
+                                   std::move(l));
+            stim.mems.emplace_back(systolic::topMemName(i), std::move(t));
+        }
+        benchBatched(r, sp, stim, reps, skip_dim);
+    }
+    return r;
 }
 
 WorkloadResult
@@ -279,7 +413,10 @@ benchKernel(const std::string &name, int reps,
             flat.push_back(data);
         return flat;
     };
-    return benchProgram(name, sp, reps, seed, state, skip);
+    WorkloadResult r = benchProgram(name, sp, reps, seed, state, skip);
+    benchBatched(r, sp, workloads::makeStimulus(prog, inputs), reps,
+                 skip);
+    return r;
 }
 
 void
@@ -329,6 +466,23 @@ writeJson(const std::string &path,
                           r.observed.reps, r.observed.seconds, obs_cps,
                           overhead);
             out << buf;
+        }
+        if (!r.batched.empty()) {
+            out << "     \"batched\": [\n";
+            for (size_t b = 0; b < r.batched.size(); ++b) {
+                const BatchRow &row = r.batched[b];
+                std::snprintf(
+                    buf, sizeof buf,
+                    "       {\"engine\": \"%s\", \"batch\": %u, "
+                    "\"threads\": %u, \"lane_tile\": %u, \"reps\": %d, "
+                    "\"best_seconds\": %.6f, "
+                    "\"stimuli_per_sec\": %.1f}%s\n",
+                    row.engine.c_str(), row.batchSize, row.threads,
+                    row.laneTile, row.reps, row.best, row.stimPerSec(),
+                    b + 1 < r.batched.size() ? "," : "");
+                out << buf;
+            }
+            out << "     ],\n";
         }
         std::snprintf(buf, sizeof buf,
                       "     \"speedup_levelized_vs_jacobi\": %.2f, "
@@ -388,6 +542,57 @@ checkBaseline(const std::string &path,
         }
     }
     return regressions;
+}
+
+/**
+ * --check gates on the batched rows. Two assertions:
+ *
+ *  1. Batching amortizes: on gemm, the compiled engine's batch-4096
+ *     stimuli/sec must be >= 8x its batch-1 rate (single thread).
+ *     Batch-1 pays a full fixed-width tile pass per stimulus
+ *     (BatchOptions::laneTile), so this holds the lane machinery to
+ *     actually filling its width.
+ *  2. Threads scale: on systolic_8x8, levelized batch-64 with all
+ *     hardware threads must be >= 2x the single-thread rate. Skipped
+ *     (with a note) on single-core hosts, where no multi-thread rows
+ *     exist to compare.
+ *
+ * Returns the number of failed gates.
+ */
+int
+checkBatched(const std::vector<WorkloadResult> &results)
+{
+    int failures = 0;
+    unsigned hw = std::thread::hardware_concurrency();
+    for (const WorkloadResult &r : results) {
+        if (r.name == "gemm") {
+            double b1 = r.batchStimPerSec("compiled", 1, 1);
+            double b4096 = r.batchStimPerSec("compiled", 4096, 1);
+            if (b1 > 0 && b4096 > 0 && b4096 < 8.0 * b1) {
+                std::fprintf(stderr,
+                             "FAIL gemm: compiled batch-4096 %.1f "
+                             "stimuli/s is under 8x batch-1 %.1f\n",
+                             b4096, b1);
+                ++failures;
+            }
+        }
+        if (r.name == "systolic_8x8" && hw >= 2) {
+            double t1 = r.batchStimPerSec("levelized", 64, 1);
+            double tn = r.batchStimPerSec("levelized", 64, hw);
+            if (t1 > 0 && tn > 0 && tn < 2.0 * t1) {
+                std::fprintf(stderr,
+                             "FAIL systolic_8x8: levelized batch-64 "
+                             "with %u threads %.1f stimuli/s is under "
+                             "2x single-thread %.1f\n",
+                             hw, tn, t1);
+                ++failures;
+            }
+        }
+    }
+    if (hw < 2)
+        std::printf("note: single-core host; thread-scaling gate "
+                    "skipped\n");
+    return failures;
 }
 
 /** Geomean of per-workload speedups, over workloads where both ran. */
@@ -492,6 +697,13 @@ main(int argc, char **argv)
                 std::printf(" %13s", "-");
         }
         std::printf("\n");
+        for (const auto &row : r.batched) {
+            std::printf("  batched %-9s batch %4u x%u thread%s "
+                        "(tile %2u): %10.1f stimuli/s\n",
+                        row.engine.c_str(), row.batchSize, row.threads,
+                        row.threads == 1 ? " " : "s", row.laneTile,
+                        row.stimPerSec());
+        }
         double cl = r.speedup(comp, lev);
         if (cl > 0 && cl < 1.0)
             regression = true;
@@ -539,6 +751,7 @@ main(int argc, char **argv)
                          baseline_path.c_str(), e.what());
             ++failures;
         }
+        failures += checkBatched(results);
     }
     return failures > 0 ? 1 : 0;
 }

@@ -3,9 +3,14 @@
 # (jacobi, levelized, compiled — the driver reads the registry, so a new
 # engine shows up automatically) on the fig7 (systolic) and fig8
 # (PolyBench) workloads and write BENCH_sim.json (cycles/sec per engine
-# per workload). The driver itself verifies that all engines produce
-# identical cycle counts and architectural state, and skips the
-# compiled engine when the host has no C++ toolchain.
+# per workload, plus batched stimuli/sec rows at batch 1/64/4096 per
+# engine and thread count — sim/batch.h lane planes). The driver itself
+# verifies that all engines produce identical cycle counts and
+# architectural state, and skips the compiled engine when the host has
+# no C++ toolchain. Under --check the batched rows are gated too:
+# compiled batch-4096 must be >= 8x batch-1 stimuli/sec on gemm, and
+# on multi-core hosts levelized batch-64 with all threads >= 2x
+# single-thread on systolic_8x8.
 #
 # Usage: scripts/bench_sim.sh [path/to/bench_sim_engines] [extra flags]
 #   e.g. scripts/bench_sim.sh build/bench_sim_engines --small --check

@@ -64,6 +64,7 @@ struct Codegen
     const SimProgram &prog;
     const SimSchedule &sched;
     uint32_t numPorts;
+    uint32_t L = 1; ///< Stimulus lanes (CppSimOptions::lanes).
 
     std::vector<std::vector<const SAssign *>> drivers;
     std::vector<Prim> prims;
@@ -93,13 +94,72 @@ struct Codegen
         return prog.portId(prim.path + "." + port);
     }
 
+    /**
+     * vals[] element for `port`. Scalar modules index by port id; lane
+     * modules index the SoA plane at `port * kLanes + l`, with the
+     * plane base folded to a literal and `l` the enclosing lane-loop
+     * variable (every emitted statement runs inside one).
+     */
+    std::string
+    vref(uint32_t port) const
+    {
+        if (L == 1)
+            return "vals[" + std::to_string(port) + "]";
+        return "vals[" + std::to_string(uint64_t(port) * L) + " + l]";
+    }
+
     /** Value reference: folded constant literal or vals[] load. */
     std::string
     val(uint32_t port) const
     {
         if (folded[port])
             return hexLit(foldedVal[port]);
-        return "vals[" + std::to_string(port) + "]";
+        return vref(port);
+    }
+
+    /** Current value of register slot `r` (per-lane array for L > 1). */
+    std::string
+    regRef(int r) const
+    {
+        if (L == 1)
+            return "*s->regs[" + std::to_string(r) + "]";
+        return "s->regs[" + std::to_string(r) + "][l]";
+    }
+
+    std::string
+    rdoneRef(int r) const
+    {
+        if (L == 1)
+            return "s->rdone[" + std::to_string(r) + "]";
+        return "s->rdone[" + std::to_string(uint64_t(r) * L) + " + l]";
+    }
+
+    std::string
+    mdoneRef(int m) const
+    {
+        if (L == 1)
+            return "s->mdone[" + std::to_string(m) + "]";
+        return "s->mdone[" + std::to_string(uint64_t(m) * L) + " + l]";
+    }
+
+    /** Memory element `idx` of slot `m`; lane-major for L > 1 so each
+     * lane's image is one contiguous run (cheap snapshot/seed). */
+    std::string
+    memRef(const Prim &p, const std::string &idx) const
+    {
+        std::string mem = "s->mems[" + std::to_string(p.mem) + "]";
+        if (L == 1)
+            return mem + "[" + idx + "]";
+        return mem + "[l * " + std::to_string(p.memSize) + "ull + " + idx +
+               "]";
+    }
+
+    std::string
+    gvRef(uint32_t gid) const
+    {
+        if (L == 1)
+            return "s->gv[" + std::to_string(gid) + "]";
+        return "s->gv[" + std::to_string(uint64_t(gid) * L) + " + l]";
     }
 };
 
@@ -182,7 +242,7 @@ guardExpr(const Codegen &cg, const SExpr &g)
             if (cg.folded[n.a])
                 stack.push_back((cg.foldedVal[n.a] & 1) ? "1" : "0");
             else
-                stack.push_back("(vals[" + std::to_string(n.a) + "] & 1)");
+                stack.push_back("(" + cg.vref(n.a) + " & 1)");
             break;
           case SExpr::Op::Not: {
             std::string x = std::move(stack.back());
@@ -224,7 +284,16 @@ guardExpr(const Codegen &cg, const SExpr &g)
               default:
                 panic("cppsim: bad SExpr op");
             }
-            stack.push_back("(uint64_t)(" + a + " " + op + " " + b + ")");
+            // Lane form avoids a bool-typed intermediate: GCC refuses
+            // to vectorize `(uint64_t)(a == b)` when the result feeds
+            // integer arithmetic ("bit-precision conversion"), but the
+            // select form if-converts to a mask cleanly.
+            if (cg.L > 1)
+                stack.push_back("(" + a + " " + op + " " + b +
+                                " ? 1ull : 0ull)");
+            else
+                stack.push_back("(uint64_t)(" + a + " " + op + " " + b +
+                                ")");
             break;
           }
         }
@@ -281,8 +350,7 @@ guardVar(const Codegen &cg, const SExpr &g, GuardCSE &cse)
             if (cg.folded[n.a])
                 stack.push_back((cg.foldedVal[n.a] & 1) ? "1" : "0");
             else
-                stack.push_back(cse.local("vals[" + std::to_string(n.a) +
-                                          "] & 1"));
+                stack.push_back(cse.local(cg.vref(n.a) + " & 1"));
             break;
           case SExpr::Op::Not: {
             std::string x = std::move(stack.back());
@@ -348,9 +416,10 @@ trunc(const std::string &e, Width w)
 }
 
 std::string
-memberRef(const Prim &p, const char *field)
+memberRef(const Codegen &cg, const Prim &p, const char *field)
 {
-    return "s->p" + std::to_string(p.model) + "_" + field;
+    std::string m = "s->p" + std::to_string(p.model) + "_" + field;
+    return cg.L == 1 ? m : m + "[l]";
 }
 
 /** Flattened memory address expression (mirrors MemModel::flatAddr). */
@@ -407,33 +476,36 @@ modelOutExpr(const Codegen &cg, const Prim &p, uint32_t port)
         {"std_gt", ">"},  {"std_le", "<="},  {"std_ge", ">="},
     };
     if (auto it = cmp_ops.find(t); it != cmp_ops.end()) {
-        return "(uint64_t)(" + cg.val(cg.pid(p, "left")) + " " + it->second +
-               " " + cg.val(cg.pid(p, "right")) + ")";
+        std::string l = cg.val(cg.pid(p, "left"));
+        std::string r = cg.val(cg.pid(p, "right"));
+        if (cg.L > 1) // select form vectorizes; the bool cast does not
+            return "(" + l + " " + it->second + " " + r + " ? 1ull : 0ull)";
+        return "(uint64_t)(" + l + " " + it->second + " " + r + ")";
     }
     if (t == "std_reg") {
         if (port == cg.pid(p, "done"))
-            return "(uint64_t)s->rdone[" + std::to_string(p.reg) + "]";
-        return "*s->regs[" + std::to_string(p.reg) + "]";
+            return "(uint64_t)" + cg.rdoneRef(p.reg);
+        return cg.regRef(p.reg);
     }
     if (t == "std_mem_d1" || t == "std_mem_d2") {
-        std::string mem = "s->mems[" + std::to_string(p.mem) + "]";
         std::string size = std::to_string(p.memSize) + "ull";
         if (port == cg.pid(p, "done"))
-            return "(uint64_t)s->mdone[" + std::to_string(p.mem) + "]";
+            return "(uint64_t)" + cg.mdoneRef(p.mem);
         if (port == cg.pid(p, "read_data")) {
             std::string a = memAddrExpr(cg, p, "addr0", "addr1");
-            return "(" + a + " < " + size + " ? " + mem + "[" + a +
-                   "] : 0ull)";
+            return "(" + a + " < " + size + " ? " + cg.memRef(p, a) +
+                   " : 0ull)";
         }
         std::string a = memAddrExpr(cg, p, "addr0_1", "addr1_1");
-        return "(" + a + " < " + size + " ? " + mem + "[" + a + "] : 0ull)";
+        return "(" + a + " < " + size + " ? " + cg.memRef(p, a) +
+               " : 0ull)";
     }
     if (t == "std_mult_pipe" || t == "std_div_pipe" || t == "std_sqrt") {
         if (port == cg.pid(p, "done"))
-            return "(uint64_t)" + memberRef(p, "done");
+            return "(uint64_t)" + memberRef(cg, p, "done");
         if (t == "std_div_pipe" && port == cg.pid(p, "out_remainder"))
-            return memberRef(p, "r1");
-        return memberRef(p, "r0");
+            return memberRef(cg, p, "r1");
+        return memberRef(cg, p, "r0");
     }
     fatal("cppsim: no codegen for primitive ", t);
 }
@@ -518,7 +590,7 @@ portValueStmts(const Codegen &cg, uint32_t port, const std::string &var,
                 gid = it->second;
         }
         if (gid != UINT32_MAX) {
-            guards[i] = "s->gv[" + std::to_string(gid) + "]";
+            guards[i] = cg.gvRef(gid);
             if (cg.guardHome[gid] == port &&
                 std::find(homed.begin(), homed.end(), gid) ==
                     homed.end()) {
@@ -558,6 +630,14 @@ portValueStmts(const Codegen &cg, uint32_t port, const std::string &var,
     for (size_t i = 0; i < ds.size(); ++i) {
         if (guards[i].empty())
             s += ind + var + " = " + srcExpr(cg, *ds[i]) + ";\n";
+        else if (cg.L > 1)
+            // Lane modules keep deep fan-in branchless: sequential
+            // selects are the same last-active-wins fold as the
+            // if-chain, stay linear for the host compiler, and
+            // if-convert into vector blends instead of defeating the
+            // lane loop's vectorization with control flow.
+            s += ind + var + " = " + guards[i] + " ? " +
+                 srcExpr(cg, *ds[i]) + " : " + var + ";\n";
         else
             s += ind + "if (" + guards[i] + ") " + var + " = " +
                  srcExpr(cg, *ds[i]) + ";\n";
@@ -646,20 +726,34 @@ buildGuardPool(Codegen &cg)
     }
 }
 
-/** Statements for one schedule node (one port, or one SCC loop). */
+/** Statements for one schedule node (one port, or one SCC loop).
+ * `fusable` (may be null) is set when the statement is a single
+ * expression-form line that a lane module may fuse with its neighbors
+ * into one shared lane loop. */
 std::string
-nodeStmt(const Codegen &cg, const SimSchedule::Node &node)
+nodeStmt(const Codegen &cg, const SimSchedule::Node &node,
+         bool *fusable = nullptr)
 {
+    if (fusable)
+        *fusable = false;
     const uint32_t *mem = cg.sched.memberPorts().data() + node.first;
     if (!node.cyclic) {
         uint32_t p = mem[0];
         if (cg.folded[p] || !cg.computed[p])
             return "";
-        std::string ps = std::to_string(p);
-        if (!needsBlock(cg, p))
-            return "  vals[" + ps + "] = " + portExpr(cg, p) + ";\n";
+        if (!needsBlock(cg, p)) {
+            std::string stmt =
+                "  " + cg.vref(p) + " = " + portExpr(cg, p) + ";\n";
+            // Memory reads are indexed (gather) loads the vectorizer
+            // refuses; fusing one into a lane loop of otherwise clean
+            // selects makes the whole loop scalar. Isolate them.
+            if (fusable)
+                *fusable = cg.L == 1 ||
+                           stmt.find("s->mems[") == std::string::npos;
+            return stmt;
+        }
         return "  {\n" + portValueStmts(cg, p, "v", "    ", false) +
-               "    vals[" + ps + "] = v;\n  }\n";
+               "    " + cg.vref(p) + " = v;\n  }\n";
     }
 
     // Non-trivial SCC: bounded Gauss–Seidel fixed point over the
@@ -684,37 +778,52 @@ nodeStmt(const Codegen &cg, const SimSchedule::Node &node)
         uint32_t p = mem[i];
         if (!cg.computed[p])
             continue;
-        std::string ps = std::to_string(p);
+        std::string pv = cg.vref(p);
         s += "      {\n" + portValueStmts(cg, p, "nv", "        ", true);
-        s += "        if (nv != vals[" + ps + "]) { vals[" + ps +
-             "] = nv; ch = true; }\n      }\n";
+        s += "        if (nv != " + pv + ") { " + pv +
+             " = nv; ch = true; }\n      }\n";
     }
     s += "    }\n  }\n";
     return s;
 }
 
-/** Clock-edge statements for one primitive (empty for comb cells). */
+/** Clock-edge statements for one primitive (empty for comb cells).
+ * `fusable` as in nodeStmt(): register clocks are single lines a lane
+ * module may share a lane loop across. */
 std::string
-clockStmt(const Codegen &cg, const Prim &p)
+clockStmt(const Codegen &cg, const Prim &p, bool *fusable = nullptr)
 {
     const std::string &t = p.cell->type().str();
     const auto &params = p.cell->params();
     auto w = [&params](size_t i) { return static_cast<Width>(params[i]); };
     std::string s;
+    if (fusable)
+        *fusable = false;
 
     if (t == "std_reg") {
-        std::string r = std::to_string(p.reg);
-        s += "  if (vals[" + std::to_string(cg.pid(p, "write_en")) +
-             "] & 1) { *s->regs[" + r + "] = " +
-             trunc(cg.val(cg.pid(p, "in")), w(0)) + "; s->rdone[" + r +
-             "] = 1; } else s->rdone[" + r + "] = 0;\n";
+        if (fusable)
+            *fusable = true;
+        if (cg.L > 1) {
+            // Branchless for the lane loop: a select on the held value
+            // if-converts to a vector blend where the scalar form's
+            // branch would stop vectorization of the whole fused loop.
+            s += "  { uint64_t en = " + cg.vref(cg.pid(p, "write_en")) +
+                 " & 1; " + cg.regRef(p.reg) + " = en ? " +
+                 trunc(cg.val(cg.pid(p, "in")), w(0)) + " : " +
+                 cg.regRef(p.reg) + "; " + cg.rdoneRef(p.reg) +
+                 " = (unsigned char)en; }\n";
+            return s;
+        }
+        s += "  if (" + cg.vref(cg.pid(p, "write_en")) + " & 1) { " +
+             cg.regRef(p.reg) + " = " +
+             trunc(cg.val(cg.pid(p, "in")), w(0)) + "; " +
+             cg.rdoneRef(p.reg) + " = 1; } else " + cg.rdoneRef(p.reg) +
+             " = 0;\n";
         return s;
     }
     if (t == "std_mem_d1" || t == "std_mem_d2") {
-        std::string m = std::to_string(p.mem);
         std::string size = std::to_string(p.memSize) + "ull";
-        s += "  if (vals[" + std::to_string(cg.pid(p, "write_en")) +
-             "] & 1) {\n";
+        s += "  if (" + cg.vref(cg.pid(p, "write_en")) + " & 1) {\n";
         s += "    uint64_t a = " + memAddrExpr(cg, p, "addr0", "addr1") +
              ";\n";
         s += "    if (a >= " + size + ") {\n";
@@ -724,23 +833,47 @@ clockStmt(const Codegen &cg, const Prim &p)
              std::to_string(p.memSize) +
              ")\", (unsigned long long)a);\n"
              "      s->err = s->errbuf;\n      return;\n    }\n";
-        s += "    s->mems[" + m + "][a] = " +
+        s += "    " + cg.memRef(p, "a") + " = " +
              trunc(cg.val(cg.pid(p, "write_data")), w(0)) + ";\n";
-        s += "    s->mdone[" + m + "] = 1;\n  } else s->mdone[" + m +
-             "] = 0;\n";
+        s += "    " + cg.mdoneRef(p.mem) + " = 1;\n  } else " +
+             cg.mdoneRef(p.mem) + " = 0;\n";
         return s;
     }
     if (t == "std_mult_pipe" || t == "std_div_pipe") {
         int64_t latency = t == "std_mult_pipe" ? multLatency : divLatency;
-        std::string busy = memberRef(p, "busy"), done = memberRef(p, "done");
-        std::string rem = memberRef(p, "rem"), a = memberRef(p, "a");
-        std::string b = memberRef(p, "b"), r0 = memberRef(p, "r0");
+        std::string busy = memberRef(cg, p, "busy"),
+                    done = memberRef(cg, p, "done");
+        std::string rem = memberRef(cg, p, "rem"), a = memberRef(cg, p, "a");
+        std::string b = memberRef(cg, p, "b"), r0 = memberRef(cg, p, "r0");
         std::string finish;
         if (t == "std_mult_pipe") {
+            if (cg.L > 1 && latency > 1) {
+                // Branchless lane form: `fin`/`start` are mutually
+                // exclusive (fin implies busy, start implies idle), so
+                // the selects below replay the scalar branches exactly
+                // and the whole pipe clock if-converts to blends.
+                if (fusable)
+                    *fusable = true;
+                s += "  { uint64_t busy = " + busy + ", fin = busy & "
+                     "(" + rem + " == 1 ? 1ull : 0ull), start = (busy ^ 1) & "
+                     "(" + cg.vref(cg.pid(p, "go")) + " & 1); " +
+                     rem + " -= (int64_t)busy; " +
+                     a + " = start ? " + cg.val(cg.pid(p, "left")) +
+                     " : " + a + "; " +
+                     b + " = start ? " + cg.val(cg.pid(p, "right")) +
+                     " : " + b + "; " +
+                     r0 + " = fin ? " +
+                     trunc("(" + a + " * " + b + ")", w(0)) + " : " + r0 +
+                     "; " + rem + " = start ? " +
+                     std::to_string(latency - 1) + " : " + rem + "; " +
+                     busy + " = (unsigned char)((busy & (fin ^ 1)) | "
+                     "start); " + done + " = (unsigned char)fin; }\n";
+                return s;
+            }
             finish = r0 + " = " + trunc("(" + a + " * " + b + ")", w(0)) +
                      ";";
         } else {
-            std::string r1 = memberRef(p, "r1");
+            std::string r1 = memberRef(cg, p, "r1");
             finish = "if (" + b + " == 0) { " + r0 + " = " +
                      hexLit(bitMask(w(0))) + "; " + r1 + " = " +
                      trunc(a, w(0)) + "; } else { " + r0 + " = " +
@@ -751,8 +884,7 @@ clockStmt(const Codegen &cg, const Prim &p)
         s += "  if (" + busy + ") {\n";
         s += "    if (--" + rem + " == 0) { " + finish + " " + busy +
              " = 0; " + done + " = 1; }\n";
-        s += "  } else if (vals[" + std::to_string(cg.pid(p, "go")) +
-             "] & 1) {\n";
+        s += "  } else if (" + cg.vref(cg.pid(p, "go")) + " & 1) {\n";
         s += "    " + a + " = " + cg.val(cg.pid(p, "left")) + "; " + b +
              " = " + cg.val(cg.pid(p, "right")) + ";\n";
         if (latency <= 1)
@@ -764,16 +896,16 @@ clockStmt(const Codegen &cg, const Prim &p)
         return s;
     }
     if (t == "std_sqrt") {
-        std::string busy = memberRef(p, "busy"), done = memberRef(p, "done");
-        std::string rem = memberRef(p, "rem"), op = memberRef(p, "a");
-        std::string r0 = memberRef(p, "r0");
+        std::string busy = memberRef(cg, p, "busy"),
+                    done = memberRef(cg, p, "done");
+        std::string rem = memberRef(cg, p, "rem"), op = memberRef(cg, p, "a");
+        std::string r0 = memberRef(cg, p, "r0");
         s += "  " + done + " = 0;\n";
         s += "  if (" + busy + ") {\n";
         s += "    if (--" + rem + " == 0) { " + r0 + " = " +
              trunc("cppsim_isqrt(" + op + ")", w(0)) + "; " + busy +
              " = 0; " + done + " = 1; }\n";
-        s += "  } else if (vals[" + std::to_string(cg.pid(p, "go")) +
-             "] & 1) {\n";
+        s += "  } else if (" + cg.vref(cg.pid(p, "go")) + " & 1) {\n";
         s += "    " + op + " = " + cg.val(cg.pid(p, "in")) + ";\n";
         s += "    " + busy + " = 1; " + rem + " = 1 + cppsim_bits_needed(" +
              op + ") / 2;\n";
@@ -783,27 +915,85 @@ clockStmt(const Codegen &cg, const Prim &p)
     return "";
 }
 
-/** Per-primitive members of the generated instance struct. */
+/** Per-primitive members of the generated instance struct. Lane
+ * modules hold one slot per lane (`[kLanes]` arrays). */
 std::string
 stateMembers(const Codegen &cg)
 {
+    // "" for scalar modules, "[kLanes]" appended to every member name
+    // for lane modules so memberRef()'s `[l]` indexing lands on the
+    // lane's slot.
+    const std::string d = cg.L == 1 ? "" : "[kLanes]";
     std::string s;
     for (const Prim &p : cg.prims) {
         const std::string &t = p.cell->type().str();
         std::string pre = "p" + std::to_string(p.model) + "_";
         if (t == "std_mult_pipe" || t == "std_div_pipe") {
-            s += "  uint64_t " + pre + "a, " + pre + "b, " + pre + "r0";
+            s += "  uint64_t " + pre + "a" + d + ", " + pre + "b" + d +
+                 ", " + pre + "r0" + d;
             if (t == "std_div_pipe")
-                s += ", " + pre + "r1";
-            s += ";\n  int64_t " + pre + "rem;\n";
-            s += "  unsigned char " + pre + "busy, " + pre + "done;\n";
+                s += ", " + pre + "r1" + d;
+            s += ";\n  int64_t " + pre + "rem" + d + ";\n";
+            s += "  unsigned char " + pre + "busy" + d + ", " + pre +
+                 "done" + d + ";\n";
         } else if (t == "std_sqrt") {
-            s += "  uint64_t " + pre + "a, " + pre + "r0;\n";
-            s += "  int64_t " + pre + "rem;\n";
-            s += "  unsigned char " + pre + "busy, " + pre + "done;\n";
+            s += "  uint64_t " + pre + "a" + d + ", " + pre + "r0" + d +
+                 ";\n";
+            s += "  int64_t " + pre + "rem" + d + ";\n";
+            s += "  unsigned char " + pre + "busy" + d + ", " + pre +
+                 "done" + d + ";\n";
         }
     }
     return s;
+}
+
+/** Cap on fusable statements sharing one lane loop. Small bodies keep
+ * the host compiler's loop vectorizer effective (it gives up on huge
+ * loop bodies), while amortizing the loop overhead across statements
+ * whose vector registers it can then keep live. */
+constexpr size_t laneFuseStatements = 256;
+
+/** Byte cap per fused lane-loop body, same rationale. */
+constexpr size_t laneFuseBytes = 256 * 1024;
+
+/**
+ * Lane modules: wrap every statement in a per-lane loop. Runs of
+ * fusable single-line statements (trivial acyclic ports, register
+ * clocks) share one loop; block statements (if-chains, SCC fixed
+ * points, memory/pipe clocks) each get their own. Statement order is
+ * preserved inside a fused body, so each lane still sees the exact
+ * scalar schedule order; lanes are independent, so the changed
+ * statement-vs-lane interleaving is unobservable.
+ */
+std::vector<std::string>
+wrapLaneLoops(std::vector<std::string> stmts,
+              const std::vector<char> &fusable)
+{
+    // `ivdep` is sound by construction: every access in a lane loop is
+    // either a plane element at offset +l or a lane-private slice at
+    // base l*size, so no dependence ever crosses iterations. It spares
+    // the vectorizer the quadratic runtime alias checks between the
+    // many distinct plane pointers a fused body touches (past its
+    // versioning limit the vectorizer silently gives up).
+    static const char *open = "#pragma GCC ivdep\n"
+                              "  for (uint32_t l = 0; l < kLanes; ++l) {\n";
+    std::vector<std::string> out;
+    size_t i = 0;
+    while (i < stmts.size()) {
+        std::string body = std::move(stmts[i]);
+        size_t n = 1;
+        if (fusable[i]) {
+            while (i + n < stmts.size() && fusable[i + n] &&
+                   n < laneFuseStatements &&
+                   body.size() + stmts[i + n].size() < laneFuseBytes) {
+                body += stmts[i + n];
+                ++n;
+            }
+        }
+        out.push_back(open + body + "  }\n");
+        i += n;
+    }
+    return out;
 }
 
 /**
@@ -818,14 +1008,20 @@ stateMembers(const Codegen &cg)
  */
 std::vector<std::string>
 buildChunks(const std::string &stem, const std::vector<std::string> &stmts,
-            size_t chunk)
+            size_t chunk, bool restrict_args)
 {
+    // `__restrict` on lane chunks: `vals` is a dedicated plane buffer
+    // that never overlaps the instance state, but the vectorizer can't
+    // prove that and drops several lane loops to scalar without it.
+    const char *sig = restrict_args
+                          ? "(CppsimInst *__restrict s, uint64_t *__restrict "
+                            "vals) {\n"
+                          : "(CppsimInst *s, uint64_t *vals) {\n";
     std::vector<std::string> fns;
     size_t i = 0;
     while (i < stmts.size()) {
         std::string fn = "void cppsim_" + stem + "_chunk" +
-                         std::to_string(fns.size()) +
-                         "(CppsimInst *s, uint64_t *vals) {\n"
+                         std::to_string(fns.size()) + sig +
                          "  (void)s; (void)vals;\n";
         size_t end = std::min(stmts.size(), i + chunk);
         size_t body = 0;
@@ -847,12 +1043,14 @@ buildChunks(const std::string &stem, const std::vector<std::string> &stmts,
 }
 
 std::string
-chunkDecls(const std::string &stem, size_t count)
+chunkDecls(const std::string &stem, size_t count, bool restrict_args)
 {
     std::string s;
     for (size_t i = 0; i < count; ++i) {
         s += "void cppsim_" + stem + "_chunk" + std::to_string(i) +
-             "(CppsimInst *s, uint64_t *vals);\n";
+             (restrict_args
+                  ? "(CppsimInst *__restrict s, uint64_t *__restrict vals);\n"
+                  : "(CppsimInst *s, uint64_t *vals);\n");
     }
     return s;
 }
@@ -878,8 +1076,16 @@ emitCppSim(const SimProgram &prog, std::ostream &os,
            const CppSimOptions &opts)
 {
     rejectGroups(prog.root());
+    if (opts.lanes == 0)
+        fatal("cppsim: lanes must be >= 1");
+    if (opts.probe && opts.lanes > 1) {
+        fatal("cppsim: probe observers are single-stimulus; a lane "
+              "module (lanes=", opts.lanes,
+              ") cannot carry one (see docs/simulation.md)");
+    }
 
     Codegen cg(prog);
+    cg.L = opts.lanes;
 
     cg.drivers.assign(cg.numPorts, {});
     prog.forEachAssignment([&](const SAssign &a, bool continuous) {
@@ -902,21 +1108,33 @@ emitCppSim(const SimProgram &prog, std::ostream &os,
     // written. eval walks the whole netlist in topological schedule
     // order; clock visits every stateful primitive in model order.
     std::vector<std::string> evalStmts;
+    std::vector<char> evalFusable;
     for (const SimSchedule::Node &node : cg.sched.nodes()) {
-        std::string s = nodeStmt(cg, node);
-        if (!s.empty())
+        bool fus = false;
+        std::string s = nodeStmt(cg, node, &fus);
+        if (!s.empty()) {
             evalStmts.push_back(std::move(s));
+            evalFusable.push_back(fus);
+        }
     }
     std::vector<std::string> clockStmts;
+    std::vector<char> clockFusable;
     for (const Prim &p : cg.prims) {
-        std::string s = clockStmt(cg, p);
-        if (!s.empty())
+        bool fus = false;
+        std::string s = clockStmt(cg, p, &fus);
+        if (!s.empty()) {
             clockStmts.push_back(std::move(s));
+            clockFusable.push_back(fus);
+        }
+    }
+    if (cg.L > 1) {
+        evalStmts = wrapLaneLoops(std::move(evalStmts), evalFusable);
+        clockStmts = wrapLaneLoops(std::move(clockStmts), clockFusable);
     }
     std::vector<std::string> evalFns =
-        buildChunks("eval", evalStmts, cppsimChunkStatements);
+        buildChunks("eval", evalStmts, cppsimChunkStatements, cg.L > 1);
     std::vector<std::string> clkFns =
-        buildChunks("clk", clockStmts, cppsimChunkStatements);
+        buildChunks("clk", clockStmts, cppsimChunkStatements, cg.L > 1);
 
     bool has_sqrt = false;
     for (const Prim &p : cg.prims)
@@ -944,14 +1162,30 @@ emitCppSim(const SimProgram &prog, std::ostream &os,
     os << "constexpr uint32_t kNumMems = " << cg.numMems << ";\n";
     os << "constexpr uint32_t kNumGuards = " << cg.guardPool.size()
        << ";\n";
-    os << "constexpr int kMaxIters = " << sim::maxCombPasses << ";\n\n";
+    os << "constexpr int kMaxIters = " << sim::maxCombPasses << ";\n";
+    if (cg.L > 1)
+        os << "constexpr uint32_t kLanes = " << cg.L << ";\n";
+    os << "\n";
 
     os << "struct CppsimInst {\n";
-    os << "  uint64_t *regs[kNumRegs ? kNumRegs : 1];\n";
-    os << "  uint64_t *mems[kNumMems ? kNumMems : 1];\n";
-    os << "  unsigned char rdone[kNumRegs ? kNumRegs : 1];\n";
-    os << "  unsigned char mdone[kNumMems ? kNumMems : 1];\n";
-    os << "  uint64_t gv[kNumGuards ? kNumGuards : 1]; // guard pool\n";
+    if (cg.L == 1) {
+        os << "  uint64_t *regs[kNumRegs ? kNumRegs : 1];\n";
+        os << "  uint64_t *mems[kNumMems ? kNumMems : 1];\n";
+        os << "  unsigned char rdone[kNumRegs ? kNumRegs : 1];\n";
+        os << "  unsigned char mdone[kNumMems ? kNumMems : 1];\n";
+        os << "  uint64_t gv[kNumGuards ? kNumGuards : 1]; // guard pool\n";
+    } else {
+        os << "  uint64_t *regs[kNumRegs ? kNumRegs : 1]; "
+              "// each -> uint64_t[kLanes]\n";
+        os << "  uint64_t *mems[kNumMems ? kNumMems : 1]; "
+              "// each -> uint64_t[kLanes * size], lane-major\n";
+        os << "  unsigned char rdone[(kNumRegs ? kNumRegs : 1) * "
+              "kLanes];\n";
+        os << "  unsigned char mdone[(kNumMems ? kNumMems : 1) * "
+              "kLanes];\n";
+        os << "  uint64_t gv[(kNumGuards ? kNumGuards : 1) * kLanes]; "
+              "// guard pool\n";
+    }
     os << stateMembers(cg);
     os << "  const char *err;\n  char errbuf[192];\n";
     if (opts.probe) {
@@ -964,8 +1198,8 @@ emitCppSim(const SimProgram &prog, std::ostream &os,
         os << "uint64_t cppsim_isqrt(uint64_t v);\n"
               "int64_t cppsim_bits_needed(uint64_t v);\n";
     }
-    os << chunkDecls("eval", evalFns.size());
-    os << chunkDecls("clk", clkFns.size());
+    os << chunkDecls("eval", evalFns.size(), cg.L > 1);
+    os << chunkDecls("clk", clkFns.size(), cg.L > 1);
 
     // --- Shards: one chunk function per marker-delimited segment.
     for (const std::string &fn : evalFns)
@@ -1031,10 +1265,20 @@ emitCppSim(const SimProgram &prog, std::ostream &os,
         os << "  s->probeCtx = probeCtx;\n";
     }
     os << "  // Constant-folded ports, written once instead of per eval.\n";
-    for (uint32_t p = 0; p < cg.numPorts; ++p) {
-        if (cg.folded[p])
-            os << "  vals[" << p << "] = " << hexLit(cg.foldedVal[p])
-               << ";\n";
+    if (cg.L == 1) {
+        for (uint32_t p = 0; p < cg.numPorts; ++p) {
+            if (cg.folded[p])
+                os << "  vals[" << p << "] = " << hexLit(cg.foldedVal[p])
+                   << ";\n";
+        }
+    } else {
+        os << "  for (uint32_t l = 0; l < kLanes; ++l) {\n";
+        for (uint32_t p = 0; p < cg.numPorts; ++p) {
+            if (cg.folded[p])
+                os << "    " << cg.vref(p) << " = "
+                   << hexLit(cg.foldedVal[p]) << ";\n";
+        }
+        os << "  }\n";
     }
     os << "}\n\n";
 
@@ -1043,6 +1287,12 @@ emitCppSim(const SimProgram &prog, std::ostream &os,
     os << "extern \"C\" {\n";
     os << "uint32_t cppsim_abi() { return " << cppsimAbiVersion << "; }\n";
     os << "uint32_t cppsim_num_ports() { return kNumPorts; }\n";
+    if (cg.L > 1) {
+        // Scalar modules omit the symbol entirely (sources, and hence
+        // cache digests, predate lane support); the loader treats its
+        // absence as lanes == 1.
+        os << "uint32_t cppsim_num_lanes() { return kLanes; }\n";
+    }
     os << "uint32_t cppsim_num_regs() { return kNumRegs; }\n";
     os << "uint32_t cppsim_num_mems() { return kNumMems; }\n";
     os << "uint64_t cppsim_mem_size(uint32_t i) {\n";

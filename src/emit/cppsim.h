@@ -49,6 +49,22 @@ struct CppSimOptions
      * different digest). See docs/observability.md.
      */
     bool probe = false;
+
+    /**
+     * Number of stimulus lanes the module advances per eval()/clock()
+     * call. 1 (the default) emits exactly the classic scalar module.
+     * For lanes > 1 every port value becomes a dense SoA plane —
+     * `vals[port * kLanes + lane]` — and every statement is wrapped in
+     * (or fused into) a lane loop the host compiler can vectorize, so
+     * one walk of the schedule advances `lanes` independent stimulus
+     * sets. Per-lane primitive state lives behind the same bind()
+     * pointers: each register slot points at a `uint64_t[kLanes]`
+     * array and each memory slot at a lane-major
+     * `uint64_t[kLanes * size]` block. Lane modules reject `probe`
+     * (observers are inherently single-stimulus; see
+     * docs/simulation.md "Batched & parallel execution").
+     */
+    uint32_t lanes = 1;
 };
 
 /**

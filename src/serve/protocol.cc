@@ -1,0 +1,146 @@
+#include "serve/protocol.h"
+
+#include "support/error.h"
+
+namespace calyx::serve {
+
+FrameStatus
+readFrame(std::istream &in, std::string &payload, std::string &err)
+{
+    // Length line: ASCII decimal digits terminated by '\n'. Read
+    // byte-wise so a bad byte is diagnosed exactly and nothing past
+    // the frame is consumed.
+    uint64_t len = 0;
+    size_t digits = 0;
+    int c;
+    while ((c = in.get()) != std::istream::traits_type::eof()) {
+        if (c == '\n')
+            break;
+        if (c == '\r')
+            continue; // Tolerate CRLF clients.
+        if (c < '0' || c > '9') {
+            err = std::string("frame length line holds non-digit byte "
+                              "0x") +
+                  "0123456789abcdef"[(c >> 4) & 0xf] +
+                  "0123456789abcdef"[c & 0xf] +
+                  " (expected '<decimal length>\\n<payload>')";
+            return FrameStatus::Bad;
+        }
+        len = len * 10 + uint64_t(c - '0');
+        if (++digits > 12 || len > maxFrameBytes) {
+            err = "frame length exceeds the " +
+                  std::to_string(maxFrameBytes) + "-byte limit";
+            return FrameStatus::Bad;
+        }
+    }
+    if (c == std::istream::traits_type::eof()) {
+        if (digits == 0) {
+            err.clear();
+            return FrameStatus::Eof;
+        }
+        err = "stream ended inside a frame length line";
+        return FrameStatus::Bad;
+    }
+    if (digits == 0) {
+        err = "empty frame length line";
+        return FrameStatus::Bad;
+    }
+    payload.resize(len);
+    in.read(payload.data(), static_cast<std::streamsize>(len));
+    if (static_cast<uint64_t>(in.gcount()) != len) {
+        err = "stream ended after " + std::to_string(in.gcount()) +
+              " of " + std::to_string(len) + " payload bytes";
+        return FrameStatus::Bad;
+    }
+    err.clear();
+    return FrameStatus::Ok;
+}
+
+void
+writeFrame(std::ostream &out, const std::string &payload)
+{
+    out << payload.size() << '\n' << payload;
+    out.flush();
+}
+
+std::vector<sim::Stimulus>
+parseStimuli(const json::Value &batch)
+{
+    if (batch.kind() != json::Value::Kind::Arr)
+        fatal("serve: 'batch' must be an array of stimulus objects");
+    std::vector<sim::Stimulus> out;
+    out.reserve(batch.items().size());
+    for (const json::Value &item : batch.items()) {
+        if (item.kind() != json::Value::Kind::Obj) {
+            fatal("serve: stimulus ", out.size(),
+                  " is not an object (want {\"mems\": {...}})");
+        }
+        sim::Stimulus s;
+        if (const json::Value *mems = item.find("mems")) {
+            if (mems->kind() != json::Value::Kind::Obj)
+                fatal("serve: stimulus ", out.size(),
+                      ": 'mems' must map cell paths to word arrays");
+            for (const auto &[path, words] : mems->members()) {
+                if (words.kind() != json::Value::Kind::Arr)
+                    fatal("serve: stimulus ", out.size(), ": memory '",
+                          path, "' must be an array of words");
+                std::vector<uint64_t> image;
+                image.reserve(words.items().size());
+                for (const json::Value &w : words.items())
+                    image.push_back(w.asNum());
+                s.mems.emplace_back(path, std::move(image));
+            }
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+json::Value
+lanesJson(const std::vector<sim::LaneResult> &lanes,
+          const std::vector<std::string> &regPaths,
+          const std::vector<std::string> &memPaths)
+{
+    json::Value arr = json::Value::array();
+    for (const sim::LaneResult &lane : lanes) {
+        json::Value obj = json::Value::object();
+        obj.set("cycles", json::Value::number(lane.cycles));
+        json::Value regs = json::Value::object();
+        for (size_t r = 0; r < lane.regs.size(); ++r)
+            regs.set(regPaths[r], json::Value::number(lane.regs[r]));
+        obj.set("regs", std::move(regs));
+        json::Value mems = json::Value::object();
+        for (size_t m = 0; m < lane.mems.size(); ++m) {
+            json::Value words = json::Value::array();
+            for (uint64_t w : lane.mems[m])
+                words.push(json::Value::number(w));
+            mems.set(memPaths[m], std::move(words));
+        }
+        obj.set("mems", std::move(mems));
+        arr.push(std::move(obj));
+    }
+    json::Value result = json::Value::object();
+    result.set("lanes", std::move(arr));
+    return result;
+}
+
+std::string
+errorResponse(const std::string &msg)
+{
+    json::Value v = json::Value::object();
+    v.set("ok", json::Value::boolean(false));
+    v.set("error", json::Value::str(msg));
+    return v.str();
+}
+
+std::string
+okResponse(const std::string &type, json::Value result)
+{
+    json::Value v = json::Value::object();
+    v.set("ok", json::Value::boolean(true));
+    v.set("type", json::Value::str(type));
+    v.set("result", std::move(result));
+    return v.str();
+}
+
+} // namespace calyx::serve

@@ -1,0 +1,123 @@
+#include "serve/server.h"
+
+#include "obs/report.h"
+#include "serve/protocol.h"
+#include "sim/env.h"
+#include "support/error.h"
+
+namespace calyx::serve {
+
+namespace {
+
+json::Value
+statsJson(const ServeOptions &opts, const ServeStats &stats,
+          const sim::BatchRunner &runner)
+{
+    json::Value env = obs::reportEnvelope(opts.file);
+    json::Value s = json::Value::object();
+    s.set("engine",
+          json::Value::str(sim::engineName(runner.options().engine)));
+    s.set("lane_tile", json::Value::number(runner.options().laneTile));
+    s.set("threads", json::Value::number(runner.options().threads));
+    s.set("requests", json::Value::number(stats.requests));
+    s.set("runs", json::Value::number(stats.runs));
+    s.set("stimuli", json::Value::number(stats.stimuli));
+    s.set("errors", json::Value::number(stats.errors));
+    s.set("module_loads", json::Value::number(runner.moduleLoads()));
+    s.set("modules_from_cache",
+          json::Value::boolean(runner.modulesFromCache()));
+    env.set("serve", std::move(s));
+    return env;
+}
+
+} // namespace
+
+ServeStats
+serve(const sim::SimProgram &prog, std::istream &in, std::ostream &out,
+      const ServeOptions &opts)
+{
+    sim::BatchOptions bo;
+    bo.engine = opts.engine;
+    bo.threads = opts.threads;
+    if (opts.laneTile)
+        bo.laneTile = opts.laneTile;
+    bo.maxCycles = opts.maxCycles;
+    // Resident runner: schedule walk tables and the JIT module are
+    // built here, once, before the first request is even read.
+    sim::BatchRunner runner(prog, bo);
+
+    ServeStats stats;
+    std::string payload, frameErr;
+    for (;;) {
+        FrameStatus fs = readFrame(in, payload, frameErr);
+        if (fs == FrameStatus::Eof)
+            break;
+        if (fs == FrameStatus::Bad) {
+            ++stats.errors;
+            writeFrame(out, errorResponse("bad frame: " + frameErr));
+            break; // Frame boundaries are gone; session over.
+        }
+        ++stats.requests;
+        try {
+            json::Value req = json::parse(payload);
+            if (req.kind() != json::Value::Kind::Obj)
+                fatal("request must be a JSON object");
+            const json::Value *type = req.find("type");
+            if (!type)
+                fatal("request has no 'type'");
+            const std::string &t = type->asStr();
+            if (t == "ping") {
+                writeFrame(out,
+                           okResponse("ping", json::Value::str("pong")));
+            } else if (t == "run") {
+                const json::Value *batch = req.find("batch");
+                if (!batch)
+                    fatal("run request has no 'batch'");
+                std::vector<sim::Stimulus> stimuli =
+                    parseStimuli(*batch);
+                if (stimuli.empty())
+                    fatal("run request batch is empty");
+                std::vector<sim::LaneResult> lanes = runner.run(stimuli);
+                ++stats.runs;
+                stats.stimuli += stimuli.size();
+                writeFrame(out, okResponse(
+                                    "run", lanesJson(lanes,
+                                                     runner.regPaths(),
+                                                     runner.memPaths())));
+            } else if (t == "stats") {
+                writeFrame(out, okResponse(
+                                    "stats",
+                                    statsJson(opts, stats, runner)));
+            } else if (t == "shutdown") {
+                writeFrame(out, okResponse("shutdown",
+                                           json::Value::str("bye")));
+                break;
+            } else {
+                fatal("unknown request type '", t,
+                      "' (want ping, run, stats, or shutdown)");
+            }
+        } catch (const Error &e) {
+            // Bad request, good framing: reject and keep serving.
+            ++stats.errors;
+            writeFrame(out, errorResponse(e.what()));
+        }
+    }
+    return stats;
+}
+
+void
+rejectObserverFlag(const std::string &observer_flag,
+                   const std::string &mode_flag)
+{
+    fatal(observer_flag, " cannot be combined with ", mode_flag, ": ",
+          observer_flag == "--trace" ? "a VCD trace observes one scalar "
+                                       "stimulus trajectory"
+                                     : "the profiler observes one scalar "
+                                       "stimulus trajectory",
+          ", but ", mode_flag,
+          " advances many lanes per pass and has no per-lane probe "
+          "hookup (docs/observability.md). Drop ", observer_flag,
+          " or run a scalar --sim instead.");
+}
+
+} // namespace calyx::serve

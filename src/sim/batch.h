@@ -1,0 +1,162 @@
+#ifndef CALYX_SIM_BATCH_H
+#define CALYX_SIM_BATCH_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/env.h"
+
+namespace calyx::sim {
+
+class CompiledModule;
+
+/**
+ * One independent stimulus set for a batched run: initial memory images
+ * by hierarchical cell path (the same cells workloads::pokeInputs
+ * seeds). Memories not named start zeroed; images shorter than the
+ * memory pad with zeros. Registers always start at zero, exactly like
+ * a scalar CycleSim::run() after reset().
+ */
+struct Stimulus
+{
+    std::vector<std::pair<std::string, std::vector<uint64_t>>> mems;
+};
+
+/** Final architectural state and cycle count of one retired lane. */
+struct LaneResult
+{
+    uint64_t cycles = 0;
+    /// Final register values, register-slot order (BatchRunner::regPaths).
+    std::vector<uint64_t> regs;
+    /// Final memory images, memory-slot order (BatchRunner::memPaths).
+    std::vector<std::vector<uint64_t>> mems;
+};
+
+struct BatchOptions
+{
+    Engine engine = Engine::Compiled;
+    /// Worker threads tiles are spread over (1 = run on the caller).
+    unsigned threads = 1;
+    /**
+     * Lanes per tile. A batch is cut into tiles of at most this many
+     * lanes; each tile is one schedule walk (levelized) or one lane
+     * module pass (compiled) and one work item for the thread pool.
+     *
+     * The compiled engine runs at this width *fixed*: one resident
+     * JIT module (compiled for exactly laneTile lanes) serves every
+     * batch size, with short batches padding dead lanes — a serve
+     * process never recompiles because request shapes vary, at the
+     * cost of single-stimulus runs paying a full tile pass. 16 lanes
+     * is the measured sweet spot on AVX-512 hosts: two 8×u64 vectors
+     * per plane op, and a gemm-sized working set still L1-resident.
+     * The levelized engine narrows tiles to the batch instead (its
+     * interpreter cost is linear in live lanes, so padding only
+     * wastes work).
+     */
+    uint32_t laneTile = 16;
+    uint64_t maxCycles = 50'000'000;
+};
+
+/**
+ * Batched lane-parallel execution of one netlist over many independent
+ * stimulus sets (the ROADMAP's traffic-scale throughput item).
+ *
+ * Port values become lane arrays: the compiled engine runs a lane
+ * module whose generated statements loop over a dense SoA plane
+ * (`vals[port * lanes + lane]`, emit/cppsim.h CppSimOptions::lanes);
+ * the levelized engine walks one shared dirty-node schedule over
+ * lane-major value slices, with a private PrimModel set per lane for
+ * stateful storage. Either way one walk of the Tarjan-condensed
+ * schedule advances every lane in the tile.
+ *
+ * Lane divergence is handled by done-mask retirement: each cycle every
+ * live lane evaluates, lanes whose `done` settles high retire
+ * independently — their cycle count and architectural state snapshot
+ * at exactly the point a scalar CycleSim::run() would return — and
+ * their `go` drops so the retired design idles while siblings run on.
+ * Per-lane results are bit-identical to scalar runs by construction;
+ * tests/test_batch_sim.cc holds every lane of a batch to that.
+ *
+ * Tiles own disjoint state, so they parallelize over the work-stealing
+ * pool (sim/pool.h) without locks.
+ *
+ * A BatchRunner is resident: construction resolves the schedule, the
+ * driver tables, and (compiled engine) the JIT module once, and run()
+ * reuses them for every subsequent batch — the object `futil --serve`
+ * keeps alive across requests. Construction fatal()s on programs with
+ * groups (batching needs fully-lowered programs), on Engine::Jacobi
+ * (the oracle stays scalar), and on anything CompiledModule::load
+ * rejects. Observers are rejected by design: batched runs have no
+ * probe hookup (docs/simulation.md, docs/observability.md).
+ */
+class BatchRunner
+{
+  public:
+    BatchRunner(const SimProgram &prog, const BatchOptions &opts);
+    ~BatchRunner();
+
+    BatchRunner(const BatchRunner &) = delete;
+    BatchRunner &operator=(const BatchRunner &) = delete;
+
+    /** Run every stimulus to completion; results in batch order. */
+    std::vector<LaneResult> run(const std::vector<Stimulus> &batch);
+
+    /** Cell path per LaneResult::regs slot. */
+    const std::vector<std::string> &regPaths() const { return regPathList; }
+    /** Cell path per LaneResult::mems slot. */
+    const std::vector<std::string> &memPaths() const { return memPathList; }
+
+    /** Flattened word count of memory slot `m`. */
+    uint64_t memSize(size_t m) const { return memSizes[m]; }
+
+    /** Times a JIT module was loaded (compiled engine; a resident
+     * runner serving many batches of one shape loads exactly once). */
+    uint64_t moduleLoads() const { return loads; }
+
+    /** True when every load so far was served from the on-disk object
+     * cache without invoking the host compiler. */
+    bool modulesFromCache() const { return allFromCache; }
+
+    const BatchOptions &options() const { return opts; }
+
+  private:
+    struct LevelizedPlan;
+
+    void runCompiledTile(const std::vector<Stimulus> &batch, size_t start,
+                         size_t count, uint32_t lanes,
+                         const CompiledModule &mod,
+                         std::vector<LaneResult> &out);
+    void runLevelizedTile(const std::vector<Stimulus> &batch, size_t start,
+                          size_t count, std::vector<LaneResult> &out);
+    std::shared_ptr<CompiledModule> moduleFor(uint32_t lanes);
+
+    /// Per-memory-slot lane image for one stimulus (resolved indices).
+    std::vector<std::vector<uint64_t>> seedImages(const Stimulus &s) const;
+
+    const SimProgram *prog;
+    BatchOptions opts;
+
+    // Stateful-slot maps, model order (mirrors emit/cppsim.cc).
+    std::vector<size_t> regModelIdx, memModelIdx;
+    std::vector<std::string> regPathList, memPathList;
+    std::vector<uint64_t> memSizes;
+    std::map<std::string, size_t> memSlotByPath;
+
+    std::map<uint32_t, std::shared_ptr<CompiledModule>> modules;
+    uint64_t loads = 0;
+    bool allFromCache = true;
+
+    std::unique_ptr<LevelizedPlan> plan; ///< Levelized engine only.
+};
+
+/** One-shot convenience over a temporary BatchRunner. */
+std::vector<LaneResult> runBatch(const SimProgram &prog,
+                                 const std::vector<Stimulus> &batch,
+                                 const BatchOptions &opts);
+
+} // namespace calyx::sim
+
+#endif // CALYX_SIM_BATCH_H

@@ -50,11 +50,25 @@ hostCompiler()
  * verilator exposes as -O0/-O3).
  */
 std::vector<std::string>
-compileFlags(size_t source_bytes)
+compileFlags(size_t source_bytes, uint32_t lanes)
 {
     std::string flags;
     if (const char *env = std::getenv("CALYX_CPPSIM_CXXFLAGS"); env && *env) {
         flags = env;
+    } else if (lanes > 1) {
+        // Lane modules live or die by the vectorizer: their statements
+        // are per-lane loops over SoA planes, so they get the full
+        // -O3 treatment plus the host's native vector ISA (the .so is
+        // JIT-compiled for this machine, never shipped). The size
+        // scaling below matters much less here because lane loops keep
+        // per-function complexity near the scalar module's.
+        const char *opt = source_bytes < 8u << 20 ? "-O3" : "-O1";
+        flags = std::string(opt) + " -march=native -shared -fPIC"
+                " -std=c++17";
+        // GCC's if-converter refuses select chains longer than the
+        // default phi-args cap, leaving FSM next-state loops scalar
+        // ("control flow in loop"); raise it so they become blends.
+        flags += " --param max-tree-if-conversion-phi-args=64";
     } else {
         const char *opt = source_bytes < 2u << 20   ? "-O2"
                           : source_bytes < 8u << 20 ? "-O1"
@@ -178,9 +192,9 @@ constexpr size_t shardSourceBytes = 256 * 1024;
  * linked. fatal() on any failure. */
 void
 compileSource(const std::string &cxx, const std::string &source,
-              const std::string &cc, const std::string &tmp)
+              const std::string &cc, const std::string &tmp, uint32_t lanes)
 {
-    std::vector<std::string> flags = compileFlags(source.size());
+    std::vector<std::string> flags = compileFlags(source.size(), lanes);
     size_t hw = std::thread::hardware_concurrency();
     std::vector<std::string> shards =
         source.size() < shardSourceBytes
@@ -312,11 +326,12 @@ compiledEngineUnavailableReason()
 }
 
 std::shared_ptr<CompiledModule>
-CompiledModule::load(const SimProgram &prog, bool probe)
+CompiledModule::load(const SimProgram &prog, bool probe, uint32_t lanes)
 {
     std::ostringstream src;
     emit::CppSimOptions opts;
     opts.probe = probe;
+    opts.lanes = lanes;
     emit::emitCppSim(prog, src, opts);
     std::string source = src.str();
     std::string digest = contentDigest(source);
@@ -348,7 +363,7 @@ CompiledModule::load(const SimProgram &prog, bool probe)
         // Compile into a pid-unique temporary, then atomically rename:
         // concurrent builds of the same program race benignly.
         std::string tmp = so + ".tmp." + std::to_string(getpid());
-        compileSource(cxx, source, cc, tmp);
+        compileSource(cxx, source, cc, tmp, lanes);
         if (rename(tmp.c_str(), so.c_str()) != 0) {
             unlink(tmp.c_str());
             fatal("compiled engine: cannot move ", tmp, " to ", so, ": ",
@@ -373,6 +388,18 @@ CompiledModule::load(const SimProgram &prog, bool probe)
                                            so)();
     mod->mems = resolveSym<uint32_t (*)()>(mod->handle, "cppsim_num_mems",
                                            so)();
+    // Optional symbol: scalar modules predate lane support and omit it.
+    auto num_lanes = reinterpret_cast<uint32_t (*)()>(
+        dlsym(mod->handle, "cppsim_num_lanes"));
+    mod->lanes = num_lanes ? num_lanes() : 1;
+    if (mod->lanes != lanes) {
+        fatal("compiled engine: ", so, " was built for ", mod->lanes,
+              " lanes but ", lanes,
+              " were requested (hash collision or stale cache; remove it "
+              "and rerun)");
+    }
+    mod->fnMemSize = resolveSym<uint64_t (*)(uint32_t)>(
+        mod->handle, "cppsim_mem_size", so);
     mod->drivenMask = resolveSym<const unsigned char *(*)()>(
         mod->handle, "cppsim_driven", so)();
     mod->fnNew = resolveSym<void *(*)()>(mod->handle, "cppsim_new", so);

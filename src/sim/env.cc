@@ -271,6 +271,51 @@ SimProgram::findModel(Symbol cell_path) const
     return it->second;
 }
 
+std::vector<Symbol>
+SimProgram::modelPaths() const
+{
+    std::vector<Symbol> out;
+    out.reserve(modelList.size());
+    std::function<void(const Instance &)> walk = [&](const Instance &inst) {
+        size_t sub = 0;
+        for (const auto &cell : inst.comp->cells()) {
+            if (cell->isPrimitive())
+                out.push_back(inst.path + cell->name());
+            else
+                walk(*inst.subs[sub++]);
+        }
+    };
+    walk(*rootInst);
+    if (out.size() != modelList.size())
+        panic("simulator: model path walk does not match model list");
+    return out;
+}
+
+std::vector<std::unique_ptr<PrimModel>>
+SimProgram::newModelSet() const
+{
+    std::vector<std::unique_ptr<PrimModel>> out;
+    out.reserve(modelList.size());
+    std::function<void(const Instance &)> walk = [&](const Instance &inst) {
+        size_t sub = 0;
+        for (const auto &cell : inst.comp->cells()) {
+            if (cell->isPrimitive()) {
+                std::string prefix = inst.path;
+                auto resolver = [&](const std::string &port) {
+                    return portId(prefix + cell->name() + "." + port);
+                };
+                out.push_back(makeModel(*cell, resolver));
+            } else {
+                walk(*inst.subs[sub++]);
+            }
+        }
+    };
+    walk(*rootInst);
+    if (out.size() != modelList.size())
+        panic("simulator: model set walk does not match model list");
+    return out;
+}
+
 void
 SimProgram::forEachAssignment(
     const std::function<void(const SAssign &, bool)> &fn) const

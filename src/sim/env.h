@@ -183,6 +183,18 @@ class SimProgram
         return modelList;
     }
 
+    /** Hierarchical cell path of each models() entry, in order. */
+    std::vector<Symbol> modelPaths() const;
+
+    /**
+     * A fresh, independent set of primitive models in models() order.
+     * The batch runner (sim/batch.h) gives every stimulus lane its own
+     * set, so per-lane register/memory/pipeline state lives behind the
+     * ordinary PrimModel interface while the program's own models stay
+     * untouched.
+     */
+    std::vector<std::unique_ptr<PrimModel>> newModelSet() const;
+
     /** Human-readable description of assignment `id` (diagnostics). */
     const std::string &assignDesc(uint32_t id) const
     {

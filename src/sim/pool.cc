@@ -1,0 +1,189 @@
+#include "sim/pool.h"
+
+#include <exception>
+
+namespace calyx::sim {
+
+namespace {
+
+/** First exception thrown by any participant, rethrown on the caller. */
+struct ErrSlot
+{
+    std::mutex mu;
+    std::exception_ptr err;
+
+    void capture()
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        if (!err)
+            err = std::current_exception();
+    }
+};
+
+ErrSlot &
+errSlot()
+{
+    static ErrSlot e;
+    return e;
+}
+
+} // namespace
+
+WorkPool &
+WorkPool::global()
+{
+    // Leaked singleton: worker threads block on the condvar for the
+    // process lifetime, so the pool (and its synchronization objects)
+    // must never be destroyed under them.
+    static WorkPool *pool = new WorkPool;
+    return *pool;
+}
+
+unsigned
+WorkPool::defaultThreads()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+void
+WorkPool::ensureWorkers(unsigned count)
+{
+    while (spawned < count) {
+        unsigned id = spawned++;
+        std::thread t([this, id] { workerLoop(id); });
+        t.detach();
+    }
+}
+
+void
+WorkPool::workerLoop(unsigned id)
+{
+    uint64_t lastGen = 0;
+    for (;;) {
+        Job *j = nullptr;
+        size_t slot = 0;
+        {
+            std::unique_lock<std::mutex> lk(mu);
+            cv.wait(lk, [&] { return job && generation != lastGen; });
+            lastGen = generation;
+            // Worker `id` owns participant slot id + 1 (the caller is
+            // slot 0); workers beyond the job's width sit this one out.
+            if (id + 1 < job->parts) {
+                j = job;
+                slot = id + 1;
+            }
+        }
+        if (!j)
+            continue;
+        runAs(*j, slot);
+        j->done.fetch_add(1);
+        // Empty critical section orders the increment before the
+        // notify so the caller's predicate re-check cannot miss it.
+        { std::lock_guard<std::mutex> lk(mu); }
+        doneCv.notify_all();
+    }
+}
+
+void
+WorkPool::runAs(Job &job, size_t self)
+{
+    const auto &fn = *job.fn;
+    auto run = [&](size_t i) {
+        try {
+            fn(i);
+        } catch (...) {
+            errSlot().capture();
+        }
+    };
+
+    // Drain the own range front-to-back: contiguous indices keep one
+    // participant on one cache-neighborhood of tiles.
+    Range &own = job.ranges[self];
+    for (size_t i;
+         (i = own.next.fetch_add(1, std::memory_order_relaxed)) < own.end;)
+        run(i);
+
+    // Steal, one index at a time, from whichever range has the most
+    // left. The claim is the same fetch_add the owner uses, so every
+    // index is executed exactly once.
+    for (;;) {
+        size_t best = SIZE_MAX, bestLeft = 0;
+        for (size_t r = 0; r < job.parts; ++r) {
+            size_t nx = job.ranges[r].next.load(std::memory_order_relaxed);
+            if (nx < job.ranges[r].end && job.ranges[r].end - nx > bestLeft) {
+                bestLeft = job.ranges[r].end - nx;
+                best = r;
+            }
+        }
+        if (best == SIZE_MAX)
+            return;
+        Range &victim = job.ranges[best];
+        size_t i = victim.next.fetch_add(1, std::memory_order_relaxed);
+        if (i < victim.end)
+            run(i);
+    }
+}
+
+void
+WorkPool::parallelFor(size_t n, unsigned threads,
+                      const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (threads > n)
+        threads = static_cast<unsigned>(n);
+    if (threads <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    // One job at a time: the pool has a single publication slot.
+    static std::mutex jobMu;
+    std::lock_guard<std::mutex> serial(jobMu);
+
+    {
+        std::lock_guard<std::mutex> lk(errSlot().mu);
+        errSlot().err = nullptr;
+    }
+
+    Job j;
+    j.fn = &fn;
+    j.parts = threads;
+    j.ranges = std::vector<Range>(threads);
+    size_t chunk = (n + threads - 1) / threads;
+    for (size_t r = 0; r < threads; ++r) {
+        size_t start = r * chunk;
+        j.ranges[r].next.store(start, std::memory_order_relaxed);
+        j.ranges[r].end = std::min(n, start + chunk);
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        ensureWorkers(threads - 1);
+        job = &j;
+        ++generation;
+    }
+    cv.notify_all();
+
+    runAs(j, 0);
+    j.done.fetch_add(1);
+
+    {
+        std::unique_lock<std::mutex> lk(mu);
+        doneCv.wait(lk, [&] { return j.done.load() == j.parts; });
+        job = nullptr;
+    }
+
+    std::exception_ptr err;
+    {
+        std::lock_guard<std::mutex> lk(errSlot().mu);
+        err = errSlot().err;
+        errSlot().err = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+} // namespace calyx::sim

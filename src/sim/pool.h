@@ -1,0 +1,87 @@
+#ifndef CALYX_SIM_POOL_H
+#define CALYX_SIM_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace calyx::sim {
+
+/**
+ * Persistent work-stealing thread pool for batch simulation
+ * (sim/batch.h): the work items are lane tiles and level slices whose
+ * state is disjoint by construction, so the pool needs no per-item
+ * locking — only job distribution is synchronized.
+ *
+ * Work distribution is index-range stealing: parallelFor(n, w, fn)
+ * splits [0, n) into `w` contiguous ranges, one per participant, each
+ * with an atomic cursor. A participant drains its own range first
+ * (contiguous indices: lane tiles sharing cache lines stay on one
+ * core), then steals from the range with the most work left. The
+ * calling thread participates as worker 0, so `threads == 1` runs
+ * entirely on the caller with no synchronization beyond the atomics,
+ * and a 1-core machine never context-switches per item.
+ *
+ * Workers are spawned lazily up to the high-water request and persist
+ * for the process lifetime (detached at exit), so a `futil --serve`
+ * session pays thread startup once, not per request. Exceptions thrown
+ * by `fn` are captured; the first one is rethrown on the caller after
+ * every participant has drained.
+ */
+class WorkPool
+{
+  public:
+    /** The process-wide pool. */
+    static WorkPool &global();
+
+    /**
+     * Run `fn(i)` for every i in [0, n) across `threads` participants
+     * (clamped to [1, n]; the caller is one of them). Returns when all
+     * items are done. Not reentrant from inside `fn`.
+     */
+    void parallelFor(size_t n, unsigned threads,
+                     const std::function<void(size_t)> &fn);
+
+    /** A sensible default worker count: hardware_concurrency, >= 1. */
+    static unsigned defaultThreads();
+
+  private:
+    WorkPool() = default;
+
+    struct Range
+    {
+        std::atomic<size_t> next{0};
+        size_t end = 0;
+        // Cursors are hammered by their owner and occasional thieves;
+        // keep each range on its own cache line.
+        char pad[64 - sizeof(std::atomic<size_t>) - sizeof(size_t)];
+    };
+
+    struct Job
+    {
+        const std::function<void(size_t)> *fn = nullptr;
+        std::vector<Range> ranges;
+        std::atomic<size_t> done{0}; ///< Participants finished.
+        size_t parts = 0;
+    };
+
+    void ensureWorkers(unsigned count);
+    void workerLoop(unsigned id);
+    void runAs(Job &job, size_t self);
+
+    std::mutex mu;
+    std::condition_variable cv;      ///< Wakes idle workers.
+    std::condition_variable doneCv;  ///< Wakes the caller.
+    Job *job = nullptr;              ///< Published under `mu`.
+    uint64_t generation = 0;         ///< Bumped per job.
+    unsigned spawned = 0;
+    std::vector<std::thread> workers;
+};
+
+} // namespace calyx::sim
+
+#endif // CALYX_SIM_POOL_H

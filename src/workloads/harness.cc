@@ -98,6 +98,26 @@ pokeInputs(sim::SimProgram &sim, const dahlia::Program &program,
     }
 }
 
+sim::Stimulus
+makeStimulus(const dahlia::Program &program, const MemState &inputs)
+{
+    sim::Stimulus s;
+    for (const auto &d : program.decls) {
+        Layout layout = layoutOf(d);
+        const auto &data = inputs.at(d.name);
+        std::vector<std::vector<uint64_t>> banks(
+            layout.banks, std::vector<uint64_t>(data.size() / layout.banks));
+        for (uint64_t flat = 0; flat < data.size(); ++flat) {
+            auto [bank, pos] = layout.place(flat);
+            banks[bank][pos] = truncate(data[flat], d.type.width);
+        }
+        for (uint64_t b = 0; b < layout.banks; ++b)
+            s.mems.emplace_back(layout.cellName(d.name, b),
+                                std::move(banks[b]));
+    }
+    return s;
+}
+
 MemState
 readMemories(const sim::SimProgram &sim, const dahlia::Program &program)
 {

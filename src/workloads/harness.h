@@ -7,6 +7,7 @@
 #include "estimate/area.h"
 #include "frontends/dahlia/ast.h"
 #include "passes/pipeline.h"
+#include "sim/batch.h"
 #include "sim/env.h"
 #include "workloads/reference.h"
 
@@ -51,6 +52,15 @@ void pokeInputs(sim::SimProgram &sim, const dahlia::Program &program,
 /** Gather final memory contents back into the original layout. */
 MemState readMemories(const sim::SimProgram &sim,
                       const dahlia::Program &program);
+
+/**
+ * Translate row-major `inputs` into a batched-simulation stimulus
+ * (sim/batch.h): one image per banked memory cell, elements truncated
+ * to the declared width — the same scatter pokeInputs performs on a
+ * scalar SimProgram.
+ */
+sim::Stimulus makeStimulus(const dahlia::Program &program,
+                           const MemState &inputs);
 
 /** Execute on the AST reference interpreter. */
 MemState runOnInterp(const dahlia::Program &program,

@@ -40,6 +40,19 @@
  *     --sim-engine=<e>       combinational engine: levelized (default),
  *                            jacobi (the reference fixed-point), or
  *                            compiled (codegen + JIT via the host CXX)
+ *     --batch <N>            batched simulation of N stimulus sets
+ *                            (sim/batch.h lane planes); stimuli come
+ *                            from --stimuli or default to N copies of
+ *                            the zero-initialized design
+ *     --stimuli <file>       JSON stimulus batch ({"batch": [...]},
+ *                            serve/protocol.h schema) for --batch
+ *     --threads <N>          worker threads for batched simulation
+ *     --lane-tile <N>        lanes per tile (fixed compiled lane
+ *                            width; default 16)
+ *     --serve                stimulus-stream service: read
+ *                            length-prefixed JSON requests on stdin,
+ *                            answer on stdout, keep the JIT module
+ *                            resident (serve/server.h)
  *     --trace <file>         simulate and write a VCD waveform trace
  *     --trace-scope=<s>      trace scope: top, state, or all (default)
  *     --profile <file>       simulate and write the profile report
@@ -54,6 +67,7 @@
  */
 #include <cstdio>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -61,6 +75,8 @@
 #include <vector>
 
 #include <algorithm>
+
+#include <chrono>
 
 #include "emit/backend.h"
 #include "estimate/area.h"
@@ -71,6 +87,9 @@
 #include "obs/vcd.h"
 #include "passes/pipeline.h"
 #include "passes/registry.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "sim/batch.h"
 #include "sim/cycle_sim.h"
 #include "sim/interp.h"
 #include "support/error.h"
@@ -120,6 +139,12 @@ usage()
            "  --sim-engine=<e>       "
         << engineList()
         << " (default levelized)\n"
+           "  --batch <N>            batched simulation of N stimuli\n"
+           "  --stimuli <file>       JSON stimulus batch for --batch\n"
+           "  --threads <N>          batch worker threads (default 1)\n"
+           "  --lane-tile <N>        lanes per batch tile (default 16)\n"
+           "  --serve                stimulus-stream service on\n"
+           "                         stdin/stdout (length-prefixed JSON)\n"
            "  --trace <file>         simulate, write a VCD trace\n"
            "  --trace-scope=<s>      top, state, or all (default all)\n"
            "  --profile <file>       simulate, write the JSON profile\n"
@@ -200,6 +225,12 @@ main(int argc, char **argv)
     bool compile = true, simulate = false, area = false, stats = false;
     bool emit_stats = false, dump_fsm = false;
     calyx::sim::Engine sim_engine = calyx::sim::Engine::Levelized;
+    bool engine_set = false;
+    bool serve = false;
+    uint64_t batch = 0; ///< 0 = scalar simulation.
+    unsigned threads = 1;
+    uint32_t lane_tile = 0; ///< 0 = BatchOptions default.
+    std::string stimuli_file;
     calyx::passes::RunOptions run_options;
     bool timings = false, timings_json = false;
     std::string trace_file, profile_file;
@@ -283,6 +314,7 @@ main(int argc, char **argv)
             try {
                 sim_engine = calyx::sim::parseEngine(
                     a.substr(std::string("--sim-engine=").size()));
+                engine_set = true;
             } catch (const calyx::Error &e) {
                 std::cerr << "error: " << e.what() << "\n";
                 return 2;
@@ -292,8 +324,42 @@ main(int argc, char **argv)
                 return usage();
             try {
                 sim_engine = calyx::sim::parseEngine(args[i]);
+                engine_set = true;
             } catch (const calyx::Error &e) {
                 std::cerr << "error: " << e.what() << "\n";
+                return 2;
+            }
+        } else if (a == "--serve") {
+            serve = true;
+        } else if (a == "--batch") {
+            if (++i >= args.size())
+                return usage();
+            batch = std::strtoull(args[i].c_str(), nullptr, 10);
+            if (batch == 0) {
+                std::cerr << "error: --batch wants a positive count\n";
+                return 2;
+            }
+        } else if (a == "--stimuli") {
+            if (++i >= args.size())
+                return usage();
+            stimuli_file = args[i];
+        } else if (a == "--threads") {
+            if (++i >= args.size())
+                return usage();
+            threads = static_cast<unsigned>(
+                std::strtoul(args[i].c_str(), nullptr, 10));
+            if (threads == 0) {
+                std::cerr << "error: --threads wants a positive count\n";
+                return 2;
+            }
+        } else if (a == "--lane-tile") {
+            if (++i >= args.size())
+                return usage();
+            lane_tile = static_cast<uint32_t>(
+                std::strtoul(args[i].c_str(), nullptr, 10));
+            if (lane_tile == 0) {
+                std::cerr << "error: --lane-tile wants a positive "
+                             "count\n";
                 return 2;
             }
         } else if (a == "--area") {
@@ -317,7 +383,22 @@ main(int argc, char **argv)
     std::stringstream buffer;
     buffer << in.rdbuf();
 
+    bool batched = batch > 0 || !stimuli_file.empty();
     try {
+        // Flag conflicts are hard errors before any compilation work:
+        // observers hook one scalar trajectory and have no meaning
+        // over lane planes (docs/observability.md).
+        if (serve || batched) {
+            const std::string mode = serve ? "--serve" : "--batch";
+            if (!trace_file.empty())
+                calyx::serve::rejectObserverFlag("--trace", mode);
+            if (!profile_file.empty() || profile_summary)
+                calyx::serve::rejectObserverFlag("--profile", mode);
+            if (serve && batched)
+                calyx::fatal("--serve reads stimulus batches from "
+                             "stdin; drop --batch/--stimuli");
+        }
+
         // Resolve the backend up front so `futil -b nonsense` is a hard
         // error before any compilation work happens.
         std::unique_ptr<calyx::emit::Backend> emitter =
@@ -426,6 +507,85 @@ main(int argc, char **argv)
                       << "\nDSPs: " << a.dsps
                       << "\nregisters: " << a.registers << "\n";
         }
+        if (serve) {
+            calyx::sim::SimProgram sp(ctx, ctx.entrypoint());
+            calyx::serve::ServeOptions so;
+            // A resident service wants the resident-module engine
+            // unless the user explicitly asked for another one.
+            so.engine = engine_set ? sim_engine
+                                   : calyx::sim::Engine::Compiled;
+            so.threads = threads;
+            so.laneTile = lane_tile;
+            so.file = file;
+            calyx::serve::ServeStats st =
+                calyx::serve::serve(sp, std::cin, std::cout, so);
+            std::cerr << "serve: " << st.requests << " requests ("
+                      << st.runs << " runs, " << st.stimuli
+                      << " stimuli, " << st.errors << " rejected)\n";
+        }
+        if (batched) {
+            calyx::sim::SimProgram sp(ctx, ctx.entrypoint());
+            calyx::sim::BatchOptions bo;
+            bo.engine = engine_set ? sim_engine
+                                   : calyx::sim::Engine::Compiled;
+            bo.threads = threads;
+            if (lane_tile)
+                bo.laneTile = lane_tile;
+
+            std::vector<calyx::sim::Stimulus> stimuli;
+            if (!stimuli_file.empty()) {
+                std::ifstream sin(stimuli_file);
+                if (!sin)
+                    calyx::fatal("cannot open ", stimuli_file);
+                std::stringstream sbuf;
+                sbuf << sin.rdbuf();
+                calyx::json::Value doc = calyx::json::parse(sbuf.str());
+                const calyx::json::Value *arr =
+                    doc.kind() == calyx::json::Value::Kind::Obj
+                        ? doc.find("batch")
+                        : &doc;
+                if (!arr)
+                    calyx::fatal(stimuli_file,
+                                 ": no 'batch' array in stimulus file");
+                stimuli = calyx::serve::parseStimuli(*arr);
+                if (stimuli.empty())
+                    calyx::fatal(stimuli_file, ": empty stimulus batch");
+                // --batch N with a shorter file cycles the stimuli.
+                if (batch == 0)
+                    batch = stimuli.size();
+                size_t given = stimuli.size();
+                stimuli.reserve(batch);
+                for (size_t s = given; s < batch; ++s)
+                    stimuli.push_back(stimuli[s % given]);
+                stimuli.resize(batch);
+            } else {
+                stimuli.assign(batch, calyx::sim::Stimulus{});
+            }
+
+            calyx::sim::BatchRunner runner(sp, bo);
+            auto t0 = std::chrono::steady_clock::now();
+            std::vector<calyx::sim::LaneResult> lanes =
+                runner.run(stimuli);
+            double secs = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+            uint64_t lo = lanes.front().cycles, hi = lo;
+            for (const auto &lane : lanes) {
+                lo = std::min(lo, lane.cycles);
+                hi = std::max(hi, lane.cycles);
+            }
+            std::cout << "batch: " << lanes.size() << " stimuli, "
+                      << "cycles: " << lo;
+            if (hi != lo)
+                std::cout << ".." << hi;
+            std::cout << ", " << std::fixed << std::setprecision(1)
+                      << (secs > 0 ? double(lanes.size()) / secs : 0.0)
+                      << " stimuli/s ("
+                      << calyx::sim::engineName(bo.engine) << ", tile "
+                      << bo.laneTile << ", " << bo.threads
+                      << (bo.threads == 1 ? " thread)" : " threads)")
+                      << "\n";
+        }
         if (simulate) {
             calyx::sim::SimProgram sp(ctx, ctx.entrypoint());
 
@@ -484,8 +644,9 @@ main(int argc, char **argv)
                 out << "\n";
             }
         }
-        bool emits = !output.empty() || (!simulate && !area && !stats &&
-                                         !timings && !dump_fsm);
+        bool emits = !output.empty() ||
+                     (!simulate && !area && !stats && !timings &&
+                      !dump_fsm && !serve && !batched);
         if (emits) {
             if (output.empty() && !emit_stats) {
                 emitter->emit(ctx, std::cout); // stream large artifacts
