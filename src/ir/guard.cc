@@ -316,15 +316,23 @@ render(const Guard &g, int parent_prec, std::string &out)
         out += "!";
         render(*g.left(), 4, out);
         break;
+      // The right operand renders one level tighter so a right-nested
+      // same-operator tree keeps its parentheses: the parser
+      // left-associates, and printing `a & (b & c)` flat would reparse
+      // as `(a & b) & c` — semantically equal but a different tree,
+      // which downstream printers that expose tree shape (the Verilog
+      // backend's full parenthesization) would render differently.
+      // Print -> parse must preserve shape for the compile cache's
+      // byte-identity guarantee (src/cache/).
       case Guard::Kind::And:
         render(*g.left(), 2, out);
         out += " & ";
-        render(*g.right(), 2, out);
+        render(*g.right(), 3, out);
         break;
       case Guard::Kind::Or:
         render(*g.left(), 1, out);
         out += " | ";
-        render(*g.right(), 1, out);
+        render(*g.right(), 2, out);
         break;
     }
     if (parens)

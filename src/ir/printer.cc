@@ -154,7 +154,7 @@ Printer::print(const Component &comp, std::ostream &os)
 }
 
 void
-Printer::print(const Context &ctx, std::ostream &os)
+Printer::printExterns(const Context &ctx, std::ostream &os)
 {
     // Extern primitive declarations (paper §6.2).
     for (const auto &[name, def] : ctx.primitives().all()) {
@@ -202,7 +202,12 @@ Printer::print(const Context &ctx, std::ostream &os)
         }
         os << ");\n}\n\n";
     }
+}
 
+void
+Printer::print(const Context &ctx, std::ostream &os)
+{
+    printExterns(ctx, os);
     for (const auto &comp : ctx.components()) {
         print(*comp, os);
         os << "\n";

@@ -19,6 +19,13 @@ class Printer
     static void print(const Context &ctx, std::ostream &os);
     static std::string toString(const Context &ctx);
 
+    /**
+     * Print only the extern primitive declarations. Used by the compile
+     * cache (src/cache/) to assemble a parseable program out of cached
+     * per-component texts; print(ctx) is printExterns + each component.
+     */
+    static void printExterns(const Context &ctx, std::ostream &os);
+
     /** Print one component. */
     static void print(const Component &comp, std::ostream &os);
     static std::string toString(const Component &comp);

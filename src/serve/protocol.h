@@ -21,6 +21,8 @@ namespace calyx::serve {
  *
  *   request  := { "type": "ping" }
  *             | { "type": "run", "batch": [ stimulus, ... ] }
+ *             | { "type": "compile", "source": "<calyx program>",
+ *                 "pipeline"?: "<spec>", "backend"?: "<name>" }
  *             | { "type": "stats" }
  *             | { "type": "shutdown" }
  *   stimulus := { "mems": { "<cell path>": [ <word>, ... ], ... } }
@@ -33,6 +35,14 @@ namespace calyx::serve {
  * order, lane := { "cycles": N, "regs": { "<cell path>": value },
  * "mems": { "<cell path>": [ <word>, ... ] } } — the same
  * architectural snapshot a scalar CycleSim::run() leaves behind.
+ *
+ * A compile response's result is { "artifact": "<emitted text>",
+ * "backend", "pipeline" (normalized spec), "components",
+ * "components_from_cache", "artifact_from_cache", "raw_text_hit",
+ * "compile_ms", "passes_run" } — the artifact is byte-identical to
+ * what `futil -b <backend> -p <spec>` emits for the same source
+ * (docs/service.md has the cache-key contract). Unknown request types
+ * are rejected with a did-you-mean suggestion.
  */
 
 /// 64 MiB: a frame length above this is framing garbage, not a batch.

@@ -1,9 +1,12 @@
 #include "serve/server.h"
 
+#include <vector>
+
 #include "obs/report.h"
 #include "serve/protocol.h"
 #include "sim/env.h"
 #include "support/error.h"
+#include "support/text.h"
 
 namespace calyx::serve {
 
@@ -11,7 +14,8 @@ namespace {
 
 json::Value
 statsJson(const ServeOptions &opts, const ServeStats &stats,
-          const sim::BatchRunner &runner)
+          const sim::BatchRunner &runner,
+          const cache::CompileService &compiler)
 {
     json::Value env = obs::reportEnvelope(opts.file);
     json::Value s = json::Value::object();
@@ -22,12 +26,49 @@ statsJson(const ServeOptions &opts, const ServeStats &stats,
     s.set("requests", json::Value::number(stats.requests));
     s.set("runs", json::Value::number(stats.runs));
     s.set("stimuli", json::Value::number(stats.stimuli));
+    s.set("compiles", json::Value::number(stats.compiles));
     s.set("errors", json::Value::number(stats.errors));
     s.set("module_loads", json::Value::number(runner.moduleLoads()));
     s.set("modules_from_cache",
           json::Value::boolean(runner.modulesFromCache()));
+    // Compile-cache counters, mirroring the module_loads/
+    // modules_from_cache proof for the simulation side: a warm stream
+    // shows artifacts_from_cache/components_from_cache climbing while
+    // passes_run stays put.
+    const cache::CompileService::Counters &c = compiler.counters();
+    cache::CompileCache::Stats cs = compiler.cacheStats();
+    json::Value cj = json::Value::object();
+    cj.set("requests", json::Value::number(c.requests));
+    cj.set("artifacts_from_raw_text", json::Value::number(c.rawHits));
+    cj.set("artifacts_from_cache",
+           json::Value::number(c.rawHits + c.artifactHits));
+    cj.set("components_from_cache", json::Value::number(c.componentHits));
+    cj.set("component_misses", json::Value::number(c.componentMisses));
+    cj.set("cache_entries", json::Value::number(cs.entries));
+    cj.set("cache_bytes", json::Value::number(cs.bytes));
+    cj.set("cache_evictions", json::Value::number(cs.evictions));
+    cj.set("disk_hits", json::Value::number(cs.diskHits));
+    s.set("compile", std::move(cj));
     env.set("serve", std::move(s));
     return env;
+}
+
+json::Value
+compileJson(const cache::CompileResult &res, const std::string &backend)
+{
+    json::Value r = json::Value::object();
+    r.set("artifact", json::Value::str(res.artifact));
+    r.set("backend", json::Value::str(backend));
+    r.set("pipeline", json::Value::str(res.pipeline));
+    r.set("components", json::Value::number(res.components));
+    r.set("components_from_cache",
+          json::Value::number(res.componentsFromCache));
+    r.set("artifact_from_cache",
+          json::Value::boolean(res.artifactFromCache));
+    r.set("raw_text_hit", json::Value::boolean(res.rawTextHit));
+    r.set("compile_ms", json::Value::real(res.seconds * 1e3));
+    r.set("passes_run", json::Value::number(res.passInfos.size()));
+    return r;
 }
 
 } // namespace
@@ -45,6 +86,10 @@ serve(const sim::SimProgram &prog, std::istream &in, std::ostream &out,
     // Resident runner: schedule walk tables and the JIT module are
     // built here, once, before the first request is even read.
     sim::BatchRunner runner(prog, bo);
+    // Resident compiler: the compile cache lives for the session, so a
+    // stream of mutated programs pays the pass pipeline only for the
+    // components that actually changed.
+    cache::CompileService compiler(opts.compileCache);
 
     ServeStats stats;
     std::string payload, frameErr;
@@ -84,17 +129,42 @@ serve(const sim::SimProgram &prog, std::istream &in, std::ostream &out,
                                     "run", lanesJson(lanes,
                                                      runner.regPaths(),
                                                      runner.memPaths())));
-            } else if (t == "stats") {
+            } else if (t == "compile") {
+                const json::Value *src = req.find("source");
+                if (!src)
+                    fatal("compile request has no 'source'");
+                cache::CompileRequest creq;
+                creq.source = src->asStr();
+                if (const json::Value *p = req.find("pipeline"))
+                    creq.pipeline = p->asStr();
+                if (const json::Value *b = req.find("backend"))
+                    creq.backend = b->asStr();
+                creq.threads = opts.threads;
+                cache::CompileResult cres = compiler.compile(creq);
+                ++stats.compiles;
                 writeFrame(out, okResponse(
-                                    "stats",
-                                    statsJson(opts, stats, runner)));
+                                    "compile",
+                                    compileJson(cres, creq.backend)));
+            } else if (t == "stats") {
+                writeFrame(out,
+                           okResponse("stats", statsJson(opts, stats,
+                                                         runner,
+                                                         compiler)));
             } else if (t == "shutdown") {
                 writeFrame(out, okResponse("shutdown",
                                            json::Value::str("bye")));
                 break;
             } else {
-                fatal("unknown request type '", t,
-                      "' (want ping, run, stats, or shutdown)");
+                // Mirror the pass/backend registry UX: name the
+                // closest known request type when this looks like a
+                // typo.
+                static const std::vector<std::string> known = {
+                    "ping", "run", "compile", "stats", "shutdown"};
+                std::string hint = suggestClosest(t, known);
+                fatal("unknown request type '", t, "'",
+                      hint.empty() ? ""
+                                   : " (did you mean '" + hint + "'?)",
+                      "; want ping, run, compile, stats, or shutdown");
             }
         } catch (const Error &e) {
             // Bad request, good framing: reject and keep serving.

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <string>
 
+#include "cache/compile_cache.h"
 #include "sim/batch.h"
 
 namespace calyx::sim {
@@ -23,6 +24,9 @@ struct ServeOptions
     uint64_t maxCycles = 50'000'000;
     /// Input path, echoed in the stats report envelope.
     std::string file;
+    /// Compile-cache configuration for `compile` requests (the default
+    /// is memory-only; set diskDir for a persistent tier).
+    cache::CompileCache::Config compileCache;
 };
 
 /** Request counters, returned when the serve loop ends and reported
@@ -32,19 +36,24 @@ struct ServeStats
     uint64_t requests = 0; ///< Well-framed requests (any outcome).
     uint64_t runs = 0;     ///< Completed run requests.
     uint64_t stimuli = 0;  ///< Stimuli across completed runs.
+    uint64_t compiles = 0; ///< Completed compile requests.
     uint64_t errors = 0;   ///< Rejected requests (framing, JSON, shape).
 };
 
 /**
- * The `futil --serve` loop: a resident stimulus-stream service. One
- * BatchRunner — schedule, driver tables, and JIT-compiled lane module
- * — is built up front and reused for every request, so a stream of
- * stimulus batches pays compilation exactly once (the `stats` request
- * reports module_loads/modules_from_cache to prove it). Requests and
- * responses are length-prefixed JSON frames (serve/protocol.h) over
- * plain streams: stdin/stdout under futil, stringstreams under test,
- * a socketpair behind inetd-style supervision — the loop does not
- * care.
+ * The `futil --serve` loop: a resident compile + stimulus-stream
+ * service. One BatchRunner — schedule, driver tables, and JIT-compiled
+ * lane module — is built up front and reused for every `run` request,
+ * so a stream of stimulus batches pays compilation exactly once (the
+ * `stats` request reports module_loads/modules_from_cache to prove
+ * it), and one cache::CompileService answers `compile` requests
+ * (source + pipeline spec + backend in, emitted artifact out) with
+ * content-addressed caching and incremental per-component reuse, so a
+ * stream of mutated programs is served from memory (`stats` mirrors
+ * the cache-hit counters under "compile"). Requests and responses are
+ * length-prefixed JSON frames (serve/protocol.h) over plain streams:
+ * stdin/stdout under futil, stringstreams under test, a socketpair
+ * behind inetd-style supervision — the loop does not care.
  *
  * Error handling is two-tier: a frame that parses but holds a bad
  * request (malformed JSON, unknown type, bad stimulus shape, unknown

@@ -7,7 +7,7 @@
 
 #include "sim/compiled.h"
 #include "sim/models.h"
-#include "sim/pool.h"
+#include "support/pool.h"
 #include "sim/schedule.h"
 #include "support/error.h"
 

@@ -81,7 +81,7 @@ struct BatchOptions
  * tests/test_batch_sim.cc holds every lane of a batch to that.
  *
  * Tiles own disjoint state, so they parallelize over the work-stealing
- * pool (sim/pool.h) without locks.
+ * pool (support/pool.h) without locks.
  *
  * A BatchRunner is resident: construction resolves the schedule, the
  * driver tables, and (compiled engine) the JIT module once, and run()

@@ -1,8 +1,8 @@
-#include "sim/pool.h"
+#include "support/pool.h"
 
 #include <exception>
 
-namespace calyx::sim {
+namespace calyx {
 
 namespace {
 
@@ -186,4 +186,4 @@ WorkPool::parallelFor(size_t n, unsigned threads,
         std::rethrow_exception(err);
 }
 
-} // namespace calyx::sim
+} // namespace calyx

@@ -1,5 +1,5 @@
-#ifndef CALYX_SIM_POOL_H
-#define CALYX_SIM_POOL_H
+#ifndef CALYX_SUPPORT_POOL_H
+#define CALYX_SUPPORT_POOL_H
 
 #include <atomic>
 #include <condition_variable>
@@ -9,13 +9,16 @@
 #include <thread>
 #include <vector>
 
-namespace calyx::sim {
+namespace calyx {
 
 /**
- * Persistent work-stealing thread pool for batch simulation
- * (sim/batch.h): the work items are lane tiles and level slices whose
- * state is disjoint by construction, so the pool needs no per-item
- * locking — only job distribution is synchronized.
+ * Persistent work-stealing thread pool shared by every engine-agnostic
+ * parallel loop in the toolchain: batch simulation partitions lane
+ * tiles over it (sim/batch.h), and the pass manager dispatches
+ * independent components of one dependency wavefront over it
+ * (passes/pass_manager.h). In both cases the work items' state is
+ * disjoint by construction, so the pool needs no per-item locking —
+ * only job distribution is synchronized.
  *
  * Work distribution is index-range stealing: parallelFor(n, w, fn)
  * splits [0, n) into `w` contiguous ranges, one per participant, each
@@ -82,6 +85,6 @@ class WorkPool
     std::vector<std::thread> workers;
 };
 
-} // namespace calyx::sim
+} // namespace calyx
 
-#endif // CALYX_SIM_POOL_H
+#endif // CALYX_SUPPORT_POOL_H

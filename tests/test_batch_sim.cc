@@ -23,7 +23,7 @@
 #include "sim/batch.h"
 #include "sim/compiled.h"
 #include "sim/cycle_sim.h"
-#include "sim/pool.h"
+#include "support/pool.h"
 #include "support/error.h"
 #include "workloads/harness.h"
 #include "workloads/polybench.h"
@@ -307,7 +307,7 @@ TEST(WorkPool, ParallelForCoversEveryIndexOnce)
     for (unsigned threads : {1u, 2u, 4u, 7u}) {
         for (auto &h : hits)
             h.store(0);
-        sim::WorkPool::global().parallelFor(n, threads, [&](size_t i) {
+        WorkPool::global().parallelFor(n, threads, [&](size_t i) {
             hits[i].fetch_add(1);
         });
         for (size_t i = 0; i < n; ++i)
@@ -319,7 +319,7 @@ TEST(WorkPool, ParallelForCoversEveryIndexOnce)
 TEST(WorkPool, PropagatesFirstException)
 {
     try {
-        sim::WorkPool::global().parallelFor(64, 4, [&](size_t i) {
+        WorkPool::global().parallelFor(64, 4, [&](size_t i) {
             if (i == 13)
                 fatal("boom at 13");
         });
@@ -329,7 +329,7 @@ TEST(WorkPool, PropagatesFirstException)
     }
     // The pool stays usable after a failed job.
     std::atomic<size_t> count{0};
-    sim::WorkPool::global().parallelFor(32, 4,
+    WorkPool::global().parallelFor(32, 4,
                                         [&](size_t) { count.fetch_add(1); });
     EXPECT_EQ(count.load(), 32u);
 }

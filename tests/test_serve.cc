@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "emit/backend.h"
 #include "ir/parser.h"
 #include "passes/pipeline.h"
 #include "serve/protocol.h"
@@ -313,6 +314,82 @@ TEST(Serve, SustainsHundredRequestsOnResidentCompiledModule)
     // the object cache without recompiling.
     EXPECT_EQ(serve_stats.at("module_loads").asNum(), 1u);
     EXPECT_TRUE(serve_stats.at("modules_from_cache").asBool());
+}
+
+TEST(Serve, CompileRequestRoundTrip)
+{
+    Context ctx = loweredLoop();
+    sim::SimProgram sp(ctx, ctx.entrypoint());
+
+    // A compile request carrying its own source: the serve loop is a
+    // compiler service too, independent of the design it simulates.
+    json::Value creq = json::Value::object();
+    creq.set("type", json::Value::str("compile"));
+    creq.set("source", json::Value::str(kDataBoundedLoop));
+    creq.set("pipeline", json::Value::str("all"));
+    std::string creq_text;
+    {
+        std::ostringstream os;
+        creq.write(os);
+        creq_text = os.str();
+    }
+
+    std::istringstream in(
+        frame(creq_text) + frame(creq_text) + // Second one is warm.
+        frame("{\"type\": \"compile\"}") +     // Missing source.
+        frame("{\"type\": \"stat\"}") +        // Typo: did-you-mean.
+        frame("{\"type\": \"stats\"}") + frame("{\"type\": \"shutdown\"}"));
+    std::ostringstream out;
+    serve::ServeOptions opts;
+    opts.engine = sim::Engine::Levelized;
+    serve::ServeStats st = serve::serve(sp, in, out, opts);
+    EXPECT_EQ(st.compiles, 2u);
+    EXPECT_EQ(st.errors, 2u);
+
+    auto docs = responses(out.str());
+    ASSERT_EQ(docs.size(), 6u);
+
+    // Cold compile: the artifact equals futil's own output for the
+    // same source and pipeline, byte for byte.
+    ASSERT_TRUE(docs[0].at("ok").asBool());
+    const json::Value &cold = docs[0].at("result");
+    Context ref = loweredLoop();
+    std::string expected =
+        emit::BackendRegistry::instance().create("calyx")->emitString(
+            ref);
+    EXPECT_EQ(cold.at("artifact").asStr(), expected);
+    EXPECT_EQ(cold.at("backend").asStr(), "calyx");
+    EXPECT_FALSE(cold.at("artifact_from_cache").asBool());
+    EXPECT_GT(cold.at("passes_run").asNum(), 0u);
+    // The normalized pipeline names passes, not the alias.
+    EXPECT_EQ(cold.at("pipeline").asStr().find("all"),
+              std::string::npos);
+
+    // Warm compile: same bytes, served from the raw-text tier.
+    ASSERT_TRUE(docs[1].at("ok").asBool());
+    const json::Value &warm = docs[1].at("result");
+    EXPECT_EQ(warm.at("artifact").asStr(), expected);
+    EXPECT_TRUE(warm.at("artifact_from_cache").asBool());
+    EXPECT_TRUE(warm.at("raw_text_hit").asBool());
+    EXPECT_EQ(warm.at("passes_run").asNum(), 0u);
+
+    EXPECT_FALSE(docs[2].at("ok").asBool()); // No source.
+    EXPECT_NE(docs[2].at("error").asStr().find("source"),
+              std::string::npos);
+
+    // Unknown request type with a near-miss name: did-you-mean.
+    EXPECT_FALSE(docs[3].at("ok").asBool());
+    EXPECT_NE(docs[3].at("error").asStr().find("did you mean 'stats'"),
+              std::string::npos)
+        << docs[3].at("error").asStr();
+
+    // Stats mirror the compile-cache counters.
+    const json::Value &cstats =
+        docs[4].at("result").at("serve").at("compile");
+    EXPECT_EQ(cstats.at("requests").asNum(), 2u);
+    EXPECT_EQ(cstats.at("artifacts_from_cache").asNum(), 1u);
+    EXPECT_EQ(cstats.at("artifacts_from_raw_text").asNum(), 1u);
+    EXPECT_GT(cstats.at("cache_entries").asNum(), 0u);
 }
 
 TEST(Serve, RejectsObserverFlagsNamingBoth)

@@ -46,7 +46,8 @@
  *                            the zero-initialized design
  *     --stimuli <file>       JSON stimulus batch ({"batch": [...]},
  *                            serve/protocol.h schema) for --batch
- *     --threads <N>          worker threads for batched simulation
+ *     --threads <N>          worker threads for batched simulation and
+ *                            parallel per-component pass execution
  *     --lane-tile <N>        lanes per tile (fixed compiled lane
  *                            width; default 16)
  *     --serve                stimulus-stream service: read
@@ -78,6 +79,7 @@
 
 #include <chrono>
 
+#include "cache/compile_cache.h"
 #include "emit/backend.h"
 #include "estimate/area.h"
 #include "ir/fsm.h"
@@ -141,7 +143,8 @@ usage()
         << " (default levelized)\n"
            "  --batch <N>            batched simulation of N stimuli\n"
            "  --stimuli <file>       JSON stimulus batch for --batch\n"
-           "  --threads <N>          batch worker threads (default 1)\n"
+           "  --threads <N>          worker threads: batch lanes and\n"
+           "                         per-component passes (default 1)\n"
            "  --lane-tile <N>        lanes per batch tile (default 16)\n"
            "  --serve                stimulus-stream service on\n"
            "                         stdin/stdout (length-prefixed JSON)\n"
@@ -431,6 +434,7 @@ main(int argc, char **argv)
         // The profile envelope embeds the compile section, so collect
         // stats whenever either consumer wants them.
         run_options.collectStats = timings || !profile_file.empty();
+        run_options.threads = threads;
 
         calyx::Context ctx =
             calyx::Parser::parseProgram(buffer.str());
@@ -517,11 +521,18 @@ main(int argc, char **argv)
             so.threads = threads;
             so.laneTile = lane_tile;
             so.file = file;
+            // Opt into the persistent compile-cache tier the same way
+            // the cppsim module cache does: via environment.
+            if (const char *dir = std::getenv("CALYX_COMPILE_CACHE");
+                dir && *dir)
+                so.compileCache.diskDir =
+                    calyx::cache::compileCacheDir();
             calyx::serve::ServeStats st =
                 calyx::serve::serve(sp, std::cin, std::cout, so);
             std::cerr << "serve: " << st.requests << " requests ("
                       << st.runs << " runs, " << st.stimuli
-                      << " stimuli, " << st.errors << " rejected)\n";
+                      << " stimuli, " << st.compiles << " compiles, "
+                      << st.errors << " rejected)\n";
         }
         if (batched) {
             calyx::sim::SimProgram sp(ctx, ctx.entrypoint());
