@@ -65,6 +65,25 @@ struct CppSimOptions
      * docs/simulation.md "Batched & parallel execution").
      */
     uint32_t lanes = 1;
+
+    /**
+     * Macro-task partition target (sim/partition.h). 0 or 1 (the
+     * default) emits the classic single-eval module, byte-identical to
+     * before partitioning existed. For partitions > 1 the schedule is
+     * cut by buildPartitionPlan() and eval is emitted as one function
+     * group per macro-task plus embedded dependency/cost tables:
+     * `cppsim_eval_partition(s, vals, i)` runs task i alone (callers
+     * follow the plan tables, sim/partition.h's PartitionRunner), and
+     * `cppsim_eval` is kept as the in-order loop over every task for
+     * plan-free hosts — same values either way. Each partition owns a
+     * private guard-pool slice and a private error slot (`perr[i]`),
+     * so concurrent partition evals never write shared state. The
+     * probed variant is rejected with partitions (observers are
+     * notified host-side after the partitions join). Composes with
+     * lanes > 1 (batch inner parallelism): statements are lane-wrapped
+     * per task, so lane fusion never crosses a partition boundary.
+     */
+    uint32_t partitions = 0;
 };
 
 /**

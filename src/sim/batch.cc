@@ -7,6 +7,7 @@
 
 #include "sim/compiled.h"
 #include "sim/models.h"
+#include "sim/partition.h"
 #include "support/pool.h"
 #include "sim/schedule.h"
 #include "support/error.h"
@@ -93,15 +94,17 @@ BatchRunner::BatchRunner(const SimProgram &program, const BatchOptions &o)
 BatchRunner::~BatchRunner() = default;
 
 std::shared_ptr<CompiledModule>
-BatchRunner::moduleFor(uint32_t lanes)
+BatchRunner::moduleFor(uint32_t lanes, uint32_t partitions)
 {
-    auto it = modules.find(lanes);
+    auto key = std::make_pair(lanes, partitions);
+    auto it = modules.find(key);
     if (it != modules.end())
         return it->second;
-    auto mod = CompiledModule::load(*prog, /*probe=*/false, lanes);
+    auto mod = CompiledModule::load(*prog, /*probe=*/false, lanes,
+                                    partitions);
     ++loads;
     allFromCache = allFromCache && mod->fromCache();
-    modules.emplace(lanes, mod);
+    modules.emplace(key, mod);
     return mod;
 }
 
@@ -138,6 +141,7 @@ void
 BatchRunner::runCompiledTile(const std::vector<Stimulus> &batch,
                              size_t start, size_t count, uint32_t lanes,
                              const CompiledModule &mod,
+                             PartitionRunner *runner,
                              std::vector<LaneResult> &out)
 {
     const size_t np = prog->numPorts();
@@ -190,7 +194,16 @@ BatchRunner::runCompiledTile(const std::vector<Stimulus> &batch,
                   " cycles with ", liveCount, " of ", lanes,
                   " lanes unfinished");
         }
-        mod.eval(inst.inst, vals.data());
+        // Partitioned settle: the runner walks the module's macro-task
+        // plan across the pool; error() on a partitioned module
+        // aggregates every task's private slot after the join.
+        if (runner) {
+            runner->run([&](uint32_t task, unsigned) {
+                mod.evalPartition(inst.inst, vals.data(), task);
+            });
+        } else {
+            mod.eval(inst.inst, vals.data());
+        }
         if (const char *e = mod.error(inst.inst))
             fatal("compiled engine: ", e);
         // done is sampled where CycleSim samples it: after the settle,
@@ -228,6 +241,7 @@ BatchRunner::runCompiledTile(const std::vector<Stimulus> &batch,
 void
 BatchRunner::runLevelizedTile(const std::vector<Stimulus> &batch,
                               size_t start, size_t count,
+                              PartitionRunner *runner,
                               std::vector<LaneResult> &out)
 {
     const LevelizedPlan &P = *plan;
@@ -277,14 +291,21 @@ BatchRunner::runLevelizedTile(const std::vector<Stimulus> &batch,
             queue.push(n);
         }
     };
-    for (uint32_t n = 0; n < numNodes; ++n) {
-        inQueue[n] = 1;
-        queue.push(n);
+    if (!runner) {
+        for (uint32_t n = 0; n < numNodes; ++n) {
+            inQueue[n] = 1;
+            queue.push(n);
+        }
     }
 
     // Driver priority mirrors SimState::evalPort: active assignment
-    // beats the go force beats model output beats zero.
-    auto evalPort = [&](size_t l, uint32_t p, bool check) -> uint64_t {
+    // beats the go force beats model output beats zero. `tmpBlock` is
+    // a np*K scratch block for evalComb results — the shared `tmp` on
+    // the serial path, a worker-private block under the partition
+    // runner (evalComb writes every output of a model, so concurrent
+    // tasks sharing one block would race on ports they do not own).
+    auto evalPort = [&](size_t l, uint32_t p, bool check,
+                        uint64_t *tmpBlock) -> uint64_t {
         uint64_t *base = vals.data() + l * np;
         const SAssign *winner = nullptr;
         for (const SAssign *a : P.activeByPort[p]) {
@@ -305,7 +326,7 @@ BatchRunner::runLevelizedTile(const std::vector<Stimulus> &batch,
             return goVal[l] ? 1 : 0;
         int32_t mi = P.portModelIdx[p];
         if (mi >= 0) {
-            uint64_t *tb = tmp.data() + l * np;
+            uint64_t *tb = tmpBlock + l * np;
             models[l][mi]->evalComb(base, tb);
             return tb[p];
         }
@@ -323,7 +344,7 @@ BatchRunner::runLevelizedTile(const std::vector<Stimulus> &batch,
                 if (!alive[l])
                     continue;
                 uint64_t *base = vals.data() + l * np;
-                uint64_t nv = evalPort(l, p, true);
+                uint64_t nv = evalPort(l, p, true, tmp.data());
                 if (nv != base[p]) {
                     base[p] = nv;
                     changed = true;
@@ -362,7 +383,7 @@ BatchRunner::runLevelizedTile(const std::vector<Stimulus> &batch,
                 changed = false;
                 for (uint32_t i = 0; i < node.count; ++i) {
                     uint32_t p = mem[i];
-                    uint64_t nv = evalPort(l, p, false);
+                    uint64_t nv = evalPort(l, p, false, tmp.data());
                     if (nv != base[p]) {
                         base[p] = nv;
                         memChanged[i] = 1;
@@ -370,8 +391,10 @@ BatchRunner::runLevelizedTile(const std::vector<Stimulus> &batch,
                     }
                 }
             }
-            for (uint32_t i = 0; i < node.count; ++i)
-                evalPort(l, mem[i], true); // Settled conflict re-check.
+            for (uint32_t i = 0; i < node.count; ++i) {
+                // Settled conflict re-check.
+                evalPort(l, mem[i], true, tmp.data());
+            }
         }
         for (uint32_t i = 0; i < node.count; ++i) {
             if (!memChanged[i])
@@ -386,6 +409,64 @@ BatchRunner::runLevelizedTile(const std::vector<Stimulus> &batch,
         }
     };
 
+    // Partitioned variant of evalNode for the macro-task walk: the full
+    // schedule re-evaluates every cycle, so the dirty-queue bookkeeping
+    // (markDirty fanout marking, the shared memChanged vector) drops
+    // out entirely and evalComb scratch comes from the worker's block.
+    auto evalNodeFull = [&](uint32_t ni, uint64_t *tmpBlock) {
+        const SimSchedule::Node &node = sched.nodes()[ni];
+        const uint32_t *mem = sched.memberPorts().data() + node.first;
+        if (!node.cyclic) {
+            uint32_t p = mem[0];
+            for (size_t l = 0; l < K; ++l) {
+                if (!alive[l])
+                    continue;
+                vals[l * np + p] = evalPort(l, p, true, tmpBlock);
+            }
+            return;
+        }
+        for (size_t l = 0; l < K; ++l) {
+            if (!alive[l])
+                continue;
+            uint64_t *base = vals.data() + l * np;
+            bool changed = true;
+            int iter = 0;
+            while (changed) {
+                if (++iter > maxCombPasses) {
+                    std::string ports;
+                    for (uint32_t i = 0; i < node.count; ++i) {
+                        if (!ports.empty())
+                            ports += ", ";
+                        ports += prog->portName(mem[i]);
+                    }
+                    fatal("combinational cycle did not settle after ",
+                          maxCombPasses,
+                          " iterations; ports on the cycle: ", ports);
+                }
+                changed = false;
+                for (uint32_t i = 0; i < node.count; ++i) {
+                    uint32_t p = mem[i];
+                    uint64_t nv = evalPort(l, p, false, tmpBlock);
+                    if (nv != base[p]) {
+                        base[p] = nv;
+                        changed = true;
+                    }
+                }
+            }
+            for (uint32_t i = 0; i < node.count; ++i) {
+                // Settled conflict re-check.
+                evalPort(l, mem[i], true, tmpBlock);
+            }
+        }
+    };
+
+    // Worker-private evalComb scratch blocks for the partition runner.
+    std::vector<std::vector<uint64_t>> wscratch;
+    if (runner) {
+        wscratch.assign(innerPlan->threads,
+                        std::vector<uint64_t>(size_t(np) * K, 0));
+    }
+
     const auto &stateful = sched.statefulModels();
     uint64_t cycles = 0;
     while (liveCount) {
@@ -394,11 +475,19 @@ BatchRunner::runLevelizedTile(const std::vector<Stimulus> &batch,
                   " cycles with ", liveCount, " of ", K,
                   " lanes unfinished");
         }
-        while (!queue.empty()) {
-            uint32_t n = queue.top();
-            queue.pop();
-            inQueue[n] = 0;
-            evalNode(n);
+        if (runner) {
+            runner->run([&](uint32_t task, unsigned worker) {
+                uint64_t *blk = wscratch[worker].data();
+                for (uint32_t n : innerPlan->tasks[task].nodes)
+                    evalNodeFull(n, blk);
+            });
+        } else {
+            while (!queue.empty()) {
+                uint32_t n = queue.top();
+                queue.pop();
+                inQueue[n] = 0;
+                evalNode(n);
+            }
         }
         for (size_t l = 0; l < K; ++l) {
             if (!alive[l])
@@ -408,13 +497,16 @@ BatchRunner::runLevelizedTile(const std::vector<Stimulus> &batch,
             for (auto &m : models[l])
                 m->clock(base);
             // Seed the next cycle's queue from stateful outputs that
-            // moved at the edge (union over lanes).
-            uint64_t *tb = tmp.data() + l * np;
-            for (size_t i = 0; i < stateful.size(); ++i) {
-                models[l][P.statefulIdx[i]]->evalComb(base, tb);
-                for (uint32_t o : sched.statefulOutputs(i)) {
-                    if (tb[o] != base[o])
-                        markDirty(o);
+            // moved at the edge (union over lanes). The partitioned
+            // walk re-evaluates the full schedule, so it needs no seed.
+            if (!runner) {
+                uint64_t *tb = tmp.data() + l * np;
+                for (size_t i = 0; i < stateful.size(); ++i) {
+                    models[l][P.statefulIdx[i]]->evalComb(base, tb);
+                    for (uint32_t o : sched.statefulOutputs(i)) {
+                        if (tb[o] != base[o])
+                            markDirty(o);
+                    }
                 }
             }
             if (!done)
@@ -449,22 +541,51 @@ BatchRunner::run(const std::vector<Stimulus> &batch)
         // resident module runs every batch, padding short tiles.
         const uint32_t L = opts.laneTile;
         const size_t nTiles = (B + L - 1) / L;
-        auto mod = moduleFor(L);
+        // Single-tile batches move the threads inside the tile (see
+        // BatchOptions::threads): a partitioned module plus its
+        // macro-task runner, running on the caller since the outer
+        // parallelFor over one tile is serial.
+        const unsigned inner =
+            opts.threads > 1 && nTiles == 1 ? opts.threads : 1;
+        auto mod = moduleFor(L, inner > 1 ? partitionTarget() : 0);
+        PartitionRunner *runner = nullptr;
+        if (inner > 1 && mod->numPartitions() > 1) {
+            if (!innerPlan) {
+                innerPlan = std::make_unique<PartitionPlan>(
+                    mod->partitionPlan(inner));
+                innerRunner = std::make_unique<PartitionRunner>(*innerPlan);
+            }
+            runner = innerRunner.get();
+        }
         WorkPool::global().parallelFor(
             nTiles, opts.threads, [&](size_t t) {
                 size_t startIdx = t * L;
                 size_t count = std::min<size_t>(L, B - startIdx);
-                runCompiledTile(batch, startIdx, count, L, *mod, out);
+                runCompiledTile(batch, startIdx, count, L, *mod, runner,
+                                out);
             });
     } else {
         const uint32_t L =
             static_cast<uint32_t>(std::min<size_t>(opts.laneTile, B));
         const size_t nTiles = (B + L - 1) / L;
+        const unsigned inner =
+            opts.threads > 1 && nTiles == 1 ? opts.threads : 1;
+        PartitionRunner *runner = nullptr;
+        if (inner > 1) {
+            if (!innerPlan) {
+                innerPlan = std::make_unique<PartitionPlan>(
+                    buildPartitionPlan(*prog, *plan->sched,
+                                       partitionTarget(), inner));
+                innerRunner = std::make_unique<PartitionRunner>(*innerPlan);
+            }
+            if (innerPlan->parallel())
+                runner = innerRunner.get();
+        }
         WorkPool::global().parallelFor(
             nTiles, opts.threads, [&](size_t t) {
                 size_t startIdx = t * L;
                 size_t count = std::min<size_t>(L, B - startIdx);
-                runLevelizedTile(batch, startIdx, count, out);
+                runLevelizedTile(batch, startIdx, count, runner, out);
             });
     }
     return out;

@@ -16,8 +16,10 @@
 
 #include "emit/cppsim.h"
 #include "sim/env.h"
+#include "sim/partition.h"
 #include "support/error.h"
 #include "support/hash.h"
+#include "support/pool.h"
 #include "support/subprocess.h"
 
 namespace calyx::sim {
@@ -233,43 +235,44 @@ compileSource(const std::string &cxx, const std::string &source,
         }
     };
 
-    size_t workers = std::min(shards.size(), hw ? hw : size_t{2});
-    std::atomic<size_t> next{0};
+    // Shard compiles go through the process-wide WorkPool rather than a
+    // private thread vector, so a serve host running simulations and
+    // compiles at once keeps its combined thread count at the pool
+    // width instead of spiking to 2x (see support/pool.h).
+    unsigned workers = static_cast<unsigned>(
+        std::min(shards.size(), hw ? hw : size_t{2}));
     std::mutex failMutex;
     std::string failure;
-    auto work = [&] {
-        for (size_t i = next.fetch_add(1); i < shards.size();
-             i = next.fetch_add(1)) {
-            std::string src = stem + std::to_string(i) + ".cc";
-            std::string obj = stem + std::to_string(i) + ".o";
-            objs[i] = obj;
-            if (!writeFile(src, shards[i])) {
-                std::lock_guard<std::mutex> lock(failMutex);
-                if (failure.empty())
-                    failure = "cannot write " + src;
+    auto work = [&](size_t i) {
+        {
+            std::lock_guard<std::mutex> lock(failMutex);
+            if (!failure.empty())
                 return;
-            }
-            std::vector<std::string> argv{cxx};
-            for (const std::string &f : objFlags)
-                argv.push_back(f);
-            argv.insert(argv.end(), {"-o", obj, src});
-            ProcessResult res = runProcess(argv);
-            if (!res.ok()) {
-                std::lock_guard<std::mutex> lock(failMutex);
-                if (failure.empty()) {
-                    failure = "shard compile failed (exit " +
-                              std::to_string(res.exitCode) + "): " + src +
-                              "\n" + res.output;
-                }
-                return;
+        }
+        std::string src = stem + std::to_string(i) + ".cc";
+        std::string obj = stem + std::to_string(i) + ".o";
+        objs[i] = obj;
+        if (!writeFile(src, shards[i])) {
+            std::lock_guard<std::mutex> lock(failMutex);
+            if (failure.empty())
+                failure = "cannot write " + src;
+            return;
+        }
+        std::vector<std::string> argv{cxx};
+        for (const std::string &f : objFlags)
+            argv.push_back(f);
+        argv.insert(argv.end(), {"-o", obj, src});
+        ProcessResult res = runProcess(argv);
+        if (!res.ok()) {
+            std::lock_guard<std::mutex> lock(failMutex);
+            if (failure.empty()) {
+                failure = "shard compile failed (exit " +
+                          std::to_string(res.exitCode) + "): " + src +
+                          "\n" + res.output;
             }
         }
     };
-    std::vector<std::thread> pool;
-    for (size_t w = 0; w < workers; ++w)
-        pool.emplace_back(work);
-    for (std::thread &t : pool)
-        t.join();
+    WorkPool::global().parallelFor(shards.size(), workers, work);
     if (!failure.empty()) {
         cleanup();
         fatal("compiled engine: ", failure);
@@ -326,12 +329,14 @@ compiledEngineUnavailableReason()
 }
 
 std::shared_ptr<CompiledModule>
-CompiledModule::load(const SimProgram &prog, bool probe, uint32_t lanes)
+CompiledModule::load(const SimProgram &prog, bool probe, uint32_t lanes,
+                     uint32_t partitions)
 {
     std::ostringstream src;
     emit::CppSimOptions opts;
     opts.probe = probe;
     opts.lanes = lanes;
+    opts.partitions = partitions;
     emit::emitCppSim(prog, src, opts);
     std::string source = src.str();
     std::string digest = contentDigest(source);
@@ -415,6 +420,28 @@ CompiledModule::load(const SimProgram &prog, bool probe, uint32_t lanes)
         mod->handle, "cppsim_clock", so);
     mod->fnError = resolveSym<const char *(*)(void *)>(
         mod->handle, "cppsim_error", so);
+    // Optional: only partitioned modules export the partition ABI. The
+    // task count is the partitioner's output for this design, so it is
+    // never compared against the requested target — only the ABI's
+    // presence is checked.
+    auto num_parts = reinterpret_cast<uint32_t (*)()>(
+        dlsym(mod->handle, "cppsim_num_partitions"));
+    mod->parts = num_parts ? num_parts() : 1;
+    if (partitions > 1) {
+        if (!num_parts) {
+            fatal("compiled engine: ", so,
+                  " lacks the partition ABI despite a partitioned build "
+                  "(stale cache object; remove it and rerun)");
+        }
+        mod->fnEvalPart = resolveSym<void (*)(void *, uint64_t *, uint32_t)>(
+            mod->handle, "cppsim_eval_partition", so);
+        mod->partDepOff = resolveSym<const uint32_t *(*)()>(
+            mod->handle, "cppsim_part_dep_offsets", so)();
+        mod->partDeps = resolveSym<const uint32_t *(*)()>(
+            mod->handle, "cppsim_part_deps", so)();
+        mod->partCosts = resolveSym<const uint64_t *(*)()>(
+            mod->handle, "cppsim_part_costs", so)();
+    }
     // Optional: only probed modules export it, so plain dlsym rather
     // than the fatal()ing resolveSym.
     mod->fnSetProbe = reinterpret_cast<void (*)(
@@ -487,6 +514,31 @@ const char *
 CompiledModule::error(void *inst) const
 {
     return fnError(inst);
+}
+
+void
+CompiledModule::evalPartition(void *inst, uint64_t *vals, uint32_t i) const
+{
+    if (!fnEvalPart)
+        fatal("compiled engine: evalPartition on an unpartitioned module");
+    fnEvalPart(inst, vals, i);
+}
+
+PartitionPlan
+CompiledModule::partitionPlan(unsigned threads) const
+{
+    if (!partDepOff || !partDeps || !partCosts)
+        fatal("compiled engine: partitionPlan on an unpartitioned module");
+    PartitionPlan plan;
+    plan.tasks.resize(parts);
+    for (uint32_t t = 0; t < parts; ++t) {
+        PartitionPlan::Task &task = plan.tasks[t];
+        task.deps.assign(partDeps + partDepOff[t],
+                         partDeps + partDepOff[t + 1]);
+        task.cost = partCosts[t] ? partCosts[t] : 1;
+    }
+    assignThreads(plan, threads);
+    return plan;
 }
 
 void

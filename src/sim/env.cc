@@ -5,8 +5,10 @@
 
 #include "obs/observer.h"
 #include "sim/compiled.h"
+#include "sim/partition.h"
 #include "sim/schedule.h"
 #include "support/error.h"
+#include "support/pool.h"
 #include "support/text.h"
 
 namespace calyx::sim {
@@ -343,8 +345,17 @@ SimProgram::schedule() const
 }
 
 std::shared_ptr<CompiledModule>
-SimProgram::compiledModule(bool probe) const
+SimProgram::compiledModule(bool probe, uint32_t partitions) const
 {
+    if (partitions > 1) {
+        // The partitioned variant is never probed: observers are
+        // notified host-side after the partitions join, so one module
+        // serves observed and unobserved partitioned runs alike.
+        if (!compiledPart)
+            compiledPart =
+                CompiledModule::load(*this, false, 1, partitions);
+        return compiledPart;
+    }
     auto &slot = compiled[probe ? 1 : 0];
     if (!slot)
         slot = CompiledModule::load(*this, probe);
@@ -639,6 +650,25 @@ SimState::force(uint32_t port, uint64_t value)
     forces.emplace_back(port, value);
 }
 
+void
+SimState::setThreads(unsigned n)
+{
+    n = n ? n : 1;
+    if (n == threadsVal)
+        return;
+    threadsVal = n;
+    partPlan.reset();
+    partRunner.reset();
+    workerScratch.clear();
+    if (compiledInst) {
+        // The partitioned and plain generated modules are distinct;
+        // drop the bound instance so the next comb() reloads the right
+        // variant (callers set threads before the first comb()).
+        compiledMod->freeInstance(compiledInst);
+        compiledInst = nullptr;
+    }
+}
+
 int
 SimState::comb()
 {
@@ -648,7 +678,7 @@ SimState::comb()
         evals = combJacobi();
         break;
       case Engine::Levelized:
-        evals = combLevelized();
+        evals = threadsVal > 1 ? combPartitioned() : combLevelized();
         break;
       case Engine::Compiled:
         evals = combCompiled();
@@ -674,7 +704,7 @@ void
 SimState::addObserver(obs::SimObserver *observer)
 {
     observerList.push_back(observer);
-    if (compiledInst && !compiledProbe) {
+    if (compiledInst && !compiledProbe && threadsVal <= 1) {
         // A plain (probe-free) module is already bound; drop it so the
         // next comb() reloads the probed variant.
         compiledMod->freeInstance(compiledInst);
@@ -708,9 +738,21 @@ SimState::ensureCompiled()
 {
     if (compiledInst)
         return;
-    bool want_probe = !observerList.empty();
-    compiledMod = prog->compiledModule(want_probe);
+    // Partitioned runs never use the probed module: observers are
+    // notified host-side after the partitions join (comb() calls
+    // notifySettled when compiledProbe is false), which is also the
+    // single deterministic drain point --trace/--profile rely on.
+    uint32_t partitions =
+        threadsVal > 1 ? partitionTarget() : 0;
+    bool want_probe = !observerList.empty() && partitions <= 1;
+    compiledMod = prog->compiledModule(want_probe, partitions);
     compiledProbe = want_probe && compiledMod->hasProbe();
+
+    if (partitions > 1 && compiledMod->numPartitions() > 1) {
+        partPlan = std::make_unique<PartitionPlan>(
+            compiledMod->partitionPlan(threadsVal));
+        partRunner = std::make_unique<PartitionRunner>(*partPlan);
+    }
 
     // Bind the generated instance's register and memory state to the
     // PrimModel objects' own storage (model order on both sides), so
@@ -785,6 +827,18 @@ SimState::combCompiled()
                   prog->portName(port));
         }
         vals[port] = value;
+    }
+
+    if (threadsVal > 1 && partRunner) {
+        // Each partition entry point reads only ports its dependency
+        // partitions (or earlier cycles) wrote and writes only its own
+        // ports; the runner's stamp protocol publishes those writes in
+        // dependency order, so the result is bit-identical to eval().
+        partRunner->run([&](uint32_t task, unsigned) {
+            compiledMod->evalPartition(compiledInst, vals.data(), task);
+        });
+        checkCompiledError();
+        return static_cast<int>(compiledMod->numPartitions());
     }
 
     compiledMod->eval(compiledInst, vals.data());
@@ -892,6 +946,13 @@ SimState::diffForces()
 uint64_t
 SimState::evalPort(uint32_t port, bool check_conflicts)
 {
+    return evalPort(port, check_conflicts, tmp.data());
+}
+
+uint64_t
+SimState::evalPort(uint32_t port, bool check_conflicts,
+                   uint64_t *scratch)
+{
     // Driver priority mirrors the Jacobi pass order: active assignment
     // beats force beats model output beats the zero default.
     const SAssign *winner = nullptr;
@@ -911,8 +972,11 @@ SimState::evalPort(uint32_t port, bool check_conflicts)
     if (forcedStamp[port] == stamp)
         return forcedVal[port];
     if (PrimModel *m = sched->modelOf(port)) {
-        m->evalComb(vals.data(), tmp.data());
-        return tmp[port];
+        // evalComb writes every output of the model into the scratch
+        // plane, so concurrent partitioned workers each get their own
+        // plane (workerScratch) instead of sharing `tmp`.
+        m->evalComb(vals.data(), scratch);
+        return scratch[port];
     }
     return 0;
 }
@@ -981,20 +1045,120 @@ SimState::evalNode(uint32_t node_index)
     }
 }
 
+void
+SimState::bindSchedule()
+{
+    if (sched)
+        return;
+    // First evaluation: bind (and possibly build) the schedule and
+    // size the engine's bookkeeping.
+    sched = &prog->schedule();
+    inQueue.assign(sched->nodes().size(), 0);
+    portChanged.assign(prog->numPorts(), 0);
+    forcedVal.assign(prog->numPorts(), 0);
+    forcedStamp.assign(prog->numPorts(), 0);
+    activeByPort.resize(prog->numPorts());
+    oldActiveByPort.resize(prog->numPorts());
+}
+
+void
+SimState::ensurePartitioned()
+{
+    if (partPlan)
+        return;
+    partPlan = std::make_unique<PartitionPlan>(buildPartitionPlan(
+        *prog, *sched, partitionTarget(), threadsVal));
+    partRunner = std::make_unique<PartitionRunner>(*partPlan);
+    workerScratch.assign(partPlan->threads,
+                         std::vector<uint64_t>(prog->numPorts(), 0));
+}
+
+/**
+ * evalNode stripped of dirty-cone bookkeeping for the partitioned
+ * full walk: every node runs every cycle, so fanout marking buys
+ * nothing (and the shared queue would race across workers). The value
+ * trajectory — including the SCC Gauss-Seidel iteration order and the
+ * settled conflict re-check — is identical to evalNode's, which is
+ * what makes partitioned results bit-identical to scalar ones.
+ */
+void
+SimState::evalNodeFull(uint32_t node_index, uint64_t *scratch)
+{
+    const SimSchedule::Node &node = sched->nodes()[node_index];
+    const uint32_t *mem = sched->memberPorts().data() + node.first;
+
+    if (!node.cyclic) {
+        uint32_t p = mem[0];
+        vals[p] = evalPort(p, true, scratch);
+        return;
+    }
+
+    bool changed = true;
+    int iter = 0;
+    while (changed) {
+        if (++iter > maxCombPasses) {
+            std::string ports;
+            for (uint32_t i = 0; i < node.count; ++i) {
+                if (!ports.empty())
+                    ports += ", ";
+                ports += prog->portName(mem[i]);
+            }
+            fatal("combinational cycle did not settle after ",
+                  maxCombPasses, " iterations; ports on the cycle: ",
+                  ports);
+        }
+        changed = false;
+        for (uint32_t i = 0; i < node.count; ++i) {
+            uint32_t p = mem[i];
+            uint64_t nv = evalPort(p, false, scratch);
+            if (nv != vals[p]) {
+                vals[p] = nv;
+                changed = true;
+            }
+        }
+    }
+    for (uint32_t i = 0; i < node.count; ++i)
+        evalPort(mem[i], true, scratch);
+}
+
+int
+SimState::combPartitioned()
+{
+    bindSchedule();
+    ensurePartitioned();
+
+    ++stamp;
+    for (const auto &[port, value] : forces) {
+        forcedVal[port] = value;
+        forcedStamp[port] = stamp;
+    }
+
+    // The partitioned walk evaluates the full schedule every cycle, so
+    // only the per-port active-driver lists need maintaining — no
+    // dirty diffing. rebuildActiveByPort still marks nodes dirty as a
+    // side effect; drain those marks so a later scalar cycle (or
+    // engine switch) starts clean.
+    if (!activationValid || activationCalls != prevActivationCalls)
+        rebuildActiveByPort();
+    activationValid = true;
+    while (!queue.empty()) {
+        inQueue[queue.top()] = 0;
+        queue.pop();
+    }
+
+    const PartitionPlan &p = *partPlan;
+    partRunner->run([&](uint32_t task, unsigned worker) {
+        uint64_t *scratch = workerScratch[worker].data();
+        for (uint32_t n : p.tasks[task].nodes)
+            evalNodeFull(n, scratch);
+    });
+    return static_cast<int>(sched->nodes().size());
+}
+
 int
 SimState::combLevelized()
 {
-    if (!sched) {
-        // First evaluation: bind (and possibly build) the schedule and
-        // size the engine's bookkeeping.
-        sched = &prog->schedule();
-        inQueue.assign(sched->nodes().size(), 0);
-        portChanged.assign(prog->numPorts(), 0);
-        forcedVal.assign(prog->numPorts(), 0);
-        forcedStamp.assign(prog->numPorts(), 0);
-        activeByPort.resize(prog->numPorts());
-        oldActiveByPort.resize(prog->numPorts());
-    }
+    bindSchedule();
 
     ++stamp;
     for (const auto &[port, value] : forces) {
@@ -1036,9 +1200,25 @@ SimState::clock()
         checkCompiledError();
         return;
     }
-    for (const auto &m : prog->models())
+    const auto &models = prog->models();
+    if (engineVal == Engine::Levelized && threadsVal > 1 && partPlan &&
+        partPlan->parallel() && !WorkPool::insideWorker()) {
+        // Clock edges are mutually independent: every model reads the
+        // shared settled port values and writes only its own private
+        // state, so a plain range split over the partition plan's
+        // thread count is exact (no ownership or ordering needed).
+        // The next comb() walks the full schedule, so the scalar
+        // engine's queue seeding below is also unnecessary.
+        WorkPool::global().parallelFor(
+            models.size(), partPlan->threads,
+            [&](size_t i) { models[i]->clock(vals.data()); });
+        return;
+    }
+    for (const auto &m : models)
         m->clock(vals.data());
     if (engineVal == Engine::Levelized && sched) {
+        if (threadsVal > 1)
+            return; // partitioned comb() re-walks everything
         // Seed the next cycle's event queue: outputs of stateful models
         // whose post-edge value differs from the settled one.
         const auto &stateful = sched->statefulModels();

@@ -21,6 +21,8 @@ namespace calyx::sim {
 
 class SimSchedule;
 class CompiledModule;
+struct PartitionPlan;
+class PartitionRunner;
 
 /**
  * Combinational evaluation engine selection (see docs/simulation.md).
@@ -225,9 +227,15 @@ class SimProgram
      * callbacks compiled in (emit/cppsim.h) and cached separately —
      * requesting it never slows down unobserved runs of the plain
      * module, whose hot path stays branch-free.
+     *
+     * `partitions > 1` requests the partitioned variant instead: one
+     * generated function per macro-task plus embedded dependency
+     * tables (sim/partition.h), cached in its own slot. Partitioned
+     * modules are never probed — observers are notified host-side
+     * after the partitions join (see SimState::comb()).
      */
-    std::shared_ptr<CompiledModule> compiledModule(bool probe = false)
-        const;
+    std::shared_ptr<CompiledModule>
+    compiledModule(bool probe = false, uint32_t partitions = 0) const;
 
     const Context &context() const { return *ctx; }
 
@@ -250,6 +258,9 @@ class SimProgram
     mutable std::unique_ptr<SimSchedule> sched; ///< Lazily built.
     /// Lazily loaded generated modules: [0] plain, [1] with probes.
     mutable std::shared_ptr<CompiledModule> compiled[2];
+    /// Lazily loaded partitioned module (one per process-stable
+    /// partition target; see partitionTarget()).
+    mutable std::shared_ptr<CompiledModule> compiledPart;
 };
 
 /**
@@ -297,6 +308,21 @@ class SimState
     const SimProgram &program() const { return *prog; }
 
     /**
+     * Worker threads for partitioned single-stimulus execution
+     * (docs/simulation.md, "Partitioned execution"). With n > 1 the
+     * levelized engine walks the full macro-task partition of the
+     * schedule every cycle on a static per-thread plan, and the
+     * compiled engine loads the partitioned generated module and
+     * dispatches its per-partition entry points the same way. n <= 1
+     * (the default) keeps the scalar dirty-cone / plain-module paths.
+     * Results are bit-identical either way. Call before the first
+     * comb(); changing it later rebuilds the plan (and rebinds the
+     * compiled instance, losing un-reset state).
+     */
+    void setThreads(unsigned n);
+    unsigned threads() const { return threadsVal; }
+
+    /**
      * Attach an observer (obs/observer.h); not owned, must outlive the
      * state. Every subsequent comb() notifies all observers in
      * attachment order, on every engine. Attach before the first
@@ -320,6 +346,13 @@ class SimState
     int combJacobi();
     int combLevelized();
     int combCompiled();
+    int combPartitioned();
+
+    /** Bind + size the levelized engine state on first use. */
+    void bindSchedule();
+
+    /** Build the partition plan/runner/scratch on first use. */
+    void ensurePartitioned();
 
     /** Load/bind the generated module on the first compiled comb(). */
     void ensureCompiled();
@@ -336,11 +369,21 @@ class SimState
     /** Settled value of one port under driver priority; see evalPort(). */
     uint64_t evalPort(uint32_t port, bool check_conflicts);
 
+    /** Same, with caller-provided model scratch (partitioned walk:
+     * each worker owns a scratch plane, so evalComb never races). */
+    uint64_t evalPort(uint32_t port, bool check_conflicts,
+                      uint64_t *scratch);
+
     void markDirty(uint32_t port);
     void markAllDirty();
     void rebuildActiveByPort();
     void diffForces();
     void evalNode(uint32_t node_index);
+
+    /** evalNode without dirty-cone bookkeeping: the partitioned walk
+     * evaluates every node each cycle, so fanout marking is dead
+     * weight (and would race across workers). */
+    void evalNodeFull(uint32_t node_index, uint64_t *scratch);
 
     const SimProgram *prog;
     Engine engineVal;
@@ -381,6 +424,14 @@ class SimState
     void *compiledInst = nullptr; ///< This state's generated instance.
     size_t continuousCount = 0;   ///< Total continuous assignments.
     bool compiledProbe = false;   ///< Loaded module notifies observers.
+
+    // --- Partitioned execution (both engines) -----------------------
+    unsigned threadsVal = 1;
+    std::unique_ptr<PartitionPlan> partPlan;
+    std::unique_ptr<PartitionRunner> partRunner;
+    /// One scratch plane (numPorts words) per plan thread; the
+    /// levelized partitioned walk hands workers disjoint planes.
+    std::vector<std::vector<uint64_t>> workerScratch;
 
     // --- Observability ----------------------------------------------
     std::vector<obs::SimObserver *> observerList;

@@ -1,0 +1,125 @@
+#ifndef CALYX_SIM_PARTITION_H
+#define CALYX_SIM_PARTITION_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace calyx::sim {
+
+class SimProgram;
+class SimSchedule;
+
+/**
+ * MTask-style macro-task partition of the levelized evaluation
+ * schedule (the verilator technique): the Tarjan-condensed schedule
+ * nodes are clustered into coarse cost-modeled tasks over the level
+ * DAG, then list-scheduled onto a fixed number of threads with
+ * critical-path priority. One plan drives both engines — the levelized
+ * interpreter walks Task::nodes directly, and the compiled backend
+ * emits one generated function per task (emit/cppsim.h) whose
+ * dependency tables the host re-reads into this same structure.
+ *
+ * Invariants the execution model relies on:
+ *  - tasks are topologically ordered: every Task::deps entry is a
+ *    smaller task id;
+ *  - a schedule node appears in exactly one task, and the nodes inside
+ *    a task are in ascending (schedule/topological) order;
+ *  - an SCC node never splits across tasks, so its Gauss-Seidel fixed
+ *    point runs single-threaded exactly like the scalar engine;
+ *  - each threadTasks[w] list is ascending in task id, so executing a
+ *    thread's list in order — spin-waiting on cross-thread deps — can
+ *    never deadlock: every dependency edge and every intra-thread
+ *    ordering edge increases the task id.
+ */
+struct PartitionPlan
+{
+    struct Task
+    {
+        std::vector<uint32_t> nodes; ///< Schedule node ids, ascending.
+        std::vector<uint32_t> deps;  ///< Earlier task ids, ascending.
+        uint64_t cost = 1;           ///< Estimated evaluation cost.
+        uint32_t thread = 0;         ///< Owning thread in the plan.
+    };
+
+    std::vector<Task> tasks;          ///< Topologically ordered.
+    std::vector<uint32_t> taskOfNode; ///< Schedule node id -> task id.
+    /// Static per-thread execution order (ascending task ids).
+    std::vector<std::vector<uint32_t>> threadTasks;
+    unsigned threads = 1;
+
+    /** True when the plan actually fans out. */
+    bool parallel() const { return threads > 1 && tasks.size() > 1; }
+};
+
+/**
+ * Partition grain target: roughly how many equal-cost slices the total
+ * schedule cost is cut into per level run. $CALYX_SIM_PARTITIONS
+ * (clamped to [1, 256]) overrides the default of 16. Deliberately a
+ * pure function of the environment — never of --threads or the host's
+ * core count — so the compiled engine's partitioned module (whose
+ * source embeds the plan) has one digest per design and thread counts
+ * 2 and 4 share one cached .so.
+ */
+uint32_t partitionTarget();
+
+/**
+ * Build the macro-task plan for `sched`: per-node costs from the
+ * static driver/guard/model shape of `prog`, longest-path levels over
+ * the node DAG, cost-capped clustering inside each level (ordered by
+ * predecessor-task affinity to keep cross-partition port edges low),
+ * and a chain-merge of consecutive single-task levels so serialized
+ * designs degrade to few (down to one) tasks instead of a task per
+ * level. Finishes with assignThreads(plan, threads).
+ */
+PartitionPlan buildPartitionPlan(const SimProgram &prog,
+                                 const SimSchedule &sched,
+                                 uint32_t target, unsigned threads);
+
+/**
+ * Critical-path-aware list scheduling of plan.tasks onto `threads`
+ * workers: tasks are simulated in priority order (longest path of cost
+ * to a sink first), each placed on the worker that can start it
+ * earliest. Fills Task::thread, plan.threadTasks (ascending ids), and
+ * plan.threads (clamped to the task count). Also used standalone on
+ * plans rebuilt from a compiled module's dependency tables.
+ */
+void assignThreads(PartitionPlan &plan, unsigned threads);
+
+/**
+ * Cycle executor for a PartitionPlan: runs `fn(task, worker)` for every
+ * task, honoring dependencies with per-task atomic completion stamps —
+ * no global barrier per level. Each worker executes its static
+ * threadTasks list in order on a dedicated WorkPool participant
+ * (WorkPool::runConcurrent), spin-waiting (with yield) until each
+ * cross-thread dependency's stamp reaches the current run. Memory
+ * model: a task's writes are release-published by its stamp store and
+ * acquire-consumed by every dependent's spin load, so a task may read
+ * any value written by its transitive dependencies and must write only
+ * state no concurrent task reads (see docs/simulation.md).
+ *
+ * Falls back to sequential in-order execution (still correct: task
+ * order is topological) when the plan is not parallel or when called
+ * from inside a WorkPool worker (nested parallelism is capped, not
+ * stacked). An exception thrown by `fn` aborts the run: waiters bail
+ * out, every worker drains its list without running further tasks, and
+ * the first exception is rethrown on the caller.
+ */
+class PartitionRunner
+{
+  public:
+    explicit PartitionRunner(const PartitionPlan &plan);
+
+    void run(const std::function<void(uint32_t task, unsigned worker)> &fn);
+
+  private:
+    const PartitionPlan *plan;
+    std::unique_ptr<std::atomic<uint64_t>[]> doneStamp;
+    uint64_t runStamp = 0;
+};
+
+} // namespace calyx::sim
+
+#endif // CALYX_SIM_PARTITION_H

@@ -27,6 +27,13 @@ errSlot()
     return e;
 }
 
+/** Set while this thread executes pool work (caller or worker). */
+thread_local bool tlInPool = false;
+
+/** Live participant count and its high-water mark. */
+std::atomic<unsigned> activeParts{0};
+std::atomic<unsigned> peakParts{0};
+
 } // namespace
 
 WorkPool &
@@ -44,6 +51,24 @@ WorkPool::defaultThreads()
 {
     unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
+}
+
+bool
+WorkPool::insideWorker()
+{
+    return tlInPool;
+}
+
+unsigned
+WorkPool::peakParticipants()
+{
+    return peakParts.load(std::memory_order_relaxed);
+}
+
+void
+WorkPool::resetPeakParticipants()
+{
+    peakParts.store(0, std::memory_order_relaxed);
 }
 
 void
@@ -88,6 +113,15 @@ WorkPool::workerLoop(unsigned id)
 void
 WorkPool::runAs(Job &job, size_t self)
 {
+    bool wasInPool = tlInPool;
+    tlInPool = true;
+    unsigned act = activeParts.fetch_add(1, std::memory_order_relaxed) + 1;
+    unsigned peak = peakParts.load(std::memory_order_relaxed);
+    while (act > peak &&
+           !peakParts.compare_exchange_weak(peak, act,
+                                            std::memory_order_relaxed))
+        ;
+
     const auto &fn = *job.fn;
     auto run = [&](size_t i) {
         try {
@@ -106,8 +140,10 @@ WorkPool::runAs(Job &job, size_t self)
 
     // Steal, one index at a time, from whichever range has the most
     // left. The claim is the same fetch_add the owner uses, so every
-    // index is executed exactly once.
-    for (;;) {
+    // index is executed exactly once. Static-plan jobs (noSteal) skip
+    // this: their items spin on each other, and a steal could park an
+    // item behind the very item it waits on.
+    while (!job.noSteal) {
         size_t best = SIZE_MAX, bestLeft = 0;
         for (size_t r = 0; r < job.parts; ++r) {
             size_t nx = job.ranges[r].next.load(std::memory_order_relaxed);
@@ -117,29 +153,23 @@ WorkPool::runAs(Job &job, size_t self)
             }
         }
         if (best == SIZE_MAX)
-            return;
+            break;
         Range &victim = job.ranges[best];
         size_t i = victim.next.fetch_add(1, std::memory_order_relaxed);
         if (i < victim.end)
             run(i);
     }
+
+    activeParts.fetch_sub(1, std::memory_order_relaxed);
+    tlInPool = wasInPool;
 }
 
 void
-WorkPool::parallelFor(size_t n, unsigned threads,
-                      const std::function<void(size_t)> &fn)
+WorkPool::dispatch(Job &j)
 {
-    if (n == 0)
-        return;
-    if (threads > n)
-        threads = static_cast<unsigned>(n);
-    if (threads <= 1) {
-        for (size_t i = 0; i < n; ++i)
-            fn(i);
-        return;
-    }
-
-    // One job at a time: the pool has a single publication slot.
+    // One job at a time: the pool has a single publication slot. This
+    // is also the process-wide occupancy cap — concurrent callers
+    // queue here instead of stacking their thread counts.
     static std::mutex jobMu;
     std::lock_guard<std::mutex> serial(jobMu);
 
@@ -148,20 +178,9 @@ WorkPool::parallelFor(size_t n, unsigned threads,
         errSlot().err = nullptr;
     }
 
-    Job j;
-    j.fn = &fn;
-    j.parts = threads;
-    j.ranges = std::vector<Range>(threads);
-    size_t chunk = (n + threads - 1) / threads;
-    for (size_t r = 0; r < threads; ++r) {
-        size_t start = r * chunk;
-        j.ranges[r].next.store(start, std::memory_order_relaxed);
-        j.ranges[r].end = std::min(n, start + chunk);
-    }
-
     {
         std::lock_guard<std::mutex> lk(mu);
-        ensureWorkers(threads - 1);
+        ensureWorkers(static_cast<unsigned>(j.parts) - 1);
         job = &j;
         ++generation;
     }
@@ -184,6 +203,56 @@ WorkPool::parallelFor(size_t n, unsigned threads,
     }
     if (err)
         std::rethrow_exception(err);
+}
+
+void
+WorkPool::parallelFor(size_t n, unsigned threads,
+                      const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (threads > n)
+        threads = static_cast<unsigned>(n);
+    if (threads <= 1 || insideWorker()) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    Job j;
+    j.fn = &fn;
+    j.parts = threads;
+    j.ranges = std::vector<Range>(threads);
+    size_t chunk = (n + threads - 1) / threads;
+    for (size_t r = 0; r < threads; ++r) {
+        size_t start = r * chunk;
+        j.ranges[r].next.store(start, std::memory_order_relaxed);
+        j.ranges[r].end = std::min(n, start + chunk);
+    }
+    dispatch(j);
+}
+
+void
+WorkPool::runConcurrent(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (n == 1 || insideWorker()) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    Job j;
+    j.fn = &fn;
+    j.parts = n;
+    j.noSteal = true;
+    j.ranges = std::vector<Range>(n);
+    for (size_t r = 0; r < n; ++r) {
+        j.ranges[r].next.store(r, std::memory_order_relaxed);
+        j.ranges[r].end = r + 1;
+    }
+    dispatch(j);
 }
 
 } // namespace calyx

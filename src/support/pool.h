@@ -14,11 +14,13 @@ namespace calyx {
 /**
  * Persistent work-stealing thread pool shared by every engine-agnostic
  * parallel loop in the toolchain: batch simulation partitions lane
- * tiles over it (sim/batch.h), and the pass manager dispatches
- * independent components of one dependency wavefront over it
- * (passes/pass_manager.h). In both cases the work items' state is
- * disjoint by construction, so the pool needs no per-item locking —
- * only job distribution is synchronized.
+ * tiles over it (sim/batch.h), the pass manager dispatches independent
+ * components of one dependency wavefront over it
+ * (passes/pass_manager.h), compiled-module shard builds run over it
+ * (sim/compiled.h), and partitioned single-stimulus simulation pins
+ * its static per-thread plans onto it (sim/partition.h). In all cases
+ * the work items' state is disjoint by construction, so the pool needs
+ * no per-item locking — only job distribution is synchronized.
  *
  * Work distribution is index-range stealing: parallelFor(n, w, fn)
  * splits [0, n) into `w` contiguous ranges, one per participant, each
@@ -28,6 +30,15 @@ namespace calyx {
  * calling thread participates as worker 0, so `threads == 1` runs
  * entirely on the caller with no synchronization beyond the atomics,
  * and a 1-core machine never context-switches per item.
+ *
+ * The pool is the process-wide occupancy cap: jobs from concurrent
+ * callers (e.g. `--serve` compiling one request while simulating
+ * another) serialize on a single publication slot instead of stacking
+ * thread counts, and a parallelFor issued from *inside* a worker runs
+ * serially on that worker rather than deadlocking on the slot — so a
+ * `--threads N` process never runs more than N items at once, however
+ * the subsystems nest. peakParticipants() exposes the observed
+ * high-water mark for tests asserting exactly that.
  *
  * Workers are spawned lazily up to the high-water request and persist
  * for the process lifetime (detached at exit), so a `futil --serve`
@@ -44,10 +55,39 @@ class WorkPool
     /**
      * Run `fn(i)` for every i in [0, n) across `threads` participants
      * (clamped to [1, n]; the caller is one of them). Returns when all
-     * items are done. Not reentrant from inside `fn`.
+     * items are done. When called from inside a pool worker the loop
+     * runs serially on that worker (nested parallelism is capped, not
+     * stacked).
      */
     void parallelFor(size_t n, unsigned threads,
                      const std::function<void(size_t)> &fn);
+
+    /**
+     * Run `fn(i)` for every i in [0, n) with a *dedicated* participant
+     * per index — no stealing, index i runs on participant i, the
+     * caller is participant 0. This is the primitive for static
+     * per-thread execution plans whose items block on each other
+     * (sim/partition.h): stealing would let one OS thread sit inside
+     * item A's spin-wait while item B — the one A waits on — is queued
+     * behind it on the same thread. Dedicated participants make every
+     * plan's progress assumption hold by construction. Runs serially
+     * when n <= 1 or when called from inside a pool worker.
+     */
+    void runConcurrent(size_t n, const std::function<void(size_t)> &fn);
+
+    /**
+     * True on a thread currently executing pool work (including the
+     * caller-as-participant). Used to demote nested parallel calls to
+     * serial execution.
+     */
+    static bool insideWorker();
+
+    /**
+     * High-water mark of simultaneously active participants since the
+     * last reset — the observable for "no 2N-thread spike" tests.
+     */
+    static unsigned peakParticipants();
+    static void resetPeakParticipants();
 
     /** A sensible default worker count: hardware_concurrency, >= 1. */
     static unsigned defaultThreads();
@@ -70,11 +110,13 @@ class WorkPool
         std::vector<Range> ranges;
         std::atomic<size_t> done{0}; ///< Participants finished.
         size_t parts = 0;
+        bool noSteal = false; ///< Dedicated participant per range.
     };
 
     void ensureWorkers(unsigned count);
     void workerLoop(unsigned id);
     void runAs(Job &job, size_t self);
+    void dispatch(Job &j);
 
     std::mutex mu;
     std::condition_variable cv;      ///< Wakes idle workers.

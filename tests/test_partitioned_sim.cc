@@ -1,0 +1,453 @@
+/**
+ * Partitioned multi-threaded single-stimulus simulation (ISSUE 10):
+ * running the macro-task partition plan (sim/partition.h) with
+ * SimState::setThreads(N) must be bit-identical to the single-thread
+ * walk — same cycle counts, same registers, same memories — on every
+ * example program, PolyBench kernels, and a systolic configuration, in
+ * both the levelized and compiled engines, and across arbitrary
+ * partition-count targets ($CALYX_SIM_PARTITIONS). Serialized designs
+ * must degrade to a single task instead of a task-per-level plan, VCD
+ * traces must stay byte-identical under threads (observer delivery is
+ * a single host-side drain point), and the process-wide WorkPool must
+ * cap combined occupancy instead of stacking thread counts
+ * (oversubscription satellite). The whole suite also runs under TSan
+ * in CI, which is what actually holds the dependency-stamp memory
+ * model to its claims.
+ */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "frontends/dahlia/codegen.h"
+#include "frontends/dahlia/parser.h"
+#include "frontends/systolic/systolic.h"
+#include "helpers.h"
+#include "ir/builder.h"
+#include "ir/parser.h"
+#include "obs/vcd.h"
+#include "sim/compiled.h"
+#include "sim/cycle_sim.h"
+#include "sim/partition.h"
+#include "sim/schedule.h"
+#include "support/error.h"
+#include "support/pool.h"
+#include "workloads/harness.h"
+#include "workloads/polybench.h"
+
+namespace calyx {
+namespace {
+
+namespace fs = std::filesystem;
+
+#define SKIP_WITHOUT_TOOLCHAIN()                                          \
+    do {                                                                  \
+        std::string reason = sim::compiledEngineUnavailableReason();      \
+        if (!reason.empty())                                              \
+            GTEST_SKIP() << reason;                                       \
+    } while (0)
+
+/** Engines the partitioned path covers on this host. */
+std::vector<sim::Engine>
+partitionedEngines()
+{
+    std::vector<sim::Engine> out{sim::Engine::Levelized};
+    if (sim::compiledEngineUnavailableReason().empty())
+        out.push_back(sim::Engine::Compiled);
+    return out;
+}
+
+struct RunResult
+{
+    uint64_t cycles = 0;
+    std::vector<std::vector<uint64_t>> state;
+
+    bool
+    operator==(const RunResult &o) const
+    {
+        return cycles == o.cycles && state == o.state;
+    }
+};
+
+/** One full run of a lowered context at a given thread count. */
+RunResult
+runContext(const Context &ctx, sim::Engine engine, unsigned threads)
+{
+    sim::SimProgram sp(ctx, ctx.entrypoint());
+    sim::CycleSim cs(sp, engine);
+    cs.state().setThreads(threads);
+    RunResult r;
+    r.cycles = cs.run();
+    r.state = sim::archState(sp);
+    return r;
+}
+
+std::string
+readExample(const fs::path &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in) << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/** Temporarily set (or clear) one environment variable. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const std::string &value) : name(name)
+    {
+        const char *old = std::getenv(name);
+        hadOld = old != nullptr;
+        if (hadOld)
+            oldVal = old;
+        ::setenv(name, value.c_str(), 1);
+    }
+
+    ~ScopedEnv()
+    {
+        if (hadOld)
+            ::setenv(name, oldVal.c_str(), 1);
+        else
+            ::unsetenv(name);
+    }
+
+  private:
+    const char *name;
+    bool hadOld = false;
+    std::string oldVal;
+};
+
+// --- Bit identity: every example, both engines, threads 1 vs 2 vs 4 ----
+
+TEST(PartitionedSim, BitIdenticalOnAllExamples)
+{
+    int found = 0;
+    for (const auto &entry : fs::directory_iterator(CALYX_EXAMPLES_DIR)) {
+        if (entry.path().extension() != ".futil")
+            continue;
+        ++found;
+        std::string source = readExample(entry.path());
+        std::string label = entry.path().filename().string();
+        for (sim::Engine engine : partitionedEngines()) {
+            Context base = Parser::parseProgram(source);
+            passes::runPipeline(base, "all");
+            RunResult scalar = runContext(base, engine, 1);
+            for (unsigned threads : {2u, 4u}) {
+                Context ctx = Parser::parseProgram(source);
+                passes::runPipeline(ctx, "all");
+                RunResult part = runContext(ctx, engine, threads);
+                EXPECT_EQ(scalar.cycles, part.cycles)
+                    << label << " (" << sim::engineName(engine) << " x"
+                    << threads << ")";
+                EXPECT_EQ(scalar.state, part.state)
+                    << label << " (" << sim::engineName(engine) << " x"
+                    << threads << ")";
+            }
+        }
+    }
+    EXPECT_GE(found, 2) << "expected at least two examples/*.futil";
+}
+
+// --- Bit identity: PolyBench kernels ------------------------------------
+
+/** Compile, seed, and run one PolyBench kernel at a thread count. */
+RunResult
+runKernel(const std::string &name, sim::Engine engine, unsigned threads)
+{
+    const workloads::Kernel &k = workloads::kernel(name);
+    dahlia::Program prog = dahlia::parse(k.source);
+    workloads::MemState inputs = workloads::makeInputs(name, prog);
+    Context ctx = dahlia::compileDahlia(prog);
+    passes::runPipeline(ctx, "all");
+    sim::SimProgram sp(ctx, "main");
+    workloads::pokeInputs(sp, prog, inputs);
+    sim::CycleSim cs(sp, engine);
+    cs.state().setThreads(threads);
+    RunResult r;
+    r.cycles = cs.run();
+    for (auto &[mem, data] : workloads::readMemories(sp, prog))
+        r.state.push_back(data);
+    return r;
+}
+
+TEST(PartitionedSim, BitIdenticalOnPolybenchKernels)
+{
+    for (const std::string &name : {"gemm", "atax"}) {
+        for (sim::Engine engine : partitionedEngines()) {
+            RunResult scalar = runKernel(name, engine, 1);
+            RunResult part = runKernel(name, engine, 4);
+            EXPECT_EQ(scalar.cycles, part.cycles)
+                << name << " (" << sim::engineName(engine) << ")";
+            EXPECT_EQ(scalar.state, part.state)
+                << name << " (" << sim::engineName(engine) << ")";
+        }
+    }
+}
+
+// --- Bit identity: systolic array ---------------------------------------
+
+RunResult
+runSystolic(int dim, sim::Engine engine, unsigned threads)
+{
+    Context ctx;
+    systolic::Config cfg;
+    cfg.rows = cfg.cols = cfg.inner = dim;
+    systolic::generate(ctx, cfg);
+    passes::runPipeline(ctx, "all,-resource-sharing,-register-sharing");
+    sim::SimProgram sp(ctx, "main");
+    for (int r = 0; r < dim; ++r) {
+        auto *l = sp.findModel(systolic::leftMemName(r))->memory();
+        auto *t = sp.findModel(systolic::topMemName(r))->memory();
+        for (int k = 0; k < dim; ++k) {
+            (*l)[k] = r + k + 1;
+            (*t)[k] = 2 * r + k + 1;
+        }
+    }
+    sim::CycleSim cs(sp, engine);
+    cs.state().setThreads(threads);
+    RunResult out;
+    out.cycles = cs.run();
+    out.state = sim::archState(sp);
+    return out;
+}
+
+TEST(PartitionedSim, BitIdenticalOnSystolicArray)
+{
+    const int dim = 4;
+    for (sim::Engine engine : partitionedEngines()) {
+        RunResult scalar = runSystolic(dim, engine, 1);
+        for (unsigned threads : {2u, 4u}) {
+            RunResult part = runSystolic(dim, engine, threads);
+            EXPECT_EQ(scalar, part)
+                << sim::engineName(engine) << " x" << threads;
+        }
+    }
+}
+
+// --- Randomized partition-count targets ---------------------------------
+
+TEST(PartitionedSim, RandomizedPartitionCountsLevelized)
+{
+    std::string source = readExample(
+        fs::path(CALYX_EXAMPLES_DIR) / "counter.futil");
+    Context base = Parser::parseProgram(source);
+    passes::runPipeline(base, "all");
+    RunResult scalar = runContext(base, sim::Engine::Levelized, 1);
+
+    // Fixed seed: the values vary across the full clamp range but the
+    // test is reproducible.
+    std::mt19937 rng(0xCA1F'1234);
+    std::uniform_int_distribution<uint32_t> dist(1, 300);
+    for (int i = 0; i < 6; ++i) {
+        uint32_t target = dist(rng);
+        ScopedEnv env("CALYX_SIM_PARTITIONS", std::to_string(target));
+        Context ctx = Parser::parseProgram(source);
+        passes::runPipeline(ctx, "all");
+        RunResult part = runContext(ctx, sim::Engine::Levelized, 4);
+        EXPECT_EQ(scalar, part) << "CALYX_SIM_PARTITIONS=" << target;
+    }
+}
+
+TEST(PartitionedSim, NonDefaultPartitionCountCompiled)
+{
+    SKIP_WITHOUT_TOOLCHAIN();
+    std::string source = readExample(
+        fs::path(CALYX_EXAMPLES_DIR) / "counter.futil");
+    Context base = Parser::parseProgram(source);
+    passes::runPipeline(base, "all");
+    RunResult scalar = runContext(base, sim::Engine::Compiled, 1);
+
+    ScopedEnv env("CALYX_SIM_PARTITIONS", "5");
+    Context ctx = Parser::parseProgram(source);
+    passes::runPipeline(ctx, "all");
+    RunResult part = runContext(ctx, sim::Engine::Compiled, 3);
+    EXPECT_EQ(scalar, part);
+}
+
+// --- Plan shape ----------------------------------------------------------
+
+/** Structural invariants every plan must satisfy (sim/partition.h). */
+void
+expectPlanWellFormed(const sim::PartitionPlan &plan, size_t num_nodes)
+{
+    size_t covered = 0;
+    for (size_t t = 0; t < plan.tasks.size(); ++t) {
+        const auto &task = plan.tasks[t];
+        covered += task.nodes.size();
+        for (size_t i = 0; i < task.nodes.size(); ++i) {
+            ASSERT_LT(task.nodes[i], num_nodes);
+            EXPECT_EQ(plan.taskOfNode[task.nodes[i]], t);
+            if (i)
+                EXPECT_LT(task.nodes[i - 1], task.nodes[i]);
+        }
+        for (size_t i = 0; i < task.deps.size(); ++i) {
+            EXPECT_LT(task.deps[i], t) << "dep must be an earlier task";
+            if (i)
+                EXPECT_LT(task.deps[i - 1], task.deps[i]);
+        }
+        EXPECT_GE(task.cost, 1u);
+        EXPECT_LT(task.thread, plan.threads);
+    }
+    EXPECT_EQ(covered, num_nodes) << "every node in exactly one task";
+    size_t placed = 0;
+    for (const auto &list : plan.threadTasks) {
+        placed += list.size();
+        for (size_t i = 1; i < list.size(); ++i)
+            EXPECT_LT(list[i - 1], list[i]) << "threadTasks ascending";
+    }
+    EXPECT_EQ(placed, plan.tasks.size());
+}
+
+TEST(PartitionPlan, WellFormedAcrossTargetsAndThreads)
+{
+    Context ctx = testing::counterProgram(7, 2);
+    passes::runPipeline(ctx, "all");
+    sim::SimProgram sp(ctx, "main");
+    const sim::SimSchedule &sched = sp.schedule();
+    for (uint32_t target : {1u, 2u, 3u, 8u, 16u, 64u}) {
+        for (unsigned threads : {1u, 2u, 4u}) {
+            sim::PartitionPlan plan =
+                sim::buildPartitionPlan(sp, sched, target, threads);
+            expectPlanWellFormed(plan, sched.nodes().size());
+        }
+    }
+}
+
+TEST(PartitionPlan, SerialChainDegradesToOneTask)
+{
+    // A pure dependency chain has one node per level; the chain-merge
+    // must collapse it to a single task (not a task per level), so a
+    // serialized design runs exactly like the scalar engine instead of
+    // ping-ponging between threads.
+    Context ctx;
+    Component &comp = ctx.addComponent("main");
+    auto &assigns = comp.continuousAssignments();
+    const int len = 12;
+    for (int i = 0; i < len; ++i)
+        comp.addCell("w" + std::to_string(i), "std_wire", {8}, ctx);
+    assigns.emplace_back(cellPort("w0", "in"), constant(7, 8));
+    for (int i = 1; i < len; ++i) {
+        assigns.emplace_back(cellPort("w" + std::to_string(i), "in"),
+                             cellPort("w" + std::to_string(i - 1), "out"));
+    }
+    sim::SimProgram sp(ctx, "main");
+    const sim::SimSchedule &sched = sp.schedule();
+    sim::PartitionPlan plan = sim::buildPartitionPlan(sp, sched, 16, 4);
+    expectPlanWellFormed(plan, sched.nodes().size());
+    EXPECT_EQ(plan.tasks.size(), 1u);
+    EXPECT_FALSE(plan.parallel());
+}
+
+TEST(PartitionedSim, GuardedSccSettlesUnderThreads)
+{
+    // The guarded combinational cycle from the engine-equivalence
+    // suite: the SCC is one condensed schedule node, so it lands in one
+    // task and its Gauss-Seidel fixed point runs single-threaded inside
+    // the partitioned walk.
+    Context ctx;
+    Component &comp = ctx.addComponent("main");
+    comp.addCell("sel", "std_wire", {1}, ctx);
+    comp.addCell("w1", "std_wire", {8}, ctx);
+    comp.addCell("w2", "std_wire", {8}, ctx);
+    auto &assigns = comp.continuousAssignments();
+    assigns.emplace_back(cellPort("sel", "in"), constant(0, 1));
+    GuardPtr on = Guard::fromPort(cellPort("sel", "out"));
+    assigns.emplace_back(cellPort("w1", "in"), cellPort("w2", "out"), on);
+    assigns.emplace_back(cellPort("w1", "in"), constant(5, 8),
+                         Guard::negate(on));
+    assigns.emplace_back(cellPort("w2", "in"), cellPort("w1", "out"));
+
+    sim::SimProgram sp(ctx, "main");
+    sim::SimState st(sp, sim::Engine::Levelized);
+    st.setThreads(4);
+    st.reset();
+    st.beginCycle();
+    st.activate(sp.root().continuous);
+    st.comb();
+    EXPECT_EQ(st.value(Symbol("w2.out")), 5u);
+    EXPECT_EQ(st.value(Symbol("w1.out")), 5u);
+}
+
+// --- Observer determinism under threads (satellite 2) -------------------
+
+/** Trace a freshly-lowered counter example into a VCD string. */
+std::string
+traceCounter(sim::Engine engine, unsigned threads)
+{
+    Context ctx = Parser::parseProgram(readExample(
+        fs::path(CALYX_EXAMPLES_DIR) / "counter.futil"));
+    passes::runPipeline(ctx, "all");
+    sim::SimProgram sp(ctx, "main");
+    std::ostringstream os;
+    obs::VcdWriter vcd(sp, os, obs::VcdScope::All);
+    sim::CycleSim cs(sp, engine);
+    cs.state().setThreads(threads);
+    cs.state().addObserver(&vcd);
+    cs.run();
+    return os.str();
+}
+
+TEST(PartitionedSim, VcdByteIdenticalUnderThreadsLevelized)
+{
+    std::string scalar = traceCounter(sim::Engine::Levelized, 1);
+    std::string part = traceCounter(sim::Engine::Levelized, 4);
+    ASSERT_FALSE(scalar.empty());
+    EXPECT_NE(scalar.find("$enddefinitions"), std::string::npos);
+    EXPECT_EQ(scalar, part);
+}
+
+TEST(PartitionedSim, VcdByteIdenticalUnderThreadsCompiled)
+{
+    SKIP_WITHOUT_TOOLCHAIN();
+    std::string scalar = traceCounter(sim::Engine::Compiled, 1);
+    std::string part = traceCounter(sim::Engine::Compiled, 4);
+    ASSERT_FALSE(scalar.empty());
+    EXPECT_EQ(scalar, part);
+}
+
+// --- WorkPool occupancy (satellite 1) -----------------------------------
+
+TEST(PartitionedPool, ConcurrentCallersDoNotStackThreads)
+{
+    // Two threads each request a 2-wide parallelFor at once. The pool
+    // serializes jobs, so the combined participant high-water mark must
+    // stay at one job's width (2) — not the 4 a per-caller thread pool
+    // would spike to (the 2N oversubscription the serve host hit when
+    // compile shards and sim partitions each brought their own pool).
+    WorkPool::global().resetPeakParticipants();
+    auto burst = [] {
+        WorkPool::global().parallelFor(8, 2, [](size_t) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        });
+    };
+    std::thread a(burst), b(burst);
+    a.join();
+    b.join();
+    EXPECT_GE(WorkPool::peakParticipants(), 1u);
+    EXPECT_LE(WorkPool::peakParticipants(), 2u);
+}
+
+TEST(PartitionedPool, NestedParallelismIsCappedNotStacked)
+{
+    // parallelFor from inside a pool worker must run serially on that
+    // worker: a partitioned clock() inside a batch tile, or a compile
+    // dispatched from a worker, must not multiply the thread count.
+    WorkPool::global().resetPeakParticipants();
+    WorkPool::global().runConcurrent(2, [](size_t) {
+        WorkPool::global().parallelFor(8, 4, [](size_t) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        });
+    });
+    EXPECT_LE(WorkPool::peakParticipants(), 2u);
+}
+
+} // namespace
+} // namespace calyx

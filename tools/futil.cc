@@ -46,8 +46,9 @@
  *                            the zero-initialized design
  *     --stimuli <file>       JSON stimulus batch ({"batch": [...]},
  *                            serve/protocol.h schema) for --batch
- *     --threads <N>          worker threads for batched simulation and
- *                            parallel per-component pass execution
+ *     --threads <N>          worker threads: partitioned single-
+ *                            stimulus simulation, batched simulation,
+ *                            and parallel per-component pass execution
  *     --lane-tile <N>        lanes per tile (fixed compiled lane
  *                            width; default 16)
  *     --serve                stimulus-stream service: read
@@ -143,8 +144,9 @@ usage()
         << " (default levelized)\n"
            "  --batch <N>            batched simulation of N stimuli\n"
            "  --stimuli <file>       JSON stimulus batch for --batch\n"
-           "  --threads <N>          worker threads: batch lanes and\n"
-           "                         per-component passes (default 1)\n"
+           "  --threads <N>          worker threads: partitioned --sim,\n"
+           "                         batch lanes, and per-component\n"
+           "                         passes (default 1)\n"
            "  --lane-tile <N>        lanes per batch tile (default 16)\n"
            "  --serve                stimulus-stream service on\n"
            "                         stdin/stdout (length-prefixed JSON)\n"
@@ -626,10 +628,12 @@ main(int argc, char **argv)
             uint64_t cycles;
             if (sp.hasGroups()) {
                 calyx::sim::Interp interp(sp, sim_engine);
+                interp.state().setThreads(threads);
                 attach(interp.state());
                 cycles = interp.run();
             } else {
                 calyx::sim::CycleSim cs(sp, sim_engine);
+                cs.state().setThreads(threads);
                 attach(cs.state());
                 cycles = cs.run();
             }
